@@ -1,0 +1,97 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Scale is controlled by ``REPRO_BENCH_SCALE``:
+
+* ``quick``  — CI-sized worlds (minutes → seconds), shape checks only.
+* ``default``— a 400-client / 240-candidate run: large enough that
+  every curve and statistic is meaningful, small enough to finish the
+  whole suite in minutes.
+* ``paper``  — the paper's full 1,000-client scale.
+
+Each bench writes its rendered report (the same rows/series the paper
+presents) to ``benchmarks/reports/<name>.txt`` so EXPERIMENTS.md can
+quote measured-vs-paper numbers from a recorded artifact.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+REPORTS_DIR = Path(__file__).parent / "reports"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Knobs that vary with the selected scale."""
+
+    #: Fig. 4/5/8/9 client population.
+    selection_clients: int
+    #: Candidate servers (the paper's 240 active PlanetLab nodes).
+    candidates: int
+    #: Probe rounds for the Fig. 4/5 experiment (10-minute interval).
+    selection_probe_rounds: int
+    #: Clustering population (the paper's 177 DNS servers).
+    clustering_clients: int
+    #: Probe rounds for the clustering study.
+    clustering_probe_rounds: int
+    #: Fig. 8 sweep duration, minutes.
+    sweep_duration_minutes: float
+    #: Fig. 9 probe rounds at 10-minute interval.
+    window_probe_rounds: int
+    #: Detour pairs sampled.
+    detour_pairs: int
+
+
+_SCALES = {
+    "quick": BenchScale(
+        selection_clients=60,
+        candidates=40,
+        selection_probe_rounds=24,
+        clustering_clients=60,
+        clustering_probe_rounds=24,
+        sweep_duration_minutes=1440.0,
+        window_probe_rounds=48,
+        detour_pairs=80,
+    ),
+    "default": BenchScale(
+        selection_clients=400,
+        candidates=240,
+        selection_probe_rounds=96,
+        clustering_clients=177,
+        clustering_probe_rounds=60,
+        sweep_duration_minutes=4.0 * 1440.0,
+        window_probe_rounds=144,
+        detour_pairs=200,
+    ),
+    "paper": BenchScale(
+        selection_clients=1000,
+        candidates=240,
+        selection_probe_rounds=144,
+        clustering_clients=177,
+        clustering_probe_rounds=84,
+        sweep_duration_minutes=5.0 * 1440.0,
+        window_probe_rounds=288,
+        detour_pairs=400,
+    ),
+}
+
+
+def bench_scale() -> BenchScale:
+    """The active scale (``REPRO_BENCH_SCALE``, default ``default``)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "default")
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_BENCH_SCALE={name!r}; pick one of {sorted(_SCALES)}"
+        ) from None
+
+
+def save_report(name: str, text: str) -> Path:
+    """Persist a bench's rendered report and return its path."""
+    REPORTS_DIR.mkdir(exist_ok=True)
+    path = REPORTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,128 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify why the system is built the
+way it is (similarity metric, CDN answer rotation, SMF center policy,
+and how much of Meridian's error was deployment health).
+"""
+
+import pytest
+
+from benchmarks.bench_config import bench_scale, save_report
+from repro.experiments.ablations import (
+    run_center_policy_ablation,
+    run_meridian_budget_ablation,
+    run_meridian_health_ablation,
+    run_similarity_ablation,
+    run_spread_ablation,
+)
+from repro.workloads import Scenario, ScenarioParams
+
+
+def _params(seed: int, clients: int, candidates: int) -> ScenarioParams:
+    return ScenarioParams(
+        seed=seed,
+        dns_servers=clients,
+        planetlab_nodes=candidates,
+        build_meridian=False,
+        king_weight_power=1.0,
+        king_rural_fraction=0.25,
+    )
+
+
+def test_bench_ablation_similarity(benchmark):
+    scale = bench_scale()
+    scenario = Scenario(_params(51, min(150, scale.selection_clients), 80))
+    result = benchmark.pedantic(
+        lambda: run_similarity_ablation(scenario, probe_rounds=48),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("ablation_similarity", report)
+    print("\n" + report)
+
+    by_metric = {row[0]: float(row[1]) for row in result.rows}
+    # Cosine (frequency-weighted) must not lose to set-only Jaccard.
+    assert by_metric["cosine"] <= by_metric["jaccard"] + 0.5
+
+
+def test_bench_ablation_spread(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_spread_ablation(
+            _params(52, min(120, scale.selection_clients), 80), probe_rounds=48
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("ablation_spread", report)
+    print("\n" + report)
+
+    by_spread = {row[0]: row for row in result.rows}
+    # Rotation grows ratio-map support: spread 8 sees more replicas
+    # than best-only answers.
+    assert float(by_spread["8"][3]) > float(by_spread["1 (best only)"][3])
+
+
+def test_bench_ablation_center_policy(benchmark):
+    scale = bench_scale()
+    scenario = Scenario(
+        ScenarioParams(
+            seed=53,
+            dns_servers=scale.clustering_clients,
+            planetlab_nodes=8,
+            build_meridian=False,
+        )
+    )
+    result = benchmark.pedantic(
+        lambda: run_center_policy_ablation(scenario, probe_rounds=48),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("ablation_center_policy", report)
+    print("\n" + report)
+
+    by_policy = {row[0]: row for row in result.rows}
+    # Strongest-mappings centers find at least as many good clusters.
+    assert by_policy["strongest"][2] >= by_policy["random"][2] - 2
+
+
+def test_bench_ablation_meridian_budget(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_meridian_budget_ablation(
+            _params(55, min(150, scale.selection_clients), scale.candidates)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("ablation_meridian_budget", report)
+    print("\n" + report)
+
+    by_budget = {row[0]: float(row[1]) for row in result.rows}
+    # Tiny budgets noticeably hurt accuracy vs unlimited probing.
+    assert by_budget["2"] >= by_budget["unlimited"]
+    # Budgets actually bind: probes spent differ across budgets.
+    spent = [float(row[2]) for row in result.rows]
+    assert max(spent) > min(spent)
+
+
+def test_bench_ablation_meridian_health(benchmark):
+    scale = bench_scale()
+    result = benchmark.pedantic(
+        lambda: run_meridian_health_ablation(
+            _params(54, min(150, scale.selection_clients), scale.candidates)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("ablation_meridian_health", report)
+    print("\n" + report)
+
+    by_health = {row[0]: float(row[1]) for row in result.rows}
+    # Deployment pathologies hurt Meridian's mean rank.
+    assert by_health["deployed-flaky"] >= by_health["pristine"]

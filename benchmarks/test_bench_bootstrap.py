@@ -1,0 +1,46 @@
+"""Extension bench — bootstrap time (Section VI's ~100-minute claim).
+
+A joining CRP node probes every 10 minutes with a 10-probe window; the
+paper infers a bootstrap time of about 100 minutes from Figure 9.  The
+bench measures the convergence curve directly and checks that accuracy
+settles within roughly that horizon.
+"""
+
+import pytest
+
+from benchmarks.bench_config import bench_scale, save_report
+from repro.experiments.bootstrap import run_bootstrap_experiment
+from repro.workloads import Scenario, ScenarioParams
+
+
+def test_bench_bootstrap_time(benchmark):
+    scale = bench_scale()
+    scenario = Scenario(
+        ScenarioParams(
+            seed=100,
+            dns_servers=40,
+            planetlab_nodes=scale.candidates,
+            build_meridian=False,
+            king_weight_power=1.0,
+            king_rural_fraction=0.25,
+        )
+    )
+    result = benchmark.pedantic(
+        lambda: run_bootstrap_experiment(
+            scenario, joiners=30, warmup_rounds=24, max_probes=24
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("bootstrap_time", report)
+    print("\n" + report)
+
+    # Most joiners have usable signal within the first few probes.
+    assert result.signal_fraction_by_probe[5] > 0.6
+    # Accuracy converges within ~150 simulated minutes (paper: ~100).
+    minutes = result.convergence_minutes(slack=1.0)
+    assert minutes is not None
+    assert minutes <= 150.0
+    # And the steady state is genuinely good (near the top of the list).
+    assert result.steady_state_rank() < 8.0

@@ -1,0 +1,79 @@
+"""Benchmarks for the two supporting claims.
+
+* §II / ref [42] — "in approximately 50% of scenarios, the best
+  measured one-hop path through an Akamai server outperforms the
+  direct path in terms of latency."
+* §VI — CRP's DNS load on the CDN is a tiny fraction of an ordinary
+  web client's (the commensalism claim), and per-node cost is O(1) in
+  the number of participants.
+"""
+
+import pytest
+
+from benchmarks.bench_config import bench_scale, save_report
+from repro.experiments.detour import run_detour
+from repro.experiments.overhead import run_overhead
+from repro.workloads import Scenario, ScenarioParams
+
+
+def test_bench_detour(benchmark):
+    scale = bench_scale()
+    scenario = Scenario(
+        ScenarioParams(
+            seed=1906,
+            dns_servers=max(60, scale.clustering_clients // 2),
+            planetlab_nodes=8,
+            build_meridian=False,
+        )
+    )
+    result = benchmark.pedantic(
+        lambda: run_detour(scenario, pairs=scale.detour_pairs, probe_rounds=24),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("detour", report)
+    print("\n" + report)
+
+    # The paper's headline: roughly half of pairs have a winning
+    # one-hop detour through a redirection replica.
+    assert 0.3 < result.win_fraction < 0.8
+    assert len(result.records) > scale.detour_pairs * 0.8
+
+
+def test_bench_overhead(benchmark):
+    scale = bench_scale()
+    scenario = Scenario(
+        ScenarioParams(
+            seed=360,
+            dns_servers=60,
+            planetlab_nodes=8,
+            build_meridian=False,
+        )
+    )
+    result = benchmark.pedantic(
+        lambda: run_overhead(scenario, probe_rounds=36),
+        rounds=1,
+        iterations=1,
+    )
+    report = result.report()
+    save_report("overhead", report)
+    print("\n" + report)
+
+    # At the paper's recommended 100-minute interval a CRP client is a
+    # few percent of a web client's DNS load.
+    assert result.load_fraction(100.0) < 0.05
+    # Even aggressive 20-minute probing stays well under a web client.
+    assert result.load_fraction(20.0) < 0.25
+
+    # O(1) scalability: per-node measured load must not grow with the
+    # population — compare against a double-size scenario.
+    bigger = Scenario(
+        ScenarioParams(seed=360, dns_servers=120, planetlab_nodes=8, build_meridian=False)
+    )
+    bigger_result = run_overhead(bigger, probe_rounds=36)
+    ratio = (
+        bigger_result.measured_queries_per_client_day
+        / result.measured_queries_per_client_day
+    )
+    assert 0.8 < ratio < 1.2

@@ -1,0 +1,95 @@
+"""Extension bench — the paper's Section VII open problem.
+
+Compares three services on the same probe history:
+
+* **CRP only** — accurate where maps overlap, silent where they don't;
+* **coordinates only** — Vivaldi trained from passive samples;
+* **hybrid** — CRP block first, coordinate tail for orthogonal pairs.
+
+The hybrid must keep CRP's accuracy where CRP has signal while giving
+*every* client a full ranking — relative positioning between arbitrary
+hosts with little-to-no overhead.
+"""
+
+import pytest
+
+from benchmarks.bench_config import bench_scale, save_report
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.baselines import VivaldiSystem
+from repro.hybrid import HybridPositioning, RankSource, train_coordinates_passively
+from repro.workloads import Scenario, ScenarioParams
+
+
+def test_bench_hybrid_positioning(benchmark):
+    scale = bench_scale()
+    scenario = Scenario(
+        ScenarioParams(
+            seed=707,
+            dns_servers=min(200, scale.selection_clients),
+            planetlab_nodes=scale.candidates,
+            build_meridian=False,
+        )
+    )
+
+    def run():
+        scenario.run_probe_rounds(48)
+        coordinates = VivaldiSystem(seed=707)
+        train_coordinates_passively(
+            coordinates,
+            scenario.network,
+            scenario.clients + scenario.candidates,
+            samples_per_node=16,
+            seed=707,
+        )
+        return HybridPositioning(scenario.crp, coordinates), coordinates
+
+    hybrid, coordinates = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    orderings = {}
+    for client in scenario.client_names:
+        orderings[client] = sorted(
+            scenario.candidate_names,
+            key=lambda n: scenario.network.base_rtt_ms(
+                scenario.host(client), scenario.host(n)
+            ),
+        )
+
+    crp_ranks, hybrid_ranks, coord_ranks = [], [], []
+    crp_covered = 0
+    for client in scenario.client_names:
+        ordering = orderings[client]
+        # CRP only.
+        ranked = scenario.crp.rank_servers(client, scenario.candidate_names)
+        if ranked and ranked[0].has_signal:
+            crp_covered += 1
+            crp_ranks.append(ordering.index(ranked[0].name))
+        # Coordinates only.
+        coord_pick = coordinates.closest(client, scenario.candidate_names)
+        coord_ranks.append(ordering.index(coord_pick))
+        # Hybrid.
+        hybrid_pick = hybrid.closest(client, scenario.candidate_names)
+        hybrid_ranks.append(ordering.index(hybrid_pick.name))
+
+    total = len(scenario.client_names)
+    rows = [
+        ["CRP only", f"{crp_covered}/{total}", f"{mean(crp_ranks):.2f}" if crp_ranks else "-"],
+        ["coordinates only", f"{total}/{total}", f"{mean(coord_ranks):.2f}"],
+        ["hybrid", f"{total}/{total}", f"{mean(hybrid_ranks):.2f}"],
+    ]
+    report = format_table(
+        ["service", "clients answered", "mean Top-1 rank"],
+        rows,
+        title="Hybrid positioning (Sec. VII open problem): coverage vs accuracy",
+    )
+    save_report("hybrid_positioning", report)
+    print("\n" + report)
+
+    # Hybrid answers everyone; CRP alone may not.
+    assert crp_covered <= total
+    # Hybrid's accuracy is at least as good as coordinates alone...
+    assert mean(hybrid_ranks) <= mean(coord_ranks) + 0.5
+    # ...and no worse than CRP on average over the full population
+    # (hybrid == CRP wherever CRP had signal).
+    if crp_ranks:
+        assert mean(hybrid_ranks) <= mean(crp_ranks) + max(2.0, 0.5 * mean(crp_ranks))

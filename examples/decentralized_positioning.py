@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Decentralised CRP: nodes exchange ratio maps, no service at all.
+
+Section III-B: a CRP-based service could be built "as part of an
+application library that takes advantage of application-specific
+communication to distribute redirection maps".  Here each peer
+piggybacks a versioned map advertisement on its ordinary application
+messages (think BitTorrent extension handshakes); every peer keeps a
+local store of the freshest advertisement per neighbour and answers
+positioning questions entirely locally.
+
+The example also shows staleness expiry doing its job: a peer that
+stops refreshing falls out of everyone's answers.
+
+Run:  python examples/decentralized_positioning.py
+"""
+
+from repro import Scenario, ScenarioParams
+from repro.core import LocalPositioning, MapAdvertisement, PeerMapStore, advertise
+
+
+def main() -> None:
+    scenario = Scenario(
+        ScenarioParams(seed=555, dns_servers=20, planetlab_nodes=4, build_meridian=False)
+    )
+    peers = scenario.client_names
+    stores = {name: PeerMapStore(name, max_age_seconds=3 * 3600.0) for name in peers}
+    versions = {name: 0 for name in peers}
+
+    def broadcast(sender: str) -> None:
+        """One application message carrying the sender's fresh map."""
+        sender_map = scenario.crp.ratio_map(sender, window_probes=10)
+        if sender_map is None:
+            return
+        versions[sender] += 1
+        wire = advertise(
+            sender, sender_map, versions[sender], scenario.clock.now
+        ).to_json()
+        for receiver in peers:
+            stores[receiver].ingest(
+                MapAdvertisement.from_json(wire), received_at=scenario.clock.now
+            )
+
+    # Everyone probes and gossips for four simulated hours...
+    silent_peer = peers[-1]
+    for round_index in range(24):
+        scenario.crp.probe_all()
+        for sender in peers:
+            # The silent peer stops broadcasting halfway through.
+            if sender == silent_peer and round_index >= 6:
+                continue
+            broadcast(sender)
+        scenario.clock.advance_minutes(10)
+
+    # Show the peer with the strongest local signal (a client with no
+    # nearby peers would — correctly — rank everyone at zero).
+    def signal(name: str) -> int:
+        own = scenario.crp.ratio_map(name, window_probes=10)
+        if own is None:
+            return 0
+        ranked = LocalPositioning(stores[name]).rank_peers(own, now=scenario.clock.now)
+        return sum(1 for r in ranked if r.has_signal)
+
+    client = max(peers, key=signal)
+    positioning = LocalPositioning(stores[client])
+    own_map = scenario.crp.ratio_map(client, window_probes=10)
+    ranked = positioning.rank_peers(own_map, now=scenario.clock.now)
+    print(f"{client} knows {len(stores[client])} peers, "
+          f"ranked {len(ranked)} locally (zero queries to any service):")
+    for entry in ranked[:5]:
+        rtt = scenario.rtt_ms(client, entry.name)
+        print(f"  cos_sim={entry.score:.3f}  true_rtt={rtt:6.1f} ms  {entry.name}")
+
+    # Staleness: the silent peer's advertisement has aged out.
+    fresh = stores[client].fresh_maps(scenario.clock.now)
+    print(f"\n{silent_peer} stopped advertising at t+60min; "
+          f"still answering queries: {silent_peer in fresh}")
+    store = stores[client]
+    print(f"store stats: accepted={store.accepted}, "
+          f"stale-version rejects={store.rejected_stale_version}")
+
+
+if __name__ == "__main__":
+    main()

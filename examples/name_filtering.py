@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Automatic CDN-name selection (Section VI of the paper).
+
+The paper hand-picked two Akamai-accelerated names from historical
+data but sketches how a real deployment would choose names
+automatically: ping the replicas a name returns during bootstrap and
+keep low-latency ones, or — with zero probing — drop names that
+return provider-owned addresses ("those servers are often far away
+from the node performing the DNS lookup").
+
+This example onboards three kinds of customers onto the simulated CDN
+(a well-deployed one, one pinned to a small far-away replica group,
+and one served from provider-owned core servers), lets a node observe
+each name, and shows both filter rules making the right call.
+
+Run:  python examples/name_filtering.py
+"""
+
+from repro import Scenario, ScenarioParams
+from repro.core.filters import NameQualityFilter
+from repro.dnssim import RecursiveResolver
+from repro.netsim import HostKind
+from repro.netsim.rng import derive_rng
+
+
+def main() -> None:
+    scenario = Scenario(
+        ScenarioParams(seed=66, dns_servers=4, planetlab_nodes=4, build_meridian=False)
+    )
+    cdn = scenario.cdn
+    rng = derive_rng(66, "example")
+
+    # Three more customers with different deployment quality.
+    cdn.add_customer("static.goodsite.test")  # whole edge fleet
+    far_group = [
+        r for r in cdn.deployment.edge if r.host.metro.region.value == "oceania"
+    ]
+    cdn.add_customer("img.fargroup.test", pool=far_group)
+    cdn.add_customer("cdn.corecustomer.test", pool=cdn.deployment.provider_owned)
+
+    node_host = scenario.topology.create_host(
+        "observer", HostKind.DNS_SERVER, scenario.world.metro("boston"), rng
+    )
+    resolver = RecursiveResolver(node_host, scenario.infrastructure, scenario.network)
+
+    names = ["static.goodsite.test", "img.fargroup.test", "cdn.corecustomer.test"]
+    answers = {name: [] for name in names}
+    for _ in range(12):
+        for name in names:
+            answers[name].append(resolver.resolve(name).addresses)
+        scenario.clock.advance_minutes(10)
+
+    quality_filter = NameQualityFilter(ping_threshold_ms=50.0)
+
+    print("passive rule (no probing — provider-owned address heuristic):")
+    for name in names:
+        assessment = quality_filter.assess_passive(name, answers[name])
+        print(f"  {name:28s} → {assessment.verdict.value:22s} "
+              f"(provider-owned fraction {assessment.provider_owned_fraction:.0%})")
+
+    print("\nactive rule (bootstrap pings, O(replicas) once per node):")
+    for name in names:
+        assessment = quality_filter.assess_active(
+            name,
+            node_host,
+            answers[name],
+            scenario.network,
+            host_for_address=lambda a: (
+                cdn.deployment.by_address(a).host
+                if cdn.deployment.knows_address(a)
+                else None
+            ),
+        )
+        ping = f"{assessment.best_ping_ms:.1f} ms" if assessment.best_ping_ms else "-"
+        print(f"  {name:28s} → {assessment.verdict.value:22s} (best ping {ping})")
+
+    kept = quality_filter.select_names(
+        quality_filter.assess_active(
+            name,
+            node_host,
+            answers[name],
+            scenario.network,
+            host_for_address=lambda a: (
+                cdn.deployment.by_address(a).host
+                if cdn.deployment.knows_address(a)
+                else None
+            ),
+        )
+        for name in names
+    )
+    print(f"\nnames this node should probe for positioning: {kept}")
+
+
+if __name__ == "__main__":
+    main()

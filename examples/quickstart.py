@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: relative network positioning with CRP in ~60 lines.
+
+Builds a small simulated world (clients from a King-like DNS-server
+population, PlanetLab-like candidate servers, an Akamai-like CDN),
+probes CDN redirections for a few simulated hours, then asks the two
+questions the paper's evaluation asks:
+
+1. Which candidate server is closest to a given client?
+2. How do the nodes cluster?
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Scenario, ScenarioParams, SmfParams
+
+
+def main() -> None:
+    # One deterministic world: 30 DNS-server clients, 20 candidates.
+    scenario = Scenario(
+        ScenarioParams(seed=2008, dns_servers=30, planetlab_nodes=20, build_meridian=False)
+    )
+    print(
+        f"world: {len(scenario.topology)} hosts, "
+        f"{len(scenario.cdn.deployment)} CDN replicas, "
+        f"{len(scenario.world)} metros"
+    )
+
+    # Probe CDN redirections every 10 minutes for 5 simulated hours.
+    # That is ALL the measurement CRP ever does — no pings, no
+    # landmarks, no coordinates.
+    scenario.run_probe_rounds(rounds=30, interval_minutes=10)
+    print(f"probes issued: {scenario.crp.probes_issued} "
+          f"(CDN queries served: {scenario.cdn.total_queries()})")
+
+    # --- Closest node selection (paper Section IV-A) ------------------
+    client = scenario.client_names[0]
+    ranked = scenario.crp.rank_servers(client, scenario.candidate_names)
+    print(f"\nclosest-server ranking for {client} "
+          f"({scenario.host(client).metro.name}):")
+    for candidate in ranked[:5]:
+        host = scenario.host(candidate.name)
+        true_rtt = scenario.rtt_ms(client, candidate.name)
+        print(
+            f"  cos_sim={candidate.score:.3f}  true_rtt={true_rtt:6.1f} ms  "
+            f"{candidate.name} ({host.metro.name})"
+        )
+    best = min(scenario.candidate_names, key=lambda n: scenario.rtt_ms(client, n))
+    print(f"  ground-truth closest: {best} ({scenario.host(best).metro.name})")
+
+    # --- Dynamic node clustering (paper Section IV-B) ------------------
+    result = scenario.crp.cluster(smf_params=SmfParams(threshold=0.1))
+    print(f"\nSMF clustering at t=0.1: {len(result.clusters)} clusters, "
+          f"{result.clustered_count}/{result.total_nodes} nodes clustered")
+    for cluster in result.clusters[:5]:
+        metros = sorted({scenario.host(m).metro.name for m in cluster.members})
+        print(f"  cluster@{cluster.center}: {cluster.size} nodes in {metros}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""CRP — CDN-based Relative Network Positioning.
+
+A full reproduction of "Relative Network Positioning via CDN
+Redirections" (Su, Choffnes, Bustamante, Kuzmanovic — IEEE ICDCS
+2008), including every substrate the paper's evaluation ran on:
+
+* :mod:`repro.core` — CRP itself: ratio maps, cosine similarity,
+  closest-node selection, SMF clustering, the service facade.
+* :mod:`repro.netsim` — the Internet substrate: topology, AS graph,
+  time-varying latency model.
+* :mod:`repro.dnssim` — DNS: resolvers, authoritative servers, caches,
+  and the King measurement technique.
+* :mod:`repro.cdn` — an Akamai-like CDN with latency-driven DNS
+  redirection.
+* :mod:`repro.meridian` — the Meridian direct-measurement baseline.
+* :mod:`repro.baselines` — ASN clustering, Vivaldi, GNP, random/oracle.
+* :mod:`repro.workloads` — PlanetLab/King-style populations and the
+  :class:`~repro.workloads.scenario.Scenario` experiment world.
+* :mod:`repro.experiments` — one driver per paper figure/table.
+
+Quickstart::
+
+    from repro import Scenario, ScenarioParams
+
+    scenario = Scenario(ScenarioParams(seed=1, dns_servers=60, planetlab_nodes=40))
+    scenario.run_probe_rounds(30)                      # 5 hours of probing
+    picks = scenario.crp.rank_servers(
+        scenario.client_names[0], scenario.candidate_names
+    )
+"""
+
+from repro.core import (
+    CRPService,
+    CRPServiceParams,
+    RatioMap,
+    RedirectionTracker,
+    SimilarityMetric,
+    SmfParams,
+    cosine_similarity,
+    rank_candidates,
+    select_closest,
+    select_top_k,
+    smf_cluster,
+)
+from repro.workloads import Scenario, ScenarioParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CRPService",
+    "CRPServiceParams",
+    "RatioMap",
+    "RedirectionTracker",
+    "SimilarityMetric",
+    "SmfParams",
+    "cosine_similarity",
+    "rank_candidates",
+    "select_closest",
+    "select_top_k",
+    "smf_cluster",
+    "Scenario",
+    "ScenarioParams",
+    "__version__",
+]

@@ -1,0 +1,24 @@
+"""Analysis helpers: series math and report rendering."""
+
+from repro.analysis.stats import (
+    cdf_points,
+    fraction_within,
+    mean,
+    median,
+    percentile,
+    rank_of,
+    sorted_series,
+)
+from repro.analysis.tables import format_series, format_table
+
+__all__ = [
+    "cdf_points",
+    "fraction_within",
+    "mean",
+    "median",
+    "percentile",
+    "rank_of",
+    "sorted_series",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,75 @@
+"""CSV export of experiment outputs.
+
+The rendered ASCII reports are for humans; these helpers emit the
+underlying data so users can re-plot the figures with their own tools
+(`runner --out` writes text reports; experiment objects expose series
+that feed straight into these).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Mapping, Optional, Sequence, Tuple
+
+
+def series_to_csv(
+    series: Mapping[str, Sequence[float]],
+    index_label: str = "client_index",
+) -> str:
+    """Sorted per-client curves as CSV, one column per series.
+
+    Series may have different lengths (e.g. Fig. 8's unplottable
+    clients); shorter columns pad with empty cells.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    names = list(series)
+    columns = {name: sorted(series[name]) for name in names}
+    length = max(len(v) for v in columns.values())
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([index_label] + names)
+    for index in range(length):
+        row: list = [index]
+        for name in names:
+            values = columns[name]
+            row.append(values[index] if index < len(values) else "")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def cdf_to_csv(
+    points: Sequence[Tuple[float, float]],
+    value_label: str = "value_ms",
+) -> str:
+    """(value, cumulative fraction) points as CSV."""
+    if not points:
+        raise ValueError("need at least one point")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow([value_label, "cumulative_fraction"])
+    for value, fraction in points:
+        writer.writerow([value, fraction])
+    return buffer.getvalue()
+
+
+def table_to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A report table as CSV."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(path: Path, content: str) -> Path:
+    """Write CSV content, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    return path

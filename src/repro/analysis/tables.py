@@ -1,0 +1,70 @@
+"""Plain-text rendering of experiment outputs.
+
+Benches print the same rows/series the paper reports; these helpers
+keep that output consistent and readable in terminals and CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table with right-aligned numeric cells."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("-+-".join("-" * w for w in widths))
+    parts.extend(line(row) for row in text_rows)
+    return "\n".join(parts)
+
+
+def format_series(
+    series: Mapping[str, Sequence[float]],
+    points: int = 11,
+    title: str = "",
+    value_format: str = "{:.1f}",
+) -> str:
+    """Summarise sorted per-client curves at evenly spaced indices.
+
+    The paper's figure curves have a thousand points; printing every
+    one is useless, so the series is sampled at ``points`` quantile
+    positions (first, last, and evenly between).
+    """
+    if points < 2:
+        raise ValueError("need at least two sample points")
+    headers = ["series"] + [f"p{int(100 * i / (points - 1))}" for i in range(points)]
+    rows: List[List[object]] = []
+    for name, values in series.items():
+        ordered = sorted(values)
+        if not ordered:
+            rows.append([name] + ["-"] * points)
+            continue
+        sampled = []
+        for i in range(points):
+            index = round(i * (len(ordered) - 1) / (points - 1))
+            sampled.append(value_format.format(ordered[index]))
+        rows.append([name] + sampled)
+    return format_table(headers, rows, title=title)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

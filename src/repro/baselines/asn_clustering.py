@@ -1,0 +1,66 @@
+"""ASN-based clustering (the paper's Section V-B baseline).
+
+    "ASN-based clustering relies on the hypothesis that nodes located
+    in the same autonomous system are nearby in a networking sense.
+    We determine the membership of nodes to ASes according to AS
+    numbers (ASNs) by using data from the RouteViews project; any node
+    belonging to the same ASN is grouped into the same cluster."
+
+In the simulation a host's origin AS is intrinsic to the topology, so
+the RouteViews lookup is a field read.  As in Table I, singleton
+groups count as unclustered; the cluster "center" (needed only for the
+quality metrics) is the RTT-medoid when a ground-truth oracle is
+supplied, else the lexicographically first member.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.clustering import Cluster, ClusteringResult
+from repro.netsim.topology import Host
+
+
+def _medoid(members: List[str], rtt: Callable[[str, str], float]) -> str:
+    """The member minimising total RTT to the others."""
+    best_name, best_total = None, float("inf")
+    for candidate in sorted(members):
+        total = sum(rtt(candidate, other) for other in members if other != candidate)
+        if total < best_total:
+            best_name, best_total = candidate, total
+    return best_name
+
+
+def asn_cluster(
+    hosts: Sequence[Host],
+    rtt: Optional[Callable[[str, str], float]] = None,
+) -> ClusteringResult:
+    """Group hosts by origin AS.
+
+    ``rtt`` (a ground-truth oracle over host names) is only used to
+    pick a meaningful center per cluster for quality evaluation; the
+    clustering itself is purely ASN-driven.
+    """
+    by_asn: Dict[int, List[str]] = defaultdict(list)
+    for host in hosts:
+        by_asn[host.asn].append(host.name)
+
+    clusters: List[Cluster] = []
+    unclustered: List[str] = []
+    for asn in sorted(by_asn):
+        members = sorted(by_asn[asn])
+        if len(members) < 2:
+            unclustered.extend(members)
+            continue
+        center = _medoid(members, rtt) if rtt is not None else members[0]
+        rest = [m for m in members if m != center]
+        clusters.append(Cluster(center=center, members=[center] + rest))
+
+    clusters.sort(key=lambda c: (-c.size, c.center))
+    return ClusteringResult(
+        clusters=clusters,
+        unclustered=sorted(unclustered),
+        params=None,
+        total_nodes=len(hosts),
+    )

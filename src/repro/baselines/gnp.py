@@ -1,0 +1,162 @@
+"""Global Network Positioning (Ng & Zhang, INFOCOM 2002).
+
+The original landmark-based embedding the paper cites: a small set of
+landmarks measure RTTs among themselves and solve for coordinates in a
+low-dimensional Euclidean space; every other node then measures its
+RTT to the landmarks and solves its own coordinate against the now
+fixed landmark positions.
+
+Used by the extension benches as the coordinate-system baseline with
+explicit landmark dependence (the embedding-error source the paper's
+introduction calls out: "the embedding process itself can introduce
+significant errors, e.g. in the selection of landmarks").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.netsim.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class GnpParams:
+    """Embedding configuration."""
+
+    #: Euclidean dimensions of the model space.
+    dimensions: int = 5
+    #: Optimiser restarts for the landmark embedding.
+    restarts: int = 3
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 2:
+            raise ValueError("GNP needs at least two dimensions")
+        if self.restarts < 1:
+            raise ValueError("need at least one restart")
+
+
+def _relative_error(predicted: np.ndarray, measured: np.ndarray) -> float:
+    """GNP's objective: summed squared relative errors."""
+    safe = np.maximum(measured, 1e-3)
+    return float(np.sum(((predicted - measured) / safe) ** 2))
+
+
+class GnpSystem:
+    """A GNP embedding: fit landmarks once, then place nodes."""
+
+    def __init__(self, params: GnpParams = GnpParams(), seed: int = 0) -> None:
+        self.params = params
+        self._rng = derive_rng(seed, "gnp")
+        self._landmarks: List[str] = []
+        self._coords: Dict[str, np.ndarray] = {}
+
+    @property
+    def landmarks(self) -> List[str]:
+        return list(self._landmarks)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._coords)
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit_landmarks(
+        self,
+        names: Sequence[str],
+        rtt_matrix: np.ndarray,
+    ) -> float:
+        """Embed the landmarks from their measured RTT matrix.
+
+        ``rtt_matrix[i][j]`` is the RTT between landmarks i and j.
+        Returns the final objective value.  Must be called before any
+        :meth:`place_node`.
+        """
+        names = list(names)
+        count = len(names)
+        if count <= self.params.dimensions:
+            raise ValueError(
+                f"need more landmarks ({count}) than dimensions "
+                f"({self.params.dimensions})"
+            )
+        matrix = np.asarray(rtt_matrix, dtype=float)
+        if matrix.shape != (count, count):
+            raise ValueError("rtt_matrix shape does not match landmark count")
+
+        dims = self.params.dimensions
+        upper = np.triu_indices(count, k=1)
+        measured = matrix[upper]
+
+        def objective(flat: np.ndarray) -> float:
+            coords = flat.reshape(count, dims)
+            diffs = coords[:, None, :] - coords[None, :, :]
+            predicted = np.sqrt(np.sum(diffs**2, axis=-1))[upper]
+            return _relative_error(predicted, measured)
+
+        best_value, best_coords = float("inf"), None
+        scale = float(np.median(measured)) or 1.0
+        for _ in range(self.params.restarts):
+            start = self._rng.normal(0.0, scale / 2.0, size=count * dims)
+            result = minimize(objective, start, method="L-BFGS-B")
+            if result.fun < best_value:
+                best_value = float(result.fun)
+                best_coords = result.x.reshape(count, dims)
+
+        self._landmarks = names
+        for index, name in enumerate(names):
+            self._coords[name] = best_coords[index]
+        return best_value
+
+    def place_node(self, name: str, rtts_to_landmarks: Sequence[float]) -> float:
+        """Solve one node's coordinate against the fixed landmarks.
+
+        ``rtts_to_landmarks`` aligns with :attr:`landmarks`.  Returns
+        the node's fit objective.
+        """
+        if not self._landmarks:
+            raise ValueError("fit_landmarks must run first")
+        measured = np.asarray(rtts_to_landmarks, dtype=float)
+        if measured.shape != (len(self._landmarks),):
+            raise ValueError("one RTT per landmark required")
+        anchors = np.stack([self._coords[l] for l in self._landmarks])
+
+        def objective(point: np.ndarray) -> float:
+            predicted = np.sqrt(np.sum((anchors - point) ** 2, axis=1))
+            return _relative_error(predicted, measured)
+
+        scale = float(np.median(measured)) or 1.0
+        best_value, best_point = float("inf"), None
+        for _ in range(self.params.restarts):
+            start = self._rng.normal(0.0, scale / 2.0, size=self.params.dimensions)
+            result = minimize(objective, start, method="L-BFGS-B")
+            if result.fun < best_value:
+                best_value = float(result.fun)
+                best_point = result.x
+        self._coords[name] = best_point
+        return best_value
+
+    # -- queries ------------------------------------------------------------
+
+    def estimate_ms(self, a: str, b: str) -> float:
+        """Predicted RTT between two embedded nodes."""
+        if a == b:
+            return 0.0
+        return float(np.linalg.norm(self._coords[a] - self._coords[b]))
+
+    def rank_candidates(self, client: str, candidates: Sequence[str]) -> List[Tuple[str, float]]:
+        """Candidates ordered by predicted RTT to the client."""
+        ranked = [
+            (name, self.estimate_ms(client, name))
+            for name in candidates
+            if name != client
+        ]
+        ranked.sort(key=lambda item: (item[1], item[0]))
+        return ranked
+
+    def closest(self, client: str, candidates: Sequence[str]) -> Optional[str]:
+        """The candidate with the smallest predicted RTT."""
+        ranked = self.rank_candidates(client, candidates)
+        return ranked[0][0] if ranked else None

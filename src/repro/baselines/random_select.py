@@ -1,0 +1,46 @@
+"""Floor and ceiling selectors for closest-node experiments.
+
+* :class:`RandomSelector` — picks uniformly; any positioning system
+  must beat it.
+* :class:`OracleSelector` — picks by true instantaneous RTT; no system
+  can beat it (up to network dynamics between decision and use).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.rng import derive_rng
+
+
+class RandomSelector:
+    """Uniform random candidate selection."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = derive_rng(seed, "random-selector")
+
+    def closest(self, client: str, candidates: Sequence[str]) -> Optional[str]:
+        """A uniformly random candidate (excluding the client)."""
+        pool = [c for c in candidates if c != client]
+        if not pool:
+            return None
+        return pool[int(self._rng.integers(0, len(pool)))]
+
+
+class OracleSelector:
+    """Ground-truth selection using an RTT oracle over node names."""
+
+    def __init__(self, rtt: Callable[[str, str], float]) -> None:
+        self._rtt = rtt
+
+    def rank(self, client: str, candidates: Sequence[str]) -> List[str]:
+        """Candidates ordered by true RTT, closest first."""
+        pool = [c for c in candidates if c != client]
+        return sorted(pool, key=lambda name: (self._rtt(client, name), name))
+
+    def closest(self, client: str, candidates: Sequence[str]) -> Optional[str]:
+        """The truly closest candidate."""
+        ranked = self.rank(client, candidates)
+        return ranked[0] if ranked else None

@@ -1,0 +1,149 @@
+"""Vivaldi network coordinates (Dabek et al., SIGCOMM 2004).
+
+A decentralised spring-relaxation embedding: each node holds a
+Euclidean coordinate plus a non-Euclidean *height* (modelling access
+links), and adjusts it after every latency sample against a neighbour,
+weighted by the relative confidence of the two nodes' estimates.
+
+The paper cites Vivaldi as the well-known coordinate system Meridian
+was shown to beat; we include it so the extension benches can place
+CRP among *three* alternatives (direct measurement, coordinates, and
+measurement reuse) rather than two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class VivaldiParams:
+    """Algorithm constants (paper-recommended values)."""
+
+    #: Embedding dimensions (excluding height).
+    dimensions: int = 3
+    #: Adaptive timestep constant c_c.
+    cc: float = 0.25
+    #: Error-update constant c_e.
+    ce: float = 0.25
+    #: Initial per-node error estimate.
+    initial_error: float = 1.0
+    #: Minimum height, ms (heights cannot go negative).
+    min_height_ms: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.dimensions < 1:
+            raise ValueError("need at least one dimension")
+        if not 0 < self.cc <= 1 or not 0 < self.ce <= 1:
+            raise ValueError("cc and ce must be in (0, 1]")
+
+
+@dataclass
+class _Coordinate:
+    vector: np.ndarray
+    height: float
+    error: float
+
+
+class VivaldiSystem:
+    """A population of Vivaldi nodes updated from latency samples."""
+
+    def __init__(self, params: VivaldiParams = VivaldiParams(), seed: int = 0) -> None:
+        self.params = params
+        self._rng = derive_rng(seed, "vivaldi")
+        self._coords: Dict[str, _Coordinate] = {}
+        self.updates_applied = 0
+
+    # -- membership --------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        """Register a node at (near-)origin with maximal uncertainty."""
+        if name in self._coords:
+            raise ValueError(f"node {name!r} already present")
+        # Tiny random offset so colliding nodes can separate.
+        vector = self._rng.normal(0.0, 1e-3, size=self.params.dimensions)
+        self._coords[name] = _Coordinate(
+            vector=vector,
+            height=self.params.min_height_ms,
+            error=self.params.initial_error,
+        )
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._coords
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._coords)
+
+    # -- core update ---------------------------------------------------------
+
+    def estimate_ms(self, a: str, b: str) -> float:
+        """Predicted RTT: Euclidean distance plus both heights."""
+        if a == b:
+            return 0.0
+        ca, cb = self._coords[a], self._coords[b]
+        return float(np.linalg.norm(ca.vector - cb.vector)) + ca.height + cb.height
+
+    def error_of(self, name: str) -> float:
+        """A node's current confidence value (lower is better)."""
+        return self._coords[name].error
+
+    def observe(self, a: str, b: str, rtt_ms: float) -> None:
+        """Apply one latency sample: node ``a`` adjusts toward/away
+        from ``b`` (the Vivaldi update rule with height vectors)."""
+        if rtt_ms <= 0:
+            raise ValueError(f"rtt must be positive, got {rtt_ms}")
+        if a == b:
+            raise ValueError("a node cannot observe itself")
+        ca, cb = self._coords[a], self._coords[b]
+
+        predicted = self.estimate_ms(a, b)
+        sample_error = abs(predicted - rtt_ms) / rtt_ms
+
+        # Confidence-weighted balance between the two nodes.
+        weight = ca.error / (ca.error + cb.error)
+        ca.error = sample_error * self.params.ce * weight + ca.error * (
+            1.0 - self.params.ce * weight
+        )
+        delta = self.params.cc * weight
+
+        direction = ca.vector - cb.vector
+        norm = float(np.linalg.norm(direction))
+        if norm < 1e-9:
+            direction = self._rng.normal(0.0, 1.0, size=self.params.dimensions)
+            norm = float(np.linalg.norm(direction))
+        unit = direction / norm
+
+        force = rtt_ms - predicted
+        ca.vector = ca.vector + delta * force * unit
+        ca.height = max(
+            self.params.min_height_ms, ca.height + delta * force * 0.1
+        )
+        self.updates_applied += 1
+
+    def observe_symmetric(self, a: str, b: str, rtt_ms: float) -> None:
+        """Apply a sample to both endpoints (simulated full exchange)."""
+        self.observe(a, b, rtt_ms)
+        self.observe(b, a, rtt_ms)
+
+    # -- applications -----------------------------------------------------------
+
+    def rank_candidates(self, client: str, candidates: Sequence[str]) -> List[Tuple[str, float]]:
+        """Candidates ordered by predicted RTT to the client."""
+        ranked = [
+            (name, self.estimate_ms(client, name))
+            for name in candidates
+            if name != client
+        ]
+        ranked.sort(key=lambda item: (item[1], item[0]))
+        return ranked
+
+    def closest(self, client: str, candidates: Sequence[str]) -> Optional[str]:
+        """The candidate with the smallest predicted RTT."""
+        ranked = self.rank_candidates(client, candidates)
+        return ranked[0][0] if ranked else None

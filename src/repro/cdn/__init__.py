@@ -1,0 +1,35 @@
+"""CDN substrate: an Akamai-like content distribution network.
+
+The network deploys replica servers at POPs across the world (with the
+coverage skew of the mid-2000s Akamai deployment), runs a mapping
+system that continuously re-ranks replicas per requesting resolver from
+noisy latency measurements, and answers DNS queries for customer names
+with short-TTL A records pointing at the currently-best replicas.
+
+That query-source-dependent, latency-driven redirection is the signal
+CRP reuses: nearby resolvers are sent to overlapping replica sets, so
+redirection histories encode relative position.
+"""
+
+from repro.cdn.replica import ReplicaServer, ReplicaDeployment, deploy_replicas
+from repro.cdn.loadbalance import SelectionPolicy, select_replicas
+from repro.cdn.mapping import MappingParams, MappingSystem, RankedReplica
+from repro.cdn.provider import CDNProvider, CdnAuthoritativeServer, Customer
+from repro.cdn.rewriting import RewrittenPage, UrlRewriter, extract_replica_addresses
+
+__all__ = [
+    "RewrittenPage",
+    "UrlRewriter",
+    "extract_replica_addresses",
+    "ReplicaServer",
+    "ReplicaDeployment",
+    "deploy_replicas",
+    "SelectionPolicy",
+    "select_replicas",
+    "MappingParams",
+    "MappingSystem",
+    "RankedReplica",
+    "CDNProvider",
+    "CdnAuthoritativeServer",
+    "Customer",
+]

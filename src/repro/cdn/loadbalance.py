@@ -1,0 +1,73 @@
+"""Replica-selection policies for the mapping system.
+
+Akamai-style mapping does not pin each resolver to its single best
+replica: answers rotate over a small set of good candidates to spread
+load and hedge against measurement noise.  That rotation is what makes
+CRP work — a resolver's redirection *history* visits several nearby
+replicas with frequencies that reflect their relative quality, giving
+ratio maps enough support to compare.
+
+``DESIGN.md`` calls the spread width out as an ablation axis: with
+``spread=1`` every answer is the single best replica, ratio maps
+collapse to one entry, and cosine similarity loses resolution.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cdn.replica import ReplicaServer
+
+
+class SelectionPolicy(str, Enum):
+    """How the mapping system picks among ranked candidates."""
+
+    #: Weighted rotation over the top ``spread`` candidates, weights
+    #: decaying with the latency gap to the best (the default).
+    SOFTMAX = "softmax"
+    #: Always answer with the best-ranked candidates (ablation).
+    BEST_ONLY = "best-only"
+    #: Uniform rotation over the top ``spread`` (load-first ablation).
+    UNIFORM = "uniform"
+
+
+def select_replicas(
+    ranked: Sequence[Tuple[ReplicaServer, float]],
+    rng: np.random.Generator,
+    answer_size: int = 2,
+    spread: int = 8,
+    temperature_ms: float = 8.0,
+    policy: SelectionPolicy = SelectionPolicy.SOFTMAX,
+) -> List[ReplicaServer]:
+    """Pick the replicas for one DNS answer.
+
+    ``ranked`` is (replica, measured RTT) sorted best-first.  Returns
+    up to ``answer_size`` distinct replicas.
+    """
+    if not ranked:
+        return []
+    if answer_size < 1:
+        raise ValueError("answer_size must be at least 1")
+    if spread < 1:
+        raise ValueError("spread must be at least 1")
+    if temperature_ms <= 0:
+        raise ValueError("temperature_ms must be positive")
+
+    window = list(ranked[: max(spread, answer_size)])
+    take = min(answer_size, len(window))
+
+    if policy is SelectionPolicy.BEST_ONLY:
+        return [replica for replica, _ in window[:take]]
+
+    if policy is SelectionPolicy.UNIFORM:
+        weights = np.ones(len(window))
+    else:
+        best_rtt = window[0][1]
+        gaps = np.array([rtt - best_rtt for _, rtt in window])
+        weights = np.exp(-gaps / temperature_ms)
+    weights = weights / weights.sum()
+    chosen = rng.choice(len(window), size=take, replace=False, p=weights)
+    return [window[int(i)][0] for i in chosen]

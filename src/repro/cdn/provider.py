@@ -1,0 +1,205 @@
+"""The CDN provider facade: customers, DNS plumbing, load accounting.
+
+Wires together the replica deployment, the mapping system and the DNS
+infrastructure so that an ordinary recursive lookup of a customer name
+walks the realistic chain:
+
+    images.yahoo.test                (content provider's zone, CNAME)
+      → a1686.g.cdnsim.test         (CDN's dynamic zone)
+      → 172.x.y.z, 172.u.v.w        (A records for chosen replicas, 20 s TTL)
+
+The provider also counts queries per customer, which the discussion
+benches use to verify CRP's "commensal" claim — the added DNS load of a
+CRP client is a tiny fraction of an ordinary web client's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cdn.mapping import MappingParams, MappingSystem
+from repro.cdn.replica import ReplicaDeployment, ReplicaServer, deploy_replicas
+from repro.dnssim.authoritative import AuthoritativeServer, StaticAuthoritativeServer
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.records import (
+    DnsResponse,
+    Question,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    normalize_name,
+)
+from repro.netsim.network import Network
+from repro.netsim.rng import derive_rng, derive_seed
+from repro.netsim.topology import Host, HostKind, Topology
+
+
+@dataclass(frozen=True)
+class Customer:
+    """A content provider whose names are served through the CDN."""
+
+    #: The name web clients look up, e.g. ``images.yahoo.test``.
+    domain_name: str
+    #: The CDN-side name the domain CNAMEs into, e.g. ``a1.g.cdnsim.test``.
+    cdn_name: str
+    #: Optional replica subset (deployment group); ``None`` = whole fleet.
+    pool: Optional[Sequence[ReplicaServer]] = None
+
+
+class CdnAuthoritativeServer(AuthoritativeServer):
+    """The CDN's dynamic low-level DNS.
+
+    Unlike a static zone, answers depend on *who is asking*: the
+    mapping system ranks replicas for the querying resolver and the
+    answer carries the currently-selected replicas with a short TTL.
+    """
+
+    def __init__(self, host: Host, zone: str, provider: "CDNProvider") -> None:
+        super().__init__(host, [zone])
+        self._provider = provider
+
+    def _answer(self, question: Question, ldns: Host, now: float) -> DnsResponse:
+        if question.rtype is not RecordType.A:
+            return DnsResponse(
+                question=question,
+                records=(),
+                rcode=Rcode.NXDOMAIN,
+                authoritative=True,
+                server_name=self.host.name,
+            )
+        customer = self._provider.customer_for_cdn_name(question.name)
+        if customer is None:
+            return DnsResponse(
+                question=question,
+                records=(),
+                rcode=Rcode.NXDOMAIN,
+                authoritative=True,
+                server_name=self.host.name,
+            )
+        replicas = self._provider.answer_for(customer, ldns)
+        ttl = self._provider.mapping.params.ttl_seconds
+        records = tuple(
+            ResourceRecord(question.name, RecordType.A, replica.address, ttl)
+            for replica in replicas
+        )
+        return DnsResponse(
+            question=question,
+            records=records,
+            rcode=Rcode.NOERROR,
+            authoritative=True,
+            server_name=self.host.name,
+        )
+
+
+class CDNProvider:
+    """One CDN: replicas, mapping, customers, and its DNS presence."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        network: Network,
+        infrastructure: DnsInfrastructure,
+        seed: int,
+        domain: str = "cdnsim.test",
+        mapping_params: MappingParams = MappingParams(),
+        deployment: Optional[ReplicaDeployment] = None,
+        replicas_per_full_coverage: int = 3,
+        network_id: int = 0,
+    ) -> None:
+        self.topology = topology
+        self.network = network
+        self.infrastructure = infrastructure
+        self.domain = normalize_name(domain)
+        rng = derive_rng(seed, "cdn", self.domain)
+        if deployment is None:
+            deployment = deploy_replicas(
+                topology,
+                rng,
+                name_prefix=self.domain.split(".")[0],
+                replicas_per_full_coverage=replicas_per_full_coverage,
+                network_id=network_id,
+            )
+        self.deployment = deployment
+        self.mapping = MappingSystem(
+            network,
+            deployment,
+            params=mapping_params,
+            seed=derive_seed(seed, "cdn", self.domain, "mapping"),
+        )
+        # The CDN's low-level DNS lives in a core metro.
+        auth_host = topology.create_host(
+            f"{self.domain}-lldns",
+            HostKind.INFRA,
+            topology.world.metro("chicago"),
+            rng,
+        )
+        self.authoritative = CdnAuthoritativeServer(
+            auth_host, f"g.{self.domain}", provider=self
+        )
+        infrastructure.register(self.authoritative)
+        self._customers_by_cdn_name: Dict[str, Customer] = {}
+        self._customers_by_domain: Dict[str, Customer] = {}
+        self._next_label = 1000
+        self.queries_by_customer: Dict[str, int] = {}
+        self._rng = rng
+
+    # -- customers ---------------------------------------------------------
+
+    def add_customer(
+        self,
+        domain_name: str,
+        pool: Optional[Sequence[ReplicaServer]] = None,
+        origin_metro: str = "washington-dc",
+    ) -> Customer:
+        """Onboard a content provider.
+
+        Creates the customer's origin name server (a static zone with
+        the CNAME into the CDN) and registers the CDN-side name.
+        """
+        domain_name = normalize_name(domain_name)
+        if domain_name in self._customers_by_domain:
+            raise ValueError(f"customer {domain_name} already exists")
+        cdn_name = f"a{self._next_label}.g.{self.domain}"
+        self._next_label += 1
+        customer = Customer(domain_name, cdn_name, pool=pool)
+
+        zone = ".".join(domain_name.split(".")[1:]) or domain_name
+        origin_host = self.topology.create_host(
+            f"origin-{domain_name}",
+            HostKind.INFRA,
+            self.topology.world.metro(origin_metro),
+            self._rng,
+        )
+        origin_auth = StaticAuthoritativeServer(origin_host, [zone])
+        origin_auth.add_record(
+            ResourceRecord(domain_name, RecordType.CNAME, cdn_name, ttl=3600.0)
+        )
+        self.infrastructure.register(origin_auth)
+
+        self._customers_by_cdn_name[cdn_name] = customer
+        self._customers_by_domain[domain_name] = customer
+        self.queries_by_customer[domain_name] = 0
+        return customer
+
+    @property
+    def customers(self) -> List[Customer]:
+        """All onboarded customers."""
+        return list(self._customers_by_domain.values())
+
+    def customer_for_cdn_name(self, name: str) -> Optional[Customer]:
+        """Which customer a CDN-side name belongs to, if any."""
+        return self._customers_by_cdn_name.get(normalize_name(name))
+
+    # -- answering ------------------------------------------------------------
+
+    def answer_for(self, customer: Customer, ldns: Host) -> List[ReplicaServer]:
+        """Replicas for one answer to ``ldns`` (counts customer load)."""
+        self.queries_by_customer[customer.domain_name] += 1
+        return self.mapping.select(ldns, pool=customer.pool)
+
+    def total_queries(self) -> int:
+        """Total dynamic-DNS queries served across customers."""
+        return sum(self.queries_by_customer.values())

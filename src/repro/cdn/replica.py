@@ -1,0 +1,205 @@
+"""CDN replica servers and their world-wide deployment.
+
+Two classes of replica exist, mirroring the paper's observation in
+Section VI:
+
+* **Edge replicas** sit in ISP POPs close to users and advertise
+  ISP-space addresses.  These are the useful positioning signal.
+* **Provider-owned replicas** sit in a handful of core data centers and
+  advertise addresses from the CDN operator's own block.  The paper
+  notes that being redirected to these usually means the CDN has no
+  good edge server for you — the basis of the adaptive name-filtering
+  rule reproduced in :mod:`repro.core.filters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.topology import Host, HostKind, Topology
+from repro.netsim.world import Metro, World
+
+#: First octet of addresses advertised by provider-owned replicas
+#: (standing in for an Akamai-owned block).
+PROVIDER_OWNED_PREFIX = "23"
+
+#: First octet of ISP-space addresses advertised by edge replicas.
+EDGE_PREFIX = "172"
+
+
+@dataclass(frozen=True)
+class ReplicaServer:
+    """One replica: a host plus the address the CDN advertises for it.
+
+    ``isp_restricted`` marks ISP-embedded replicas that serve only
+    clients of the hosting provider — the real Akamai deployment keeps
+    most in-ISP clusters access-restricted, which is why two resolvers
+    in the same city on different ISPs can see partially disjoint
+    replica sets.
+    """
+
+    host: Host
+    address: str
+    provider_owned: bool = False
+    isp_restricted: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.host.name}({self.address})"
+
+
+@dataclass
+class ReplicaDeployment:
+    """The full replica fleet of one CDN, with lookup helpers.
+
+    Supports outage injection: a failed replica stays in the fleet
+    (its address remains resolvable for analysis) but the mapping
+    system stops handing it out on the next refresh epoch — exactly
+    how a real CDN routes around a dead edge box.
+    """
+
+    replicas: List[ReplicaServer] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._by_address: Dict[str, ReplicaServer] = {}
+        self._down: set = set()
+        for replica in self.replicas:
+            self._index(replica)
+
+    def _index(self, replica: ReplicaServer) -> None:
+        if replica.address in self._by_address:
+            raise ValueError(f"duplicate replica address {replica.address}")
+        self._by_address[replica.address] = replica
+
+    def add(self, replica: ReplicaServer) -> ReplicaServer:
+        """Register one more replica."""
+        self._index(replica)
+        self.replicas.append(replica)
+        return replica
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def __iter__(self):
+        return iter(self.replicas)
+
+    def by_address(self, address: str) -> ReplicaServer:
+        """Find the replica advertising an address."""
+        return self._by_address[address]
+
+    def knows_address(self, address: str) -> bool:
+        """True when an address belongs to this deployment."""
+        return address in self._by_address
+
+    # -- outage injection ---------------------------------------------------
+
+    def fail(self, address: str) -> None:
+        """Take a replica down (unknown addresses raise ``KeyError``)."""
+        if address not in self._by_address:
+            raise KeyError(address)
+        self._down.add(address)
+
+    def restore(self, address: str) -> None:
+        """Bring a replica back."""
+        self._down.discard(address)
+
+    def is_up(self, address: str) -> bool:
+        """Whether a replica is currently serving."""
+        return address in self._by_address and address not in self._down
+
+    @property
+    def down_addresses(self) -> frozenset:
+        """Addresses currently failed."""
+        return frozenset(self._down)
+
+    @property
+    def edge(self) -> List[ReplicaServer]:
+        """Only the ISP-embedded edge replicas."""
+        return [r for r in self.replicas if not r.provider_owned]
+
+    @property
+    def provider_owned(self) -> List[ReplicaServer]:
+        """Only the provider-owned core replicas."""
+        return [r for r in self.replicas if r.provider_owned]
+
+
+#: Core metros that host provider-owned replicas.
+DEFAULT_CORE_METROS = (
+    "new-york",
+    "chicago",
+    "san-francisco",
+    "london",
+    "frankfurt",
+    "tokyo",
+)
+
+
+def deploy_replicas(
+    topology: Topology,
+    rng: np.random.Generator,
+    name_prefix: str = "cdn",
+    replicas_per_full_coverage: int = 4,
+    isp_restricted_fraction: float = 0.5,
+    core_metros: Sequence[str] = DEFAULT_CORE_METROS,
+    network_id: int = 0,
+) -> ReplicaDeployment:
+    """Deploy a replica fleet over the topology's world.
+
+    Each metro gets edge replicas in proportion to its
+    ``cdn_coverage`` (zero for poorly covered metros — those clients
+    will be mapped to far-away servers, reproducing the paper's tail
+    cases).  Core metros additionally host one provider-owned replica
+    each.  Edge replicas attach to regional tier-2 provider ASes, as
+    CDN POP deployments do; a fraction of them are ISP-restricted
+    (served only to the hosting provider's customers).
+
+    ``network_id`` separates the address spaces of multiple CDNs
+    sharing one topology (multi-CDN scenarios probe names from several
+    providers, as Section VI's name-selection discussion assumes).
+    """
+    if not 0.0 <= isp_restricted_fraction <= 1.0:
+        raise ValueError("isp_restricted_fraction must be in [0, 1]")
+    if not 0 <= network_id <= 60:
+        raise ValueError("network_id must be in [0, 60]")
+    deployment = ReplicaDeployment()
+    world = topology.world
+    serial = 0
+    for metro in world.metros:
+        count = int(round(metro.cdn_coverage * replicas_per_full_coverage))
+        for index in range(count):
+            providers = topology.registry.tier2_in_region(metro.region)
+            asn = providers[int(rng.integers(0, len(providers)))].asn if providers else None
+            host = topology.create_host(
+                f"{name_prefix}-edge-{metro.name}-{serial}",
+                HostKind.REPLICA,
+                metro,
+                rng,
+                asn=asn,
+            )
+            second_octet = network_id * 4 + ((serial >> 14) & 3)
+            address = f"{EDGE_PREFIX}.{second_octet}.{(serial >> 7) & 127}.{serial & 127}"
+            # Keep at least one open replica per metro so every nearby
+            # resolver has some local option (Akamai's public clusters).
+            restricted = index > 0 and rng.random() < isp_restricted_fraction
+            deployment.add(
+                ReplicaServer(host, address, provider_owned=False, isp_restricted=restricted)
+            )
+            serial += 1
+    for index, metro_name in enumerate(core_metros):
+        metro = world.metro(metro_name)
+        host = topology.create_host(
+            f"{name_prefix}-core-{metro_name}",
+            HostKind.REPLICA,
+            metro,
+            rng,
+        )
+        address = f"{PROVIDER_OWNED_PREFIX}.{network_id}.0.{index + 1}"
+        deployment.add(ReplicaServer(host, address, provider_owned=True))
+    return deployment
+
+
+def is_provider_owned_address(address: str) -> bool:
+    """The Section-VI heuristic: does this address sit in the CDN's own block?"""
+    return address.split(".", 1)[0] == PROVIDER_OWNED_PREFIX

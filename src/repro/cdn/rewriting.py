@@ -1,0 +1,94 @@
+"""URL rewriting — the CDN's second redirection mechanism.
+
+Section III-A: "DNS redirection and URL rewriting are two of the
+commonly used techniques for directing client requests to a particular
+server."  With URL rewriting, the content provider's front-end HTML is
+served with embedded-object URLs rewritten to point at the replica the
+CDN currently prefers for the requesting client — e.g.
+``http://172.0.5.17.cdnsim.test/images/logo.gif``.
+
+For CRP this is a second, probe-free observation channel: a passive
+monitor that sees a user's HTTP traffic can read replica addresses out
+of rewritten URLs without issuing any DNS queries of its own.
+:func:`extract_replica_addresses` parses them back out and feeds the
+same :meth:`~repro.core.service.CRPService.observe` path that DNS
+answers use.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.cdn.provider import CDNProvider, Customer
+from repro.netsim.topology import Host
+
+#: Replica address embedded as the leading labels of a rewrite host:
+#: ``<a>.<b>.<c>.<d>.<cdn domain>``.
+_REWRITE_HOST_RE = re.compile(
+    r"https?://(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.([a-z0-9.-]+)/"
+)
+
+
+@dataclass(frozen=True)
+class RewrittenPage:
+    """One front-end page with CDN-rewritten object URLs."""
+
+    customer: Customer
+    urls: Tuple[str, ...]
+
+
+class UrlRewriter:
+    """Serves rewritten pages on behalf of a CDN customer.
+
+    The front-end asks the CDN which replicas currently suit the
+    requesting client (the same mapping decision DNS redirection
+    uses), then embeds object URLs naming those replicas.
+    """
+
+    def __init__(self, provider: CDNProvider, customer: Customer) -> None:
+        self.provider = provider
+        self.customer = customer
+        self.pages_served = 0
+
+    def serve_page(self, client: Host, objects: Sequence[str] = ("img/logo.gif",)) -> RewrittenPage:
+        """Produce the rewritten object URLs for one page load.
+
+        ``client`` plays the role of the requesting end host; the
+        mapping treats it like a resolver (HTTP-level rewriting sees
+        the actual client address, which is one of the technique's
+        advantages over DNS redirection).
+        """
+        if not objects:
+            raise ValueError("a page needs at least one object")
+        replicas = self.provider.answer_for(self.customer, client)
+        urls = []
+        for index, path in enumerate(objects):
+            replica = replicas[index % len(replicas)]
+            urls.append(
+                f"http://{replica.address}.{self.provider.domain}/{path.lstrip('/')}"
+            )
+        self.pages_served += 1
+        return RewrittenPage(customer=self.customer, urls=tuple(urls))
+
+
+def extract_replica_addresses(
+    urls: Sequence[str],
+    cdn_domain: Optional[str] = None,
+) -> List[str]:
+    """Pull replica addresses out of rewritten URLs.
+
+    ``cdn_domain`` optionally restricts matches to one CDN's rewrite
+    space (URLs from other hosts pass through unmatched).  Order is
+    preserved; duplicates are kept (each URL is one observation).
+    """
+    addresses = []
+    for url in urls:
+        match = _REWRITE_HOST_RE.match(url.lower())
+        if match is None:
+            continue
+        if cdn_domain is not None and match.group(5) != cdn_domain.lower().rstrip("."):
+            continue
+        addresses.append(".".join(match.group(i) for i in range(1, 5)))
+    return addresses

@@ -1,0 +1,77 @@
+"""CRP — CDN-based Relative Network Positioning (the paper's contribution).
+
+The core pipeline:
+
+1. A node observes CDN redirections over time
+   (:class:`~repro.core.tracker.RedirectionTracker`).
+2. Its history is summarised as a ratio map
+   (:class:`~repro.core.ratio_map.RatioMap`) — replica server →
+   fraction of redirections in the window.
+3. Relative proximity between two nodes is the cosine similarity of
+   their ratio maps (:mod:`repro.core.similarity`).
+4. Applications are built on the metric: closest-node selection
+   (:mod:`repro.core.selection`) and Strongest-Mappings-First
+   clustering (:mod:`repro.core.clustering`).
+
+:class:`~repro.core.service.CRPService` wires the pipeline to live DNS
+probing and is the facade most callers want.
+"""
+
+from repro.core.ratio_map import RatioMap
+from repro.core.similarity import (
+    SimilarityMetric,
+    cosine_similarity,
+    jaccard_similarity,
+    overlap_similarity,
+    similarity,
+)
+from repro.core.tracker import RedirectionTracker, Observation
+from repro.core.selection import RankedCandidate, rank_candidates, select_closest, select_top_k
+from repro.core.clustering import (
+    Cluster,
+    ClusteringResult,
+    CenterPolicy,
+    SmfParams,
+    smf_cluster,
+)
+from repro.core.quality import ClusterQuality, evaluate_cluster, evaluate_clustering, good_cluster_buckets
+from repro.core.service import CRPService, CRPServiceParams
+from repro.core.filters import NameQualityFilter, NameVerdict
+from repro.core.exchange import (
+    LocalPositioning,
+    MapAdvertisement,
+    PeerMapStore,
+    advertise,
+)
+
+__all__ = [
+    "RatioMap",
+    "SimilarityMetric",
+    "cosine_similarity",
+    "jaccard_similarity",
+    "overlap_similarity",
+    "similarity",
+    "RedirectionTracker",
+    "Observation",
+    "RankedCandidate",
+    "rank_candidates",
+    "select_closest",
+    "select_top_k",
+    "Cluster",
+    "ClusteringResult",
+    "CenterPolicy",
+    "SmfParams",
+    "smf_cluster",
+    "ClusterQuality",
+    "evaluate_cluster",
+    "evaluate_clustering",
+    "good_cluster_buckets",
+    "CRPService",
+    "CRPServiceParams",
+    "NameQualityFilter",
+    "NameVerdict",
+    "LocalPositioning",
+    "MapAdvertisement",
+    "PeerMapStore",
+    "advertise",
+]

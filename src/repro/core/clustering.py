@@ -1,0 +1,273 @@
+"""Strongest-Mappings-First (SMF) clustering (Section V-B).
+
+The paper's algorithm, quoted:
+
+    "we initially define the cluster centers as those with the
+    strongest mappings to replica servers.  Once the cluster centers
+    have been set, the algorithm picks an unclustered node and finds
+    its cosine similarity to each cluster center.  The node is assigned
+    to the cluster whose center produces the largest cosine similarity,
+    if that value is greater than a threshold t.  Otherwise, the node
+    is assigned to its own cluster.
+
+    This algorithm can result in a significant number of clusters of
+    size one, i.e., unclustered nodes.  Thus, in an optional second
+    pass of the algorithm, we select unclustered nodes at random to be
+    cluster centers and determine if any of the other unclustered nodes
+    belong to the cluster based on the cosine-similarity metric."
+
+Our reading of "strongest mappings to replica servers": for every
+replica server seen by anyone, the node with the highest ratio toward
+it anchors that replica's neighbourhood — deduplicated, those nodes are
+the initial centers.  (A node maximally committed to a replica is the
+best available proxy for "at that replica's location".)  A
+``CenterPolicy.RANDOM`` alternative exists because the authors say they
+compared center-selection approaches before settling on SMF; the
+ablation bench reproduces that comparison.
+
+Clusters of size one are *unclustered* nodes: Table I's "# nodes
+clustered" and "# of clusters" count only clusters with at least two
+members, which is how the percentages in the paper add up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.ratio_map import RatioMap
+from repro.core.similarity import SimilarityMetric, similarity
+
+
+class CenterPolicy(str, Enum):
+    """How the first pass chooses cluster centers."""
+
+    #: The paper's choice: per-replica strongest mappers.
+    STRONGEST = "strongest"
+    #: Random centers (the baseline the authors compared against).
+    RANDOM = "random"
+
+
+@dataclass(frozen=True)
+class SmfParams:
+    """Tunables of the SMF algorithm."""
+
+    #: Minimum cosine similarity to join a cluster (the paper's ``t``;
+    #: Table I sweeps {0.01, 0.1, 0.5} and the evaluation uses 0.1).
+    threshold: float = 0.1
+    #: Run the optional second pass over unclustered nodes.
+    second_pass: bool = True
+    #: First-pass center selection.
+    center_policy: CenterPolicy = CenterPolicy.STRONGEST
+    #: Similarity metric (cosine in the paper).
+    metric: SimilarityMetric = SimilarityMetric.COSINE
+    #: Seed for the randomised steps (second pass, random centers).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {self.threshold}")
+
+
+@dataclass
+class Cluster:
+    """One cluster: a center node and its members (center included)."""
+
+    center: str
+    members: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.center not in self.members:
+            self.members.insert(0, self.center)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class ClusteringResult:
+    """The outcome of one clustering run.
+
+    Also used by non-SMF baselines (ASN clustering), which set
+    ``params`` to ``None``.
+    """
+
+    clusters: List[Cluster]
+    unclustered: List[str]
+    params: Optional[SmfParams]
+    total_nodes: int
+
+    @property
+    def clustered_count(self) -> int:
+        """Number of nodes that landed in a (size ≥ 2) cluster."""
+        return sum(c.size for c in self.clusters)
+
+    @property
+    def clustered_fraction(self) -> float:
+        """Fraction of input nodes clustered (Table I's percentage)."""
+        if self.total_nodes == 0:
+            return 0.0
+        return self.clustered_count / self.total_nodes
+
+    def sizes(self) -> List[int]:
+        """Cluster sizes, largest first."""
+        return sorted((c.size for c in self.clusters), reverse=True)
+
+    def summary(self) -> Dict[str, float]:
+        """Table I's row: counts plus mean/median/max cluster size."""
+        sizes = self.sizes()
+        if sizes:
+            mean = sum(sizes) / len(sizes)
+            median = float(np.median(sizes))
+            largest = max(sizes)
+        else:
+            mean = median = largest = 0.0
+        return {
+            "nodes_clustered": self.clustered_count,
+            "pct_clustered": 100.0 * self.clustered_fraction,
+            "num_clusters": len(self.clusters),
+            "mean_size": mean,
+            "median_size": median,
+            "max_size": largest,
+        }
+
+    def cluster_of(self, node: str) -> Optional[Cluster]:
+        """The cluster containing a node, or None if unclustered."""
+        for cluster in self.clusters:
+            if node in cluster.members:
+                return cluster
+        return None
+
+
+def _strongest_centers(maps: Mapping[str, RatioMap]) -> List[str]:
+    """The paper's "strongest mappings" center set, strongest first.
+
+    A node anchors a cluster when it is the strongest mapper of its own
+    primary replica: among all nodes whose redirections favour replica
+    ``r`` the most, the one most committed to ``r`` is the best
+    available proxy for "a node at r's location".  This keeps the
+    center set selective (at most one center per primary replica), so
+    the first pass assigns ordinary nodes to strong anchors and the
+    optional second pass has real work left (exactly the structure the
+    paper describes).
+    """
+    best_for_replica: Dict[str, Tuple[float, str]] = {}
+    primary: Dict[str, Tuple[str, float]] = {}
+    for node, ratio_map in maps.items():
+        replica, ratio = ratio_map.strongest()
+        primary[node] = (replica, ratio)
+        incumbent = best_for_replica.get(replica)
+        # Ties break toward the lexicographically smaller node name.
+        if (
+            incumbent is None
+            or ratio > incumbent[0]
+            or (ratio == incumbent[0] and node < incumbent[1])
+        ):
+            best_for_replica[replica] = (ratio, node)
+    centers = [
+        node
+        for node, (replica, ratio) in primary.items()
+        if best_for_replica[replica][1] == node
+    ]
+    return sorted(centers, key=lambda n: (-primary[n][1], n))
+
+
+def smf_cluster(
+    maps: Mapping[str, RatioMap],
+    params: SmfParams = SmfParams(),
+) -> ClusteringResult:
+    """Run Strongest-Mappings-First clustering over node ratio maps.
+
+    ``maps`` holds one ratio map per node; nodes whose map is ``None``
+    are treated as unclustered from the start (no position yet).
+    """
+    known: Dict[str, RatioMap] = {n: m for n, m in maps.items() if m is not None}
+    no_position = [n for n, m in maps.items() if m is None]
+    rng = np.random.default_rng(params.seed)
+
+    if params.center_policy is CenterPolicy.STRONGEST:
+        centers = _strongest_centers(known)
+    else:
+        centers = sorted(known)
+        rng.shuffle(centers)
+        # Random policy: the same number of centers SMF would pick,
+        # drawn uniformly — the comparison the authors describe.
+        centers = centers[: max(1, len(_strongest_centers(known)))] if known else []
+
+    center_set = set(centers)
+    clusters: Dict[str, Cluster] = {c: Cluster(center=c) for c in centers}
+
+    # First pass: attach every non-center node to its best center.
+    leftover: List[str] = []
+    for node in sorted(known):
+        if node in center_set:
+            continue
+        node_map = known[node]
+        best_center, best_score = None, 0.0
+        for center in centers:
+            score = similarity(node_map, known[center], params.metric)
+            if score > best_score or (score == best_score and best_center is None):
+                best_center, best_score = center, score
+        if best_center is not None and best_score > params.threshold:
+            clusters[best_center].members.append(node)
+        else:
+            leftover.append(node)
+
+    # Optional second pass: grow clusters among the unclustered, which
+    # includes first-pass centers that attracted nobody (clusters of
+    # size one are unclustered nodes, per the paper).
+    lonely_centers = [c for c, cluster in clusters.items() if cluster.size < 2]
+    for center in lonely_centers:
+        del clusters[center]
+    leftover.extend(lonely_centers)
+    if params.second_pass and leftover:
+        # A lonely center was never itself compared against the other
+        # centers in the first pass; give each unclustered node one
+        # chance to join a formed cluster before seeding new ones.
+        formed = [c for c, cluster in clusters.items() if cluster.size >= 2]
+        still_left = []
+        for node in sorted(leftover):
+            best_center, best_score = None, 0.0
+            for center in formed:
+                score = similarity(known[node], known[center], params.metric)
+                if score > best_score:
+                    best_center, best_score = center, score
+            if best_center is not None and best_score > params.threshold:
+                clusters[best_center].members.append(node)
+            else:
+                still_left.append(node)
+        leftover = still_left
+    if params.second_pass and leftover:
+        pool = list(leftover)
+        rng.shuffle(pool)
+        leftover = []
+        while pool:
+            center = pool.pop(0)
+            cluster = Cluster(center=center)
+            remaining = []
+            for node in pool:
+                score = similarity(known[node], known[center], params.metric)
+                if score > params.threshold:
+                    cluster.members.append(node)
+                else:
+                    remaining.append(node)
+            pool = remaining
+            if cluster.size >= 2:
+                clusters[center] = cluster
+            else:
+                leftover.append(center)
+
+    real_clusters = [c for c in clusters.values() if c.size >= 2]
+    singles = [c.center for c in clusters.values() if c.size < 2]
+    unclustered = sorted(singles + leftover + no_position)
+    real_clusters.sort(key=lambda c: (-c.size, c.center))
+    return ClusteringResult(
+        clusters=real_clusters,
+        unclustered=unclustered,
+        params=params,
+        total_nodes=len(maps),
+    )

@@ -1,0 +1,171 @@
+"""Decentralised ratio-map distribution.
+
+Section III-B closes with the deployment question: a CRP-based service
+"could be easily built as a stand-alone service, shared by multiple
+applications, or as part of an application library that takes
+advantage of application-specific communication to distribute
+redirection maps."  This module implements that application-library
+form:
+
+* a node wraps its current ratio map in a versioned, timestamped
+  :class:`MapAdvertisement` (JSON-serialisable — it rides inside
+  whatever messages the application already exchanges: BitTorrent
+  extension handshakes, game session packets, gossip);
+* every node keeps a :class:`PeerMapStore` of the freshest
+  advertisement per peer, with staleness expiry;
+* positioning queries (rank peers, find closest) then run entirely
+  locally against the store — no service, no coordinator, O(1) state
+  per known peer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ratio_map import RatioMap
+from repro.core.selection import RankedCandidate, rank_candidates
+from repro.core.similarity import SimilarityMetric
+
+
+@dataclass(frozen=True)
+class MapAdvertisement:
+    """One node's ratio map, packaged for exchange."""
+
+    node: str
+    #: Monotone per-node version (a fresh map bumps it).
+    version: int
+    #: When the map was built (sender's clock; receivers only compare
+    #: ages against their own receive time).
+    built_at: float
+    ratio_map: RatioMap
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("advertisement needs a node name")
+        if self.version < 0:
+            raise ValueError("version cannot be negative")
+
+    # -- wire format -------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "node": self.node,
+                "version": self.version,
+                "built_at": self.built_at,
+                "map": dict(self.ratio_map),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, payload: str) -> "MapAdvertisement":
+        data = json.loads(payload)
+        return cls(
+            node=data["node"],
+            version=int(data["version"]),
+            built_at=float(data["built_at"]),
+            ratio_map=RatioMap(data["map"]),
+        )
+
+
+class PeerMapStore:
+    """The freshest advertisement per peer, with staleness expiry.
+
+    ``max_age_seconds`` bounds how stale a peer's map may be before it
+    stops answering queries — Figure 9's lesson applied to exchanged
+    maps: histories go stale, so must advertisements.
+    """
+
+    def __init__(self, own_node: str, max_age_seconds: float = 6 * 3600.0) -> None:
+        if max_age_seconds <= 0:
+            raise ValueError("max_age_seconds must be positive")
+        self.own_node = own_node
+        self.max_age_seconds = max_age_seconds
+        self._peers: Dict[str, Tuple[MapAdvertisement, float]] = {}
+        self.accepted = 0
+        self.rejected_stale_version = 0
+
+    def ingest(self, advertisement: MapAdvertisement, received_at: float) -> bool:
+        """Store an advertisement; returns True when accepted.
+
+        Out-of-order or duplicate versions are dropped (the freshest
+        version wins; ties keep the first seen).  A node's own
+        advertisements are ignored.
+        """
+        if advertisement.node == self.own_node:
+            return False
+        current = self._peers.get(advertisement.node)
+        if current is not None and advertisement.version <= current[0].version:
+            self.rejected_stale_version += 1
+            return False
+        self._peers[advertisement.node] = (advertisement, received_at)
+        self.accepted += 1
+        return True
+
+    def forget(self, node: str) -> None:
+        """Drop a departed peer."""
+        self._peers.pop(node, None)
+
+    def fresh_maps(self, now: float) -> Dict[str, RatioMap]:
+        """Maps of peers whose advertisements are still fresh."""
+        fresh = {}
+        for node, (advertisement, received_at) in self._peers.items():
+            if now - received_at <= self.max_age_seconds:
+                fresh[node] = advertisement.ratio_map
+        return fresh
+
+    def known_peers(self) -> List[str]:
+        return sorted(self._peers)
+
+    def __len__(self) -> int:
+        return len(self._peers)
+
+
+class LocalPositioning:
+    """Positioning queries over exchanged maps — no central service.
+
+    A node hands in its *own* current ratio map and asks questions
+    against its peer store.
+    """
+
+    def __init__(
+        self,
+        store: PeerMapStore,
+        metric: SimilarityMetric = SimilarityMetric.COSINE,
+    ) -> None:
+        self.store = store
+        self.metric = metric
+
+    def rank_peers(
+        self,
+        own_map: RatioMap,
+        now: float,
+        peers: Optional[Sequence[str]] = None,
+    ) -> List[RankedCandidate]:
+        """Peers ranked by similarity to this node, freshest maps only."""
+        maps = self.store.fresh_maps(now)
+        if peers is not None:
+            maps = {n: m for n, m in maps.items() if n in set(peers)}
+        return rank_candidates(own_map, maps, self.metric)
+
+    def closest_peer(
+        self,
+        own_map: RatioMap,
+        now: float,
+        peers: Optional[Sequence[str]] = None,
+    ) -> Optional[RankedCandidate]:
+        ranked = self.rank_peers(own_map, now, peers)
+        return ranked[0] if ranked else None
+
+
+def advertise(
+    node: str,
+    ratio_map: RatioMap,
+    version: int,
+    now: float,
+) -> MapAdvertisement:
+    """Convenience constructor for a node's outgoing advertisement."""
+    return MapAdvertisement(node=node, version=version, built_at=now, ratio_map=ratio_map)

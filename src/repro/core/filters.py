@@ -1,0 +1,139 @@
+"""CDN-name quality filtering (Section VI).
+
+The paper hand-picked its two CDN names from historical data, but
+sketches how a deployment would choose names automatically:
+
+* **Active rule** — during bootstrap, ping the replicas a name returns
+  and keep only names whose replicas are low-latency.  Costs a small,
+  node-count-independent amount of probing.
+* **Passive rule** — drop names that return replicas with addresses in
+  the CDN operator's own block: "when the Akamai CDN returns replica
+  servers with IP addresses owned by the Akamai domain, those servers
+  are often far away from the node performing the DNS lookup."
+
+Both rules are implemented here against the simulated CDN, whose
+provider-owned replicas advertise a distinct address block
+(:data:`repro.cdn.replica.PROVIDER_OWNED_PREFIX`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.cdn.replica import is_provider_owned_address
+from repro.netsim.network import Network
+from repro.netsim.topology import Host
+
+
+class NameVerdict(str, Enum):
+    """Whether a CDN name is worth probing for positioning."""
+
+    KEEP = "keep"
+    DROP_PROVIDER_OWNED = "drop-provider-owned"
+    DROP_HIGH_LATENCY = "drop-high-latency"
+    DROP_NO_DATA = "drop-no-data"
+
+
+@dataclass(frozen=True)
+class NameAssessment:
+    """The verdict for one name with its supporting numbers."""
+
+    name: str
+    verdict: NameVerdict
+    provider_owned_fraction: float = 0.0
+    best_ping_ms: Optional[float] = None
+
+    @property
+    def keep(self) -> bool:
+        return self.verdict is NameVerdict.KEEP
+
+
+class NameQualityFilter:
+    """Applies the Section VI name-selection rules."""
+
+    def __init__(
+        self,
+        provider_owned_max_fraction: float = 0.25,
+        ping_threshold_ms: float = 50.0,
+        owned_detector: Callable[[str], bool] = is_provider_owned_address,
+    ) -> None:
+        if not 0.0 <= provider_owned_max_fraction <= 1.0:
+            raise ValueError("provider_owned_max_fraction must be in [0, 1]")
+        if ping_threshold_ms <= 0:
+            raise ValueError("ping_threshold_ms must be positive")
+        self.provider_owned_max_fraction = provider_owned_max_fraction
+        self.ping_threshold_ms = ping_threshold_ms
+        self.owned_detector = owned_detector
+
+    # -- passive rule -----------------------------------------------------
+
+    def assess_passive(self, name: str, answers: Sequence[Sequence[str]]) -> NameAssessment:
+        """Judge a name from observed answers alone (no probing).
+
+        ``answers`` is a list of address tuples, one per lookup.  The
+        name is dropped when too many answers include provider-owned
+        addresses.
+        """
+        if not answers:
+            return NameAssessment(name, NameVerdict.DROP_NO_DATA)
+        owned = sum(
+            1 for answer in answers if any(self.owned_detector(a) for a in answer)
+        )
+        fraction = owned / len(answers)
+        if fraction > self.provider_owned_max_fraction:
+            return NameAssessment(
+                name, NameVerdict.DROP_PROVIDER_OWNED, provider_owned_fraction=fraction
+            )
+        return NameAssessment(name, NameVerdict.KEEP, provider_owned_fraction=fraction)
+
+    # -- active rule --------------------------------------------------------
+
+    def assess_active(
+        self,
+        name: str,
+        node: Host,
+        answers: Sequence[Sequence[str]],
+        network: Network,
+        host_for_address: Callable[[str], Optional[Host]],
+    ) -> NameAssessment:
+        """Judge a name by pinging the replicas it returned.
+
+        Applies the passive rule first (it is free), then pings each
+        distinct replica once and keeps the name only when the best
+        replica is within the latency threshold.  The probing cost is
+        O(distinct replicas) — small and independent of system size, as
+        the paper argues.
+        """
+        passive = self.assess_passive(name, answers)
+        if not passive.keep:
+            return passive
+        distinct = {address for answer in answers for address in answer}
+        pings: List[float] = []
+        for address in sorted(distinct):
+            replica_host = host_for_address(address)
+            if replica_host is not None:
+                pings.append(network.measure_rtt_ms(node, replica_host))
+        if not pings:
+            return NameAssessment(name, NameVerdict.DROP_NO_DATA)
+        best = min(pings)
+        if best > self.ping_threshold_ms:
+            return NameAssessment(
+                name,
+                NameVerdict.DROP_HIGH_LATENCY,
+                provider_owned_fraction=passive.provider_owned_fraction,
+                best_ping_ms=best,
+            )
+        return NameAssessment(
+            name,
+            NameVerdict.KEEP,
+            provider_owned_fraction=passive.provider_owned_fraction,
+            best_ping_ms=best,
+        )
+
+    def select_names(
+        self, assessments: Iterable[NameAssessment]
+    ) -> List[str]:
+        """The names that survived filtering, in input order."""
+        return [a.name for a in assessments if a.keep]

@@ -1,0 +1,121 @@
+"""Cluster-quality metrics (Section V-B's evaluation vocabulary).
+
+The paper judges clusters by comparing **intracluster** distance (how
+far members are from their center, in RTT) against **intercluster**
+distance (how far the center is from other clusters' centers):
+
+    "If the average intercluster distance is high relative to an
+    intracluster distance, then we are reasonably certain that our
+    algorithm has found a good cluster."
+
+Figure 6 plots the CDF of intracluster distances with the matched
+intercluster points; a cluster is *good* when its intercluster average
+exceeds its intracluster average (the shaded region).  Figure 7 buckets
+good clusters by diameter (0–25 ms, 25–75 ms); clusters with diameters
+over 75 ms are dropped as "unlikely to be useful to applications".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.clustering import Cluster, ClusteringResult
+
+#: Ground-truth RTT oracle: (node_a, node_b) -> milliseconds.
+RttFn = Callable[[str, str], float]
+
+#: The paper's usefulness cap on cluster diameter, ms.
+DEFAULT_DIAMETER_CAP_MS = 75.0
+
+#: Figure 7's diameter buckets, ms.
+DEFAULT_BUCKETS = ((0.0, 25.0), (25.0, 75.0))
+
+
+@dataclass(frozen=True)
+class ClusterQuality:
+    """Distance metrics for one cluster."""
+
+    cluster: Cluster
+    #: Max pairwise member RTT.
+    diameter_ms: float
+    #: Mean member→center RTT.
+    intra_avg_ms: float
+    #: Mean center→other-centers RTT (NaN-free: None with one cluster).
+    inter_avg_ms: Optional[float]
+    #: Min center→other-centers RTT.
+    inter_min_ms: Optional[float]
+
+    @property
+    def is_good(self) -> bool:
+        """Members closer to their own center than other centers are."""
+        if self.inter_avg_ms is None:
+            return False
+        return self.inter_avg_ms > self.intra_avg_ms
+
+
+def evaluate_cluster(
+    cluster: Cluster,
+    other_centers: Sequence[str],
+    rtt: RttFn,
+) -> ClusterQuality:
+    """Compute the quality metrics for one cluster against the rest."""
+    members = cluster.members
+    non_center = [m for m in members if m != cluster.center]
+    if non_center:
+        intra_avg = sum(rtt(m, cluster.center) for m in non_center) / len(non_center)
+    else:
+        intra_avg = 0.0
+    if len(members) >= 2:
+        diameter = max(rtt(a, b) for a, b in combinations(members, 2))
+    else:
+        diameter = 0.0
+    others = [c for c in other_centers if c != cluster.center]
+    if others:
+        inter_values = [rtt(cluster.center, c) for c in others]
+        inter_avg: Optional[float] = sum(inter_values) / len(inter_values)
+        inter_min: Optional[float] = min(inter_values)
+    else:
+        inter_avg = None
+        inter_min = None
+    return ClusterQuality(
+        cluster=cluster,
+        diameter_ms=diameter,
+        intra_avg_ms=intra_avg,
+        inter_avg_ms=inter_avg,
+        inter_min_ms=inter_min,
+    )
+
+
+def evaluate_clustering(
+    result: ClusteringResult,
+    rtt: RttFn,
+    diameter_cap_ms: Optional[float] = DEFAULT_DIAMETER_CAP_MS,
+) -> List[ClusterQuality]:
+    """Quality metrics for every cluster, optionally capped by diameter.
+
+    The cap reproduces the paper's "we limit our results to clusters
+    with diameters smaller than 75 ms".
+    """
+    centers = [c.center for c in result.clusters]
+    qualities = [evaluate_cluster(c, centers, rtt) for c in result.clusters]
+    if diameter_cap_ms is not None:
+        qualities = [q for q in qualities if q.diameter_ms < diameter_cap_ms]
+    return qualities
+
+
+def good_cluster_buckets(
+    qualities: Sequence[ClusterQuality],
+    buckets: Sequence[Tuple[float, float]] = DEFAULT_BUCKETS,
+) -> Dict[Tuple[float, float], int]:
+    """Figure 7: count *good* clusters per diameter bucket."""
+    counts: Dict[Tuple[float, float], int] = {tuple(b): 0 for b in buckets}
+    for quality in qualities:
+        if not quality.is_good:
+            continue
+        for low, high in counts:
+            if low <= quality.diameter_ms < high:
+                counts[(low, high)] += 1
+                break
+    return counts

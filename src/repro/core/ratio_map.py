@@ -1,0 +1,127 @@
+"""Ratio maps: the compact summary of a node's redirection history.
+
+Section III of the paper: a node ``N`` redirected toward replica
+``r_i`` a fraction ``f_i`` of the time has the ratio map
+
+    ν_N = ⟨(r_k, f_k), (r_l, f_l), ..., (r_m, f_m)⟩
+
+with the ``f_i`` summing to one.  The map has one entry per replica the
+node has actually seen (hosts see a small set — under ~20 — of replicas
+frequently, despite the CDN's world-wide fleet).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+#: Tolerance when validating that ratios sum to one.
+_SUM_TOLERANCE = 1e-9
+
+
+class RatioMap(Mapping[str, float]):
+    """An immutable replica → redirection-ratio mapping.
+
+    Behaves as a read-only mapping from replica identifier (we use the
+    advertised address, as a real deployment would) to the fraction of
+    redirections that named it.  Ratios are strictly positive and sum
+    to one; replicas a node never saw simply have no entry (and
+    ``map[r]`` raises, while ``map.ratio(r)`` returns 0.0).
+    """
+
+    __slots__ = ("_ratios", "_norm")
+
+    def __init__(self, ratios: Mapping[str, float]) -> None:
+        if not ratios:
+            raise ValueError("a ratio map needs at least one entry")
+        total = 0.0
+        cleaned: Dict[str, float] = {}
+        for replica, ratio in ratios.items():
+            if ratio <= 0:
+                raise ValueError(f"ratio for {replica!r} must be positive, got {ratio}")
+            cleaned[str(replica)] = float(ratio)
+            total += float(ratio)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"ratios must sum to 1, got {total}")
+        # Renormalise exactly so downstream math can rely on it.
+        self._ratios: Dict[str, float] = {r: v / total for r, v in cleaned.items()}
+        self._norm = math.sqrt(sum(v * v for v in self._ratios.values()))
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int]) -> "RatioMap":
+        """Build a map from raw redirection counts."""
+        total = sum(counts.values())
+        if total <= 0:
+            raise ValueError("counts must contain at least one redirection")
+        if any(c < 0 for c in counts.values()):
+            raise ValueError("counts cannot be negative")
+        return cls({r: c / total for r, c in counts.items() if c > 0})
+
+    # -- mapping protocol -----------------------------------------------------
+
+    def __getitem__(self, replica: str) -> float:
+        return self._ratios[replica]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._ratios)
+
+    def __len__(self) -> int:
+        return len(self._ratios)
+
+    # -- queries ------------------------------------------------------------
+
+    def ratio(self, replica: str) -> float:
+        """The ratio for a replica, 0.0 when never seen."""
+        return self._ratios.get(replica, 0.0)
+
+    @property
+    def support(self) -> FrozenSet[str]:
+        """The set of replicas this node has been redirected to."""
+        return frozenset(self._ratios)
+
+    @property
+    def norm(self) -> float:
+        """Euclidean norm of the ratio vector (used by cosine similarity)."""
+        return self._norm
+
+    def strongest(self) -> Tuple[str, float]:
+        """The (replica, ratio) entry with the largest ratio.
+
+        Ties break toward the lexicographically smallest replica so the
+        result is deterministic — SMF clustering orders nodes by this.
+        """
+        return min(self._ratios.items(), key=lambda item: (-item[1], item[0]))
+
+    def dot(self, other: "RatioMap") -> float:
+        """Dot product of two ratio vectors over their common support."""
+        if len(self._ratios) > len(other._ratios):
+            return other.dot(self)
+        return sum(
+            ratio * other._ratios.get(replica, 0.0)
+            for replica, ratio in self._ratios.items()
+        )
+
+    def merged_with(self, other: "RatioMap", weight: float = 0.5) -> "RatioMap":
+        """A convex combination of two maps.
+
+        Used to combine per-CDN-name maps into one node map; ``weight``
+        is the share of ``self``.
+        """
+        if not 0.0 < weight < 1.0:
+            raise ValueError(f"weight must be in (0, 1), got {weight}")
+        combined: Dict[str, float] = {}
+        for replica, ratio in self._ratios.items():
+            combined[replica] = combined.get(replica, 0.0) + weight * ratio
+        for replica, ratio in other._ratios.items():
+            combined[replica] = combined.get(replica, 0.0) + (1.0 - weight) * ratio
+        return RatioMap(combined)
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{r}⇒{v:.3f}"
+            for r, v in sorted(self._ratios.items(), key=lambda i: -i[1])[:4]
+        )
+        suffix = ", ..." if len(self._ratios) > 4 else ""
+        return f"RatioMap⟨{entries}{suffix}⟩"

@@ -1,0 +1,72 @@
+"""Closest-node selection (Section IV-A of the paper).
+
+Given a client's ratio map and the maps of candidate servers, rank the
+candidates by similarity to the client: if ``cos_sim(A, C) >
+cos_sim(A, B)`` then ``C`` is the closer of the two to ``A``.  The
+evaluation reports both the Top-1 pick and the average over the Top-5
+(Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.ratio_map import RatioMap
+from repro.core.similarity import SimilarityMetric, similarity
+
+
+@dataclass(frozen=True)
+class RankedCandidate:
+    """One candidate server with its similarity to the client."""
+
+    name: str
+    score: float
+
+    @property
+    def has_signal(self) -> bool:
+        """False when the maps were orthogonal — CRP can only say
+        "probably not nearby", never how far (Section III-B)."""
+        return self.score > 0.0
+
+
+def rank_candidates(
+    client_map: RatioMap,
+    candidate_maps: Mapping[str, RatioMap],
+    metric: SimilarityMetric = SimilarityMetric.COSINE,
+) -> List[RankedCandidate]:
+    """All candidates, ranked by similarity to the client, best first.
+
+    Candidates with missing (``None``) maps are skipped — a node that
+    has not bootstrapped cannot be ranked.  Ties break by name so the
+    ranking is deterministic.
+    """
+    ranked = [
+        RankedCandidate(name, similarity(client_map, candidate_map, metric))
+        for name, candidate_map in candidate_maps.items()
+        if candidate_map is not None
+    ]
+    ranked.sort(key=lambda c: (-c.score, c.name))
+    return ranked
+
+
+def select_top_k(
+    client_map: RatioMap,
+    candidate_maps: Mapping[str, RatioMap],
+    k: int,
+    metric: SimilarityMetric = SimilarityMetric.COSINE,
+) -> List[RankedCandidate]:
+    """The best ``k`` candidates (the paper's "Top 5" uses k=5)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return rank_candidates(client_map, candidate_maps, metric)[:k]
+
+
+def select_closest(
+    client_map: RatioMap,
+    candidate_maps: Mapping[str, RatioMap],
+    metric: SimilarityMetric = SimilarityMetric.COSINE,
+) -> Optional[RankedCandidate]:
+    """The single best candidate ("Top 1"), or None with no candidates."""
+    ranked = rank_candidates(client_map, candidate_maps, metric)
+    return ranked[0] if ranked else None

@@ -1,0 +1,224 @@
+"""The CRP service facade.
+
+Ties the pipeline together for callers: register nodes (each with the
+recursive resolver that defines its network identity), probe CDN names
+periodically or feed passive observations, then ask positioning
+questions — rank candidate servers for a client, or cluster the node
+population.
+
+The service keeps per-(node, name) history in
+:class:`~repro.core.tracker.RedirectionTracker` objects and builds
+ratio maps over the configured window on demand.  It is deliberately
+O(1) per node per probe round: no pairwise measurements anywhere —
+that is the paper's core scalability claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.clustering import ClusteringResult, SmfParams, smf_cluster
+from repro.core.ratio_map import RatioMap
+from repro.core.selection import RankedCandidate, rank_candidates
+from repro.core.similarity import SimilarityMetric
+from repro.core.tracker import Observation, RedirectionTracker
+from repro.dnssim.resolver import RecursiveResolver, ResolutionError
+from repro.netsim.clock import SimClock
+
+
+@dataclass(frozen=True)
+class CRPServiceParams:
+    """Service-level defaults (the paper's operating point)."""
+
+    #: Names to probe (the paper hand-picked two Akamai-accelerated
+    #: names: a Yahoo image server and www.foxnews.com).
+    customer_names: Tuple[str, ...] = ()
+    #: Ratio-map window in probes; None = use the full history
+    #: ("all probes").  Figure 9: 10 probes suffice.
+    window_probes: Optional[int] = 10
+    #: Similarity metric for selection and clustering.
+    metric: SimilarityMetric = SimilarityMetric.COSINE
+    #: Probes needed before a node is considered positioned.
+    bootstrap_min_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.customer_names:
+            raise ValueError("CRP needs at least one CDN customer name to probe")
+        if self.window_probes is not None and self.window_probes < 1:
+            raise ValueError("window_probes must be at least 1 (or None)")
+
+
+class CRPService:
+    """A relative-network-positioning service for a set of nodes."""
+
+    def __init__(self, clock: SimClock, params: CRPServiceParams) -> None:
+        self.clock = clock
+        self.params = params
+        self._resolvers: Dict[str, RecursiveResolver] = {}
+        self._trackers: Dict[str, RedirectionTracker] = {}
+        self.probes_issued = 0
+        self.probe_failures = 0
+
+    # -- membership --------------------------------------------------------
+
+    def register_node(self, name: str, resolver: Optional[RecursiveResolver]) -> None:
+        """Add a node; its resolver is what the CDN mapping sees.
+
+        ``resolver=None`` registers a *passive-only* node: it can be
+        fed with :meth:`observe` (browsing traffic, rewritten URLs) and
+        positioned like any other, but :meth:`probe` refuses it and
+        :meth:`probe_all` skips it.
+        """
+        if name in self._resolvers:
+            raise ValueError(f"node {name!r} already registered")
+        self._resolvers[name] = resolver
+        self._trackers[name] = RedirectionTracker(name)
+
+    def unregister_node(self, name: str) -> None:
+        """Remove a node and its history (churn support)."""
+        del self._resolvers[name]
+        del self._trackers[name]
+
+    @property
+    def nodes(self) -> List[str]:
+        """Registered node names, sorted."""
+        return sorted(self._resolvers)
+
+    def tracker(self, name: str) -> RedirectionTracker:
+        """A node's redirection history."""
+        return self._trackers[name]
+
+    # -- probing ------------------------------------------------------------
+
+    def probe(self, node: str) -> List[Observation]:
+        """Actively probe all customer names once for one node.
+
+        Failed lookups are counted and skipped — a flaky resolver
+        degrades gracefully rather than wedging the probe loop.
+        """
+        resolver = self._resolvers[node]
+        if resolver is None:
+            raise ValueError(f"node {node!r} is passive-only and cannot be probed")
+        tracker = self._trackers[node]
+        recorded = []
+        for customer_name in self.params.customer_names:
+            self.probes_issued += 1
+            try:
+                result = resolver.resolve(customer_name)
+            except ResolutionError:
+                self.probe_failures += 1
+                continue
+            if result.addresses:
+                recorded.append(
+                    tracker.observe(self.clock.now, customer_name, result.addresses)
+                )
+        return recorded
+
+    def probe_all(self) -> int:
+        """One probe round over every active node (passive-only nodes
+        are skipped); returns observations made."""
+        return sum(
+            len(self.probe(node))
+            for node in self.nodes
+            if self._resolvers[node] is not None
+        )
+
+    def observe(self, node: str, customer_name: str, addresses: Sequence[str]) -> None:
+        """Ingest a passively-seen redirection (Section VI's zero-probe
+        mode: reuse user-generated DNS translations)."""
+        self._trackers[node].observe(self.clock.now, customer_name, addresses)
+
+    # -- positioning -----------------------------------------------------------
+
+    def ratio_map(
+        self,
+        node: str,
+        window_probes: Optional[int] = -1,
+    ) -> Optional[RatioMap]:
+        """A node's current ratio map over the configured window.
+
+        Pass ``window_probes`` explicitly to override the service
+        default (``None`` means all probes); the sentinel ``-1`` keeps
+        the default.  Returns ``None`` for nodes that have not
+        bootstrapped.
+        """
+        tracker = self._trackers[node]
+        if tracker.probe_count < self.params.bootstrap_min_probes:
+            return None
+        if window_probes == -1:
+            window_probes = self.params.window_probes
+        return tracker.ratio_map(window_probes=window_probes)
+
+    def ratio_maps(
+        self,
+        nodes: Optional[Iterable[str]] = None,
+        window_probes: Optional[int] = -1,
+    ) -> Dict[str, Optional[RatioMap]]:
+        """Ratio maps for many nodes (None entries for unbootstrapped)."""
+        if nodes is None:
+            nodes = self.nodes
+        return {n: self.ratio_map(n, window_probes=window_probes) for n in nodes}
+
+    def rank_servers(
+        self,
+        client: str,
+        candidates: Sequence[str],
+        window_probes: Optional[int] = -1,
+    ) -> List[RankedCandidate]:
+        """Candidates ranked by similarity to the client, best first.
+
+        Returns an empty list when the client has no map yet.
+        """
+        client_map = self.ratio_map(client, window_probes=window_probes)
+        if client_map is None:
+            return []
+        candidate_maps = {
+            name: self.ratio_map(name, window_probes=window_probes)
+            for name in candidates
+            if name != client
+        }
+        candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
+        return rank_candidates(client_map, candidate_maps, self.params.metric)
+
+    def closest_server(
+        self,
+        client: str,
+        candidates: Sequence[str],
+        window_probes: Optional[int] = -1,
+    ) -> Optional[RankedCandidate]:
+        """The Top-1 server pick for a client."""
+        ranked = self.rank_servers(client, candidates, window_probes=window_probes)
+        return ranked[0] if ranked else None
+
+    def closer_of(
+        self,
+        target: str,
+        a: str,
+        b: str,
+        window_probes: Optional[int] = -1,
+    ) -> Optional[str]:
+        """The paper's primitive: which of ``a``, ``b`` is closer to
+        ``target``?  ("if cos_sim(A, C) < cos_sim(B, C), then host B is
+        the closer to C", Section III-B.)
+
+        Returns ``None`` when the question is unanswerable — the
+        target has no map, or both similarities are zero (CRP can only
+        say neither is likely nearby).
+        """
+        ranked = self.rank_servers(target, [a, b], window_probes=window_probes)
+        if not ranked or not ranked[0].has_signal:
+            return None
+        return ranked[0].name
+
+    def cluster(
+        self,
+        nodes: Optional[Sequence[str]] = None,
+        smf_params: Optional[SmfParams] = None,
+        window_probes: Optional[int] = -1,
+    ) -> ClusteringResult:
+        """SMF-cluster the node population (Section IV-B)."""
+        if smf_params is None:
+            smf_params = SmfParams(metric=self.params.metric)
+        maps = self.ratio_maps(nodes, window_probes=window_probes)
+        return smf_cluster(maps, smf_params)

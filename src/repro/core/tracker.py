@@ -1,0 +1,192 @@
+"""Redirection tracking: the probe log behind each node's ratio maps.
+
+A tracker records, per CDN customer name, the replica addresses each
+lookup returned and when.  Ratio maps are then built over a **window**
+— either the last *k* probes (the paper's Figure 9 sweeps window sizes
+of 5/10/30/all) or a trailing time span — or with **exponential
+decay** (:meth:`RedirectionTracker.decayed_ratio_map`), the natural
+engineering answer to Figure 9's finding that long histories go stale
+under dynamic conditions: old observations fade smoothly instead of
+falling off a cliff at the window edge.
+
+Both probing modes from the paper are supported:
+
+* **Active** — the CRP client issues its own periodic lookups
+  (Figure 8 sweeps the probe interval; 100 minutes is enough).
+* **Passive** — ``observe()`` ingests redirections seen in ordinary
+  user traffic (Section VI: "even this minor overhead may not be
+  necessary if the service can passively monitor user-generated DNS
+  translations").  The tracker does not care which mode fed it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.ratio_map import RatioMap
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One observed redirection: a lookup's answer at a point in time."""
+
+    at: float
+    name: str
+    addresses: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.addresses:
+            raise ValueError("an observation needs at least one address")
+
+
+class RedirectionTracker:
+    """Per-node log of CDN redirections with windowed ratio maps.
+
+    ``max_observations`` bounds the log for long-lived deployments (a
+    node probing two names every 10 minutes for a year logs ~100k
+    observations; nothing in CRP needs more history than the largest
+    window in use).  ``None`` keeps everything, which is what the
+    paper-reproduction experiments use.
+    """
+
+    def __init__(self, node_name: str, max_observations: Optional[int] = None) -> None:
+        if max_observations is not None and max_observations < 1:
+            raise ValueError("max_observations must be at least 1 (or None)")
+        self.node_name = node_name
+        self.max_observations = max_observations
+        self._log: List[Observation] = []
+        self.observations_dropped = 0
+
+    # -- ingest ----------------------------------------------------------
+
+    def observe(self, at: float, name: str, addresses: Sequence[str]) -> Observation:
+        """Record one redirection observation.
+
+        Observations must arrive in time order (the simulated clock is
+        monotonic; real deployments timestamp at arrival).  When the
+        log is bounded, the oldest observations fall off the front.
+        """
+        if self._log and at < self._log[-1].at:
+            raise ValueError(
+                f"observation out of order: {at} < {self._log[-1].at}"
+            )
+        observation = Observation(at=at, name=name, addresses=tuple(addresses))
+        self._log.append(observation)
+        if self.max_observations is not None and len(self._log) > self.max_observations:
+            overflow = len(self._log) - self.max_observations
+            del self._log[:overflow]
+            self.observations_dropped += overflow
+        return observation
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def probe_count(self) -> int:
+        """Number of observations recorded (across all names)."""
+        return len(self._log)
+
+    @property
+    def observations(self) -> Tuple[Observation, ...]:
+        """The full log, oldest first."""
+        return tuple(self._log)
+
+    def names_seen(self) -> Tuple[str, ...]:
+        """CDN customer names with at least one observation, sorted."""
+        return tuple(sorted({o.name for o in self._log}))
+
+    def _windowed(
+        self,
+        name: Optional[str],
+        window_probes: Optional[int],
+        window_seconds: Optional[float],
+        now: Optional[float],
+    ) -> List[Observation]:
+        selected = self._log if name is None else [o for o in self._log if o.name == name]
+        if window_seconds is not None:
+            if now is None:
+                if not selected:
+                    return []
+                now = selected[-1].at
+            cutoff = now - window_seconds
+            selected = [o for o in selected if o.at >= cutoff]
+        if window_probes is not None:
+            if window_probes < 1:
+                raise ValueError("window_probes must be at least 1")
+            selected = selected[-window_probes:]
+        return selected
+
+    def ratio_map(
+        self,
+        name: Optional[str] = None,
+        window_probes: Optional[int] = None,
+        window_seconds: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> Optional[RatioMap]:
+        """The ratio map over a window of the log.
+
+        ``name`` restricts to one CDN customer name (default: all names
+        pooled).  ``window_probes`` keeps only the most recent *k*
+        observations; ``window_seconds`` keeps only those within a
+        trailing time span ending at ``now`` (defaults to the last
+        observation's time).  Returns ``None`` when the window is empty
+        — the node has no position yet (still bootstrapping).
+
+        Every address in an answer counts as one redirection toward
+        that replica: a two-record answer is evidence the mapping
+        system considered both replicas good for this node.
+        """
+        window = self._windowed(name, window_probes, window_seconds, now)
+        if not window:
+            return None
+        counts: Counter = Counter()
+        for observation in window:
+            counts.update(observation.addresses)
+        return RatioMap.from_counts(counts)
+
+    def decayed_ratio_map(
+        self,
+        half_life_seconds: float,
+        name: Optional[str] = None,
+        now: Optional[float] = None,
+        weight_floor: float = 1e-4,
+    ) -> Optional[RatioMap]:
+        """A ratio map with exponentially-decayed observation weights.
+
+        Each observation contributes ``0.5 ** (age / half_life)`` per
+        returned address.  Observations whose weight has fallen below
+        ``weight_floor`` are ignored (they no longer matter and the
+        floor keeps the map's support bounded over long histories).
+        ``now`` defaults to the last observation's time.  Returns
+        ``None`` when nothing carries weight.
+        """
+        if half_life_seconds <= 0:
+            raise ValueError("half_life_seconds must be positive")
+        selected = self._log if name is None else [o for o in self._log if o.name == name]
+        if not selected:
+            return None
+        if now is None:
+            now = selected[-1].at
+        weights: Dict[str, float] = {}
+        for observation in selected:
+            age = now - observation.at
+            if age < 0:
+                continue
+            weight = 0.5 ** (age / half_life_seconds)
+            if weight < weight_floor:
+                continue
+            for address in observation.addresses:
+                weights[address] = weights.get(address, 0.0) + weight
+        if not weights:
+            return None
+        total = sum(weights.values())
+        return RatioMap({address: w / total for address, w in weights.items()})
+
+    def is_bootstrapped(self, min_probes: int = 10) -> bool:
+        """Whether enough probes exist for a useful estimate.
+
+        The paper (Fig. 9) finds a 10-probe window sufficient for
+        effective closest-node selection.
+        """
+        return self.probe_count >= min_probes

@@ -1,0 +1,44 @@
+"""DNS substrate: authoritative servers, recursive resolvers, King.
+
+CRP's probing interface *is* DNS — a client observes CDN redirections
+by issuing recursive lookups for CDN-accelerated names and reading the
+A records it gets back.  This package provides that machinery in
+simulation: resource records with TTLs, a cache, static and dynamic
+authoritative servers, recursive resolvers that follow CNAME chains,
+and the King technique for estimating RTT between two remote hosts via
+their name servers (the paper's ground-truth instrument).
+"""
+
+from repro.dnssim.records import (
+    RecordType,
+    Rcode,
+    ResourceRecord,
+    Question,
+    DnsResponse,
+    normalize_name,
+    name_under_zone,
+)
+from repro.dnssim.cache import TtlCache
+from repro.dnssim.authoritative import AuthoritativeServer, StaticAuthoritativeServer
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.resolver import RecursiveResolver, ResolutionResult, ResolutionError
+from repro.dnssim.king import KingEstimator, KingMeasurement
+
+__all__ = [
+    "RecordType",
+    "Rcode",
+    "ResourceRecord",
+    "Question",
+    "DnsResponse",
+    "normalize_name",
+    "name_under_zone",
+    "TtlCache",
+    "AuthoritativeServer",
+    "StaticAuthoritativeServer",
+    "DnsInfrastructure",
+    "RecursiveResolver",
+    "ResolutionResult",
+    "ResolutionError",
+    "KingEstimator",
+    "KingMeasurement",
+]

@@ -1,0 +1,118 @@
+"""Authoritative DNS servers.
+
+Two kinds exist in the reproduction:
+
+* :class:`StaticAuthoritativeServer` — ordinary zone data: content
+  providers' own zones (where the CNAME into the CDN lives), and the
+  per-host pseudo-zones that the King estimator targets.
+* The CDN's dynamic authoritative server
+  (:class:`repro.cdn.provider.CdnAuthoritativeServer`) — subclasses
+  :class:`AuthoritativeServer` and computes answers per query based on
+  which resolver is asking.  That query-source dependence is the whole
+  mechanism CRP rides on.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dnssim.records import (
+    DnsResponse,
+    Question,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    name_under_zone,
+    normalize_name,
+)
+from repro.netsim.topology import Host
+
+
+class AuthoritativeServer(abc.ABC):
+    """Base class: a host that authoritatively serves some zones."""
+
+    def __init__(self, host: Host, zones: Sequence[str]) -> None:
+        if not zones:
+            raise ValueError("an authoritative server needs at least one zone")
+        self.host = host
+        self.zones: Tuple[str, ...] = tuple(normalize_name(z) for z in zones)
+        self.queries_served = 0
+
+    def serves(self, name: str) -> bool:
+        """True when ``name`` falls inside one of this server's zones."""
+        return any(name_under_zone(name, zone) for zone in self.zones)
+
+    def answer(self, question: Question, ldns: Host, now: float) -> DnsResponse:
+        """Answer a question from a resolver (``ldns``) at time ``now``."""
+        self.queries_served += 1
+        if not self.serves(question.name):
+            return DnsResponse(
+                question=question,
+                records=(),
+                rcode=Rcode.REFUSED,
+                authoritative=False,
+                server_name=self.host.name,
+            )
+        return self._answer(question, ldns, now)
+
+    @abc.abstractmethod
+    def _answer(self, question: Question, ldns: Host, now: float) -> DnsResponse:
+        """Produce the in-zone answer (subclass responsibility)."""
+
+
+class StaticAuthoritativeServer(AuthoritativeServer):
+    """Zone data from a plain record store.
+
+    Wildcard support: a record stored under ``*.zone`` answers any
+    otherwise-missing name in the zone — this is how King-style
+    cache-busting names resolve without pre-registering every probe.
+    """
+
+    def __init__(self, host: Host, zones: Sequence[str]) -> None:
+        super().__init__(host, zones)
+        self._records: Dict[Tuple[str, RecordType], List[ResourceRecord]] = defaultdict(list)
+
+    def add_record(self, record: ResourceRecord) -> None:
+        """Install a record; it must fall inside a served zone."""
+        bare = record.name[2:] if record.name.startswith("*.") else record.name
+        if not self.serves(bare):
+            raise ValueError(
+                f"{self.host.name} is not authoritative for {record.name}"
+            )
+        self._records[(record.name, record.rtype)].append(record)
+
+    def _lookup(self, name: str, rtype: RecordType) -> List[ResourceRecord]:
+        exact = self._records.get((name, rtype))
+        if exact:
+            return exact
+        # Wildcard: replace the leftmost label with '*'.
+        labels = name.split(".")
+        if len(labels) > 1:
+            wildcard = "*." + ".".join(labels[1:])
+            matched = self._records.get((wildcard, rtype))
+            if matched:
+                return [ResourceRecord(name, r.rtype, r.value, r.ttl) for r in matched]
+        return []
+
+    def _answer(self, question: Question, ldns: Host, now: float) -> DnsResponse:
+        answers = list(self._lookup(question.name, question.rtype))
+        if not answers and question.rtype is not RecordType.CNAME:
+            # A CNAME at the name answers any type (the resolver chases it).
+            answers = list(self._lookup(question.name, RecordType.CNAME))
+        if not answers:
+            return DnsResponse(
+                question=question,
+                records=(),
+                rcode=Rcode.NXDOMAIN,
+                authoritative=True,
+                server_name=self.host.name,
+            )
+        return DnsResponse(
+            question=question,
+            records=tuple(answers),
+            rcode=Rcode.NOERROR,
+            authoritative=True,
+            server_name=self.host.name,
+        )

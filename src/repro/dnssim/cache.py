@@ -1,0 +1,75 @@
+"""A TTL-honouring, size-bounded DNS cache.
+
+Resolvers keep one of these.  Entries expire at ``stored_at + ttl`` in
+simulated time; reads return records with their *remaining* TTL, the
+way a real cache serves aged records.  The cache is size-bounded with
+LRU eviction so long experiments cannot grow memory without bound.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dnssim.records import Question, RecordType, ResourceRecord
+
+
+@dataclass
+class _Entry:
+    records: Tuple[ResourceRecord, ...]
+    stored_at: float
+    expires_at: float
+
+
+class TtlCache:
+    """Positive-answer cache keyed by (name, rtype)."""
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries < 1:
+            raise ValueError("cache needs room for at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple[str, RecordType], _Entry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.expirations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, question: Question, records: Tuple[ResourceRecord, ...], now: float) -> None:
+        """Store an answer; the entry lives for the minimum record TTL.
+
+        Zero-TTL answers are not cached (they are already stale).
+        """
+        if not records:
+            return
+        ttl = min(r.ttl for r in records)
+        if ttl <= 0:
+            return
+        key = (question.name, question.rtype)
+        self._entries[key] = _Entry(tuple(records), now, now + ttl)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, question: Question, now: float) -> Optional[Tuple[ResourceRecord, ...]]:
+        """Fresh records for a question, with remaining TTLs, or None."""
+        key = (question.name, question.rtype)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if now >= entry.expires_at:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        remaining = entry.expires_at - now
+        return tuple(r.with_ttl(min(r.ttl, remaining)) for r in entry.records)
+
+    def flush(self) -> None:
+        """Drop everything (counters are preserved)."""
+        self._entries.clear()

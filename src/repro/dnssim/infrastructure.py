@@ -1,0 +1,54 @@
+"""The registry tying DNS names to authoritative servers.
+
+A thin stand-in for root/TLD delegation: resolvers ask the
+infrastructure which authoritative server owns a name (longest zone
+match wins) and then talk to that server directly.  Delegation lookups
+are treated as cached — real resolvers keep NS records for the zones
+they query constantly, which is exactly the CRP probing pattern — so
+the per-query cost is the authoritative exchange itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.dnssim.authoritative import AuthoritativeServer
+from repro.dnssim.records import name_under_zone, normalize_name
+
+
+class DnsInfrastructure:
+    """Maps zones to authoritative servers."""
+
+    def __init__(self) -> None:
+        self._servers: List[AuthoritativeServer] = []
+        self._zone_index: Dict[str, AuthoritativeServer] = {}
+
+    def register(self, server: AuthoritativeServer) -> AuthoritativeServer:
+        """Register a server for all its zones; zones must be unique."""
+        for zone in server.zones:
+            if zone in self._zone_index:
+                raise ValueError(f"zone {zone!r} already has an authoritative server")
+        for zone in server.zones:
+            self._zone_index[zone] = server
+        self._servers.append(server)
+        return server
+
+    @property
+    def servers(self) -> List[AuthoritativeServer]:
+        """All registered servers, in registration order."""
+        return list(self._servers)
+
+    def authoritative_for(self, name: str) -> Optional[AuthoritativeServer]:
+        """The server for the most specific zone containing ``name``.
+
+        Longest-match by walking the name's own suffixes, so the
+        lookup is O(labels) regardless of how many zones exist.
+        """
+        name = normalize_name(name)
+        labels = name.split(".")
+        for start in range(len(labels)):
+            zone = ".".join(labels[start:])
+            server = self._zone_index.get(zone)
+            if server is not None:
+                return server
+        return None

@@ -1,0 +1,139 @@
+"""The King latency-estimation technique (Gummadi et al., IMW 2002).
+
+King estimates the RTT between two arbitrary hosts as the RTT between
+DNS servers near them, measured without any vantage point near either:
+
+1. From a measurement host ``M``, time a *direct* (cached) query to
+   name server ``A`` — that is ``RTT(M, A)``.
+2. Ask ``A`` recursively for a random, uncached name inside a zone that
+   name server ``B`` serves authoritatively.  ``A`` must fetch it from
+   ``B``, so the observed time is ``RTT(M, A) + RTT(A, B)``.
+3. Subtract.
+
+The paper uses King twice: the client population is drawn from the
+King data set (open recursive servers), and King-measured RTTs are the
+"ground truth" for both the closest-node and clustering evaluations.
+We reproduce the technique over the simulated DNS machinery, including
+its error sources (sample jitter, occasional spikes, residual negative
+estimates), because the paper's Figure 5 explicitly shows artifacts of
+measuring ground truth on a moving network.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.dnssim.authoritative import StaticAuthoritativeServer
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.records import RecordType, ResourceRecord
+from repro.dnssim.resolver import RecursiveResolver, ResolutionError
+from repro.netsim.network import Network
+from repro.netsim.topology import Host
+
+
+@dataclass(frozen=True)
+class KingMeasurement:
+    """One King estimate between two hosts."""
+
+    a: Host
+    b: Host
+    #: The King RTT estimate (can be small-negative before clamping in
+    #: analyses, exactly as with the real technique).
+    estimate_ms: float
+    #: The direct leg RTT(M, A) that was subtracted out.
+    direct_ms: float
+    #: Number of recursive samples behind the estimate.
+    samples: int
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+class KingEstimator:
+    """Runs King measurements over the simulated DNS substrate."""
+
+    def __init__(
+        self,
+        network: Network,
+        infrastructure: DnsInfrastructure,
+        vantage: Host,
+        samples: int = 3,
+    ) -> None:
+        if samples < 1:
+            raise ValueError("need at least one sample per estimate")
+        self.network = network
+        self.infrastructure = infrastructure
+        self.vantage = vantage
+        self.samples = samples
+        self._resolvers: Dict[int, RecursiveResolver] = {}
+        self._zones: Dict[int, str] = {}
+        self._nonce = itertools.count()
+
+    # -- setup ------------------------------------------------------------
+
+    def register_node(self, resolver: RecursiveResolver) -> str:
+        """Make a DNS-server host measurable by King.
+
+        Installs a wildcard pseudo-zone ``<host>.king-target.test``
+        served authoritatively by the host itself, and remembers the
+        host's recursive resolver so it can act as the forwarding side.
+        Returns the zone name.
+        """
+        host = resolver.host
+        zone = f"{host.name}.king-target.test"
+        authority = StaticAuthoritativeServer(host, [zone])
+        authority.add_record(
+            ResourceRecord(f"*.{zone}", RecordType.A, _pseudo_address(host), ttl=30.0)
+        )
+        self.infrastructure.register(authority)
+        self._resolvers[host.host_id] = resolver
+        self._zones[host.host_id] = zone
+        return zone
+
+    def is_registered(self, host: Host) -> bool:
+        """True when a host can take part in King measurements."""
+        return host.host_id in self._resolvers
+
+    # -- measurement --------------------------------------------------------
+
+    def direct_ms(self, a: Host) -> float:
+        """The ``RTT(M, A)`` leg: median of timed cached queries."""
+        return self.network.measure_rtt_median_ms(self.vantage, a, samples=self.samples)
+
+    def estimate(self, a: Host, b: Host) -> KingMeasurement:
+        """King-estimate RTT(a, b); both hosts must be registered.
+
+        Raises ``KeyError`` for unregistered hosts and propagates
+        :class:`~repro.dnssim.resolver.ResolutionError` if the
+        forwarding resolver refuses recursion.
+        """
+        resolver_a = self._resolvers[a.host_id]
+        zone_b = self._zones[b.host_id]
+        direct = self.direct_ms(a)
+        recursive_samples = []
+        for _ in range(self.samples):
+            nonce = next(self._nonce)
+            name = f"kx{nonce}.{zone_b}"
+            _, total_ms = resolver_a.serve(self.vantage, name)
+            recursive_samples.append(total_ms)
+        estimate = _median(recursive_samples) - direct
+        return KingMeasurement(
+            a=a, b=b, estimate_ms=estimate, direct_ms=direct, samples=self.samples
+        )
+
+    def estimate_ms(self, a: Host, b: Host, floor_ms: float = 0.1) -> float:
+        """Convenience: the King estimate clamped to a small floor."""
+        return max(floor_ms, self.estimate(a, b).estimate_ms)
+
+
+def _pseudo_address(host: Host) -> str:
+    """A stable fake IPv4 address for a host's pseudo-zone records."""
+    hid = host.host_id
+    return f"10.{(hid >> 16) & 255}.{(hid >> 8) & 255}.{hid & 255}"

@@ -1,0 +1,212 @@
+"""Recursive DNS resolution.
+
+A :class:`RecursiveResolver` is attached to a host (its network
+identity — what the CDN mapping system sees as the "LDNS"), keeps a TTL
+cache, follows CNAME chains, and accounts the simulated time each
+resolution takes, so that measurement techniques built on DNS timing
+(King) behave as they would on a real network.
+
+In the paper's methodology the *clients* are open recursive DNS
+servers: CRP probes them with recursive queries for CDN-accelerated
+names and reads back which replicas the CDN mapped *that resolver* to.
+``RecursiveResolver`` is therefore the central character of the whole
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.dnssim.cache import TtlCache
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.records import (
+    DnsResponse,
+    Question,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+)
+from repro.netsim.network import Network
+from repro.netsim.rng import derive_seed
+from repro.netsim.topology import Host
+
+#: Maximum CNAME indirections before a resolver gives up.
+MAX_CHAIN_DEPTH = 8
+
+
+class ResolutionError(Exception):
+    """A lookup failed (NXDOMAIN, no server, or a CNAME loop)."""
+
+    def __init__(self, message: str, rcode: Rcode = Rcode.SERVFAIL) -> None:
+        super().__init__(message)
+        self.rcode = rcode
+
+
+@dataclass
+class ResolutionResult:
+    """The outcome of one recursive resolution.
+
+    ``cost_ms`` is the resolver-side time: the sum of the RTTs of every
+    authoritative exchange performed (zero on a full cache hit).
+    ``addresses`` are the final A-record values in answer order.
+    """
+
+    question: Question
+    records: Tuple[ResourceRecord, ...]
+    chain: Tuple[DnsResponse, ...]
+    cost_ms: float
+    from_cache: bool
+
+    @property
+    def addresses(self) -> Tuple[str, ...]:
+        """The resolved IP addresses, in answer order."""
+        return tuple(r.value for r in self.records if r.rtype is RecordType.A)
+
+
+class RecursiveResolver:
+    """A caching recursive resolver bound to a host identity."""
+
+    def __init__(
+        self,
+        host: Host,
+        infrastructure: DnsInfrastructure,
+        network: Network,
+        cache_entries: int = 4096,
+        recursion_available: bool = True,
+        failure_rate: float = 0.0,
+        negative_ttl: float = 60.0,
+    ) -> None:
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        if negative_ttl < 0:
+            raise ValueError(f"negative_ttl cannot be negative, got {negative_ttl}")
+        self.host = host
+        self.infrastructure = infrastructure
+        self.network = network
+        self.cache = TtlCache(cache_entries)
+        #: NXDOMAIN answers are remembered for this long, as real
+        #: resolvers do (RFC 2308) — repeated lookups of a missing name
+        #: must not hammer the authoritative server.
+        self.negative_ttl = negative_ttl
+        self._negative: dict = {}
+        #: Open resolvers answer anyone; closed ones refuse external
+        #: clients (the King data-set filter drops those).
+        self.recursion_available = recursion_available
+        #: Probability a resolution attempt times out (flaky servers —
+        #: the King data set had plenty; the paper's probes sometimes
+        #: simply got no answer).
+        self.failure_rate = failure_rate
+        self._failure_rng = np.random.default_rng(
+            derive_seed(0, "resolver-flakiness", host.name)
+        )
+        self.queries_received = 0
+        self.queries_failed = 0
+
+    def resolve(self, name: str, rtype: RecordType = RecordType.A) -> ResolutionResult:
+        """Resolve a name, following CNAMEs, using the cache.
+
+        Raises :class:`ResolutionError` on NXDOMAIN, missing servers,
+        or overlong CNAME chains.
+        """
+        self.queries_received += 1
+        if self.failure_rate > 0.0 and self._failure_rng.random() < self.failure_rate:
+            self.queries_failed += 1
+            raise ResolutionError(
+                f"{self.host.name}: query for {name} timed out", rcode=Rcode.SERVFAIL
+            )
+        now = self.network.clock.now
+        question = Question(name, rtype)
+        chain: List[DnsResponse] = []
+        collected: List[ResourceRecord] = []
+        cost_ms = 0.0
+        all_cached = True
+
+        current = question
+        for _ in range(MAX_CHAIN_DEPTH):
+            negative_until = self._negative.get((current.name, current.rtype))
+            if negative_until is not None and now < negative_until:
+                raise ResolutionError(
+                    f"{current.name}: NXDOMAIN (negative cache)",
+                    rcode=Rcode.NXDOMAIN,
+                )
+            cached = self.cache.get(current, now)
+            if cached is not None:
+                records = cached
+            else:
+                all_cached = False
+                response = self._ask_authority(current, now)
+                chain.append(response)
+                cost_ms += response.cost_ms
+                if response.rcode is not Rcode.NOERROR:
+                    if response.rcode is Rcode.NXDOMAIN and self.negative_ttl > 0:
+                        self._negative[(current.name, current.rtype)] = (
+                            now + self.negative_ttl
+                        )
+                    raise ResolutionError(
+                        f"{current.name}: {response.rcode.value} from {response.server_name}",
+                        rcode=response.rcode,
+                    )
+                records = response.records
+                self.cache.put(current, records, now)
+
+            cnames = [r for r in records if r.rtype is RecordType.CNAME]
+            wanted = [r for r in records if r.rtype is current.rtype]
+            if wanted:
+                collected.extend(records)
+                return ResolutionResult(
+                    question=question,
+                    records=tuple(collected),
+                    chain=tuple(chain),
+                    cost_ms=cost_ms,
+                    from_cache=all_cached,
+                )
+            if cnames:
+                collected.extend(cnames)
+                current = Question(cnames[0].value, question.rtype)
+                continue
+            raise ResolutionError(
+                f"{current.name}: empty answer", rcode=Rcode.SERVFAIL
+            )
+        raise ResolutionError(f"{question.name}: CNAME chain too long")
+
+    def _ask_authority(self, question: Question, now: float) -> DnsResponse:
+        """One authoritative exchange, with its network cost."""
+        server = self.infrastructure.authoritative_for(question.name)
+        if server is None:
+            return DnsResponse(
+                question=question,
+                records=(),
+                rcode=Rcode.SERVFAIL,
+                server_name="(no-authority)",
+            )
+        exchange_ms = self.network.measure_rtt_ms(self.host, server.host)
+        response = server.answer(question, ldns=self.host, now=now)
+        # Rebuild with the cost of this exchange attached.
+        return DnsResponse(
+            question=response.question,
+            records=response.records,
+            rcode=response.rcode,
+            authoritative=response.authoritative,
+            server_name=response.server_name,
+            cost_ms=exchange_ms,
+        )
+
+    def serve(self, client: Host, name: str, rtype: RecordType = RecordType.A) -> Tuple[ResolutionResult, float]:
+        """Answer an external client's recursive query.
+
+        Returns the resolution result plus the total client-observed
+        time: one RTT from the client to this resolver, plus whatever
+        resolver-side work the lookup needed.  Raises
+        :class:`ResolutionError` (REFUSED) if recursion is closed.
+        """
+        if not self.recursion_available and client.host_id != self.host.host_id:
+            raise ResolutionError(
+                f"{self.host.name} refuses recursion for {client.name}",
+                rcode=Rcode.REFUSED,
+            )
+        client_leg_ms = self.network.measure_rtt_ms(client, self.host)
+        result = self.resolve(name, rtype)
+        return result, client_leg_ms + result.cost_ms

@@ -1,0 +1,38 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every driver consumes a :class:`~repro.workloads.scenario.Scenario`,
+runs the paper's methodology over it, and returns structured results
+plus a rendered report matching the rows/series the paper presents.
+The benchmarks under ``benchmarks/`` are thin wrappers that run these
+at paper-like scale; tests run them small.
+
+Index (see DESIGN.md for the full experiment table):
+
+==========  ====================================================
+Figure 4    :mod:`repro.experiments.fig4_closest`
+Figure 5    :mod:`repro.experiments.fig5_relerr`
+Figure 6    :mod:`repro.experiments.fig6_cdf`
+Figure 7    :mod:`repro.experiments.fig7_buckets`
+Figure 8    :mod:`repro.experiments.fig8_interval`
+Figure 9    :mod:`repro.experiments.fig9_window`
+Table I     :mod:`repro.experiments.table1_summary`
+§II claim   :mod:`repro.experiments.detour`
+§VI claim   :mod:`repro.experiments.overhead`
+==========  ====================================================
+"""
+
+from repro.experiments.harness import (
+    ClosestNodeOutcome,
+    SelectionRecord,
+    run_closest_node_experiment,
+    build_ground_truth,
+    king_matrix,
+)
+
+__all__ = [
+    "ClosestNodeOutcome",
+    "SelectionRecord",
+    "run_closest_node_experiment",
+    "build_ground_truth",
+    "king_matrix",
+]

@@ -1,0 +1,237 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation isolates one mechanism and quantifies what it buys:
+
+* **Similarity metric** — cosine (the paper's choice) vs Jaccard set
+  overlap vs histogram intersection, scored by mean selection rank.
+* **Mapping spread** — how many good replicas the CDN rotates answers
+  over.  With spread 1 ratio maps collapse to single entries; CRP
+  needs the rotation to resolve relative position.
+* **SMF center policy** — strongest-mappings centers vs random
+  centers, scored by good-cluster counts (the comparison the authors
+  describe running before settling on SMF).
+* **Meridian deployment health** — pristine vs the paper's observed
+  pathologies, scored by mean selection rank (shows how much of the
+  paper's Fig. 4 Meridian tail is deployment, not protocol).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.cdn.loadbalance import SelectionPolicy
+from repro.cdn.mapping import MappingParams
+from repro.core.clustering import CenterPolicy, SmfParams, smf_cluster
+from repro.core.quality import evaluate_clustering
+from repro.core.selection import rank_candidates
+from repro.core.similarity import SimilarityMetric
+from repro.experiments.fig8_interval import _base_orderings
+from repro.meridian.failures import FailureRates
+from repro.workloads.scenario import Scenario, ScenarioParams
+
+
+def _selection_mean_rank(
+    scenario: Scenario,
+    metric: SimilarityMetric = SimilarityMetric.COSINE,
+    window_probes: Optional[int] = None,
+) -> Dict[str, float]:
+    """Mean Top-1 rank over clients, plus coverage, for one metric."""
+    orderings = _base_orderings(scenario)
+    candidate_maps = scenario.crp.ratio_maps(
+        scenario.candidate_names, window_probes=window_probes
+    )
+    candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
+    ranks = []
+    no_signal = 0
+    for client in scenario.client_names:
+        client_map = scenario.crp.ratio_map(client, window_probes=window_probes)
+        if client_map is None:
+            no_signal += 1
+            continue
+        ranked = rank_candidates(client_map, candidate_maps, metric)
+        if not ranked or not ranked[0].has_signal:
+            no_signal += 1
+            continue
+        ranks.append(orderings[client].index(ranked[0].name))
+    return {
+        "mean_rank": mean(ranks) if ranks else float("nan"),
+        "clients_ranked": len(ranks),
+        "no_signal": no_signal,
+    }
+
+
+@dataclass
+class AblationResult:
+    """Rows of (variant, metrics) for one ablation axis."""
+
+    axis: str
+    rows: List[List[object]]
+    headers: Sequence[str]
+
+    def report(self) -> str:
+        return format_table(self.headers, self.rows, title=f"Ablation: {self.axis}")
+
+
+def run_similarity_ablation(scenario: Scenario, probe_rounds: int = 48) -> AblationResult:
+    """Cosine vs Jaccard vs overlap on the same probe history."""
+    if scenario.crp.probes_issued == 0:
+        scenario.run_probe_rounds(probe_rounds)
+    rows = []
+    for metric in SimilarityMetric:
+        stats = _selection_mean_rank(scenario, metric=metric)
+        rows.append(
+            [metric.value, f"{stats['mean_rank']:.2f}", stats["clients_ranked"]]
+        )
+    return AblationResult(
+        axis="similarity metric (lower mean rank is better)",
+        rows=rows,
+        headers=["metric", "mean Top-1 rank", "clients ranked"],
+    )
+
+
+def run_spread_ablation(
+    base_params: ScenarioParams,
+    spreads: Sequence[int] = (1, 2, 4, 8),
+    probe_rounds: int = 48,
+) -> AblationResult:
+    """Answer-rotation width: the mechanism that gives maps resolution."""
+    rows = []
+    for spread in spreads:
+        policy = SelectionPolicy.BEST_ONLY if spread == 1 else SelectionPolicy.SOFTMAX
+        mapping = dataclasses.replace(
+            base_params.mapping, spread=max(spread, 2), policy=policy
+        )
+        params = dataclasses.replace(base_params, mapping=mapping, build_meridian=False)
+        scenario = Scenario(params)
+        scenario.run_probe_rounds(probe_rounds)
+        stats = _selection_mean_rank(scenario)
+        maps = scenario.crp.ratio_maps(scenario.client_names, window_probes=None)
+        support = mean([len(m) for m in maps.values() if m is not None])
+        rows.append(
+            [
+                "1 (best only)" if spread == 1 else str(spread),
+                f"{stats['mean_rank']:.2f}",
+                stats["no_signal"],
+                f"{support:.1f}",
+            ]
+        )
+    return AblationResult(
+        axis="CDN answer spread (rotation width)",
+        rows=rows,
+        headers=["spread", "mean Top-1 rank", "no-signal clients", "mean map support"],
+    )
+
+
+def run_center_policy_ablation(
+    scenario: Scenario,
+    threshold: float = 0.1,
+    probe_rounds: int = 48,
+) -> AblationResult:
+    """SMF's strongest-mappings centers vs random centers."""
+    if scenario.crp.probes_issued == 0:
+        scenario.run_probe_rounds(probe_rounds)
+    maps = scenario.crp.ratio_maps(scenario.client_names, window_probes=None)
+
+    def rtt(a: str, b: str) -> float:
+        return scenario.network.base_rtt_ms(scenario.host(a), scenario.host(b))
+
+    rows = []
+    for policy in (CenterPolicy.STRONGEST, CenterPolicy.RANDOM):
+        result = smf_cluster(
+            maps, SmfParams(threshold=threshold, center_policy=policy, seed=7)
+        )
+        qualities = evaluate_clustering(result, rtt)
+        good = sum(1 for q in qualities if q.is_good)
+        diameters = [q.diameter_ms for q in qualities]
+        rows.append(
+            [
+                policy.value,
+                len(result.clusters),
+                good,
+                f"{mean(diameters):.1f}" if diameters else "-",
+            ]
+        )
+    return AblationResult(
+        axis=f"SMF center policy (t={threshold:g})",
+        rows=rows,
+        headers=["centers", "# clusters", "good clusters (<75ms)", "mean diameter (ms)"],
+    )
+
+
+def run_meridian_budget_ablation(
+    base_params: ScenarioParams,
+    budgets: Sequence[Optional[int]] = (2, 5, 10, 30, None),
+    queries: int = 120,
+) -> AblationResult:
+    """Meridian accuracy vs on-demand probe budget.
+
+    Quantifies the Section II critique: Meridian's "accuracy strongly
+    depends on the time available for on-demand probing" — the cost
+    axis CRP removes entirely.
+    """
+    params = dataclasses.replace(
+        base_params, build_meridian=True, meridian_failures=None
+    )
+    scenario = Scenario(params)
+    orderings = _base_orderings(scenario)
+    entry = scenario.candidate_names[0]
+    rows = []
+    for budget in budgets:
+        ranks = []
+        probes = []
+        for client in scenario.client_names[:queries]:
+            outcome = scenario.meridian.closest_node(
+                scenario.host(client), entry=entry, probe_budget=budget
+            )
+            ranks.append(orderings[client].index(outcome.selected))
+            probes.append(outcome.probes)
+        rows.append(
+            [
+                "unlimited" if budget is None else str(budget),
+                f"{mean(ranks):.2f}",
+                f"{mean(probes):.1f}",
+            ]
+        )
+    return AblationResult(
+        axis="Meridian probe budget per query",
+        rows=rows,
+        headers=["budget", "mean rank", "mean probes spent"],
+    )
+
+
+def run_meridian_health_ablation(
+    base_params: ScenarioParams,
+    queries: int = 150,
+) -> AblationResult:
+    """Pristine vs deployed-flaky Meridian on selection rank."""
+    rows = []
+    for label, rates in (("pristine", None), ("deployed-flaky", FailureRates())):
+        params = dataclasses.replace(
+            base_params, build_meridian=True, meridian_failures=rates
+        )
+        scenario = Scenario(params)
+        # Advance into the experiment so restart pathologies are live.
+        scenario.clock.advance_minutes(24 * 60.0)
+        orderings = _base_orderings(scenario)
+        ranks = []
+        # Cycle entry nodes over the whole membership — a client cannot
+        # know which service nodes are sick, which is exactly how the
+        # deployed service's pathologies reached the paper's data.
+        members = scenario.meridian.members()
+        for index, client in enumerate(scenario.client_names[:queries]):
+            entry = members[index % len(members)]
+            outcome = scenario.meridian.closest_node(scenario.host(client), entry=entry)
+            ranks.append(orderings[client].index(outcome.selected))
+        worst = sorted(ranks)[-max(1, len(ranks) // 10) :]
+        rows.append(
+            [label, f"{mean(ranks):.2f}", f"{mean(worst):.1f}"]
+        )
+    return AblationResult(
+        axis="Meridian deployment health",
+        rows=rows,
+        headers=["deployment", "mean rank", "mean rank, worst decile"],
+    )

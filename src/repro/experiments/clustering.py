@@ -1,0 +1,109 @@
+"""Shared clustering study (Section V-B) behind Fig. 6, Fig. 7, Table I.
+
+Methodology: probe CRP over the experiment window for a population of
+DNS servers, build ratio maps, run SMF at the paper's thresholds, run
+ASN clustering as the baseline, and evaluate every clustering against
+King-estimated pairwise RTTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.asn_clustering import asn_cluster
+from repro.core.clustering import ClusteringResult, SmfParams, smf_cluster
+from repro.core.quality import (
+    DEFAULT_BUCKETS,
+    DEFAULT_DIAMETER_CAP_MS,
+    ClusterQuality,
+    evaluate_clustering,
+    good_cluster_buckets,
+)
+from repro.experiments.harness import king_matrix, matrix_rtt_fn
+from repro.workloads.scenario import Scenario
+
+#: The thresholds Table I sweeps.
+TABLE1_THRESHOLDS = (0.01, 0.1, 0.5)
+
+
+@dataclass
+class ClusteringStudy:
+    """Results of one clustering experiment."""
+
+    #: label ("crp-t0.1", "asn") → clustering result.
+    results: Dict[str, ClusteringResult]
+    #: label → per-cluster quality metrics (diameter-capped).
+    qualities: Dict[str, List[ClusterQuality]]
+    #: Ground-truth RTT between two node names.
+    rtt: Callable[[str, str], float]
+    #: Number of candidate nodes clustered over.
+    node_count: int
+
+    def label_for_threshold(self, threshold: float) -> str:
+        return f"crp-t{threshold:g}"
+
+    def crp_result(self, threshold: float = 0.1) -> ClusteringResult:
+        """The CRP clustering at one threshold."""
+        return self.results[self.label_for_threshold(threshold)]
+
+    def asn_result(self) -> ClusteringResult:
+        """The ASN-baseline clustering."""
+        return self.results["asn"]
+
+    def buckets(self, label: str, buckets=DEFAULT_BUCKETS) -> Dict[Tuple[float, float], int]:
+        """Figure 7's good-cluster counts for one approach."""
+        return good_cluster_buckets(self.qualities[label], buckets)
+
+
+def run_clustering_study(
+    scenario: Scenario,
+    probe_rounds: int = 60,
+    interval_minutes: float = 10.0,
+    thresholds: Sequence[float] = TABLE1_THRESHOLDS,
+    window_probes: Optional[int] = None,
+    diameter_cap_ms: Optional[float] = DEFAULT_DIAMETER_CAP_MS,
+    use_king_ground_truth: bool = True,
+    smf_seed: int = 0,
+) -> ClusteringStudy:
+    """Run the full Section V-B study over a scenario's DNS servers.
+
+    ``window_probes=None`` uses each node's full history (clustering in
+    the paper ran over the whole measurement period).  Ground truth is
+    King-estimated by default, matching the paper; pass ``False`` to
+    use direct (median-of-3) measurements instead.
+    """
+    scenario.run_probe_rounds(probe_rounds, interval_minutes)
+    clients = scenario.client_names
+
+    if use_king_ground_truth:
+        matrix = king_matrix(scenario, clients)
+    else:
+        matrix = {}
+        ordered = sorted(clients)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                matrix[(a, b)] = scenario.measure_rtt_ms(a, b)
+    rtt = matrix_rtt_fn(matrix)
+
+    maps = scenario.crp.ratio_maps(clients, window_probes=window_probes)
+
+    results: Dict[str, ClusteringResult] = {}
+    qualities: Dict[str, List[ClusterQuality]] = {}
+    for threshold in thresholds:
+        label = f"crp-t{threshold:g}"
+        result = smf_cluster(maps, SmfParams(threshold=threshold, seed=smf_seed))
+        results[label] = result
+        qualities[label] = evaluate_clustering(result, rtt, diameter_cap_ms)
+
+    client_hosts = [scenario.host(name) for name in clients]
+    asn_result = asn_cluster(client_hosts, rtt=rtt)
+    results["asn"] = asn_result
+    qualities["asn"] = evaluate_clustering(asn_result, rtt, diameter_cap_ms)
+
+    return ClusteringStudy(
+        results=results,
+        qualities=qualities,
+        rtt=rtt,
+        node_count=len(clients),
+    )

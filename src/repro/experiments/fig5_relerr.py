@@ -1,0 +1,82 @@
+"""Figure 5 — relative error of closest-node selections.
+
+Per client: the RTT to the recommended server minus the RTT to the
+truly closest one, sorted.  For CRP Top-5 the paper averages the RTT
+over the five recommendations before subtracting.  Small negative
+values are expected — ground truth and selections are measured at
+different moments of a moving network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.stats import median
+from repro.analysis.tables import format_series, format_table
+from repro.experiments.harness import ClosestNodeOutcome, run_closest_node_experiment
+from repro.workloads.scenario import Scenario
+
+
+@dataclass
+class Fig5Result:
+    """The three sorted relative-error curves."""
+
+    outcome: ClosestNodeOutcome
+
+    @property
+    def meridian_series(self) -> List[float]:
+        return self.outcome.series("meridian_error_ms")
+
+    @property
+    def crp_top1_series(self) -> List[float]:
+        return self.outcome.series("crp_top1_error_ms")
+
+    @property
+    def crp_top5_series(self) -> List[float]:
+        return self.outcome.series("crp_top5_error_ms")
+
+    def negative_fraction(self, series_name: str = "crp_top5_error_ms") -> float:
+        """Fraction of clients with negative relative error (dynamics)."""
+        values = self.outcome.series(series_name)
+        return sum(1 for v in values if v < 0) / len(values)
+
+    def report(self) -> str:
+        series = format_series(
+            {
+                "Meridian err (ms)": self.meridian_series,
+                "CRP Top1 err (ms)": self.crp_top1_series,
+                "CRP Top5 err (ms)": self.crp_top5_series,
+            },
+            title="Figure 5: relative error vs optimal selection (sorted per client)",
+        )
+        stats = format_table(
+            ["statistic", "value"],
+            [
+                ["median Meridian err (ms)", f"{median(self.meridian_series):.1f}"],
+                ["median CRP Top1 err (ms)", f"{median(self.crp_top1_series):.1f}"],
+                ["median CRP Top5 err (ms)", f"{median(self.crp_top5_series):.1f}"],
+                ["CRP Top5 negative fraction", f"{self.negative_fraction():.0%}"],
+            ],
+            title="Relative-error summary",
+        )
+        return series + "\n\n" + stats
+
+
+def run_fig5(
+    scenario: Scenario,
+    probe_rounds: int = 144,
+    interval_minutes: float = 10.0,
+    entry: Optional[str] = None,
+    outcome: Optional[ClosestNodeOutcome] = None,
+) -> Fig5Result:
+    """Run the Figure 5 experiment (or reuse a Figure 4 outcome —
+    the paper derives both figures from the same run)."""
+    if outcome is None:
+        outcome = run_closest_node_experiment(
+            scenario,
+            probe_rounds=probe_rounds,
+            interval_minutes=interval_minutes,
+            entry=entry,
+        )
+    return Fig5Result(outcome=outcome)

@@ -1,0 +1,102 @@
+"""Figure 6 — CDF of intra-cluster distances with inter-cluster points.
+
+For CRP clustering at t = 0.1 (diameter-capped at 75 ms): the solid
+curve is the CDF of per-cluster intra distances; each circular point is
+the same cluster's inter-center average.  A cluster is *good* when its
+point falls to the bottom-right of the curve — members are closer to
+their own center than other centers are.  The paper: "most of the
+clusters exhibit a diameter of less than 40 ms".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import cdf_points
+from repro.analysis.tables import format_table
+from repro.core.quality import ClusterQuality
+from repro.experiments.clustering import ClusteringStudy, run_clustering_study
+from repro.workloads.scenario import Scenario
+
+
+@dataclass
+class Fig6Result:
+    """The CDF data for one clustering's quality metrics."""
+
+    qualities: List[ClusterQuality]
+    threshold: float
+
+    @property
+    def intra_cdf(self) -> List[Tuple[float, float]]:
+        """(intra distance, cumulative fraction) — the solid curve."""
+        return cdf_points([q.intra_avg_ms for q in self.qualities])
+
+    @property
+    def paired_points(self) -> List[Tuple[float, float]]:
+        """(intra, inter) per cluster — the circular points, keyed to
+        the same clusters as the curve."""
+        return [
+            (q.intra_avg_ms, q.inter_avg_ms)
+            for q in self.qualities
+            if q.inter_avg_ms is not None
+        ]
+
+    @property
+    def good_fraction(self) -> float:
+        """Fraction of clusters in the shaded (good) region."""
+        if not self.qualities:
+            return 0.0
+        return sum(1 for q in self.qualities if q.is_good) / len(self.qualities)
+
+    def fraction_diameter_below(self, cutoff_ms: float = 40.0) -> float:
+        """Fraction of clusters with diameter under the cutoff."""
+        if not self.qualities:
+            return 0.0
+        return sum(1 for q in self.qualities if q.diameter_ms < cutoff_ms) / len(
+            self.qualities
+        )
+
+    def report(self) -> str:
+        rows = [
+            [
+                f"{q.intra_avg_ms:.1f}",
+                f"{q.inter_avg_ms:.1f}" if q.inter_avg_ms is not None else "-",
+                f"{q.diameter_ms:.1f}",
+                "good" if q.is_good else "-",
+            ]
+            for q in sorted(self.qualities, key=lambda q: q.intra_avg_ms)
+        ]
+        table = format_table(
+            ["intra avg (ms)", "inter avg (ms)", "diameter (ms)", "verdict"],
+            rows,
+            title=f"Figure 6: intra/inter cluster distances (CRP t={self.threshold:g})",
+        )
+        summary = format_table(
+            ["statistic", "value"],
+            [
+                ["clusters (diameter < 75ms)", len(self.qualities)],
+                ["good-cluster fraction", f"{self.good_fraction:.0%}"],
+                ["diameter < 40ms fraction", f"{self.fraction_diameter_below(40.0):.0%}"],
+            ],
+        )
+        return table + "\n\n" + summary
+
+
+def run_fig6(
+    scenario: Scenario,
+    probe_rounds: int = 60,
+    interval_minutes: float = 10.0,
+    threshold: float = 0.1,
+    study: Optional[ClusteringStudy] = None,
+) -> Fig6Result:
+    """Run the Figure 6 experiment (or reuse a clustering study)."""
+    if study is None:
+        study = run_clustering_study(
+            scenario,
+            probe_rounds=probe_rounds,
+            interval_minutes=interval_minutes,
+            thresholds=(threshold,),
+        )
+    label = study.label_for_threshold(threshold)
+    return Fig6Result(qualities=study.qualities[label], threshold=threshold)

@@ -1,0 +1,77 @@
+"""Figure 7 — good clusters per diameter bucket: CRP vs ASN.
+
+Clusters are bucketed by diameter (0–25 ms, 25–75 ms) and only *good*
+clusters (inter-center average above intra average) are counted.  The
+paper: "CRP clustering finds over 50% more high-quality clusters in
+the first bucket and more than double the number of clusters in the
+second bucket" — because CRP clusters nearby nodes across AS borders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.tables import format_table
+from repro.core.quality import DEFAULT_BUCKETS
+from repro.experiments.clustering import ClusteringStudy, run_clustering_study
+from repro.workloads.scenario import Scenario
+
+
+@dataclass
+class Fig7Result:
+    """Good-cluster counts per bucket for both approaches."""
+
+    crp_buckets: Dict[Tuple[float, float], int]
+    asn_buckets: Dict[Tuple[float, float], int]
+    threshold: float
+
+    def advantage(self, bucket: Tuple[float, float]) -> float:
+        """CRP count / ASN count for one bucket (inf when ASN has 0)."""
+        asn = self.asn_buckets.get(bucket, 0)
+        crp = self.crp_buckets.get(bucket, 0)
+        if asn == 0:
+            return float("inf") if crp > 0 else 1.0
+        return crp / asn
+
+    def report(self) -> str:
+        rows = []
+        for bucket in sorted(self.crp_buckets):
+            low, high = bucket
+            advantage = self.advantage(bucket)
+            rows.append(
+                [
+                    f"{low:g}-{high:g} ms",
+                    self.crp_buckets[bucket],
+                    self.asn_buckets.get(bucket, 0),
+                    "inf" if advantage == float("inf") else f"{advantage:.2f}x",
+                ]
+            )
+        return format_table(
+            ["diameter bucket", "CRP good clusters", "ASN good clusters", "CRP/ASN"],
+            rows,
+            title=f"Figure 7: good clusters per diameter bucket (CRP t={self.threshold:g} vs ASN)",
+        )
+
+
+def run_fig7(
+    scenario: Scenario,
+    probe_rounds: int = 60,
+    interval_minutes: float = 10.0,
+    threshold: float = 0.1,
+    study: Optional[ClusteringStudy] = None,
+) -> Fig7Result:
+    """Run the Figure 7 experiment (or reuse a clustering study)."""
+    if study is None:
+        study = run_clustering_study(
+            scenario,
+            probe_rounds=probe_rounds,
+            interval_minutes=interval_minutes,
+            thresholds=(threshold,),
+        )
+    label = study.label_for_threshold(threshold)
+    return Fig7Result(
+        crp_buckets=study.buckets(label, DEFAULT_BUCKETS),
+        asn_buckets=study.buckets("asn", DEFAULT_BUCKETS),
+        threshold=threshold,
+    )

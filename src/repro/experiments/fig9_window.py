@@ -1,0 +1,131 @@
+"""Figure 9 — average selection rank vs probe-window size.
+
+With the probe interval fixed at 10 minutes, the paper varies how many
+recent redirections feed the ratio map (all / 30 / 10 / 5 probes) and
+plots per-client average rank, sorted.  Findings tracked:
+
+* a 10-probe window is sufficient (≈100-minute bootstrap at 10-minute
+  probing);
+* "all probes" is better for about two thirds of clients but *worse*
+  for the rest — long histories go stale under dynamic conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_series, format_table
+from repro.core.selection import rank_candidates
+from repro.experiments.fig8_interval import RankSweepPoint, _base_orderings
+from repro.workloads.scenario import Scenario
+
+
+def _window_label(window: Optional[int]) -> str:
+    return "all probes" if window is None else f"{window} probes"
+
+
+@dataclass
+class Fig9Result:
+    """One curve per window size."""
+
+    points: Dict[Optional[int], RankSweepPoint]
+    interval_minutes: float
+
+    def fraction_all_beats(self, window: int = 10) -> float:
+        """Fraction of clients where the all-probes map outranks the
+        ``window``-probe map (paper: about two thirds)."""
+        all_ranks = self.points[None].avg_rank_by_client
+        win_ranks = self.points[window].avg_rank_by_client
+        common = sorted(set(all_ranks) & set(win_ranks))
+        if not common:
+            return 0.0
+        better = sum(1 for c in common if all_ranks[c] < win_ranks[c])
+        return better / len(common)
+
+    def report(self) -> str:
+        series = format_series(
+            {
+                f"Top1 {_window_label(window)}": point.series
+                for window, point in sorted(
+                    self.points.items(), key=lambda kv: (kv[0] is None, kv[0] or 0)
+                )
+            },
+            title="Figure 9: average rank per client by window size (sorted; lower is better)",
+        )
+        rows = [
+            [
+                _window_label(window),
+                len(point.avg_rank_by_client),
+                f"{point.overall_mean:.1f}",
+            ]
+            for window, point in sorted(
+                self.points.items(), key=lambda kv: (kv[0] is None, kv[0] or 0)
+            )
+        ]
+        stats = format_table(
+            ["window", "clients plotted", "mean rank"],
+            rows,
+            title=f"Window-size sweep at {self.interval_minutes:g}-minute probing",
+        )
+        extra = (
+            f"\nall-probes beats 10-probe window for "
+            f"{self.fraction_all_beats(10):.0%} of clients"
+            if 10 in self.points and None in self.points
+            else ""
+        )
+        return series + "\n\n" + stats + extra
+
+
+def run_fig9(
+    scenario: Scenario,
+    windows: Sequence[Optional[int]] = (5, 10, 30, None),
+    probe_rounds: int = 200,
+    interval_minutes: float = 10.0,
+    evaluations: int = 4,
+) -> Fig9Result:
+    """Run the Figure 9 sweep over one scenario.
+
+    All window sizes are evaluated from the *same* probe history (they
+    are just different views of the log), so a single probing run
+    serves every curve — exactly as in the paper.
+    """
+    if evaluations < 1:
+        raise ValueError("need at least one evaluation")
+    orderings = _base_orderings(scenario)
+    checkpoints = {
+        max(1, round((i + 1) * probe_rounds / evaluations)) for i in range(evaluations)
+    }
+    ranks: Dict[Optional[int], Dict[str, List[int]]] = {
+        window: {c: [] for c in scenario.client_names} for window in windows
+    }
+    for round_index in range(1, probe_rounds + 1):
+        scenario.crp.probe_all()
+        scenario.clock.advance_minutes(interval_minutes)
+        if round_index not in checkpoints:
+            continue
+        for window in windows:
+            # One shared set of candidate maps per (checkpoint, window).
+            candidate_maps = scenario.crp.ratio_maps(
+                scenario.candidate_names, window_probes=window
+            )
+            candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
+            for client in scenario.client_names:
+                client_map = scenario.crp.ratio_map(client, window_probes=window)
+                if client_map is None:
+                    continue
+                ranked = rank_candidates(client_map, candidate_maps)
+                if not ranked or not ranked[0].has_signal:
+                    continue
+                ranks[window][client].append(orderings[client].index(ranked[0].name))
+
+    points: Dict[Optional[int], RankSweepPoint] = {}
+    for window in windows:
+        avg = {c: mean(r) for c, r in ranks[window].items() if r}
+        points[window] = RankSweepPoint(
+            label=_window_label(window),
+            avg_rank_by_client=avg,
+            unplottable_clients=len(scenario.client_names) - len(avg),
+        )
+    return Fig9Result(points=points, interval_minutes=interval_minutes)

@@ -1,0 +1,265 @@
+"""Shared experiment machinery.
+
+The closest-node methodology (Section V-A), used by Figures 4, 5, 8
+and 9:
+
+1. Drive CRP probing for the experiment window (clients and candidate
+   servers all record their redirections).
+2. Directly measure the RTT between every client and every candidate —
+   the ground-truth ordering ("we directly measured the RTT between
+   these PlanetLab nodes and the 1,000 different DNS servers").
+3. Ask each approach for its recommendation per client and score it
+   against the ordering (rank) and by measured RTT to the selection.
+
+Selections are re-measured a little later than the ground-truth
+matrix, as in any live experiment — which is why small negative
+relative errors appear in Figure 5 ("the result of network dynamics
+throughout the experiment").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.analysis.stats import mean, rank_of, sorted_series
+from repro.core.selection import RankedCandidate
+from repro.workloads.scenario import Scenario
+
+#: Relative-RTT cutoff above which a client counts as "poor" for an
+#: approach (the paper's 80 ms overlap analysis).
+POOR_RESULT_MS = 80.0
+
+
+@dataclass(frozen=True)
+class SelectionRecord:
+    """One client's outcomes across approaches."""
+
+    client: str
+    #: Candidates ordered by directly measured RTT (ground truth).
+    best_rtt_ms: float
+    oracle_pick: str
+    #: Meridian.
+    meridian_pick: str
+    meridian_rtt_ms: float
+    meridian_rank: int
+    #: CRP Top-1.
+    crp_top1_pick: str
+    crp_top1_rtt_ms: float
+    crp_top1_rank: int
+    #: CRP Top-5 (average RTT / rank over the five picks).
+    crp_top5_picks: Tuple[str, ...]
+    crp_top5_rtt_ms: float
+    crp_top5_rank: float
+    #: False when the client's map was orthogonal to every candidate.
+    crp_has_signal: bool
+
+    @property
+    def meridian_error_ms(self) -> float:
+        """Figure 5's relative error for Meridian."""
+        return self.meridian_rtt_ms - self.best_rtt_ms
+
+    @property
+    def crp_top1_error_ms(self) -> float:
+        """Figure 5's relative error for CRP Top-1."""
+        return self.crp_top1_rtt_ms - self.best_rtt_ms
+
+    @property
+    def crp_top5_error_ms(self) -> float:
+        """Figure 5's relative error for CRP Top-5 (average)."""
+        return self.crp_top5_rtt_ms - self.best_rtt_ms
+
+
+@dataclass
+class ClosestNodeOutcome:
+    """All clients' records plus the paper's headline statistics."""
+
+    records: List[SelectionRecord]
+
+    def series(self, attribute: str) -> List[float]:
+        """A sorted per-client series (the paper's curve shape)."""
+        return sorted_series([getattr(r, attribute) for r in self.records])
+
+    # -- headline statistics ---------------------------------------------
+
+    def fraction_crp5_within(self, tolerance_ms: float = 7.0) -> float:
+        """Fraction of clients where CRP Top-5 is within ``tolerance``
+        of Meridian (the paper reports ~65% within 7 ms)."""
+        close = sum(
+            1
+            for r in self.records
+            if abs(r.crp_top5_rtt_ms - r.meridian_rtt_ms) <= tolerance_ms
+        )
+        return close / len(self.records)
+
+    def fraction_crp5_improves(self) -> float:
+        """Fraction where CRP Top-5 beats Meridian (paper: >25%)."""
+        better = sum(
+            1 for r in self.records if r.crp_top5_rtt_ms < r.meridian_rtt_ms
+        )
+        return better / len(self.records)
+
+    def fraction_meridian_twice_crp5(self) -> float:
+        """Fraction where Meridian's RTT is more than twice CRP Top-5's
+        (paper: ~10%)."""
+        worse = sum(
+            1
+            for r in self.records
+            if r.meridian_rtt_ms > 2.0 * max(r.crp_top5_rtt_ms, 0.1)
+        )
+        return worse / len(self.records)
+
+    def poor_clients(self, approach: str, cutoff_ms: float = POOR_RESULT_MS) -> Set[str]:
+        """Clients whose relative error exceeds the cutoff for an
+        approach ('meridian' or 'crp')."""
+        if approach == "meridian":
+            return {r.client for r in self.records if r.meridian_error_ms > cutoff_ms}
+        if approach == "crp":
+            return {r.client for r in self.records if r.crp_top5_error_ms > cutoff_ms}
+        raise ValueError(f"unknown approach {approach!r}")
+
+    def poor_overlap_fraction(self, cutoff_ms: float = POOR_RESULT_MS) -> float:
+        """|poor(M) ∩ poor(C)| / |poor(M) ∪ poor(C)| — the paper found
+        under 20% of poor-result servers common to both approaches."""
+        bad_m = self.poor_clients("meridian", cutoff_ms)
+        bad_c = self.poor_clients("crp", cutoff_ms)
+        union = bad_m | bad_c
+        if not union:
+            return 0.0
+        return len(bad_m & bad_c) / len(union)
+
+
+def build_ground_truth(
+    scenario: Scenario,
+    clients: Sequence[str],
+    candidates: Sequence[str],
+    samples: int = 3,
+) -> Dict[str, List[Tuple[str, float]]]:
+    """Directly measured client→candidate RTTs, ordered per client."""
+    truth: Dict[str, List[Tuple[str, float]]] = {}
+    for client in clients:
+        measured = [
+            (candidate, scenario.measure_rtt_ms(client, candidate, samples=samples))
+            for candidate in candidates
+        ]
+        measured.sort(key=lambda item: (item[1], item[0]))
+        truth[client] = measured
+    return truth
+
+
+def run_closest_node_experiment(
+    scenario: Scenario,
+    probe_rounds: int = 144,
+    interval_minutes: float = 10.0,
+    window_probes: Optional[int] = -1,
+    entry: Optional[str] = None,
+    remeasure_gap_minutes: float = 30.0,
+    top_k: int = 5,
+) -> ClosestNodeOutcome:
+    """The Section V-A experiment over a scenario.
+
+    ``entry`` is the Meridian entry node (defaults to the first
+    candidate, the paper's "measuring PlanetLab node").  The CRP window
+    sentinel ``-1`` uses the scenario's configured window.
+    """
+    if scenario.meridian is None:
+        raise ValueError("scenario was built without a Meridian overlay")
+    scenario.run_probe_rounds(probe_rounds, interval_minutes)
+
+    clients = scenario.client_names
+    candidates = scenario.candidate_names
+    truth = build_ground_truth(scenario, clients, candidates)
+
+    # Let the network drift before selections are re-measured.
+    scenario.clock.advance_minutes(remeasure_gap_minutes)
+
+    if entry is None:
+        entry = candidates[0]
+
+    records: List[SelectionRecord] = []
+    for client in clients:
+        ordering = [name for name, _ in truth[client]]
+        rtt_by_candidate = dict(truth[client])
+        best_rtt = truth[client][0][1]
+
+        ranked = scenario.crp.rank_servers(client, candidates, window_probes=window_probes)
+        if not ranked:
+            continue
+        top1 = ranked[0]
+        top5 = ranked[:top_k]
+
+        meridian_outcome = scenario.meridian.closest_node(
+            scenario.host(client), entry=entry
+        )
+
+        crp_top1_fresh = scenario.measure_rtt_ms(client, top1.name)
+        crp_top5_fresh = mean(
+            [scenario.measure_rtt_ms(client, r.name) for r in top5]
+        )
+        meridian_fresh = scenario.measure_rtt_ms(client, meridian_outcome.selected)
+
+        records.append(
+            SelectionRecord(
+                client=client,
+                best_rtt_ms=best_rtt,
+                oracle_pick=ordering[0],
+                meridian_pick=meridian_outcome.selected,
+                meridian_rtt_ms=meridian_fresh,
+                meridian_rank=rank_of(meridian_outcome.selected, ordering),
+                crp_top1_pick=top1.name,
+                crp_top1_rtt_ms=crp_top1_fresh,
+                crp_top1_rank=rank_of(top1.name, ordering),
+                crp_top5_picks=tuple(r.name for r in top5),
+                crp_top5_rtt_ms=crp_top5_fresh,
+                crp_top5_rank=mean([rank_of(r.name, ordering) for r in top5]),
+                crp_has_signal=top1.has_signal,
+            )
+        )
+    return ClosestNodeOutcome(records=records)
+
+
+def king_matrix(
+    scenario: Scenario,
+    names: Sequence[str],
+    retries: int = 2,
+) -> Dict[Tuple[str, str], float]:
+    """King-estimated RTTs between all pairs of registered DNS servers.
+
+    This is the clustering experiments' ground truth ("we estimated
+    the 'ground-truth' distances among servers by using King").
+    Returned keys are unordered pairs stored as sorted tuples.
+
+    Flaky resolvers can refuse individual King probes; each pair is
+    retried a few times and, if the forwarding side stays dark, the
+    pair falls back to a direct measurement (as the paper's authors
+    re-measured from their own vantage points when King failed).
+    """
+    from repro.dnssim.resolver import ResolutionError
+
+    matrix: Dict[Tuple[str, str], float] = {}
+    ordered = sorted(names)
+    for i, a in enumerate(ordered):
+        for b in ordered[i + 1 :]:
+            estimate: Optional[float] = None
+            for _ in range(retries + 1):
+                try:
+                    estimate = scenario.king_rtt_ms(a, b)
+                    break
+                except ResolutionError:
+                    continue
+            if estimate is None:
+                estimate = scenario.measure_rtt_ms(a, b)
+            matrix[(a, b)] = estimate
+    return matrix
+
+
+def matrix_rtt_fn(matrix: Mapping[Tuple[str, str], float]):
+    """An (a, b) → RTT callable over a pairwise matrix."""
+
+    def rtt(a: str, b: str) -> float:
+        if a == b:
+            return 0.0
+        key = (a, b) if a < b else (b, a)
+        return matrix[key]
+
+    return rtt

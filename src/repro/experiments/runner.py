@@ -1,0 +1,175 @@
+"""Command-line runner: regenerate every paper table/figure.
+
+Usage::
+
+    python -m repro.experiments.runner --scale quick
+    python -m repro.experiments.runner --scale paper --only fig4 table1
+    python -m repro.experiments.runner --out reports/
+
+Each experiment prints (and optionally saves) the same rows/series the
+paper reports.  ``pytest benchmarks/ --benchmark-only`` runs the same
+drivers with shape assertions; this runner is the interactive way in.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.experiments.clustering import run_clustering_study
+from repro.experiments.detour import run_detour
+from repro.experiments.fig4_closest import run_fig4
+from repro.experiments.fig5_relerr import run_fig5
+from repro.experiments.fig6_cdf import run_fig6
+from repro.experiments.fig7_buckets import run_fig7
+from repro.experiments.fig8_interval import run_fig8
+from repro.experiments.fig9_window import run_fig9
+from repro.experiments.overhead import run_overhead
+from repro.experiments.table1_summary import run_table1
+from repro.meridian import FailureRates
+from repro.workloads import Scenario, ScenarioParams
+
+#: (clients, candidates, probe rounds, sweep minutes) per scale.
+SCALES = {
+    "quick": (60, 40, 24, 1440.0),
+    "default": (400, 240, 96, 4.0 * 1440.0),
+    "paper": (1000, 240, 144, 5.0 * 1440.0),
+}
+
+
+def _selection_scenario(seed: int, scale: str, meridian: bool = True) -> Scenario:
+    clients, candidates, _, _ = SCALES[scale]
+    return Scenario(
+        ScenarioParams(
+            seed=seed,
+            dns_servers=clients,
+            planetlab_nodes=candidates,
+            build_meridian=meridian,
+            meridian_failures=FailureRates() if meridian else None,
+            king_weight_power=1.0,
+            king_rural_fraction=0.25,
+        )
+    )
+
+
+def _clustering_scenario(seed: int, scale: str) -> Scenario:
+    clients = 60 if scale == "quick" else 177
+    return Scenario(
+        ScenarioParams(
+            seed=seed, dns_servers=clients, planetlab_nodes=8, build_meridian=False
+        )
+    )
+
+
+def _run_fig4_fig5(scale: str) -> Dict[str, str]:
+    _, _, rounds, _ = SCALES[scale]
+    scenario = _selection_scenario(2008, scale)
+    fig4 = run_fig4(scenario, probe_rounds=rounds)
+    fig5 = run_fig5(scenario, outcome=fig4.outcome)
+    return {"fig4": fig4.report(), "fig5": fig5.report()}
+
+
+def _run_clustering(scale: str) -> Dict[str, str]:
+    scenario = _clustering_scenario(177, scale)
+    rounds = 24 if scale == "quick" else 60
+    study = run_clustering_study(scenario, probe_rounds=rounds)
+    return {
+        "table1": run_table1(scenario, study=study).report(),
+        "fig6": run_fig6(scenario, study=study).report(),
+        "fig7": run_fig7(scenario, study=study).report(),
+    }
+
+
+def _run_fig8(scale: str) -> Dict[str, str]:
+    clients, candidates, _, sweep_minutes = SCALES[scale]
+    params = ScenarioParams(
+        seed=8,
+        dns_servers=clients,
+        planetlab_nodes=candidates,
+        build_meridian=False,
+        king_weight_power=1.0,
+        king_rural_fraction=0.25,
+    )
+    result = run_fig8(params, duration_minutes=sweep_minutes)
+    return {"fig8": result.report()}
+
+
+def _run_fig9(scale: str) -> Dict[str, str]:
+    scenario = _selection_scenario(9, scale, meridian=False)
+    rounds = 48 if scale == "quick" else 144
+    result = run_fig9(scenario, probe_rounds=rounds)
+    return {"fig9": result.report()}
+
+
+def _run_detour(scale: str) -> Dict[str, str]:
+    scenario = _clustering_scenario(1906, scale)
+    result = run_detour(scenario, pairs=120 if scale == "quick" else 300)
+    return {"detour": result.report()}
+
+
+def _run_overhead(scale: str) -> Dict[str, str]:
+    scenario = _clustering_scenario(360, scale)
+    result = run_overhead(scenario)
+    return {"overhead": result.report()}
+
+
+#: experiment key → producer of {name: report}.
+EXPERIMENTS: Dict[str, Callable[[str], Dict[str, str]]] = {
+    "fig4": _run_fig4_fig5,
+    "fig5": _run_fig4_fig5,
+    "table1": _run_clustering,
+    "fig6": _run_clustering,
+    "fig7": _run_clustering,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "detour": _run_detour,
+    "overhead": _run_overhead,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument(
+        "--only",
+        nargs="*",
+        choices=sorted(EXPERIMENTS),
+        help="run a subset (default: everything)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also save reports to this directory"
+    )
+    args = parser.parse_args(argv)
+
+    wanted = args.only or sorted(EXPERIMENTS)
+    # Producers covering several experiments run once.
+    producers = []
+    seen = set()
+    for key in wanted:
+        producer = EXPERIMENTS[key]
+        if producer not in seen:
+            seen.add(producer)
+            producers.append(producer)
+
+    for producer in producers:
+        started = time.time()
+        reports = producer(args.scale)
+        elapsed = time.time() - started
+        for name, text in sorted(reports.items()):
+            if args.only and name not in args.only:
+                continue
+            print(f"\n{'=' * 72}\n{name}  (generated in {elapsed:.1f}s at scale={args.scale})")
+            print(text)
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

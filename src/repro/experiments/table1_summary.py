@@ -1,0 +1,79 @@
+"""Table I — cluster summary statistics across thresholds, plus ASN.
+
+Paper's table (177 candidate DNS servers):
+
+    Technique     #clustered  %    #clusters  [mean, median, max] size
+    CRP (t=0.01)  131         74%  35         [3.74, 3, 21]
+    CRP (t=0.1)   128         72%  36         [3.56, 3, 12]
+    CRP (t=0.5)   114         64%  38         [3.00, 2, 9]
+    ASN           41          23%  16         [2.56, 2, 5]
+
+Shape targets: clustered count falls and cluster count rises slightly
+as t grows; ASN clusters far fewer nodes (~3x fewer) in fewer
+clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.clustering import ClusteringResult
+from repro.experiments.clustering import (
+    TABLE1_THRESHOLDS,
+    ClusteringStudy,
+    run_clustering_study,
+)
+from repro.workloads.scenario import Scenario
+
+
+@dataclass
+class Table1Result:
+    """One row per technique, in presentation order."""
+
+    study: ClusteringStudy
+    thresholds: Sequence[float]
+
+    def rows(self) -> List[List[object]]:
+        ordered_labels = [
+            (f"CRP (t={t:g})", self.study.label_for_threshold(t)) for t in self.thresholds
+        ] + [("ASN", "asn")]
+        rows: List[List[object]] = []
+        for display, label in ordered_labels:
+            summary = self.study.results[label].summary()
+            rows.append(
+                [
+                    display,
+                    int(summary["nodes_clustered"]),
+                    f"{summary['pct_clustered']:.0f}%",
+                    int(summary["num_clusters"]),
+                    f"[{summary['mean_size']:.2f}, {summary['median_size']:g}, {summary['max_size']:g}]",
+                ]
+            )
+        return rows
+
+    def report(self) -> str:
+        return format_table(
+            ["technique", "# nodes clustered", "% clustered", "# clusters", "[mean, median, max] size"],
+            self.rows(),
+            title=f"Table I: cluster summaries ({self.study.node_count} candidate nodes)",
+        )
+
+
+def run_table1(
+    scenario: Scenario,
+    probe_rounds: int = 60,
+    interval_minutes: float = 10.0,
+    thresholds: Sequence[float] = TABLE1_THRESHOLDS,
+    study: Optional[ClusteringStudy] = None,
+) -> Table1Result:
+    """Run the Table I experiment (or reuse a clustering study)."""
+    if study is None:
+        study = run_clustering_study(
+            scenario,
+            probe_rounds=probe_rounds,
+            interval_minutes=interval_minutes,
+            thresholds=thresholds,
+        )
+    return Table1Result(study=study, thresholds=thresholds)

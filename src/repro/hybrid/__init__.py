@@ -1,0 +1,33 @@
+"""Hybrid positioning: the paper's open problem, implemented.
+
+Section VII: "An open problem that directly follows from this work is
+to understand how a CRP-based service can be combined with previously
+proposed latency-prediction approaches into a service that offers
+relative network positioning between arbitrary hosts with
+little-to-no overhead."
+
+CRP's one structural gap is orthogonality: when two hosts share no
+replica servers, cosine similarity is zero and CRP can only say "not
+nearby".  A coordinate system has the opposite profile — it can always
+produce an estimate, but needs latency samples and degrades under
+churn.  :class:`~repro.hybrid.positioning.HybridPositioning` composes
+them: CRP similarity ranks wherever redirection maps overlap, and a
+Vivaldi coordinate space (trained from whatever RTT samples the
+application observes anyway) breaks the ties CRP cannot.
+"""
+
+from repro.hybrid.positioning import (
+    HybridParams,
+    HybridPositioning,
+    HybridRanked,
+    RankSource,
+    train_coordinates_passively,
+)
+
+__all__ = [
+    "HybridParams",
+    "HybridPositioning",
+    "HybridRanked",
+    "RankSource",
+    "train_coordinates_passively",
+]

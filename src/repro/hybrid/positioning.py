@@ -1,0 +1,189 @@
+"""CRP + network coordinates, composed.
+
+The ranking rule: candidates CRP has *signal* for (positive cosine
+similarity to the client) are ranked by CRP, first — relative order
+among hosts with overlapping redirection behaviour is CRP's strength
+and needs no measurements.  Candidates orthogonal to the client are
+ranked by predicted RTT from the coordinate system and appended after
+the CRP block (an orthogonal candidate is "probably not nearby", so it
+belongs behind everything CRP vouches for; the coordinates order the
+remainder instead of leaving it arbitrary).
+
+When the client itself has *no* usable map (still bootstrapping, or in
+a region the CDN barely serves), the whole ranking falls back to
+coordinates.
+
+Coordinates are Vivaldi (:mod:`repro.baselines.vivaldi`), trained
+passively: :func:`train_coordinates_passively` feeds it RTT samples of
+the kind applications already observe (connection timings to the peers
+they happen to talk to), so the hybrid stays within the paper's
+"little-to-no overhead" constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.vivaldi import VivaldiSystem
+from repro.core.selection import rank_candidates
+from repro.core.service import CRPService
+from repro.core.similarity import SimilarityMetric
+from repro.netsim.network import Network
+from repro.netsim.topology import Host
+
+
+class RankSource(str, Enum):
+    """Which subsystem produced a candidate's position in the ranking."""
+
+    CRP = "crp"
+    COORDINATES = "coordinates"
+
+
+@dataclass(frozen=True)
+class HybridRanked:
+    """One ranked candidate with provenance."""
+
+    name: str
+    source: RankSource
+    #: Cosine similarity when source is CRP; predicted RTT (ms) when
+    #: source is COORDINATES.
+    score: float
+
+
+@dataclass(frozen=True)
+class HybridParams:
+    """Composition knobs."""
+
+    #: CRP similarity at or below which a candidate counts as
+    #: orthogonal (no signal).
+    signal_floor: float = 0.0
+    #: Similarity metric for the CRP block.
+    metric: SimilarityMetric = SimilarityMetric.COSINE
+
+
+class HybridPositioning:
+    """A positioning service over a CRP service plus coordinates."""
+
+    def __init__(
+        self,
+        crp: CRPService,
+        coordinates: VivaldiSystem,
+        params: HybridParams = HybridParams(),
+    ) -> None:
+        self.crp = crp
+        self.coordinates = coordinates
+        self.params = params
+
+    def _coordinate_block(self, client: str, names: Sequence[str]) -> List[HybridRanked]:
+        known = [n for n in names if n in self.coordinates and n != client]
+        unknown = sorted(n for n in names if n not in self.coordinates and n != client)
+        ranked = [
+            HybridRanked(name, RankSource.COORDINATES, estimate)
+            for name, estimate in self.coordinates.rank_candidates(client, known)
+        ]
+        # Candidates absent from the coordinate space go last, by name.
+        ranked.extend(
+            HybridRanked(name, RankSource.COORDINATES, float("inf")) for name in unknown
+        )
+        return ranked
+
+    def rank(
+        self,
+        client: str,
+        candidates: Sequence[str],
+        window_probes: Optional[int] = -1,
+    ) -> List[HybridRanked]:
+        """Rank candidates for a client, CRP first, coordinates behind.
+
+        Always returns a full ranking over the candidates (minus the
+        client itself) — the property CRP alone cannot provide.
+        """
+        client_map = self.crp.ratio_map(client, window_probes=window_probes)
+        if client_map is None:
+            if client in self.coordinates:
+                return self._coordinate_block(client, candidates)
+            return [
+                HybridRanked(name, RankSource.COORDINATES, float("inf"))
+                for name in sorted(candidates)
+                if name != client
+            ]
+
+        candidate_maps = {
+            name: self.crp.ratio_map(name, window_probes=window_probes)
+            for name in candidates
+            if name != client
+        }
+        present = {n: m for n, m in candidate_maps.items() if m is not None}
+        crp_ranked = rank_candidates(client_map, present, self.params.metric)
+
+        with_signal = [
+            HybridRanked(r.name, RankSource.CRP, r.score)
+            for r in crp_ranked
+            if r.score > self.params.signal_floor
+        ]
+        orphaned = [r.name for r in crp_ranked if r.score <= self.params.signal_floor]
+        orphaned.extend(n for n, m in candidate_maps.items() if m is None)
+
+        if client in self.coordinates:
+            tail = self._coordinate_block(client, orphaned)
+        else:
+            tail = [
+                HybridRanked(name, RankSource.COORDINATES, float("inf"))
+                for name in sorted(orphaned)
+            ]
+        return with_signal + tail
+
+    def closest(
+        self,
+        client: str,
+        candidates: Sequence[str],
+        window_probes: Optional[int] = -1,
+    ) -> Optional[HybridRanked]:
+        """The top pick, or None with no candidates."""
+        ranked = self.rank(client, candidates, window_probes=window_probes)
+        return ranked[0] if ranked else None
+
+    def coverage(self, client: str, candidates: Sequence[str]) -> float:
+        """Fraction of candidates ranked with CRP signal for a client."""
+        ranked = self.rank(client, candidates)
+        if not ranked:
+            return 0.0
+        return sum(1 for r in ranked if r.source is RankSource.CRP) / len(ranked)
+
+
+def train_coordinates_passively(
+    coordinates: VivaldiSystem,
+    network: Network,
+    hosts: Sequence[Host],
+    samples_per_node: int = 16,
+    seed: int = 0,
+) -> int:
+    """Feed the coordinate space application-observed RTT samples.
+
+    Models the "little-to-no overhead" data source: each node times a
+    handful of connections to random peers it talks to anyway (swarm
+    neighbours, game sessions, web servers).  Returns the number of
+    samples applied.
+    """
+    if samples_per_node < 1:
+        raise ValueError("need at least one sample per node")
+    rng = np.random.default_rng(seed)
+    by_name = {h.name: h for h in hosts}
+    names = sorted(by_name)
+    for name in names:
+        if name not in coordinates:
+            coordinates.add_node(name)
+    applied = 0
+    for name in names:
+        for _ in range(samples_per_node):
+            peer = names[int(rng.integers(0, len(names)))]
+            if peer == name:
+                continue
+            sample = network.measure_rtt_ms(by_name[name], by_name[peer])
+            coordinates.observe_symmetric(name, peer, sample)
+            applied += 1
+    return applied

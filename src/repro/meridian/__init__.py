@@ -1,0 +1,32 @@
+"""Meridian: the direct-measurement baseline (Wong et al., SIGCOMM 2005).
+
+The paper compares CRP's closest-node selection against a deployed
+Meridian service on PlanetLab.  This package implements the protocol —
+per-node concentric latency rings, hypervolume-driven ring-membership
+diversity, anti-entropy gossip for discovery, and the β-reduction
+closest-node query — plus a failure-injection layer reproducing the
+pathologies the paper documents in its deployed comparison target
+(bootstrap self-recommendation, nodes that never join, site-isolated
+nodes).
+"""
+
+from repro.meridian.hypervolume import diversity_score, select_diverse_subset
+from repro.meridian.rings import RingSet, RingParams
+from repro.meridian.node import MeridianNode, NodeState, QueryBudget
+from repro.meridian.overlay import MeridianOverlay, MeridianParams, QueryOutcome
+from repro.meridian.failures import FailurePlan, FailureRates
+
+__all__ = [
+    "diversity_score",
+    "select_diverse_subset",
+    "RingSet",
+    "RingParams",
+    "MeridianNode",
+    "NodeState",
+    "QueryBudget",
+    "MeridianOverlay",
+    "MeridianParams",
+    "QueryOutcome",
+    "FailurePlan",
+    "FailureRates",
+]

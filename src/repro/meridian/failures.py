@@ -1,0 +1,153 @@
+"""Failure injection for the Meridian deployment.
+
+The paper's Meridian comparison target was a *live* PlanetLab service,
+and Section V-A attributes most of Meridian's selection errors to
+deployment pathologies rather than the protocol:
+
+* Restarted nodes spent hours bootstrapping and then "provided
+  [themselves] as the closest node to all our requests" for several
+  more hours (planetlab1.cis.upenn.edu: 10 h mute, 7 h
+  self-recommending).
+* Some nodes "never successfully joined the Meridian overlay during
+  our 5-day experiment" (sjtu1, kaist, hku).
+* Some host pairs "only connected to the other host in their site"
+  and answered every query with themselves or their collocated node
+  (u-tokyo, atcorp pairs).
+
+A :class:`FailurePlan` assigns these states — at rates matching the
+paper's counts (3/240 never joined, 2 isolated pairs, a few restarts)
+— so benches can run Meridian both pristine and deployed-flaky.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netsim.rng import derive_rng
+from repro.netsim.topology import Host
+
+
+@dataclass(frozen=True)
+class FailureRates:
+    """How common each pathology is (fractions of the deployment)."""
+
+    #: Fraction of nodes that never join (answer with themselves).
+    never_joined: float = 3.0 / 240.0
+    #: Fraction of nodes forming site-isolated pairs (rounded to pairs).
+    site_isolated: float = 4.0 / 240.0
+    #: Fraction of nodes that restart mid-experiment.
+    restarts: float = 5.0 / 240.0
+    #: Seconds a restarted node is mute before answering anything.
+    mute_seconds: float = 10.0 * 3600.0
+    #: Seconds (after going mute ends) it self-recommends.
+    self_recommend_seconds: float = 7.0 * 3600.0
+
+    def __post_init__(self) -> None:
+        for name in ("never_joined", "site_isolated", "restarts"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a fraction in [0, 1], got {value}")
+
+    @classmethod
+    def none(cls) -> "FailureRates":
+        """A pristine deployment (all pathologies off)."""
+        return cls(never_joined=0.0, site_isolated=0.0, restarts=0.0)
+
+
+@dataclass
+class FailurePlan:
+    """Concrete pathology assignments for one deployment."""
+
+    #: Hosts that never join.
+    never_joined: frozenset = frozenset()
+    #: host name -> collocated partner name (both directions present).
+    isolated_partner: Dict[str, str] = field(default_factory=dict)
+    #: host name -> simulated time of its restart.
+    restart_at: Dict[str, float] = field(default_factory=dict)
+    rates: FailureRates = FailureRates()
+
+    @classmethod
+    def generate(
+        cls,
+        hosts: Sequence[Host],
+        rates: FailureRates,
+        seed: int,
+        horizon_seconds: float = 5.0 * 86400.0,
+    ) -> "FailurePlan":
+        """Draw a plan for a host set.
+
+        Site-isolated nodes are drawn as *pairs from the same metro*
+        (they are collocated machines); metros with a single host
+        cannot contribute.  Restart times are uniform over the
+        experiment horizon.
+        """
+        rng = derive_rng(seed, "meridian", "failures")
+        names = [h.name for h in hosts]
+        order = list(names)
+        rng.shuffle(order)
+
+        never_count = int(round(rates.never_joined * len(hosts)))
+        never = frozenset(order[:never_count])
+        remaining = [n for n in order if n not in never]
+
+        by_metro: Dict[str, List[str]] = defaultdict(list)
+        host_by_name = {h.name: h for h in hosts}
+        for name in remaining:
+            by_metro[host_by_name[name].metro.name].append(name)
+        pair_target = int(round(rates.site_isolated * len(hosts) / 2.0))
+        isolated: Dict[str, str] = {}
+        metros = sorted(by_metro)
+        rng.shuffle(metros)
+        for metro in metros:
+            if pair_target <= 0:
+                break
+            mates = by_metro[metro]
+            if len(mates) >= 2:
+                a, b = mates[0], mates[1]
+                isolated[a] = b
+                isolated[b] = a
+                pair_target -= 1
+
+        restart_count = int(round(rates.restarts * len(hosts)))
+        eligible = [n for n in remaining if n not in isolated]
+        restart_at = {
+            name: float(rng.uniform(0.0, horizon_seconds))
+            for name in eligible[:restart_count]
+        }
+        return cls(
+            never_joined=never,
+            isolated_partner=isolated,
+            restart_at=restart_at,
+            rates=rates,
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def is_never_joined(self, name: str) -> bool:
+        return name in self.never_joined
+
+    def partner_of(self, name: str) -> Optional[str]:
+        return self.isolated_partner.get(name)
+
+    def restart_time(self, name: str) -> Optional[float]:
+        return self.restart_at.get(name)
+
+    def is_mute(self, name: str, now: float) -> bool:
+        """True while a restarted node answers nothing at all."""
+        restarted = self.restart_at.get(name)
+        if restarted is None:
+            return False
+        return restarted <= now < restarted + self.rates.mute_seconds
+
+    def is_self_recommending(self, name: str, now: float) -> bool:
+        """True while a restarted node answers everything with itself."""
+        restarted = self.restart_at.get(name)
+        if restarted is None:
+            return False
+        start = restarted + self.rates.mute_seconds
+        end = start + self.rates.self_recommend_seconds
+        return start <= now < end

@@ -1,0 +1,197 @@
+"""One Meridian node: rings, gossip participation, query handling."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.meridian.rings import RingParams, RingSet
+from repro.netsim.topology import Host
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.meridian.overlay import MeridianOverlay
+
+
+class NodeState(str, Enum):
+    """Deployment health of a node (see failures module)."""
+
+    HEALTHY = "healthy"
+    NEVER_JOINED = "never-joined"
+    SITE_ISOLATED = "site-isolated"
+
+
+class QueryBudget:
+    """Probe allowance for one closest-node query.
+
+    Meridian's accuracy "strongly depends on the time available for
+    on-demand probing" (the paper's Section II critique).  A budget
+    models that time limit: every RTT probe a query performs draws from
+    it, and when it runs dry the query must answer with the best node
+    found so far.  ``limit=None`` means unlimited (run to convergence).
+    """
+
+    def __init__(self, limit: Optional[int] = None) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("probe budget must be at least 1 (or None)")
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        """Consume one probe; False when the budget is exhausted."""
+        if self.limit is not None and self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+
+class MeridianNode:
+    """A Meridian overlay member bound to a host."""
+
+    def __init__(
+        self,
+        host: Host,
+        overlay: "MeridianOverlay",
+        ring_params: RingParams,
+        state: NodeState = NodeState.HEALTHY,
+    ) -> None:
+        self.host = host
+        self.overlay = overlay
+        self.rings = RingSet(ring_params)
+        self.state = state
+
+    @property
+    def name(self) -> str:
+        return self.host.name
+
+    # -- behaviour gates --------------------------------------------------
+
+    def _plan(self):
+        return self.overlay.failure_plan
+
+    def is_responsive(self) -> bool:
+        """Can this node answer protocol messages right now?"""
+        if self.state is NodeState.NEVER_JOINED:
+            return False
+        return not self._plan().is_mute(self.name, self.overlay.now)
+
+    def answers_with_self(self) -> bool:
+        """Is this node in a state where it recommends itself blindly?"""
+        if self.state is NodeState.NEVER_JOINED:
+            return True
+        return self._plan().is_self_recommending(self.name, self.overlay.now)
+
+    # -- membership ---------------------------------------------------------
+
+    def probe_and_consider(self, peer: "MeridianNode") -> Optional[float]:
+        """Measure a peer and slot it into the rings.
+
+        Unresponsive peers yield nothing (the probe times out).
+        """
+        if peer.name == self.name:
+            return None
+        if not peer.is_responsive():
+            return None
+        latency = self.overlay.probe_ms(self.host, peer.host)
+        self.rings.consider(peer.name, latency)
+        return latency
+
+    def known_peers(self) -> List[str]:
+        """Names of all ring members, sorted."""
+        return sorted(name for name, _ in self.rings.members())
+
+    def gossip_round(self, rng: np.random.Generator) -> int:
+        """One anti-entropy push: send a random peer a sample of our
+        ring members; they probe the ones new to them.
+
+        Returns the number of fresh peers the receiver probed.
+        Site-isolated nodes only ever talk to their collocated partner,
+        so their gossip spreads nothing.
+        """
+        if not self.is_responsive():
+            return 0
+        peers = self.known_peers()
+        if not peers:
+            return 0
+        receiver_name = peers[int(rng.integers(0, len(peers)))]
+        receiver = self.overlay.node(receiver_name)
+        if not receiver.is_responsive():
+            return 0
+        sample_size = min(self.overlay.params.gossip_fanout, len(peers))
+        chosen = rng.choice(len(peers), size=sample_size, replace=False)
+        payload = [peers[int(i)] for i in chosen] + [self.name]
+        fresh = 0
+        known_to_receiver = set(receiver.known_peers())
+        for name in payload:
+            if name == receiver.name or name in known_to_receiver:
+                continue
+            if receiver.state is NodeState.SITE_ISOLATED:
+                continue
+            if receiver.probe_and_consider(self.overlay.node(name)) is not None:
+                fresh += 1
+        return fresh
+
+    def manage_rings(self) -> None:
+        """Periodic ring-membership diversity pass."""
+        self.rings.manage(self.overlay.peer_distance_ms)
+
+    # -- queries ------------------------------------------------------------
+
+    def handle_query(
+        self,
+        target: Host,
+        visited: Set[str],
+        budget: Optional[QueryBudget] = None,
+    ) -> Tuple[str, int]:
+        """β-reduction closest-node search from this node.
+
+        Returns (selected node name, hops consumed).  ``visited``
+        guards against forwarding loops (real Meridian carries the
+        query path for the same reason).  ``budget`` caps the probes
+        the query may spend; a dry budget ends the search with the
+        best node found so far.
+        """
+        if budget is None:
+            budget = QueryBudget(None)
+        visited.add(self.name)
+        if self.answers_with_self():
+            return self.name, 0
+        if not budget.take():
+            return self.name, 0
+
+        beta = self.overlay.params.beta
+        own_distance = self.overlay.probe_ms(self.host, target)
+        low = (1.0 - beta) * own_distance
+        high = (1.0 + beta) * own_distance
+        candidates = self.rings.peers_within(low, high)
+
+        best_name = self.name
+        best_distance = own_distance
+        for peer_name in candidates:
+            if peer_name in visited:
+                continue
+            peer = self.overlay.node(peer_name)
+            if not peer.is_responsive():
+                continue
+            if not budget.take():
+                break
+            peer_distance = self.overlay.probe_ms(peer.host, target)
+            if peer_distance < best_distance:
+                best_name = peer_name
+                best_distance = peer_distance
+
+        if (
+            best_name != self.name
+            and best_distance <= (1.0 - beta) * own_distance
+            and len(visited) < self.overlay.params.max_hops
+            and not budget.exhausted
+        ):
+            next_node = self.overlay.node(best_name)
+            chosen, hops = next_node.handle_query(target, visited, budget)
+            return chosen, hops + 1
+        return best_name, 0

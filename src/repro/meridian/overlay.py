@@ -1,0 +1,213 @@
+"""The Meridian overlay: membership, gossip driving, query entry.
+
+The overlay owns the node set, the failure plan, probe accounting, and
+the pairwise-latency cache nodes use for ring management.  Queries
+enter at a configurable entry node (the paper used "the measuring
+PlanetLab node as the entry point") and run the β-reduction search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.meridian.failures import FailurePlan, FailureRates
+from repro.meridian.node import MeridianNode, NodeState, QueryBudget
+from repro.meridian.rings import RingParams
+from repro.netsim.network import Network
+from repro.netsim.rng import derive_rng
+from repro.netsim.topology import Host
+
+
+@dataclass(frozen=True)
+class MeridianParams:
+    """Protocol parameters."""
+
+    rings: RingParams = RingParams()
+    #: Reduction threshold β: forward only if some peer is at most
+    #: (1 − β) of our own distance to the target.
+    beta: float = 0.5
+    #: Ring-member sample size pushed per gossip message.
+    gossip_fanout: int = 4
+    #: Existing nodes a joining node probes.
+    join_sample: int = 8
+    #: Forwarding-hop cap per query.
+    max_hops: int = 16
+    #: Gossip rounds run at build time to warm the overlay.
+    warmup_rounds: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta < 1.0:
+            raise ValueError(f"beta must be in (0, 1), got {self.beta}")
+        if self.join_sample < 1:
+            raise ValueError("join_sample must be at least 1")
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The result of one closest-node query."""
+
+    #: Name of the node Meridian recommends.
+    selected: str
+    #: Entry node the query started at.
+    entry: str
+    #: Forwarding hops the query took.
+    hops: int
+    #: RTT probes spent on this query (the cost CRP avoids).
+    probes: int
+
+
+class MeridianOverlay:
+    """A deployed Meridian service over a set of hosts."""
+
+    def __init__(
+        self,
+        network: Network,
+        params: MeridianParams = MeridianParams(),
+        seed: int = 0,
+        failure_plan: Optional[FailurePlan] = None,
+    ) -> None:
+        self.network = network
+        self.params = params
+        self.failure_plan = failure_plan or FailurePlan(rates=FailureRates.none())
+        self._rng = derive_rng(seed, "meridian", "overlay")
+        self._nodes: Dict[str, MeridianNode] = {}
+        self._pairwise_cache: Dict[Tuple[str, str], float] = {}
+        self.probes_issued = 0
+
+    # -- infrastructure ----------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.network.clock.now
+
+    def probe_ms(self, a: Host, b: Host) -> float:
+        """One accounted RTT probe."""
+        self.probes_issued += 1
+        return self.network.measure_rtt_ms(a, b)
+
+    def peer_distance_ms(self, a_name: str, b_name: str) -> float:
+        """Cached member-to-member latency for ring management."""
+        key = (a_name, b_name) if a_name < b_name else (b_name, a_name)
+        cached = self._pairwise_cache.get(key)
+        if cached is None:
+            cached = self.probe_ms(self._nodes[a_name].host, self._nodes[b_name].host)
+            self._pairwise_cache[key] = cached
+        return cached
+
+    # -- membership ----------------------------------------------------------
+
+    def node(self, name: str) -> MeridianNode:
+        return self._nodes[name]
+
+    @property
+    def nodes(self) -> List[MeridianNode]:
+        return list(self._nodes.values())
+
+    def members(self) -> List[str]:
+        """All node names, sorted."""
+        return sorted(self._nodes)
+
+    def build(self, hosts: Sequence[Host]) -> None:
+        """Create and join nodes for all hosts, then warm up gossip.
+
+        Join order is randomised.  A joining node probes a sample of
+        the healthy nodes already present; site-isolated nodes only
+        learn their collocated partner; never-joined nodes get a node
+        object (they must answer queries with themselves) but no rings.
+        """
+        if self._nodes:
+            raise ValueError("overlay already built")
+        plan = self.failure_plan
+        order = list(hosts)
+        self._rng.shuffle(order)
+        for host in order:
+            if plan.is_never_joined(host.name):
+                state = NodeState.NEVER_JOINED
+            elif plan.partner_of(host.name) is not None:
+                state = NodeState.SITE_ISOLATED
+            else:
+                state = NodeState.HEALTHY
+            node = MeridianNode(host, self, self.params.rings, state=state)
+            self._nodes[host.name] = node
+
+        for host in order:
+            self._join(self._nodes[host.name])
+        self.run_gossip(self.params.warmup_rounds)
+        self.manage_rings()
+
+    def _join(self, node: MeridianNode) -> None:
+        if node.state is NodeState.NEVER_JOINED:
+            return
+        partner_name = self.failure_plan.partner_of(node.name)
+        if partner_name is not None:
+            partner = self._nodes.get(partner_name)
+            if partner is not None:
+                node.probe_and_consider(partner)
+            return
+        candidates = [
+            n
+            for n in self._nodes.values()
+            if n.name != node.name
+            and n.state is NodeState.HEALTHY
+            and n.is_responsive()
+        ]
+        if not candidates:
+            return
+        sample_size = min(self.params.join_sample, len(candidates))
+        chosen = self._rng.choice(len(candidates), size=sample_size, replace=False)
+        for index in chosen:
+            node.probe_and_consider(candidates[int(index)])
+
+    def run_gossip(self, rounds: int) -> int:
+        """Run anti-entropy rounds across all nodes; returns total new
+        ring entries made."""
+        total = 0
+        for _ in range(rounds):
+            for name in self.members():
+                total += self._nodes[name].gossip_round(self._rng)
+        return total
+
+    def manage_rings(self) -> None:
+        """Run the diversity pass on every node."""
+        for node in self._nodes.values():
+            if node.state is NodeState.HEALTHY:
+                node.manage_rings()
+
+    # -- queries --------------------------------------------------------------
+
+    def closest_node(
+        self,
+        target: Host,
+        entry: Optional[str] = None,
+        probe_budget: Optional[int] = None,
+    ) -> QueryOutcome:
+        """Find the overlay node closest to ``target``.
+
+        ``entry`` names the entry node; defaults to a random healthy
+        one (the paper's client always entered via its measuring
+        PlanetLab node).  ``probe_budget`` caps the RTT probes the
+        query may spend — the "time available for on-demand probing"
+        that the paper identifies as Meridian's accuracy driver.
+        """
+        if not self._nodes:
+            raise ValueError("overlay has no nodes")
+        if entry is None:
+            healthy = [
+                n.name for n in self._nodes.values() if n.state is NodeState.HEALTHY
+            ]
+            pool = healthy or self.members()
+            entry = pool[int(self._rng.integers(0, len(pool)))]
+        entry_node = self._nodes[entry]
+        probes_before = self.probes_issued
+        visited: Set[str] = set()
+        budget = QueryBudget(probe_budget)
+        selected, hops = entry_node.handle_query(target, visited, budget)
+        return QueryOutcome(
+            selected=selected,
+            entry=entry,
+            hops=hops,
+            probes=self.probes_issued - probes_before,
+        )

@@ -1,0 +1,147 @@
+"""Meridian's per-node ring structure.
+
+Each node organises the peers it knows into a set of concentric,
+non-overlapping latency rings: ring ``i`` holds peers whose measured
+RTT falls in ``[α·s^(i-1), α·s^i)``, with the innermost ring covering
+``[0, α)`` and the outermost extending to infinity.  Rings are capped
+at ``k`` primary members; extra candidates are retained (up to a small
+secondary pool) and the periodic ring-management pass keeps the ``k``
+most diverse (see :mod:`repro.meridian.hypervolume`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.meridian.hypervolume import select_diverse_subset
+
+
+@dataclass(frozen=True)
+class RingParams:
+    """Ring geometry and capacity."""
+
+    #: Inner radius of ring 1, ms (Meridian's α).
+    alpha_ms: float = 1.0
+    #: Radius multiplier between consecutive rings (Meridian's s).
+    s: float = 2.0
+    #: Number of finite rings; the last ring is unbounded.
+    ring_count: int = 10
+    #: Primary members per ring (Meridian's k).
+    k: int = 8
+    #: Additional secondary candidates kept per ring.
+    secondary: int = 4
+
+    def __post_init__(self) -> None:
+        if self.alpha_ms <= 0:
+            raise ValueError("alpha_ms must be positive")
+        if self.s <= 1:
+            raise ValueError("ring multiplier s must exceed 1")
+        if self.ring_count < 1:
+            raise ValueError("need at least one ring")
+        if self.k < 1:
+            raise ValueError("k must be at least 1")
+        if self.secondary < 0:
+            raise ValueError("secondary pool cannot be negative")
+
+
+class RingSet:
+    """The rings of one Meridian node."""
+
+    def __init__(self, params: RingParams = RingParams()) -> None:
+        self.params = params
+        # ring index -> {peer name: latest measured RTT}
+        self._rings: Dict[int, Dict[str, float]] = {}
+
+    # -- geometry ----------------------------------------------------------
+
+    def ring_index(self, latency_ms: float) -> int:
+        """Which ring a latency falls in (outermost ring is unbounded)."""
+        if latency_ms < 0:
+            raise ValueError(f"negative latency: {latency_ms}")
+        if latency_ms < self.params.alpha_ms:
+            return 0
+        index = 1 + int(math.floor(math.log(latency_ms / self.params.alpha_ms, self.params.s)))
+        return min(index, self.params.ring_count)
+
+    def ring_bounds(self, index: int) -> Tuple[float, float]:
+        """The [inner, outer) latency bounds of a ring."""
+        if index < 0 or index > self.params.ring_count:
+            raise ValueError(f"no ring {index}")
+        if index == 0:
+            return (0.0, self.params.alpha_ms)
+        inner = self.params.alpha_ms * self.params.s ** (index - 1)
+        if index == self.params.ring_count:
+            return (inner, float("inf"))
+        return (inner, inner * self.params.s)
+
+    # -- membership -----------------------------------------------------------
+
+    def consider(self, peer: str, latency_ms: float) -> None:
+        """Insert or refresh a peer with a new latency measurement.
+
+        If the latency moved the peer across a ring boundary it is
+        relocated.  Rings hold at most ``k + secondary`` candidates;
+        beyond that, the new peer only displaces the slowest candidate
+        if it is faster.
+        """
+        self.forget(peer)
+        index = self.ring_index(latency_ms)
+        ring = self._rings.setdefault(index, {})
+        capacity = self.params.k + self.params.secondary
+        if len(ring) >= capacity:
+            slowest = max(ring, key=lambda p: (ring[p], p))
+            if ring[slowest] <= latency_ms:
+                return
+            del ring[slowest]
+        ring[peer] = latency_ms
+
+    def forget(self, peer: str) -> None:
+        """Drop a peer from whatever ring holds it (if any)."""
+        for ring in self._rings.values():
+            if peer in ring:
+                del ring[peer]
+                return
+
+    def manage(self, pairwise_ms: Callable[[str, str], float]) -> None:
+        """The periodic ring-management pass: trim each ring to its
+        ``k`` most diverse members (hypervolume heuristic)."""
+        for index, ring in self._rings.items():
+            if len(ring) <= self.params.k:
+                continue
+            keep = select_diverse_subset(sorted(ring), self.params.k, pairwise_ms)
+            self._rings[index] = {p: ring[p] for p in keep}
+
+    # -- queries ------------------------------------------------------------
+
+    def latency_of(self, peer: str) -> Optional[float]:
+        """Last measured RTT to a known peer, or None."""
+        for ring in self._rings.values():
+            if peer in ring:
+                return ring[peer]
+        return None
+
+    def members(self) -> Iterator[Tuple[str, float]]:
+        """All (peer, latency) pairs across rings, unordered."""
+        for ring in self._rings.values():
+            yield from ring.items()
+
+    def ring_members(self, index: int) -> Dict[str, float]:
+        """Members of one ring (copy)."""
+        return dict(self._rings.get(index, {}))
+
+    def peers_within(self, low_ms: float, high_ms: float) -> List[str]:
+        """Peers whose last RTT lies in [low, high] — the β-reduction
+        candidate set for a query with target distance in that band."""
+        if low_ms > high_ms:
+            raise ValueError("low_ms must not exceed high_ms")
+        selected = [
+            peer
+            for peer, latency in self.members()
+            if low_ms <= latency <= high_ms
+        ]
+        return sorted(selected)
+
+    def __len__(self) -> int:
+        return sum(len(ring) for ring in self._rings.values())

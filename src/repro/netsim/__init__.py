@@ -1,0 +1,44 @@
+"""Internet substrate: topology, geography, and a time-varying latency model.
+
+The paper evaluated CRP on the live Internet (PlanetLab vantage points,
+DNS servers from the King data set, the Akamai CDN).  This package is
+the simulated stand-in: a world model of metropolitan areas, a tiered
+autonomous-system graph, hosts with access links, and a round-trip-time
+model with propagation delay, AS-path penalties, mean-reverting
+congestion and per-sample jitter.
+
+The public surface is :class:`~repro.netsim.network.Network`, which
+answers ``rtt(a, b)`` queries for any two hosts at the current simulated
+time, and :class:`~repro.netsim.clock.SimClock`, the simulated clock
+shared by every subsystem.
+"""
+
+from repro.netsim.clock import SimClock
+from repro.netsim.geo import GeoPoint, great_circle_km, propagation_rtt_ms
+from repro.netsim.world import Metro, Region, World, default_world
+from repro.netsim.asn import AutonomousSystem, ASRegistry
+from repro.netsim.topology import Host, HostKind, Topology
+from repro.netsim.latency import LatencyModel, LatencyParams
+from repro.netsim.dynamics import OrnsteinUhlenbeck, CongestionField
+from repro.netsim.network import Network
+
+__all__ = [
+    "SimClock",
+    "GeoPoint",
+    "great_circle_km",
+    "propagation_rtt_ms",
+    "Metro",
+    "Region",
+    "World",
+    "default_world",
+    "AutonomousSystem",
+    "ASRegistry",
+    "Host",
+    "HostKind",
+    "Topology",
+    "LatencyModel",
+    "LatencyParams",
+    "OrnsteinUhlenbeck",
+    "CongestionField",
+    "Network",
+]

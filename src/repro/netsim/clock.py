@@ -1,0 +1,43 @@
+"""Simulated time.
+
+Every component in the reproduction shares one :class:`SimClock`.  Time
+is a float number of seconds since the start of the experiment; there is
+no wall-clock dependence anywhere, which keeps experiments fully
+deterministic under a fixed seed.
+"""
+
+from __future__ import annotations
+
+
+class SimClock:
+    """A monotonically advancing simulated clock.
+
+    Components hold a reference to the clock and read ``clock.now``
+    whenever they need a timestamp (DNS TTL expiry, redirection-probe
+    timestamps, congestion-process sampling, ...).  Only the experiment
+    driver advances the clock.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0:
+            raise ValueError(f"clock cannot start before zero, got {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time, in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock backwards ({seconds} s)")
+        self._now += float(seconds)
+        return self._now
+
+    def advance_minutes(self, minutes: float) -> float:
+        """Move time forward by ``minutes`` and return the new time."""
+        return self.advance(minutes * 60.0)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.1f}s)"

@@ -1,0 +1,92 @@
+"""The static part of the RTT model.
+
+The base (time-invariant) round-trip time between two hosts is
+
+    base(a, b) = access(a) + access(b)
+               + propagation(a, b) * stretch(a, b)
+               + per_hop_ms * as_hops(a, b)
+
+* ``propagation`` is fiber-speed great-circle RTT (:mod:`repro.netsim.geo`).
+* ``stretch`` models routing inflation and is a stable per-pair value in
+  ``[stretch_min, stretch_max]`` so that two equidistant host pairs can
+  see persistently different paths — the source of triangle-inequality
+  violations in the model.
+* ``as_hops`` is the AS-graph distance; each hop adds queueing and
+  router transit delay.
+
+Time-varying components (congestion, diurnal load, jitter) live in
+:mod:`repro.netsim.dynamics` and are composed by
+:class:`repro.netsim.network.Network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.netsim.asn import ASRegistry
+from repro.netsim.geo import propagation_rtt_ms
+from repro.netsim.rng import stable_unit_float
+from repro.netsim.topology import Host
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Tunables for the static RTT model."""
+
+    #: Minimum routing-stretch multiplier on great-circle propagation.
+    stretch_min: float = 1.15
+    #: Maximum routing-stretch multiplier.
+    stretch_max: float = 1.70
+    #: Milliseconds added per AS-level hop.
+    per_hop_ms: float = 1.6
+    #: RTT floor — even loopback-adjacent hosts are not at 0 ms.
+    floor_ms: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.stretch_min < 1.0:
+            raise ValueError("stretch_min must be >= 1")
+        if self.stretch_max < self.stretch_min:
+            raise ValueError("stretch_max must be >= stretch_min")
+        if self.per_hop_ms < 0 or self.floor_ms < 0:
+            raise ValueError("latency parameters cannot be negative")
+
+
+class LatencyModel:
+    """Computes base RTTs between hosts; caches per-pair values."""
+
+    def __init__(
+        self,
+        registry: ASRegistry,
+        params: LatencyParams = LatencyParams(),
+        seed: int = 0,
+    ) -> None:
+        self.registry = registry
+        self.params = params
+        self._seed = seed
+        self._cache: Dict[Tuple[int, int], float] = {}
+
+    def stretch(self, a: Host, b: Host) -> float:
+        """Stable routing-stretch multiplier for an unordered host pair."""
+        lo, hi = sorted((a.host_id, b.host_id))
+        u = stable_unit_float(self._seed, "stretch", str(lo), str(hi))
+        return self.params.stretch_min + u * (self.params.stretch_max - self.params.stretch_min)
+
+    def base_rtt_ms(self, a: Host, b: Host) -> float:
+        """Time-invariant RTT between two hosts, in milliseconds.
+
+        Symmetric by construction; results are cached per unordered
+        pair.
+        """
+        if a.host_id == b.host_id:
+            return 0.0
+        key = (a.host_id, b.host_id) if a.host_id < b.host_id else (b.host_id, a.host_id)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        prop = propagation_rtt_ms(a.location, b.location, stretch=self.stretch(a, b))
+        hops = self.registry.hops(a.asn, b.asn)
+        rtt = a.access_ms + b.access_ms + prop + self.params.per_hop_ms * hops
+        rtt = max(rtt, self.params.floor_ms)
+        self._cache[key] = rtt
+        return rtt

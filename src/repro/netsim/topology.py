@@ -1,0 +1,161 @@
+"""Hosts, points of presence, and the topology container.
+
+A :class:`Host` is anything with a network location: a DNS server acting
+as a CRP client, a PlanetLab-like candidate server, a CDN replica, or a
+recursive resolver.  Hosts live in metros, attach to stub ASes, and have
+an access-link latency that depends on what kind of host they are.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.netsim.asn import ASRegistry
+from repro.netsim.geo import GeoPoint
+from repro.netsim.world import Metro, Region, World
+
+
+class HostKind(str, Enum):
+    """What role a host plays in the reproduction."""
+
+    #: An open recursive DNS server (the paper's client population).
+    DNS_SERVER = "dns-server"
+    #: A PlanetLab-style well-connected candidate server.
+    PLANETLAB = "planetlab"
+    #: A CDN replica server in an ISP POP.
+    REPLICA = "replica"
+    #: A generic end host (used by examples: game clients, peers).
+    END_HOST = "end-host"
+    #: Internal infrastructure (mapping system vantage points etc.).
+    INFRA = "infra"
+
+
+#: Access-link RTT contribution ranges per host kind, in milliseconds.
+#: Well-provisioned infrastructure sits close to the backbone; end hosts
+#: ride consumer links with larger and more variable access delay.
+ACCESS_MS_RANGE = {
+    HostKind.DNS_SERVER: (0.5, 6.0),
+    HostKind.PLANETLAB: (0.3, 2.5),
+    HostKind.REPLICA: (0.2, 1.0),
+    HostKind.END_HOST: (3.0, 25.0),
+    HostKind.INFRA: (0.2, 1.0),
+}
+
+
+@dataclass(frozen=True)
+class Host:
+    """A network host with a fixed location and AS attachment."""
+
+    host_id: int
+    name: str
+    kind: HostKind
+    metro: Metro
+    location: GeoPoint
+    asn: int
+    access_ms: float
+
+    def __post_init__(self) -> None:
+        if self.access_ms < 0:
+            raise ValueError(f"access latency cannot be negative: {self.name}")
+
+    @property
+    def region(self) -> Region:
+        """The world region this host lives in."""
+        return self.metro.region
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Topology:
+    """Container and factory for all hosts in a scenario."""
+
+    def __init__(self, world: World, registry: ASRegistry) -> None:
+        self.world = world
+        self.registry = registry
+        self._hosts: Dict[int, Host] = {}
+        self._by_name: Dict[str, Host] = {}
+        self._next_id = 0
+
+    # -- access ----------------------------------------------------------
+
+    def host(self, host_id: int) -> Host:
+        """Look up a host by id."""
+        return self._hosts[host_id]
+
+    def host_named(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts.values())
+
+    def hosts_of_kind(self, kind: HostKind) -> List[Host]:
+        """All hosts of one kind, in creation order."""
+        return [h for h in self._hosts.values() if h.kind == kind]
+
+    # -- creation -----------------------------------------------------------
+
+    def create_host(
+        self,
+        name: str,
+        kind: HostKind,
+        metro: Metro,
+        rng: np.random.Generator,
+        asn: Optional[int] = None,
+        access_ms: Optional[float] = None,
+        location: Optional[GeoPoint] = None,
+    ) -> Host:
+        """Create and register a host in a metro.
+
+        The host gets a jittered location near the metro center (unless
+        ``location`` is given), a stub AS in the metro's region (unless
+        ``asn`` is given), and an access latency drawn from the range
+        for its kind (unless ``access_ms`` is given).
+        """
+        if name in self._by_name:
+            raise ValueError(f"duplicate host name {name!r}")
+        if asn is None:
+            asn = self.registry.sample_stub(metro.region, rng, metro_name=metro.name).asn
+        elif asn not in self.registry:
+            raise KeyError(f"unknown ASN {asn}")
+        if access_ms is None:
+            low, high = ACCESS_MS_RANGE[kind]
+            access_ms = float(rng.uniform(low, high))
+        if location is None:
+            location = self.world.jittered_location(metro, rng)
+        host = Host(
+            host_id=self._next_id,
+            name=name,
+            kind=kind,
+            metro=metro,
+            location=location,
+            asn=asn,
+            access_ms=access_ms,
+        )
+        self._next_id += 1
+        self._hosts[host.host_id] = host
+        self._by_name[name] = host
+        return host
+
+    def create_hosts(
+        self,
+        prefix: str,
+        kind: HostKind,
+        count: int,
+        rng: np.random.Generator,
+        region: Optional[Region] = None,
+    ) -> List[Host]:
+        """Create ``count`` hosts in density-weighted random metros."""
+        created = []
+        for i in range(count):
+            metro = self.world.sample_metro(rng, region=region)
+            created.append(self.create_host(f"{prefix}-{i}", kind, metro, rng))
+        return created

@@ -1,0 +1,370 @@
+"""The world model: metropolitan areas with regions and weights.
+
+Hosts live in metros.  The metro list below drives every deployment in
+the reproduction: PlanetLab-like candidate servers, DNS-server clients
+from the King-like data set, and CDN replica locations.  Weights encode
+where Internet hosts are dense; region tags let workloads reproduce the
+paper's geographic skews (e.g. the Akamai CDN's thin coverage of
+Oceania, which produces the tails of Figures 4 and 5).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.geo import GeoPoint
+
+
+class Region(str, Enum):
+    """Coarse world regions used for deployment skew and congestion."""
+
+    NORTH_AMERICA = "north-america"
+    SOUTH_AMERICA = "south-america"
+    EUROPE = "europe"
+    ASIA = "asia"
+    OCEANIA = "oceania"
+    AFRICA = "africa"
+
+
+@dataclass(frozen=True)
+class Metro:
+    """A metropolitan area where hosts, POPs and replicas can live."""
+
+    name: str
+    region: Region
+    country: str
+    location: GeoPoint
+    #: Relative density of Internet hosts (arbitrary units).
+    weight: float = 1.0
+    #: Relative quality of CDN coverage in this metro (0 = none).
+    cdn_coverage: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"metro weight must be positive: {self.name}")
+        if self.cdn_coverage < 0:
+            raise ValueError(f"cdn coverage cannot be negative: {self.name}")
+
+
+def _m(
+    name: str,
+    region: Region,
+    country: str,
+    lat: float,
+    lon: float,
+    weight: float,
+    cdn: float,
+) -> Metro:
+    return Metro(name, region, country, GeoPoint(lat, lon), weight, cdn)
+
+
+#: Sixty-odd metros with rough 2006-era Internet-density weights and a
+#: CDN-coverage skew that mirrors Akamai's deployment at the time:
+#: dense in North America / Europe / East Asia, thin elsewhere.
+DEFAULT_METROS: List[Metro] = [
+    # --- North America ---------------------------------------------------
+    _m("new-york", Region.NORTH_AMERICA, "US", 40.71, -74.01, 10.0, 1.0),
+    _m("boston", Region.NORTH_AMERICA, "US", 42.36, -71.06, 5.0, 1.0),
+    _m("washington-dc", Region.NORTH_AMERICA, "US", 38.91, -77.04, 7.0, 1.0),
+    _m("atlanta", Region.NORTH_AMERICA, "US", 33.75, -84.39, 5.0, 1.0),
+    _m("miami", Region.NORTH_AMERICA, "US", 25.76, -80.19, 4.0, 0.9),
+    _m("chicago", Region.NORTH_AMERICA, "US", 41.88, -87.63, 7.0, 1.0),
+    _m("dallas", Region.NORTH_AMERICA, "US", 32.78, -96.80, 5.0, 1.0),
+    _m("houston", Region.NORTH_AMERICA, "US", 29.76, -95.37, 4.0, 0.9),
+    _m("denver", Region.NORTH_AMERICA, "US", 39.74, -104.99, 3.0, 0.8),
+    _m("seattle", Region.NORTH_AMERICA, "US", 47.61, -122.33, 5.0, 1.0),
+    _m("san-francisco", Region.NORTH_AMERICA, "US", 37.77, -122.42, 8.0, 1.0),
+    _m("los-angeles", Region.NORTH_AMERICA, "US", 34.05, -118.24, 7.0, 1.0),
+    _m("nashville", Region.NORTH_AMERICA, "US", 36.16, -86.78, 2.0, 0.7),
+    _m("phoenix", Region.NORTH_AMERICA, "US", 33.45, -112.07, 2.5, 0.7),
+    _m("minneapolis", Region.NORTH_AMERICA, "US", 44.98, -93.27, 2.5, 0.8),
+    _m("toronto", Region.NORTH_AMERICA, "CA", 43.65, -79.38, 4.0, 0.9),
+    _m("montreal", Region.NORTH_AMERICA, "CA", 45.50, -73.57, 3.0, 0.8),
+    _m("vancouver", Region.NORTH_AMERICA, "CA", 49.28, -123.12, 2.5, 0.8),
+    _m("mexico-city", Region.NORTH_AMERICA, "MX", 19.43, -99.13, 3.0, 0.4),
+    # --- Europe -----------------------------------------------------------
+    _m("london", Region.EUROPE, "GB", 51.51, -0.13, 9.0, 1.0),
+    _m("amsterdam", Region.EUROPE, "NL", 52.37, 4.90, 6.0, 1.0),
+    _m("frankfurt", Region.EUROPE, "DE", 50.11, 8.68, 7.0, 1.0),
+    _m("paris", Region.EUROPE, "FR", 48.86, 2.35, 6.0, 1.0),
+    _m("madrid", Region.EUROPE, "ES", 40.42, -3.70, 4.0, 0.8),
+    _m("milan", Region.EUROPE, "IT", 45.46, 9.19, 4.0, 0.8),
+    _m("zurich", Region.EUROPE, "CH", 47.37, 8.54, 3.0, 0.9),
+    _m("vienna", Region.EUROPE, "AT", 48.21, 16.37, 3.0, 0.8),
+    _m("stockholm", Region.EUROPE, "SE", 59.33, 18.07, 3.0, 0.9),
+    _m("copenhagen", Region.EUROPE, "DK", 55.68, 12.57, 2.5, 0.8),
+    _m("helsinki", Region.EUROPE, "FI", 60.17, 24.94, 2.0, 0.7),
+    _m("oslo", Region.EUROPE, "NO", 59.91, 10.75, 2.0, 0.7),
+    _m("dublin", Region.EUROPE, "IE", 53.35, -6.26, 2.0, 0.8),
+    _m("brussels", Region.EUROPE, "BE", 50.85, 4.35, 2.5, 0.8),
+    _m("warsaw", Region.EUROPE, "PL", 52.23, 21.01, 3.0, 0.6),
+    _m("prague", Region.EUROPE, "CZ", 50.08, 14.44, 2.5, 0.6),
+    _m("budapest", Region.EUROPE, "HU", 47.50, 19.04, 2.0, 0.5),
+    _m("athens", Region.EUROPE, "GR", 37.98, 23.73, 1.5, 0.4),
+    _m("lisbon", Region.EUROPE, "PT", 38.72, -9.14, 1.5, 0.5),
+    _m("moscow", Region.EUROPE, "RU", 55.76, 37.62, 4.0, 0.3),
+    _m("st-petersburg", Region.EUROPE, "RU", 59.93, 30.34, 2.0, 0.2),
+    _m("istanbul", Region.EUROPE, "TR", 41.01, 28.98, 2.5, 0.3),
+    _m("reykjavik", Region.EUROPE, "IS", 64.15, -21.94, 0.5, 0.15),
+    # --- Asia -------------------------------------------------------------
+    _m("tokyo", Region.ASIA, "JP", 35.68, 139.69, 8.0, 1.0),
+    _m("osaka", Region.ASIA, "JP", 34.69, 135.50, 4.0, 0.9),
+    _m("seoul", Region.ASIA, "KR", 37.57, 126.98, 6.0, 0.9),
+    _m("hong-kong", Region.ASIA, "HK", 22.32, 114.17, 5.0, 0.9),
+    _m("taipei", Region.ASIA, "TW", 25.03, 121.57, 3.5, 0.7),
+    _m("singapore", Region.ASIA, "SG", 1.35, 103.82, 4.0, 0.8),
+    _m("shanghai", Region.ASIA, "CN", 31.23, 121.47, 5.0, 0.3),
+    _m("beijing", Region.ASIA, "CN", 39.90, 116.41, 5.0, 0.3),
+    _m("mumbai", Region.ASIA, "IN", 19.08, 72.88, 4.0, 0.25),
+    _m("delhi", Region.ASIA, "IN", 28.70, 77.10, 4.0, 0.2),
+    _m("bangalore", Region.ASIA, "IN", 12.97, 77.59, 3.0, 0.25),
+    _m("bangkok", Region.ASIA, "TH", 13.76, 100.50, 2.5, 0.3),
+    _m("kuala-lumpur", Region.ASIA, "MY", 3.14, 101.69, 2.0, 0.3),
+    _m("manila", Region.ASIA, "PH", 14.60, 120.98, 2.0, 0.2),
+    _m("jakarta", Region.ASIA, "ID", -6.21, 106.85, 2.5, 0.2),
+    _m("tel-aviv", Region.ASIA, "IL", 32.08, 34.78, 2.0, 0.5),
+    _m("dubai", Region.ASIA, "AE", 25.20, 55.27, 1.5, 0.3),
+    # --- Oceania ----------------------------------------------------------
+    _m("sydney", Region.OCEANIA, "AU", -33.87, 151.21, 3.0, 0.5),
+    _m("melbourne", Region.OCEANIA, "AU", -37.81, 144.96, 2.5, 0.4),
+    _m("perth", Region.OCEANIA, "AU", -31.95, 115.86, 1.0, 0.2),
+    _m("auckland", Region.OCEANIA, "NZ", -36.85, 174.76, 1.0, 0.1),
+    # --- South America -----------------------------------------------------
+    _m("sao-paulo", Region.SOUTH_AMERICA, "BR", -23.55, -46.63, 3.5, 0.4),
+    _m("rio-de-janeiro", Region.SOUTH_AMERICA, "BR", -22.91, -43.17, 2.0, 0.3),
+    _m("buenos-aires", Region.SOUTH_AMERICA, "AR", -34.60, -58.38, 2.5, 0.2),
+    _m("santiago", Region.SOUTH_AMERICA, "CL", -33.45, -70.67, 1.5, 0.2),
+    _m("bogota", Region.SOUTH_AMERICA, "CO", 4.71, -74.07, 1.5, 0.15),
+    # --- Africa ------------------------------------------------------------
+    _m("johannesburg", Region.AFRICA, "ZA", -26.20, 28.05, 1.5, 0.15),
+    _m("cape-town", Region.AFRICA, "ZA", -33.92, 18.42, 1.0, 0.1),
+    _m("cairo", Region.AFRICA, "EG", 30.04, 31.24, 1.5, 0.15),
+    _m("lagos", Region.AFRICA, "NG", 6.52, 3.38, 1.0, 0.05),
+    _m("nairobi", Region.AFRICA, "KE", -1.29, 36.82, 0.8, 0.05),
+    # --- North America, secondary markets -----------------------------------
+    _m("philadelphia", Region.NORTH_AMERICA, "US", 39.95, -75.17, 3.5, 0.8),
+    _m("baltimore", Region.NORTH_AMERICA, "US", 39.29, -76.61, 1.5, 0.5),
+    _m("pittsburgh", Region.NORTH_AMERICA, "US", 40.44, -79.99, 1.5, 0.5),
+    _m("detroit", Region.NORTH_AMERICA, "US", 42.33, -83.05, 2.0, 0.5),
+    _m("cleveland", Region.NORTH_AMERICA, "US", 41.50, -81.69, 1.2, 0.4),
+    _m("columbus", Region.NORTH_AMERICA, "US", 39.96, -83.00, 1.2, 0.4),
+    _m("cincinnati", Region.NORTH_AMERICA, "US", 39.10, -84.51, 1.0, 0.3),
+    _m("indianapolis", Region.NORTH_AMERICA, "US", 39.77, -86.16, 1.0, 0.3),
+    _m("st-louis", Region.NORTH_AMERICA, "US", 38.63, -90.20, 1.2, 0.4),
+    _m("kansas-city", Region.NORTH_AMERICA, "US", 39.10, -94.58, 1.0, 0.3),
+    _m("milwaukee", Region.NORTH_AMERICA, "US", 43.04, -87.91, 1.0, 0.3),
+    _m("charlotte", Region.NORTH_AMERICA, "US", 35.23, -80.84, 1.0, 0.3),
+    _m("raleigh", Region.NORTH_AMERICA, "US", 35.78, -78.64, 1.2, 0.4),
+    _m("orlando", Region.NORTH_AMERICA, "US", 28.54, -81.38, 1.0, 0.3),
+    _m("tampa", Region.NORTH_AMERICA, "US", 27.95, -82.46, 1.0, 0.3),
+    _m("new-orleans", Region.NORTH_AMERICA, "US", 29.95, -90.07, 0.7, 0.2),
+    _m("memphis", Region.NORTH_AMERICA, "US", 35.15, -90.05, 0.7, 0.2),
+    _m("austin", Region.NORTH_AMERICA, "US", 30.27, -97.74, 1.2, 0.4),
+    _m("san-antonio", Region.NORTH_AMERICA, "US", 29.42, -98.49, 0.8, 0.2),
+    _m("oklahoma-city", Region.NORTH_AMERICA, "US", 35.47, -97.52, 0.6, 0.2),
+    _m("salt-lake-city", Region.NORTH_AMERICA, "US", 40.76, -111.89, 0.8, 0.3),
+    _m("las-vegas", Region.NORTH_AMERICA, "US", 36.17, -115.14, 0.8, 0.3),
+    _m("sacramento", Region.NORTH_AMERICA, "US", 38.58, -121.49, 0.8, 0.3),
+    _m("san-diego", Region.NORTH_AMERICA, "US", 32.72, -117.16, 1.5, 0.5),
+    _m("portland", Region.NORTH_AMERICA, "US", 45.52, -122.68, 1.5, 0.5),
+    _m("albuquerque", Region.NORTH_AMERICA, "US", 35.08, -106.65, 0.5, 0.15),
+    _m("boise", Region.NORTH_AMERICA, "US", 43.62, -116.21, 0.4, 0.1),
+    _m("anchorage", Region.NORTH_AMERICA, "US", 61.22, -149.90, 0.2, 0.05),
+    _m("honolulu", Region.NORTH_AMERICA, "US", 21.31, -157.86, 0.4, 0.1),
+    _m("calgary", Region.NORTH_AMERICA, "CA", 51.05, -114.07, 0.8, 0.25),
+    _m("edmonton", Region.NORTH_AMERICA, "CA", 53.55, -113.49, 0.6, 0.2),
+    _m("ottawa", Region.NORTH_AMERICA, "CA", 45.42, -75.70, 0.8, 0.25),
+    _m("winnipeg", Region.NORTH_AMERICA, "CA", 49.90, -97.14, 0.4, 0.1),
+    _m("halifax", Region.NORTH_AMERICA, "CA", 44.65, -63.58, 0.3, 0.1),
+    _m("guadalajara", Region.NORTH_AMERICA, "MX", 20.66, -103.35, 0.8, 0.15),
+    _m("monterrey", Region.NORTH_AMERICA, "MX", 25.69, -100.32, 0.8, 0.15),
+    # --- Europe, secondary markets -------------------------------------------
+    _m("manchester", Region.EUROPE, "GB", 53.48, -2.24, 1.5, 0.5),
+    _m("birmingham", Region.EUROPE, "GB", 52.49, -1.89, 1.2, 0.4),
+    _m("edinburgh", Region.EUROPE, "GB", 55.95, -3.19, 0.8, 0.3),
+    _m("hamburg", Region.EUROPE, "DE", 53.55, 9.99, 1.5, 0.5),
+    _m("munich", Region.EUROPE, "DE", 48.14, 11.58, 1.8, 0.6),
+    _m("berlin", Region.EUROPE, "DE", 52.52, 13.40, 2.0, 0.6),
+    _m("cologne", Region.EUROPE, "DE", 50.94, 6.96, 1.2, 0.4),
+    _m("stuttgart", Region.EUROPE, "DE", 48.78, 9.18, 1.0, 0.3),
+    _m("lyon", Region.EUROPE, "FR", 45.76, 4.84, 1.0, 0.3),
+    _m("marseille", Region.EUROPE, "FR", 43.30, 5.37, 0.8, 0.3),
+    _m("toulouse", Region.EUROPE, "FR", 43.60, 1.44, 0.6, 0.2),
+    _m("barcelona", Region.EUROPE, "ES", 41.39, 2.17, 1.8, 0.5),
+    _m("valencia", Region.EUROPE, "ES", 39.47, -0.38, 0.6, 0.2),
+    _m("seville", Region.EUROPE, "ES", 37.39, -5.98, 0.5, 0.15),
+    _m("rome", Region.EUROPE, "IT", 41.90, 12.50, 1.8, 0.5),
+    _m("naples", Region.EUROPE, "IT", 40.85, 14.27, 0.8, 0.2),
+    _m("turin", Region.EUROPE, "IT", 45.07, 7.69, 0.8, 0.25),
+    _m("rotterdam", Region.EUROPE, "NL", 51.92, 4.48, 1.0, 0.4),
+    _m("antwerp", Region.EUROPE, "BE", 51.22, 4.40, 0.6, 0.25),
+    _m("geneva", Region.EUROPE, "CH", 46.20, 6.14, 0.7, 0.3),
+    _m("gothenburg", Region.EUROPE, "SE", 57.71, 11.97, 0.6, 0.25),
+    _m("malmo", Region.EUROPE, "SE", 55.60, 13.00, 0.4, 0.15),
+    _m("tampere", Region.EUROPE, "FI", 61.50, 23.76, 0.3, 0.1),
+    _m("bergen", Region.EUROPE, "NO", 60.39, 5.32, 0.3, 0.1),
+    _m("krakow", Region.EUROPE, "PL", 50.06, 19.94, 0.9, 0.25),
+    _m("wroclaw", Region.EUROPE, "PL", 51.11, 17.04, 0.6, 0.2),
+    _m("brno", Region.EUROPE, "CZ", 49.20, 16.61, 0.4, 0.15),
+    _m("bratislava", Region.EUROPE, "SK", 48.15, 17.11, 0.4, 0.15),
+    _m("porto", Region.EUROPE, "PT", 41.16, -8.63, 0.5, 0.2),
+    _m("kyiv", Region.EUROPE, "UA", 50.45, 30.52, 1.2, 0.1),
+    _m("bucharest", Region.EUROPE, "RO", 44.43, 26.10, 1.0, 0.15),
+    _m("sofia", Region.EUROPE, "BG", 42.70, 23.32, 0.6, 0.1),
+    _m("belgrade", Region.EUROPE, "RS", 44.79, 20.45, 0.6, 0.1),
+    _m("zagreb", Region.EUROPE, "HR", 45.81, 15.98, 0.5, 0.15),
+    _m("ljubljana", Region.EUROPE, "SI", 46.06, 14.51, 0.3, 0.1),
+    _m("vilnius", Region.EUROPE, "LT", 54.69, 25.28, 0.4, 0.1),
+    _m("riga", Region.EUROPE, "LV", 56.95, 24.11, 0.4, 0.1),
+    _m("tallinn", Region.EUROPE, "EE", 59.44, 24.75, 0.4, 0.15),
+    # --- Asia, secondary markets -----------------------------------------------
+    _m("nagoya", Region.ASIA, "JP", 35.18, 136.91, 1.5, 0.5),
+    _m("fukuoka", Region.ASIA, "JP", 33.59, 130.40, 1.0, 0.3),
+    _m("sapporo", Region.ASIA, "JP", 43.06, 141.35, 0.8, 0.25),
+    _m("busan", Region.ASIA, "KR", 35.18, 129.08, 1.0, 0.3),
+    _m("shenzhen", Region.ASIA, "CN", 22.54, 114.06, 2.0, 0.2),
+    _m("guangzhou", Region.ASIA, "CN", 23.13, 113.26, 2.0, 0.2),
+    _m("chengdu", Region.ASIA, "CN", 30.57, 104.07, 1.2, 0.1),
+    _m("wuhan", Region.ASIA, "CN", 30.59, 114.31, 1.0, 0.1),
+    _m("chennai", Region.ASIA, "IN", 13.08, 80.27, 1.5, 0.15),
+    _m("hyderabad", Region.ASIA, "IN", 17.39, 78.49, 1.2, 0.15),
+    _m("kolkata", Region.ASIA, "IN", 22.57, 88.36, 1.2, 0.1),
+    _m("pune", Region.ASIA, "IN", 18.52, 73.86, 0.8, 0.1),
+    _m("hanoi", Region.ASIA, "VN", 21.03, 105.85, 0.8, 0.1),
+    _m("ho-chi-minh", Region.ASIA, "VN", 10.82, 106.63, 1.0, 0.1),
+    _m("karachi", Region.ASIA, "PK", 24.86, 67.01, 0.8, 0.05),
+    _m("lahore", Region.ASIA, "PK", 31.55, 74.34, 0.6, 0.05),
+    _m("dhaka", Region.ASIA, "BD", 23.81, 90.41, 0.6, 0.05),
+    _m("colombo", Region.ASIA, "LK", 6.93, 79.85, 0.4, 0.05),
+    _m("riyadh", Region.ASIA, "SA", 24.71, 46.68, 0.8, 0.15),
+    _m("amman", Region.ASIA, "JO", 31.96, 35.95, 0.4, 0.1),
+    _m("beirut", Region.ASIA, "LB", 33.89, 35.50, 0.4, 0.1),
+    _m("haifa", Region.ASIA, "IL", 32.79, 34.99, 0.5, 0.25),
+    _m("macau", Region.ASIA, "MO", 22.20, 113.54, 0.3, 0.15),
+    _m("penang", Region.ASIA, "MY", 5.42, 100.33, 0.4, 0.1),
+    _m("cebu", Region.ASIA, "PH", 10.32, 123.90, 0.4, 0.05),
+    _m("surabaya", Region.ASIA, "ID", -7.26, 112.75, 0.6, 0.05),
+    # --- Oceania, secondary markets -----------------------------------------------
+    _m("brisbane", Region.OCEANIA, "AU", -27.47, 153.03, 1.2, 0.3),
+    _m("adelaide", Region.OCEANIA, "AU", -34.93, 138.60, 0.8, 0.15),
+    _m("canberra", Region.OCEANIA, "AU", -35.28, 149.13, 0.4, 0.1),
+    _m("wellington", Region.OCEANIA, "NZ", -41.29, 174.78, 0.5, 0.08),
+    _m("christchurch", Region.OCEANIA, "NZ", -43.53, 172.64, 0.4, 0.05),
+    _m("suva", Region.OCEANIA, "FJ", -18.14, 178.44, 0.1, 0.0),
+    # --- South America, secondary markets ---------------------------------------------
+    _m("brasilia", Region.SOUTH_AMERICA, "BR", -15.79, -47.88, 0.8, 0.15),
+    _m("belo-horizonte", Region.SOUTH_AMERICA, "BR", -19.92, -43.94, 0.8, 0.15),
+    _m("porto-alegre", Region.SOUTH_AMERICA, "BR", -30.03, -51.22, 0.6, 0.1),
+    _m("recife", Region.SOUTH_AMERICA, "BR", -8.05, -34.88, 0.5, 0.08),
+    _m("curitiba", Region.SOUTH_AMERICA, "BR", -25.43, -49.27, 0.6, 0.1),
+    _m("cordoba", Region.SOUTH_AMERICA, "AR", -31.42, -64.18, 0.5, 0.08),
+    _m("montevideo", Region.SOUTH_AMERICA, "UY", -34.90, -56.16, 0.4, 0.1),
+    _m("lima", Region.SOUTH_AMERICA, "PE", -12.05, -77.04, 1.0, 0.1),
+    _m("caracas", Region.SOUTH_AMERICA, "VE", 10.48, -66.90, 0.7, 0.08),
+    _m("quito", Region.SOUTH_AMERICA, "EC", -0.18, -78.47, 0.4, 0.05),
+    _m("medellin", Region.SOUTH_AMERICA, "CO", 6.24, -75.58, 0.5, 0.08),
+    # --- Africa, secondary markets -------------------------------------------------------
+    _m("durban", Region.AFRICA, "ZA", -29.86, 31.03, 0.5, 0.08),
+    _m("casablanca", Region.AFRICA, "MA", 33.57, -7.59, 0.6, 0.08),
+    _m("tunis", Region.AFRICA, "TN", 36.81, 10.17, 0.4, 0.05),
+    _m("algiers", Region.AFRICA, "DZ", 36.75, 3.06, 0.5, 0.05),
+    _m("accra", Region.AFRICA, "GH", 5.60, -0.19, 0.4, 0.03),
+    _m("addis-ababa", Region.AFRICA, "ET", 9.03, 38.74, 0.3, 0.02),
+    _m("dar-es-salaam", Region.AFRICA, "TZ", -6.79, 39.21, 0.3, 0.02),
+    _m("kampala", Region.AFRICA, "UG", 0.35, 32.58, 0.25, 0.02),
+    _m("alexandria", Region.AFRICA, "EG", 31.20, 29.92, 0.5, 0.05),
+    _m("abuja", Region.AFRICA, "NG", 9.06, 7.50, 0.3, 0.02),
+]
+
+
+@dataclass
+class World:
+    """A set of metros plus weighted-sampling helpers."""
+
+    metros: Sequence[Metro] = field(default_factory=lambda: list(DEFAULT_METROS))
+
+    def __post_init__(self) -> None:
+        if not self.metros:
+            raise ValueError("a world needs at least one metro")
+        names = [m.name for m in self.metros]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate metro names in world")
+        self._by_name: Dict[str, Metro] = {m.name: m for m in self.metros}
+        self._cum_weights: List[float] = []
+        total = 0.0
+        for metro in self.metros:
+            total += metro.weight
+            self._cum_weights.append(total)
+        self._total_weight = total
+
+    def metro(self, name: str) -> Metro:
+        """Look up a metro by name; raises ``KeyError`` if unknown."""
+        return self._by_name[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.metros)
+
+    def in_region(self, region: Region) -> List[Metro]:
+        """All metros in a region."""
+        return [m for m in self.metros if m.region == region]
+
+    def sample_metro(
+        self,
+        rng: np.random.Generator,
+        region: Optional[Region] = None,
+        weight_power: float = 1.0,
+    ) -> Metro:
+        """Draw one metro, weighted by host density.
+
+        When ``region`` is given, sampling is restricted to that region
+        (weights re-normalised within it).  ``weight_power`` flattens
+        (< 1) or sharpens (> 1) the density skew — populations like the
+        King DNS-server set are flatter than raw host density because
+        every network needs name servers regardless of its size.
+        """
+        if weight_power <= 0:
+            raise ValueError(f"weight_power must be positive, got {weight_power}")
+        if region is None and weight_power == 1.0:
+            u = rng.random() * self._total_weight
+            index = bisect.bisect_left(self._cum_weights, u)
+            index = min(index, len(self.metros) - 1)
+            return self.metros[index]
+        candidates = self.in_region(region) if region is not None else list(self.metros)
+        if not candidates:
+            raise ValueError(f"no metros in region {region}")
+        weights = np.array([m.weight for m in candidates], dtype=float) ** weight_power
+        weights /= weights.sum()
+        return candidates[int(rng.choice(len(candidates), p=weights))]
+
+    def jittered_location(
+        self,
+        metro: Metro,
+        rng: np.random.Generator,
+        sigma_degrees: float = 0.25,
+    ) -> GeoPoint:
+        """A host location near a metro center.
+
+        ``sigma_degrees`` controls the spread; the default keeps hosts
+        inside the metro area, while larger values model hosts in the
+        metro's wider catchment (small towns served from the city).
+        """
+        lat = float(np.clip(metro.location.lat + rng.normal(0.0, sigma_degrees), -89.9, 89.9))
+        lon = metro.location.lon + rng.normal(0.0, sigma_degrees)
+        if lon > 180.0:
+            lon -= 360.0
+        elif lon < -180.0:
+            lon += 360.0
+        return GeoPoint(lat, lon)
+
+
+def default_world() -> World:
+    """The standard world used by all experiments."""
+    return World(list(DEFAULT_METROS))

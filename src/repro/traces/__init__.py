@@ -1,0 +1,31 @@
+"""Redirection traces: record, persist, and replay CRP input data.
+
+The paper's system is measurement-driven: everything CRP computes
+derives from logs of (node, time, CDN name, returned replicas).  This
+package makes those logs first-class:
+
+* :func:`export_service_trace` — dump a live service's histories.
+* :func:`write_trace` / :func:`read_trace` — JSONL persistence.
+* :class:`OfflineCRP` — the adoption path for real deployments: load a
+  trace collected from *actual* DNS logs (or the simulator) and run
+  every CRP computation — ratio maps, ranking, SMF clustering —
+  without any network or simulator at all.
+"""
+
+from repro.traces.trace import (
+    OfflineCRP,
+    TraceRecord,
+    export_service_trace,
+    read_trace,
+    replay_into_trackers,
+    write_trace,
+)
+
+__all__ = [
+    "OfflineCRP",
+    "TraceRecord",
+    "export_service_trace",
+    "read_trace",
+    "replay_into_trackers",
+    "write_trace",
+]

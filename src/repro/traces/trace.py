@@ -1,0 +1,203 @@
+"""Trace records, JSONL persistence, and offline CRP.
+
+Trace format: one JSON object per line, schema::
+
+    {"node": "ns0.boston", "at": 600.0,
+     "name": "us.i1.yimg.test", "addresses": ["172.0.0.3", "172.0.0.7"]}
+
+``at`` is seconds on whatever clock the collector used (simulated time
+here; Unix time in a real deployment) — CRP only ever uses differences
+and ordering.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.clustering import ClusteringResult, SmfParams, smf_cluster
+from repro.core.ratio_map import RatioMap
+from repro.core.selection import RankedCandidate, rank_candidates
+from repro.core.service import CRPService
+from repro.core.similarity import SimilarityMetric
+from repro.core.tracker import RedirectionTracker
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One observed redirection."""
+
+    node: str
+    at: float
+    name: str
+    addresses: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise ValueError("record needs a node name")
+        if not self.addresses:
+            raise ValueError("record needs at least one address")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "node": self.node,
+                "at": self.at,
+                "name": self.name,
+                "addresses": list(self.addresses),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceRecord":
+        payload = json.loads(line)
+        return cls(
+            node=payload["node"],
+            at=float(payload["at"]),
+            name=payload["name"],
+            addresses=tuple(payload["addresses"]),
+        )
+
+
+def export_service_trace(
+    service: CRPService, nodes: Optional[Sequence[str]] = None
+) -> List[TraceRecord]:
+    """Flatten a live service's tracker histories into records.
+
+    Records come out in global time order (stable across nodes), ready
+    for :func:`write_trace`.
+    """
+    if nodes is None:
+        nodes = service.nodes
+    records = []
+    for node in nodes:
+        for observation in service.tracker(node).observations:
+            records.append(
+                TraceRecord(
+                    node=node,
+                    at=observation.at,
+                    name=observation.name,
+                    addresses=observation.addresses,
+                )
+            )
+    records.sort(key=lambda r: (r.at, r.node, r.name))
+    return records
+
+
+def write_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> Path:
+    """Write records as JSONL; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(record.to_json() + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records from a JSONL trace (blank lines skipped)."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield TraceRecord.from_json(line)
+
+
+def replay_into_trackers(
+    records: Iterable[TraceRecord],
+) -> Dict[str, RedirectionTracker]:
+    """Rebuild per-node trackers from a trace.
+
+    Records may arrive in any order; they are replayed per node in time
+    order (matching the tracker's monotonicity contract).
+    """
+    by_node: Dict[str, List[TraceRecord]] = {}
+    for record in records:
+        by_node.setdefault(record.node, []).append(record)
+    trackers: Dict[str, RedirectionTracker] = {}
+    for node, node_records in by_node.items():
+        tracker = RedirectionTracker(node)
+        for record in sorted(node_records, key=lambda r: r.at):
+            tracker.observe(record.at, record.name, record.addresses)
+        trackers[node] = tracker
+    return trackers
+
+
+class OfflineCRP:
+    """CRP computations over a recorded trace — no network required.
+
+    This is how a real operator would consume this library: collect
+    (resolver, timestamp, name, answers) tuples from DNS logs, write
+    them in the trace schema, and run positioning queries offline.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[TraceRecord],
+        window_probes: Optional[int] = 10,
+        metric: SimilarityMetric = SimilarityMetric.COSINE,
+    ) -> None:
+        self._trackers = replay_into_trackers(records)
+        self.window_probes = window_probes
+        self.metric = metric
+
+    @classmethod
+    def from_file(cls, path: Union[str, Path], **kwargs) -> "OfflineCRP":
+        """Load a JSONL trace file."""
+        return cls(read_trace(path), **kwargs)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._trackers)
+
+    def tracker(self, node: str) -> RedirectionTracker:
+        return self._trackers[node]
+
+    def ratio_map(
+        self, node: str, window_probes: Optional[int] = -1
+    ) -> Optional[RatioMap]:
+        """A node's map over the configured window (-1 = default)."""
+        if window_probes == -1:
+            window_probes = self.window_probes
+        return self._trackers[node].ratio_map(window_probes=window_probes)
+
+    def ratio_maps(
+        self, nodes: Optional[Sequence[str]] = None, window_probes: Optional[int] = -1
+    ) -> Dict[str, Optional[RatioMap]]:
+        if nodes is None:
+            nodes = self.nodes
+        return {n: self.ratio_map(n, window_probes) for n in nodes}
+
+    def rank_servers(
+        self,
+        client: str,
+        candidates: Sequence[str],
+        window_probes: Optional[int] = -1,
+    ) -> List[RankedCandidate]:
+        """Candidates ranked by similarity to the client."""
+        client_map = self.ratio_map(client, window_probes)
+        if client_map is None:
+            return []
+        candidate_maps = {
+            n: self.ratio_map(n, window_probes)
+            for n in candidates
+            if n != client and n in self._trackers
+        }
+        candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
+        return rank_candidates(client_map, candidate_maps, self.metric)
+
+    def cluster(
+        self,
+        nodes: Optional[Sequence[str]] = None,
+        smf_params: Optional[SmfParams] = None,
+        window_probes: Optional[int] = None,
+    ) -> ClusteringResult:
+        """SMF clustering over the trace population (full history by
+        default, as the paper's clustering evaluation used)."""
+        if smf_params is None:
+            smf_params = SmfParams(metric=self.metric)
+        maps = self.ratio_maps(nodes, window_probes=window_probes)
+        return smf_cluster(maps, smf_params)

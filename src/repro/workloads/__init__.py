@@ -1,0 +1,30 @@
+"""Workload generation: the paper's host populations, synthesised.
+
+* :mod:`repro.workloads.planetlab` — a PlanetLab-like deployment:
+  academic sites with one or two collocated, well-connected machines,
+  skewed toward North America and Europe.
+* :mod:`repro.workloads.kingset` — a King-data-set-like population of
+  open recursive DNS servers: a large raw pool filtered down to the
+  responsive, recursion-enabled subset, then sampled (the paper:
+  4,000 usable of the original set, 1,000 sampled).
+* :mod:`repro.workloads.scenario` — the fully wired experiment world:
+  topology + network + DNS + CDN + CRP + Meridian + King in one
+  object, the entry point experiments and examples build on.
+"""
+
+from repro.workloads.planetlab import PlanetLabDeployment, deploy_planetlab
+from repro.workloads.kingset import KingDataSet, build_king_dataset
+from repro.workloads.scenario import Scenario, ScenarioParams
+from repro.workloads.churn import ChurnEvents, ChurnParams, ChurnProcess
+
+__all__ = [
+    "ChurnEvents",
+    "ChurnParams",
+    "ChurnProcess",
+    "PlanetLabDeployment",
+    "deploy_planetlab",
+    "KingDataSet",
+    "build_king_dataset",
+    "Scenario",
+    "ScenarioParams",
+]

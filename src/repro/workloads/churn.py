@@ -1,0 +1,109 @@
+"""Churn: nodes joining and leaving mid-experiment.
+
+The paper motivates CRP partly by churn-resilience: coordinate systems
+accumulate embedding error as the peer set turns over ("in systems
+with high degrees of churn, this could result in compounded embedding
+errors over time", Section II), while a CRP node's position derives
+only from its *own* redirection history — departures require no repair
+anywhere, and a joiner is useful after a handful of probes.
+
+:class:`ChurnProcess` drives that turnover against a scenario: each
+step, existing churnable clients leave with a per-step probability and
+a Poisson number of fresh clients join (new hosts, new resolvers,
+registered with the CRP service).  The candidate-server population is
+stable, as PlanetLab was across the paper's experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set, Tuple
+
+from repro.dnssim.resolver import RecursiveResolver
+from repro.netsim.rng import derive_rng
+from repro.netsim.topology import HostKind
+from repro.workloads.scenario import Scenario
+
+
+@dataclass(frozen=True)
+class ChurnParams:
+    """Turnover intensity."""
+
+    #: Probability each churnable client leaves, per step.
+    leave_probability: float = 0.05
+    #: Expected number of joining clients per step (Poisson mean).
+    join_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.leave_probability <= 1.0:
+            raise ValueError("leave_probability must be in [0, 1]")
+        if self.join_rate < 0.0:
+            raise ValueError("join_rate cannot be negative")
+
+
+@dataclass
+class ChurnEvents:
+    """What one churn step did."""
+
+    joined: List[str] = field(default_factory=list)
+    left: List[str] = field(default_factory=list)
+
+
+class ChurnProcess:
+    """Applies join/leave events to a scenario's client population."""
+
+    def __init__(
+        self,
+        scenario: Scenario,
+        params: ChurnParams = ChurnParams(),
+        seed: int = 0,
+    ) -> None:
+        self.scenario = scenario
+        self.params = params
+        self._rng = derive_rng(seed, "churn")
+        #: Clients currently subject to churn (initially the scenario's
+        #: whole King-set population).
+        self.members: Set[str] = set(scenario.client_names)
+        self._join_serial = 0
+        self.total_joined = 0
+        self.total_left = 0
+
+    def step(self) -> ChurnEvents:
+        """One churn step: departures then arrivals."""
+        events = ChurnEvents()
+        for name in sorted(self.members):
+            if self._rng.random() < self.params.leave_probability:
+                self.scenario.crp.unregister_node(name)
+                self.members.discard(name)
+                events.left.append(name)
+        arrivals = int(self._rng.poisson(self.params.join_rate))
+        for _ in range(arrivals):
+            metro = self.scenario.world.sample_metro(self._rng)
+            host = self.scenario.topology.create_host(
+                f"churn-{self._join_serial}", HostKind.DNS_SERVER, metro, self._rng
+            )
+            self._join_serial += 1
+            self.scenario.crp.register_node(
+                host.name,
+                RecursiveResolver(
+                    host, self.scenario.infrastructure, self.scenario.network
+                ),
+            )
+            self.members.add(host.name)
+            events.joined.append(host.name)
+        self.total_joined += len(events.joined)
+        self.total_left += len(events.left)
+        return events
+
+    def run(
+        self, rounds: int, interval_minutes: float = 10.0
+    ) -> List[ChurnEvents]:
+        """Interleave churn steps with probe rounds."""
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        history = []
+        for _ in range(rounds):
+            history.append(self.step())
+            self.scenario.crp.probe_all()
+            self.scenario.clock.advance_minutes(interval_minutes)
+        return history

@@ -1,0 +1,94 @@
+"""A synthetic PlanetLab deployment.
+
+PlanetLab circa 2006: a few hundred machines at academic and industry
+sites, one or two per site, strongly skewed toward North American and
+European universities with a meaningful Asian presence and thin
+coverage elsewhere.  The paper used the 240 consistently active nodes
+of the 413-node Meridian deployment as its candidate servers.
+
+Sites matter: the paper's site-isolated Meridian pathology involves
+two machines at the same site, so the generator deploys per-site
+(metro) pairs rather than independent hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.netsim.topology import Host, HostKind, Topology
+from repro.netsim.world import Region
+
+#: Where PlanetLab sites were, roughly (fractions sum to 1).
+SITE_REGION_MIX = {
+    Region.NORTH_AMERICA: 0.50,
+    Region.EUROPE: 0.27,
+    Region.ASIA: 0.15,
+    Region.OCEANIA: 0.04,
+    Region.SOUTH_AMERICA: 0.03,
+    Region.AFRICA: 0.01,
+}
+
+
+@dataclass
+class PlanetLabDeployment:
+    """The generated deployment: hosts grouped by site."""
+
+    hosts: List[Host] = field(default_factory=list)
+    #: site name -> host names at that site.
+    sites: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def active(self) -> List[Host]:
+        """All generated hosts (the 'consistently active' population)."""
+        return list(self.hosts)
+
+    def site_of(self, host_name: str) -> str:
+        """Which site a host belongs to."""
+        for site, members in self.sites.items():
+            if host_name in members:
+                return site
+        raise KeyError(host_name)
+
+
+def deploy_planetlab(
+    topology: Topology,
+    rng: np.random.Generator,
+    active_count: int = 240,
+    hosts_per_site: int = 2,
+) -> PlanetLabDeployment:
+    """Create a PlanetLab-like candidate-server population.
+
+    Sites are metros drawn with the PlanetLab regional mix; each site
+    hosts up to ``hosts_per_site`` machines (named ``planetlab1.X``,
+    ``planetlab2.X`` after the real convention).
+    """
+    if active_count < 1:
+        raise ValueError("need at least one node")
+    deployment = PlanetLabDeployment()
+    regions = list(SITE_REGION_MIX)
+    probabilities = np.array([SITE_REGION_MIX[r] for r in regions])
+    probabilities = probabilities / probabilities.sum()
+
+    site_serial = 0
+    while len(deployment.hosts) < active_count:
+        region = regions[int(rng.choice(len(regions), p=probabilities))]
+        metro = topology.world.sample_metro(rng, region=region)
+        site_name = f"site-{site_serial}-{metro.name}"
+        site_serial += 1
+        members: List[str] = []
+        for machine in range(1, hosts_per_site + 1):
+            if len(deployment.hosts) >= active_count:
+                break
+            host = topology.create_host(
+                f"planetlab{machine}.{site_name}",
+                HostKind.PLANETLAB,
+                metro,
+                rng,
+            )
+            deployment.hosts.append(host)
+            members.append(host.name)
+        deployment.sites[site_name] = members
+    return deployment

@@ -1,0 +1,245 @@
+"""The fully wired experiment world.
+
+A :class:`Scenario` assembles every subsystem the paper's evaluation
+needs — topology and latency model, DNS infrastructure, the CDN with
+its customers, the King-data-set client population, the PlanetLab-like
+candidate servers, a CRP service covering both populations, the King
+estimator, and (optionally) a Meridian overlay over the candidates —
+under a single seed, so experiments, examples and tests can start from
+one deterministic object.
+
+Scale is parameterised: the paper's full scale (1,000 DNS servers, 240
+PlanetLab nodes) is what the benches use; tests and examples run
+smaller worlds with identical structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.mapping import MappingParams
+from repro.cdn.provider import CDNProvider
+from repro.core.service import CRPService, CRPServiceParams
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.king import KingEstimator
+from repro.dnssim.resolver import RecursiveResolver
+from repro.meridian.failures import FailurePlan, FailureRates
+from repro.meridian.overlay import MeridianOverlay, MeridianParams
+from repro.netsim.asn import ASRegistry
+from repro.netsim.clock import SimClock
+from repro.netsim.network import Network
+from repro.netsim.rng import derive_rng, derive_seed
+from repro.netsim.topology import Host, HostKind, Topology
+from repro.netsim.world import World, default_world
+from repro.workloads.kingset import KingDataSet, build_king_dataset
+from repro.workloads.planetlab import PlanetLabDeployment, deploy_planetlab
+
+
+@dataclass(frozen=True)
+class ScenarioParams:
+    """Scale and configuration of one experiment world."""
+
+    seed: int = 42
+    #: DNS-server clients sampled from the King-like pool.
+    dns_servers: int = 120
+    #: Raw King pool size; None = four times the sample.
+    king_raw_pool: Optional[int] = None
+    #: PlanetLab-like candidate servers.
+    planetlab_nodes: int = 60
+    #: CDN customer names CRP probes (the paper used a Yahoo image
+    #: server and www.foxnews.com, both Akamai customers).
+    customer_domains: Tuple[str, ...] = ("us.i1.yimg.test", "www.foxnews.test")
+    #: Metro-density flattening for the client population (lower =
+    #: more broadly distributed; the paper's clustering data set was
+    #: deliberately broad).
+    king_weight_power: float = 0.6
+    #: Fraction of clients in metros' wider catchments.
+    king_rural_fraction: float = 0.4
+    #: Fraction of DNS-server clients that are flaky (their resolvers
+    #: time out a share of queries — like the real King population).
+    client_flaky_fraction: float = 0.0
+    #: Per-query timeout probability for flaky clients.
+    flaky_failure_rate: float = 0.5
+    #: CDN mapping-system configuration.
+    mapping: MappingParams = MappingParams()
+    #: Edge replicas per fully covered metro.
+    replicas_per_full_coverage: int = 3
+    #: CRP ratio-map window (probes); None = all probes.
+    crp_window_probes: Optional[int] = 10
+    #: Build the Meridian overlay over the PlanetLab nodes.
+    build_meridian: bool = True
+    meridian: MeridianParams = MeridianParams()
+    #: Meridian deployment pathologies; None = pristine overlay.
+    meridian_failures: Optional[FailureRates] = None
+    #: Samples per King estimate.
+    king_samples: int = 3
+
+    def __post_init__(self) -> None:
+        if self.dns_servers < 1:
+            raise ValueError("need at least one DNS server client")
+        if self.planetlab_nodes < 1:
+            raise ValueError("need at least one candidate server")
+        if not self.customer_domains:
+            raise ValueError("need at least one CDN customer domain")
+
+
+class Scenario:
+    """One deterministic, fully wired experiment world."""
+
+    def __init__(self, params: ScenarioParams = ScenarioParams()) -> None:
+        self.params = params
+        seed = params.seed
+        self.world: World = default_world()
+        topo_rng = derive_rng(seed, "scenario", "topology")
+        self.registry = ASRegistry.generate(self.world, topo_rng)
+        self.topology = Topology(self.world, self.registry)
+        self.clock = SimClock()
+        self.network = Network(self.topology, self.clock, seed=derive_seed(seed, "network"))
+        self.infrastructure = DnsInfrastructure()
+
+        # The CDN and its customers.
+        self.cdn = CDNProvider(
+            self.topology,
+            self.network,
+            self.infrastructure,
+            seed=derive_seed(seed, "cdn"),
+            mapping_params=params.mapping,
+            replicas_per_full_coverage=params.replicas_per_full_coverage,
+        )
+        for domain in params.customer_domains:
+            self.cdn.add_customer(domain)
+
+        # Client population (King data set) and candidate servers.
+        king_rng = derive_rng(seed, "scenario", "kingset")
+        raw_pool = params.king_raw_pool or params.dns_servers * 4
+        self.king_dataset: KingDataSet = build_king_dataset(
+            self.topology,
+            king_rng,
+            sample_size=params.dns_servers,
+            raw_pool_size=raw_pool,
+            weight_power=params.king_weight_power,
+            rural_fraction=params.king_rural_fraction,
+        )
+        pl_rng = derive_rng(seed, "scenario", "planetlab")
+        self.planetlab: PlanetLabDeployment = deploy_planetlab(
+            self.topology, pl_rng, active_count=params.planetlab_nodes
+        )
+
+        # Resolvers: every participating host resolves through itself
+        # (DNS servers *are* resolvers; PlanetLab nodes ran local ones).
+        # A configurable fraction of clients are flaky.
+        flaky_rng = derive_rng(seed, "scenario", "flaky")
+        flaky_count = int(round(params.client_flaky_fraction * len(self.clients)))
+        flaky_order = list(range(len(self.clients)))
+        flaky_rng.shuffle(flaky_order)
+        flaky_indices = set(flaky_order[:flaky_count])
+        self.resolvers: Dict[str, RecursiveResolver] = {}
+        self.flaky_clients: List[str] = []
+        for index, host in enumerate(self.clients):
+            failure_rate = (
+                params.flaky_failure_rate if index in flaky_indices else 0.0
+            )
+            if failure_rate > 0.0:
+                self.flaky_clients.append(host.name)
+            self.resolvers[host.name] = RecursiveResolver(
+                host, self.infrastructure, self.network, failure_rate=failure_rate
+            )
+        for host in self.candidates:
+            self.resolvers[host.name] = RecursiveResolver(
+                host, self.infrastructure, self.network
+            )
+
+        # The CRP service over both populations.
+        self.crp = CRPService(
+            self.clock,
+            CRPServiceParams(
+                customer_names=params.customer_domains,
+                window_probes=params.crp_window_probes,
+            ),
+        )
+        for name, resolver in sorted(self.resolvers.items()):
+            self.crp.register_node(name, resolver)
+
+        # King: vantage point plus per-client registration.
+        vantage = self.topology.create_host(
+            "king-vantage",
+            HostKind.INFRA,
+            self.world.metro("chicago"),
+            derive_rng(seed, "scenario", "vantage"),
+        )
+        self.king = KingEstimator(
+            self.network,
+            self.infrastructure,
+            vantage,
+            samples=params.king_samples,
+        )
+        for host in self.clients:
+            self.king.register_node(self.resolvers[host.name])
+
+        # Meridian over the candidate servers.
+        self.meridian: Optional[MeridianOverlay] = None
+        self.failure_plan: Optional[FailurePlan] = None
+        if params.build_meridian:
+            rates = params.meridian_failures
+            if rates is not None:
+                self.failure_plan = FailurePlan.generate(
+                    self.candidates, rates, seed=derive_seed(seed, "failures")
+                )
+            self.meridian = MeridianOverlay(
+                self.network,
+                params=params.meridian,
+                seed=derive_seed(seed, "meridian"),
+                failure_plan=self.failure_plan,
+            )
+            self.meridian.build(self.candidates)
+
+    # -- populations -------------------------------------------------------
+
+    @property
+    def clients(self) -> List[Host]:
+        """The DNS-server clients (King data set sample)."""
+        return self.king_dataset.servers
+
+    @property
+    def candidates(self) -> List[Host]:
+        """The PlanetLab-like candidate servers."""
+        return self.planetlab.active
+
+    @property
+    def client_names(self) -> List[str]:
+        return [h.name for h in self.clients]
+
+    @property
+    def candidate_names(self) -> List[str]:
+        return [h.name for h in self.candidates]
+
+    # -- conveniences -----------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        """Any participating host by name."""
+        return self.topology.host_named(name)
+
+    def rtt_ms(self, a: str, b: str) -> float:
+        """True instantaneous RTT between two named hosts."""
+        return self.network.rtt_ms(self.host(a), self.host(b))
+
+    def measure_rtt_ms(self, a: str, b: str, samples: int = 3) -> float:
+        """A median-of-samples measured RTT between two named hosts."""
+        return self.network.measure_rtt_median_ms(self.host(a), self.host(b), samples=samples)
+
+    def king_rtt_ms(self, a: str, b: str) -> float:
+        """King-estimated RTT between two registered DNS servers."""
+        return self.king.estimate_ms(self.host(a), self.host(b))
+
+    def run_probe_rounds(self, rounds: int, interval_minutes: float = 10.0) -> None:
+        """Drive CRP probing: ``rounds`` rounds, clock advancing between.
+
+        Probes all registered nodes each round, then advances the
+        clock, so the next round sees fresh mapping epochs.
+        """
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        for _ in range(rounds):
+            self.crp.probe_all()
+            self.clock.advance_minutes(interval_minutes)

@@ -1,0 +1,69 @@
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import diagnose_client, tail_summary
+from repro.dnssim import RecursiveResolver
+from repro.netsim import HostKind
+from tests.conftest import make_scenario
+
+
+@pytest.fixture(scope="module")
+def diagnosed_scenario():
+    scenario = make_scenario(seed=99, dns_servers=16, planetlab_nodes=10)
+    # Add a guaranteed tail client in a CDN-poor region.
+    rng = np.random.default_rng(5)
+    nz = scenario.topology.create_host(
+        "nz-tail", HostKind.DNS_SERVER, scenario.world.metro("auckland"), rng
+    )
+    scenario.crp.register_node(
+        "nz-tail", RecursiveResolver(nz, scenario.infrastructure, scenario.network)
+    )
+    scenario.run_probe_rounds(15)
+    return scenario
+
+
+def test_diagnosis_fields_complete(diagnosed_scenario):
+    scenario = diagnosed_scenario
+    diagnosis = diagnose_client(scenario, scenario.client_names[0])
+    assert diagnosis.map_support > 0
+    assert diagnosis.replica_metros
+    assert diagnosis.nearest_replica_ms is not None
+    assert diagnosis.nearest_replica_ms <= diagnosis.farthest_replica_ms
+    assert 0 <= diagnosis.candidates_with_signal <= diagnosis.candidates_total
+
+
+def test_replica_metro_mass_sums_to_one(diagnosed_scenario):
+    scenario = diagnosed_scenario
+    diagnosis = diagnose_client(scenario, scenario.client_names[0])
+    assert sum(w for _, w in diagnosis.replica_metros) == pytest.approx(1.0)
+
+
+def test_poorly_served_flagged(diagnosed_scenario):
+    diagnosis = diagnose_client(diagnosed_scenario, "nz-tail")
+    # Auckland has near-zero coverage: the nearest replica is a
+    # trans-Tasman hop away (the paper's New Zealand anecdote).
+    assert diagnosis.is_poorly_served
+    assert "poorly served" in diagnosis.report()
+
+
+def test_report_renders(diagnosed_scenario):
+    scenario = diagnosed_scenario
+    text = diagnose_client(scenario, scenario.client_names[0]).report()
+    assert scenario.client_names[0] in text
+    assert "ratio-map support" in text
+
+
+def test_tail_summary_includes_tail_client(diagnosed_scenario):
+    scenario = diagnosed_scenario
+    text = tail_summary(scenario, clients=scenario.client_names + ["nz-tail"])
+    assert "nz-tail" in text
+    assert "CDN-poor region" in text
+
+
+def test_tail_summary_empty_population():
+    scenario = make_scenario(seed=101, dns_servers=4, planetlab_nodes=4)
+    scenario.run_probe_rounds(5)
+    # With only well-covered clients the summary may be empty — either
+    # way it renders without error.
+    text = tail_summary(scenario, clients=[])
+    assert text == "no tail clients found"

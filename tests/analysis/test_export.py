@@ -1,0 +1,59 @@
+import csv
+import io
+
+import pytest
+
+from repro.analysis.export import cdf_to_csv, series_to_csv, table_to_csv, write_csv
+
+
+def parse(text):
+    return list(csv.reader(io.StringIO(text)))
+
+
+def test_series_to_csv_sorts_and_aligns():
+    text = series_to_csv({"a": [3.0, 1.0, 2.0], "b": [5.0]})
+    rows = parse(text)
+    assert rows[0] == ["client_index", "a", "b"]
+    assert rows[1] == ["0", "1.0", "5.0"]
+    assert rows[2] == ["1", "2.0", ""]
+    assert rows[3] == ["2", "3.0", ""]
+
+
+def test_series_to_csv_empty_rejected():
+    with pytest.raises(ValueError):
+        series_to_csv({})
+
+
+def test_cdf_to_csv():
+    text = cdf_to_csv([(1.0, 0.5), (2.0, 1.0)])
+    rows = parse(text)
+    assert rows[0] == ["value_ms", "cumulative_fraction"]
+    assert rows[1] == ["1.0", "0.5"]
+    assert rows[2] == ["2.0", "1.0"]
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        cdf_to_csv([])
+
+
+def test_table_to_csv_validates_width():
+    with pytest.raises(ValueError):
+        table_to_csv(["a", "b"], [["only"]])
+    text = table_to_csv(["a", "b"], [["x", 1]])
+    assert parse(text) == [["a", "b"], ["x", "1"]]
+
+
+def test_write_csv_creates_directories(tmp_path):
+    target = tmp_path / "deep" / "dir" / "out.csv"
+    write_csv(target, "a,b\n1,2\n")
+    assert target.read_text() == "a,b\n1,2\n"
+
+
+def test_round_trip_with_experiment_series():
+    from repro.analysis.stats import cdf_points
+
+    points = cdf_points([4.0, 2.0, 3.0])
+    text = cdf_to_csv(points)
+    rows = parse(text)
+    assert len(rows) == 4

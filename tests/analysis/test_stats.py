@@ -1,0 +1,78 @@
+import pytest
+
+from repro.analysis import (
+    cdf_points,
+    fraction_within,
+    mean,
+    median,
+    percentile,
+    rank_of,
+    sorted_series,
+)
+
+
+def test_mean_and_median():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+def test_empty_inputs_raise():
+    with pytest.raises(ValueError):
+        mean([])
+    with pytest.raises(ValueError):
+        median([])
+    with pytest.raises(ValueError):
+        percentile([], 50)
+
+
+def test_percentile_endpoints():
+    values = [10.0, 20.0, 30.0]
+    assert percentile(values, 0) == 10.0
+    assert percentile(values, 100) == 30.0
+    assert percentile(values, 50) == 20.0
+
+
+def test_percentile_interpolates():
+    assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+
+def test_percentile_bounds_checked():
+    with pytest.raises(ValueError):
+        percentile([1.0], 101)
+
+
+def test_percentile_single_value():
+    assert percentile([7.0], 90) == 7.0
+
+
+def test_sorted_series():
+    assert sorted_series([3.0, 1.0, 2.0]) == [1.0, 2.0, 3.0]
+
+
+def test_cdf_points_shape():
+    points = cdf_points([4.0, 1.0, 2.0, 3.0])
+    assert points[0] == (1.0, 0.25)
+    assert points[-1] == (4.0, 1.0)
+    fractions = [p for _, p in points]
+    assert fractions == sorted(fractions)
+
+
+def test_rank_of():
+    assert rank_of("b", ["a", "b", "c"]) == 1
+    assert rank_of("a", ["a", "b", "c"]) == 0
+    with pytest.raises(ValueError):
+        rank_of("z", ["a"])
+
+
+def test_fraction_within():
+    a = [1.0, 2.0, 3.0, 10.0]
+    b = [1.5, 2.1, 8.0, 10.2]
+    assert fraction_within(a, b, 1.0) == pytest.approx(0.75)
+
+
+def test_fraction_within_validation():
+    with pytest.raises(ValueError):
+        fraction_within([1.0], [1.0, 2.0], 1.0)
+    with pytest.raises(ValueError):
+        fraction_within([], [], 1.0)

@@ -1,0 +1,45 @@
+import pytest
+
+from repro.analysis import format_series, format_table
+
+
+def test_table_contains_headers_and_cells():
+    text = format_table(["name", "value"], [["x", 1.5], ["y", 2]], title="T")
+    assert "T" in text
+    assert "name" in text
+    assert "1.50" in text  # floats format to two decimals
+    assert "2" in text
+
+
+def test_table_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_table_alignment_is_fixed_width():
+    text = format_table(["h"], [["short"], ["a-much-longer-cell"]])
+    lines = text.splitlines()
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1
+
+
+def test_series_samples_quantiles():
+    text = format_series({"curve": list(range(101))}, points=5)
+    assert "p0" in text and "p100" in text
+    assert "0.0" in text and "100.0" in text
+    assert "50.0" in text
+
+
+def test_series_empty_values():
+    text = format_series({"empty": []}, points=3)
+    assert "-" in text
+
+
+def test_series_validates_points():
+    with pytest.raises(ValueError):
+        format_series({"x": [1.0]}, points=1)
+
+
+def test_series_custom_format():
+    text = format_series({"c": [1.2345]}, points=2, value_format="{:.3f}")
+    assert "1.234" in text or "1.235" in text

@@ -1,0 +1,84 @@
+import pytest
+
+from repro.baselines import asn_cluster
+from repro.netsim import HostKind
+
+
+def make_hosts(topology, host_rng, metro_name, count, asn=None):
+    metro = topology.world.metro(metro_name)
+    return [
+        topology.create_host(f"{metro_name}-{asn}-{i}", HostKind.DNS_SERVER, metro, host_rng, asn=asn)
+        for i in range(count)
+    ]
+
+
+def shared_asn(topology, metro_name):
+    metro = topology.world.metro(metro_name)
+    return topology.registry.stubs_for_metro(metro.region, metro.name)[0].asn
+
+
+def test_same_asn_hosts_cluster(topology, host_rng):
+    asn = shared_asn(topology, "london")
+    hosts = make_hosts(topology, host_rng, "london", 3, asn=asn)
+    result = asn_cluster(hosts)
+    assert len(result.clusters) == 1
+    assert result.clusters[0].size == 3
+    assert result.unclustered == []
+
+
+def test_singleton_ases_unclustered(topology, host_rng):
+    asn_a = shared_asn(topology, "london")
+    asn_b = shared_asn(topology, "tokyo")
+    hosts = make_hosts(topology, host_rng, "london", 1, asn=asn_a)
+    hosts += make_hosts(topology, host_rng, "tokyo", 1, asn=asn_b)
+    result = asn_cluster(hosts)
+    assert result.clusters == []
+    assert len(result.unclustered) == 2
+
+
+def test_mixed_population(topology, host_rng):
+    asn = shared_asn(topology, "paris")
+    grouped = make_hosts(topology, host_rng, "paris", 4, asn=asn)
+    lonely = make_hosts(topology, host_rng, "tokyo", 1)
+    result = asn_cluster(grouped + lonely)
+    assert result.clustered_count == 4
+    assert result.total_nodes == 5
+    assert len(result.unclustered) == 1
+
+
+def test_center_is_rtt_medoid_when_oracle_given(topology, host_rng):
+    asn = shared_asn(topology, "madrid")
+    hosts = make_hosts(topology, host_rng, "madrid", 3, asn=asn)
+    names = [h.name for h in hosts]
+
+    # Distances make names[1] the medoid.
+    table = {
+        (names[0], names[1]): 5.0,
+        (names[1], names[2]): 5.0,
+        (names[0], names[2]): 50.0,
+    }
+
+    def rtt(a, b):
+        key = (a, b) if (a, b) in table else (b, a)
+        return table[key]
+
+    result = asn_cluster(hosts, rtt=rtt)
+    assert result.clusters[0].center == names[1]
+
+
+def test_center_defaults_to_first_member(topology, host_rng):
+    asn = shared_asn(topology, "madrid")
+    hosts = make_hosts(topology, host_rng, "madrid", 3, asn=asn)
+    result = asn_cluster(hosts)
+    assert result.clusters[0].center == sorted(h.name for h in hosts)[0]
+
+
+def test_result_params_none(topology, host_rng):
+    hosts = make_hosts(topology, host_rng, "madrid", 2, asn=shared_asn(topology, "madrid"))
+    assert asn_cluster(hosts).params is None
+
+
+def test_empty_input():
+    result = asn_cluster([])
+    assert result.clusters == []
+    assert result.total_nodes == 0

@@ -1,0 +1,49 @@
+from collections import Counter
+
+from repro.baselines import OracleSelector, RandomSelector
+
+
+def test_random_never_picks_client():
+    selector = RandomSelector(seed=1)
+    for _ in range(50):
+        assert selector.closest("me", ["me", "a", "b"]) in {"a", "b"}
+
+
+def test_random_empty_pool_returns_none():
+    selector = RandomSelector(seed=1)
+    assert selector.closest("me", ["me"]) is None
+
+
+def test_random_covers_all_candidates():
+    selector = RandomSelector(seed=1)
+    picks = Counter(selector.closest("me", ["a", "b", "c"]) for _ in range(300))
+    assert set(picks) == {"a", "b", "c"}
+
+
+def rtt_table(a, b):
+    table = {
+        frozenset({"me", "near"}): 5.0,
+        frozenset({"me", "mid"}): 50.0,
+        frozenset({"me", "far"}): 500.0,
+    }
+    return table[frozenset({a, b})]
+
+
+def test_oracle_picks_true_closest():
+    oracle = OracleSelector(rtt_table)
+    assert oracle.closest("me", ["far", "near", "mid"]) == "near"
+
+
+def test_oracle_rank_order():
+    oracle = OracleSelector(rtt_table)
+    assert oracle.rank("me", ["far", "near", "mid"]) == ["near", "mid", "far"]
+
+
+def test_oracle_excludes_client():
+    oracle = OracleSelector(rtt_table)
+    assert "me" not in oracle.rank("me", ["me", "near"])
+
+
+def test_oracle_empty_pool():
+    oracle = OracleSelector(rtt_table)
+    assert oracle.closest("me", []) is None

@@ -1,0 +1,110 @@
+import numpy as np
+import pytest
+
+from repro.baselines import VivaldiParams, VivaldiSystem
+from repro.netsim import HostKind, Network, SimClock
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        VivaldiParams(dimensions=0)
+    with pytest.raises(ValueError):
+        VivaldiParams(cc=0.0)
+    with pytest.raises(ValueError):
+        VivaldiParams(ce=1.5)
+
+
+def test_add_node_twice_rejected():
+    system = VivaldiSystem()
+    system.add_node("a")
+    with pytest.raises(ValueError):
+        system.add_node("a")
+
+
+def test_estimate_to_self_zero():
+    system = VivaldiSystem()
+    system.add_node("a")
+    assert system.estimate_ms("a", "a") == 0.0
+
+
+def test_estimate_includes_heights():
+    system = VivaldiSystem()
+    system.add_node("a")
+    system.add_node("b")
+    # Even at identical coordinates the height floor keeps estimates > 0.
+    assert system.estimate_ms("a", "b") > 0.0
+
+
+def test_observe_validates_input():
+    system = VivaldiSystem()
+    system.add_node("a")
+    system.add_node("b")
+    with pytest.raises(ValueError):
+        system.observe("a", "b", 0.0)
+    with pytest.raises(ValueError):
+        system.observe("a", "a", 10.0)
+
+
+def test_observation_moves_estimate_toward_sample():
+    system = VivaldiSystem(seed=1)
+    system.add_node("a")
+    system.add_node("b")
+    before = abs(system.estimate_ms("a", "b") - 80.0)
+    for _ in range(50):
+        system.observe_symmetric("a", "b", 80.0)
+    after = abs(system.estimate_ms("a", "b") - 80.0)
+    assert after < before
+    assert system.estimate_ms("a", "b") == pytest.approx(80.0, rel=0.3)
+
+
+def test_error_estimate_decreases_with_consistent_samples():
+    system = VivaldiSystem(seed=1)
+    system.add_node("a")
+    system.add_node("b")
+    initial = system.error_of("a")
+    for _ in range(80):
+        system.observe_symmetric("a", "b", 50.0)
+    assert system.error_of("a") < initial
+
+
+def test_embedding_recovers_relative_order(topology, host_rng):
+    """Vivaldi trained on simulated RTTs should rank near before far."""
+    network = Network(topology, SimClock(), seed=11)
+    hosts = {
+        "ny": topology.create_host("ny", HostKind.PLANETLAB, topology.world.metro("new-york"), host_rng),
+        "bos": topology.create_host("bos", HostKind.PLANETLAB, topology.world.metro("boston"), host_rng),
+        "syd": topology.create_host("syd", HostKind.PLANETLAB, topology.world.metro("sydney"), host_rng),
+        "lon": topology.create_host("lon", HostKind.PLANETLAB, topology.world.metro("london"), host_rng),
+    }
+    system = VivaldiSystem(seed=2)
+    for name in hosts:
+        system.add_node(name)
+    rng = np.random.default_rng(3)
+    names = sorted(hosts)
+    for _ in range(600):
+        i, j = rng.choice(len(names), size=2, replace=False)
+        a, b = names[int(i)], names[int(j)]
+        system.observe_symmetric(a, b, network.measure_rtt_ms(hosts[a], hosts[b]))
+    ranked = system.rank_candidates("ny", ["bos", "syd", "lon"])
+    assert ranked[0][0] == "bos"
+    assert ranked[-1][0] == "syd"
+
+
+def test_closest_helper():
+    system = VivaldiSystem(seed=1)
+    for name in ("a", "b", "c"):
+        system.add_node(name)
+    for _ in range(60):
+        system.observe_symmetric("a", "b", 10.0)
+        system.observe_symmetric("a", "c", 200.0)
+        system.observe_symmetric("b", "c", 200.0)
+    assert system.closest("a", ["b", "c"]) == "b"
+    assert system.closest("a", []) is None
+
+
+def test_update_counter():
+    system = VivaldiSystem()
+    system.add_node("a")
+    system.add_node("b")
+    system.observe("a", "b", 10.0)
+    assert system.updates_applied == 1

@@ -1,0 +1,93 @@
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.cdn.loadbalance import SelectionPolicy, select_replicas
+from repro.cdn.replica import ReplicaServer
+from repro.netsim import HostKind
+
+
+@pytest.fixture()
+def ranked(topology, host_rng):
+    metro = topology.world.metro("london")
+    ranked = []
+    for i in range(10):
+        host = topology.create_host(f"r{i}", HostKind.REPLICA, metro, host_rng)
+        ranked.append((ReplicaServer(host, f"172.1.0.{i}"), 10.0 + 2.0 * i))
+    return ranked
+
+
+def test_empty_ranking_gives_empty_answer():
+    rng = np.random.default_rng(0)
+    assert select_replicas([], rng) == []
+
+
+def test_answer_size_respected(ranked):
+    rng = np.random.default_rng(0)
+    answer = select_replicas(ranked, rng, answer_size=3)
+    assert len(answer) == 3
+    assert len({r.address for r in answer}) == 3
+
+
+def test_answer_smaller_when_few_candidates(ranked):
+    rng = np.random.default_rng(0)
+    answer = select_replicas(ranked[:1], rng, answer_size=2)
+    assert len(answer) == 1
+
+
+def test_best_only_policy_is_deterministic(ranked):
+    rng = np.random.default_rng(0)
+    answer = select_replicas(
+        ranked, rng, answer_size=2, policy=SelectionPolicy.BEST_ONLY
+    )
+    assert [r.address for r in answer] == ["172.1.0.0", "172.1.0.1"]
+
+
+def test_softmax_prefers_lower_latency(ranked):
+    rng = np.random.default_rng(0)
+    counts = Counter()
+    for _ in range(500):
+        for replica in select_replicas(ranked, rng, answer_size=1, spread=6):
+            counts[replica.address] += 1
+    assert counts["172.1.0.0"] > counts.get("172.1.0.5", 0)
+
+
+def test_softmax_still_rotates(ranked):
+    rng = np.random.default_rng(0)
+    seen = set()
+    for _ in range(200):
+        for replica in select_replicas(ranked, rng, answer_size=2, spread=4):
+            seen.add(replica.address)
+    assert len(seen) >= 3
+
+
+def test_spread_limits_candidates(ranked):
+    rng = np.random.default_rng(0)
+    seen = set()
+    for _ in range(300):
+        for replica in select_replicas(ranked, rng, answer_size=1, spread=2):
+            seen.add(replica.address)
+    assert seen <= {"172.1.0.0", "172.1.0.1"}
+
+
+def test_uniform_policy_flattens(ranked):
+    rng = np.random.default_rng(0)
+    counts = Counter()
+    for _ in range(600):
+        for replica in select_replicas(
+            ranked, rng, answer_size=1, spread=3, policy=SelectionPolicy.UNIFORM
+        ):
+            counts[replica.address] += 1
+    values = [counts[f"172.1.0.{i}"] for i in range(3)]
+    assert max(values) < 2 * min(values)
+
+
+def test_parameter_validation(ranked):
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        select_replicas(ranked, rng, answer_size=0)
+    with pytest.raises(ValueError):
+        select_replicas(ranked, rng, spread=0)
+    with pytest.raises(ValueError):
+        select_replicas(ranked, rng, temperature_ms=0.0)

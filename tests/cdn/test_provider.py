@@ -1,0 +1,117 @@
+import pytest
+
+from repro.cdn import CDNProvider
+from repro.dnssim import DnsInfrastructure, Question, Rcode, RecordType, RecursiveResolver
+from repro.netsim import HostKind, Network, SimClock
+
+
+@pytest.fixture()
+def provider_setup(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=31)
+    infra = DnsInfrastructure()
+    provider = CDNProvider(topology, network, infra, seed=31)
+    provider.add_customer("images.yahoo.test")
+    client_host = topology.create_host(
+        "c-lon", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng
+    )
+    resolver = RecursiveResolver(client_host, infra, network)
+    return provider, infra, resolver, clock, network
+
+
+def test_customer_gets_cdn_name(provider_setup):
+    provider, _, _, _, _ = provider_setup
+    customer = provider.customers[0]
+    assert customer.domain_name == "images.yahoo.test"
+    assert customer.cdn_name.endswith(".g.cdnsim.test")
+
+
+def test_duplicate_customer_rejected(provider_setup):
+    provider, _, _, _, _ = provider_setup
+    with pytest.raises(ValueError):
+        provider.add_customer("images.yahoo.test")
+
+
+def test_lookup_walks_cname_into_cdn(provider_setup):
+    provider, _, resolver, _, _ = provider_setup
+    result = resolver.resolve("images.yahoo.test")
+    assert result.addresses
+    assert all(provider.deployment.knows_address(a) for a in result.addresses)
+    # Chain: origin CNAME then CDN A records.
+    types = [r.rtype for r in result.records]
+    assert RecordType.CNAME in types
+    assert RecordType.A in types
+
+
+def test_answers_carry_short_ttl(provider_setup):
+    provider, _, resolver, _, _ = provider_setup
+    result = resolver.resolve("images.yahoo.test")
+    a_records = [r for r in result.records if r.rtype is RecordType.A]
+    assert all(r.ttl == provider.mapping.params.ttl_seconds for r in a_records)
+
+
+def test_redirections_differ_by_resolver_location(provider_setup, topology, host_rng):
+    provider, infra, resolver, clock, network = provider_setup
+    far_host = topology.create_host(
+        "c-syd", HostKind.DNS_SERVER, topology.world.metro("sydney"), host_rng
+    )
+    far_resolver = RecursiveResolver(far_host, infra, network)
+    near_addrs, far_addrs = set(), set()
+    for _ in range(20):
+        near_addrs.update(resolver.resolve("images.yahoo.test").addresses)
+        far_addrs.update(far_resolver.resolve("images.yahoo.test").addresses)
+        clock.advance(provider.mapping.params.refresh_seconds + 1.0)
+    assert not near_addrs & far_addrs
+
+
+def test_unknown_cdn_label_is_nxdomain(provider_setup, topology, host_rng):
+    provider, _, resolver, _, _ = provider_setup
+    response = provider.authoritative.answer(
+        Question("a9999.g.cdnsim.test"), ldns=resolver.host, now=0.0
+    )
+    assert response.rcode is Rcode.NXDOMAIN
+
+
+def test_non_a_question_rejected(provider_setup):
+    provider, _, resolver, _, _ = provider_setup
+    customer = provider.customers[0]
+    response = provider.authoritative.answer(
+        Question(customer.cdn_name, RecordType.NS), ldns=resolver.host, now=0.0
+    )
+    assert response.rcode is Rcode.NXDOMAIN
+
+
+def test_load_accounting(provider_setup):
+    provider, _, resolver, clock, _ = provider_setup
+    before = provider.total_queries()
+    for _ in range(3):
+        resolver.resolve("images.yahoo.test")
+        clock.advance(provider.mapping.params.ttl_seconds + 1.0)
+    assert provider.total_queries() == before + 3
+    assert provider.queries_by_customer["images.yahoo.test"] == before + 3
+
+
+def test_resolver_cache_shields_cdn_within_ttl(provider_setup):
+    provider, _, resolver, _, _ = provider_setup
+    before = provider.total_queries()
+    resolver.resolve("images.yahoo.test")
+    resolver.resolve("images.yahoo.test")  # same instant: cached
+    assert provider.total_queries() == before + 1
+
+
+def test_customer_pool_deployment_group(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=32)
+    infra = DnsInfrastructure()
+    provider = CDNProvider(topology, network, infra, seed=32)
+    group = provider.deployment.edge[:6]
+    provider.add_customer("small.site.test", pool=group)
+    client_host = topology.create_host(
+        "c-par", HostKind.DNS_SERVER, topology.world.metro("paris"), host_rng
+    )
+    resolver = RecursiveResolver(client_host, infra, network)
+    allowed = {r.address for r in group}
+    for _ in range(5):
+        result = resolver.resolve("small.site.test")
+        assert set(result.addresses) <= allowed
+        clock.advance(provider.mapping.params.ttl_seconds + 1.0)

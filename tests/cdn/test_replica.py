@@ -1,0 +1,101 @@
+import numpy as np
+import pytest
+
+from repro.cdn.replica import (
+    DEFAULT_CORE_METROS,
+    EDGE_PREFIX,
+    PROVIDER_OWNED_PREFIX,
+    ReplicaDeployment,
+    ReplicaServer,
+    deploy_replicas,
+    is_provider_owned_address,
+)
+from repro.netsim import HostKind
+
+
+@pytest.fixture()
+def deployment(topology):
+    rng = np.random.default_rng(5)
+    return deploy_replicas(topology, rng)
+
+
+def test_deployment_has_edge_and_core(deployment):
+    assert len(deployment.edge) > 50
+    assert len(deployment.provider_owned) == len(DEFAULT_CORE_METROS)
+
+
+def test_replicas_are_replica_hosts(deployment):
+    for replica in deployment:
+        assert replica.host.kind is HostKind.REPLICA
+
+
+def test_edge_count_tracks_coverage(topology):
+    rng = np.random.default_rng(5)
+    deployment = deploy_replicas(topology, rng, name_prefix="x")
+    by_metro = {}
+    for replica in deployment.edge:
+        by_metro.setdefault(replica.host.metro.name, 0)
+        by_metro[replica.host.metro.name] += 1
+    # Full-coverage metros get the configured count; uncovered ones get none.
+    assert by_metro.get("new-york", 0) >= 3
+    assert "suva" not in by_metro  # cdn_coverage == 0.0
+
+
+def test_address_prefixes_distinguish_ownership(deployment):
+    for replica in deployment.edge:
+        assert replica.address.startswith(EDGE_PREFIX + ".")
+        assert not is_provider_owned_address(replica.address)
+    for replica in deployment.provider_owned:
+        assert replica.address.startswith(PROVIDER_OWNED_PREFIX + ".")
+        assert is_provider_owned_address(replica.address)
+
+
+def test_addresses_unique(deployment):
+    addresses = [r.address for r in deployment]
+    assert len(addresses) == len(set(addresses))
+
+
+def test_lookup_by_address(deployment):
+    replica = deployment.edge[0]
+    assert deployment.by_address(replica.address) is replica
+    assert deployment.knows_address(replica.address)
+    assert not deployment.knows_address("10.255.255.255")
+
+
+def test_duplicate_address_rejected(deployment):
+    replica = deployment.edge[0]
+    with pytest.raises(ValueError):
+        deployment.add(ReplicaServer(replica.host, replica.address))
+
+
+def test_edge_replicas_attach_to_tier2(deployment, topology):
+    tiers = {
+        topology.registry.get(r.host.asn).tier for r in deployment.edge
+    }
+    assert tiers == {2}
+
+
+def test_core_metros_host_provider_owned(deployment):
+    metros = {r.host.metro.name for r in deployment.provider_owned}
+    assert metros == set(DEFAULT_CORE_METROS)
+
+
+def test_outage_injection(deployment):
+    replica = deployment.edge[0]
+    assert deployment.is_up(replica.address)
+    deployment.fail(replica.address)
+    assert not deployment.is_up(replica.address)
+    assert replica.address in deployment.down_addresses
+    # The address stays resolvable for analysis.
+    assert deployment.by_address(replica.address) is replica
+    deployment.restore(replica.address)
+    assert deployment.is_up(replica.address)
+
+
+def test_fail_unknown_address_raises(deployment):
+    with pytest.raises(KeyError):
+        deployment.fail("203.0.113.1")
+
+
+def test_restore_is_idempotent(deployment):
+    deployment.restore("not-even-down")  # no error

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.cdn import CDNProvider, UrlRewriter, extract_replica_addresses
+from repro.dnssim import DnsInfrastructure
+from repro.netsim import HostKind, Network, SimClock
+
+
+@pytest.fixture()
+def rewriter_setup(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=51)
+    infra = DnsInfrastructure()
+    provider = CDNProvider(topology, network, infra, seed=51)
+    customer = provider.add_customer("www.shop.test")
+    rewriter = UrlRewriter(provider, customer)
+    client = topology.create_host(
+        "shopper", HostKind.END_HOST, topology.world.metro("london"), host_rng
+    )
+    return provider, rewriter, client, clock
+
+
+def test_page_urls_name_replicas(rewriter_setup):
+    provider, rewriter, client, _ = rewriter_setup
+    page = rewriter.serve_page(client, objects=["a.gif", "b.css", "c.js"])
+    assert len(page.urls) == 3
+    for url in page.urls:
+        assert url.startswith("http://")
+        assert provider.domain in url
+
+
+def test_empty_object_list_rejected(rewriter_setup):
+    _, rewriter, client, _ = rewriter_setup
+    with pytest.raises(ValueError):
+        rewriter.serve_page(client, objects=[])
+
+
+def test_extract_round_trips_addresses(rewriter_setup):
+    provider, rewriter, client, _ = rewriter_setup
+    page = rewriter.serve_page(client, objects=["a.gif", "b.css"])
+    addresses = extract_replica_addresses(page.urls, cdn_domain=provider.domain)
+    assert len(addresses) == 2
+    for address in addresses:
+        assert provider.deployment.knows_address(address)
+
+
+def test_extract_ignores_foreign_urls(rewriter_setup):
+    provider, _, _, _ = rewriter_setup
+    urls = [
+        "http://www.example.com/logo.gif",
+        "http://172.0.0.1.other-cdn.test/x.gif",
+        f"http://not-an-ip.{provider.domain}/y.gif",
+    ]
+    assert extract_replica_addresses(urls, cdn_domain=provider.domain) == []
+
+
+def test_extract_without_domain_filter():
+    urls = [
+        "http://172.0.0.1.cdn-a.test/x.gif",
+        "http://172.4.0.9.cdn-b.test/y.gif",
+    ]
+    assert extract_replica_addresses(urls) == ["172.0.0.1", "172.4.0.9"]
+
+
+def test_rewritten_urls_reflect_client_location(rewriter_setup, topology, host_rng):
+    provider, rewriter, client, clock = rewriter_setup
+    far_client = topology.create_host(
+        "far-shopper", HostKind.END_HOST, topology.world.metro("tokyo"), host_rng
+    )
+    near_addrs, far_addrs = set(), set()
+    for _ in range(15):
+        near_addrs.update(
+            extract_replica_addresses(rewriter.serve_page(client).urls)
+        )
+        far_addrs.update(
+            extract_replica_addresses(rewriter.serve_page(far_client).urls)
+        )
+        clock.advance(provider.mapping.params.refresh_seconds + 1.0)
+    assert not near_addrs & far_addrs
+
+
+def test_pages_count_toward_customer_load(rewriter_setup):
+    provider, rewriter, client, _ = rewriter_setup
+    before = provider.queries_by_customer["www.shop.test"]
+    rewriter.serve_page(client)
+    rewriter.serve_page(client)
+    assert provider.queries_by_customer["www.shop.test"] == before + 2
+    assert rewriter.pages_served == 2
+
+
+def test_rewritten_observations_feed_crp(rewriter_setup):
+    """The passive channel: rewritten URLs → tracker → ratio map."""
+    from repro.core import CRPService, CRPServiceParams
+    from repro.dnssim import RecursiveResolver
+
+    provider, rewriter, client, clock = rewriter_setup
+    service = CRPService(
+        clock, CRPServiceParams(customer_names=("www.shop.test",))
+    )
+    service.register_node("shopper", None)  # passive-only node
+    for _ in range(10):
+        page = rewriter.serve_page(client)
+        addresses = extract_replica_addresses(page.urls, cdn_domain=provider.domain)
+        service.observe("shopper", "www.shop.test", addresses)
+        clock.advance(provider.mapping.params.refresh_seconds + 1.0)
+    ratio_map = service.ratio_map("shopper", window_probes=None)
+    assert ratio_map is not None
+    assert all(provider.deployment.knows_address(a) for a in ratio_map.support)

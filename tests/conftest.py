@@ -1,0 +1,74 @@
+"""Shared fixtures: small deterministic worlds for fast tests.
+
+Expensive fixtures (a probed scenario) are session-scoped; tests that
+mutate state build their own instances instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import ASRegistry, Network, SimClock, Topology, default_world
+from repro.netsim.rng import derive_rng
+from repro.workloads import Scenario, ScenarioParams
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return default_world()
+
+
+@pytest.fixture()
+def topology(small_world):
+    """A fresh topology + registry (function-scoped: tests add hosts)."""
+    rng = derive_rng(1234, "tests", "topology")
+    registry = ASRegistry.generate(small_world, rng)
+    return Topology(small_world, registry)
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+@pytest.fixture()
+def network(topology, clock):
+    return Network(topology, clock, seed=1234)
+
+
+@pytest.fixture()
+def host_rng():
+    return derive_rng(1234, "tests", "hosts")
+
+
+def make_scenario(**overrides) -> Scenario:
+    """A small scenario; tests override scale/seed as needed.
+
+    Small worlds get a generous King raw pool so the ~41% filter
+    survival rate cannot leave the sample short.
+    """
+    defaults = dict(seed=71, dns_servers=24, planetlab_nodes=16, build_meridian=False)
+    defaults.update(overrides)
+    if "king_raw_pool" not in defaults:
+        defaults["king_raw_pool"] = max(80, defaults["dns_servers"] * 6)
+    return Scenario(ScenarioParams(**defaults))
+
+
+@pytest.fixture(scope="session")
+def probed_scenario() -> Scenario:
+    """A small scenario with 20 probe rounds already run (read-only!).
+
+    Session-scoped because probing is the expensive part; tests must
+    not probe it further or mutate its clock.
+    """
+    scenario = make_scenario()
+    scenario.run_probe_rounds(20, interval_minutes=10)
+    return scenario
+
+
+@pytest.fixture(scope="session")
+def meridian_scenario() -> Scenario:
+    """A small scenario with a pristine Meridian overlay (read-mostly)."""
+    scenario = make_scenario(build_meridian=True, dns_servers=16, planetlab_nodes=24)
+    scenario.run_probe_rounds(12, interval_minutes=10)
+    return scenario

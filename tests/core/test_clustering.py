@@ -1,0 +1,128 @@
+import pytest
+
+from repro.core import RatioMap, SmfParams, smf_cluster
+from repro.core.clustering import CenterPolicy, Cluster, ClusteringResult
+
+
+def city_maps():
+    """Two tight 'cities' plus one loner with a disjoint replica set."""
+    return {
+        "ny1": RatioMap({"r-ny-a": 0.6, "r-ny-b": 0.4}),
+        "ny2": RatioMap({"r-ny-a": 0.5, "r-ny-b": 0.5}),
+        "ny3": RatioMap({"r-ny-b": 0.7, "r-ny-a": 0.3}),
+        "ldn1": RatioMap({"r-ldn-a": 0.8, "r-ldn-b": 0.2}),
+        "ldn2": RatioMap({"r-ldn-a": 0.7, "r-ldn-b": 0.3}),
+        "akl1": RatioMap({"r-akl-a": 1.0}),
+    }
+
+
+def test_clusters_follow_replica_neighbourhoods():
+    result = smf_cluster(city_maps(), SmfParams(threshold=0.1))
+    groups = {frozenset(c.members) for c in result.clusters}
+    assert frozenset({"ny1", "ny2", "ny3"}) in groups
+    assert frozenset({"ldn1", "ldn2"}) in groups
+    assert result.unclustered == ["akl1"]
+
+
+def test_singletons_are_unclustered_not_clusters():
+    result = smf_cluster(city_maps(), SmfParams(threshold=0.1))
+    assert all(c.size >= 2 for c in result.clusters)
+    assert "akl1" not in [m for c in result.clusters for m in c.members]
+
+
+def test_every_node_appears_exactly_once():
+    maps = city_maps()
+    result = smf_cluster(maps, SmfParams(threshold=0.1))
+    seen = list(result.unclustered)
+    for cluster in result.clusters:
+        seen.extend(cluster.members)
+    assert sorted(seen) == sorted(maps)
+
+
+def test_high_threshold_splits_clusters():
+    maps = city_maps()
+    loose = smf_cluster(maps, SmfParams(threshold=0.1))
+    strict = smf_cluster(maps, SmfParams(threshold=0.999))
+    assert strict.clustered_count <= loose.clustered_count
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        SmfParams(threshold=1.5)
+    with pytest.raises(ValueError):
+        SmfParams(threshold=-0.1)
+
+
+def test_none_maps_are_unclustered():
+    maps = dict(city_maps())
+    maps["bootstrapping"] = None
+    result = smf_cluster(maps, SmfParams(threshold=0.1))
+    assert "bootstrapping" in result.unclustered
+    assert result.total_nodes == len(maps)
+
+
+def test_summary_statistics():
+    result = smf_cluster(city_maps(), SmfParams(threshold=0.1))
+    summary = result.summary()
+    assert summary["nodes_clustered"] == 5
+    assert summary["num_clusters"] == 2
+    assert summary["pct_clustered"] == pytest.approx(100 * 5 / 6)
+    assert summary["max_size"] == 3
+    assert summary["mean_size"] == pytest.approx(2.5)
+
+
+def test_empty_summary():
+    result = ClusteringResult(clusters=[], unclustered=[], params=None, total_nodes=0)
+    summary = result.summary()
+    assert summary["nodes_clustered"] == 0
+    assert summary["pct_clustered"] == 0.0
+
+
+def test_cluster_of_lookup():
+    result = smf_cluster(city_maps(), SmfParams(threshold=0.1))
+    assert "ny2" in result.cluster_of("ny1").members
+    assert result.cluster_of("akl1") is None
+
+
+def test_second_pass_rescues_center_pairs():
+    # Two nodes, each the strongest mapper of its own replica, similar
+    # to each other: the first pass makes both centers (two singleton
+    # clusters); only the second pass can pair them.
+    maps = {
+        "a": RatioMap({"r1": 0.9, "r2": 0.1}),
+        "b": RatioMap({"r2": 0.9, "r1": 0.1}),
+    }
+    without = smf_cluster(maps, SmfParams(threshold=0.1, second_pass=False))
+    with_pass = smf_cluster(maps, SmfParams(threshold=0.1, second_pass=True))
+    assert without.clustered_count == 0
+    assert with_pass.clustered_count == 2
+
+
+def test_second_pass_deterministic_under_seed():
+    maps = city_maps()
+    a = smf_cluster(maps, SmfParams(threshold=0.1, seed=5))
+    b = smf_cluster(maps, SmfParams(threshold=0.1, seed=5))
+    assert [sorted(c.members) for c in a.clusters] == [
+        sorted(c.members) for c in b.clusters
+    ]
+
+
+def test_random_center_policy_runs():
+    result = smf_cluster(
+        city_maps(), SmfParams(threshold=0.1, center_policy=CenterPolicy.RANDOM)
+    )
+    # Sanity only: the result is a valid partition.
+    seen = list(result.unclustered) + [m for c in result.clusters for m in c.members]
+    assert sorted(seen) == sorted(city_maps())
+
+
+def test_cluster_includes_center_in_members():
+    cluster = Cluster(center="x", members=["y"])
+    assert cluster.members[0] == "x"
+    assert cluster.size == 2
+
+
+def test_empty_input():
+    result = smf_cluster({}, SmfParams(threshold=0.1))
+    assert result.clusters == []
+    assert result.unclustered == []

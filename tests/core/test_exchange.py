@@ -1,0 +1,130 @@
+import pytest
+
+from repro.core import RatioMap
+from repro.core.exchange import (
+    LocalPositioning,
+    MapAdvertisement,
+    PeerMapStore,
+    advertise,
+)
+
+
+def make_ad(node="peer", version=1, built_at=0.0, ratios=None):
+    return MapAdvertisement(
+        node=node,
+        version=version,
+        built_at=built_at,
+        ratio_map=RatioMap(ratios or {"r1": 0.5, "r2": 0.5}),
+    )
+
+
+def test_advertisement_validation():
+    with pytest.raises(ValueError):
+        make_ad(node="")
+    with pytest.raises(ValueError):
+        make_ad(version=-1)
+
+
+def test_json_round_trip():
+    ad = make_ad(ratios={"r1": 0.3, "r2": 0.7})
+    restored = MapAdvertisement.from_json(ad.to_json())
+    assert restored.node == ad.node
+    assert restored.version == ad.version
+    assert dict(restored.ratio_map) == pytest.approx(dict(ad.ratio_map))
+
+
+def test_store_ingest_and_versioning():
+    store = PeerMapStore("me")
+    assert store.ingest(make_ad(version=1), received_at=0.0)
+    # Duplicate or older versions rejected.
+    assert not store.ingest(make_ad(version=1), received_at=1.0)
+    assert not store.ingest(make_ad(version=0), received_at=2.0)
+    assert store.rejected_stale_version == 2
+    # Newer version accepted.
+    assert store.ingest(make_ad(version=2), received_at=3.0)
+    assert store.accepted == 2
+
+
+def test_store_ignores_own_advertisements():
+    store = PeerMapStore("me")
+    assert not store.ingest(make_ad(node="me"), received_at=0.0)
+    assert len(store) == 0
+
+
+def test_staleness_expiry():
+    store = PeerMapStore("me", max_age_seconds=100.0)
+    store.ingest(make_ad(node="p1"), received_at=0.0)
+    store.ingest(make_ad(node="p2"), received_at=90.0)
+    fresh = store.fresh_maps(now=120.0)
+    assert set(fresh) == {"p2"}
+    # The stale entry is retained (a fresher version may arrive) but
+    # does not answer queries.
+    assert store.known_peers() == ["p1", "p2"]
+
+
+def test_forget_removes_peer():
+    store = PeerMapStore("me")
+    store.ingest(make_ad(node="gone"), received_at=0.0)
+    store.forget("gone")
+    assert store.known_peers() == []
+
+
+def test_max_age_validation():
+    with pytest.raises(ValueError):
+        PeerMapStore("me", max_age_seconds=0.0)
+
+
+def test_local_positioning_ranks_fresh_peers():
+    store = PeerMapStore("me", max_age_seconds=1000.0)
+    store.ingest(make_ad(node="near", ratios={"r1": 0.6, "r2": 0.4}), received_at=0.0)
+    store.ingest(make_ad(node="far", ratios={"r9": 1.0}), received_at=0.0)
+    positioning = LocalPositioning(store)
+    own = RatioMap({"r1": 0.5, "r2": 0.5})
+    ranked = positioning.rank_peers(own, now=10.0)
+    assert [r.name for r in ranked] == ["near", "far"]
+    assert positioning.closest_peer(own, now=10.0).name == "near"
+
+
+def test_local_positioning_peer_filter():
+    store = PeerMapStore("me")
+    store.ingest(make_ad(node="a"), received_at=0.0)
+    store.ingest(make_ad(node="b"), received_at=0.0)
+    positioning = LocalPositioning(store)
+    own = RatioMap({"r1": 1.0})
+    ranked = positioning.rank_peers(own, now=0.0, peers=["b"])
+    assert [r.name for r in ranked] == ["b"]
+
+
+def test_advertise_helper():
+    ad = advertise("me", RatioMap({"r": 1.0}), version=3, now=42.0)
+    assert ad.node == "me"
+    assert ad.version == 3
+    assert ad.built_at == 42.0
+
+
+def test_end_to_end_over_scenario():
+    """Nodes exchange maps through 'application traffic' and answer
+    positioning queries locally, matching the central service."""
+    from tests.conftest import make_scenario
+
+    scenario = make_scenario(seed=103, dns_servers=12, planetlab_nodes=8)
+    scenario.run_probe_rounds(12)
+    now = scenario.clock.now
+
+    # Every candidate broadcasts its map; one client ingests them all.
+    client = scenario.client_names[0]
+    store = PeerMapStore(client)
+    for version, candidate in enumerate(scenario.candidate_names, start=1):
+        candidate_map = scenario.crp.ratio_map(candidate)
+        if candidate_map is None:
+            continue
+        wire = advertise(candidate, candidate_map, version=1, now=now).to_json()
+        store.ingest(MapAdvertisement.from_json(wire), received_at=now)
+
+    positioning = LocalPositioning(store)
+    own_map = scenario.crp.ratio_map(client)
+    local = positioning.rank_peers(own_map, now=now)
+    central = scenario.crp.rank_servers(client, scenario.candidate_names)
+    assert [r.name for r in local] == [r.name for r in central]
+    for a, b in zip(local, central):
+        assert a.score == pytest.approx(b.score, rel=1e-9)

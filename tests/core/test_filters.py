@@ -1,0 +1,106 @@
+import pytest
+
+from repro.core.filters import NameAssessment, NameQualityFilter, NameVerdict
+from repro.netsim import HostKind, Network, SimClock
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        NameQualityFilter(provider_owned_max_fraction=1.5)
+    with pytest.raises(ValueError):
+        NameQualityFilter(ping_threshold_ms=0.0)
+
+
+def test_passive_keeps_clean_name():
+    f = NameQualityFilter()
+    assessment = f.assess_passive("good.test", [("172.0.0.1",), ("172.0.0.2",)])
+    assert assessment.keep
+    assert assessment.provider_owned_fraction == 0.0
+
+
+def test_passive_drops_provider_owned_heavy_name():
+    f = NameQualityFilter(provider_owned_max_fraction=0.25)
+    answers = [("23.0.0.1",), ("172.0.0.1",), ("23.0.0.2", "172.0.0.3")]
+    assessment = f.assess_passive("bad.test", answers)
+    assert assessment.verdict is NameVerdict.DROP_PROVIDER_OWNED
+    assert assessment.provider_owned_fraction == pytest.approx(2 / 3)
+
+
+def test_passive_no_data():
+    f = NameQualityFilter()
+    assert f.assess_passive("empty.test", []).verdict is NameVerdict.DROP_NO_DATA
+
+
+def test_passive_boundary_fraction_kept():
+    f = NameQualityFilter(provider_owned_max_fraction=0.5)
+    answers = [("23.0.0.1",), ("172.0.0.1",)]
+    assert f.assess_passive("edge.test", answers).keep
+
+
+def test_active_keeps_low_latency_name(topology, host_rng):
+    network = Network(topology, SimClock(), seed=2)
+    node = topology.create_host("n", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng)
+    near = topology.create_host("rep", HostKind.REPLICA, topology.world.metro("london"), host_rng)
+    f = NameQualityFilter(ping_threshold_ms=60.0)
+    assessment = f.assess_active(
+        "name.test",
+        node,
+        [("172.0.0.1",)],
+        network,
+        host_for_address=lambda a: near,
+    )
+    assert assessment.keep
+    assert assessment.best_ping_ms is not None
+
+
+def test_active_drops_high_latency_name(topology, host_rng):
+    network = Network(topology, SimClock(), seed=2)
+    node = topology.create_host("n2", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng)
+    far = topology.create_host("rep2", HostKind.REPLICA, topology.world.metro("sydney"), host_rng)
+    f = NameQualityFilter(ping_threshold_ms=50.0)
+    assessment = f.assess_active(
+        "far.test",
+        node,
+        [("172.0.0.9",)],
+        network,
+        host_for_address=lambda a: far,
+    )
+    assert assessment.verdict is NameVerdict.DROP_HIGH_LATENCY
+
+
+def test_active_applies_passive_rule_first(topology, host_rng):
+    network = Network(topology, SimClock(), seed=2)
+    node = topology.create_host("n3", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng)
+    f = NameQualityFilter(provider_owned_max_fraction=0.0)
+    assessment = f.assess_active(
+        "owned.test",
+        node,
+        [("23.0.0.1",)],
+        network,
+        host_for_address=lambda a: None,
+    )
+    assert assessment.verdict is NameVerdict.DROP_PROVIDER_OWNED
+
+
+def test_active_unresolvable_addresses_drop(topology, host_rng):
+    network = Network(topology, SimClock(), seed=2)
+    node = topology.create_host("n4", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng)
+    f = NameQualityFilter()
+    assessment = f.assess_active(
+        "ghost.test",
+        node,
+        [("172.9.9.9",)],
+        network,
+        host_for_address=lambda a: None,
+    )
+    assert assessment.verdict is NameVerdict.DROP_NO_DATA
+
+
+def test_select_names_keeps_input_order():
+    f = NameQualityFilter()
+    assessments = [
+        NameAssessment("b.test", NameVerdict.KEEP),
+        NameAssessment("x.test", NameVerdict.DROP_NO_DATA),
+        NameAssessment("a.test", NameVerdict.KEEP),
+    ]
+    assert f.select_names(assessments) == ["b.test", "a.test"]

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.core.clustering import Cluster, ClusteringResult
+from repro.core.quality import (
+    ClusterQuality,
+    evaluate_cluster,
+    evaluate_clustering,
+    good_cluster_buckets,
+)
+
+
+def rtt_from_table(table):
+    def rtt(a, b):
+        if a == b:
+            return 0.0
+        key = (a, b) if a < b else (b, a)
+        return table[key]
+
+    return rtt
+
+
+@pytest.fixture()
+def tight_and_far():
+    """Two tight clusters far apart, plus RTT oracle."""
+    table = {
+        ("a1", "a2"): 10.0,
+        ("a1", "a3"): 12.0,
+        ("a2", "a3"): 8.0,
+        ("b1", "b2"): 20.0,
+        ("a1", "b1"): 150.0,
+        ("a1", "b2"): 160.0,
+        ("a2", "b1"): 155.0,
+        ("a2", "b2"): 158.0,
+        ("a3", "b1"): 149.0,
+        ("a3", "b2"): 152.0,
+    }
+    clusters = [
+        Cluster(center="a1", members=["a1", "a2", "a3"]),
+        Cluster(center="b1", members=["b1", "b2"]),
+    ]
+    result = ClusteringResult(clusters=clusters, unclustered=[], params=None, total_nodes=5)
+    return result, rtt_from_table(table)
+
+
+def test_intra_avg_is_member_to_center(tight_and_far):
+    result, rtt = tight_and_far
+    quality = evaluate_cluster(result.clusters[0], ["a1", "b1"], rtt)
+    assert quality.intra_avg_ms == pytest.approx((10.0 + 12.0) / 2)
+
+
+def test_diameter_is_max_pairwise(tight_and_far):
+    result, rtt = tight_and_far
+    quality = evaluate_cluster(result.clusters[0], ["a1", "b1"], rtt)
+    assert quality.diameter_ms == pytest.approx(12.0)
+
+
+def test_inter_metrics_use_other_centers(tight_and_far):
+    result, rtt = tight_and_far
+    quality = evaluate_cluster(result.clusters[0], ["a1", "b1"], rtt)
+    assert quality.inter_avg_ms == pytest.approx(150.0)
+    assert quality.inter_min_ms == pytest.approx(150.0)
+
+
+def test_good_when_inter_exceeds_intra(tight_and_far):
+    result, rtt = tight_and_far
+    qualities = evaluate_clustering(result, rtt, diameter_cap_ms=None)
+    assert all(q.is_good for q in qualities)
+
+
+def test_not_good_without_other_clusters(tight_and_far):
+    result, rtt = tight_and_far
+    only = evaluate_cluster(result.clusters[0], ["a1"], rtt)
+    assert only.inter_avg_ms is None
+    assert not only.is_good
+
+
+def test_diameter_cap_filters(tight_and_far):
+    result, rtt = tight_and_far
+    capped = evaluate_clustering(result, rtt, diameter_cap_ms=15.0)
+    assert len(capped) == 1
+    assert capped[0].cluster.center == "a1"
+
+
+def test_bucket_counting(tight_and_far):
+    result, rtt = tight_and_far
+    qualities = evaluate_clustering(result, rtt, diameter_cap_ms=None)
+    buckets = good_cluster_buckets(qualities, buckets=((0.0, 15.0), (15.0, 75.0)))
+    assert buckets[(0.0, 15.0)] == 1
+    assert buckets[(15.0, 75.0)] == 1
+
+
+def test_bucket_ignores_bad_clusters():
+    # One cluster whose inter distance is LOWER than intra: not good.
+    table = {
+        ("a1", "a2"): 50.0,
+        ("a1", "b1"): 10.0,
+        ("a2", "b1"): 12.0,
+        ("b1", "b2"): 5.0,
+        ("a1", "b2"): 11.0,
+        ("a2", "b2"): 13.0,
+    }
+    clusters = [
+        Cluster(center="a1", members=["a1", "a2"]),
+        Cluster(center="b1", members=["b1", "b2"]),
+    ]
+    result = ClusteringResult(clusters=clusters, unclustered=[], params=None, total_nodes=4)
+    qualities = evaluate_clustering(result, rtt_from_table(table), diameter_cap_ms=None)
+    buckets = good_cluster_buckets(qualities)
+    bad = [q for q in qualities if not q.is_good]
+    assert bad
+    assert sum(buckets.values()) == len(qualities) - len(bad)
+
+
+def test_singleton_cluster_quality():
+    cluster = Cluster(center="solo", members=["solo"])
+    quality = evaluate_cluster(cluster, ["solo", "other"], lambda a, b: 42.0)
+    assert quality.intra_avg_ms == 0.0
+    assert quality.diameter_ms == 0.0
+    assert quality.inter_avg_ms == pytest.approx(42.0)

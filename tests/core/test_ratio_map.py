@@ -1,0 +1,120 @@
+import math
+
+import pytest
+
+from repro.core import RatioMap
+
+
+def test_paper_example_ratio_map():
+    # ν_A = ⟨r1 ⇒ 0.3, r2 ⇒ 0.7⟩ from Section III-B.
+    nu_a = RatioMap({"r1": 0.3, "r2": 0.7})
+    assert nu_a["r1"] == pytest.approx(0.3)
+    assert nu_a["r2"] == pytest.approx(0.7)
+    assert len(nu_a) == 2
+
+
+def test_ratios_must_sum_to_one():
+    with pytest.raises(ValueError):
+        RatioMap({"r1": 0.3, "r2": 0.3})
+
+
+def test_ratios_must_be_positive():
+    with pytest.raises(ValueError):
+        RatioMap({"r1": 0.0, "r2": 1.0})
+    with pytest.raises(ValueError):
+        RatioMap({"r1": -0.5, "r2": 1.5})
+
+
+def test_empty_map_rejected():
+    with pytest.raises(ValueError):
+        RatioMap({})
+
+
+def test_from_counts_normalizes():
+    ratio_map = RatioMap.from_counts({"a": 3, "b": 7})
+    assert ratio_map["a"] == pytest.approx(0.3)
+    assert ratio_map["b"] == pytest.approx(0.7)
+
+
+def test_from_counts_drops_zero_entries():
+    ratio_map = RatioMap.from_counts({"a": 5, "b": 0})
+    assert "b" not in ratio_map
+    assert ratio_map["a"] == pytest.approx(1.0)
+
+
+def test_from_counts_rejects_all_zero():
+    with pytest.raises(ValueError):
+        RatioMap.from_counts({"a": 0})
+
+
+def test_from_counts_rejects_negative():
+    with pytest.raises(ValueError):
+        RatioMap.from_counts({"a": -1, "b": 2})
+
+
+def test_ratio_returns_zero_for_unseen():
+    ratio_map = RatioMap({"a": 1.0})
+    assert ratio_map.ratio("zzz") == 0.0
+    with pytest.raises(KeyError):
+        ratio_map["zzz"]
+
+
+def test_support_is_replica_set():
+    ratio_map = RatioMap({"a": 0.5, "b": 0.5})
+    assert ratio_map.support == frozenset({"a", "b"})
+
+
+def test_norm_matches_euclidean():
+    ratio_map = RatioMap({"a": 0.6, "b": 0.2, "c": 0.2})
+    expected = math.sqrt(0.6**2 + 0.2**2 + 0.2**2)
+    assert ratio_map.norm == pytest.approx(expected)
+
+
+def test_strongest_returns_max_entry():
+    ratio_map = RatioMap({"a": 0.2, "b": 0.5, "c": 0.3})
+    assert ratio_map.strongest() == ("b", pytest.approx(0.5))
+
+
+def test_strongest_tie_breaks_lexicographically():
+    ratio_map = RatioMap({"b": 0.5, "a": 0.5})
+    assert ratio_map.strongest()[0] == "a"
+
+
+def test_dot_product_over_common_support():
+    a = RatioMap({"x": 0.5, "y": 0.5})
+    b = RatioMap({"y": 0.25, "z": 0.75})
+    assert a.dot(b) == pytest.approx(0.5 * 0.25)
+    assert a.dot(b) == b.dot(a)
+
+
+def test_dot_zero_for_disjoint_maps():
+    a = RatioMap({"x": 1.0})
+    b = RatioMap({"y": 1.0})
+    assert a.dot(b) == 0.0
+
+
+def test_merged_with_combines_and_normalizes():
+    a = RatioMap({"x": 1.0})
+    b = RatioMap({"y": 1.0})
+    merged = a.merged_with(b, weight=0.25)
+    assert merged["x"] == pytest.approx(0.25)
+    assert merged["y"] == pytest.approx(0.75)
+
+
+def test_merged_weight_bounds():
+    a = RatioMap({"x": 1.0})
+    with pytest.raises(ValueError):
+        a.merged_with(a, weight=0.0)
+    with pytest.raises(ValueError):
+        a.merged_with(a, weight=1.0)
+
+
+def test_mapping_protocol():
+    ratio_map = RatioMap({"a": 0.5, "b": 0.5})
+    assert set(iter(ratio_map)) == {"a", "b"}
+    assert dict(ratio_map) == {"a": 0.5, "b": 0.5}
+
+
+def test_repr_shows_top_entries():
+    ratio_map = RatioMap({"big": 0.9, "small": 0.1})
+    assert "big" in repr(ratio_map)

@@ -1,0 +1,83 @@
+import pytest
+
+from repro.core import RatioMap, rank_candidates, select_closest, select_top_k
+from repro.core.similarity import SimilarityMetric
+
+
+@pytest.fixture()
+def maps():
+    client = RatioMap({"rx": 0.2, "ry": 0.8})
+    candidates = {
+        "b": RatioMap({"rx": 0.6, "ry": 0.4}),   # cos ≈ 0.740
+        "c": RatioMap({"rx": 0.1, "ry": 0.9}),   # cos ≈ 0.991
+        "far": RatioMap({"rz": 1.0}),            # cos = 0
+    }
+    return client, candidates
+
+
+def test_ranking_order(maps):
+    client, candidates = maps
+    ranked = rank_candidates(client, candidates)
+    assert [r.name for r in ranked] == ["c", "b", "far"]
+    assert ranked[0].score > ranked[1].score > ranked[2].score
+
+
+def test_select_closest_is_top1(maps):
+    client, candidates = maps
+    assert select_closest(client, candidates).name == "c"
+
+
+def test_select_top_k(maps):
+    client, candidates = maps
+    top2 = select_top_k(client, candidates, k=2)
+    assert [r.name for r in top2] == ["c", "b"]
+
+
+def test_top_k_validation(maps):
+    client, candidates = maps
+    with pytest.raises(ValueError):
+        select_top_k(client, candidates, k=0)
+
+
+def test_no_candidates_returns_none():
+    client = RatioMap({"rx": 1.0})
+    assert select_closest(client, {}) is None
+    assert rank_candidates(client, {}) == []
+
+
+def test_none_maps_skipped(maps):
+    client, candidates = maps
+    candidates = dict(candidates)
+    candidates["ghost"] = None
+    ranked = rank_candidates(client, candidates)
+    assert "ghost" not in [r.name for r in ranked]
+
+
+def test_zero_score_has_no_signal(maps):
+    client, candidates = maps
+    ranked = rank_candidates(client, candidates)
+    by_name = {r.name: r for r in ranked}
+    assert by_name["c"].has_signal
+    assert not by_name["far"].has_signal
+
+
+def test_ties_break_by_name():
+    client = RatioMap({"r": 1.0})
+    candidates = {
+        "zeta": RatioMap({"r": 1.0}),
+        "alpha": RatioMap({"r": 1.0}),
+    }
+    ranked = rank_candidates(client, candidates)
+    assert [r.name for r in ranked] == ["alpha", "zeta"]
+
+
+def test_alternative_metric_changes_ranking():
+    client = RatioMap({"x": 0.99, "y": 0.01})
+    candidates = {
+        "same-support": RatioMap({"x": 0.01, "y": 0.99}),
+        "same-shape": RatioMap({"x": 0.99, "z": 0.01}),
+    }
+    cosine_pick = select_closest(client, candidates, SimilarityMetric.COSINE)
+    jaccard_pick = select_closest(client, candidates, SimilarityMetric.JACCARD)
+    assert cosine_pick.name == "same-shape"
+    assert jaccard_pick.name == "same-support"

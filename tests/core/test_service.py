@@ -1,0 +1,184 @@
+import pytest
+
+from repro.core import CRPService, CRPServiceParams
+from repro.core.clustering import SmfParams
+from repro.dnssim import DnsInfrastructure, RecursiveResolver
+from repro.netsim import HostKind, Network, SimClock
+from repro.cdn import CDNProvider
+
+
+NAMES = ("images.yahoo.test", "www.foxnews.test")
+
+
+@pytest.fixture()
+def service_world(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=41)
+    infra = DnsInfrastructure()
+    cdn = CDNProvider(topology, network, infra, seed=41)
+    for name in NAMES:
+        cdn.add_customer(name)
+    service = CRPService(clock, CRPServiceParams(customer_names=NAMES))
+    hosts = {}
+    for metro in ("new-york", "boston", "london", "tokyo"):
+        host = topology.create_host(
+            f"n-{metro}", HostKind.DNS_SERVER, topology.world.metro(metro), host_rng
+        )
+        hosts[f"n-{metro}"] = host
+        service.register_node(f"n-{metro}", RecursiveResolver(host, infra, network))
+    return service, clock, hosts, network
+
+
+def probe(service, clock, rounds=12, minutes=10):
+    for _ in range(rounds):
+        service.probe_all()
+        clock.advance_minutes(minutes)
+
+
+def test_params_require_names():
+    with pytest.raises(ValueError):
+        CRPServiceParams(customer_names=())
+
+
+def test_params_window_validation():
+    with pytest.raises(ValueError):
+        CRPServiceParams(customer_names=NAMES, window_probes=0)
+
+
+def test_register_twice_rejected(service_world, topology, host_rng):
+    service, _, _, _ = service_world
+    with pytest.raises(ValueError):
+        service.register_node("n-tokyo", None)
+
+
+def test_unregister_removes_node(service_world):
+    service, _, _, _ = service_world
+    service.unregister_node("n-tokyo")
+    assert "n-tokyo" not in service.nodes
+    with pytest.raises(KeyError):
+        service.tracker("n-tokyo")
+
+
+def test_probe_records_observations(service_world):
+    service, clock, _, _ = service_world
+    observations = service.probe("n-new-york")
+    assert len(observations) == len(NAMES)
+    assert service.tracker("n-new-york").probe_count == len(NAMES)
+    assert service.probes_issued == len(NAMES)
+
+
+def test_probe_all_covers_every_node(service_world):
+    service, clock, _, _ = service_world
+    total = service.probe_all()
+    assert total == len(service.nodes) * len(NAMES)
+
+
+def test_ratio_map_none_before_bootstrap(service_world):
+    service, _, _, _ = service_world
+    assert service.ratio_map("n-london") is None
+
+
+def test_ratio_map_after_probing(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    ratio_map = service.ratio_map("n-london")
+    assert ratio_map is not None
+    assert abs(sum(ratio_map.values()) - 1.0) < 1e-9
+
+
+def test_window_override(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=15)
+    small = service.ratio_map("n-london", window_probes=2)
+    full = service.ratio_map("n-london", window_probes=None)
+    assert len(small) <= len(full)
+
+
+def test_rank_servers_prefers_nearby(service_world):
+    service, clock, hosts, network = service_world
+    probe(service, clock, rounds=15)
+    ranked = service.rank_servers("n-new-york", ["n-boston", "n-london", "n-tokyo"])
+    assert ranked[0].name == "n-boston"
+
+
+def test_rank_excludes_client_itself(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    ranked = service.rank_servers("n-new-york", ["n-new-york", "n-boston"])
+    assert all(r.name != "n-new-york" for r in ranked)
+
+
+def test_closest_server_returns_top1(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=15)
+    pick = service.closest_server("n-new-york", ["n-boston", "n-tokyo"])
+    assert pick.name == "n-boston"
+
+
+def test_rank_empty_for_unbootstrapped_client(service_world):
+    service, _, _, _ = service_world
+    assert service.rank_servers("n-new-york", ["n-boston"]) == []
+
+
+def test_passive_observation_feeds_maps(service_world):
+    service, clock, _, _ = service_world
+    service.observe("n-london", NAMES[0], ["172.0.0.9"])
+    ratio_map = service.ratio_map("n-london")
+    assert ratio_map is not None
+    assert ratio_map.ratio("172.0.0.9") == 1.0
+
+
+def test_cluster_over_nodes(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=15)
+    result = service.cluster(smf_params=SmfParams(threshold=0.1))
+    assert result.total_nodes == 4
+    seen = list(result.unclustered) + [m for c in result.clusters for m in c.members]
+    assert sorted(seen) == sorted(service.nodes)
+
+
+def test_failure_counting(service_world):
+    service, clock, hosts, network = service_world
+    # A node whose names cannot resolve: register with a resolver over
+    # an empty infrastructure.
+    empty_infra = DnsInfrastructure()
+    lonely = RecursiveResolver(hosts["n-tokyo"], empty_infra, network)
+    service.unregister_node("n-tokyo")
+    service.register_node("n-tokyo", lonely)
+    before = service.probe_failures
+    service.probe("n-tokyo")
+    assert service.probe_failures == before + len(NAMES)
+
+
+def test_passive_only_node(service_world):
+    service, clock, _, _ = service_world
+    service.register_node("watcher", None)
+    with pytest.raises(ValueError):
+        service.probe("watcher")
+    # probe_all skips it without error.
+    service.probe_all()
+    assert service.tracker("watcher").probe_count == 0
+    service.observe("watcher", NAMES[0], ["172.0.0.1"])
+    assert service.ratio_map("watcher") is not None
+
+
+def test_closer_of_matches_paper_primitive(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=15)
+    # The primitive agrees with the full ranking wherever there is
+    # signal, and answers None when both pairs are orthogonal.
+    for target, a, b in (
+        ("n-new-york", "n-boston", "n-tokyo"),
+        ("n-london", "n-boston", "n-tokyo"),
+        ("n-tokyo", "n-london", "n-boston"),
+    ):
+        ranked = service.rank_servers(target, [a, b])
+        expected = (
+            ranked[0].name if ranked and ranked[0].has_signal else None
+        )
+        assert service.closer_of(target, a, b) == expected
+
+
+def test_closer_of_unmapped_target(service_world):
+    service, _, _, _ = service_world
+    assert service.closer_of("n-new-york", "n-boston", "n-tokyo") is None

@@ -1,0 +1,86 @@
+import pytest
+
+from repro.core import (
+    RatioMap,
+    SimilarityMetric,
+    cosine_similarity,
+    jaccard_similarity,
+    overlap_similarity,
+    similarity,
+)
+
+
+def test_paper_worked_example():
+    """Section IV-A's worked example: cos(A,B)=0.740, cos(A,C)=0.991."""
+    nu_a = RatioMap({"rx": 0.2, "ry": 0.8})
+    nu_b = RatioMap({"rx": 0.6, "ry": 0.4})
+    nu_c = RatioMap({"rx": 0.1, "ry": 0.9})
+    assert cosine_similarity(nu_a, nu_b) == pytest.approx(0.740, abs=0.001)
+    assert cosine_similarity(nu_a, nu_c) == pytest.approx(0.991, abs=0.001)
+    # So A selects C, exactly as the paper concludes.
+    assert cosine_similarity(nu_a, nu_c) > cosine_similarity(nu_a, nu_b)
+
+
+def test_identical_maps_score_one():
+    ratio_map = RatioMap({"a": 0.3, "b": 0.7})
+    assert cosine_similarity(ratio_map, ratio_map) == pytest.approx(1.0)
+
+
+def test_disjoint_maps_score_zero():
+    a = RatioMap({"x": 1.0})
+    b = RatioMap({"y": 1.0})
+    assert cosine_similarity(a, b) == 0.0
+
+
+def test_cosine_symmetric():
+    a = RatioMap({"x": 0.2, "y": 0.8})
+    b = RatioMap({"x": 0.9, "z": 0.1})
+    assert cosine_similarity(a, b) == cosine_similarity(b, a)
+
+
+def test_cosine_within_unit_interval():
+    a = RatioMap({"x": 0.5, "y": 0.5})
+    b = RatioMap({"x": 0.99, "y": 0.01})
+    value = cosine_similarity(a, b)
+    assert 0.0 <= value <= 1.0
+
+
+def test_jaccard_counts_sets_only():
+    a = RatioMap({"x": 0.99, "y": 0.01})
+    b = RatioMap({"x": 0.01, "y": 0.99})
+    # Same support → Jaccard 1 even though ratios are opposite.
+    assert jaccard_similarity(a, b) == 1.0
+    assert cosine_similarity(a, b) < 0.1
+
+
+def test_jaccard_partial_overlap():
+    a = RatioMap({"x": 0.5, "y": 0.5})
+    b = RatioMap({"y": 0.5, "z": 0.5})
+    assert jaccard_similarity(a, b) == pytest.approx(1.0 / 3.0)
+
+
+def test_overlap_is_histogram_intersection():
+    a = RatioMap({"x": 0.6, "y": 0.4})
+    b = RatioMap({"x": 0.3, "y": 0.7})
+    assert overlap_similarity(a, b) == pytest.approx(0.3 + 0.4)
+
+
+def test_overlap_identity_and_disjoint():
+    a = RatioMap({"x": 0.6, "y": 0.4})
+    b = RatioMap({"z": 1.0})
+    assert overlap_similarity(a, a) == pytest.approx(1.0)
+    assert overlap_similarity(a, b) == 0.0
+
+
+def test_similarity_dispatch():
+    a = RatioMap({"x": 0.5, "y": 0.5})
+    b = RatioMap({"x": 0.5, "z": 0.5})
+    assert similarity(a, b, SimilarityMetric.COSINE) == cosine_similarity(a, b)
+    assert similarity(a, b, SimilarityMetric.JACCARD) == jaccard_similarity(a, b)
+    assert similarity(a, b, SimilarityMetric.OVERLAP) == overlap_similarity(a, b)
+
+
+def test_default_metric_is_cosine():
+    a = RatioMap({"x": 0.5, "y": 0.5})
+    b = RatioMap({"x": 0.5, "z": 0.5})
+    assert similarity(a, b) == cosine_similarity(a, b)

@@ -1,0 +1,162 @@
+import pytest
+
+from repro.core import RedirectionTracker
+from repro.core.tracker import Observation
+
+
+def filled_tracker():
+    tracker = RedirectionTracker("node")
+    tracker.observe(0.0, "yahoo.test", ["a", "b"])
+    tracker.observe(600.0, "yahoo.test", ["a"])
+    tracker.observe(1200.0, "fox.test", ["c"])
+    tracker.observe(1800.0, "yahoo.test", ["b"])
+    return tracker
+
+
+def test_observation_requires_addresses():
+    with pytest.raises(ValueError):
+        Observation(at=0.0, name="x.test", addresses=())
+
+
+def test_observations_must_be_ordered():
+    tracker = RedirectionTracker("node")
+    tracker.observe(100.0, "x.test", ["a"])
+    with pytest.raises(ValueError):
+        tracker.observe(50.0, "x.test", ["a"])
+
+
+def test_probe_count_and_log():
+    tracker = filled_tracker()
+    assert tracker.probe_count == 4
+    assert [o.at for o in tracker.observations] == [0.0, 600.0, 1200.0, 1800.0]
+
+
+def test_names_seen_sorted():
+    assert filled_tracker().names_seen() == ("fox.test", "yahoo.test")
+
+
+def test_ratio_map_counts_every_address():
+    tracker = filled_tracker()
+    ratio_map = tracker.ratio_map()
+    # Counts: a=2, b=2, c=1 over 5 total.
+    assert ratio_map["a"] == pytest.approx(2 / 5)
+    assert ratio_map["b"] == pytest.approx(2 / 5)
+    assert ratio_map["c"] == pytest.approx(1 / 5)
+
+
+def test_ratio_map_filters_by_name():
+    tracker = filled_tracker()
+    yahoo_map = tracker.ratio_map(name="yahoo.test")
+    assert "c" not in yahoo_map
+    assert yahoo_map["a"] == pytest.approx(2 / 4)
+
+
+def test_probe_window_keeps_recent():
+    tracker = filled_tracker()
+    windowed = tracker.ratio_map(window_probes=2)
+    # Last two observations: fox.test [c], yahoo.test [b].
+    assert windowed.support == frozenset({"b", "c"})
+
+
+def test_time_window_keeps_trailing_span():
+    tracker = filled_tracker()
+    windowed = tracker.ratio_map(window_seconds=700.0, now=1800.0)
+    # Observations at 1200 and 1800 fall within [1100, 1800].
+    assert windowed.support == frozenset({"b", "c"})
+
+
+def test_time_window_defaults_to_last_observation():
+    tracker = filled_tracker()
+    windowed = tracker.ratio_map(window_seconds=10.0)
+    assert windowed.support == frozenset({"b"})
+
+
+def test_empty_window_gives_none():
+    tracker = RedirectionTracker("node")
+    assert tracker.ratio_map() is None
+    filled = filled_tracker()
+    assert filled.ratio_map(name="unknown.test") is None
+
+
+def test_window_probes_validation():
+    tracker = filled_tracker()
+    with pytest.raises(ValueError):
+        tracker.ratio_map(window_probes=0)
+
+
+def test_bootstrap_threshold():
+    tracker = filled_tracker()
+    assert not tracker.is_bootstrapped(min_probes=10)
+    assert tracker.is_bootstrapped(min_probes=4)
+
+
+def test_combined_windows_compose():
+    tracker = filled_tracker()
+    # Name filter applied before the probe window.
+    windowed = tracker.ratio_map(name="yahoo.test", window_probes=1)
+    assert windowed.support == frozenset({"b"})
+
+
+def test_decayed_map_weights_recent_observations_more():
+    tracker = RedirectionTracker("node")
+    tracker.observe(0.0, "x.test", ["old"])
+    tracker.observe(3600.0, "x.test", ["new"])
+    decayed = tracker.decayed_ratio_map(half_life_seconds=3600.0)
+    # The old observation is one half-life stale: weight 0.5 vs 1.0.
+    assert decayed.ratio("new") == pytest.approx(1.0 / 1.5)
+    assert decayed.ratio("old") == pytest.approx(0.5 / 1.5)
+
+
+def test_decayed_map_equal_times_match_plain_map():
+    tracker = RedirectionTracker("node")
+    tracker.observe(100.0, "x.test", ["a", "b"])
+    tracker.observe(100.0, "x.test", ["a"])
+    decayed = tracker.decayed_ratio_map(half_life_seconds=60.0)
+    plain = tracker.ratio_map()
+    assert dict(decayed) == pytest.approx(dict(plain))
+
+
+def test_decayed_map_drops_ancient_history():
+    tracker = RedirectionTracker("node")
+    tracker.observe(0.0, "x.test", ["ancient"])
+    tracker.observe(1e6, "x.test", ["fresh"])
+    decayed = tracker.decayed_ratio_map(half_life_seconds=60.0)
+    assert decayed.support == frozenset({"fresh"})
+
+
+def test_decayed_map_validation_and_empties():
+    tracker = RedirectionTracker("node")
+    assert tracker.decayed_ratio_map(half_life_seconds=60.0) is None
+    tracker.observe(0.0, "x.test", ["a"])
+    with pytest.raises(ValueError):
+        tracker.decayed_ratio_map(half_life_seconds=0.0)
+    # A 'now' far in the future decays everything below the floor.
+    assert tracker.decayed_ratio_map(half_life_seconds=1.0, now=1e6) is None
+
+
+def test_decayed_map_name_filter():
+    tracker = filled_tracker()
+    decayed = tracker.decayed_ratio_map(half_life_seconds=1e9, name="fox.test")
+    assert decayed.support == frozenset({"c"})
+
+
+def test_bounded_tracker_drops_oldest():
+    tracker = RedirectionTracker("node", max_observations=3)
+    for i in range(5):
+        tracker.observe(float(i), "x.test", [f"r{i}"])
+    assert tracker.probe_count == 3
+    assert [o.addresses[0] for o in tracker.observations] == ["r2", "r3", "r4"]
+    assert tracker.observations_dropped == 2
+
+
+def test_bounded_tracker_validation():
+    with pytest.raises(ValueError):
+        RedirectionTracker("node", max_observations=0)
+
+
+def test_unbounded_tracker_keeps_everything():
+    tracker = RedirectionTracker("node")
+    for i in range(200):
+        tracker.observe(float(i), "x.test", ["r"])
+    assert tracker.probe_count == 200
+    assert tracker.observations_dropped == 0

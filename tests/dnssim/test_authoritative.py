@@ -1,0 +1,92 @@
+import pytest
+
+from repro.dnssim import (
+    Question,
+    Rcode,
+    RecordType,
+    ResourceRecord,
+    StaticAuthoritativeServer,
+)
+from repro.netsim import HostKind
+
+
+@pytest.fixture()
+def auth(topology, host_rng):
+    host = topology.create_host(
+        "ns.origin", HostKind.INFRA, topology.world.metro("london"), host_rng
+    )
+    server = StaticAuthoritativeServer(host, ["example.test"])
+    server.add_record(ResourceRecord("www.example.test", RecordType.A, "1.2.3.4", 300.0))
+    server.add_record(
+        ResourceRecord("cdn.example.test", RecordType.CNAME, "a1.g.cdn.test", 3600.0)
+    )
+    server.add_record(ResourceRecord("*.wild.example.test", RecordType.A, "9.9.9.9", 60.0))
+    return server
+
+
+@pytest.fixture()
+def client(topology, host_rng):
+    return topology.create_host(
+        "client", HostKind.DNS_SERVER, topology.world.metro("paris"), host_rng
+    )
+
+
+def test_needs_at_least_one_zone(topology, host_rng):
+    host = topology.create_host("z", HostKind.INFRA, topology.world.metro("london"), host_rng)
+    with pytest.raises(ValueError):
+        StaticAuthoritativeServer(host, [])
+
+
+def test_serves_zone_membership(auth):
+    assert auth.serves("www.example.test")
+    assert auth.serves("example.test")
+    assert not auth.serves("other.test")
+
+
+def test_answers_a_record(auth, client):
+    response = auth.answer(Question("www.example.test"), ldns=client, now=0.0)
+    assert response.rcode is Rcode.NOERROR
+    assert response.authoritative
+    assert response.records[0].value == "1.2.3.4"
+
+
+def test_refuses_out_of_zone(auth, client):
+    response = auth.answer(Question("www.other.test"), ldns=client, now=0.0)
+    assert response.rcode is Rcode.REFUSED
+
+
+def test_nxdomain_for_missing_name(auth, client):
+    response = auth.answer(Question("missing.example.test"), ldns=client, now=0.0)
+    assert response.rcode is Rcode.NXDOMAIN
+
+
+def test_cname_answers_a_question(auth, client):
+    response = auth.answer(Question("cdn.example.test", RecordType.A), ldns=client, now=0.0)
+    assert response.rcode is Rcode.NOERROR
+    assert response.records[0].rtype is RecordType.CNAME
+    assert response.records[0].value == "a1.g.cdn.test"
+
+
+def test_wildcard_matches_any_leftmost_label(auth, client):
+    response = auth.answer(Question("xyz123.wild.example.test"), ldns=client, now=0.0)
+    assert response.rcode is Rcode.NOERROR
+    assert response.records[0].value == "9.9.9.9"
+    # The synthesised record carries the queried name.
+    assert response.records[0].name == "xyz123.wild.example.test"
+
+
+def test_wildcard_does_not_match_deeper_names(auth, client):
+    response = auth.answer(Question("a.b.wild.example.test"), ldns=client, now=0.0)
+    assert response.rcode is Rcode.NXDOMAIN
+
+
+def test_add_record_outside_zone_rejected(auth):
+    with pytest.raises(ValueError):
+        auth.add_record(ResourceRecord("www.other.test", RecordType.A, "1.1.1.1", 30.0))
+
+
+def test_query_counter_increments(auth, client):
+    before = auth.queries_served
+    auth.answer(Question("www.example.test"), ldns=client, now=0.0)
+    auth.answer(Question("www.example.test"), ldns=client, now=0.0)
+    assert auth.queries_served == before + 2

@@ -1,0 +1,99 @@
+import pytest
+
+from repro.dnssim import Question, RecordType, ResourceRecord, TtlCache
+
+
+def record(name="a.test", value="1.1.1.1", ttl=30.0, rtype=RecordType.A):
+    return ResourceRecord(name, rtype, value, ttl)
+
+
+def test_put_get_roundtrip():
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(),), now=0.0)
+    got = cache.get(q, now=1.0)
+    assert got is not None
+    assert got[0].value == "1.1.1.1"
+
+
+def test_miss_on_unknown_name():
+    cache = TtlCache()
+    assert cache.get(Question("nope.test"), now=0.0) is None
+    assert cache.misses == 1
+
+
+def test_expiry_at_ttl():
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(ttl=30.0),), now=0.0)
+    assert cache.get(q, now=29.9) is not None
+    assert cache.get(q, now=30.0) is None
+    assert cache.expirations == 1
+
+
+def test_remaining_ttl_decreases():
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(ttl=30.0),), now=0.0)
+    aged = cache.get(q, now=20.0)
+    assert aged[0].ttl == pytest.approx(10.0)
+
+
+def test_entry_lives_for_minimum_record_ttl():
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(ttl=30.0), record(value="2.2.2.2", ttl=5.0)), now=0.0)
+    assert cache.get(q, now=6.0) is None
+
+
+def test_zero_ttl_not_cached():
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(ttl=0.0),), now=0.0)
+    assert cache.get(q, now=0.0) is None
+
+
+def test_empty_answers_not_cached():
+    cache = TtlCache()
+    cache.put(Question("a.test"), (), now=0.0)
+    assert len(cache) == 0
+
+
+def test_lru_eviction_at_capacity():
+    cache = TtlCache(max_entries=2)
+    cache.put(Question("a.test"), (record("a.test"),), now=0.0)
+    cache.put(Question("b.test"), (record("b.test"),), now=0.0)
+    # Touch a.test so b.test becomes the LRU entry.
+    cache.get(Question("a.test"), now=1.0)
+    cache.put(Question("c.test"), (record("c.test"),), now=1.0)
+    assert cache.get(Question("a.test"), now=1.0) is not None
+    assert cache.get(Question("b.test"), now=1.0) is None
+
+
+def test_rtype_is_part_of_key():
+    cache = TtlCache()
+    cache.put(Question("a.test", RecordType.A), (record(),), now=0.0)
+    assert cache.get(Question("a.test", RecordType.CNAME), now=0.0) is None
+
+
+def test_flush_clears_entries_but_keeps_counters():
+    cache = TtlCache()
+    cache.put(Question("a.test"), (record(),), now=0.0)
+    cache.get(Question("a.test"), now=0.0)
+    cache.flush()
+    assert len(cache) == 0
+    assert cache.hits == 1
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        TtlCache(max_entries=0)
+
+
+def test_hit_counter_increments():
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(),), now=0.0)
+    cache.get(q, now=0.0)
+    cache.get(q, now=1.0)
+    assert cache.hits == 2

@@ -1,0 +1,56 @@
+import pytest
+
+from repro.dnssim import DnsInfrastructure, ResourceRecord, RecordType, StaticAuthoritativeServer
+from repro.netsim import HostKind
+
+
+def make_auth(topology, host_rng, name, zones):
+    host = topology.create_host(name, HostKind.INFRA, topology.world.metro("london"), host_rng)
+    return StaticAuthoritativeServer(host, zones)
+
+
+def test_register_and_lookup(topology, host_rng):
+    infra = DnsInfrastructure()
+    auth = make_auth(topology, host_rng, "ns1", ["example.test"])
+    infra.register(auth)
+    assert infra.authoritative_for("www.example.test") is auth
+
+
+def test_unknown_name_returns_none(topology, host_rng):
+    infra = DnsInfrastructure()
+    infra.register(make_auth(topology, host_rng, "ns1", ["example.test"]))
+    assert infra.authoritative_for("www.unknown.test") is None
+
+
+def test_longest_zone_wins(topology, host_rng):
+    infra = DnsInfrastructure()
+    outer = make_auth(topology, host_rng, "ns-outer", ["example.test"])
+    inner = make_auth(topology, host_rng, "ns-inner", ["sub.example.test"])
+    infra.register(outer)
+    infra.register(inner)
+    assert infra.authoritative_for("www.sub.example.test") is inner
+    assert infra.authoritative_for("www.example.test") is outer
+
+
+def test_duplicate_zone_rejected(topology, host_rng):
+    infra = DnsInfrastructure()
+    infra.register(make_auth(topology, host_rng, "ns1", ["example.test"]))
+    with pytest.raises(ValueError):
+        infra.register(make_auth(topology, host_rng, "ns2", ["example.test"]))
+
+
+def test_servers_listing(topology, host_rng):
+    infra = DnsInfrastructure()
+    a = make_auth(topology, host_rng, "ns1", ["a.test"])
+    b = make_auth(topology, host_rng, "ns2", ["b.test"])
+    infra.register(a)
+    infra.register(b)
+    assert infra.servers == [a, b]
+
+
+def test_multi_zone_server(topology, host_rng):
+    infra = DnsInfrastructure()
+    auth = make_auth(topology, host_rng, "ns1", ["a.test", "b.test"])
+    infra.register(auth)
+    assert infra.authoritative_for("x.a.test") is auth
+    assert infra.authoritative_for("x.b.test") is auth

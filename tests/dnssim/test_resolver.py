@@ -1,0 +1,226 @@
+import pytest
+
+from repro.dnssim import (
+    DnsInfrastructure,
+    RecursiveResolver,
+    ResolutionError,
+    ResourceRecord,
+    RecordType,
+    StaticAuthoritativeServer,
+)
+from repro.dnssim.records import Rcode
+from repro.netsim import HostKind
+
+
+@pytest.fixture()
+def setup(topology, host_rng, network):
+    """Infrastructure with a CNAME chain: www.site.test → edge.cdn.test → A."""
+    infra = DnsInfrastructure()
+    origin_host = topology.create_host(
+        "ns.site", HostKind.INFRA, topology.world.metro("london"), host_rng
+    )
+    origin = StaticAuthoritativeServer(origin_host, ["site.test"])
+    origin.add_record(
+        ResourceRecord("www.site.test", RecordType.CNAME, "edge.cdn.test", 3600.0)
+    )
+    infra.register(origin)
+
+    cdn_host = topology.create_host(
+        "ns.cdn", HostKind.INFRA, topology.world.metro("chicago"), host_rng
+    )
+    cdn = StaticAuthoritativeServer(cdn_host, ["cdn.test"])
+    cdn.add_record(ResourceRecord("edge.cdn.test", RecordType.A, "172.0.0.1", 20.0))
+    infra.register(cdn)
+
+    resolver_host = topology.create_host(
+        "resolver", HostKind.DNS_SERVER, topology.world.metro("paris"), host_rng
+    )
+    resolver = RecursiveResolver(resolver_host, infra, network)
+    return infra, resolver, origin, cdn
+
+
+def test_resolves_cname_chain(setup):
+    _, resolver, _, _ = setup
+    result = resolver.resolve("www.site.test")
+    assert result.addresses == ("172.0.0.1",)
+    # Chain hit both the origin and the CDN authoritative.
+    assert len(result.chain) == 2
+
+
+def test_resolution_cost_is_positive(setup):
+    _, resolver, _, _ = setup
+    result = resolver.resolve("www.site.test")
+    assert result.cost_ms > 0.0
+    assert not result.from_cache
+
+
+def test_cached_resolution_is_free(setup, network):
+    _, resolver, _, _ = setup
+    resolver.resolve("www.site.test")
+    cached = resolver.resolve("www.site.test")
+    assert cached.from_cache
+    assert cached.cost_ms == 0.0
+    assert cached.addresses == ("172.0.0.1",)
+
+
+def test_cache_expires_with_ttl(setup, clock):
+    _, resolver, _, cdn = setup
+    resolver.resolve("www.site.test")
+    served_before = cdn.queries_served
+    clock.advance(25.0)  # past the 20 s A-record TTL
+    result = resolver.resolve("www.site.test")
+    assert not result.from_cache
+    assert cdn.queries_served == served_before + 1
+
+
+def test_cname_stays_cached_when_a_expires(setup, clock):
+    _, resolver, origin, _ = setup
+    resolver.resolve("www.site.test")
+    served_before = origin.queries_served
+    clock.advance(25.0)
+    resolver.resolve("www.site.test")
+    # The CNAME has a 3600 s TTL; only the A record was re-fetched.
+    assert origin.queries_served == served_before
+
+
+def test_nxdomain_raises(setup):
+    _, resolver, _, _ = setup
+    with pytest.raises(ResolutionError) as excinfo:
+        resolver.resolve("missing.site.test")
+    assert excinfo.value.rcode is Rcode.NXDOMAIN
+
+
+def test_unserved_zone_raises_servfail(setup):
+    _, resolver, _, _ = setup
+    with pytest.raises(ResolutionError) as excinfo:
+        resolver.resolve("www.nowhere.test")
+    assert excinfo.value.rcode is Rcode.SERVFAIL
+
+
+def test_cname_loop_detected(topology, host_rng, network):
+    infra = DnsInfrastructure()
+    host = topology.create_host("ns.loop", HostKind.INFRA, topology.world.metro("london"), host_rng)
+    auth = StaticAuthoritativeServer(host, ["loop.test"])
+    auth.add_record(ResourceRecord("a.loop.test", RecordType.CNAME, "b.loop.test", 60.0))
+    auth.add_record(ResourceRecord("b.loop.test", RecordType.CNAME, "a.loop.test", 60.0))
+    infra.register(auth)
+    resolver_host = topology.create_host(
+        "r.loop", HostKind.DNS_SERVER, topology.world.metro("paris"), host_rng
+    )
+    resolver = RecursiveResolver(resolver_host, infra, network)
+    with pytest.raises(ResolutionError):
+        resolver.resolve("a.loop.test")
+
+
+def test_serve_adds_client_leg(setup, topology, host_rng):
+    _, resolver, _, _ = setup
+    client = topology.create_host(
+        "external", HostKind.DNS_SERVER, topology.world.metro("tokyo"), host_rng
+    )
+    result, total_ms = resolver.serve(client, "www.site.test")
+    assert result.addresses == ("172.0.0.1",)
+    assert total_ms > result.cost_ms  # client leg included
+
+
+def test_closed_resolver_refuses_external_clients(topology, host_rng, network, setup):
+    infra, _, _, _ = setup
+    closed_host = topology.create_host(
+        "closed", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    closed = RecursiveResolver(closed_host, infra, network, recursion_available=False)
+    client = topology.create_host(
+        "asker", HostKind.DNS_SERVER, topology.world.metro("rome"), host_rng
+    )
+    with pytest.raises(ResolutionError) as excinfo:
+        closed.serve(client, "www.site.test")
+    assert excinfo.value.rcode is Rcode.REFUSED
+
+
+def test_closed_resolver_serves_itself(setup, topology, host_rng, network):
+    infra, _, _, _ = setup
+    host = topology.create_host(
+        "self-only", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    resolver = RecursiveResolver(host, infra, network, recursion_available=False)
+    result, _ = resolver.serve(host, "www.site.test")
+    assert result.addresses == ("172.0.0.1",)
+
+
+def test_query_counter(setup):
+    _, resolver, _, _ = setup
+    before = resolver.queries_received
+    resolver.resolve("www.site.test")
+    assert resolver.queries_received == before + 1
+
+
+def test_flaky_resolver_fails_sometimes(setup, topology, host_rng, network):
+    infra, _, _, _ = setup
+    host = topology.create_host(
+        "flaky", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    flaky = RecursiveResolver(host, infra, network, failure_rate=0.5)
+    outcomes = []
+    for _ in range(60):
+        try:
+            flaky.resolve("www.site.test")
+            outcomes.append(True)
+        except ResolutionError:
+            outcomes.append(False)
+        network.clock.advance(30.0)
+    assert 10 < sum(outcomes) < 50
+    assert flaky.queries_failed == 60 - sum(outcomes)
+
+
+def test_failure_rate_validation(setup, topology, host_rng, network):
+    infra, _, _, _ = setup
+    host = topology.create_host(
+        "bad-rate", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    with pytest.raises(ValueError):
+        RecursiveResolver(host, infra, network, failure_rate=1.0)
+
+
+def test_zero_failure_rate_never_fails(setup):
+    _, resolver, _, _ = setup
+    for _ in range(30):
+        resolver.resolve("www.site.test")
+    assert resolver.queries_failed == 0
+
+
+def test_negative_cache_shields_authority(setup, clock):
+    _, resolver, origin, _ = setup
+    with pytest.raises(ResolutionError):
+        resolver.resolve("missing.site.test")
+    served = origin.queries_served
+    # Repeated lookups within the negative TTL never reach the origin.
+    for _ in range(5):
+        with pytest.raises(ResolutionError):
+            resolver.resolve("missing.site.test")
+    assert origin.queries_served == served
+    # Past the negative TTL, the origin is asked again.
+    clock.advance(resolver.negative_ttl + 1.0)
+    with pytest.raises(ResolutionError):
+        resolver.resolve("missing.site.test")
+    assert origin.queries_served == served + 1
+
+
+def test_negative_cache_disabled_with_zero_ttl(setup, topology, host_rng, network):
+    infra, _, origin, _ = setup
+    host = topology.create_host(
+        "no-neg", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    resolver = RecursiveResolver(host, infra, network, negative_ttl=0.0)
+    served = origin.queries_served
+    for _ in range(3):
+        with pytest.raises(ResolutionError):
+            resolver.resolve("missing.site.test")
+    assert origin.queries_served == served + 3
+
+
+def test_negative_ttl_validation(setup, topology, host_rng, network):
+    infra, _, _, _ = setup
+    host = topology.create_host(
+        "neg-bad", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    with pytest.raises(ValueError):
+        RecursiveResolver(host, infra, network, negative_ttl=-1.0)

@@ -1,0 +1,52 @@
+import pytest
+
+from repro.experiments.ablations import (
+    run_center_policy_ablation,
+    run_meridian_health_ablation,
+    run_similarity_ablation,
+    run_spread_ablation,
+)
+from repro.workloads import ScenarioParams
+from tests.conftest import make_scenario
+
+
+def small_params(seed):
+    return ScenarioParams(
+        seed=seed, dns_servers=12, planetlab_nodes=10, build_meridian=False
+    )
+
+
+def test_similarity_ablation_rows():
+    scenario = make_scenario(seed=41, dns_servers=12, planetlab_nodes=10)
+    result = run_similarity_ablation(scenario, probe_rounds=10)
+    assert [row[0] for row in result.rows] == ["cosine", "jaccard", "overlap"]
+    for row in result.rows:
+        assert float(row[1]) >= 0.0
+    assert "similarity" in result.report()
+
+
+def test_spread_ablation_rows():
+    result = run_spread_ablation(small_params(42), spreads=(1, 4), probe_rounds=10)
+    labels = [row[0] for row in result.rows]
+    assert labels == ["1 (best only)", "4"]
+    # Wider spread grows map support.
+    assert float(result.rows[1][3]) >= float(result.rows[0][3])
+
+
+def test_center_policy_ablation_rows():
+    scenario = make_scenario(seed=43, dns_servers=16, planetlab_nodes=4)
+    result = run_center_policy_ablation(scenario, probe_rounds=10)
+    assert [row[0] for row in result.rows] == ["strongest", "random"]
+    for row in result.rows:
+        assert row[1] >= 0
+        assert row[2] >= 0
+
+
+def test_meridian_health_ablation_rows():
+    params = ScenarioParams(
+        seed=44, dns_servers=10, planetlab_nodes=12, build_meridian=True
+    )
+    result = run_meridian_health_ablation(params, queries=8)
+    assert [row[0] for row in result.rows] == ["pristine", "deployed-flaky"]
+    for row in result.rows:
+        assert float(row[1]) >= 0.0

@@ -1,0 +1,63 @@
+import pytest
+
+from repro.experiments.bootstrap import BootstrapResult, run_bootstrap_experiment
+from tests.conftest import make_scenario
+
+
+@pytest.fixture(scope="module")
+def bootstrap_result():
+    scenario = make_scenario(seed=45, dns_servers=10, planetlab_nodes=12)
+    return run_bootstrap_experiment(
+        scenario, joiners=6, warmup_rounds=8, max_probes=8
+    )
+
+
+def test_joiner_validation():
+    scenario = make_scenario(seed=46, dns_servers=6, planetlab_nodes=6)
+    with pytest.raises(ValueError):
+        run_bootstrap_experiment(scenario, joiners=0)
+
+
+def test_curves_cover_probe_horizon(bootstrap_result):
+    assert set(bootstrap_result.signal_fraction_by_probe) == set(range(1, 9))
+    assert set(bootstrap_result.mean_rank_by_probe) <= set(range(1, 9))
+
+
+def test_fractions_valid(bootstrap_result):
+    for value in bootstrap_result.signal_fraction_by_probe.values():
+        assert 0.0 <= value <= 1.0
+
+
+def test_signal_never_decreases_much(bootstrap_result):
+    values = [
+        bootstrap_result.signal_fraction_by_probe[p]
+        for p in sorted(bootstrap_result.signal_fraction_by_probe)
+    ]
+    assert values[-1] >= values[0] - 0.2
+
+
+def test_convergence_helpers(bootstrap_result):
+    steady = bootstrap_result.steady_state_rank()
+    assert steady >= 0.0
+    probes = bootstrap_result.convergence_probes(slack=1000.0)
+    assert probes == min(bootstrap_result.mean_rank_by_probe)
+    minutes = bootstrap_result.convergence_minutes(slack=1000.0)
+    assert minutes == probes * bootstrap_result.interval_minutes
+
+
+def test_no_convergence_returns_none():
+    result = BootstrapResult(
+        mean_rank_by_probe={1: 100.0, 2: 100.0, 3: 100.0, 4: 0.0},
+        signal_fraction_by_probe={1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0},
+        joiners=1,
+        interval_minutes=10.0,
+    )
+    # steady state uses the last quarter (probe 4, rank 0); the first
+    # probe within slack 1 of it is probe 4.
+    assert result.convergence_probes(slack=1.0) == 4
+
+
+def test_report_renders(bootstrap_result):
+    text = bootstrap_result.report()
+    assert "Bootstrap convergence" in text
+    assert "probes since join" in text

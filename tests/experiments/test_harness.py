@@ -1,0 +1,131 @@
+import pytest
+
+from repro.experiments.harness import (
+    build_ground_truth,
+    king_matrix,
+    matrix_rtt_fn,
+    run_closest_node_experiment,
+)
+from tests.conftest import make_scenario
+
+
+@pytest.fixture(scope="module")
+def outcome_setup():
+    scenario = make_scenario(
+        seed=15, dns_servers=12, planetlab_nodes=14, build_meridian=True
+    )
+    outcome = run_closest_node_experiment(
+        scenario, probe_rounds=10, interval_minutes=10.0
+    )
+    return scenario, outcome
+
+
+def test_requires_meridian():
+    scenario = make_scenario(seed=15, dns_servers=4, planetlab_nodes=4)
+    with pytest.raises(ValueError):
+        run_closest_node_experiment(scenario, probe_rounds=1)
+
+
+def test_every_client_evaluated(outcome_setup):
+    scenario, outcome = outcome_setup
+    assert len(outcome.records) == len(scenario.clients)
+
+
+def test_picks_are_candidates(outcome_setup):
+    scenario, outcome = outcome_setup
+    candidates = set(scenario.candidate_names)
+    for record in outcome.records:
+        assert record.meridian_pick in candidates
+        assert record.crp_top1_pick in candidates
+        assert set(record.crp_top5_picks) <= candidates
+        assert record.oracle_pick in candidates
+
+
+def test_ranks_in_range(outcome_setup):
+    scenario, outcome = outcome_setup
+    count = len(scenario.candidates)
+    for record in outcome.records:
+        assert 0 <= record.meridian_rank < count
+        assert 0 <= record.crp_top1_rank < count
+        assert 0 <= record.crp_top5_rank < count
+
+
+def test_latencies_positive_and_bounded_by_best(outcome_setup):
+    _, outcome = outcome_setup
+    for record in outcome.records:
+        assert record.best_rtt_ms > 0
+        assert record.crp_top1_rtt_ms > 0
+        # Errors can be slightly negative (dynamics) but not absurdly.
+        assert record.crp_top1_error_ms > -record.best_rtt_ms
+
+
+def test_top5_is_top1_prefix(outcome_setup):
+    _, outcome = outcome_setup
+    for record in outcome.records:
+        assert record.crp_top5_picks[0] == record.crp_top1_pick
+
+
+def test_series_sorted(outcome_setup):
+    _, outcome = outcome_setup
+    series = outcome.series("meridian_rtt_ms")
+    assert series == sorted(series)
+    assert len(series) == len(outcome.records)
+
+
+def test_headline_statistics_are_fractions(outcome_setup):
+    _, outcome = outcome_setup
+    for value in (
+        outcome.fraction_crp5_within(7.0),
+        outcome.fraction_crp5_improves(),
+        outcome.fraction_meridian_twice_crp5(),
+        outcome.poor_overlap_fraction(),
+    ):
+        assert 0.0 <= value <= 1.0
+
+
+def test_poor_clients_validation(outcome_setup):
+    _, outcome = outcome_setup
+    with pytest.raises(ValueError):
+        outcome.poor_clients("nonsense")
+
+
+def test_build_ground_truth_sorted(outcome_setup):
+    scenario, _ = outcome_setup
+    truth = build_ground_truth(
+        scenario, scenario.client_names[:3], scenario.candidate_names
+    )
+    for client, measured in truth.items():
+        rtts = [rtt for _, rtt in measured]
+        assert rtts == sorted(rtts)
+        assert len(measured) == len(scenario.candidates)
+
+
+def test_king_matrix_complete_and_positive(outcome_setup):
+    scenario, _ = outcome_setup
+    names = scenario.client_names[:5]
+    matrix = king_matrix(scenario, names)
+    assert len(matrix) == 5 * 4 // 2
+    assert all(v > 0 for v in matrix.values())
+
+
+def test_matrix_rtt_fn_symmetric(outcome_setup):
+    scenario, _ = outcome_setup
+    names = scenario.client_names[:4]
+    matrix = king_matrix(scenario, names)
+    rtt = matrix_rtt_fn(matrix)
+    assert rtt(names[0], names[1]) == rtt(names[1], names[0])
+    assert rtt(names[0], names[0]) == 0.0
+
+
+def test_king_matrix_survives_flaky_resolvers():
+    scenario = make_scenario(
+        seed=16,
+        dns_servers=8,
+        planetlab_nodes=4,
+        client_flaky_fraction=0.5,
+        flaky_failure_rate=0.6,
+    )
+    names = scenario.client_names
+    matrix = king_matrix(scenario, names, retries=1)
+    assert len(matrix) == len(names) * (len(names) - 1) // 2
+    assert all(v > 0 for v in matrix.values())

@@ -1,0 +1,33 @@
+import pytest
+
+from repro.experiments import runner
+
+
+def test_runner_rejects_unknown_scale(capsys):
+    with pytest.raises(SystemExit):
+        runner.main(["--scale", "enormous"])
+
+
+def test_runner_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        runner.main(["--only", "fig99"])
+
+
+def test_runner_quick_single_experiment(capsys, tmp_path):
+    code = runner.main(
+        ["--scale", "quick", "--only", "overhead", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "overhead" in captured.out
+    assert (tmp_path / "overhead.txt").exists()
+
+
+def test_runner_shared_producer_runs_once(capsys):
+    # table1/fig6/fig7 share one clustering study; asking for two of
+    # them must not run the study twice (the banner appears per report
+    # but the generation time is attached to one producer call).
+    code = runner.main(["--scale", "quick", "--only", "detour"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "Detouring" in captured.out

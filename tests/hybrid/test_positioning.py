@@ -1,0 +1,144 @@
+import pytest
+
+from repro.baselines import VivaldiSystem
+from repro.hybrid import (
+    HybridParams,
+    HybridPositioning,
+    RankSource,
+    train_coordinates_passively,
+)
+from tests.conftest import make_scenario
+
+
+@pytest.fixture(scope="module")
+def hybrid_setup():
+    scenario = make_scenario(seed=61, dns_servers=20, planetlab_nodes=16)
+    scenario.run_probe_rounds(15)
+    coordinates = VivaldiSystem(seed=61)
+    all_hosts = scenario.clients + scenario.candidates
+    train_coordinates_passively(
+        coordinates, scenario.network, all_hosts, samples_per_node=20, seed=61
+    )
+    hybrid = HybridPositioning(scenario.crp, coordinates)
+    return scenario, hybrid, coordinates
+
+
+def test_full_ranking_always_produced(hybrid_setup):
+    scenario, hybrid, _ = hybrid_setup
+    for client in scenario.client_names:
+        ranked = hybrid.rank(client, scenario.candidate_names)
+        assert len(ranked) == len(scenario.candidates)
+        assert client not in [r.name for r in ranked]
+
+
+def test_crp_block_precedes_coordinates(hybrid_setup):
+    scenario, hybrid, _ = hybrid_setup
+    for client in scenario.client_names:
+        ranked = hybrid.rank(client, scenario.candidate_names)
+        sources = [r.source for r in ranked]
+        if RankSource.COORDINATES in sources:
+            first_coord = sources.index(RankSource.COORDINATES)
+            assert all(s is RankSource.COORDINATES for s in sources[first_coord:])
+
+
+def test_crp_scores_descending_in_block(hybrid_setup):
+    scenario, hybrid, _ = hybrid_setup
+    for client in scenario.client_names[:5]:
+        ranked = hybrid.rank(client, scenario.candidate_names)
+        crp_scores = [r.score for r in ranked if r.source is RankSource.CRP]
+        assert crp_scores == sorted(crp_scores, reverse=True)
+        assert all(s > 0 for s in crp_scores)
+
+
+def test_coordinate_tail_sorted_by_estimate(hybrid_setup):
+    scenario, hybrid, _ = hybrid_setup
+    for client in scenario.client_names[:5]:
+        ranked = hybrid.rank(client, scenario.candidate_names)
+        estimates = [r.score for r in ranked if r.source is RankSource.COORDINATES]
+        assert estimates == sorted(estimates)
+
+
+def test_unmapped_client_falls_back_to_coordinates(hybrid_setup):
+    scenario, hybrid, coordinates = hybrid_setup
+    # A name CRP does not know at all but the coordinate space does:
+    # use a candidate as "client" querying over other candidates after
+    # wiping its history via a fresh service-less hybrid call.
+    from repro.dnssim import RecursiveResolver
+    from repro.netsim import HostKind
+    import numpy as np
+
+    host = scenario.topology.create_host(
+        "coord-only",
+        HostKind.DNS_SERVER,
+        scenario.world.metro("denver"),
+        np.random.default_rng(3),
+    )
+    scenario.crp.register_node(
+        "coord-only", RecursiveResolver(host, scenario.infrastructure, scenario.network)
+    )
+    coordinates.add_node("coord-only")
+    for candidate in scenario.candidate_names[:6]:
+        sample = scenario.network.measure_rtt_ms(host, scenario.host(candidate))
+        coordinates.observe_symmetric("coord-only", candidate, sample)
+    ranked = hybrid.rank("coord-only", scenario.candidate_names)
+    assert ranked
+    assert all(r.source is RankSource.COORDINATES for r in ranked)
+
+
+def test_coverage_between_zero_and_one(hybrid_setup):
+    scenario, hybrid, _ = hybrid_setup
+    for client in scenario.client_names:
+        assert 0.0 <= hybrid.coverage(client, scenario.candidate_names) <= 1.0
+
+
+def test_hybrid_beats_crp_alone_on_far_clients(hybrid_setup):
+    """For clients whose CRP block is empty or tiny, the coordinate
+    tail must order the remaining candidates better than chance."""
+    scenario, hybrid, _ = hybrid_setup
+    improvements = []
+    for client in scenario.client_names:
+        ranked = hybrid.rank(client, scenario.candidate_names)
+        tail = [r for r in ranked if r.source is RankSource.COORDINATES]
+        if len(tail) < 8:
+            continue
+        ordering = sorted(
+            (r.name for r in tail),
+            key=lambda n: scenario.network.base_rtt_ms(
+                scenario.host(client), scenario.host(n)
+            ),
+        )
+        # Rank of the coordinate block's first pick within the tail.
+        improvements.append(ordering.index(tail[0].name) / len(tail))
+    if improvements:
+        assert sum(improvements) / len(improvements) < 0.4
+
+
+def test_closest_returns_top(hybrid_setup):
+    scenario, hybrid, _ = hybrid_setup
+    client = scenario.client_names[0]
+    ranked = hybrid.rank(client, scenario.candidate_names)
+    top = hybrid.closest(client, scenario.candidate_names)
+    assert top == ranked[0]
+    assert hybrid.closest(client, []) is None
+
+
+def test_train_validates_samples():
+    coordinates = VivaldiSystem(seed=1)
+    with pytest.raises(ValueError):
+        train_coordinates_passively(coordinates, None, [], samples_per_node=0)
+
+
+def test_signal_floor_moves_candidates_to_tail(hybrid_setup):
+    scenario, _, coordinates = hybrid_setup
+    strict = HybridPositioning(
+        scenario.crp, coordinates, HybridParams(signal_floor=0.99)
+    )
+    loose = HybridPositioning(scenario.crp, coordinates)
+    client = scenario.client_names[0]
+    strict_crp = [
+        r for r in strict.rank(client, scenario.candidate_names) if r.source is RankSource.CRP
+    ]
+    loose_crp = [
+        r for r in loose.rank(client, scenario.candidate_names) if r.source is RankSource.CRP
+    ]
+    assert len(strict_crp) <= len(loose_crp)

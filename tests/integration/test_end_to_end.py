@@ -1,0 +1,178 @@
+"""End-to-end integration: the full pipeline, determinism, and the
+cross-subsystem behaviours the paper's evaluation depends on."""
+
+import pytest
+
+from repro.core import cosine_similarity
+from repro.core.clustering import SmfParams
+from tests.conftest import make_scenario
+
+
+def test_full_pipeline_dns_to_selection():
+    """DNS lookup → CDN redirection → tracker → ratio map → selection."""
+    scenario = make_scenario(seed=31, dns_servers=10, planetlab_nodes=10)
+    scenario.run_probe_rounds(12)
+    client = scenario.client_names[0]
+
+    # The tracker recorded real CDN answers.
+    tracker = scenario.crp.tracker(client)
+    assert tracker.probe_count == 12 * 2  # two customer names
+    for observation in tracker.observations:
+        for address in observation.addresses:
+            assert scenario.cdn.deployment.knows_address(address)
+
+    # The ratio map is built over those answers and selection works.
+    ranked = scenario.crp.rank_servers(client, scenario.candidate_names)
+    assert ranked
+    assert ranked[0].score >= ranked[-1].score
+
+
+def test_similarity_tracks_network_distance():
+    """Closer host pairs must score higher on average — the core CRP
+    hypothesis, checked across the whole population."""
+    scenario = make_scenario(seed=32, dns_servers=20, planetlab_nodes=6)
+    scenario.run_probe_rounds(20)
+    maps = scenario.crp.ratio_maps(scenario.client_names, window_probes=None)
+    near_scores, far_scores = [], []
+    names = [n for n in scenario.client_names if maps[n] is not None]
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            rtt = scenario.network.base_rtt_ms(scenario.host(a), scenario.host(b))
+            score = cosine_similarity(maps[a], maps[b])
+            if rtt < 30.0:
+                near_scores.append(score)
+            elif rtt > 120.0:
+                far_scores.append(score)
+    if near_scores and far_scores:
+        assert (sum(near_scores) / len(near_scores)) > (
+            sum(far_scores) / len(far_scores)
+        )
+
+
+def test_selection_beats_random_baseline():
+    """CRP Top-1 should get much closer to optimal than random picks."""
+    scenario = make_scenario(seed=33, dns_servers=16, planetlab_nodes=20)
+    scenario.run_probe_rounds(15)
+    crp_ranks, candidate_count = [], len(scenario.candidates)
+    for client in scenario.client_names:
+        ranked = scenario.crp.rank_servers(client, scenario.candidate_names)
+        if not ranked or not ranked[0].has_signal:
+            continue
+        ordering = sorted(
+            scenario.candidate_names,
+            key=lambda n: scenario.network.base_rtt_ms(
+                scenario.host(client), scenario.host(n)
+            ),
+        )
+        crp_ranks.append(ordering.index(ranked[0].name))
+    assert crp_ranks, "no client had CRP signal"
+    mean_rank = sum(crp_ranks) / len(crp_ranks)
+    random_expectation = (candidate_count - 1) / 2.0
+    assert mean_rank < 0.5 * random_expectation
+
+
+def test_full_determinism_of_experiment():
+    """Two identical runs produce byte-identical positioning output."""
+
+    def run():
+        scenario = make_scenario(seed=34, dns_servers=8, planetlab_nodes=8)
+        scenario.run_probe_rounds(8)
+        out = []
+        for client in scenario.client_names:
+            ranked = scenario.crp.rank_servers(client, scenario.candidate_names)
+            out.append((client, [(r.name, round(r.score, 12)) for r in ranked]))
+        result = scenario.crp.cluster(smf_params=SmfParams(threshold=0.1))
+        out.append(tuple(tuple(sorted(c.members)) for c in result.clusters))
+        return out
+
+    assert run() == run()
+
+
+def test_churn_node_departure_and_arrival():
+    """Nodes can leave and join mid-experiment without breaking state."""
+    scenario = make_scenario(seed=35, dns_servers=8, planetlab_nodes=8)
+    scenario.run_probe_rounds(5)
+    departed = scenario.client_names[0]
+    scenario.crp.unregister_node(departed)
+    scenario.run_probe_rounds(3)
+    assert departed not in scenario.crp.nodes
+
+    # A new host joins late and bootstraps from zero.
+    from repro.dnssim import RecursiveResolver
+    from repro.netsim import HostKind
+
+    newcomer = scenario.topology.create_host(
+        "late-joiner",
+        HostKind.DNS_SERVER,
+        scenario.world.metro("denver"),
+        __import__("numpy").random.default_rng(1),
+    )
+    scenario.crp.register_node(
+        "late-joiner",
+        RecursiveResolver(newcomer, scenario.infrastructure, scenario.network),
+    )
+    assert scenario.crp.ratio_map("late-joiner") is None
+    scenario.run_probe_rounds(5)
+    assert scenario.crp.ratio_map("late-joiner") is not None
+
+
+def test_poorly_covered_client_gets_far_replicas():
+    """The paper's tail case: a client in a CDN-poor region is served
+    from replicas far away (its New Zealand example)."""
+    scenario = make_scenario(seed=36, dns_servers=6, planetlab_nodes=4)
+    from repro.dnssim import RecursiveResolver
+    from repro.netsim import HostKind
+    import numpy as np
+
+    nz = scenario.topology.create_host(
+        "nz-client",
+        HostKind.DNS_SERVER,
+        scenario.world.metro("auckland"),
+        np.random.default_rng(2),
+    )
+    scenario.crp.register_node(
+        "nz-client", RecursiveResolver(nz, scenario.infrastructure, scenario.network)
+    )
+    scenario.run_probe_rounds(10)
+    ratio_map = scenario.crp.ratio_map("nz-client", window_probes=None)
+    assert ratio_map is not None
+    rtts = [
+        scenario.network.base_rtt_ms(
+            nz, scenario.cdn.deployment.by_address(a).host
+        )
+        for a in ratio_map.support
+    ]
+    # Auckland has almost no coverage: best replica is at least a
+    # trans-Tasman hop away.
+    assert min(rtts) > 15.0
+
+
+def test_meridian_and_crp_agree_on_easy_cases():
+    """For clients in well-covered metros both systems find near-optimal
+    servers — the paper's 'comparable accuracy' claim in miniature."""
+    scenario = make_scenario(
+        seed=37, dns_servers=10, planetlab_nodes=20, build_meridian=True
+    )
+    scenario.run_probe_rounds(12)
+    agreements = 0
+    evaluated = 0
+    for client in scenario.client_names:
+        ranked = scenario.crp.rank_servers(client, scenario.candidate_names)
+        if not ranked or not ranked[0].has_signal:
+            continue
+        ordering = sorted(
+            scenario.candidate_names,
+            key=lambda n: scenario.network.base_rtt_ms(
+                scenario.host(client), scenario.host(n)
+            ),
+        )
+        outcome = scenario.meridian.closest_node(
+            scenario.host(client), entry=scenario.candidate_names[0]
+        )
+        crp_rank = ordering.index(ranked[0].name)
+        meridian_rank = ordering.index(outcome.selected)
+        evaluated += 1
+        if abs(crp_rank - meridian_rank) <= 3:
+            agreements += 1
+    assert evaluated > 0
+    assert agreements / evaluated > 0.5

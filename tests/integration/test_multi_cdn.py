@@ -1,0 +1,94 @@
+"""Two CDN providers in one world — the multi-CDN setting Section VI's
+name-selection discussion assumes ("we hand-picked the CDN names to
+use ... in practice, it is preferable to use an approach that selects
+CDN names based on the quality of relative position information")."""
+
+import pytest
+
+from repro.cdn import CDNProvider
+from repro.core import CRPService, CRPServiceParams, cosine_similarity
+from repro.dnssim import DnsInfrastructure, RecursiveResolver
+from repro.netsim import (
+    ASRegistry,
+    HostKind,
+    Network,
+    SimClock,
+    Topology,
+    default_world,
+)
+from repro.netsim.rng import derive_rng
+
+
+@pytest.fixture(scope="module")
+def two_cdn_world():
+    world = default_world()
+    rng = derive_rng(88, "multicdn")
+    registry = ASRegistry.generate(world, rng)
+    topology = Topology(world, registry)
+    clock = SimClock()
+    network = Network(topology, clock, seed=88)
+    infra = DnsInfrastructure()
+    akamai_like = CDNProvider(
+        topology, network, infra, seed=88, domain="cdn-a.test", network_id=0
+    )
+    limelight_like = CDNProvider(
+        topology, network, infra, seed=89, domain="cdn-b.test", network_id=1
+    )
+    akamai_like.add_customer("www.siteone.test")
+    limelight_like.add_customer("www.sitetwo.test")
+
+    service = CRPService(
+        clock,
+        CRPServiceParams(customer_names=("www.siteone.test", "www.sitetwo.test")),
+    )
+    hosts = {}
+    for metro in ("new-york", "boston", "tokyo"):
+        host = topology.create_host(
+            f"m-{metro}", HostKind.DNS_SERVER, world.metro(metro), rng
+        )
+        hosts[f"m-{metro}"] = host
+        service.register_node(f"m-{metro}", RecursiveResolver(host, infra, network))
+    for _ in range(15):
+        service.probe_all()
+        clock.advance_minutes(10)
+    return akamai_like, limelight_like, service, hosts
+
+
+def test_address_spaces_disjoint(two_cdn_world):
+    cdn_a, cdn_b, _, _ = two_cdn_world
+    addresses_a = {r.address for r in cdn_a.deployment}
+    addresses_b = {r.address for r in cdn_b.deployment}
+    assert not addresses_a & addresses_b
+
+
+def test_both_cdns_served_queries(two_cdn_world):
+    cdn_a, cdn_b, _, _ = two_cdn_world
+    assert cdn_a.total_queries() > 0
+    assert cdn_b.total_queries() > 0
+
+
+def test_maps_combine_names_from_both_cdns(two_cdn_world):
+    cdn_a, cdn_b, service, _ = two_cdn_world
+    tracker = service.tracker("m-new-york")
+    assert tracker.names_seen() == ("www.siteone.test", "www.sitetwo.test")
+    combined = service.ratio_map("m-new-york", window_probes=None)
+    sources = {
+        ("a" if cdn_a.deployment.knows_address(addr) else "b")
+        for addr in combined.support
+    }
+    assert sources == {"a", "b"}
+
+
+def test_per_name_maps_stay_separable(two_cdn_world):
+    cdn_a, _, service, _ = two_cdn_world
+    tracker = service.tracker("m-new-york")
+    map_a = tracker.ratio_map(name="www.siteone.test")
+    assert all(cdn_a.deployment.knows_address(addr) for addr in map_a.support)
+
+
+def test_similarity_still_tracks_distance_across_cdns(two_cdn_world):
+    _, _, service, hosts = two_cdn_world
+    maps = {n: service.ratio_map(n, window_probes=None) for n in service.nodes}
+    near = cosine_similarity(maps["m-new-york"], maps["m-boston"])
+    far = cosine_similarity(maps["m-new-york"], maps["m-tokyo"])
+    assert near > far

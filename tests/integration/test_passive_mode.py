@@ -1,0 +1,56 @@
+"""Active vs passive equivalence (Section VI's zero-probe mode)."""
+
+import pytest
+
+from repro.core import CRPService, CRPServiceParams, cosine_similarity
+from tests.conftest import make_scenario
+
+
+def test_passive_maps_match_active_maps():
+    """Feeding a passive service the very same redirections the active
+    service probed must produce identical ratio maps."""
+    scenario = make_scenario(seed=105, dns_servers=8, planetlab_nodes=6)
+    passive = CRPService(
+        scenario.clock,
+        CRPServiceParams(customer_names=scenario.params.customer_domains),
+    )
+    for node in scenario.crp.nodes:
+        passive.register_node(node, None)
+
+    for _ in range(10):
+        for node in scenario.crp.nodes:
+            for observation in scenario.crp.probe(node):
+                passive.observe(node, observation.name, observation.addresses)
+        scenario.clock.advance_minutes(10)
+
+    for node in scenario.crp.nodes:
+        active_map = scenario.crp.ratio_map(node, window_probes=None)
+        passive_map = passive.ratio_map(node, window_probes=None)
+        assert dict(passive_map) == pytest.approx(dict(active_map))
+
+
+def test_independent_passive_observations_converge():
+    """A passive observer doing its *own* lookups (at different times)
+    still converges to a highly similar map — the property that makes
+    browsing-driven CRP viable."""
+    scenario = make_scenario(seed=106, dns_servers=6, planetlab_nodes=4)
+    passive = CRPService(
+        scenario.clock,
+        CRPServiceParams(customer_names=scenario.params.customer_domains),
+    )
+    node = scenario.client_names[0]
+    passive.register_node(node, None)
+    resolver = scenario.resolvers[node]
+
+    for round_index in range(30):
+        scenario.crp.probe_all()
+        # The "user" browses 5 minutes after each probe round.
+        scenario.clock.advance_minutes(5)
+        name = scenario.params.customer_domains[round_index % 2]
+        result = resolver.resolve(name)
+        passive.observe(node, name, result.addresses)
+        scenario.clock.advance_minutes(5)
+
+    active_map = scenario.crp.ratio_map(node, window_probes=None)
+    passive_map = passive.ratio_map(node, window_probes=None)
+    assert cosine_similarity(active_map, passive_map) > 0.8

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.meridian import FailurePlan, FailureRates
+from repro.netsim import HostKind
+
+
+def test_rates_validation():
+    with pytest.raises(ValueError):
+        FailureRates(never_joined=1.5)
+    with pytest.raises(ValueError):
+        FailureRates(restarts=-0.1)
+
+
+def test_none_rates_disable_everything(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 40, host_rng)
+    plan = FailurePlan.generate(hosts, FailureRates.none(), seed=1)
+    assert not plan.never_joined
+    assert not plan.isolated_partner
+    assert not plan.restart_at
+
+
+def test_plan_counts_match_rates(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 240, host_rng)
+    rates = FailureRates()
+    plan = FailurePlan.generate(hosts, rates, seed=1)
+    assert len(plan.never_joined) == round(rates.never_joined * 240)
+    assert len(plan.restart_at) == round(rates.restarts * 240)
+    # Isolated nodes come in pairs (may fall short if metros lack pairs).
+    assert len(plan.isolated_partner) % 2 == 0
+
+
+def test_isolated_pairs_are_symmetric_and_collocated(topology, host_rng):
+    # Force pairs by creating hosts two-per-metro.
+    hosts = []
+    for i, metro_name in enumerate(("london", "paris", "tokyo", "boston")):
+        metro = topology.world.metro(metro_name)
+        hosts.append(topology.create_host(f"a{i}", HostKind.PLANETLAB, metro, host_rng))
+        hosts.append(topology.create_host(f"b{i}", HostKind.PLANETLAB, metro, host_rng))
+    plan = FailurePlan.generate(hosts, FailureRates(site_isolated=0.5, never_joined=0.0, restarts=0.0), seed=2)
+    assert plan.isolated_partner
+    by_name = {h.name: h for h in hosts}
+    for name, partner in plan.isolated_partner.items():
+        assert plan.isolated_partner[partner] == name
+        assert by_name[name].metro.name == by_name[partner].metro.name
+
+
+def test_categories_disjoint(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 240, host_rng)
+    plan = FailurePlan.generate(hosts, FailureRates(), seed=3)
+    never = set(plan.never_joined)
+    isolated = set(plan.isolated_partner)
+    restarted = set(plan.restart_at)
+    assert not never & isolated
+    assert not never & restarted
+    assert not isolated & restarted
+
+
+def test_mute_and_self_recommend_phases():
+    rates = FailureRates(mute_seconds=100.0, self_recommend_seconds=50.0)
+    plan = FailurePlan(restart_at={"node": 1000.0}, rates=rates)
+    assert not plan.is_mute("node", 999.0)
+    assert plan.is_mute("node", 1000.0)
+    assert plan.is_mute("node", 1099.0)
+    assert not plan.is_mute("node", 1100.0)
+    assert plan.is_self_recommending("node", 1100.0)
+    assert plan.is_self_recommending("node", 1149.0)
+    assert not plan.is_self_recommending("node", 1150.0)
+
+
+def test_phases_false_for_unplanned_nodes():
+    plan = FailurePlan(rates=FailureRates())
+    assert not plan.is_mute("other", 0.0)
+    assert not plan.is_self_recommending("other", 0.0)
+
+
+def test_plan_deterministic_under_seed(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 120, host_rng)
+    a = FailurePlan.generate(hosts, FailureRates(), seed=9)
+    b = FailurePlan.generate(hosts, FailureRates(), seed=9)
+    assert a.never_joined == b.never_joined
+    assert a.isolated_partner == b.isolated_partner
+    assert a.restart_at == b.restart_at

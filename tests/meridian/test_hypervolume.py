@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+
+from repro.meridian import diversity_score, select_diverse_subset
+
+
+def distance_fn(points):
+    def pairwise(a, b):
+        return float(np.linalg.norm(np.array(points[a]) - np.array(points[b])))
+
+    return pairwise
+
+
+def matrix_from_points(points, names):
+    n = len(names)
+    matrix = np.zeros((n, n))
+    fn = distance_fn(points)
+    for i, a in enumerate(names):
+        for j in range(i + 1, n):
+            matrix[i, j] = matrix[j, i] = fn(a, names[j])
+    return matrix
+
+
+def test_diversity_of_singleton_is_minus_inf():
+    assert diversity_score(np.zeros((1, 1))) == float("-inf")
+
+
+def test_diversity_of_degenerate_set_is_minus_inf():
+    assert diversity_score(np.zeros((3, 3))) == float("-inf")
+
+
+def test_spread_set_more_diverse_than_clumped():
+    spread_points = {"a": (0, 0), "b": (10, 0), "c": (0, 10)}
+    clumped_points = {"a": (0, 0), "b": (1, 0), "c": (0, 1)}
+    names = ["a", "b", "c"]
+    spread = diversity_score(matrix_from_points(spread_points, names))
+    clumped = diversity_score(matrix_from_points(clumped_points, names))
+    assert spread > clumped
+
+
+def test_select_keeps_all_when_under_k():
+    points = {"a": (0, 0), "b": (1, 1)}
+    kept = select_diverse_subset(["a", "b"], 4, distance_fn(points))
+    assert kept == ["a", "b"]
+
+
+def test_select_drops_redundant_member():
+    # Three corners of a triangle plus a duplicate of one corner: the
+    # duplicate adds no volume and must be dropped first.
+    points = {
+        "corner1": (0.0, 0.0),
+        "corner2": (10.0, 0.0),
+        "corner3": (0.0, 10.0),
+        "duplicate": (0.05, 0.05),
+    }
+    kept = select_diverse_subset(sorted(points), 3, distance_fn(points))
+    assert set(kept) == {"corner1", "corner2", "corner3"} or set(kept) == {
+        "duplicate",
+        "corner2",
+        "corner3",
+    }
+    assert not {"corner1", "duplicate"} <= set(kept)
+
+
+def test_select_respects_k():
+    points = {f"p{i}": (float(i), float(i % 3)) for i in range(8)}
+    kept = select_diverse_subset(sorted(points), 4, distance_fn(points))
+    assert len(kept) == 4
+
+
+def test_select_validates_k():
+    with pytest.raises(ValueError):
+        select_diverse_subset(["a"], 0, lambda a, b: 1.0)
+
+
+def test_select_prefers_spread_members():
+    # A line of close points plus two far outliers; with k=3 the two
+    # outliers must survive.
+    points = {
+        "near0": (0.0, 0.0),
+        "near1": (0.2, 0.0),
+        "near2": (0.4, 0.0),
+        "far1": (100.0, 0.0),
+        "far2": (0.0, 100.0),
+    }
+    kept = select_diverse_subset(sorted(points), 3, distance_fn(points))
+    assert "far1" in kept
+    assert "far2" in kept

@@ -1,0 +1,88 @@
+import pytest
+
+from repro.meridian import (
+    FailurePlan,
+    FailureRates,
+    MeridianOverlay,
+    NodeState,
+)
+from repro.netsim import HostKind, Network, SimClock
+
+
+@pytest.fixture()
+def small_overlay(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=13)
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 12, host_rng)
+    overlay = MeridianOverlay(network, seed=13)
+    overlay.build(hosts)
+    return overlay, hosts, clock
+
+
+def test_probe_and_consider_rejects_self(small_overlay):
+    overlay, hosts, _ = small_overlay
+    node = overlay.node(hosts[0].name)
+    assert node.probe_and_consider(node) is None
+
+
+def test_probe_and_consider_inserts_peer(small_overlay):
+    overlay, hosts, _ = small_overlay
+    node = overlay.node(hosts[0].name)
+    peer = overlay.node(hosts[1].name)
+    latency = node.probe_and_consider(peer)
+    assert latency is not None
+    assert node.rings.latency_of(peer.name) == latency
+
+
+def test_probe_skips_unresponsive_peer(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=14)
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 4, host_rng)
+    plan = FailurePlan(never_joined=frozenset({hosts[1].name}), rates=FailureRates())
+    overlay = MeridianOverlay(network, seed=14, failure_plan=plan)
+    overlay.build(hosts)
+    node = overlay.node(hosts[0].name)
+    dead = overlay.node(hosts[1].name)
+    assert node.probe_and_consider(dead) is None
+    assert node.rings.latency_of(dead.name) is None
+
+
+def test_answers_with_self_states(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=15)
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 4, host_rng)
+    rates = FailureRates(mute_seconds=10.0, self_recommend_seconds=100.0)
+    plan = FailurePlan(
+        never_joined=frozenset({hosts[0].name}),
+        restart_at={hosts[1].name: 0.0},
+        rates=rates,
+    )
+    overlay = MeridianOverlay(network, seed=15, failure_plan=plan)
+    overlay.build(hosts)
+    assert overlay.node(hosts[0].name).answers_with_self()
+    # Restarted node: mute first, then self-recommending.
+    restarted = overlay.node(hosts[1].name)
+    assert not restarted.is_responsive()
+    clock.advance(50.0)
+    assert restarted.is_responsive()
+    assert restarted.answers_with_self()
+    clock.advance(100.0)
+    assert not restarted.answers_with_self()
+
+
+def test_known_peers_sorted(small_overlay):
+    overlay, hosts, _ = small_overlay
+    peers = overlay.node(hosts[0].name).known_peers()
+    assert peers == sorted(peers)
+    assert hosts[0].name not in peers
+
+
+def test_gossip_round_returns_zero_for_empty_rings(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=16)
+    host = topology.create_hosts("pl", HostKind.PLANETLAB, 1, host_rng)[0]
+    overlay = MeridianOverlay(network, seed=16)
+    overlay.build([host])
+    import numpy as np
+
+    assert overlay.node(host.name).gossip_round(np.random.default_rng(1)) == 0

@@ -1,0 +1,237 @@
+import pytest
+
+from repro.meridian import (
+    FailurePlan,
+    FailureRates,
+    MeridianOverlay,
+    MeridianParams,
+    NodeState,
+)
+from repro.netsim import HostKind, Network, SimClock
+
+
+def build_overlay(topology, host_rng, count=30, failure_plan=None, seed=3):
+    clock = SimClock()
+    network = Network(topology, clock, seed=seed)
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, count, host_rng)
+    overlay = MeridianOverlay(network, seed=seed, failure_plan=failure_plan)
+    overlay.build(hosts)
+    return overlay, hosts, network, clock
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        MeridianParams(beta=0.0)
+    with pytest.raises(ValueError):
+        MeridianParams(beta=1.0)
+    with pytest.raises(ValueError):
+        MeridianParams(join_sample=0)
+
+
+def test_build_populates_rings(topology, host_rng):
+    overlay, hosts, _, _ = build_overlay(topology, host_rng)
+    populated = [n for n in overlay.nodes if len(n.rings) > 0]
+    assert len(populated) == len(hosts)
+
+
+def test_build_twice_rejected(topology, host_rng):
+    overlay, hosts, _, _ = build_overlay(topology, host_rng, count=5)
+    with pytest.raises(ValueError):
+        overlay.build(hosts)
+
+
+def test_rings_respect_capacity(topology, host_rng):
+    overlay, _, _, _ = build_overlay(topology, host_rng, count=40)
+    overlay.manage_rings()
+    params = overlay.params.rings
+    for node in overlay.nodes:
+        for index in range(params.ring_count + 1):
+            assert len(node.rings.ring_members(index)) <= params.k + params.secondary
+
+
+def test_gossip_spreads_membership(topology, host_rng):
+    overlay, hosts, _, _ = build_overlay(topology, host_rng, count=20)
+    sizes_before = sum(len(n.rings) for n in overlay.nodes)
+    overlay.run_gossip(5)
+    sizes_after = sum(len(n.rings) for n in overlay.nodes)
+    assert sizes_after >= sizes_before
+
+
+def test_query_returns_member(topology, host_rng):
+    overlay, hosts, network, _ = build_overlay(topology, host_rng)
+    target = topology.create_host(
+        "client", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    outcome = overlay.closest_node(target)
+    assert outcome.selected in overlay.members()
+    assert outcome.probes > 0
+
+
+def test_query_accuracy_pristine(topology, host_rng):
+    overlay, hosts, network, _ = build_overlay(topology, host_rng, count=40)
+    targets = topology.create_hosts("t", HostKind.DNS_SERVER, 12, host_rng)
+    ranks = []
+    for target in targets:
+        outcome = overlay.closest_node(target, entry=hosts[0].name)
+        ordering = sorted(hosts, key=lambda h: network.rtt_ms(target, h))
+        ranks.append([h.name for h in ordering].index(outcome.selected))
+    ranks.sort()
+    # Median recommendation within the true top-5.
+    assert ranks[len(ranks) // 2] <= 4
+
+
+def test_query_cost_grows_with_entry_distance(topology, host_rng):
+    # The paper: accuracy/cost depends on on-demand probing; at minimum
+    # each query spends probes proportional to candidates inspected.
+    overlay, hosts, _, _ = build_overlay(topology, host_rng, count=30)
+    target = topology.create_host(
+        "probe-count", HostKind.DNS_SERVER, topology.world.metro("rome"), host_rng
+    )
+    outcome = overlay.closest_node(target, entry=hosts[0].name)
+    assert outcome.probes >= 1
+    assert outcome.hops >= 0
+
+
+def test_never_joined_node_answers_itself(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 10, host_rng)
+    plan = FailurePlan(never_joined=frozenset({hosts[0].name}), rates=FailureRates())
+    clock = SimClock()
+    network = Network(topology, clock, seed=4)
+    overlay = MeridianOverlay(network, seed=4, failure_plan=plan)
+    overlay.build(hosts)
+    assert overlay.node(hosts[0].name).state is NodeState.NEVER_JOINED
+    target = topology.create_host(
+        "tgt", HostKind.DNS_SERVER, topology.world.metro("tokyo"), host_rng
+    )
+    outcome = overlay.closest_node(target, entry=hosts[0].name)
+    assert outcome.selected == hosts[0].name
+    assert outcome.probes == 0
+
+
+def test_self_recommending_restarted_node(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 10, host_rng)
+    rates = FailureRates(mute_seconds=100.0, self_recommend_seconds=1000.0)
+    plan = FailurePlan(restart_at={hosts[0].name: 0.0}, rates=rates)
+    clock = SimClock()
+    network = Network(topology, clock, seed=4)
+    overlay = MeridianOverlay(network, seed=4, failure_plan=plan)
+    overlay.build(hosts)
+    clock.advance(150.0)  # into the self-recommend phase
+    target = topology.create_host(
+        "tgt2", HostKind.DNS_SERVER, topology.world.metro("tokyo"), host_rng
+    )
+    outcome = overlay.closest_node(target, entry=hosts[0].name)
+    assert outcome.selected == hosts[0].name
+
+
+def test_site_isolated_pair_only_knows_each_other(topology, host_rng):
+    metro = topology.world.metro("boston")
+    a = topology.create_host("iso-a", HostKind.PLANETLAB, metro, host_rng)
+    b = topology.create_host("iso-b", HostKind.PLANETLAB, metro, host_rng)
+    others = topology.create_hosts("pl", HostKind.PLANETLAB, 10, host_rng)
+    plan = FailurePlan(
+        isolated_partner={"iso-a": "iso-b", "iso-b": "iso-a"}, rates=FailureRates()
+    )
+    clock = SimClock()
+    network = Network(topology, clock, seed=4)
+    overlay = MeridianOverlay(network, seed=4, failure_plan=plan)
+    overlay.build([a, b] + others)
+    known = set(overlay.node("iso-a").known_peers())
+    assert known <= {"iso-b"}
+    target = topology.create_host(
+        "tgt3", HostKind.DNS_SERVER, topology.world.metro("tokyo"), host_rng
+    )
+    outcome = overlay.closest_node(target, entry="iso-a")
+    assert outcome.selected in {"iso-a", "iso-b"}
+
+
+def test_default_entry_avoids_unhealthy_nodes(topology, host_rng):
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 10, host_rng)
+    plan = FailurePlan(never_joined=frozenset({hosts[0].name}), rates=FailureRates())
+    clock = SimClock()
+    network = Network(topology, clock, seed=6)
+    overlay = MeridianOverlay(network, seed=6, failure_plan=plan)
+    overlay.build(hosts)
+    target = topology.create_host(
+        "tgt4", HostKind.DNS_SERVER, topology.world.metro("tokyo"), host_rng
+    )
+    for _ in range(5):
+        outcome = overlay.closest_node(target)
+        assert outcome.entry != hosts[0].name
+
+
+def test_peer_distance_cached(topology, host_rng):
+    overlay, hosts, _, _ = build_overlay(topology, host_rng, count=6)
+    before = overlay.probes_issued
+    d1 = overlay.peer_distance_ms(hosts[0].name, hosts[1].name)
+    mid = overlay.probes_issued
+    d2 = overlay.peer_distance_ms(hosts[1].name, hosts[0].name)
+    assert d1 == d2
+    assert overlay.probes_issued == mid
+    assert mid == before + 1
+
+
+def test_empty_overlay_query_rejected(topology):
+    network = Network(topology, SimClock(), seed=1)
+    overlay = MeridianOverlay(network, seed=1)
+    with pytest.raises(ValueError):
+        overlay.closest_node(None)
+
+
+def test_query_budget_validation():
+    from repro.meridian import QueryBudget
+
+    with pytest.raises(ValueError):
+        QueryBudget(0)
+    budget = QueryBudget(2)
+    assert budget.take() and budget.take()
+    assert not budget.take()
+    assert budget.exhausted
+    unlimited = QueryBudget(None)
+    for _ in range(100):
+        assert unlimited.take()
+    assert not unlimited.exhausted
+
+
+def test_probe_budget_caps_query_cost(topology, host_rng):
+    overlay, hosts, _, _ = build_overlay(topology, host_rng, count=30)
+    target = topology.create_host(
+        "budget-target", HostKind.DNS_SERVER, topology.world.metro("rome"), host_rng
+    )
+    outcome = overlay.closest_node(target, entry=hosts[0].name, probe_budget=3)
+    assert outcome.probes <= 3
+    assert outcome.selected in overlay.members()
+
+
+def test_bigger_budget_not_worse_on_average(topology, host_rng):
+    overlay, hosts, network, _ = build_overlay(topology, host_rng, count=40, seed=9)
+    targets = topology.create_hosts("bt", HostKind.DNS_SERVER, 15, host_rng)
+
+    def mean_rank(budget):
+        ranks = []
+        for target in targets:
+            outcome = overlay.closest_node(
+                target, entry=hosts[0].name, probe_budget=budget
+            )
+            ordering = sorted(hosts, key=lambda h: network.base_rtt_ms(target, h))
+            ranks.append([h.name for h in ordering].index(outcome.selected))
+        return sum(ranks) / len(ranks)
+
+    # The paper's point: more on-demand probing buys accuracy.
+    assert mean_rank(60) <= mean_rank(2) + 1.0
+
+
+def test_max_hops_bounds_forwarding(topology, host_rng):
+    clock = SimClock()
+    network = Network(topology, clock, seed=19)
+    hosts = topology.create_hosts("pl", HostKind.PLANETLAB, 25, host_rng)
+    overlay = MeridianOverlay(
+        network, params=MeridianParams(max_hops=2), seed=19
+    )
+    overlay.build(hosts)
+    target = topology.create_host(
+        "hops-target", HostKind.DNS_SERVER, topology.world.metro("osaka"), host_rng
+    )
+    for entry in [h.name for h in hosts[:6]]:
+        outcome = overlay.closest_node(target, entry=entry)
+        assert outcome.hops <= 2

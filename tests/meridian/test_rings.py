@@ -1,0 +1,128 @@
+import math
+
+import pytest
+
+from repro.meridian import RingParams, RingSet
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        RingParams(alpha_ms=0.0)
+    with pytest.raises(ValueError):
+        RingParams(s=1.0)
+    with pytest.raises(ValueError):
+        RingParams(ring_count=0)
+    with pytest.raises(ValueError):
+        RingParams(k=0)
+    with pytest.raises(ValueError):
+        RingParams(secondary=-1)
+
+
+def test_ring_index_geometry():
+    rings = RingSet(RingParams(alpha_ms=1.0, s=2.0, ring_count=10))
+    assert rings.ring_index(0.0) == 0
+    assert rings.ring_index(0.99) == 0
+    assert rings.ring_index(1.0) == 1
+    assert rings.ring_index(1.99) == 1
+    assert rings.ring_index(2.0) == 2
+    assert rings.ring_index(3.99) == 2
+    assert rings.ring_index(4.0) == 3
+
+
+def test_outermost_ring_unbounded():
+    rings = RingSet(RingParams(alpha_ms=1.0, s=2.0, ring_count=5))
+    assert rings.ring_index(1e9) == 5
+
+
+def test_negative_latency_rejected():
+    rings = RingSet()
+    with pytest.raises(ValueError):
+        rings.ring_index(-1.0)
+
+
+def test_ring_bounds_consistent_with_index():
+    rings = RingSet(RingParams(alpha_ms=1.0, s=2.0, ring_count=10))
+    for index in range(11):
+        low, high = rings.ring_bounds(index)
+        probe = low if low > 0 else 0.5
+        assert rings.ring_index(probe) == index
+        if not math.isinf(high):
+            assert rings.ring_index(high) == index + 1
+
+
+def test_ring_bounds_validation():
+    rings = RingSet(RingParams(ring_count=5))
+    with pytest.raises(ValueError):
+        rings.ring_bounds(6)
+
+
+def test_consider_places_in_correct_ring():
+    rings = RingSet(RingParams(alpha_ms=1.0, s=2.0))
+    rings.consider("peer", 5.0)
+    assert "peer" in rings.ring_members(rings.ring_index(5.0))
+    assert rings.latency_of("peer") == 5.0
+
+
+def test_consider_relocates_on_remeasure():
+    rings = RingSet(RingParams(alpha_ms=1.0, s=2.0))
+    rings.consider("peer", 5.0)
+    rings.consider("peer", 50.0)
+    assert rings.latency_of("peer") == 50.0
+    assert len(rings) == 1
+
+
+def test_forget_removes_peer():
+    rings = RingSet()
+    rings.consider("peer", 5.0)
+    rings.forget("peer")
+    assert rings.latency_of("peer") is None
+    assert len(rings) == 0
+
+
+def test_capacity_displaces_only_slower_peers():
+    params = RingParams(k=2, secondary=0, alpha_ms=1.0, s=2.0)
+    rings = RingSet(params)
+    # All in the same ring [4, 8).
+    rings.consider("a", 7.0)
+    rings.consider("b", 6.0)
+    rings.consider("slowest-loses", 7.9)  # slower than both: rejected
+    assert rings.latency_of("slowest-loses") is None
+    rings.consider("c", 5.0)  # faster: displaces a (7.0)
+    assert rings.latency_of("c") == 5.0
+    assert rings.latency_of("a") is None
+
+
+def test_peers_within_band():
+    rings = RingSet()
+    rings.consider("near", 5.0)
+    rings.consider("mid", 20.0)
+    rings.consider("far", 100.0)
+    assert rings.peers_within(4.0, 25.0) == ["mid", "near"]
+    with pytest.raises(ValueError):
+        rings.peers_within(10.0, 5.0)
+
+
+def test_manage_trims_to_k_most_diverse():
+    params = RingParams(k=2, secondary=3, alpha_ms=1.0, s=2.0)
+    rings = RingSet(params)
+    # Five peers in one ring; pairwise distances make p0/p4 the most
+    # spread pair.
+    positions = {"p0": 0.0, "p1": 1.0, "p2": 2.0, "p3": 3.0, "p4": 100.0}
+    for name in positions:
+        rings.consider(name, 5.0)
+
+    def pairwise(a, b):
+        return abs(positions[a] - positions[b])
+
+    rings.manage(pairwise)
+    kept = {name for name, _ in rings.members()}
+    assert len(kept) == 2
+    assert "p4" in kept
+
+
+def test_members_iterates_all_rings():
+    rings = RingSet()
+    rings.consider("a", 0.5)
+    rings.consider("b", 30.0)
+    rings.consider("c", 500.0)
+    assert {name for name, _ in rings.members()} == {"a", "b", "c"}

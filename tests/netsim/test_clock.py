@@ -1,0 +1,51 @@
+import pytest
+
+from repro.netsim import SimClock
+
+
+def test_starts_at_zero_by_default():
+    assert SimClock().now == 0.0
+
+
+def test_starts_at_given_time():
+    assert SimClock(5.0).now == 5.0
+
+
+def test_negative_start_rejected():
+    with pytest.raises(ValueError):
+        SimClock(-1.0)
+
+
+def test_advance_moves_time_forward():
+    clock = SimClock()
+    assert clock.advance(10.0) == 10.0
+    assert clock.now == 10.0
+
+
+def test_advance_accumulates():
+    clock = SimClock()
+    clock.advance(3.0)
+    clock.advance(4.5)
+    assert clock.now == pytest.approx(7.5)
+
+
+def test_advance_minutes_scales_by_sixty():
+    clock = SimClock()
+    clock.advance_minutes(2.0)
+    assert clock.now == pytest.approx(120.0)
+
+
+def test_zero_advance_is_allowed():
+    clock = SimClock(1.0)
+    clock.advance(0.0)
+    assert clock.now == 1.0
+
+
+def test_backwards_advance_rejected():
+    clock = SimClock()
+    with pytest.raises(ValueError):
+        clock.advance(-0.1)
+
+
+def test_repr_mentions_time():
+    assert "123" in repr(SimClock(123.0))

@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.netsim import HostKind, OrnsteinUhlenbeck
+from repro.netsim.dynamics import CongestionField, CongestionParams, SECONDS_PER_DAY
+
+
+def test_ou_validates_parameters():
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeck(theta=0.0, stationary_sd=1.0, seed=1)
+    with pytest.raises(ValueError):
+        OrnsteinUhlenbeck(theta=0.1, stationary_sd=-1.0, seed=1)
+
+
+def test_ou_same_time_same_value():
+    process = OrnsteinUhlenbeck(theta=0.01, stationary_sd=3.0, seed=1)
+    assert process.sample(10.0) == process.sample(10.0)
+
+
+def test_ou_rejects_backwards_queries():
+    process = OrnsteinUhlenbeck(theta=0.01, stationary_sd=3.0, seed=1)
+    process.sample(10.0)
+    with pytest.raises(ValueError):
+        process.sample(5.0)
+
+
+def test_ou_deterministic_under_seed():
+    a = OrnsteinUhlenbeck(theta=0.01, stationary_sd=3.0, seed=9)
+    b = OrnsteinUhlenbeck(theta=0.01, stationary_sd=3.0, seed=9)
+    times = [1.0, 5.0, 100.0, 1000.0]
+    assert [a.sample(t) for t in times] == [b.sample(t) for t in times]
+
+
+def test_ou_stationary_spread_matches_sd():
+    # Sample many independent processes at a late time; empirical sd
+    # should approximate the configured stationary sd.
+    values = [
+        OrnsteinUhlenbeck(theta=1.0 / 600, stationary_sd=4.0, seed=s).sample(10000.0)
+        for s in range(300)
+    ]
+    assert np.std(values) == pytest.approx(4.0, rel=0.25)
+
+
+def test_ou_mean_reversion():
+    # With a strong theta, samples far apart should decorrelate toward
+    # the mean rather than random-walk away.
+    process = OrnsteinUhlenbeck(theta=1.0, stationary_sd=2.0, seed=4, mean=10.0)
+    late_values = [process.sample(1000.0 + i) for i in range(200)]
+    assert abs(np.mean(late_values) - 10.0) < 1.0
+
+
+def test_zero_sd_process_is_constant():
+    process = OrnsteinUhlenbeck(theta=0.1, stationary_sd=0.0, seed=2, mean=5.0)
+    assert process.sample(0.0) == 5.0
+    assert process.sample(100.0) == 5.0
+
+
+def test_congestion_nonnegative(topology, host_rng):
+    hosts = topology.create_hosts("c", HostKind.DNS_SERVER, 6, host_rng)
+    field = CongestionField(seed=3)
+    for t in (0.0, 600.0, 3600.0):
+        for a in hosts:
+            for b in hosts:
+                if a.host_id < b.host_id:
+                    assert field.congestion_ms(a, b, t) >= 0.0
+
+
+def test_congestion_same_query_same_value(topology, host_rng):
+    a, b = topology.create_hosts("q", HostKind.DNS_SERVER, 2, host_rng)
+    field = CongestionField(seed=3)
+    assert field.congestion_ms(a, b, 50.0) == field.congestion_ms(a, b, 50.0)
+
+
+def test_congestion_varies_over_time(topology, host_rng):
+    a, b = topology.create_hosts("v", HostKind.DNS_SERVER, 2, host_rng)
+    field = CongestionField(seed=3)
+    values = {round(field.congestion_ms(a, b, t), 6) for t in range(0, 36000, 1200)}
+    assert len(values) > 3
+
+
+def test_diurnal_component_has_daily_period(topology, host_rng):
+    a = topology.create_hosts("d", HostKind.DNS_SERVER, 1, host_rng)[0]
+    params = CongestionParams(regional_sigma_ms=0.0, host_sigma_ms=0.0, diurnal_amplitude_ms=4.0)
+    field = CongestionField(seed=1, params=params)
+    day0 = field.congestion_ms(a, a, 3600.0)
+    day1 = field.congestion_ms(a, a, 3600.0 + SECONDS_PER_DAY)
+    assert day0 == pytest.approx(day1, abs=1e-9)
+
+
+def test_diurnal_peak_differs_from_trough(topology, host_rng):
+    a = topology.create_hosts("e", HostKind.DNS_SERVER, 1, host_rng)[0]
+    params = CongestionParams(regional_sigma_ms=0.0, host_sigma_ms=0.0, diurnal_amplitude_ms=4.0)
+    field = CongestionField(seed=1, params=params)
+    samples = [field.congestion_ms(a, a, 3600.0 * h) for h in range(24)]
+    assert max(samples) - min(samples) == pytest.approx(4.0, rel=0.05)

@@ -1,0 +1,71 @@
+import math
+
+import pytest
+
+from repro.netsim.geo import (
+    FIBER_KM_PER_MS,
+    GeoPoint,
+    great_circle_km,
+    propagation_rtt_ms,
+)
+
+NEW_YORK = GeoPoint(40.71, -74.01)
+LONDON = GeoPoint(51.51, -0.13)
+SYDNEY = GeoPoint(-33.87, 151.21)
+
+
+def test_geopoint_validates_latitude():
+    with pytest.raises(ValueError):
+        GeoPoint(91.0, 0.0)
+    with pytest.raises(ValueError):
+        GeoPoint(-90.5, 0.0)
+
+
+def test_geopoint_validates_longitude():
+    with pytest.raises(ValueError):
+        GeoPoint(0.0, 180.5)
+
+
+def test_distance_to_self_is_zero():
+    assert great_circle_km(NEW_YORK, NEW_YORK) == pytest.approx(0.0)
+
+
+def test_distance_is_symmetric():
+    assert great_circle_km(NEW_YORK, LONDON) == pytest.approx(
+        great_circle_km(LONDON, NEW_YORK)
+    )
+
+
+def test_new_york_london_distance_realistic():
+    # Great-circle NYC-London is about 5,570 km.
+    assert great_circle_km(NEW_YORK, LONDON) == pytest.approx(5570, rel=0.02)
+
+
+def test_antipodal_distance_bounded_by_half_circumference():
+    a = GeoPoint(0.0, 0.0)
+    b = GeoPoint(0.0, 180.0)
+    assert great_circle_km(a, b) == pytest.approx(math.pi * 6371.0, rel=1e-6)
+
+
+def test_propagation_rtt_matches_fiber_speed():
+    distance = great_circle_km(NEW_YORK, LONDON)
+    expected = 2.0 * distance / FIBER_KM_PER_MS
+    assert propagation_rtt_ms(NEW_YORK, LONDON) == pytest.approx(expected)
+
+
+def test_propagation_rtt_scales_with_stretch():
+    base = propagation_rtt_ms(NEW_YORK, SYDNEY, stretch=1.0)
+    stretched = propagation_rtt_ms(NEW_YORK, SYDNEY, stretch=1.5)
+    assert stretched == pytest.approx(1.5 * base)
+
+
+def test_stretch_below_one_rejected():
+    with pytest.raises(ValueError):
+        propagation_rtt_ms(NEW_YORK, LONDON, stretch=0.9)
+
+
+def test_triangle_inequality_on_geodesics():
+    ab = great_circle_km(NEW_YORK, LONDON)
+    bc = great_circle_km(LONDON, SYDNEY)
+    ac = great_circle_km(NEW_YORK, SYDNEY)
+    assert ac <= ab + bc + 1e-6

@@ -1,0 +1,85 @@
+import pytest
+
+from repro.netsim import HostKind, LatencyModel, LatencyParams
+
+
+@pytest.fixture()
+def hosts(topology, host_rng):
+    ny = topology.create_host("ny", HostKind.DNS_SERVER, topology.world.metro("new-york"), host_rng)
+    bos = topology.create_host("bos", HostKind.DNS_SERVER, topology.world.metro("boston"), host_rng)
+    syd = topology.create_host("syd", HostKind.DNS_SERVER, topology.world.metro("sydney"), host_rng)
+    return ny, bos, syd
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        LatencyParams(stretch_min=0.9)
+    with pytest.raises(ValueError):
+        LatencyParams(stretch_min=1.5, stretch_max=1.2)
+    with pytest.raises(ValueError):
+        LatencyParams(per_hop_ms=-1.0)
+
+
+def test_rtt_to_self_is_zero(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny = hosts[0]
+    assert model.base_rtt_ms(ny, ny) == 0.0
+
+
+def test_rtt_symmetric(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny, bos, _ = hosts
+    assert model.base_rtt_ms(ny, bos) == model.base_rtt_ms(bos, ny)
+
+
+def test_rtt_positive_and_has_floor(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny, bos, syd = hosts
+    assert model.base_rtt_ms(ny, bos) >= model.params.floor_ms
+    assert model.base_rtt_ms(ny, syd) > 0
+
+
+def test_far_pair_slower_than_near_pair(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny, bos, syd = hosts
+    assert model.base_rtt_ms(ny, syd) > model.base_rtt_ms(ny, bos)
+
+
+def test_transpacific_rtt_realistic(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny, _, syd = hosts
+    rtt = model.base_rtt_ms(ny, syd)
+    # Real NYC-Sydney RTTs run roughly 200-350 ms.
+    assert 150.0 < rtt < 450.0
+
+
+def test_stretch_stable_and_bounded(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny, bos, _ = hosts
+    s1 = model.stretch(ny, bos)
+    s2 = model.stretch(bos, ny)
+    assert s1 == s2
+    assert model.params.stretch_min <= s1 <= model.params.stretch_max
+
+
+def test_different_seeds_change_stretch(topology, hosts):
+    ny, bos, _ = hosts
+    a = LatencyModel(topology.registry, seed=1).stretch(ny, bos)
+    b = LatencyModel(topology.registry, seed=2).stretch(ny, bos)
+    assert a != b
+
+
+def test_cache_returns_identical_values(topology, hosts):
+    model = LatencyModel(topology.registry)
+    ny, bos, _ = hosts
+    assert model.base_rtt_ms(ny, bos) == model.base_rtt_ms(ny, bos)
+
+
+def test_access_latency_contributes(topology, host_rng):
+    metro = topology.world.metro("london")
+    fast = topology.create_host("fast", HostKind.REPLICA, metro, host_rng, access_ms=0.2)
+    slow = topology.create_host("slow", HostKind.END_HOST, metro, host_rng, access_ms=20.0)
+    other = topology.create_host("other", HostKind.REPLICA, topology.world.metro("paris"), host_rng, access_ms=0.2)
+    model = LatencyModel(topology.registry)
+    # Same metro pair but the slow host's access link dominates.
+    assert model.base_rtt_ms(slow, other) > model.base_rtt_ms(fast, other)

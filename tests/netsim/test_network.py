@@ -1,0 +1,96 @@
+import pytest
+
+from repro.netsim import HostKind, Network, SimClock
+from repro.netsim.network import MeasurementParams
+
+
+@pytest.fixture()
+def pair(topology, host_rng):
+    a = topology.create_host("na", HostKind.DNS_SERVER, topology.world.metro("new-york"), host_rng)
+    b = topology.create_host("nb", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng)
+    return a, b
+
+
+def test_rtt_zero_to_self(network, pair):
+    a, _ = pair
+    assert network.rtt_ms(a, a) == 0.0
+
+
+def test_rtt_symmetric(network, pair):
+    a, b = pair
+    assert network.rtt_ms(a, b) == network.rtt_ms(b, a)
+
+
+def test_rtt_at_least_base(network, pair):
+    a, b = pair
+    assert network.rtt_ms(a, b) >= network.base_rtt_ms(a, b)
+
+
+def test_rtt_deterministic_at_fixed_time(network, pair):
+    a, b = pair
+    assert network.rtt_ms(a, b) == network.rtt_ms(a, b)
+
+
+def test_rtt_changes_over_time(topology, pair):
+    clock = SimClock()
+    network = Network(topology, clock, seed=5)
+    a, b = pair
+    before = network.rtt_ms(a, b)
+    clock.advance_minutes(120)
+    after = network.rtt_ms(a, b)
+    assert before != after
+
+
+def test_measured_rtt_jitters(network, pair):
+    a, b = pair
+    samples = {round(network.measure_rtt_ms(a, b), 9) for _ in range(10)}
+    assert len(samples) > 1
+
+
+def test_measured_rtt_positive(network, pair):
+    a, b = pair
+    for _ in range(50):
+        assert network.measure_rtt_ms(a, b) > 0
+
+
+def test_measure_to_self_zero(network, pair):
+    a, _ = pair
+    assert network.measure_rtt_ms(a, a) == 0.0
+
+
+def test_median_measurement_tames_spikes(topology, pair):
+    clock = SimClock()
+    spiky = Network(
+        topology,
+        clock,
+        seed=5,
+        measurement_params=MeasurementParams(spike_probability=0.3),
+    )
+    a, b = pair
+    true_rtt = spiky.rtt_ms(a, b)
+    medians = [spiky.measure_rtt_median_ms(a, b, samples=5) for _ in range(20)]
+    # Medians should mostly hug the true value despite 30% spike odds.
+    close = sum(1 for m in medians if abs(m - true_rtt) / true_rtt < 0.25)
+    assert close >= 15
+
+
+def test_median_requires_positive_samples(network, pair):
+    a, b = pair
+    with pytest.raises(ValueError):
+        network.measure_rtt_median_ms(a, b, samples=0)
+
+
+def test_one_hop_rtt_is_sum_of_legs(network, topology, host_rng, pair):
+    a, b = pair
+    via = topology.create_host("via", HostKind.REPLICA, topology.world.metro("paris"), host_rng)
+    total = network.one_hop_rtt_ms(a, via, b)
+    assert total == pytest.approx(network.rtt_ms(a, via) + network.rtt_ms(via, b))
+
+
+def test_identical_seeds_reproduce_measurements(topology, pair):
+    a, b = pair
+    n1 = Network(topology, SimClock(), seed=77)
+    n2 = Network(topology, SimClock(), seed=77)
+    s1 = [n1.measure_rtt_ms(a, b) for _ in range(5)]
+    s2 = [n2.measure_rtt_ms(a, b) for _ in range(5)]
+    assert s1 == s2

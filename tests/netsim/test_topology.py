@@ -1,0 +1,101 @@
+import pytest
+
+from repro.netsim import HostKind
+from repro.netsim.geo import GeoPoint, great_circle_km
+from repro.netsim.topology import ACCESS_MS_RANGE, Host
+
+
+def test_create_host_assigns_metro_and_region(topology, host_rng):
+    metro = topology.world.metro("paris")
+    host = topology.create_host("h1", HostKind.DNS_SERVER, metro, host_rng)
+    assert host.metro.name == "paris"
+    assert host.region == metro.region
+
+
+def test_host_ids_are_sequential(topology, host_rng):
+    metro = topology.world.metro("paris")
+    a = topology.create_host("a", HostKind.DNS_SERVER, metro, host_rng)
+    b = topology.create_host("b", HostKind.DNS_SERVER, metro, host_rng)
+    assert b.host_id == a.host_id + 1
+
+
+def test_duplicate_names_rejected(topology, host_rng):
+    metro = topology.world.metro("paris")
+    topology.create_host("dup", HostKind.DNS_SERVER, metro, host_rng)
+    with pytest.raises(ValueError):
+        topology.create_host("dup", HostKind.DNS_SERVER, metro, host_rng)
+
+
+def test_access_latency_within_kind_range(topology, host_rng):
+    metro = topology.world.metro("tokyo")
+    for kind in HostKind:
+        host = topology.create_host(f"h-{kind.value}", kind, metro, host_rng)
+        low, high = ACCESS_MS_RANGE[kind]
+        assert low <= host.access_ms <= high
+
+
+def test_explicit_access_latency_honoured(topology, host_rng):
+    metro = topology.world.metro("tokyo")
+    host = topology.create_host(
+        "fixed", HostKind.REPLICA, metro, host_rng, access_ms=0.42
+    )
+    assert host.access_ms == 0.42
+
+
+def test_negative_access_rejected(topology, host_rng):
+    metro = topology.world.metro("tokyo")
+    with pytest.raises(ValueError):
+        topology.create_host("bad", HostKind.REPLICA, metro, host_rng, access_ms=-1.0)
+
+
+def test_explicit_location_honoured(topology, host_rng):
+    metro = topology.world.metro("tokyo")
+    point = GeoPoint(34.0, 135.0)
+    host = topology.create_host("placed", HostKind.DNS_SERVER, metro, host_rng, location=point)
+    assert host.location == point
+
+
+def test_host_location_near_metro_by_default(topology, host_rng):
+    metro = topology.world.metro("london")
+    host = topology.create_host("near", HostKind.DNS_SERVER, metro, host_rng)
+    assert great_circle_km(host.location, metro.location) < 200.0
+
+
+def test_asn_belongs_to_host_region(topology, host_rng):
+    metro = topology.world.metro("sydney")
+    host = topology.create_host("au", HostKind.DNS_SERVER, metro, host_rng)
+    asys = topology.registry.get(host.asn)
+    assert asys.region == metro.region
+
+
+def test_explicit_asn_must_exist(topology, host_rng):
+    metro = topology.world.metro("sydney")
+    with pytest.raises(KeyError):
+        topology.create_host("x", HostKind.DNS_SERVER, metro, host_rng, asn=999999)
+
+
+def test_lookup_by_name_and_id(topology, host_rng):
+    metro = topology.world.metro("sydney")
+    host = topology.create_host("findme", HostKind.DNS_SERVER, metro, host_rng)
+    assert topology.host(host.host_id) is host
+    assert topology.host_named("findme") is host
+
+
+def test_hosts_of_kind_filters(topology, host_rng):
+    metro = topology.world.metro("sydney")
+    topology.create_host("dns", HostKind.DNS_SERVER, metro, host_rng)
+    topology.create_host("pl", HostKind.PLANETLAB, metro, host_rng)
+    kinds = [h.kind for h in topology.hosts_of_kind(HostKind.PLANETLAB)]
+    assert kinds == [HostKind.PLANETLAB]
+
+
+def test_create_hosts_batch(topology, host_rng):
+    created = topology.create_hosts("batch", HostKind.END_HOST, 10, host_rng)
+    assert len(created) == 10
+    assert len({h.name for h in created}) == 10
+    assert len(topology) >= 10
+
+
+def test_iteration_yields_all_hosts(topology, host_rng):
+    topology.create_hosts("it", HostKind.END_HOST, 5, host_rng)
+    assert len(list(topology)) == len(topology)

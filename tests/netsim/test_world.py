@@ -1,0 +1,115 @@
+import numpy as np
+import pytest
+
+from repro.netsim import Region, World, default_world
+from repro.netsim.world import DEFAULT_METROS, Metro
+from repro.netsim.geo import GeoPoint, great_circle_km
+
+
+def test_default_world_has_many_metros():
+    assert len(default_world()) >= 100
+
+
+def test_metro_names_unique():
+    names = [m.name for m in DEFAULT_METROS]
+    assert len(names) == len(set(names))
+
+
+def test_every_region_represented():
+    world = default_world()
+    for region in Region:
+        assert world.in_region(region), f"no metros in {region}"
+
+
+def test_metro_lookup_by_name():
+    world = default_world()
+    assert world.metro("london").country == "GB"
+    assert "london" in world
+    assert "atlantis" not in world
+
+
+def test_unknown_metro_raises():
+    with pytest.raises(KeyError):
+        default_world().metro("atlantis")
+
+
+def test_empty_world_rejected():
+    with pytest.raises(ValueError):
+        World([])
+
+
+def test_duplicate_metros_rejected():
+    metro = DEFAULT_METROS[0]
+    with pytest.raises(ValueError):
+        World([metro, metro])
+
+
+def test_nonpositive_weight_rejected():
+    with pytest.raises(ValueError):
+        Metro("x", Region.EUROPE, "XX", GeoPoint(0, 0), weight=0.0)
+
+
+def test_negative_coverage_rejected():
+    with pytest.raises(ValueError):
+        Metro("x", Region.EUROPE, "XX", GeoPoint(0, 0), weight=1.0, cdn_coverage=-0.1)
+
+
+def test_sampling_respects_region():
+    world = default_world()
+    rng = np.random.default_rng(7)
+    for _ in range(50):
+        metro = world.sample_metro(rng, region=Region.OCEANIA)
+        assert metro.region is Region.OCEANIA
+
+
+def test_sampling_is_weight_biased():
+    world = default_world()
+    rng = np.random.default_rng(7)
+    draws = [world.sample_metro(rng).name for _ in range(3000)]
+    # new-york (weight 10) must be drawn far more often than auckland
+    # (weight 1.0).
+    assert draws.count("new-york") > 3 * draws.count("auckland")
+
+
+def test_weight_power_flattens_sampling():
+    world = default_world()
+    rng = np.random.default_rng(7)
+    sharp = [world.sample_metro(rng).name for _ in range(3000)]
+    flat = [world.sample_metro(rng, weight_power=0.3).name for _ in range(3000)]
+    assert len(set(flat)) > len(set(sharp))
+
+
+def test_weight_power_must_be_positive():
+    world = default_world()
+    rng = np.random.default_rng(7)
+    with pytest.raises(ValueError):
+        world.sample_metro(rng, weight_power=0.0)
+
+
+def test_jittered_location_is_near_metro():
+    world = default_world()
+    rng = np.random.default_rng(7)
+    metro = world.metro("tokyo")
+    for _ in range(20):
+        location = world.jittered_location(metro, rng)
+        assert great_circle_km(location, metro.location) < 150.0
+
+
+def test_rural_jitter_spreads_further():
+    world = default_world()
+    rng = np.random.default_rng(7)
+    metro = world.metro("denver")
+    distances = [
+        great_circle_km(world.jittered_location(metro, rng, sigma_degrees=2.0), metro.location)
+        for _ in range(50)
+    ]
+    assert max(distances) > 150.0
+
+
+def test_jitter_wraps_longitude():
+    world = default_world()
+    rng = np.random.default_rng(3)
+    auckland = world.metro("auckland")
+    for _ in range(100):
+        location = world.jittered_location(auckland, rng, sigma_degrees=6.0)
+        assert -180.0 <= location.lon <= 180.0

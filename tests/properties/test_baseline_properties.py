@@ -1,0 +1,103 @@
+"""Property-based tests for the baselines and selection invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import VivaldiSystem
+from repro.core import RatioMap, rank_candidates
+from repro.meridian import QueryBudget
+
+node_names = st.sampled_from([f"n{i}" for i in range(6)])
+rtts = st.floats(0.5, 500.0)
+
+
+@given(
+    st.lists(st.tuples(node_names, node_names, rtts), min_size=1, max_size=60)
+)
+@settings(max_examples=50, deadline=None)
+def test_vivaldi_estimates_stay_finite_and_valid(samples):
+    system = VivaldiSystem(seed=1)
+    for name in [f"n{i}" for i in range(6)]:
+        system.add_node(name)
+    for a, b, rtt in samples:
+        if a == b:
+            continue
+        system.observe_symmetric(a, b, rtt)
+    for a in system.nodes:
+        for b in system.nodes:
+            estimate = system.estimate_ms(a, b)
+            assert math.isfinite(estimate)
+            assert estimate >= 0.0
+            assert math.isclose(estimate, system.estimate_ms(b, a), rel_tol=1e-9)
+        assert system.estimate_ms(a, a) == 0.0
+        assert math.isfinite(system.error_of(a))
+
+
+@given(
+    st.lists(st.tuples(node_names, node_names, rtts), min_size=1, max_size=60)
+)
+@settings(max_examples=30, deadline=None)
+def test_vivaldi_heights_respect_floor(samples):
+    system = VivaldiSystem(seed=2)
+    for name in [f"n{i}" for i in range(6)]:
+        system.add_node(name)
+    for a, b, rtt in samples:
+        if a == b:
+            continue
+        system.observe(a, b, rtt)
+    floor = system.params.min_height_ms
+    for a in system.nodes:
+        assert system._coords[a].height >= floor  # noqa: SLF001 - invariant check
+
+
+replica_names = st.sampled_from([f"r{i}" for i in range(10)])
+counts = st.dictionaries(replica_names, st.integers(1, 60), min_size=1, max_size=6)
+
+
+@given(counts, st.dictionaries(st.sampled_from([f"c{i}" for i in range(8)]), counts, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_ranking_is_a_sorted_permutation(client_counts, candidate_counts):
+    client = RatioMap.from_counts(client_counts)
+    candidates = {n: RatioMap.from_counts(c) for n, c in candidate_counts.items()}
+    ranked = rank_candidates(client, candidates)
+    assert sorted(r.name for r in ranked) == sorted(candidates)
+    scores = [r.score for r in ranked]
+    assert scores == sorted(scores, reverse=True)
+    assert all(0.0 <= s <= 1.0 for s in scores)
+
+
+@given(st.integers(1, 50), st.integers(0, 80))
+def test_query_budget_never_overspends(limit, attempts):
+    budget = QueryBudget(limit)
+    taken = sum(1 for _ in range(attempts) if budget.take())
+    assert taken == min(limit, attempts)
+    assert budget.spent <= limit
+
+
+versions = st.lists(st.integers(0, 20), min_size=1, max_size=30)
+
+
+@given(versions)
+@settings(max_examples=50, deadline=None)
+def test_peer_store_keeps_strictly_newest_version(version_sequence):
+    from repro.core import MapAdvertisement, PeerMapStore, RatioMap
+
+    store = PeerMapStore("me")
+    best_seen = None
+    for i, version in enumerate(version_sequence):
+        ad = MapAdvertisement(
+            node="peer",
+            version=version,
+            built_at=float(i),
+            ratio_map=RatioMap({f"r{version}": 1.0}),
+        )
+        accepted = store.ingest(ad, received_at=float(i))
+        if best_seen is None or version > best_seen:
+            assert accepted
+            best_seen = version
+        else:
+            assert not accepted
+    stored = store.fresh_maps(now=float(len(version_sequence)))
+    assert stored["peer"].support == frozenset({f"r{best_seen}"})

@@ -1,0 +1,85 @@
+"""Property-based tests for SMF clustering invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import RatioMap, SmfParams, smf_cluster
+from repro.core.similarity import cosine_similarity
+
+replica_names = st.sampled_from([f"r{i}" for i in range(8)])
+counts = st.dictionaries(replica_names, st.integers(1, 50), min_size=1, max_size=6)
+
+node_maps = st.dictionaries(
+    st.sampled_from([f"n{i}" for i in range(14)]),
+    counts,
+    min_size=0,
+    max_size=14,
+).map(lambda d: {k: RatioMap.from_counts(v) for k, v in d.items()})
+
+thresholds = st.sampled_from([0.01, 0.1, 0.3, 0.5, 0.9])
+
+
+@given(node_maps, thresholds)
+@settings(max_examples=60, deadline=None)
+def test_partition_is_exact(maps, threshold):
+    result = smf_cluster(maps, SmfParams(threshold=threshold))
+    seen = list(result.unclustered)
+    for cluster in result.clusters:
+        seen.extend(cluster.members)
+    assert sorted(seen) == sorted(maps)
+
+
+@given(node_maps, thresholds)
+@settings(max_examples=60, deadline=None)
+def test_clusters_have_at_least_two_members(maps, threshold):
+    result = smf_cluster(maps, SmfParams(threshold=threshold))
+    assert all(cluster.size >= 2 for cluster in result.clusters)
+
+
+@given(node_maps, thresholds)
+@settings(max_examples=60, deadline=None)
+def test_centers_are_members(maps, threshold):
+    result = smf_cluster(maps, SmfParams(threshold=threshold))
+    for cluster in result.clusters:
+        assert cluster.center in cluster.members
+
+
+@given(node_maps, thresholds)
+@settings(max_examples=60, deadline=None)
+def test_members_similar_to_their_center(maps, threshold):
+    """Every non-center member joined via a similarity above t."""
+    result = smf_cluster(maps, SmfParams(threshold=threshold))
+    for cluster in result.clusters:
+        center_map = maps[cluster.center]
+        for member in cluster.members:
+            if member == cluster.center:
+                continue
+            assert cosine_similarity(maps[member], center_map) > threshold
+
+
+@given(node_maps, thresholds, st.integers(0, 3))
+@settings(max_examples=40, deadline=None)
+def test_deterministic_under_seed(maps, threshold, seed):
+    a = smf_cluster(maps, SmfParams(threshold=threshold, seed=seed))
+    b = smf_cluster(maps, SmfParams(threshold=threshold, seed=seed))
+    assert [sorted(c.members) for c in a.clusters] == [
+        sorted(c.members) for c in b.clusters
+    ]
+    assert a.unclustered == b.unclustered
+
+
+@given(node_maps)
+@settings(max_examples=40, deadline=None)
+def test_trivial_threshold_isolates_everyone(maps):
+    # t = 1.0: no similarity can strictly exceed it → nothing clusters.
+    result = smf_cluster(maps, SmfParams(threshold=1.0))
+    assert result.clusters == []
+    assert sorted(result.unclustered) == sorted(maps)
+
+
+@given(node_maps, thresholds)
+@settings(max_examples=40, deadline=None)
+def test_clustered_count_consistent(maps, threshold):
+    result = smf_cluster(maps, SmfParams(threshold=threshold))
+    assert result.clustered_count == sum(c.size for c in result.clusters)
+    assert result.clustered_count + len(result.unclustered) == len(maps)

@@ -1,0 +1,78 @@
+"""Property-based tests for DNS name handling and zone matching."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dnssim import name_under_zone, normalize_name
+from repro.dnssim.infrastructure import DnsInfrastructure
+
+labels = st.text(
+    alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: not s.startswith("-") and not s.endswith("-"))
+
+names = st.lists(labels, min_size=1, max_size=5).map(".".join)
+
+
+@given(names)
+def test_normalize_idempotent(name):
+    once = normalize_name(name)
+    assert normalize_name(once) == once
+
+
+@given(names)
+def test_normalize_case_insensitive(name):
+    assert normalize_name(name.upper()) == normalize_name(name)
+
+
+@given(names)
+def test_trailing_dot_ignored(name):
+    assert normalize_name(name + ".") == normalize_name(name)
+
+
+@given(names, names)
+def test_zone_membership_definition(name, zone):
+    """name_under_zone must agree with the label-suffix definition."""
+    n = normalize_name(name)
+    z = normalize_name(zone)
+    expected = n == z or n.endswith("." + z)
+    assert name_under_zone(n, z) == expected
+
+
+@given(names, labels)
+def test_subdomain_always_under_zone(zone, extra_label):
+    child = f"{extra_label}.{zone}"
+    assert name_under_zone(child, zone)
+
+
+@given(names)
+def test_name_under_itself(name):
+    assert name_under_zone(name, name)
+
+
+@given(st.lists(names, min_size=1, max_size=8, unique=True), names)
+@settings(max_examples=60, deadline=None)
+def test_infrastructure_longest_match(zones, query):
+    """authoritative_for must pick the most specific matching zone —
+    checked against a brute-force reference implementation."""
+
+    class _FakeServer:
+        def __init__(self, zone):
+            self.zones = (zone,)
+
+    infra = DnsInfrastructure()
+    servers = {}
+    for zone in zones:
+        normalized = normalize_name(zone)
+        if normalized in servers:
+            continue
+        server = _FakeServer(normalized)
+        servers[normalized] = server
+        infra._zone_index[normalized] = server  # registry internals: zone map
+        infra._servers.append(server)
+
+    query = normalize_name(query)
+    matching = [z for z in servers if name_under_zone(query, z)]
+    expected = servers[max(matching, key=len)] if matching else None
+    assert infra.authoritative_for(query) is expected

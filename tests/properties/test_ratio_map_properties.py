@@ -1,0 +1,109 @@
+"""Property-based tests for ratio maps and similarity metrics."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    RatioMap,
+    cosine_similarity,
+    jaccard_similarity,
+    overlap_similarity,
+)
+
+#: Replica identifiers drawn from a small alphabet so overlap happens.
+replica_names = st.sampled_from([f"r{i}" for i in range(12)])
+
+counts = st.dictionaries(replica_names, st.integers(1, 1000), min_size=1, max_size=10)
+
+
+@given(counts)
+def test_ratios_sum_to_one(count_map):
+    ratio_map = RatioMap.from_counts(count_map)
+    assert math.isclose(sum(ratio_map.values()), 1.0, rel_tol=1e-9)
+
+
+@given(counts)
+def test_ratios_positive_and_support_matches(count_map):
+    ratio_map = RatioMap.from_counts(count_map)
+    assert all(v > 0 for v in ratio_map.values())
+    assert ratio_map.support == frozenset(count_map)
+
+
+@given(counts)
+def test_norm_bounds(count_map):
+    # For a probability vector: 1/sqrt(n) <= ||v|| <= 1.
+    ratio_map = RatioMap.from_counts(count_map)
+    n = len(ratio_map)
+    assert 1.0 / math.sqrt(n) - 1e-9 <= ratio_map.norm <= 1.0 + 1e-9
+
+
+@given(counts, counts)
+def test_cosine_in_unit_interval(a_counts, b_counts):
+    a = RatioMap.from_counts(a_counts)
+    b = RatioMap.from_counts(b_counts)
+    value = cosine_similarity(a, b)
+    assert 0.0 <= value <= 1.0
+
+
+@given(counts, counts)
+def test_cosine_symmetric(a_counts, b_counts):
+    a = RatioMap.from_counts(a_counts)
+    b = RatioMap.from_counts(b_counts)
+    assert math.isclose(
+        cosine_similarity(a, b), cosine_similarity(b, a), rel_tol=1e-12
+    )
+
+
+@given(counts)
+def test_cosine_identity(count_map):
+    ratio_map = RatioMap.from_counts(count_map)
+    assert math.isclose(cosine_similarity(ratio_map, ratio_map), 1.0, abs_tol=1e-9)
+
+
+@given(counts, st.integers(2, 7))
+def test_cosine_scale_invariant(count_map, factor):
+    # Multiplying all counts by a constant must not change the map.
+    a = RatioMap.from_counts(count_map)
+    b = RatioMap.from_counts({k: v * factor for k, v in count_map.items()})
+    assert math.isclose(cosine_similarity(a, b), 1.0, abs_tol=1e-9)
+
+
+@given(counts, counts)
+def test_zero_iff_disjoint(a_counts, b_counts):
+    a = RatioMap.from_counts(a_counts)
+    b = RatioMap.from_counts(b_counts)
+    disjoint = not (a.support & b.support)
+    assert (cosine_similarity(a, b) == 0.0) == disjoint
+
+
+@given(counts, counts)
+def test_jaccard_and_overlap_in_unit_interval(a_counts, b_counts):
+    a = RatioMap.from_counts(a_counts)
+    b = RatioMap.from_counts(b_counts)
+    assert 0.0 <= jaccard_similarity(a, b) <= 1.0
+    assert 0.0 <= overlap_similarity(a, b) <= 1.0 + 1e-9
+
+
+@given(counts, counts)
+def test_overlap_bounded_by_one_sided_mass(a_counts, b_counts):
+    a = RatioMap.from_counts(a_counts)
+    b = RatioMap.from_counts(b_counts)
+    common = a.support & b.support
+    bound = min(
+        sum(a.ratio(r) for r in common),
+        sum(b.ratio(r) for r in common),
+    )
+    assert overlap_similarity(a, b) <= bound + 1e-9
+
+
+@given(counts, counts, st.floats(0.05, 0.95))
+def test_merge_preserves_distribution(a_counts, b_counts, weight):
+    a = RatioMap.from_counts(a_counts)
+    b = RatioMap.from_counts(b_counts)
+    merged = a.merged_with(b, weight=weight)
+    assert math.isclose(sum(merged.values()), 1.0, rel_tol=1e-9)
+    for replica in merged:
+        expected = weight * a.ratio(replica) + (1 - weight) * b.ratio(replica)
+        assert math.isclose(merged[replica], expected, rel_tol=1e-9)

@@ -1,0 +1,110 @@
+"""Property-based tests for substrate invariants: latency model, TTL
+cache, OU processes, rings, and the tracker."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracker import RedirectionTracker
+from repro.dnssim import Question, RecordType, ResourceRecord, TtlCache
+from repro.meridian import RingParams, RingSet
+from repro.netsim import OrnsteinUhlenbeck
+from repro.netsim.geo import GeoPoint, great_circle_km
+
+points = st.builds(
+    GeoPoint,
+    lat=st.floats(-89.0, 89.0),
+    lon=st.floats(-179.0, 179.0),
+)
+
+
+@given(points, points)
+def test_distance_symmetric_nonnegative(a, b):
+    assert great_circle_km(a, b) >= 0.0
+    assert math.isclose(great_circle_km(a, b), great_circle_km(b, a), rel_tol=1e-9)
+
+
+@given(points, points, points)
+@settings(max_examples=60)
+def test_geodesic_triangle_inequality(a, b, c):
+    assert great_circle_km(a, c) <= great_circle_km(a, b) + great_circle_km(b, c) + 1e-6
+
+
+@given(
+    st.lists(st.floats(0.1, 10_000.0), min_size=2, max_size=20).map(sorted),
+    st.integers(0, 2**32 - 1),
+)
+def test_ou_monotone_queries_never_fail(times, seed):
+    process = OrnsteinUhlenbeck(theta=0.01, stationary_sd=2.0, seed=seed)
+    values = [process.sample(t) for t in times]
+    assert all(math.isfinite(v) for v in values)
+
+
+@given(st.floats(0.0, 1e6))
+def test_ring_index_within_bounds(latency):
+    rings = RingSet(RingParams())
+    index = rings.ring_index(latency)
+    assert 0 <= index <= rings.params.ring_count
+    low, high = rings.ring_bounds(index)
+    assert low <= latency < high or (latency < rings.params.alpha_ms and index == 0)
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([f"p{i}" for i in range(20)]), st.floats(0.1, 500.0)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_ring_peer_uniqueness(updates):
+    """A peer lives in at most one ring no matter the update sequence."""
+    rings = RingSet(RingParams(k=3, secondary=1))
+    for peer, latency in updates:
+        rings.consider(peer, latency)
+    names = [name for name, _ in rings.members()]
+    assert len(names) == len(set(names))
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0.0, 1000.0), st.floats(1.0, 600.0)),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_ttl_cache_never_serves_expired(entries):
+    cache = TtlCache()
+    now = 0.0
+    for offset, ttl in entries:
+        now += offset
+        q = Question(f"name{ttl:.0f}.test")
+        cache.put(q, (ResourceRecord(q.name, RecordType.A, "1.1.1.1", ttl),), now)
+        got = cache.get(q, now + ttl + 0.001)
+        assert got is None
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a.test", "b.test"]),
+            st.lists(st.sampled_from(["x", "y", "z"]), min_size=1, max_size=3),
+        ),
+        min_size=1,
+        max_size=30,
+    ),
+    st.integers(1, 10),
+)
+def test_tracker_window_semantics(observations, window):
+    tracker = RedirectionTracker("node")
+    for index, (name, addresses) in enumerate(observations):
+        tracker.observe(float(index), name, addresses)
+    windowed = tracker.ratio_map(window_probes=window)
+    assert windowed is not None
+    expected = {}
+    for _, addresses in observations[-window:]:
+        for address in addresses:
+            expected[address] = expected.get(address, 0) + 1
+    total = sum(expected.values())
+    for address, count in expected.items():
+        assert math.isclose(windowed.ratio(address), count / total, rel_tol=1e-9)

@@ -1,0 +1,56 @@
+"""The benchmark configuration is part of the shipped surface: scales
+must stay valid and report persistence must work."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
+
+from bench_config import _SCALES, BenchScale, bench_scale, save_report  # noqa: E402
+
+
+def test_all_scales_well_formed():
+    for name, scale in _SCALES.items():
+        assert scale.selection_clients > 0, name
+        assert scale.candidates > 0, name
+        assert scale.selection_probe_rounds > 0, name
+        assert scale.clustering_clients > 0, name
+        assert scale.sweep_duration_minutes > 0, name
+
+
+def test_scales_ordered_by_size():
+    assert (
+        _SCALES["quick"].selection_clients
+        < _SCALES["default"].selection_clients
+        <= _SCALES["paper"].selection_clients
+    )
+
+
+def test_paper_scale_matches_paper():
+    paper = _SCALES["paper"]
+    assert paper.selection_clients == 1000
+    assert paper.candidates == 240
+    assert paper.clustering_clients == 177
+
+
+def test_env_selection(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "quick")
+    assert bench_scale() == _SCALES["quick"]
+    monkeypatch.delenv("REPRO_BENCH_SCALE")
+    assert bench_scale() == _SCALES["default"]
+
+
+def test_unknown_scale_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "galactic")
+    with pytest.raises(ValueError):
+        bench_scale()
+
+
+def test_save_report_writes_file(tmp_path, monkeypatch):
+    import bench_config
+
+    monkeypatch.setattr(bench_config, "REPORTS_DIR", tmp_path)
+    path = bench_config.save_report("unit-test", "hello")
+    assert path.read_text() == "hello\n"

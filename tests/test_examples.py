@@ -1,0 +1,62 @@
+"""Smoke coverage for the runnable examples.
+
+Every example must at least parse and expose a ``main``; the two
+fastest run end-to-end so a broken public API cannot ship with green
+tests.  (The remaining examples run in minutes and are exercised
+manually / in the bench docs.)
+"""
+
+import importlib.util
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def load_module(path: Path):
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_exist():
+    names = {p.stem for p in ALL_EXAMPLES}
+    assert {
+        "quickstart",
+        "game_server_selection",
+        "bittorrent_peer_clustering",
+        "detour_routing",
+        "name_filtering",
+        "passive_monitoring",
+        "hybrid_positioning",
+        "offline_trace_analysis",
+        "decentralized_positioning",
+    } <= names
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.stem)
+def test_example_defines_main(path):
+    module = load_module(path)
+    assert callable(getattr(module, "main", None)), f"{path.name} needs main()"
+    assert module.__doc__, f"{path.name} needs a docstring"
+
+
+def test_name_filtering_runs_end_to_end(capsys):
+    module = load_module(EXAMPLES_DIR / "name_filtering.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "passive rule" in out
+    assert "drop-provider-owned" in out
+
+
+def test_quickstart_runs_end_to_end(capsys):
+    module = load_module(EXAMPLES_DIR / "quickstart.py")
+    module.main()
+    out = capsys.readouterr().out
+    assert "closest-server ranking" in out
+    assert "SMF clustering" in out

@@ -1,0 +1,72 @@
+"""Guard the public API surface: every ``__all__`` name must resolve,
+and the top-level package must re-export the advertised entry points."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.netsim",
+    "repro.dnssim",
+    "repro.cdn",
+    "repro.meridian",
+    "repro.baselines",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.hybrid",
+    "repro.traces",
+    "repro.analysis",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_names_resolve(package_name):
+    package = importlib.import_module(package_name)
+    exported = getattr(package, "__all__", None)
+    assert exported, f"{package_name} should declare __all__"
+    for name in exported:
+        assert hasattr(package, name), f"{package_name}.__all__ lists missing {name}"
+
+
+def test_top_level_quickstart_symbols():
+    import repro
+
+    for name in ("Scenario", "ScenarioParams", "CRPService", "RatioMap",
+                 "cosine_similarity", "smf_cluster", "SmfParams"):
+        assert hasattr(repro, name)
+
+
+def test_version_is_a_string():
+    import repro
+
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") >= 1
+
+
+EXPERIMENT_MODULES = [
+    "repro.experiments.fig4_closest",
+    "repro.experiments.fig5_relerr",
+    "repro.experiments.fig6_cdf",
+    "repro.experiments.fig7_buckets",
+    "repro.experiments.fig8_interval",
+    "repro.experiments.fig9_window",
+    "repro.experiments.table1_summary",
+    "repro.experiments.detour",
+    "repro.experiments.overhead",
+    "repro.experiments.bootstrap",
+    "repro.experiments.ablations",
+    "repro.experiments.runner",
+]
+
+
+@pytest.mark.parametrize("module_name", EXPERIMENT_MODULES)
+def test_experiment_modules_import(module_name):
+    importlib.import_module(module_name)
+
+
+def test_every_public_module_has_docstring():
+    for package_name in PACKAGES + EXPERIMENT_MODULES:
+        module = importlib.import_module(package_name)
+        assert module.__doc__, f"{package_name} lacks a module docstring"

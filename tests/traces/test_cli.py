@@ -1,0 +1,51 @@
+import pytest
+
+from repro.traces import TraceRecord, write_trace
+from repro.traces.__main__ import main
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    records = [
+        TraceRecord("a", 0.0, "x.test", ("r1", "r2")),
+        TraceRecord("a", 600.0, "x.test", ("r1",)),
+        TraceRecord("b", 0.0, "x.test", ("r1",)),
+        TraceRecord("c", 0.0, "x.test", ("r9",)),
+    ]
+    return write_trace(tmp_path / "t.jsonl", records)
+
+
+def test_summary(trace_path, capsys):
+    assert main(["summary", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "3 nodes" in out
+    assert "a" in out and "observations" in out
+
+
+def test_rank(trace_path, capsys):
+    assert main(["rank", str(trace_path), "a", "b", "c"]) == 0
+    out = capsys.readouterr().out
+    assert "Ranking for a" in out
+    assert "b" in out
+
+
+def test_rank_requires_candidates(trace_path):
+    with pytest.raises(SystemExit):
+        main(["rank", str(trace_path), "a"])
+
+
+def test_cluster(trace_path, capsys):
+    assert main(["cluster", str(trace_path), "--threshold", "0.1"]) == 0
+    out = capsys.readouterr().out
+    assert "SMF clusters" in out
+    assert "unclustered" in out  # node c shares nothing
+
+
+def test_missing_trace_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["summary", str(tmp_path / "nope.jsonl")])
+
+
+def test_window_flag(trace_path, capsys):
+    assert main(["rank", str(trace_path), "a", "b", "--window", "1"]) == 0
+    assert "Ranking" in capsys.readouterr().out

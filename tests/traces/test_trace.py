@@ -1,0 +1,101 @@
+import pytest
+
+from repro.core.clustering import SmfParams
+from repro.traces import (
+    OfflineCRP,
+    TraceRecord,
+    export_service_trace,
+    read_trace,
+    replay_into_trackers,
+    write_trace,
+)
+from tests.conftest import make_scenario
+
+
+def sample_records():
+    return [
+        TraceRecord("a", 0.0, "x.test", ("r1", "r2")),
+        TraceRecord("a", 600.0, "x.test", ("r1",)),
+        TraceRecord("b", 0.0, "x.test", ("r1",)),
+        TraceRecord("b", 600.0, "x.test", ("r3",)),
+        TraceRecord("c", 0.0, "x.test", ("r9",)),
+    ]
+
+
+def test_record_validation():
+    with pytest.raises(ValueError):
+        TraceRecord("", 0.0, "x.test", ("r1",))
+    with pytest.raises(ValueError):
+        TraceRecord("a", 0.0, "x.test", ())
+
+
+def test_json_round_trip():
+    record = TraceRecord("node-1", 12.5, "name.test", ("r1", "r2"))
+    assert TraceRecord.from_json(record.to_json()) == record
+
+
+def test_write_read_round_trip(tmp_path):
+    records = sample_records()
+    path = write_trace(tmp_path / "trace.jsonl", records)
+    loaded = list(read_trace(path))
+    assert loaded == records
+
+
+def test_replay_builds_per_node_trackers():
+    trackers = replay_into_trackers(sample_records())
+    assert set(trackers) == {"a", "b", "c"}
+    assert trackers["a"].probe_count == 2
+    ratio_map = trackers["a"].ratio_map()
+    assert ratio_map.ratio("r1") == pytest.approx(2 / 3)
+
+
+def test_replay_tolerates_unordered_input():
+    records = list(reversed(sample_records()))
+    trackers = replay_into_trackers(records)
+    assert trackers["b"].probe_count == 2
+
+
+def test_offline_ranking():
+    offline = OfflineCRP(sample_records(), window_probes=None)
+    ranked = offline.rank_servers("a", ["b", "c"])
+    assert [r.name for r in ranked] == ["b", "c"]
+    assert ranked[0].score > 0
+    assert not ranked[1].has_signal
+
+
+def test_offline_unknown_candidates_skipped():
+    offline = OfflineCRP(sample_records(), window_probes=None)
+    ranked = offline.rank_servers("a", ["b", "ghost"])
+    assert [r.name for r in ranked] == ["b"]
+
+
+def test_offline_clustering():
+    offline = OfflineCRP(sample_records(), window_probes=None)
+    result = offline.cluster(smf_params=SmfParams(threshold=0.1))
+    clustered = {m for c in result.clusters for m in c.members}
+    assert "c" not in clustered
+
+
+def test_offline_matches_live_service(tmp_path):
+    """The adoption-path guarantee: exporting a live service's history
+    and replaying it offline reproduces the same rankings."""
+    scenario = make_scenario(seed=97, dns_servers=10, planetlab_nodes=8)
+    scenario.run_probe_rounds(10)
+    records = export_service_trace(scenario.crp)
+    path = write_trace(tmp_path / "live.jsonl", records)
+    offline = OfflineCRP.from_file(path, window_probes=10)
+
+    for client in scenario.client_names[:4]:
+        live = scenario.crp.rank_servers(client, scenario.candidate_names)
+        replayed = offline.rank_servers(client, scenario.candidate_names)
+        assert [(r.name, round(r.score, 12)) for r in live] == [
+            (r.name, round(r.score, 12)) for r in replayed
+        ]
+
+
+def test_export_is_time_ordered():
+    scenario = make_scenario(seed=98, dns_servers=6, planetlab_nodes=4)
+    scenario.run_probe_rounds(4)
+    records = export_service_trace(scenario.crp)
+    times = [r.at for r in records]
+    assert times == sorted(times)

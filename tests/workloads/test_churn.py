@@ -1,0 +1,75 @@
+import pytest
+
+from repro.workloads import ChurnParams, ChurnProcess
+from tests.conftest import make_scenario
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ChurnParams(leave_probability=1.5)
+    with pytest.raises(ValueError):
+        ChurnParams(join_rate=-1.0)
+
+
+def test_step_applies_events():
+    scenario = make_scenario(seed=91, dns_servers=20, planetlab_nodes=4)
+    churn = ChurnProcess(scenario, ChurnParams(leave_probability=0.3, join_rate=2.0), seed=91)
+    events = churn.step()
+    # Members and service registration stay in sync.
+    for name in events.left:
+        assert name not in scenario.crp.nodes
+    for name in events.joined:
+        assert name in scenario.crp.nodes
+        assert name in churn.members
+    assert churn.total_joined == len(events.joined)
+    assert churn.total_left == len(events.left)
+
+
+def test_zero_churn_is_identity():
+    scenario = make_scenario(seed=92, dns_servers=10, planetlab_nodes=4)
+    churn = ChurnProcess(scenario, ChurnParams(leave_probability=0.0, join_rate=0.0))
+    before = set(scenario.crp.nodes)
+    churn.run(rounds=3)
+    assert set(scenario.crp.nodes) == before
+
+
+def test_run_interleaves_probing():
+    scenario = make_scenario(seed=93, dns_servers=10, planetlab_nodes=4)
+    churn = ChurnProcess(scenario, ChurnParams(leave_probability=0.1, join_rate=1.0), seed=93)
+    history = churn.run(rounds=5)
+    assert len(history) == 5
+    # Survivors that were present from the start have full histories.
+    survivors = set(scenario.client_names) & churn.members
+    if survivors:
+        name = sorted(survivors)[0]
+        assert scenario.crp.tracker(name).probe_count == 10  # 5 rounds × 2 names
+
+
+def test_joiners_bootstrap_and_become_positionable():
+    scenario = make_scenario(seed=94, dns_servers=10, planetlab_nodes=8)
+    scenario.run_probe_rounds(8)
+    churn = ChurnProcess(scenario, ChurnParams(leave_probability=0.0, join_rate=3.0), seed=94)
+    churn.run(rounds=6)
+    joiners = [n for n in churn.members if n.startswith("churn-")]
+    assert joiners
+    positioned = [
+        n for n in joiners if scenario.crp.ratio_map(n, window_probes=None) is not None
+    ]
+    assert len(positioned) == len(joiners)
+
+
+def test_departures_do_not_break_survivors():
+    scenario = make_scenario(seed=95, dns_servers=16, planetlab_nodes=8)
+    scenario.run_probe_rounds(6)
+    churn = ChurnProcess(scenario, ChurnParams(leave_probability=0.4, join_rate=0.0), seed=95)
+    churn.run(rounds=3)
+    for name in sorted(churn.members)[:5]:
+        ranked = scenario.crp.rank_servers(name, scenario.candidate_names)
+        assert isinstance(ranked, list)
+
+
+def test_run_validation():
+    scenario = make_scenario(seed=96, dns_servers=6, planetlab_nodes=4)
+    churn = ChurnProcess(scenario)
+    with pytest.raises(ValueError):
+        churn.run(rounds=0)

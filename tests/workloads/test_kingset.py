@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.netsim import HostKind
+from repro.netsim.geo import great_circle_km
+from repro.workloads import build_king_dataset
+
+
+def test_sample_size_exact(topology, host_rng):
+    dataset = build_king_dataset(topology, host_rng, sample_size=30, raw_pool_size=200)
+    assert len(dataset.servers) == 30
+
+
+def test_filter_pipeline_accounting(topology, host_rng):
+    dataset = build_king_dataset(topology, host_rng, sample_size=30, raw_pool_size=200)
+    assert dataset.raw_pool_size == 200
+    assert 0 < dataset.usable_pool_size <= 200
+    # Expected usable rate is ping × recursion ≈ 41%.
+    assert dataset.usable_pool_size == pytest.approx(200 * 0.41, abs=40)
+
+
+def test_insufficient_pool_raises(topology, host_rng):
+    with pytest.raises(ValueError):
+        build_king_dataset(topology, host_rng, sample_size=100, raw_pool_size=120)
+
+
+def test_sample_size_validation(topology, host_rng):
+    with pytest.raises(ValueError):
+        build_king_dataset(topology, host_rng, sample_size=0)
+
+
+def test_rural_fraction_validation(topology, host_rng):
+    with pytest.raises(ValueError):
+        build_king_dataset(
+            topology, host_rng, sample_size=5, raw_pool_size=100, rural_fraction=1.5
+        )
+
+
+def test_hosts_are_dns_servers(topology, host_rng):
+    dataset = build_king_dataset(topology, host_rng, sample_size=20, raw_pool_size=150)
+    assert all(h.kind is HostKind.DNS_SERVER for h in dataset.servers)
+
+
+def test_names_are_unique_and_conventional(topology, host_rng):
+    dataset = build_king_dataset(topology, host_rng, sample_size=20, raw_pool_size=150)
+    names = [h.name for h in dataset.servers]
+    assert len(set(names)) == 20
+    assert all(name.startswith("ns") and name.endswith(".kingset") for name in names)
+
+
+def test_rural_servers_sit_farther_out(topology, host_rng):
+    dataset = build_king_dataset(
+        topology,
+        host_rng,
+        sample_size=60,
+        raw_pool_size=400,
+        rural_fraction=1.0,
+        rural_sigma_degrees=3.0,
+    )
+    distances = [
+        great_circle_km(h.location, h.metro.location) for h in dataset.servers
+    ]
+    assert max(distances) > 200.0
+
+
+def test_zero_rural_fraction_keeps_hosts_urban(topology, host_rng):
+    dataset = build_king_dataset(
+        topology, host_rng, sample_size=40, raw_pool_size=300, rural_fraction=0.0
+    )
+    distances = [
+        great_circle_km(h.location, h.metro.location) for h in dataset.servers
+    ]
+    assert max(distances) < 200.0
+
+
+def test_broad_distribution(topology, host_rng):
+    dataset = build_king_dataset(topology, host_rng, sample_size=100, raw_pool_size=600)
+    metros = {h.metro.name for h in dataset.servers}
+    assert len(metros) > 40

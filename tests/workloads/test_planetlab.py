@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.netsim import HostKind, Region
+from repro.workloads import deploy_planetlab
+from repro.workloads.planetlab import SITE_REGION_MIX
+
+
+def test_active_count_exact(topology, host_rng):
+    deployment = deploy_planetlab(topology, host_rng, active_count=50)
+    assert len(deployment.active) == 50
+
+
+def test_count_validation(topology, host_rng):
+    with pytest.raises(ValueError):
+        deploy_planetlab(topology, host_rng, active_count=0)
+
+
+def test_hosts_are_planetlab_kind(topology, host_rng):
+    deployment = deploy_planetlab(topology, host_rng, active_count=20)
+    assert all(h.kind is HostKind.PLANETLAB for h in deployment.active)
+
+
+def test_site_members_collocated(topology, host_rng):
+    deployment = deploy_planetlab(topology, host_rng, active_count=40)
+    by_name = {h.name: h for h in deployment.active}
+    for site, members in deployment.sites.items():
+        metros = {by_name[m].metro.name for m in members}
+        assert len(metros) == 1
+        assert len(members) <= 2
+
+
+def test_site_of_lookup(topology, host_rng):
+    deployment = deploy_planetlab(topology, host_rng, active_count=10)
+    host = deployment.active[0]
+    assert host.name in deployment.sites[deployment.site_of(host.name)]
+    with pytest.raises(KeyError):
+        deployment.site_of("nonexistent")
+
+
+def test_naming_follows_planetlab_convention(topology, host_rng):
+    deployment = deploy_planetlab(topology, host_rng, active_count=10)
+    assert all(h.name.startswith("planetlab") for h in deployment.active)
+
+
+def test_regional_mix_skews_north_america(topology, host_rng):
+    deployment = deploy_planetlab(topology, host_rng, active_count=200)
+    regions = [h.region for h in deployment.active]
+    na = regions.count(Region.NORTH_AMERICA)
+    africa = regions.count(Region.AFRICA)
+    assert na > 0.3 * len(regions)
+    assert africa < 0.1 * len(regions)
+
+
+def test_mix_fractions_sum_to_one():
+    assert sum(SITE_REGION_MIX.values()) == pytest.approx(1.0)

@@ -1,0 +1,125 @@
+import pytest
+
+from repro.meridian import FailureRates
+from repro.workloads import Scenario, ScenarioParams
+from tests.conftest import make_scenario
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ScenarioParams(dns_servers=0)
+    with pytest.raises(ValueError):
+        ScenarioParams(planetlab_nodes=0)
+    with pytest.raises(ValueError):
+        ScenarioParams(customer_domains=())
+
+
+def test_populations_have_requested_sizes(probed_scenario):
+    assert len(probed_scenario.clients) == 24
+    assert len(probed_scenario.candidates) == 16
+
+
+def test_every_node_has_a_resolver(probed_scenario):
+    for host in probed_scenario.clients + probed_scenario.candidates:
+        assert host.name in probed_scenario.resolvers
+
+
+def test_crp_covers_both_populations(probed_scenario):
+    nodes = set(probed_scenario.crp.nodes)
+    assert set(probed_scenario.client_names) <= nodes
+    assert set(probed_scenario.candidate_names) <= nodes
+
+
+def test_probing_advances_clock(probed_scenario):
+    # 20 rounds at 10 minutes.
+    assert probed_scenario.clock.now == pytest.approx(20 * 600.0)
+
+
+def test_probing_builds_maps(probed_scenario):
+    maps = probed_scenario.crp.ratio_maps(probed_scenario.client_names)
+    built = [m for m in maps.values() if m is not None]
+    assert len(built) == len(probed_scenario.clients)
+
+
+def test_rtt_helpers_consistent(probed_scenario):
+    a, b = probed_scenario.client_names[:2]
+    true = probed_scenario.rtt_ms(a, b)
+    measured = probed_scenario.measure_rtt_ms(a, b)
+    assert true > 0
+    assert measured == pytest.approx(true, rel=0.6)
+
+
+def test_king_registered_for_clients(probed_scenario):
+    a, b = probed_scenario.client_names[:2]
+    estimate = probed_scenario.king_rtt_ms(a, b)
+    assert estimate > 0
+
+
+def test_meridian_disabled_by_default_fixture(probed_scenario):
+    assert probed_scenario.meridian is None
+
+
+def test_meridian_scenario_builds_overlay(meridian_scenario):
+    assert meridian_scenario.meridian is not None
+    assert len(meridian_scenario.meridian.members()) == 24
+
+
+def test_failure_plan_generated_when_requested():
+    scenario = make_scenario(
+        dns_servers=8,
+        planetlab_nodes=20,
+        build_meridian=True,
+        meridian_failures=FailureRates(),
+    )
+    assert scenario.failure_plan is not None
+
+
+def test_same_seed_same_world():
+    a = make_scenario(seed=99, dns_servers=8, planetlab_nodes=6)
+    b = make_scenario(seed=99, dns_servers=8, planetlab_nodes=6)
+    assert a.client_names == b.client_names
+    assert [h.metro.name for h in a.clients] == [h.metro.name for h in b.clients]
+    assert a.rtt_ms(a.client_names[0], a.client_names[1]) == pytest.approx(
+        b.rtt_ms(b.client_names[0], b.client_names[1])
+    )
+
+
+def test_different_seeds_differ():
+    a = make_scenario(seed=1, dns_servers=8, planetlab_nodes=6)
+    b = make_scenario(seed=2, dns_servers=8, planetlab_nodes=6)
+    assert a.client_names != b.client_names or [
+        h.metro.name for h in a.clients
+    ] != [h.metro.name for h in b.clients]
+
+
+def test_run_probe_rounds_validation(probed_scenario):
+    with pytest.raises(ValueError):
+        probed_scenario.run_probe_rounds(0)
+
+
+def test_cdn_served_queries(probed_scenario):
+    assert probed_scenario.cdn.total_queries() > 0
+
+
+def test_flaky_clients_configured():
+    scenario = make_scenario(
+        dns_servers=20, planetlab_nodes=4, client_flaky_fraction=0.25
+    )
+    assert len(scenario.flaky_clients) == 5
+    for name in scenario.flaky_clients:
+        assert scenario.resolvers[name].failure_rate > 0
+    # Candidates are never flaky.
+    for name in scenario.candidate_names:
+        assert scenario.resolvers[name].failure_rate == 0.0
+
+
+def test_flaky_probing_degrades_gracefully():
+    scenario = make_scenario(
+        dns_servers=12, planetlab_nodes=4, client_flaky_fraction=0.5,
+        flaky_failure_rate=0.7,
+    )
+    scenario.run_probe_rounds(10)
+    assert scenario.crp.probe_failures > 0
+    # Healthy clients still have full histories.
+    healthy = [c for c in scenario.client_names if c not in scenario.flaky_clients]
+    assert scenario.crp.tracker(healthy[0]).probe_count == 20
