@@ -9,6 +9,12 @@ library itself — what a service embedding CRP would care about:
 * SMF clustering over a population,
 * CDN mapping answer selection (the simulator's hot loop),
 * tracker windowed-map construction.
+
+The ranking and clustering benches come in pairs: the default
+vectorized engine path next to the ``vectorized=False`` scalar
+reference, so the engine's speedup is measured in-suite (the ratio the
+acceptance criteria quote; ``scripts/bench_micro.py`` records it to
+``BENCH_similarity.json``).
 """
 
 import numpy as np
@@ -47,10 +53,29 @@ def test_bench_micro_rank_240_candidates(benchmark, maps):
     assert len(result) == 240
 
 
+def test_bench_micro_rank_240_candidates_scalar(benchmark, maps):
+    client = maps[0]
+    candidates = {f"cand-{i}": m for i, m in enumerate(maps[1:241])}
+    result = benchmark(
+        lambda: rank_candidates(client, candidates, vectorized=False)
+    )
+    assert len(result) == 240
+
+
 def test_bench_micro_smf_500_nodes(benchmark, maps):
     population = {f"node-{i}": m for i, m in enumerate(maps[:500])}
     result = benchmark.pedantic(
         smf_cluster, args=(population, SmfParams(threshold=0.1)), rounds=3, iterations=1
+    )
+    assert result.total_nodes == 500
+
+
+def test_bench_micro_smf_500_nodes_scalar(benchmark, maps):
+    population = {f"node-{i}": m for i, m in enumerate(maps[:500])}
+    result = benchmark.pedantic(
+        lambda: smf_cluster(population, SmfParams(threshold=0.1), vectorized=False),
+        rounds=3,
+        iterations=1,
     )
     assert result.total_nodes == 500
 

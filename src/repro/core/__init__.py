@@ -17,6 +17,7 @@ The core pipeline:
 probing and is the facade most callers want.
 """
 
+from repro.core.engine import PackedPopulation, ReplicaVocabulary, packed_for
 from repro.core.ratio_map import RatioMap
 from repro.core.similarity import (
     SimilarityMetric,
@@ -45,6 +46,9 @@ from repro.core.exchange import (
 )
 
 __all__ = [
+    "PackedPopulation",
+    "ReplicaVocabulary",
+    "packed_for",
     "RatioMap",
     "SimilarityMetric",
     "cosine_similarity",

@@ -38,6 +38,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.engine import PackedPopulation, packed_for
 from repro.core.ratio_map import RatioMap
 from repro.core.similarity import SimilarityMetric, similarity
 
@@ -100,6 +101,12 @@ class ClusteringResult:
     unclustered: List[str]
     params: Optional[SmfParams]
     total_nodes: int
+    #: Lazy member → cluster index behind :meth:`cluster_of`; built on
+    #: first lookup, after which lookups are O(1).  Not part of the
+    #: result's value (excluded from equality/repr).
+    _member_index: Optional[Dict[str, Cluster]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     @property
     def clustered_count(self) -> int:
@@ -136,11 +143,19 @@ class ClusteringResult:
         }
 
     def cluster_of(self, node: str) -> Optional[Cluster]:
-        """The cluster containing a node, or None if unclustered."""
-        for cluster in self.clusters:
-            if node in cluster.members:
-                return cluster
-        return None
+        """The cluster containing a node, or None if unclustered.
+
+        O(1) after the first call: a member → cluster index is built
+        lazily and reused.  (Mutating ``clusters`` afterwards is not
+        supported — results are meant to be read-only.)
+        """
+        if self._member_index is None:
+            self._member_index = {
+                member: cluster
+                for cluster in self.clusters
+                for member in cluster.members
+            }
+        return self._member_index.get(node)
 
 
 def _strongest_centers(maps: Mapping[str, RatioMap]) -> List[str]:
@@ -176,14 +191,53 @@ def _strongest_centers(maps: Mapping[str, RatioMap]) -> List[str]:
     return sorted(centers, key=lambda n: (-primary[n][1], n))
 
 
+def _best_rows(
+    nodes: Sequence[str],
+    centers: Sequence[str],
+    known: Mapping[str, RatioMap],
+    metric: SimilarityMetric,
+    population: Optional[PackedPopulation],
+) -> List[Tuple[int, float]]:
+    """Per node, the first index of the maximum-similarity center and
+    that score — the shared primitive of SMF's first two passes.
+
+    Vectorized this is one blocked matrix product + a row-wise argmax
+    (``np.argmax`` returns the *first* maximum, matching the scalar
+    loops' strictly-greater update rule); the scalar fallback is the
+    reference double loop.
+    """
+    if population is not None:
+        matrix = population.matrix(nodes, centers, metric)
+        best = np.argmax(matrix, axis=1)
+        scores = matrix[np.arange(len(nodes)), best]
+        return list(zip(best.tolist(), scores.tolist()))
+    out: List[Tuple[int, float]] = []
+    for node in nodes:
+        node_map = known[node]
+        best_index, best_score = 0, 0.0
+        for index, center in enumerate(centers):
+            score = similarity(node_map, known[center], metric)
+            if score > best_score:
+                best_index, best_score = index, score
+        out.append((best_index, best_score))
+    return out
+
+
 def smf_cluster(
     maps: Mapping[str, RatioMap],
     params: SmfParams = SmfParams(),
+    *,
+    vectorized: bool = True,
 ) -> ClusteringResult:
     """Run Strongest-Mappings-First clustering over node ratio maps.
 
     ``maps`` holds one ratio map per node; nodes whose map is ``None``
     are treated as unclustered from the start (no position yet).
+
+    ``vectorized`` routes the node × center similarity of every pass
+    through the packed-population engine (blocked matrix products)
+    instead of nested scalar loops; the output is identical either way
+    — same thresholds, same tie-breaks, same randomised steps.
     """
     known: Dict[str, RatioMap] = {n: m for n, m in maps.items() if m is not None}
     no_position = [n for n, m in maps.items() if m is None]
@@ -198,24 +252,23 @@ def smf_cluster(
         # drawn uniformly — the comparison the authors describe.
         centers = centers[: max(1, len(_strongest_centers(known)))] if known else []
 
+    population = packed_for(known) if (vectorized and known) else None
     center_set = set(centers)
     clusters: Dict[str, Cluster] = {c: Cluster(center=c) for c in centers}
 
     # First pass: attach every non-center node to its best center.
     leftover: List[str] = []
-    for node in sorted(known):
-        if node in center_set:
-            continue
-        node_map = known[node]
-        best_center, best_score = None, 0.0
-        for center in centers:
-            score = similarity(node_map, known[center], params.metric)
-            if score > best_score or (score == best_score and best_center is None):
-                best_center, best_score = center, score
-        if best_center is not None and best_score > params.threshold:
-            clusters[best_center].members.append(node)
-        else:
-            leftover.append(node)
+    ordinary = [n for n in sorted(known) if n not in center_set]
+    if centers and ordinary:
+        for node, (index, score) in zip(
+            ordinary, _best_rows(ordinary, centers, known, params.metric, population)
+        ):
+            if score > params.threshold:
+                clusters[centers[index]].members.append(node)
+            else:
+                leftover.append(node)
+    else:
+        leftover.extend(ordinary)
 
     # Optional second pass: grow clusters among the unclustered, which
     # includes first-pass centers that attracted nobody (clusters of
@@ -230,16 +283,17 @@ def smf_cluster(
         # chance to join a formed cluster before seeding new ones.
         formed = [c for c, cluster in clusters.items() if cluster.size >= 2]
         still_left = []
-        for node in sorted(leftover):
-            best_center, best_score = None, 0.0
-            for center in formed:
-                score = similarity(known[node], known[center], params.metric)
-                if score > best_score:
-                    best_center, best_score = center, score
-            if best_center is not None and best_score > params.threshold:
-                clusters[best_center].members.append(node)
-            else:
-                still_left.append(node)
+        ordered = sorted(leftover)
+        if formed:
+            for node, (index, score) in zip(
+                ordered, _best_rows(ordered, formed, known, params.metric, population)
+            ):
+                if score > params.threshold:
+                    clusters[formed[index]].members.append(node)
+                else:
+                    still_left.append(node)
+        else:
+            still_left = ordered
         leftover = still_left
     if params.second_pass and leftover:
         pool = list(leftover)
@@ -248,14 +302,20 @@ def smf_cluster(
         while pool:
             center = pool.pop(0)
             cluster = Cluster(center=center)
-            remaining = []
-            for node in pool:
-                score = similarity(known[node], known[center], params.metric)
-                if score > params.threshold:
-                    cluster.members.append(node)
-                else:
-                    remaining.append(node)
-            pool = remaining
+            if population is not None:
+                scores = population.matrix(pool, [center], params.metric)[:, 0]
+                joined = scores > params.threshold
+                cluster.members.extend(n for n, hit in zip(pool, joined) if hit)
+                pool = [n for n, hit in zip(pool, joined) if not hit]
+            else:
+                remaining = []
+                for node in pool:
+                    score = similarity(known[node], known[center], params.metric)
+                    if score > params.threshold:
+                        cluster.members.append(node)
+                    else:
+                        remaining.append(node)
+                pool = remaining
             if cluster.size >= 2:
                 clusters[center] = cluster
             else:

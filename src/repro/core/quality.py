@@ -21,9 +21,14 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.core.clustering import Cluster, ClusteringResult
 
-#: Ground-truth RTT oracle: (node_a, node_b) -> milliseconds.
+#: Ground-truth RTT oracle: (node_a, node_b) -> milliseconds.  Oracles
+#: that additionally expose ``block(rows, cols) -> ndarray`` (e.g.
+#: :class:`repro.experiments.harness.PairwiseRtt`) get a vectorized
+#: diameter computation instead of the O(n²) Python pair loop.
 RttFn = Callable[[str, str], float]
 
 #: The paper's usefulness cap on cluster diameter, ms.
@@ -60,20 +65,41 @@ def evaluate_cluster(
     other_centers: Sequence[str],
     rtt: RttFn,
 ) -> ClusterQuality:
-    """Compute the quality metrics for one cluster against the rest."""
+    """Compute the quality metrics for one cluster against the rest.
+
+    When the oracle exposes vectorized ``block`` lookups, the diameter
+    (the O(|members|²) part) comes from one dense block ``max`` over
+    the same values the pair loop would have visited; averages keep the
+    scalar summation order so results are identical either way.
+    """
     members = cluster.members
+    block = getattr(rtt, "block", None)
     non_center = [m for m in members if m != cluster.center]
     if non_center:
-        intra_avg = sum(rtt(m, cluster.center) for m in non_center) / len(non_center)
+        if block is not None:
+            intra_values = block(non_center, [cluster.center])[:, 0].tolist()
+        else:
+            intra_values = [rtt(m, cluster.center) for m in non_center]
+        intra_avg = sum(intra_values) / len(non_center)
     else:
         intra_avg = 0.0
     if len(members) >= 2:
-        diameter = max(rtt(a, b) for a, b in combinations(members, 2))
+        if block is not None:
+            pairwise = block(members, members)
+            # The diagonal is self-distance (0 ms), which can never win
+            # the max over real pairs; off-diagonal values are exactly
+            # the ones the combinations() loop visits.
+            diameter = float(np.max(pairwise))
+        else:
+            diameter = max(rtt(a, b) for a, b in combinations(members, 2))
     else:
         diameter = 0.0
     others = [c for c in other_centers if c != cluster.center]
     if others:
-        inter_values = [rtt(cluster.center, c) for c in others]
+        if block is not None:
+            inter_values = block([cluster.center], others)[0].tolist()
+        else:
+            inter_values = [rtt(cluster.center, c) for c in others]
         inter_avg: Optional[float] = sum(inter_values) / len(inter_values)
         inter_min: Optional[float] = min(inter_values)
     else:

@@ -13,10 +13,13 @@ frequently, despite the CDN's world-wide fleet).
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
 
-#: Tolerance when validating that ratios sum to one.
-_SUM_TOLERANCE = 1e-9
+#: Tolerance when validating that ratios sum to one.  Loose enough to
+#: absorb float accumulation over many entries; the constructor
+#: renormalises exactly afterwards, so downstream math never sees the
+#: slack.
+_SUM_TOLERANCE = 1e-6
 
 
 class RatioMap(Mapping[str, float]):
@@ -29,7 +32,10 @@ class RatioMap(Mapping[str, float]):
     ``map[r]`` raises, while ``map.ratio(r)`` returns 0.0).
     """
 
-    __slots__ = ("_ratios", "_norm")
+    #: ``_vec`` lazily caches this map's packed (vocabulary, columns,
+    #: ratios) arrays for the vectorized engine; see
+    #: :mod:`repro.core.engine`.  Never part of the map's value.
+    __slots__ = ("_ratios", "_norm", "_vec")
 
     def __init__(self, ratios: Mapping[str, float]) -> None:
         if not ratios:
@@ -41,7 +47,7 @@ class RatioMap(Mapping[str, float]):
                 raise ValueError(f"ratio for {replica!r} must be positive, got {ratio}")
             cleaned[str(replica)] = float(ratio)
             total += float(ratio)
-        if abs(total - 1.0) > 1e-6:
+        if abs(total - 1.0) > _SUM_TOLERANCE:
             raise ValueError(f"ratios must sum to 1, got {total}")
         # Renormalise exactly so downstream math can rely on it.
         self._ratios: Dict[str, float] = {r: v / total for r, v in cleaned.items()}
@@ -94,6 +100,16 @@ class RatioMap(Mapping[str, float]):
         """
         return min(self._ratios.items(), key=lambda item: (-item[1], item[0]))
 
+    def items_by_ratio(self) -> List[Tuple[str, float]]:
+        """All (replica, ratio) entries, strongest first.
+
+        Ties break toward the lexicographically smaller replica, so the
+        order is deterministic (``items_by_ratio()[0] == strongest()``).
+        Callers that used to sort the private ``_ratios`` should use
+        this instead.
+        """
+        return sorted(self._ratios.items(), key=lambda item: (-item[1], item[0]))
+
     def dot(self, other: "RatioMap") -> float:
         """Dot product of two ratio vectors over their common support."""
         if len(self._ratios) > len(other._ratios):
@@ -119,9 +135,6 @@ class RatioMap(Mapping[str, float]):
         return RatioMap(combined)
 
     def __repr__(self) -> str:
-        entries = ", ".join(
-            f"{r}⇒{v:.3f}"
-            for r, v in sorted(self._ratios.items(), key=lambda i: -i[1])[:4]
-        )
+        entries = ", ".join(f"{r}⇒{v:.3f}" for r, v in self.items_by_ratio()[:4])
         suffix = ", ..." if len(self._ratios) > 4 else ""
         return f"RatioMap⟨{entries}{suffix}⟩"

@@ -11,6 +11,13 @@ The service keeps per-(node, name) history in
 ratio maps over the configured window on demand.  It is deliberately
 O(1) per node per probe round: no pairwise measurements anywhere —
 that is the paper's core scalability claim.
+
+Derived ratio maps are cached per (node, window) against the tracker's
+change counter, so repeated positioning queries between probe rounds
+hand the *same* :class:`~repro.core.ratio_map.RatioMap` objects to the
+ranking path — which lets the vectorized engine
+(:mod:`repro.core.engine`) reuse one packed candidate population for
+every client instead of repacking per query.
 """
 
 from __future__ import annotations
@@ -57,6 +64,10 @@ class CRPService:
         self.params = params
         self._resolvers: Dict[str, RecursiveResolver] = {}
         self._trackers: Dict[str, RedirectionTracker] = {}
+        #: (node, window) → (tracker version, map) — see module docstring.
+        self._map_cache: Dict[
+            Tuple[str, Optional[int]], Tuple[int, Optional[RatioMap]]
+        ] = {}
         self.probes_issued = 0
         self.probe_failures = 0
 
@@ -79,6 +90,8 @@ class CRPService:
         """Remove a node and its history (churn support)."""
         del self._resolvers[name]
         del self._trackers[name]
+        for key in [k for k in self._map_cache if k[0] == name]:
+            del self._map_cache[key]
 
     @property
     def nodes(self) -> List[str]:
@@ -142,13 +155,23 @@ class CRPService:
         default (``None`` means all probes); the sentinel ``-1`` keeps
         the default.  Returns ``None`` for nodes that have not
         bootstrapped.
+
+        Maps are cached against the node's tracker version: between
+        probe rounds, repeated queries return the identical object, so
+        the vectorized engine's packed-population cache stays hot.
         """
         tracker = self._trackers[node]
         if tracker.probe_count < self.params.bootstrap_min_probes:
             return None
         if window_probes == -1:
             window_probes = self.params.window_probes
-        return tracker.ratio_map(window_probes=window_probes)
+        key = (node, window_probes)
+        cached = self._map_cache.get(key)
+        if cached is not None and cached[0] == tracker.version:
+            return cached[1]
+        ratio_map = tracker.ratio_map(window_probes=window_probes)
+        self._map_cache[key] = (tracker.version, ratio_map)
+        return ratio_map
 
     def ratio_maps(
         self,

@@ -58,6 +58,10 @@ class RedirectionTracker:
         self.max_observations = max_observations
         self._log: List[Observation] = []
         self.observations_dropped = 0
+        #: Monotonic change counter, bumped on every ingest.  Lets
+        #: callers (e.g. :class:`~repro.core.service.CRPService`) cache
+        #: derived ratio maps and know exactly when they went stale.
+        self.version = 0
 
     # -- ingest ----------------------------------------------------------
 
@@ -74,6 +78,7 @@ class RedirectionTracker:
             )
         observation = Observation(at=at, name=name, addresses=tuple(addresses))
         self._log.append(observation)
+        self.version += 1
         if self.max_observations is not None and len(self._log) > self.max_observations:
             overflow = len(self._log) - self.max_observations
             del self._log[:overflow]

@@ -39,7 +39,14 @@ def _selection_mean_rank(
     metric: SimilarityMetric = SimilarityMetric.COSINE,
     window_probes: Optional[int] = None,
 ) -> Dict[str, float]:
-    """Mean Top-1 rank over clients, plus coverage, for one metric."""
+    """Mean Top-1 rank over clients, plus coverage, for one metric.
+
+    The candidate maps come back as the same cached objects on every
+    call (the service caches them against tracker versions), so the
+    vectorized ranking engine packs the candidate population once and
+    reuses it for every client — and across the three metrics, which
+    share one packing.
+    """
     orderings = _base_orderings(scenario)
     candidate_maps = scenario.crp.ratio_maps(
         scenario.candidate_names, window_probes=window_probes

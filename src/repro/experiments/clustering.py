@@ -4,6 +4,12 @@ Methodology: probe CRP over the experiment window for a population of
 DNS servers, build ratio maps, run SMF at the paper's thresholds, run
 ASN clustering as the baseline, and evaluate every clustering against
 King-estimated pairwise RTTs.
+
+Perf: the same ``maps`` dict feeds every threshold's ``smf_cluster``
+call, so the vectorized engine packs the population once and serves
+the whole Table I sweep from that one packing; quality evaluation gets
+the dense-block RTT oracle (:class:`~repro.experiments.harness.PairwiseRtt`),
+so diameters come from vectorized block maxima.
 """
 
 from __future__ import annotations

@@ -22,6 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.analysis.stats import mean, rank_of, sorted_series
 from repro.core.selection import RankedCandidate
 from repro.workloads.scenario import Scenario
@@ -253,13 +255,60 @@ def king_matrix(
     return matrix
 
 
-def matrix_rtt_fn(matrix: Mapping[Tuple[str, str], float]):
-    """An (a, b) → RTT callable over a pairwise matrix."""
+class PairwiseRtt:
+    """An (a, b) → RTT oracle over a pairwise matrix, with vectorized
+    block lookups.
 
-    def rtt(a: str, b: str) -> float:
+    Scalar calls behave exactly like the old closure (unordered-pair
+    dict lookup, 0 ms for self-distance).  :meth:`block` additionally
+    serves whole sub-matrices from a lazily-built dense array, which
+    :mod:`repro.core.quality` uses to compute cluster diameters without
+    the O(n²) Python pair loop.
+    """
+
+    def __init__(self, matrix: Mapping[Tuple[str, str], float]) -> None:
+        self._matrix = dict(matrix)
+        self._index: Optional[Dict[str, int]] = None
+        self._dense: Optional[np.ndarray] = None
+
+    def __call__(self, a: str, b: str) -> float:
         if a == b:
             return 0.0
         key = (a, b) if a < b else (b, a)
-        return matrix[key]
+        return self._matrix[key]
 
-    return rtt
+    def _ensure_dense(self) -> None:
+        if self._dense is not None:
+            return
+        names = sorted({name for pair in self._matrix for name in pair})
+        index = {name: i for i, name in enumerate(names)}
+        dense = np.full((len(names), len(names)), np.nan)
+        np.fill_diagonal(dense, 0.0)
+        for (a, b), value in self._matrix.items():
+            i, j = index[a], index[b]
+            dense[i, j] = value
+            dense[j, i] = value
+        self._index = index
+        self._dense = dense
+
+    def block(self, rows: Sequence[str], cols: Sequence[str]) -> np.ndarray:
+        """The dense RTT sub-matrix for two name sequences.
+
+        Raises ``KeyError`` for unknown names or missing pairs — the
+        same failures the scalar lookups would hit one by one.
+        """
+        self._ensure_dense()
+        try:
+            row_idx = [self._index[name] for name in rows]
+            col_idx = [self._index[name] for name in cols]
+        except KeyError as exc:
+            raise KeyError(f"no RTT recorded for node {exc.args[0]!r}") from None
+        sub = self._dense[np.ix_(row_idx, col_idx)]
+        if np.isnan(sub).any():
+            raise KeyError(f"RTT matrix is missing pairs among {len(rows)}x{len(cols)} block")
+        return sub
+
+
+def matrix_rtt_fn(matrix: Mapping[Tuple[str, str], float]) -> PairwiseRtt:
+    """An (a, b) → RTT oracle over a pairwise matrix (vectorized-capable)."""
+    return PairwiseRtt(matrix)

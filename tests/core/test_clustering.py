@@ -126,3 +126,32 @@ def test_empty_input():
     result = smf_cluster({}, SmfParams(threshold=0.1))
     assert result.clusters == []
     assert result.unclustered == []
+
+
+def test_cluster_of_consistent_for_every_member():
+    result = smf_cluster(city_maps(), SmfParams(threshold=0.1))
+    for cluster in result.clusters:
+        for member in cluster.members:
+            assert result.cluster_of(member) is cluster
+    for loner in result.unclustered:
+        assert result.cluster_of(loner) is None
+
+
+def test_cluster_of_index_built_once():
+    result = smf_cluster(city_maps(), SmfParams(threshold=0.1))
+    assert result._member_index is None  # lazy until the first lookup
+    result.cluster_of("ny1")
+    index = result._member_index
+    assert index is not None
+    result.cluster_of("ldn2")
+    assert result._member_index is index  # reused, not rebuilt
+
+
+def test_scalar_and_vectorized_clusterings_agree():
+    maps = city_maps()
+    for threshold in (0.01, 0.1, 0.5):
+        params = SmfParams(threshold=threshold, second_pass=True, seed=3)
+        vectorized = smf_cluster(maps, params)
+        scalar = smf_cluster(maps, params, vectorized=False)
+        assert vectorized.clusters == scalar.clusters
+        assert vectorized.unclustered == scalar.unclustered

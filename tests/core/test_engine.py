@@ -1,0 +1,229 @@
+"""Unit tests for the vectorized similarity engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import RatioMap
+from repro.core.engine import (
+    PackedPopulation,
+    ReplicaVocabulary,
+    clear_pack_cache,
+    packed_for,
+)
+from repro.core.similarity import SimilarityMetric, similarity
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pack_cache():
+    clear_pack_cache()
+    yield
+    clear_pack_cache()
+
+
+def _map(**ratios):
+    return RatioMap(ratios)
+
+
+@pytest.fixture
+def maps():
+    return {
+        "ny": _map(r1=0.5, r2=0.5),
+        "nj": _map(r1=0.6, r2=0.4),
+        "ldn": _map(r3=0.9, r1=0.1),
+        "akl": _map(r4=1.0),
+    }
+
+
+# -- vocabulary --------------------------------------------------------------
+
+
+def test_vocabulary_interns_in_first_seen_order():
+    vocab = ReplicaVocabulary()
+    assert vocab.intern("a") == 0
+    assert vocab.intern("b") == 1
+    assert vocab.intern("a") == 0  # stable
+    assert len(vocab) == 2
+    assert "a" in vocab and "c" not in vocab
+    assert vocab.get("c") is None
+
+
+def test_vocabulary_columns_follow_map_order():
+    vocab = ReplicaVocabulary()
+    ratio_map = _map(x=0.25, y=0.25, z=0.5)
+    columns = vocab.columns_of(ratio_map)
+    assert [vocab.get(r) for r in ratio_map] == columns.tolist()
+
+
+# -- membership and packing --------------------------------------------------
+
+
+def test_population_membership(maps):
+    population = PackedPopulation(maps)
+    assert len(population) == 4
+    assert "ny" in population and "ghost" not in population
+    assert population.names == list(maps)
+    assert population.get("ldn") is maps["ldn"]
+    with pytest.raises(KeyError):
+        population.get("ghost")
+
+
+def test_duplicate_add_rejected(maps):
+    population = PackedPopulation(maps)
+    with pytest.raises(ValueError):
+        population.add("ny", maps["ny"])
+
+
+def test_add_none_rejected():
+    population = PackedPopulation()
+    with pytest.raises(ValueError):
+        population.add("ghost", None)
+
+
+def test_remove_unknown_rejected(maps):
+    population = PackedPopulation(maps)
+    with pytest.raises(KeyError):
+        population.remove("ghost")
+
+
+def test_none_values_skipped_on_construction(maps):
+    population = PackedPopulation({**maps, "ghost": None})
+    assert len(population) == 4
+    assert "ghost" not in population
+
+
+def test_update_replaces_and_moves_to_tail(maps):
+    population = PackedPopulation(maps)
+    replacement = _map(r9=1.0)
+    population.update("ny", replacement)
+    assert population.get("ny") is replacement
+    assert population.names[-1] == "ny"
+    assert len(population) == 4
+
+
+def test_empty_population_scores():
+    population = PackedPopulation()
+    assert population.names == []
+    scores = population.scores(_map(r1=1.0))
+    assert scores.shape == (0,)
+
+
+def test_scores_after_incremental_mutations_match_scalar(maps):
+    client = _map(r1=0.7, r3=0.3)
+    population = PackedPopulation(maps)
+    population.scores(client)  # pack once, then mutate the packed state
+    population.remove("nj")
+    population.add("syd", _map(r4=0.5, r5=0.5))
+    population.update("ldn", _map(r3=1.0))
+    expected = {
+        "ny": maps["ny"],
+        "akl": maps["akl"],
+        "syd": _map(r4=0.5, r5=0.5),
+        "ldn": _map(r3=1.0),
+    }
+    for metric in SimilarityMetric:
+        scores = dict(zip(population.names, population.scores(client, metric)))
+        assert set(scores) == set(expected)
+        for name, ratio_map in expected.items():
+            assert scores[name] == pytest.approx(
+                similarity(client, ratio_map, metric), abs=1e-12
+            )
+
+
+def test_compaction_preserves_results(maps):
+    population = PackedPopulation(maps)
+    client = _map(r1=1.0)
+    population.scores(client)
+    # Tombstone a majority so the next view rebuild compacts the store.
+    population.remove("ny")
+    population.remove("nj")
+    population.remove("ldn")
+    scores = dict(zip(population.names, population.scores(client)))
+    assert set(scores) == {"akl"}
+    assert scores["akl"] == pytest.approx(similarity(client, maps["akl"]), abs=1e-12)
+    assert population._dead == 0  # the store really was compacted
+
+
+# -- similarity --------------------------------------------------------------
+
+
+def test_matrix_agrees_with_scores(maps):
+    population = PackedPopulation(maps)
+    names = population.names
+    for metric in SimilarityMetric:
+        grid = population.matrix(names, names[:2], metric)
+        for j, col in enumerate(names[:2]):
+            expected = population.scores(maps[col], metric)
+            assert np.allclose(grid[:, j], expected, atol=1e-12)
+
+
+def test_all_pairs_diagonal_and_symmetry(maps):
+    population = PackedPopulation(maps)
+    grid = population.all_pairs(SimilarityMetric.COSINE)
+    assert np.allclose(np.diag(grid), 1.0)
+    assert np.allclose(grid, grid.T, atol=1e-12)
+
+
+def test_matrix_unknown_name_raises(maps):
+    population = PackedPopulation(maps)
+    with pytest.raises(KeyError):
+        population.matrix(["ghost"], population.names)
+
+
+# -- ranking -----------------------------------------------------------------
+
+
+def test_ranked_indices_break_ties_by_name():
+    population = PackedPopulation(
+        {"zeta": _map(r=1.0), "alpha": _map(r=1.0), "mid": _map(r=0.5, s=0.5)}
+    )
+    scores = population.scores(_map(r=1.0))
+    order = population.ranked_indices(scores)
+    assert [population.names[i] for i in order] == ["alpha", "zeta", "mid"]
+
+
+def test_top_k_matches_ranked_prefix_with_ties():
+    population = PackedPopulation(
+        {
+            "zeta": _map(r=1.0),
+            "alpha": _map(r=1.0),
+            "beta": _map(r=1.0),
+            "far": _map(s=1.0),
+        }
+    )
+    scores = population.scores(_map(r=1.0))
+    full = population.ranked_indices(scores).tolist()
+    for k in range(1, 6):
+        assert population.top_k_indices(scores, k).tolist() == full[: min(k, 4)]
+
+
+# -- pack cache --------------------------------------------------------------
+
+
+def test_packed_for_caches_by_names_and_identity(maps):
+    first = packed_for(maps)
+    assert packed_for(maps) is first
+    assert packed_for(dict(maps)) is first  # same names, same map objects
+    reordered = dict(reversed(list(maps.items())))
+    assert packed_for(reordered) is not first
+
+
+def test_packed_for_skips_none(maps):
+    population = packed_for({**maps, "ghost": None})
+    assert "ghost" not in population
+    assert len(population) == 4
+
+
+def test_clear_pack_cache(maps):
+    first = packed_for(maps)
+    clear_pack_cache()
+    assert packed_for(maps) is not first
+
+
+def test_memo_cleared_on_mutation(maps):
+    population = PackedPopulation(maps)
+    population.memo["sentinel"] = ("x",)
+    population.add("syd", _map(r4=1.0))
+    assert not population.memo
+    population.memo["sentinel"] = ("x",)
+    population.remove("syd")
+    assert not population.memo

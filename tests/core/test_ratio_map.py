@@ -118,3 +118,29 @@ def test_mapping_protocol():
 def test_repr_shows_top_entries():
     ratio_map = RatioMap({"big": 0.9, "small": 0.1})
     assert "big" in repr(ratio_map)
+
+
+def test_items_by_ratio_strongest_first():
+    ratio_map = RatioMap({"mid": 0.3, "big": 0.5, "small": 0.2})
+    assert ratio_map.items_by_ratio() == [
+        ("big", 0.5),
+        ("mid", 0.3),
+        ("small", 0.2),
+    ]
+    assert ratio_map.items_by_ratio()[0] == ratio_map.strongest()
+
+
+def test_items_by_ratio_ties_break_by_name():
+    ratio_map = RatioMap({"zeta": 0.25, "alpha": 0.25, "mid": 0.5})
+    assert [r for r, _ in ratio_map.items_by_ratio()] == ["mid", "alpha", "zeta"]
+
+
+def test_sum_tolerance_constant_governs_validation():
+    from repro.core.ratio_map import _SUM_TOLERANCE
+
+    # Slack inside the tolerance is renormalised away...
+    ratio_map = RatioMap({"a": 0.5, "b": 0.5 + _SUM_TOLERANCE / 2})
+    assert sum(ratio_map.values()) == pytest.approx(1.0, abs=1e-12)
+    # ...while anything beyond it is rejected.
+    with pytest.raises(ValueError):
+        RatioMap({"a": 0.5, "b": 0.5 + _SUM_TOLERANCE * 3})

@@ -81,3 +81,50 @@ def test_alternative_metric_changes_ranking():
     jaccard_pick = select_closest(client, candidates, SimilarityMetric.JACCARD)
     assert cosine_pick.name == "same-shape"
     assert jaccard_pick.name == "same-support"
+
+
+def test_none_maps_skipped_in_top_k_and_closest(maps):
+    client, candidates = maps
+    candidates = dict(candidates)
+    candidates["ghost"] = None
+    top = select_top_k(client, candidates, len(candidates))
+    assert "ghost" not in [r.name for r in top]
+    assert len(top) == 3
+    assert select_closest(client, candidates).name == "c"
+
+
+def test_none_maps_skipped_in_scalar_path(maps):
+    client, candidates = maps
+    candidates = dict(candidates)
+    candidates["ghost"] = None
+    ranked = rank_candidates(client, candidates, vectorized=False)
+    assert "ghost" not in [r.name for r in ranked]
+
+
+def test_all_none_candidates_rank_empty(maps):
+    client, _ = maps
+    candidates = {"ghost": None, "phantom": None}
+    assert rank_candidates(client, candidates) == []
+    assert select_top_k(client, candidates, 2) == []
+    assert select_closest(client, candidates) is None
+
+
+def test_scalar_and_vectorized_agree(maps):
+    client, candidates = maps
+    for metric in SimilarityMetric:
+        vectorized = rank_candidates(client, candidates, metric)
+        scalar = rank_candidates(client, candidates, metric, vectorized=False)
+        assert [r.name for r in vectorized] == [r.name for r in scalar]
+        for vec, ref in zip(vectorized, scalar):
+            assert vec.score == pytest.approx(ref.score, abs=1e-12)
+
+
+def test_repeat_query_returns_fresh_equal_list(maps):
+    """The memoized path must hand each caller an independent list."""
+    client, candidates = maps
+    first = rank_candidates(client, candidates)
+    second = rank_candidates(client, candidates)
+    assert first == second
+    assert first is not second
+    first.reverse()  # a caller mangling its copy must not poison the memo
+    assert rank_candidates(client, candidates) == second
