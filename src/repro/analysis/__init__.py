@@ -9,9 +9,11 @@ from repro.analysis.stats import (
     rank_of,
     sorted_series,
 )
+from repro.analysis.resilience import resilience_snapshot
 from repro.analysis.tables import format_series, format_table
 
 __all__ = [
+    "resilience_snapshot",
     "cdf_points",
     "fraction_within",
     "mean",

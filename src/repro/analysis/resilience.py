@@ -1,0 +1,54 @@
+"""Resilience accounting: one flat counter snapshot per scenario.
+
+Chaos experiments need to report *what actually happened* alongside
+accuracy numbers — how many fault episodes fired, how many probes
+failed and were retried, how many nodes sat in each health state, how
+long quarantined nodes took to come back.  Every substrate already
+keeps its own counters; this module flattens them into a single
+``str → number`` dict suitable for tables and JSON artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Union
+
+from repro.analysis.stats import mean
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.workloads.scenario import Scenario
+
+Number = Union[int, float]
+
+
+def resilience_snapshot(scenario: "Scenario") -> Dict[str, Number]:
+    """Flatten a scenario's failure/health counters into one dict.
+
+    Keys are namespaced (``crp.*``, ``health.*``, ``chaos.*``,
+    ``dns.*``, ``cdn.*``) so snapshots from different runs line up
+    column-for-column in reports.
+    """
+    crp = scenario.crp
+    snapshot: Dict[str, Number] = {
+        "crp.probes_issued": crp.probes_issued,
+        "crp.probe_failures": crp.probe_failures,
+        "crp.probe_retries": crp.probe_retries,
+        "crp.recovery_probes": crp.recovery_probes,
+        "crp.stale_answers": crp.stale_answers,
+        "crp.recoveries": len(crp.recovery_times_s),
+        "crp.mean_recovery_s": (
+            mean(crp.recovery_times_s) if crp.recovery_times_s else 0.0
+        ),
+    }
+    for state, count in sorted(crp.health_summary().items()):
+        snapshot[f"health.{state}"] = count
+    snapshot["dns.authority_queries_failed_down"] = sum(
+        getattr(server, "queries_failed_down", 0)
+        for server in scenario.infrastructure.servers
+    )
+    snapshot["cdn.stale_rankings_served"] = scenario.cdn.mapping.stale_rankings_served
+    snapshot["cdn.replicas_down"] = len(scenario.cdn.deployment.down_addresses)
+    chaos = getattr(scenario, "chaos", None)
+    if chaos is not None:
+        for key, value in chaos.counters().items():
+            snapshot[f"chaos.{key}"] = value
+    return snapshot

@@ -103,6 +103,14 @@ class MappingSystem:
         self._load_epoch = -1
         self._load: Dict[str, int] = {}
         self.measurements_taken = 0
+        #: Staleness injection (fault layer): while frozen, the mapping
+        #: keeps serving each resolver's last measured ranking instead
+        #: of refreshing per epoch — the behaviour of a mapping system
+        #: whose measurement backend has wedged while its DNS frontend
+        #: keeps answering (YouLighter's "abrupt cache-fleet change"
+        #: episodes look exactly like this from the outside).
+        self.frozen = False
+        self.stale_rankings_served = 0
 
     # -- candidate pools ---------------------------------------------------
 
@@ -145,6 +153,10 @@ class MappingSystem:
         epoch = self.current_epoch()
         cached = self._rankings.get(ldns.host_id)
         if cached is not None and cached[0] == epoch:
+            return cached[1]
+        if cached is not None and self.frozen:
+            # Measurement backend wedged: keep serving the stale epoch.
+            self.stale_rankings_served += 1
             return cached[1]
         pool = self.candidate_pool(ldns)
         providers = set(self.network.topology.registry.transit_providers_of(ldns.asn))

@@ -36,7 +36,15 @@ from repro.core.clustering import (
     smf_cluster,
 )
 from repro.core.quality import ClusterQuality, evaluate_cluster, evaluate_clustering, good_cluster_buckets
-from repro.core.service import CRPService, CRPServiceParams
+from repro.core.service import (
+    CRPService,
+    CRPServiceParams,
+    NodeHealth,
+    NodeState,
+    PositioningAnswer,
+    ProbePolicy,
+    UnknownNodeError,
+)
 from repro.core.filters import NameQualityFilter, NameVerdict
 from repro.core.exchange import (
     LocalPositioning,
@@ -72,6 +80,11 @@ __all__ = [
     "good_cluster_buckets",
     "CRPService",
     "CRPServiceParams",
+    "NodeHealth",
+    "NodeState",
+    "PositioningAnswer",
+    "ProbePolicy",
+    "UnknownNodeError",
     "NameQualityFilter",
     "NameVerdict",
     "LocalPositioning",

@@ -18,12 +18,32 @@ hand the *same* :class:`~repro.core.ratio_map.RatioMap` objects to the
 ranking path — which lets the vectorized engine
 (:mod:`repro.core.engine`) reuse one packed candidate population for
 every client instead of repacking per query.
+
+Resilience (the degradation story the paper's Meridian comparison
+motivates) is layered on without touching the happy path:
+
+* A :class:`ProbePolicy` adds sim-time retry with exponential backoff
+  and a per-round deadline budget to active probing.
+* Each active node carries a :class:`NodeHealth` state machine
+  (healthy → degraded → quarantined); quarantined nodes drop out of
+  the regular probe rotation and receive periodic recovery probes that
+  bring them back the moment their resolver answers again.
+* :meth:`CRPService.position` answers positioning questions with
+  staleness and confidence metadata — falling back to the last good
+  ratio map when a node's window has gone dark — instead of silently
+  returning an empty ranking.
+
+The default :class:`ProbePolicy` keeps all of this inert (single
+attempt, no quarantine), so existing experiments are bit-identical;
+:meth:`ProbePolicy.resilient` is the operating point chaos experiments
+use.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.clustering import ClusteringResult, SmfParams, smf_cluster
 from repro.core.ratio_map import RatioMap
@@ -32,6 +52,159 @@ from repro.core.similarity import SimilarityMetric
 from repro.core.tracker import Observation, RedirectionTracker
 from repro.dnssim.resolver import RecursiveResolver, ResolutionError
 from repro.netsim.clock import SimClock
+
+
+class UnknownNodeError(KeyError):
+    """A service call named a node that is not registered.
+
+    Subclasses :class:`KeyError` so callers that guarded the old bare
+    ``KeyError`` keep working, but the message now names the node.
+    """
+
+    def __init__(self, node: str) -> None:
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:
+        return f"node {self.node!r} is not registered with this CRP service"
+
+
+class NodeState(str, Enum):
+    """Health of an actively probed node."""
+
+    HEALTHY = "healthy"
+    DEGRADED = "degraded"
+    QUARANTINED = "quarantined"
+
+
+@dataclass
+class NodeHealth:
+    """One node's probe-health bookkeeping (see :class:`ProbePolicy`)."""
+
+    state: NodeState = NodeState.HEALTHY
+    #: Consecutive probe rounds in which *every* lookup failed.
+    consecutive_failed_rounds: int = 0
+    last_success_at: Optional[float] = None
+    quarantined_at: Optional[float] = None
+    #: Round index at which the node entered quarantine.
+    quarantined_round: Optional[int] = None
+    quarantines: int = 0
+    recoveries: int = 0
+
+
+@dataclass(frozen=True)
+class ProbePolicy:
+    """Retry, backoff and health-transition rules for active probing.
+
+    The default policy reproduces the legacy behaviour exactly: one
+    attempt per lookup, failures counted and skipped, no quarantine.
+    Retries advance the *simulated* clock by the backoff delay — a real
+    client waits out its timeout — bounded per probe round by
+    ``round_deadline_s`` so a wedged resolver cannot stall the round.
+    """
+
+    #: Lookup attempts per customer name per round (1 = no retries).
+    max_attempts: int = 1
+    #: First retry backoff, simulated seconds.
+    backoff_base_s: float = 2.0
+    #: Backoff multiplier per further retry.
+    backoff_multiplier: float = 2.0
+    #: Total backoff budget per probe round per node (None = unbounded).
+    round_deadline_s: Optional[float] = 30.0
+    #: Consecutive fully-failed rounds before a node counts as degraded
+    #: (None disables the transition).
+    degraded_after: Optional[int] = 2
+    #: Consecutive fully-failed rounds before quarantine (None disables
+    #: quarantine entirely — the legacy default).
+    quarantine_after: Optional[int] = None
+    #: While quarantined, the node gets one recovery probe every this
+    #: many rounds instead of the full per-name probe.
+    recovery_interval_rounds: int = 3
+    #: A map older than this counts as stale in positioning answers.
+    stale_after_s: float = 3600.0
+    #: Serve the last good ratio map (marked stale) when a node's
+    #: current window is empty.
+    stale_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s cannot be negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+        if self.round_deadline_s is not None and self.round_deadline_s < 0:
+            raise ValueError("round_deadline_s cannot be negative")
+        for name in ("degraded_after", "quarantine_after"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be at least 1 (or None)")
+        if (
+            self.degraded_after is not None
+            and self.quarantine_after is not None
+            and self.quarantine_after < self.degraded_after
+        ):
+            raise ValueError("quarantine_after cannot come before degraded_after")
+        if self.recovery_interval_rounds < 1:
+            raise ValueError("recovery_interval_rounds must be at least 1")
+        if self.stale_after_s <= 0:
+            raise ValueError("stale_after_s must be positive")
+
+    @classmethod
+    def resilient(cls) -> "ProbePolicy":
+        """The chaos-experiment operating point: retries on, health
+        machine armed."""
+        return cls(
+            max_attempts=3,
+            backoff_base_s=2.0,
+            backoff_multiplier=2.0,
+            round_deadline_s=30.0,
+            degraded_after=2,
+            quarantine_after=4,
+            recovery_interval_rounds=3,
+        )
+
+
+#: Confidence weight per health state (see :meth:`CRPService.position`).
+_STATE_CONFIDENCE = {
+    NodeState.HEALTHY: 1.0,
+    NodeState.DEGRADED: 0.7,
+    NodeState.QUARANTINED: 0.4,
+}
+
+#: Confidence multiplier applied to stale answers.
+_STALE_CONFIDENCE = 0.5
+
+
+@dataclass(frozen=True)
+class PositioningAnswer:
+    """A ranking plus the metadata that says how much to trust it.
+
+    ``confidence`` composes the client's health state with map
+    freshness: 1.0 is a healthy client ranked from a fresh window;
+    a quarantined client answered from a stale fallback map bottoms
+    out at 0.2; no map at all is 0.0 (and an empty ranking).
+    """
+
+    client: str
+    ranked: Tuple[RankedCandidate, ...]
+    #: True when the map is older than the policy's staleness horizon
+    #: or was served from the last-good fallback.
+    stale: bool
+    #: [0, 1] — see class docstring.
+    confidence: float
+    #: Age of the newest observation behind the map (None = no map).
+    map_age_s: Optional[float]
+    client_state: NodeState
+
+    @property
+    def answerable(self) -> bool:
+        """False when the service had nothing at all to rank with."""
+        return bool(self.ranked)
+
+    def top(self, k: int) -> Tuple[RankedCandidate, ...]:
+        """The best ``k`` candidates."""
+        return self.ranked[:k]
 
 
 @dataclass(frozen=True)
@@ -48,6 +221,8 @@ class CRPServiceParams:
     metric: SimilarityMetric = SimilarityMetric.COSINE
     #: Probes needed before a node is considered positioned.
     bootstrap_min_probes: int = 1
+    #: Retry/backoff/health policy for active probing.
+    probe_policy: ProbePolicy = ProbePolicy()
 
     def __post_init__(self) -> None:
         if not self.customer_names:
@@ -64,12 +239,27 @@ class CRPService:
         self.params = params
         self._resolvers: Dict[str, RecursiveResolver] = {}
         self._trackers: Dict[str, RedirectionTracker] = {}
-        #: (node, window) → (tracker version, map) — see module docstring.
+        self._health: Dict[str, NodeHealth] = {}
+        #: node → window → (tracker version, map).  Entries from
+        #: superseded tracker versions are evicted the first time a
+        #: newer version is seen, so ad-hoc window overrides cannot
+        #: accumulate stale keys forever.
         self._map_cache: Dict[
-            Tuple[str, Optional[int]], Tuple[int, Optional[RatioMap]]
+            str, Dict[Optional[int], Tuple[int, Optional[RatioMap]]]
         ] = {}
+        #: node → window → (observed-at, map): the last non-empty map,
+        #: kept for stale-fallback positioning when a window goes dark.
+        self._last_good: Dict[
+            str, Dict[Optional[int], Tuple[float, RatioMap]]
+        ] = {}
+        self._round_index = 0
         self.probes_issued = 0
         self.probe_failures = 0
+        self.probe_retries = 0
+        self.recovery_probes = 0
+        self.stale_answers = 0
+        #: Sim-seconds from quarantine entry to recovery, per recovery.
+        self.recovery_times_s: List[float] = []
 
     # -- membership --------------------------------------------------------
 
@@ -85,13 +275,17 @@ class CRPService:
             raise ValueError(f"node {name!r} already registered")
         self._resolvers[name] = resolver
         self._trackers[name] = RedirectionTracker(name)
+        self._health[name] = NodeHealth()
 
     def unregister_node(self, name: str) -> None:
         """Remove a node and its history (churn support)."""
+        if name not in self._resolvers:
+            raise UnknownNodeError(name)
         del self._resolvers[name]
         del self._trackers[name]
-        for key in [k for k in self._map_cache if k[0] == name]:
-            del self._map_cache[key]
+        del self._health[name]
+        self._map_cache.pop(name, None)
+        self._last_good.pop(name, None)
 
     @property
     def nodes(self) -> List[str]:
@@ -100,47 +294,156 @@ class CRPService:
 
     def tracker(self, name: str) -> RedirectionTracker:
         """A node's redirection history."""
-        return self._trackers[name]
+        try:
+            return self._trackers[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    # -- health ------------------------------------------------------------
+
+    def health(self, name: str) -> NodeHealth:
+        """A node's probe-health record."""
+        try:
+            return self._health[name]
+        except KeyError:
+            raise UnknownNodeError(name) from None
+
+    def health_summary(self) -> Dict[str, int]:
+        """Node counts per health state (active nodes only)."""
+        counts = {state.value: 0 for state in NodeState}
+        for name, health in self._health.items():
+            if self._resolvers[name] is not None:
+                counts[health.state.value] += 1
+        return counts
+
+    def quarantined_nodes(self) -> List[str]:
+        """Names currently quarantined, sorted."""
+        return sorted(
+            name
+            for name, health in self._health.items()
+            if health.state is NodeState.QUARANTINED
+        )
+
+    def _record_round_outcome(self, node: str, succeeded: bool) -> None:
+        """Advance the health state machine after one probe round."""
+        health = self._health[node]
+        policy = self.params.probe_policy
+        now = self.clock.now
+        if succeeded:
+            if health.state is NodeState.QUARANTINED:
+                health.recoveries += 1
+                if health.quarantined_at is not None:
+                    self.recovery_times_s.append(now - health.quarantined_at)
+            health.state = NodeState.HEALTHY
+            health.consecutive_failed_rounds = 0
+            health.last_success_at = now
+            health.quarantined_at = None
+            health.quarantined_round = None
+            return
+        health.consecutive_failed_rounds += 1
+        failed = health.consecutive_failed_rounds
+        if (
+            policy.quarantine_after is not None
+            and failed >= policy.quarantine_after
+            and health.state is not NodeState.QUARANTINED
+        ):
+            health.state = NodeState.QUARANTINED
+            health.quarantines += 1
+            health.quarantined_at = now
+            health.quarantined_round = self._round_index
+        elif (
+            policy.degraded_after is not None
+            and failed >= policy.degraded_after
+            and health.state is NodeState.HEALTHY
+        ):
+            health.state = NodeState.DEGRADED
 
     # -- probing ------------------------------------------------------------
+
+    def _resolve_with_retry(self, resolver, customer_name, budget: List[float]):
+        """One lookup under the probe policy; returns a result or None.
+
+        ``budget`` is a single-cell mutable holding the remaining
+        backoff budget for this probe round (shared across names).
+        """
+        policy = self.params.probe_policy
+        backoff = policy.backoff_base_s
+        for attempt in range(policy.max_attempts):
+            self.probes_issued += 1
+            if attempt > 0:
+                self.probe_retries += 1
+            try:
+                return resolver.resolve(customer_name)
+            except ResolutionError:
+                self.probe_failures += 1
+                if attempt + 1 >= policy.max_attempts:
+                    return None
+                if budget[0] < backoff:
+                    return None  # round deadline: stop retrying this name
+                budget[0] -= backoff
+                self.clock.advance(backoff)
+                backoff *= policy.backoff_multiplier
+        return None
 
     def probe(self, node: str) -> List[Observation]:
         """Actively probe all customer names once for one node.
 
-        Failed lookups are counted and skipped — a flaky resolver
-        degrades gracefully rather than wedging the probe loop.
+        Failed lookups are retried under the probe policy (sim-time
+        backoff within the round's deadline budget), then counted and
+        skipped — a flaky resolver degrades gracefully rather than
+        wedging the probe loop.  The node's health state advances on
+        the round's outcome.
         """
-        resolver = self._resolvers[node]
+        resolver = self._resolvers.get(node)
+        if node not in self._resolvers:
+            raise UnknownNodeError(node)
         if resolver is None:
             raise ValueError(f"node {node!r} is passive-only and cannot be probed")
         tracker = self._trackers[node]
+        policy = self.params.probe_policy
+        deadline = policy.round_deadline_s
+        budget = [float("inf") if deadline is None else deadline]
         recorded = []
         for customer_name in self.params.customer_names:
-            self.probes_issued += 1
-            try:
-                result = resolver.resolve(customer_name)
-            except ResolutionError:
-                self.probe_failures += 1
-                continue
-            if result.addresses:
+            result = self._resolve_with_retry(resolver, customer_name, budget)
+            if result is not None and result.addresses:
                 recorded.append(
                     tracker.observe(self.clock.now, customer_name, result.addresses)
                 )
+        self._record_round_outcome(node, succeeded=bool(recorded))
         return recorded
 
     def probe_all(self) -> int:
-        """One probe round over every active node (passive-only nodes
-        are skipped); returns observations made."""
-        return sum(
-            len(self.probe(node))
-            for node in self.nodes
-            if self._resolvers[node] is not None
-        )
+        """One probe round over every active node; returns observations
+        made.
+
+        Passive-only nodes are skipped.  Quarantined nodes leave the
+        regular rotation: they get a single recovery probe every
+        ``recovery_interval_rounds`` rounds and re-enter service on the
+        first success.
+        """
+        policy = self.params.probe_policy
+        total = 0
+        for node in self.nodes:
+            if self._resolvers[node] is None:
+                continue
+            health = self._health[node]
+            if (
+                health.state is NodeState.QUARANTINED
+                and health.quarantined_round is not None
+            ):
+                rounds_in = self._round_index - health.quarantined_round
+                if rounds_in % policy.recovery_interval_rounds != 0:
+                    continue
+                self.recovery_probes += 1
+            total += len(self.probe(node))
+        self._round_index += 1
+        return total
 
     def observe(self, node: str, customer_name: str, addresses: Sequence[str]) -> None:
         """Ingest a passively-seen redirection (Section VI's zero-probe
         mode: reuse user-generated DNS translations)."""
-        self._trackers[node].observe(self.clock.now, customer_name, addresses)
+        self.tracker(node).observe(self.clock.now, customer_name, addresses)
 
     # -- positioning -----------------------------------------------------------
 
@@ -159,18 +462,33 @@ class CRPService:
         Maps are cached against the node's tracker version: between
         probe rounds, repeated queries return the identical object, so
         the vectorized engine's packed-population cache stays hot.
+        When the tracker moves on, every cached window from the
+        superseded version is evicted at once.
         """
-        tracker = self._trackers[node]
+        tracker = self.tracker(node)
         if tracker.probe_count < self.params.bootstrap_min_probes:
             return None
         if window_probes == -1:
             window_probes = self.params.window_probes
-        key = (node, window_probes)
-        cached = self._map_cache.get(key)
+        node_cache = self._map_cache.setdefault(node, {})
+        cached = node_cache.get(window_probes)
         if cached is not None and cached[0] == tracker.version:
             return cached[1]
+        # Superseded: drop every window cached against an old version.
+        stale_windows = [
+            window
+            for window, (version, _) in node_cache.items()
+            if version != tracker.version
+        ]
+        for window in stale_windows:
+            del node_cache[window]
         ratio_map = tracker.ratio_map(window_probes=window_probes)
-        self._map_cache[key] = (tracker.version, ratio_map)
+        node_cache[window_probes] = (tracker.version, ratio_map)
+        if ratio_map is not None and tracker.last_observation_at is not None:
+            self._last_good.setdefault(node, {})[window_probes] = (
+                tracker.last_observation_at,
+                ratio_map,
+            )
         return ratio_map
 
     def ratio_maps(
@@ -183,6 +501,80 @@ class CRPService:
             nodes = self.nodes
         return {n: self.ratio_map(n, window_probes=window_probes) for n in nodes}
 
+    def _map_with_fallback(
+        self, node: str, window_probes: Optional[int]
+    ) -> Tuple[Optional[RatioMap], Optional[float], bool]:
+        """A node's map plus (observed-at, served-stale) for metadata.
+
+        Prefers the fresh window; when it is empty and the policy
+        allows, serves the last good map for the same window instead.
+        """
+        fresh = self.ratio_map(node, window_probes=window_probes)
+        if window_probes == -1:
+            window_probes = self.params.window_probes
+        if fresh is not None:
+            tracker = self._trackers[node]
+            return fresh, tracker.last_observation_at, False
+        if not self.params.probe_policy.stale_fallback:
+            return None, None, False
+        held = self._last_good.get(node, {}).get(window_probes)
+        if held is None:
+            return None, None, False
+        observed_at, ratio_map = held
+        return ratio_map, observed_at, True
+
+    def position(
+        self,
+        client: str,
+        candidates: Sequence[str],
+        window_probes: Optional[int] = -1,
+    ) -> PositioningAnswer:
+        """Rank candidates for a client, with degradation metadata.
+
+        Unlike :meth:`rank_servers` (which silently returns an empty
+        list), the answer says *why* it should or should not be
+        trusted: the client's health state, the age of the map behind
+        the ranking, whether a stale fallback was used, and a scalar
+        confidence composing the two.
+        """
+        if client not in self._resolvers:
+            raise UnknownNodeError(client)
+        client_map, observed_at, from_fallback = self._map_with_fallback(
+            client, window_probes
+        )
+        state = self._health[client].state
+        now = self.clock.now
+        age = None if observed_at is None else max(0.0, now - observed_at)
+        if client_map is None:
+            return PositioningAnswer(
+                client=client,
+                ranked=(),
+                stale=False,
+                confidence=0.0,
+                map_age_s=None,
+                client_state=state,
+            )
+        candidate_maps = {
+            name: self.ratio_map(name, window_probes=window_probes)
+            for name in candidates
+            if name != client
+        }
+        ranked = rank_candidates(client_map, candidate_maps, self.params.metric)
+        stale = from_fallback or (
+            age is not None and age > self.params.probe_policy.stale_after_s
+        )
+        if stale:
+            self.stale_answers += 1
+        confidence = _STATE_CONFIDENCE[state] * (_STALE_CONFIDENCE if stale else 1.0)
+        return PositioningAnswer(
+            client=client,
+            ranked=tuple(ranked),
+            stale=stale,
+            confidence=confidence,
+            map_age_s=age,
+            client_state=state,
+        )
+
     def rank_servers(
         self,
         client: str,
@@ -191,7 +583,8 @@ class CRPService:
     ) -> List[RankedCandidate]:
         """Candidates ranked by similarity to the client, best first.
 
-        Returns an empty list when the client has no map yet.
+        Returns an empty list when the client has no map yet (see
+        :meth:`position` for the metadata-carrying variant).
         """
         client_map = self.ratio_map(client, window_probes=window_probes)
         if client_map is None:

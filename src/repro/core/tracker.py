@@ -97,6 +97,12 @@ class RedirectionTracker:
         """The full log, oldest first."""
         return tuple(self._log)
 
+    @property
+    def last_observation_at(self) -> Optional[float]:
+        """Timestamp of the newest observation (None when empty) —
+        what staleness metadata on positioning answers is aged against."""
+        return self._log[-1].at if self._log else None
+
     def names_seen(self) -> Tuple[str, ...]:
         """CDN customer names with at least one observation, sorted."""
         return tuple(sorted({o.name for o in self._log}))

@@ -39,6 +39,19 @@ class AuthoritativeServer(abc.ABC):
         self.host = host
         self.zones: Tuple[str, ...] = tuple(normalize_name(z) for z in zones)
         self.queries_served = 0
+        #: Outage injection (fault layer): a down server answers every
+        #: query SERVFAIL, as an unreachable or crashed nameserver looks
+        #: to a retrying resolver once its own timeout fires.
+        self.available = True
+        self.queries_failed_down = 0
+
+    def fail(self) -> None:
+        """Take the server down (every answer becomes SERVFAIL)."""
+        self.available = False
+
+    def restore(self) -> None:
+        """Bring the server back."""
+        self.available = True
 
     def serves(self, name: str) -> bool:
         """True when ``name`` falls inside one of this server's zones."""
@@ -47,6 +60,15 @@ class AuthoritativeServer(abc.ABC):
     def answer(self, question: Question, ldns: Host, now: float) -> DnsResponse:
         """Answer a question from a resolver (``ldns``) at time ``now``."""
         self.queries_served += 1
+        if not self.available:
+            self.queries_failed_down += 1
+            return DnsResponse(
+                question=question,
+                records=(),
+                rcode=Rcode.SERVFAIL,
+                authoritative=False,
+                server_name=self.host.name,
+            )
         if not self.serves(question.name):
             return DnsResponse(
                 question=question,

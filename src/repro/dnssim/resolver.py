@@ -78,11 +78,16 @@ class RecursiveResolver:
         recursion_available: bool = True,
         failure_rate: float = 0.0,
         negative_ttl: float = 60.0,
+        negative_cache_entries: int = 1024,
     ) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
         if negative_ttl < 0:
             raise ValueError(f"negative_ttl cannot be negative, got {negative_ttl}")
+        if negative_cache_entries < 1:
+            raise ValueError(
+                f"negative_cache_entries must be at least 1, got {negative_cache_entries}"
+            )
         self.host = host
         self.infrastructure = infrastructure
         self.network = network
@@ -91,6 +96,10 @@ class RecursiveResolver:
         #: resolvers do (RFC 2308) — repeated lookups of a missing name
         #: must not hammer the authoritative server.
         self.negative_ttl = negative_ttl
+        #: Bounded like :class:`TtlCache`: expired entries are evicted
+        #: on lookup, and the cache never holds more than
+        #: ``negative_cache_entries`` names (soonest-to-expire go first).
+        self.negative_cache_entries = negative_cache_entries
         self._negative: dict = {}
         #: Open resolvers answer anyone; closed ones refuse external
         #: clients (the King data-set filter drops those).
@@ -127,11 +136,13 @@ class RecursiveResolver:
         current = question
         for _ in range(MAX_CHAIN_DEPTH):
             negative_until = self._negative.get((current.name, current.rtype))
-            if negative_until is not None and now < negative_until:
-                raise ResolutionError(
-                    f"{current.name}: NXDOMAIN (negative cache)",
-                    rcode=Rcode.NXDOMAIN,
-                )
+            if negative_until is not None:
+                if now < negative_until:
+                    raise ResolutionError(
+                        f"{current.name}: NXDOMAIN (negative cache)",
+                        rcode=Rcode.NXDOMAIN,
+                    )
+                del self._negative[(current.name, current.rtype)]
             cached = self.cache.get(current, now)
             if cached is not None:
                 records = cached
@@ -145,6 +156,8 @@ class RecursiveResolver:
                         self._negative[(current.name, current.rtype)] = (
                             now + self.negative_ttl
                         )
+                        if len(self._negative) > self.negative_cache_entries:
+                            self._prune_negative(now)
                     raise ResolutionError(
                         f"{current.name}: {response.rcode.value} from {response.server_name}",
                         rcode=response.rcode,
@@ -171,6 +184,18 @@ class RecursiveResolver:
                 f"{current.name}: empty answer", rcode=Rcode.SERVFAIL
             )
         raise ResolutionError(f"{question.name}: CNAME chain too long")
+
+    def _prune_negative(self, now: float) -> None:
+        """Drop expired negative entries; if the cache is still over
+        its cap, evict the soonest-to-expire entries."""
+        expired = [key for key, until in self._negative.items() if until <= now]
+        for key in expired:
+            del self._negative[key]
+        overflow = len(self._negative) - self.negative_cache_entries
+        if overflow > 0:
+            by_expiry = sorted(self._negative.items(), key=lambda kv: (kv[1], kv[0]))
+            for key, _ in by_expiry[:overflow]:
+                del self._negative[key]
 
     def _ask_authority(self, question: Question, now: float) -> DnsResponse:
         """One authoritative exchange, with its network cost."""

@@ -18,6 +18,7 @@ Figure 9    :mod:`repro.experiments.fig9_window`
 Table I     :mod:`repro.experiments.table1_summary`
 §II claim   :mod:`repro.experiments.detour`
 §VI claim   :mod:`repro.experiments.overhead`
+§V claim    :mod:`repro.experiments.chaos`
 ==========  ====================================================
 """
 

@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from repro.experiments.chaos import run_chaos
 from repro.experiments.clustering import run_clustering_study
 from repro.experiments.detour import run_detour
 from repro.experiments.fig4_closest import run_fig4
@@ -116,6 +117,20 @@ def _run_overhead(scale: str) -> Dict[str, str]:
     return {"overhead": result.report()}
 
 
+def _run_chaos(scale: str) -> Dict[str, str]:
+    clients, candidates, rounds, _ = SCALES[scale]
+    params = ScenarioParams(
+        seed=13,
+        dns_servers=clients,
+        planetlab_nodes=candidates,
+        build_meridian=False,
+        king_weight_power=1.0,
+        king_rural_fraction=0.25,
+    )
+    result = run_chaos(params, rounds=rounds)
+    return {"chaos": result.report()}
+
+
 #: experiment key → producer of {name: report}.
 EXPERIMENTS: Dict[str, Callable[[str], Dict[str, str]]] = {
     "fig4": _run_fig4_fig5,
@@ -127,6 +142,7 @@ EXPERIMENTS: Dict[str, Callable[[str], Dict[str, str]]] = {
     "fig9": _run_fig9,
     "detour": _run_detour,
     "overhead": _run_overhead,
+    "chaos": _run_chaos,
 }
 
 

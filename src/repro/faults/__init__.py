@@ -1,0 +1,40 @@
+"""Deterministic chaos: seeded fault schedules over every substrate.
+
+The reproduction's failure story used to be scattered — a static
+``failure_rate`` on resolvers, manual ``ReplicaServer.fail()`` calls,
+Meridian's own :class:`~repro.meridian.failures.FailurePlan`.  This
+package unifies them behind one seeded scheduler:
+
+* :class:`~repro.faults.schedule.FaultSchedule` draws failure episodes
+  (resolver SERVFAIL bursts, authoritative outages, replica outages,
+  mapping staleness, regional degradation) from per-target Poisson
+  processes on the simulated clock.
+* :class:`~repro.faults.controller.ChaosController` enacts the
+  schedule: as the clock crosses episode boundaries it flips the
+  substrate knobs on and back off, depth-counting overlaps.
+
+The layer is strictly opt-in: a scenario without a controller touches
+none of these code paths and stays bit-identical under the same seed.
+"""
+
+from repro.faults.controller import ChaosController
+from repro.faults.schedule import (
+    ENACTED_KINDS,
+    ChaosParams,
+    EpisodeParams,
+    FaultEpisode,
+    FaultKind,
+    FaultSchedule,
+    episodes_from_failure_plan,
+)
+
+__all__ = [
+    "ENACTED_KINDS",
+    "ChaosController",
+    "ChaosParams",
+    "EpisodeParams",
+    "FaultEpisode",
+    "FaultKind",
+    "FaultSchedule",
+    "episodes_from_failure_plan",
+]

@@ -1,0 +1,191 @@
+"""The chaos controller: enacting a fault schedule against live substrates.
+
+:class:`ChaosController` holds handles to the substrates a scenario
+wires together — resolvers, the DNS infrastructure, the CDN replica
+deployment and mapping system, the congestion field — plus a
+:class:`~repro.faults.schedule.FaultSchedule`, and replays the
+schedule's episode boundaries as the simulated clock advances:
+
+* ``RESOLVER_FLAKY`` — swaps the target resolver's ``failure_rate`` up
+  to the episode intensity, restoring the original afterwards.
+* ``AUTHORITY_OUTAGE`` — ``fail()``/``restore()`` on the authoritative
+  server owning the target zone.
+* ``REPLICA_OUTAGE`` — ``fail()``/``restore()`` on the replica
+  deployment; the mapping routes around the dead box next epoch.
+* ``MAPPING_STALE`` — freezes the mapping system's rankings (stale
+  epochs keep being served) for the episode.
+* ``REGIONAL_CONGESTION`` — installs a
+  :class:`~repro.netsim.dynamics.RegionalSurge` on the congestion field
+  (the surge itself is time-bounded, so enactment is install-once).
+
+Everything is idempotent and re-entrant: overlapping episodes on the
+same target are depth-counted, so the substrate only reverts when the
+*last* overlapping episode ends.  ``sync(now)`` may be called as often
+or as rarely as the driver likes — boundaries are replayed in time
+order regardless of step size — but never backwards (simulated time is
+monotonic everywhere in this reproduction).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.cdn.mapping import MappingSystem
+from repro.cdn.replica import ReplicaDeployment
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.resolver import RecursiveResolver
+from repro.faults.schedule import FaultEpisode, FaultKind, FaultSchedule
+from repro.netsim.dynamics import CongestionField, RegionalSurge
+
+
+class ChaosController:
+    """Drives one fault schedule against a scenario's substrates."""
+
+    def __init__(
+        self,
+        schedule: FaultSchedule,
+        *,
+        resolvers: Optional[Mapping[str, RecursiveResolver]] = None,
+        infrastructure: Optional[DnsInfrastructure] = None,
+        deployment: Optional[ReplicaDeployment] = None,
+        mapping: Optional[MappingSystem] = None,
+        congestion: Optional[CongestionField] = None,
+    ) -> None:
+        self.schedule = schedule
+        self._resolvers = resolvers or {}
+        self._infrastructure = infrastructure
+        self._deployment = deployment
+        self._mapping = mapping
+        self._congestion = congestion
+        #: (time, is_end, episode) boundaries, ends before starts on ties
+        #: so back-to-back episodes on one target hand over cleanly.
+        boundaries: List[Tuple[float, int, int, FaultEpisode]] = []
+        for index, episode in enumerate(schedule.episodes):
+            boundaries.append((episode.start, 1, index, episode))
+            boundaries.append((episode.end, 0, index, episode))
+        boundaries.sort(key=lambda b: (b[0], b[1], b[2]))
+        self._boundaries = boundaries
+        self._cursor = 0
+        self._now = float("-inf")
+        #: Depth counters for overlapping episodes per (kind, target).
+        self._depth: Counter = Counter()
+        #: Saved resolver failure rates while flaky episodes are active.
+        self._saved_failure_rate: Dict[str, float] = {}
+        self._active: Dict[int, FaultEpisode] = {}
+        self.episodes_started: Counter = Counter()
+        self.episodes_ended: Counter = Counter()
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def active_episodes(self) -> List[FaultEpisode]:
+        """Episodes currently enacted, in start order."""
+        return sorted(
+            self._active.values(), key=lambda e: (e.start, e.kind.value, e.target)
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Started/ended episode counts per kind (flat, for export)."""
+        flat: Dict[str, int] = {}
+        for kind, count in sorted(self.episodes_started.items()):
+            flat[f"started.{kind.value}"] = count
+        for kind, count in sorted(self.episodes_ended.items()):
+            flat[f"ended.{kind.value}"] = count
+        flat["active"] = len(self._active)
+        return flat
+
+    # -- enactment ---------------------------------------------------------
+
+    def sync(self, now: float) -> int:
+        """Replay episode boundaries up to ``now``; returns boundaries
+        crossed.  ``now`` must not move backwards."""
+        if now < self._now:
+            raise ValueError(f"chaos cannot run backwards: {now} < {self._now}")
+        self._now = now
+        crossed = 0
+        while self._cursor < len(self._boundaries):
+            at, is_start, index, episode = self._boundaries[self._cursor]
+            # Starts apply at their timestamp; an end at exactly ``now``
+            # also applies (the window is [start, end)).
+            if at > now:
+                break
+            if is_start:
+                self._apply(index, episode)
+            else:
+                self._revert(index, episode)
+            self._cursor += 1
+            crossed += 1
+        return crossed
+
+    def _apply(self, index: int, episode: FaultEpisode) -> None:
+        self._active[index] = episode
+        self.episodes_started[episode.kind] += 1
+        key = (episode.kind, episode.target)
+        first = self._depth[key] == 0
+        self._depth[key] += 1
+        kind, target = episode.kind, episode.target
+        if kind is FaultKind.RESOLVER_FLAKY:
+            resolver = self._resolvers.get(target)
+            if resolver is not None:
+                if first:
+                    self._saved_failure_rate[target] = resolver.failure_rate
+                resolver.failure_rate = min(0.999, max(
+                    resolver.failure_rate, episode.intensity
+                ))
+        elif kind is FaultKind.AUTHORITY_OUTAGE:
+            server = (
+                self._infrastructure.authoritative_for(target)
+                if self._infrastructure is not None
+                else None
+            )
+            if server is not None:
+                server.fail()
+        elif kind is FaultKind.REPLICA_OUTAGE:
+            if self._deployment is not None and self._deployment.knows_address(target):
+                self._deployment.fail(target)
+        elif kind is FaultKind.MAPPING_STALE:
+            if self._mapping is not None:
+                self._mapping.frozen = True
+        elif kind is FaultKind.REGIONAL_CONGESTION:
+            if self._congestion is not None and first:
+                # The surge is time-bounded itself: install once, no revert.
+                self._congestion.add_surge(
+                    RegionalSurge(
+                        region=target,
+                        extra_ms=episode.intensity,
+                        start=episode.start,
+                        end=episode.end,
+                    )
+                )
+        # Meridian kinds: enacted by the overlay via its FailurePlan.
+
+    def _revert(self, index: int, episode: FaultEpisode) -> None:
+        self._active.pop(index, None)
+        self.episodes_ended[episode.kind] += 1
+        key = (episode.kind, episode.target)
+        self._depth[key] -= 1
+        if self._depth[key] > 0:
+            return  # an overlapping episode still holds the fault
+        del self._depth[key]
+        kind, target = episode.kind, episode.target
+        if kind is FaultKind.RESOLVER_FLAKY:
+            resolver = self._resolvers.get(target)
+            if resolver is not None and target in self._saved_failure_rate:
+                resolver.failure_rate = self._saved_failure_rate.pop(target)
+        elif kind is FaultKind.AUTHORITY_OUTAGE:
+            server = (
+                self._infrastructure.authoritative_for(target)
+                if self._infrastructure is not None
+                else None
+            )
+            if server is not None:
+                server.restore()
+        elif kind is FaultKind.REPLICA_OUTAGE:
+            if self._deployment is not None and self._deployment.knows_address(target):
+                self._deployment.restore(target)
+        elif kind is FaultKind.MAPPING_STALE:
+            if self._mapping is not None and not any(
+                e.kind is FaultKind.MAPPING_STALE for e in self._active.values()
+            ):
+                self._mapping.frozen = False

@@ -1,0 +1,302 @@
+"""Seeded fault schedules: when things break, for how long, how badly.
+
+The paper's headline comparison runs against a *flaky* deployed
+Meridian (Section V-A catalogues restarts, never-joined nodes and
+site-isolated pairs), and CRP's selling point is that a positioning
+service built on passive CDN observation keeps working while
+direct-measurement systems wedge.  Reproducing that claim needs more
+than the scattered failure knobs the substrates already expose
+(``RecursiveResolver.failure_rate``, ``ReplicaServer.fail()``, the
+Meridian :class:`~repro.meridian.failures.FailurePlan`): it needs a
+single, deterministic source of *failure episodes* in simulated time.
+
+A :class:`FaultSchedule` is exactly that: a sorted list of
+:class:`FaultEpisode` rows, one per (kind, target) outage window, drawn
+from seeded Poisson processes — per-target arrival rate, exponential
+durations — over an experiment horizon.  Because each (kind, target)
+stream is seeded independently (via :func:`~repro.netsim.rng.derive_rng`),
+adding targets or kinds never perturbs existing streams, and the same
+seed always yields the same chaos.
+
+The schedule is pure data.  Enactment — flipping the substrate knobs on
+and off as the clock crosses episode boundaries — is the
+:class:`~repro.faults.controller.ChaosController`'s job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.meridian.failures import FailurePlan, FailureRates
+from repro.netsim.rng import derive_rng
+
+
+class FaultKind(str, Enum):
+    """The failure modes the chaos layer can inject."""
+
+    #: A resolver times out / SERVFAILs a share of queries for a while
+    #: (upgrades the static ``failure_rate`` to a time-varying episode).
+    RESOLVER_FLAKY = "resolver-flaky"
+    #: An authoritative DNS server answers nothing but SERVFAIL.
+    AUTHORITY_OUTAGE = "authority-outage"
+    #: A CDN replica goes dark; the mapping routes around it next epoch.
+    REPLICA_OUTAGE = "replica-outage"
+    #: The mapping system's measurement backend wedges: rankings freeze
+    #: at the last measured epoch (served stale until recovery).
+    MAPPING_STALE = "mapping-stale"
+    #: A region's paths degrade (congestion spike / soft partition).
+    REGIONAL_CONGESTION = "regional-congestion"
+    #: Meridian deployment pathologies (enacted by the overlay through
+    #: its FailurePlan; carried here so one schedule reports everything).
+    MERIDIAN_RESTART = "meridian-restart"
+    MERIDIAN_NEVER_JOINED = "meridian-never-joined"
+
+
+#: Kinds the controller enacts directly (the Meridian kinds are enacted
+#: by the overlay consulting its FailurePlan and are reporting-only).
+ENACTED_KINDS = (
+    FaultKind.RESOLVER_FLAKY,
+    FaultKind.AUTHORITY_OUTAGE,
+    FaultKind.REPLICA_OUTAGE,
+    FaultKind.MAPPING_STALE,
+    FaultKind.REGIONAL_CONGESTION,
+)
+
+
+@dataclass(frozen=True)
+class FaultEpisode:
+    """One failure window: a kind, a target, a time span, a magnitude.
+
+    ``intensity`` is kind-specific: a failure probability for resolver
+    flakiness, extra milliseconds for regional congestion, unused (1.0)
+    for binary outages.
+    """
+
+    kind: FaultKind
+    target: str
+    start: float
+    duration: float
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"episode cannot start before t=0, got {self.start}")
+        if self.duration <= 0:
+            raise ValueError(f"episode duration must be positive, got {self.duration}")
+        if self.intensity < 0:
+            raise ValueError(f"intensity cannot be negative, got {self.intensity}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class EpisodeParams:
+    """The seeded process one fault kind's episodes are drawn from."""
+
+    #: Poisson arrival rate, episodes per hour *per target*.
+    rate_per_hour: float
+    #: Mean episode duration, seconds (exponentially distributed).
+    mean_duration_s: float
+    #: Kind-specific magnitude (see :class:`FaultEpisode.intensity`).
+    intensity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_hour < 0:
+            raise ValueError(f"rate_per_hour cannot be negative, got {self.rate_per_hour}")
+        if self.mean_duration_s <= 0:
+            raise ValueError(
+                f"mean_duration_s must be positive, got {self.mean_duration_s}"
+            )
+        if self.intensity < 0:
+            raise ValueError(f"intensity cannot be negative, got {self.intensity}")
+
+
+@dataclass(frozen=True)
+class ChaosParams:
+    """Episode processes for every fault kind (the chaos operating point).
+
+    The defaults are deliberately *moderate*: they are the episode
+    rates the acceptance experiments run at, chosen so a resilient CRP
+    service retains most of its fault-free accuracy while a naive one
+    visibly degrades.  :meth:`scaled` multiplies all rates by one
+    factor, which is the sweep axis of ``experiments/chaos.py``.
+    """
+
+    resolver_flaky: EpisodeParams = EpisodeParams(
+        rate_per_hour=0.03, mean_duration_s=1800.0, intensity=0.9
+    )
+    authority_outage: EpisodeParams = EpisodeParams(
+        rate_per_hour=0.01, mean_duration_s=600.0
+    )
+    replica_outage: EpisodeParams = EpisodeParams(
+        rate_per_hour=0.01, mean_duration_s=1200.0
+    )
+    mapping_stale: EpisodeParams = EpisodeParams(
+        rate_per_hour=0.05, mean_duration_s=1800.0
+    )
+    regional_congestion: EpisodeParams = EpisodeParams(
+        rate_per_hour=0.02, mean_duration_s=1800.0, intensity=40.0
+    )
+    #: Meridian deployment pathologies drawn under the same seed; None
+    #: leaves any scenario-level Meridian failure setting alone.
+    meridian: Optional[FailureRates] = None
+    #: Horizon episodes are drawn over, seconds.
+    horizon_s: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
+
+    def params_for(self, kind: FaultKind) -> EpisodeParams:
+        """The episode process for an enacted kind."""
+        return {
+            FaultKind.RESOLVER_FLAKY: self.resolver_flaky,
+            FaultKind.AUTHORITY_OUTAGE: self.authority_outage,
+            FaultKind.REPLICA_OUTAGE: self.replica_outage,
+            FaultKind.MAPPING_STALE: self.mapping_stale,
+            FaultKind.REGIONAL_CONGESTION: self.regional_congestion,
+        }[kind]
+
+    def scaled(self, factor: float) -> "ChaosParams":
+        """All episode rates multiplied by ``factor`` (the sweep axis).
+
+        Durations and intensities stay put — the sweep varies *how
+        often* things break, which keeps levels comparable.
+        """
+        if factor < 0:
+            raise ValueError(f"factor cannot be negative, got {factor}")
+
+        def scale(p: EpisodeParams) -> EpisodeParams:
+            return replace(p, rate_per_hour=p.rate_per_hour * factor)
+
+        return replace(
+            self,
+            resolver_flaky=scale(self.resolver_flaky),
+            authority_outage=scale(self.authority_outage),
+            replica_outage=scale(self.replica_outage),
+            mapping_stale=scale(self.mapping_stale),
+            regional_congestion=scale(self.regional_congestion),
+        )
+
+
+@dataclass
+class FaultSchedule:
+    """All drawn episodes for one experiment, sorted by start time."""
+
+    episodes: List[FaultEpisode] = field(default_factory=list)
+    horizon_s: float = 86400.0
+
+    def __post_init__(self) -> None:
+        self.episodes = sorted(
+            self.episodes, key=lambda e: (e.start, e.end, e.kind.value, e.target)
+        )
+
+    def __len__(self) -> int:
+        return len(self.episodes)
+
+    def __iter__(self):
+        return iter(self.episodes)
+
+    def by_kind(self, kind: FaultKind) -> List[FaultEpisode]:
+        """Episodes of one kind, in start order."""
+        return [e for e in self.episodes if e.kind is kind]
+
+    def active_at(self, now: float) -> List[FaultEpisode]:
+        """Episodes active at a point in time."""
+        return [e for e in self.episodes if e.active(now)]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Episode counts per kind value (reporting/export)."""
+        counts: Dict[str, int] = {}
+        for episode in self.episodes:
+            counts[episode.kind.value] = counts.get(episode.kind.value, 0) + 1
+        return counts
+
+    def with_episodes(self, extra: Iterable[FaultEpisode]) -> "FaultSchedule":
+        """A new schedule with additional episodes merged in."""
+        return FaultSchedule(
+            episodes=self.episodes + list(extra), horizon_s=self.horizon_s
+        )
+
+    @classmethod
+    def generate(
+        cls,
+        targets: Mapping[FaultKind, Sequence[str]],
+        params: ChaosParams,
+        seed: int,
+    ) -> "FaultSchedule":
+        """Draw a schedule from seeded per-(kind, target) processes.
+
+        Each target runs an independent alternating renewal process:
+        exponential inter-arrival gaps (rate ``rate_per_hour``) and
+        exponential episode durations, non-overlapping per target.
+        Episodes are clipped to the horizon.  A kind missing from
+        ``targets`` (or with rate zero) contributes nothing.
+        """
+        horizon = params.horizon_s
+        episodes: List[FaultEpisode] = []
+        for kind in ENACTED_KINDS:
+            kind_targets = targets.get(kind)
+            if not kind_targets:
+                continue
+            process = params.params_for(kind)
+            if process.rate_per_hour <= 0:
+                continue
+            mean_gap_s = 3600.0 / process.rate_per_hour
+            for target in kind_targets:
+                rng = derive_rng(seed, "faults", kind.value, target)
+                t = float(rng.exponential(mean_gap_s))
+                while t < horizon:
+                    duration = max(1.0, float(rng.exponential(process.mean_duration_s)))
+                    duration = min(duration, horizon - t)
+                    if duration >= 1.0:
+                        episodes.append(
+                            FaultEpisode(
+                                kind=kind,
+                                target=target,
+                                start=t,
+                                duration=duration,
+                                intensity=process.intensity,
+                            )
+                        )
+                    t += duration + float(rng.exponential(mean_gap_s))
+        return cls(episodes=episodes, horizon_s=horizon)
+
+
+def episodes_from_failure_plan(
+    plan: FailurePlan, horizon_s: float
+) -> List[FaultEpisode]:
+    """Meridian pathology windows as schedule episodes (reporting only).
+
+    The overlay enacts the plan itself (nodes consult it per query);
+    these rows exist so one :class:`FaultSchedule` describes *all*
+    injected failures, Meridian's included.
+    """
+    episodes: List[FaultEpisode] = []
+    for name in sorted(plan.never_joined):
+        episodes.append(
+            FaultEpisode(
+                kind=FaultKind.MERIDIAN_NEVER_JOINED,
+                target=name,
+                start=0.0,
+                duration=horizon_s,
+            )
+        )
+    outage = plan.rates.mute_seconds + plan.rates.self_recommend_seconds
+    for name, restarted in sorted(plan.restart_at.items()):
+        episodes.append(
+            FaultEpisode(
+                kind=FaultKind.MERIDIAN_RESTART,
+                target=name,
+                start=restarted,
+                duration=max(1.0, outage),
+            )
+        )
+    return episodes

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -93,6 +93,34 @@ class OrnsteinUhlenbeck:
 
 
 @dataclass(frozen=True)
+class RegionalSurge:
+    """A bounded episode of extra delay touching one region.
+
+    Models abrupt, non-stationary degradation the OU processes cannot:
+    a backbone cut forcing long reroutes, a flash crowd, a de-peering
+    event.  Every path with an endpoint in ``region`` pays ``extra_ms``
+    while the surge is active; a very large ``extra_ms`` approximates a
+    partition (traffic still "arrives", but so late that redirections
+    and measurements behave as if the region fell off the map).
+    """
+
+    #: :class:`~repro.netsim.world.Region` value string, e.g. ``"eu"``.
+    region: str
+    extra_ms: float
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.extra_ms < 0:
+            raise ValueError(f"extra_ms cannot be negative, got {self.extra_ms}")
+        if self.end <= self.start:
+            raise ValueError(f"surge must end after it starts ({self.start}..{self.end})")
+
+    def active(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass(frozen=True)
 class CongestionParams:
     """Tunables for the congestion field."""
 
@@ -124,6 +152,30 @@ class CongestionField:
         self.params = params
         self._regional: Dict[Tuple[str, str], OrnsteinUhlenbeck] = {}
         self._per_host: Dict[int, OrnsteinUhlenbeck] = {}
+        #: Injected degradation episodes (fault layer); empty by default
+        #: so the baseline congestion path draws no extra state.
+        self._surges: List[RegionalSurge] = []
+
+    # -- fault injection ---------------------------------------------------
+
+    def add_surge(self, surge: RegionalSurge) -> RegionalSurge:
+        """Install a degradation episode (kept sorted by start time)."""
+        self._surges.append(surge)
+        self._surges.sort(key=lambda s: (s.start, s.end, s.region))
+        return surge
+
+    @property
+    def surges(self) -> Tuple[RegionalSurge, ...]:
+        """All installed surges, past and future."""
+        return tuple(self._surges)
+
+    def surge_ms(self, host: Host, t: float) -> float:
+        """Total surge delay touching a host's region at time ``t``."""
+        return sum(
+            s.extra_ms
+            for s in self._surges
+            if s.active(t) and host.region.value == s.region
+        )
 
     def _regional_process(self, ra: Region, rb: Region) -> OrnsteinUhlenbeck:
         key = tuple(sorted((ra.value, rb.value)))
@@ -162,4 +214,7 @@ class CongestionField:
         host_a = self._host_process(a).sample(t)
         host_b = self._host_process(b).sample(t)
         diurnal = 0.5 * (self._diurnal_ms(a, t) + self._diurnal_ms(b, t))
-        return max(0.0, regional + host_a + host_b + diurnal)
+        total = max(0.0, regional + host_a + host_b + diurnal)
+        if self._surges:
+            total += self.surge_ms(a, t) + self.surge_ms(b, t)
+        return total

@@ -20,8 +20,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdn.mapping import MappingParams
 from repro.cdn.provider import CDNProvider
-from repro.core.service import CRPService, CRPServiceParams
+from repro.core.service import CRPService, CRPServiceParams, ProbePolicy
 from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.faults import (
+    ChaosController,
+    ChaosParams,
+    FaultKind,
+    FaultSchedule,
+    episodes_from_failure_plan,
+)
 from repro.dnssim.king import KingEstimator
 from repro.dnssim.resolver import RecursiveResolver
 from repro.meridian.failures import FailurePlan, FailureRates
@@ -74,6 +81,15 @@ class ScenarioParams:
     meridian_failures: Optional[FailureRates] = None
     #: Samples per King estimate.
     king_samples: int = 3
+    #: Chaos episode processes; None (the default) builds no fault
+    #: schedule and leaves every substrate untouched — scenarios
+    #: without chaos are bit-identical to before the fault layer
+    #: existed.
+    chaos: Optional[ChaosParams] = None
+    #: CRP probe policy; None picks the legacy single-attempt policy
+    #: for plain scenarios and :meth:`ProbePolicy.resilient` when
+    #: chaos is enabled.
+    probe_policy: Optional[ProbePolicy] = None
 
     def __post_init__(self) -> None:
         if self.dns_servers < 1:
@@ -151,11 +167,17 @@ class Scenario:
             )
 
         # The CRP service over both populations.
+        probe_policy = params.probe_policy
+        if probe_policy is None:
+            probe_policy = (
+                ProbePolicy.resilient() if params.chaos is not None else ProbePolicy()
+            )
         self.crp = CRPService(
             self.clock,
             CRPServiceParams(
                 customer_names=params.customer_domains,
                 window_probes=params.crp_window_probes,
+                probe_policy=probe_policy,
             ),
         )
         for name, resolver in sorted(self.resolvers.items()):
@@ -193,6 +215,39 @@ class Scenario:
                 failure_plan=self.failure_plan,
             )
             self.meridian.build(self.candidates)
+
+        # Chaos (strictly opt-in): draw the fault schedule from its own
+        # seed stream and hand the controller every substrate knob.
+        self.chaos: Optional[ChaosController] = None
+        if params.chaos is not None:
+            targets = {
+                FaultKind.RESOLVER_FLAKY: sorted(self.resolvers),
+                FaultKind.AUTHORITY_OUTAGE: list(params.customer_domains),
+                FaultKind.REPLICA_OUTAGE: sorted(
+                    r.address for r in self.cdn.deployment
+                ),
+                FaultKind.MAPPING_STALE: [self.cdn.domain],
+                FaultKind.REGIONAL_CONGESTION: sorted(
+                    {m.region.value for m in self.world.metros}
+                ),
+            }
+            schedule = FaultSchedule.generate(
+                targets, params.chaos, seed=derive_seed(seed, "chaos")
+            )
+            if self.failure_plan is not None:
+                schedule = schedule.with_episodes(
+                    episodes_from_failure_plan(
+                        self.failure_plan, params.chaos.horizon_s
+                    )
+                )
+            self.chaos = ChaosController(
+                schedule,
+                resolvers=self.resolvers,
+                infrastructure=self.infrastructure,
+                deployment=self.cdn.deployment,
+                mapping=self.cdn.mapping,
+                congestion=self.network.congestion,
+            )
 
     # -- populations -------------------------------------------------------
 
@@ -241,5 +296,7 @@ class Scenario:
         if rounds < 1:
             raise ValueError("need at least one round")
         for _ in range(rounds):
+            if self.chaos is not None:
+                self.chaos.sync(self.clock.now)
             self.crp.probe_all()
             self.clock.advance_minutes(interval_minutes)

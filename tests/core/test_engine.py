@@ -227,3 +227,38 @@ def test_memo_cleared_on_mutation(maps):
     population.memo["sentinel"] = ("x",)
     population.remove("syd")
     assert not population.memo
+
+
+def test_sustained_churn_keeps_tombstones_bounded(maps):
+    """Add/remove cycles must not accumulate dead rows without limit."""
+    population = PackedPopulation(maps)
+    client = _map(r1=1.0)
+    population.scores(client)  # pack once so mutations hit packed state
+    for cycle in range(50):
+        name = f"churn-{cycle}"
+        population.add(name, _map(r1=0.4, r2=0.6))
+        population.scores(client)
+        population.remove(name)
+        scores = dict(zip(population.names, population.scores(client)))
+        # Tombstones never exceed the live population (the compaction
+        # trigger), so 50 cycles cannot grow the store 50x.
+        assert population._dead <= len(population)
+        assert set(scores) == set(maps)
+    # Results after heavy churn still match the scalar reference.
+    for name, ratio_map in maps.items():
+        assert scores[name] == pytest.approx(similarity(client, ratio_map), abs=1e-12)
+
+
+def test_churn_reregistering_same_name(maps):
+    """Remove + re-add of one name (node churn) lands on fresh data."""
+    population = PackedPopulation(maps)
+    client = _map(r1=1.0)
+    population.scores(client)
+    for _ in range(10):
+        population.remove("ny")
+        population.add("ny", _map(r2=1.0))
+        population.remove("ny")
+        population.add("ny", maps["ny"])
+    scores = dict(zip(population.names, population.scores(client)))
+    assert scores["ny"] == pytest.approx(similarity(client, maps["ny"]), abs=1e-12)
+    assert len(population) == len(maps)

@@ -182,3 +182,267 @@ def test_closer_of_matches_paper_primitive(service_world):
 def test_closer_of_unmapped_target(service_world):
     service, _, _, _ = service_world
     assert service.closer_of("n-new-york", "n-boston", "n-tokyo") is None
+
+
+# -- resilience: errors, churn, caching ---------------------------------------
+
+
+def test_unknown_node_error_names_the_node(service_world):
+    service, _, _, _ = service_world
+    from repro.core import UnknownNodeError
+
+    for call in (
+        lambda: service.probe("n-ghost"),
+        lambda: service.tracker("n-ghost"),
+        lambda: service.unregister_node("n-ghost"),
+        lambda: service.health("n-ghost"),
+        lambda: service.position("n-ghost", ["n-tokyo"]),
+    ):
+        with pytest.raises(UnknownNodeError) as excinfo:
+            call()
+        assert "n-ghost" in str(excinfo.value)
+        assert isinstance(excinfo.value, KeyError)  # old guards keep working
+
+
+def test_reregister_after_unregister_starts_fresh(service_world, topology, host_rng):
+    service, clock, hosts, network = service_world
+    probe(service, clock, rounds=5)
+    assert service.tracker("n-tokyo").probe_count > 0
+    service.unregister_node("n-tokyo")
+    assert "n-tokyo" not in service.nodes
+    # Same name comes back with clean history and health.
+    from repro.dnssim import DnsInfrastructure
+
+    service.register_node(
+        "n-tokyo",
+        RecursiveResolver(hosts["n-tokyo"], DnsInfrastructure(), network),
+    )
+    assert "n-tokyo" in service.nodes
+    assert service.tracker("n-tokyo").probe_count == 0
+    assert service.ratio_map("n-tokyo") is None
+    from repro.core import NodeState
+
+    assert service.health("n-tokyo").state is NodeState.HEALTHY
+
+
+def test_map_cache_evicts_superseded_versions(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=6)
+    # Ad-hoc window overrides each cache an entry...
+    for window in (2, 3, 4, 5, None):
+        assert service.ratio_map("n-london", window_probes=window) is not None
+    assert len(service._map_cache["n-london"]) == 5
+    # ...but the next access after new probes evicts every superseded one.
+    probe(service, clock, rounds=1)
+    service.ratio_map("n-london", window_probes=3)
+    assert set(service._map_cache["n-london"]) == {3}
+
+
+def test_unregister_drops_cached_maps(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=3)
+    service.ratio_map("n-boston")
+    assert "n-boston" in service._map_cache
+    service.unregister_node("n-boston")
+    assert "n-boston" not in service._map_cache
+    assert "n-boston" not in service._last_good
+
+
+# -- resilience: retry, backoff, health machine --------------------------------
+
+
+@pytest.fixture()
+def flaky_world(topology, host_rng):
+    """A service with one always-failing node under a resilient policy."""
+    from repro.core import ProbePolicy
+
+    clock = SimClock()
+    network = Network(topology, clock, seed=43)
+    infra = DnsInfrastructure()
+    cdn = CDNProvider(topology, network, infra, seed=43)
+    for name in NAMES:
+        cdn.add_customer(name)
+    policy = ProbePolicy(
+        max_attempts=3,
+        backoff_base_s=2.0,
+        backoff_multiplier=2.0,
+        round_deadline_s=30.0,
+        degraded_after=1,
+        quarantine_after=2,
+        recovery_interval_rounds=2,
+    )
+    service = CRPService(
+        clock, CRPServiceParams(customer_names=NAMES, probe_policy=policy)
+    )
+    hosts = {}
+    for metro in ("new-york", "boston"):
+        host = topology.create_host(
+            f"f-{metro}", HostKind.DNS_SERVER, topology.world.metro(metro), host_rng
+        )
+        hosts[f"f-{metro}"] = host
+        service.register_node(f"f-{metro}", RecursiveResolver(host, infra, network))
+    dead_host = topology.create_host(
+        "f-dead", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng
+    )
+    dead_resolver = RecursiveResolver(dead_host, infra, network, failure_rate=0.999999)
+    service.register_node("f-dead", dead_resolver)
+    return service, clock, dead_resolver
+
+
+def test_retries_and_backoff_advance_sim_time(flaky_world):
+    service, clock, _ = flaky_world
+    before = clock.now
+    service.probe("f-dead")
+    # Two names, three attempts each: 4 retries beyond the first tries.
+    assert service.probe_retries == 4
+    assert service.probes_issued == 6
+    assert service.probe_failures == 6
+    # Backoff of 2 + 4 s per name elapsed on the simulated clock.
+    assert clock.now == pytest.approx(before + 12.0)
+
+
+def test_round_deadline_caps_retries(flaky_world):
+    from repro.core import CRPServiceParams, ProbePolicy
+
+    service, clock, _ = flaky_world
+    tight = ProbePolicy(
+        max_attempts=3,
+        backoff_base_s=2.0,
+        backoff_multiplier=2.0,
+        round_deadline_s=2.0,
+        quarantine_after=None,
+    )
+    service.params = CRPServiceParams(customer_names=NAMES, probe_policy=tight)
+    before = clock.now
+    service.probe("f-dead")
+    # Budget covers only the first 2 s backoff; everything after stops.
+    assert clock.now == pytest.approx(before + 2.0)
+    assert service.probe_retries == 1
+
+
+def test_health_machine_quarantines_and_recovers(flaky_world):
+    from repro.core import NodeState
+
+    service, clock, dead_resolver = flaky_world
+    probe(service, clock, rounds=1)
+    assert service.health("f-dead").state is NodeState.DEGRADED
+    probe(service, clock, rounds=1)
+    health = service.health("f-dead")
+    assert health.state is NodeState.QUARANTINED
+    assert health.quarantines == 1
+    assert service.quarantined_nodes() == ["f-dead"]
+    assert service.health_summary()["quarantined"] == 1
+
+    # While quarantined, the node leaves the regular rotation: only
+    # every second round issues a recovery probe.
+    issued_before = service.probes_issued
+    probe(service, clock, rounds=1)  # rounds_in=1 -> skipped entirely
+    skipped_round_cost = service.probes_issued - issued_before
+    assert skipped_round_cost == len(NAMES) * 2  # only the healthy nodes
+
+    # The node comes back: next recovery probe succeeds and restores it.
+    dead_resolver.failure_rate = 0.0
+    probe(service, clock, rounds=1)  # rounds_in=2 -> recovery probe
+    health = service.health("f-dead")
+    assert health.state is NodeState.HEALTHY
+    assert health.recoveries == 1
+    assert service.recovery_probes >= 1
+    assert len(service.recovery_times_s) == 1
+    assert service.recovery_times_s[0] > 0.0
+    # Back in the regular rotation immediately.
+    issued_before = service.probes_issued
+    probe(service, clock, rounds=1)
+    assert service.probes_issued - issued_before == len(NAMES) * 3
+
+
+def test_default_policy_keeps_legacy_single_attempt(service_world):
+    service, clock, _, _ = service_world
+    assert service.params.probe_policy.max_attempts == 1
+    assert service.params.probe_policy.quarantine_after is None
+    before = clock.now
+    probe(service, clock, rounds=1, minutes=0)
+    assert service.probe_retries == 0
+    assert clock.now == before  # no backoff ever touches the clock
+
+
+def test_probe_policy_validation():
+    from repro.core import ProbePolicy
+
+    with pytest.raises(ValueError):
+        ProbePolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        ProbePolicy(backoff_multiplier=0.5)
+    with pytest.raises(ValueError):
+        ProbePolicy(degraded_after=3, quarantine_after=2)
+    with pytest.raises(ValueError):
+        ProbePolicy(recovery_interval_rounds=0)
+    with pytest.raises(ValueError):
+        ProbePolicy(stale_after_s=0.0)
+
+
+# -- resilience: positioning answers ------------------------------------------
+
+
+def test_position_fresh_answer_has_full_confidence(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=12)
+    answer = service.position("n-new-york", ["n-boston", "n-london", "n-tokyo"])
+    assert answer.answerable
+    assert not answer.stale
+    assert answer.confidence == 1.0
+    assert answer.map_age_s is not None and answer.map_age_s >= 0.0
+    # The ranking agrees with the metadata-free path.
+    ranked = service.rank_servers("n-new-york", ["n-boston", "n-london", "n-tokyo"])
+    assert [r.name for r in answer.ranked] == [r.name for r in ranked]
+    assert answer.top(1)[0].name == ranked[0].name
+
+
+def test_position_unbootstrapped_node_is_unanswerable(service_world):
+    service, _, _, _ = service_world
+    answer = service.position("n-london", ["n-tokyo"])
+    assert not answer.answerable
+    assert answer.confidence == 0.0
+    assert answer.map_age_s is None
+
+
+def test_position_marks_old_maps_stale(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=12)
+    clock.advance(service.params.probe_policy.stale_after_s + 60.0)
+    answer = service.position("n-new-york", ["n-boston", "n-tokyo"])
+    assert answer.answerable
+    assert answer.stale
+    assert answer.confidence == pytest.approx(0.5)
+    assert answer.map_age_s > service.params.probe_policy.stale_after_s
+    assert service.stale_answers == 1
+
+
+def test_position_serves_last_good_map_when_window_goes_dark(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=12)
+    assert service.position("n-new-york", ["n-boston"]).answerable
+    # Simulate the window going dark (what a time-based window or log
+    # truncation produces): the fresh map disappears but the last good
+    # one was retained.
+    tracker = service.tracker("n-new-york")
+    tracker._log.clear()
+    tracker.version += 1
+    answer = service.position("n-new-york", ["n-boston"])
+    assert answer.answerable
+    assert answer.stale
+    assert answer.confidence == pytest.approx(0.5)
+
+
+def test_position_confidence_tracks_health(flaky_world):
+    service, clock, dead_resolver = flaky_world
+    # Give the dead node history first, then let it fail into quarantine.
+    dead_resolver.failure_rate = 0.0
+    probe(service, clock, rounds=6)
+    dead_resolver.failure_rate = 0.999999
+    probe(service, clock, rounds=2)
+    answer = service.position("f-dead", ["f-new-york", "f-boston"])
+    from repro.core import NodeState
+
+    assert answer.client_state is NodeState.QUARANTINED
+    assert answer.answerable
+    assert answer.confidence == pytest.approx(0.4)

@@ -224,3 +224,40 @@ def test_negative_ttl_validation(setup, topology, host_rng, network):
     )
     with pytest.raises(ValueError):
         RecursiveResolver(host, infra, network, negative_ttl=-1.0)
+
+
+def test_negative_cache_evicts_expired_on_lookup(setup, clock):
+    _, resolver, _, _ = setup
+    with pytest.raises(ResolutionError):
+        resolver.resolve("missing.site.test")
+    assert len(resolver._negative) == 1
+    clock.advance(resolver.negative_ttl + 1.0)
+    # The expired entry is deleted the moment it is consulted again.
+    with pytest.raises(ResolutionError):
+        resolver.resolve("missing.site.test")
+    assert len(resolver._negative) == 1  # fresh entry, old one gone
+
+
+def test_negative_cache_is_bounded(setup, topology, host_rng, network):
+    infra, _, _, _ = setup
+    host = topology.create_host(
+        "neg-cap", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    resolver = RecursiveResolver(
+        host, infra, network, negative_cache_entries=8
+    )
+    for i in range(40):
+        with pytest.raises(ResolutionError):
+            resolver.resolve(f"missing-{i}.site.test")
+    assert len(resolver._negative) <= 8
+    # The most recent misses are the ones retained.
+    assert ("missing-39.site.test", RecordType.A) in resolver._negative
+
+
+def test_negative_cache_entries_validation(setup, topology, host_rng, network):
+    infra, _, _, _ = setup
+    host = topology.create_host(
+        "neg-cap-bad", HostKind.DNS_SERVER, topology.world.metro("madrid"), host_rng
+    )
+    with pytest.raises(ValueError):
+        RecursiveResolver(host, infra, network, negative_cache_entries=0)

@@ -1,0 +1,186 @@
+"""Unit tests for chaos enactment against live substrates."""
+
+import pytest
+
+from repro.cdn.replica import ReplicaDeployment, ReplicaServer
+from repro.dnssim.authoritative import StaticAuthoritativeServer
+from repro.dnssim.infrastructure import DnsInfrastructure
+from repro.dnssim.resolver import RecursiveResolver
+from repro.faults import ChaosController, FaultEpisode, FaultKind, FaultSchedule
+from repro.netsim.dynamics import CongestionField, CongestionParams
+from repro.netsim.topology import HostKind
+
+
+def episode(kind, target, start, duration, intensity=1.0):
+    return FaultEpisode(kind, target, start=start, duration=duration, intensity=intensity)
+
+
+def controller_for(episodes, **substrates):
+    return ChaosController(FaultSchedule(episodes=list(episodes)), **substrates)
+
+
+@pytest.fixture()
+def resolver(topology, host_rng, network):
+    host = topology.create_host(
+        "flaky-node", HostKind.DNS_SERVER, topology.world.metro("boston"), host_rng
+    )
+    return RecursiveResolver(host, DnsInfrastructure(), network, failure_rate=0.1)
+
+
+def test_resolver_flaky_apply_and_restore(resolver):
+    controller = controller_for(
+        [episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 100.0, 50.0, intensity=0.9)],
+        resolvers={"flaky-node": resolver},
+    )
+    assert controller.sync(99.0) == 0
+    assert resolver.failure_rate == 0.1
+    assert controller.sync(100.0) == 1
+    assert resolver.failure_rate == 0.9
+    assert controller.sync(150.0) == 1
+    assert resolver.failure_rate == 0.1
+
+
+def test_resolver_flaky_never_lowers_failure_rate(resolver):
+    resolver.failure_rate = 0.95
+    controller = controller_for(
+        [episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 0.0, 10.0, intensity=0.5)],
+        resolvers={"flaky-node": resolver},
+    )
+    controller.sync(0.0)
+    assert resolver.failure_rate == 0.95
+    controller.sync(10.0)
+    assert resolver.failure_rate == 0.95
+
+
+def test_overlapping_episodes_revert_only_at_last_end(resolver):
+    controller = controller_for(
+        [
+            episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 0.0, 100.0, intensity=0.8),
+            episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 50.0, 100.0, intensity=0.8),
+        ],
+        resolvers={"flaky-node": resolver},
+    )
+    controller.sync(60.0)
+    assert resolver.failure_rate == 0.8
+    controller.sync(100.0)  # first ends; second still active
+    assert resolver.failure_rate == 0.8
+    controller.sync(150.0)
+    assert resolver.failure_rate == 0.1
+
+
+def test_authority_outage(topology, host_rng):
+    infra = DnsInfrastructure()
+    host = topology.create_host(
+        "auth-host", HostKind.INFRA, topology.world.metro("chicago"), host_rng
+    )
+    server = infra.register(StaticAuthoritativeServer(host, ["example.test"]))
+    controller = controller_for(
+        [episode(FaultKind.AUTHORITY_OUTAGE, "www.example.test", 10.0, 20.0)],
+        infrastructure=infra,
+    )
+    controller.sync(10.0)
+    assert not server.available
+    controller.sync(30.0)
+    assert server.available
+
+
+def test_replica_outage(topology, host_rng):
+    host = topology.create_host(
+        "edge-host", HostKind.REPLICA, topology.world.metro("london"), host_rng
+    )
+    deployment = ReplicaDeployment([ReplicaServer(host, "172.1.1.1")])
+    controller = controller_for(
+        [
+            episode(FaultKind.REPLICA_OUTAGE, "172.1.1.1", 0.0, 60.0),
+            # Unknown address: enactment must skip it gracefully.
+            episode(FaultKind.REPLICA_OUTAGE, "172.9.9.9", 0.0, 60.0),
+        ],
+        deployment=deployment,
+    )
+    controller.sync(0.0)
+    assert not deployment.is_up("172.1.1.1")
+    controller.sync(60.0)
+    assert deployment.is_up("172.1.1.1")
+
+
+def test_mapping_stale_freeze_with_overlap(topology, host_rng, network):
+    host = topology.create_host(
+        "edge-2", HostKind.REPLICA, topology.world.metro("tokyo"), host_rng
+    )
+    deployment = ReplicaDeployment([ReplicaServer(host, "172.2.2.2")])
+    from repro.cdn.mapping import MappingSystem
+
+    mapping = MappingSystem(network, deployment, seed=5)
+    controller = controller_for(
+        [
+            episode(FaultKind.MAPPING_STALE, "cdn.test", 0.0, 100.0),
+            episode(FaultKind.MAPPING_STALE, "cdn.test", 50.0, 100.0),
+        ],
+        mapping=mapping,
+    )
+    controller.sync(0.0)
+    assert mapping.frozen
+    controller.sync(100.0)  # one episode still holds the freeze
+    assert mapping.frozen
+    controller.sync(150.0)
+    assert not mapping.frozen
+
+
+def test_regional_congestion_installs_surge():
+    field = CongestionField(9, CongestionParams())
+    controller = controller_for(
+        [episode(FaultKind.REGIONAL_CONGESTION, "eu", 10.0, 30.0, intensity=40.0)],
+        congestion=field,
+    )
+    controller.sync(10.0)
+    assert len(field.surges) == 1
+    surge = field.surges[0]
+    assert surge.region == "eu"
+    assert surge.extra_ms == 40.0
+    assert surge.active(20.0) and not surge.active(40.0)
+    # Reverting is a no-op (the surge is time-bounded by itself).
+    controller.sync(40.0)
+    assert len(field.surges) == 1
+
+
+def test_sync_rejects_backwards_time(resolver):
+    controller = controller_for(
+        [episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 0.0, 10.0)],
+        resolvers={"flaky-node": resolver},
+    )
+    controller.sync(5.0)
+    with pytest.raises(ValueError):
+        controller.sync(4.0)
+
+
+def test_counters_and_active_episodes(resolver):
+    episodes = [
+        episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 0.0, 100.0, intensity=0.7),
+        episode(FaultKind.RESOLVER_FLAKY, "flaky-node", 200.0, 100.0, intensity=0.7),
+    ]
+    controller = controller_for(episodes, resolvers={"flaky-node": resolver})
+    controller.sync(50.0)
+    assert [e.start for e in controller.active_episodes] == [0.0]
+    counters = controller.counters()
+    assert counters["started.resolver-flaky"] == 1
+    assert counters.get("ended.resolver-flaky", 0) == 0
+    assert counters["active"] == 1
+    controller.sync(500.0)
+    counters = controller.counters()
+    assert counters["started.resolver-flaky"] == 2
+    assert counters["ended.resolver-flaky"] == 2
+    assert counters["active"] == 0
+    assert resolver.failure_rate == 0.1
+
+
+def test_unwired_substrates_are_ignored():
+    """A controller with no substrate handles still replays boundaries."""
+    episodes = [
+        episode(FaultKind.RESOLVER_FLAKY, "nobody", 0.0, 10.0),
+        episode(FaultKind.AUTHORITY_OUTAGE, "zone.test", 0.0, 10.0),
+        episode(FaultKind.REPLICA_OUTAGE, "172.0.0.1", 0.0, 10.0),
+        episode(FaultKind.MAPPING_STALE, "cdn", 0.0, 10.0),
+        episode(FaultKind.REGIONAL_CONGESTION, "eu", 0.0, 10.0),
+    ]
+    controller = controller_for(episodes)
+    assert controller.sync(20.0) == 10  # five starts + five ends

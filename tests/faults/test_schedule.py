@@ -1,0 +1,153 @@
+"""Unit tests for seeded fault schedules."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import (
+    ENACTED_KINDS,
+    ChaosParams,
+    EpisodeParams,
+    FaultEpisode,
+    FaultKind,
+    FaultSchedule,
+    episodes_from_failure_plan,
+)
+from repro.meridian.failures import FailurePlan, FailureRates
+
+
+def busy_params(horizon_s: float = 86400.0) -> ChaosParams:
+    """High-rate params so small horizons still draw episodes."""
+    return ChaosParams(
+        resolver_flaky=EpisodeParams(rate_per_hour=1.0, mean_duration_s=600.0, intensity=0.9),
+        authority_outage=EpisodeParams(rate_per_hour=0.5, mean_duration_s=300.0),
+        replica_outage=EpisodeParams(rate_per_hour=0.5, mean_duration_s=600.0),
+        mapping_stale=EpisodeParams(rate_per_hour=0.5, mean_duration_s=900.0),
+        regional_congestion=EpisodeParams(rate_per_hour=0.5, mean_duration_s=900.0, intensity=50.0),
+        horizon_s=horizon_s,
+    )
+
+
+TARGETS = {
+    FaultKind.RESOLVER_FLAKY: ["node-a", "node-b"],
+    FaultKind.AUTHORITY_OUTAGE: ["zone.test"],
+    FaultKind.REPLICA_OUTAGE: ["10.0.0.1", "10.0.0.2"],
+    FaultKind.MAPPING_STALE: ["cdn.test"],
+    FaultKind.REGIONAL_CONGESTION: ["eu", "asia"],
+}
+
+
+def test_episode_validation():
+    with pytest.raises(ValueError):
+        FaultEpisode(FaultKind.RESOLVER_FLAKY, "n", start=-1.0, duration=10.0)
+    with pytest.raises(ValueError):
+        FaultEpisode(FaultKind.RESOLVER_FLAKY, "n", start=0.0, duration=0.0)
+    with pytest.raises(ValueError):
+        FaultEpisode(FaultKind.RESOLVER_FLAKY, "n", start=0.0, duration=1.0, intensity=-1.0)
+
+
+def test_episode_active_window_is_half_open():
+    episode = FaultEpisode(FaultKind.REPLICA_OUTAGE, "r", start=10.0, duration=5.0)
+    assert episode.end == 15.0
+    assert not episode.active(9.9)
+    assert episode.active(10.0)
+    assert episode.active(14.9)
+    assert not episode.active(15.0)
+
+
+def test_generate_is_deterministic():
+    a = FaultSchedule.generate(TARGETS, busy_params(), seed=7)
+    b = FaultSchedule.generate(TARGETS, busy_params(), seed=7)
+    assert a.episodes == b.episodes
+    assert len(a) > 0
+
+
+def test_different_seeds_differ():
+    a = FaultSchedule.generate(TARGETS, busy_params(), seed=7)
+    b = FaultSchedule.generate(TARGETS, busy_params(), seed=8)
+    assert a.episodes != b.episodes
+
+
+def test_target_streams_are_independent():
+    """Adding a target must not perturb existing targets' episodes."""
+    base = FaultSchedule.generate(TARGETS, busy_params(), seed=7)
+    extended = dict(TARGETS)
+    extended[FaultKind.RESOLVER_FLAKY] = ["node-a", "node-b", "node-c"]
+    grown = FaultSchedule.generate(extended, busy_params(), seed=7)
+
+    def for_target(schedule, target):
+        return [e for e in schedule if e.target == target]
+
+    for target in ("node-a", "node-b", "10.0.0.1", "eu"):
+        assert for_target(base, target) == for_target(grown, target)
+    assert for_target(grown, "node-c")
+
+
+def test_episodes_clipped_to_horizon_and_non_overlapping_per_target():
+    params = busy_params(horizon_s=7200.0)
+    schedule = FaultSchedule.generate(TARGETS, params, seed=3)
+    per_target = {}
+    for episode in schedule:
+        assert 0.0 <= episode.start < params.horizon_s
+        assert episode.end <= params.horizon_s + 1e-9
+        per_target.setdefault((episode.kind, episode.target), []).append(episode)
+    for episodes in per_target.values():
+        for earlier, later in zip(episodes, episodes[1:]):
+            assert earlier.end <= later.start
+
+
+def test_zero_rate_draws_nothing():
+    params = busy_params()
+    silent = dataclasses.replace(
+        params, replica_outage=EpisodeParams(rate_per_hour=0.0, mean_duration_s=600.0)
+    )
+    schedule = FaultSchedule.generate(TARGETS, silent, seed=7)
+    assert not schedule.by_kind(FaultKind.REPLICA_OUTAGE)
+
+
+def test_scaled_multiplies_rates_only():
+    params = ChaosParams()
+    doubled = params.scaled(2.0)
+    for kind in ENACTED_KINDS:
+        before = params.params_for(kind)
+        after = doubled.params_for(kind)
+        assert after.rate_per_hour == pytest.approx(2.0 * before.rate_per_hour)
+        assert after.mean_duration_s == before.mean_duration_s
+        assert after.intensity == before.intensity
+    with pytest.raises(ValueError):
+        params.scaled(-1.0)
+
+
+def test_schedule_queries():
+    episodes = [
+        FaultEpisode(FaultKind.REPLICA_OUTAGE, "r1", start=100.0, duration=50.0),
+        FaultEpisode(FaultKind.MAPPING_STALE, "cdn", start=120.0, duration=10.0),
+        FaultEpisode(FaultKind.REPLICA_OUTAGE, "r2", start=0.0, duration=10.0),
+    ]
+    schedule = FaultSchedule(episodes=episodes)
+    assert [e.start for e in schedule] == [0.0, 100.0, 120.0]
+    assert len(schedule.by_kind(FaultKind.REPLICA_OUTAGE)) == 2
+    assert [e.target for e in schedule.active_at(125.0)] == ["r1", "cdn"]
+    assert schedule.counts_by_kind() == {"replica-outage": 2, "mapping-stale": 1}
+    grown = schedule.with_episodes(
+        [FaultEpisode(FaultKind.MAPPING_STALE, "cdn", start=5.0, duration=1.0)]
+    )
+    assert len(grown) == 4
+    assert len(schedule) == 3  # original untouched
+
+
+def test_failure_plan_episodes_are_reporting_rows():
+    rates = FailureRates(mute_seconds=3600.0, self_recommend_seconds=1800.0)
+    plan = FailurePlan(
+        never_joined=frozenset({"m-2"}),
+        restart_at={"m-1": 500.0},
+        rates=rates,
+    )
+    episodes = episodes_from_failure_plan(plan, horizon_s=86400.0)
+    kinds = {e.kind for e in episodes}
+    assert kinds == {FaultKind.MERIDIAN_NEVER_JOINED, FaultKind.MERIDIAN_RESTART}
+    never = next(e for e in episodes if e.kind is FaultKind.MERIDIAN_NEVER_JOINED)
+    assert never.target == "m-2" and never.start == 0.0 and never.duration == 86400.0
+    restart = next(e for e in episodes if e.kind is FaultKind.MERIDIAN_RESTART)
+    assert restart.target == "m-1" and restart.start == 500.0
+    assert restart.duration == rates.mute_seconds + rates.self_recommend_seconds
