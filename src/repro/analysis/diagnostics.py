@@ -7,15 +7,24 @@ candidates, the Meridian nodes answering with themselves.  This module
 turns that analysis into a reusable tool: given a scenario and a
 client, :func:`diagnose_client` reports everything those anecdotes
 were built from.
+
+It is also the human-readable view over the observability layer's run
+manifests: :func:`summarize_manifest` renders what one run's
+redirection machinery actually did, and the module doubles as a small
+CLI for inspecting and diffing manifest files::
+
+    python -m repro.analysis.diagnostics reports/fig4.manifest.json
+    python -m repro.analysis.diagnostics a.manifest.json b.manifest.json
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
+from repro.obs import RunManifest, diff_manifests
 from repro.workloads.scenario import Scenario
 
 
@@ -167,3 +176,119 @@ def tail_summary(
         rows,
         title="Tail-client diagnosis (the paper's Sec. V-A root causes)",
     )
+
+
+# -- run-manifest views -------------------------------------------------------
+
+#: (section, counter flat-name, row label) for the summary table; only
+#: counters present in the manifest are rendered.
+_MANIFEST_ROWS: Tuple[Tuple[str, str, str], ...] = (
+    ("probing", "crp.probe.attempts", "probe attempts"),
+    ("probing", "crp.probe.retries", "probe retries"),
+    ("probing", "crp.probe.failures", "probe failures"),
+    ("probing", "crp.probe.deadline_hits", "round-deadline cutoffs"),
+    ("probing", "crp.probe.recoveries", "recovery probes"),
+    ("probing", "crp.probe.rounds", "probe rounds"),
+    ("probing", "crp.observations", "observations recorded"),
+    ("dns", "dns.resolver.queries", "resolver queries"),
+    ("dns", "dns.resolver.failures", "resolver timeouts (injected)"),
+    ("dns", "dns.resolver.errors", "resolution errors"),
+    ("dns", "dns.resolver.negative_hits", "negative-cache hits"),
+    ("dns", "dns.cache.hits", "TTL-cache hits"),
+    ("dns", "dns.cache.misses", "TTL-cache misses"),
+    ("dns", "dns.cache.expirations", "TTL-cache expirations"),
+    ("dns", "dns.cache.evictions", "TTL-cache LRU evictions"),
+    ("dns", "dns.authority.queries", "authoritative queries"),
+    ("dns", "dns.authority.down_servfails", "SERVFAILs while down"),
+    ("positioning", "crp.position.queries", "positioning queries"),
+    ("positioning", "crp.position.stale", "stale answers"),
+    ("positioning", "crp.position.fallbacks", "last-good fallbacks"),
+    ("positioning", "crp.map_cache.hits", "map-cache hits"),
+    ("positioning", "crp.map_cache.misses", "map-cache misses"),
+    ("engine", "engine.flushes", "pack flushes"),
+    ("engine", "engine.compactions", "compactions"),
+    ("engine", "engine.rows_flushed", "rows flushed"),
+    ("engine", "engine.rows_dropped", "tombstones dropped"),
+)
+
+
+def summarize_manifest(manifest: RunManifest) -> str:
+    """A run manifest rendered for humans.
+
+    Groups the counters every instrumented layer reports (probing,
+    DNS, positioning, engine), plus health transitions, fault
+    episodes, and the trace-event census.
+    """
+    header = (
+        f"run {manifest.run_key!r}"
+        + (f"  scale={manifest.scale}" if manifest.scale else "")
+        + (f"  seed={manifest.seed}" if manifest.seed is not None else "")
+        + f"  params={manifest.params_fingerprint}"
+    )
+    lines = [
+        header,
+        f"  wall {manifest.wall_duration_s:g} s · simulated "
+        f"{manifest.sim_duration_s:g} s",
+    ]
+    counters = manifest.counters()
+    rows = []
+    for section, name, label in _MANIFEST_ROWS:
+        if name in counters:
+            rows.append([section, label, counters[name]])
+    transitions = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("crp.health.transitions")
+    }
+    for name, value in sorted(transitions.items()):
+        detail = name.partition("{")[2].rstrip("}")
+        rows.append(["health", detail or "transitions", value])
+    faults = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("fault.")
+    }
+    for name, value in sorted(faults.items()):
+        rows.append(["faults", name[len("fault."):], value])
+    if rows:
+        lines.append(format_table(["layer", "event", "count"], rows))
+    else:
+        lines.append("  (no counters recorded — observability was disabled?)")
+    if manifest.trace_counts:
+        trace_rows = [
+            [kind, count] for kind, count in sorted(manifest.trace_counts.items())
+        ]
+        lines.append(format_table(["trace event", "emitted"], trace_rows))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Inspect one manifest, or diff two."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Summarise a RunManifest JSON, or diff two of them."
+    )
+    parser.add_argument("manifest", help="path to a .manifest.json file")
+    parser.add_argument(
+        "other",
+        nargs="?",
+        default=None,
+        help="second manifest: print the counter-level diff instead",
+    )
+    args = parser.parse_args(argv)
+    first = RunManifest.load(args.manifest)
+    try:
+        if args.other is None:
+            print(summarize_manifest(first))
+        else:
+            print(diff_manifests(first, RunManifest.load(args.other)))
+    except BrokenPipeError:
+        pass  # output piped into head & co.
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -11,7 +11,7 @@ from __future__ import annotations
 import csv
 import io
 from pathlib import Path
-from typing import Mapping, Optional, Sequence, Tuple
+from typing import Mapping, Sequence, Tuple
 
 
 def series_to_csv(

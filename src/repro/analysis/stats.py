@@ -51,7 +51,14 @@ def sorted_series(values: Sequence[float]) -> List[float]:
 
 
 def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
-    """Empirical CDF as (value, cumulative fraction) points."""
+    """Empirical CDF as (value, cumulative fraction) points.
+
+    Raises on empty input — the same contract as :func:`mean`,
+    :func:`median` and :func:`percentile` (an empty CDF used to be
+    returned silently, hiding upstream bugs from callers).
+    """
+    if not values:
+        raise ValueError("cdf of empty sequence")
     ordered = sorted(values)
     n = len(ordered)
     return [(v, (i + 1) / n) for i, v in enumerate(ordered)]

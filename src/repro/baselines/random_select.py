@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
-import numpy as np
 
 from repro.netsim.rng import derive_rng
 

@@ -29,7 +29,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.cdn.loadbalance import SelectionPolicy, select_replicas
 from repro.cdn.replica import ReplicaDeployment, ReplicaServer

@@ -18,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.cdn.mapping import MappingParams, MappingSystem
 from repro.cdn.replica import ReplicaDeployment, ReplicaServer, deploy_replicas

@@ -15,12 +15,11 @@ Section VI:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 import numpy as np
 
 from repro.netsim.topology import Host, HostKind, Topology
-from repro.netsim.world import Metro, World
 
 #: First octet of addresses advertised by provider-owned replicas
 #: (standing in for an Akamai-owned block).

@@ -27,12 +27,14 @@ exactly, so rankings and clusterings are identical under both paths.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.ratio_map import RatioMap
 from repro.core.similarity import SimilarityMetric
+from repro.obs import Observability, get_observability
+from repro.obs.manifest import SIM_NOW_GAUGE
 
 #: Upper bound on the temporary (cols × nnz) expansion used by blocked
 #: matrix products, in elements (~32 MB of float64).
@@ -186,8 +188,19 @@ class PackedPopulation:
         maps: Optional[Mapping[str, Optional[RatioMap]]] = None,
         *,
         vocab: Optional[ReplicaVocabulary] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.vocab = vocab if vocab is not None else ReplicaVocabulary()
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_flushes = metrics.counter("engine.flushes")
+        self._m_compactions = metrics.counter("engine.compactions")
+        self._m_rows_flushed = metrics.counter("engine.rows_flushed")
+        self._m_rows_dropped = metrics.counter("engine.rows_dropped")
+        #: The engine has no clock of its own; trace timestamps read the
+        #: sim-time gauge the active :class:`SimClock` keeps current.
+        self._sim_now = metrics.gauge(SIM_NOW_GAUGE)
         self._names: List[str] = []
         self._maps: List[Optional[RatioMap]] = []
         self._row_of: Dict[str, int] = {}
@@ -258,6 +271,12 @@ class PackedPopulation:
         if self._packed_rows == len(self._names):
             return
         pending = self._maps[self._packed_rows :]
+        self._m_flushes.inc()
+        self._m_rows_flushed.inc(len(pending))
+        self._trace.emit(
+            "engine.flush", self._sim_now.value, "packed-population",
+            rows=len(pending),
+        )
         chunks_idx: List[np.ndarray] = [self._indices]
         chunks_dat: List[np.ndarray] = [self._data]
         lens = np.zeros(len(pending), dtype=np.int64)
@@ -279,6 +298,12 @@ class PackedPopulation:
     def _compact(self) -> None:
         """Drop tombstoned rows from the store for good."""
         self._flush_pending()
+        self._m_compactions.inc()
+        self._m_rows_dropped.inc(self._dead)
+        self._trace.emit(
+            "engine.compact", self._sim_now.value, "packed-population",
+            dropped=self._dead, live=len(self._row_of),
+        )
         alive = [i for i, m in enumerate(self._maps) if m is not None]
         rows = np.asarray(alive, dtype=np.int64)
         if len(rows):

@@ -13,7 +13,7 @@ frequently, despite the CDN's world-wide fleet).
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Tuple
 
 #: Tolerance when validating that ratios sum to one.  Loose enough to
 #: absorb float accumulation over many entries; the constructor

@@ -52,6 +52,7 @@ from repro.core.similarity import SimilarityMetric
 from repro.core.tracker import Observation, RedirectionTracker
 from repro.dnssim.resolver import RecursiveResolver, ResolutionError
 from repro.netsim.clock import SimClock
+from repro.obs import Observability, get_observability
 
 
 class UnknownNodeError(KeyError):
@@ -234,9 +235,31 @@ class CRPServiceParams:
 class CRPService:
     """A relative-network-positioning service for a set of nodes."""
 
-    def __init__(self, clock: SimClock, params: CRPServiceParams) -> None:
+    def __init__(
+        self,
+        clock: SimClock,
+        params: CRPServiceParams,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.clock = clock
         self.params = params
+        obs = obs if obs is not None else get_observability()
+        self._obs = obs
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._metrics = metrics
+        self._m_probe_attempts = metrics.counter("crp.probe.attempts")
+        self._m_probe_retries = metrics.counter("crp.probe.retries")
+        self._m_probe_failures = metrics.counter("crp.probe.failures")
+        self._m_probe_deadline = metrics.counter("crp.probe.deadline_hits")
+        self._m_probe_rounds = metrics.counter("crp.probe.rounds")
+        self._m_recovery_probes = metrics.counter("crp.probe.recoveries")
+        self._m_observations = metrics.counter("crp.observations")
+        self._m_map_cache_hits = metrics.counter("crp.map_cache.hits")
+        self._m_map_cache_misses = metrics.counter("crp.map_cache.misses")
+        self._m_position_queries = metrics.counter("crp.position.queries")
+        self._m_position_stale = metrics.counter("crp.position.stale")
+        self._m_position_fallbacks = metrics.counter("crp.position.fallbacks")
         self._resolvers: Dict[str, RecursiveResolver] = {}
         self._trackers: Dict[str, RedirectionTracker] = {}
         self._health: Dict[str, NodeHealth] = {}
@@ -256,6 +279,7 @@ class CRPService:
         self.probes_issued = 0
         self.probe_failures = 0
         self.probe_retries = 0
+        self.probe_deadline_hits = 0
         self.recovery_probes = 0
         self.stale_answers = 0
         #: Sim-seconds from quarantine entry to recovery, per recovery.
@@ -324,6 +348,23 @@ class CRPService:
             if health.state is NodeState.QUARANTINED
         )
 
+    def _transition(self, node: str, health: NodeHealth, to_state: NodeState) -> None:
+        """Move a node's health state, recording the transition."""
+        from_state = health.state
+        if from_state is to_state:
+            return
+        health.state = to_state
+        self._metrics.counter(
+            "crp.health.transitions", src=from_state.value, dst=to_state.value
+        ).inc()
+        self._trace.emit(
+            "health.transition",
+            self.clock.now,
+            node,
+            src=from_state.value,
+            dst=to_state.value,
+        )
+
     def _record_round_outcome(self, node: str, succeeded: bool) -> None:
         """Advance the health state machine after one probe round."""
         health = self._health[node]
@@ -334,7 +375,7 @@ class CRPService:
                 health.recoveries += 1
                 if health.quarantined_at is not None:
                     self.recovery_times_s.append(now - health.quarantined_at)
-            health.state = NodeState.HEALTHY
+            self._transition(node, health, NodeState.HEALTHY)
             health.consecutive_failed_rounds = 0
             health.last_success_at = now
             health.quarantined_at = None
@@ -347,7 +388,7 @@ class CRPService:
             and failed >= policy.quarantine_after
             and health.state is not NodeState.QUARANTINED
         ):
-            health.state = NodeState.QUARANTINED
+            self._transition(node, health, NodeState.QUARANTINED)
             health.quarantines += 1
             health.quarantined_at = now
             health.quarantined_round = self._round_index
@@ -356,11 +397,11 @@ class CRPService:
             and failed >= policy.degraded_after
             and health.state is NodeState.HEALTHY
         ):
-            health.state = NodeState.DEGRADED
+            self._transition(node, health, NodeState.DEGRADED)
 
     # -- probing ------------------------------------------------------------
 
-    def _resolve_with_retry(self, resolver, customer_name, budget: List[float]):
+    def _resolve_with_retry(self, node, resolver, customer_name, budget: List[float]):
         """One lookup under the probe policy; returns a result or None.
 
         ``budget`` is a single-cell mutable holding the remaining
@@ -370,16 +411,37 @@ class CRPService:
         backoff = policy.backoff_base_s
         for attempt in range(policy.max_attempts):
             self.probes_issued += 1
+            self._m_probe_attempts.inc()
             if attempt > 0:
                 self.probe_retries += 1
+                self._m_probe_retries.inc()
+                self._trace.emit(
+                    "probe.retry", self.clock.now, node,
+                    name=customer_name, attempt=attempt,
+                )
+            else:
+                self._trace.emit(
+                    "probe.attempt", self.clock.now, node, name=customer_name
+                )
             try:
                 return resolver.resolve(customer_name)
             except ResolutionError:
                 self.probe_failures += 1
+                self._m_probe_failures.inc()
+                self._trace.emit(
+                    "probe.failure", self.clock.now, node,
+                    name=customer_name, attempt=attempt,
+                )
                 if attempt + 1 >= policy.max_attempts:
                     return None
                 if budget[0] < backoff:
-                    return None  # round deadline: stop retrying this name
+                    # Round deadline: stop retrying this name.
+                    self.probe_deadline_hits += 1
+                    self._m_probe_deadline.inc()
+                    self._trace.emit(
+                        "probe.deadline", self.clock.now, node, name=customer_name
+                    )
+                    return None
                 budget[0] -= backoff
                 self.clock.advance(backoff)
                 backoff *= policy.backoff_multiplier
@@ -405,11 +467,13 @@ class CRPService:
         budget = [float("inf") if deadline is None else deadline]
         recorded = []
         for customer_name in self.params.customer_names:
-            result = self._resolve_with_retry(resolver, customer_name, budget)
+            result = self._resolve_with_retry(node, resolver, customer_name, budget)
             if result is not None and result.addresses:
                 recorded.append(
                     tracker.observe(self.clock.now, customer_name, result.addresses)
                 )
+        if recorded:
+            self._m_observations.inc(len(recorded))
         self._record_round_outcome(node, succeeded=bool(recorded))
         return recorded
 
@@ -436,8 +500,11 @@ class CRPService:
                 if rounds_in % policy.recovery_interval_rounds != 0:
                     continue
                 self.recovery_probes += 1
+                self._m_recovery_probes.inc()
+                self._trace.emit("probe.recovery", self.clock.now, node)
             total += len(self.probe(node))
         self._round_index += 1
+        self._m_probe_rounds.inc()
         return total
 
     def observe(self, node: str, customer_name: str, addresses: Sequence[str]) -> None:
@@ -463,7 +530,10 @@ class CRPService:
         probe rounds, repeated queries return the identical object, so
         the vectorized engine's packed-population cache stays hot.
         When the tracker moves on, every cached window from the
-        superseded version is evicted at once.
+        superseded version is evicted at once, and last-good fallback
+        maps held for superseded window overrides (other than the one
+        being queried) are pruned with it — so churning through ad-hoc
+        windows cannot pin stale maps forever.
         """
         tracker = self.tracker(node)
         if tracker.probe_count < self.params.bootstrap_min_probes:
@@ -473,7 +543,9 @@ class CRPService:
         node_cache = self._map_cache.setdefault(node, {})
         cached = node_cache.get(window_probes)
         if cached is not None and cached[0] == tracker.version:
+            self._m_map_cache_hits.inc()
             return cached[1]
+        self._m_map_cache_misses.inc()
         # Superseded: drop every window cached against an old version.
         stale_windows = [
             window
@@ -482,6 +554,17 @@ class CRPService:
         ]
         for window in stale_windows:
             del node_cache[window]
+        # Last-good maps follow the same churn, except for the window
+        # being queried right now — that one is exactly what
+        # stale-fallback positioning may still need if the fresh window
+        # has gone dark.
+        node_last_good = self._last_good.get(node)
+        if node_last_good is not None and stale_windows:
+            for window in stale_windows:
+                if window != window_probes:
+                    node_last_good.pop(window, None)
+            if not node_last_good:
+                del self._last_good[node]
         ratio_map = tracker.ratio_map(window_probes=window_probes)
         node_cache[window_probes] = (tracker.version, ratio_map)
         if ratio_map is not None and tracker.last_observation_at is not None:
@@ -521,6 +604,10 @@ class CRPService:
         if held is None:
             return None, None, False
         observed_at, ratio_map = held
+        self._m_position_fallbacks.inc()
+        self._trace.emit(
+            "position.fallback", self.clock.now, node, observed_at=observed_at
+        )
         return ratio_map, observed_at, True
 
     def position(
@@ -539,6 +626,7 @@ class CRPService:
         """
         if client not in self._resolvers:
             raise UnknownNodeError(client)
+        self._m_position_queries.inc()
         client_map, observed_at, from_fallback = self._map_with_fallback(
             client, window_probes
         )
@@ -565,6 +653,11 @@ class CRPService:
         )
         if stale:
             self.stale_answers += 1
+            self._m_position_stale.inc()
+            self._trace.emit(
+                "position.stale", now, client,
+                fallback=from_fallback, age_s=age,
+            )
         confidence = _STATE_CONFIDENCE[state] * (_STALE_CONFIDENCE if stale else 1.0)
         return PositioningAnswer(
             client=client,

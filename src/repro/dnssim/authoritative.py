@@ -28,12 +28,15 @@ from repro.dnssim.records import (
     normalize_name,
 )
 from repro.netsim.topology import Host
+from repro.obs import Observability, get_observability
 
 
 class AuthoritativeServer(abc.ABC):
     """Base class: a host that authoritatively serves some zones."""
 
-    def __init__(self, host: Host, zones: Sequence[str]) -> None:
+    def __init__(
+        self, host: Host, zones: Sequence[str], obs: Optional[Observability] = None
+    ) -> None:
         if not zones:
             raise ValueError("an authoritative server needs at least one zone")
         self.host = host
@@ -44,6 +47,11 @@ class AuthoritativeServer(abc.ABC):
         #: to a retrying resolver once its own timeout fires.
         self.available = True
         self.queries_failed_down = 0
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_queries = metrics.counter("dns.authority.queries")
+        self._m_down = metrics.counter("dns.authority.down_servfails")
 
     def fail(self) -> None:
         """Take the server down (every answer becomes SERVFAIL)."""
@@ -60,8 +68,13 @@ class AuthoritativeServer(abc.ABC):
     def answer(self, question: Question, ldns: Host, now: float) -> DnsResponse:
         """Answer a question from a resolver (``ldns``) at time ``now``."""
         self.queries_served += 1
+        self._m_queries.inc()
         if not self.available:
             self.queries_failed_down += 1
+            self._m_down.inc()
+            self._trace.emit(
+                "authority.down", now, self.host.name, name=question.name
+            )
             return DnsResponse(
                 question=question,
                 records=(),

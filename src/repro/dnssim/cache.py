@@ -2,17 +2,21 @@
 
 Resolvers keep one of these.  Entries expire at ``stored_at + ttl`` in
 simulated time; reads return records with their *remaining* TTL, the
-way a real cache serves aged records.  The cache is size-bounded with
-LRU eviction so long experiments cannot grow memory without bound.
+way a real cache serves aged records.  The cache is size-bounded: when
+an insert overflows the bound, *expired* entries are purged first
+(counted in ``expirations``), and only then are fresh entries evicted
+LRU (counted separately in ``evictions``) — an expired entry must
+never push out a fresh one.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Optional, Tuple
 
 from repro.dnssim.records import Question, RecordType, ResourceRecord
+from repro.obs import Observability, get_observability
 
 
 @dataclass
@@ -25,7 +29,7 @@ class _Entry:
 class TtlCache:
     """Positive-answer cache keyed by (name, rtype)."""
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(self, max_entries: int = 4096, obs: Optional[Observability] = None) -> None:
         if max_entries < 1:
             raise ValueError("cache needs room for at least one entry")
         self.max_entries = max_entries
@@ -33,14 +37,36 @@ class TtlCache:
         self.hits = 0
         self.misses = 0
         self.expirations = 0
+        self.evictions = 0
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_hits = metrics.counter("dns.cache.hits")
+        self._m_misses = metrics.counter("dns.cache.misses")
+        self._m_expirations = metrics.counter("dns.cache.expirations")
+        self._m_evictions = metrics.counter("dns.cache.evictions")
 
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _purge_expired(self, now: float) -> int:
+        """Drop every expired entry, counting each as an expiration."""
+        expired = [key for key, entry in self._entries.items() if now >= entry.expires_at]
+        for key in expired:
+            del self._entries[key]
+            self._trace.emit("cache.expire", now, key[0], reason="purge")
+        purged = len(expired)
+        if purged:
+            self.expirations += purged
+            self._m_expirations.inc(purged)
+        return purged
+
     def put(self, question: Question, records: Tuple[ResourceRecord, ...], now: float) -> None:
         """Store an answer; the entry lives for the minimum record TTL.
 
-        Zero-TTL answers are not cached (they are already stale).
+        Zero-TTL answers are not cached (they are already stale).  At
+        capacity, expired entries are purged before any fresh entry is
+        LRU-evicted.
         """
         if not records:
             return
@@ -50,8 +76,13 @@ class TtlCache:
         key = (question.name, question.rtype)
         self._entries[key] = _Entry(tuple(records), now, now + ttl)
         self._entries.move_to_end(key)
+        if len(self._entries) > self.max_entries:
+            self._purge_expired(now)
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            evicted_key, _ = self._entries.popitem(last=False)
+            self.evictions += 1
+            self._m_evictions.inc()
+            self._trace.emit("cache.evict", now, evicted_key[0])
 
     def get(self, question: Question, now: float) -> Optional[Tuple[ResourceRecord, ...]]:
         """Fresh records for a question, with remaining TTLs, or None."""
@@ -59,14 +90,22 @@ class TtlCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self._m_misses.inc()
+            self._trace.emit("cache.miss", now, question.name)
             return None
         if now >= entry.expires_at:
             del self._entries[key]
             self.expirations += 1
             self.misses += 1
+            self._m_expirations.inc()
+            self._m_misses.inc()
+            self._trace.emit("cache.expire", now, question.name, reason="read")
+            self._trace.emit("cache.miss", now, question.name)
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self._m_hits.inc()
+        self._trace.emit("cache.hit", now, question.name)
         remaining = entry.expires_at - now
         return tuple(r.with_ttl(min(r.ttl, remaining)) for r in entry.records)
 

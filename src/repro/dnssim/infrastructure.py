@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.dnssim.authoritative import AuthoritativeServer
-from repro.dnssim.records import name_under_zone, normalize_name
+from repro.dnssim.records import normalize_name
 
 
 class DnsInfrastructure:

@@ -23,12 +23,12 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
 from repro.dnssim.authoritative import StaticAuthoritativeServer
 from repro.dnssim.infrastructure import DnsInfrastructure
 from repro.dnssim.records import RecordType, ResourceRecord
-from repro.dnssim.resolver import RecursiveResolver, ResolutionError
+from repro.dnssim.resolver import RecursiveResolver
 from repro.netsim.network import Network
 from repro.netsim.topology import Host
 

@@ -15,7 +15,7 @@ reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -32,6 +32,7 @@ from repro.dnssim.records import (
 from repro.netsim.network import Network
 from repro.netsim.rng import derive_seed
 from repro.netsim.topology import Host
+from repro.obs import Observability, get_observability
 
 #: Maximum CNAME indirections before a resolver gives up.
 MAX_CHAIN_DEPTH = 8
@@ -79,6 +80,7 @@ class RecursiveResolver:
         failure_rate: float = 0.0,
         negative_ttl: float = 60.0,
         negative_cache_entries: int = 1024,
+        obs: Optional[Observability] = None,
     ) -> None:
         if not 0.0 <= failure_rate < 1.0:
             raise ValueError(f"failure_rate must be in [0, 1), got {failure_rate}")
@@ -91,7 +93,15 @@ class RecursiveResolver:
         self.host = host
         self.infrastructure = infrastructure
         self.network = network
-        self.cache = TtlCache(cache_entries)
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        metrics = obs.metrics
+        self._m_queries = metrics.counter("dns.resolver.queries")
+        self._m_failures = metrics.counter("dns.resolver.failures")
+        self._m_errors = metrics.counter("dns.resolver.errors")
+        self._m_negative_hits = metrics.counter("dns.resolver.negative_hits")
+        self._m_cost_ms = metrics.histogram("dns.resolver.cost_ms")
+        self.cache = TtlCache(cache_entries, obs=obs)
         #: NXDOMAIN answers are remembered for this long, as real
         #: resolvers do (RFC 2308) — repeated lookups of a missing name
         #: must not hammer the authoritative server.
@@ -121,8 +131,10 @@ class RecursiveResolver:
         or overlong CNAME chains.
         """
         self.queries_received += 1
+        self._m_queries.inc()
         if self.failure_rate > 0.0 and self._failure_rng.random() < self.failure_rate:
             self.queries_failed += 1
+            self._m_failures.inc()
             raise ResolutionError(
                 f"{self.host.name}: query for {name} timed out", rcode=Rcode.SERVFAIL
             )
@@ -138,6 +150,11 @@ class RecursiveResolver:
             negative_until = self._negative.get((current.name, current.rtype))
             if negative_until is not None:
                 if now < negative_until:
+                    self._m_negative_hits.inc()
+                    self._trace.emit(
+                        "resolver.negative_hit", now, current.name,
+                        resolver=self.host.name,
+                    )
                     raise ResolutionError(
                         f"{current.name}: NXDOMAIN (negative cache)",
                         rcode=Rcode.NXDOMAIN,
@@ -158,6 +175,7 @@ class RecursiveResolver:
                         )
                         if len(self._negative) > self.negative_cache_entries:
                             self._prune_negative(now)
+                    self._m_errors.inc()
                     raise ResolutionError(
                         f"{current.name}: {response.rcode.value} from {response.server_name}",
                         rcode=response.rcode,
@@ -169,6 +187,7 @@ class RecursiveResolver:
             wanted = [r for r in records if r.rtype is current.rtype]
             if wanted:
                 collected.extend(records)
+                self._m_cost_ms.observe(cost_ms)
                 return ResolutionResult(
                     question=question,
                     records=tuple(collected),
@@ -180,9 +199,11 @@ class RecursiveResolver:
                 collected.extend(cnames)
                 current = Question(cnames[0].value, question.rtype)
                 continue
+            self._m_errors.inc()
             raise ResolutionError(
                 f"{current.name}: empty answer", rcode=Rcode.SERVFAIL
             )
+        self._m_errors.inc()
         raise ResolutionError(f"{question.name}: CNAME chain too long")
 
     def _prune_negative(self, now: float) -> None:

@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_table
 from repro.cdn.loadbalance import SelectionPolicy
-from repro.cdn.mapping import MappingParams
 from repro.core.clustering import CenterPolicy, SmfParams, smf_cluster
 from repro.core.quality import evaluate_clustering
 from repro.core.selection import rank_candidates

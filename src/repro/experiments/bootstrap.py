@@ -20,7 +20,7 @@ compounds embedding error (the paper's Section II critique).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.analysis.stats import mean

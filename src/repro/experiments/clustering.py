@@ -14,7 +14,7 @@ so diameters come from vectorized block maxima.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.asn_clustering import asn_cluster

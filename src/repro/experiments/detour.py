@@ -13,7 +13,7 @@ the source's redirection history.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.analysis.stats import mean, median
 from repro.analysis.tables import format_table

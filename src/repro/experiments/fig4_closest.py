@@ -14,7 +14,7 @@ CRP's Top-5.  Headline claims this reproduction tracks:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.analysis.tables import format_series, format_table
 from repro.experiments.harness import ClosestNodeOutcome, run_closest_node_experiment

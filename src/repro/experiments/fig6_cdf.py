@@ -11,7 +11,7 @@ clusters exhibit a diameter of less than 40 ms".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.stats import cdf_points
 from repro.analysis.tables import format_table
@@ -29,7 +29,13 @@ class Fig6Result:
 
     @property
     def intra_cdf(self) -> List[Tuple[float, float]]:
-        """(intra distance, cumulative fraction) — the solid curve."""
+        """(intra distance, cumulative fraction) — the solid curve.
+
+        Explicitly empty when no cluster cleared the diameter cap
+        (``cdf_points`` raises on empty input by contract).
+        """
+        if not self.qualities:
+            return []
         return cdf_points([q.intra_avg_ms for q in self.qualities])
 
     @property

@@ -13,7 +13,7 @@ plots per-client average rank, sorted.  Findings tracked:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_series, format_table

@@ -19,13 +19,12 @@ throughout the experiment").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import mean, rank_of, sorted_series
-from repro.core.selection import RankedCandidate
 from repro.workloads.scenario import Scenario
 
 #: Relative-RTT cutoff above which a client counts as "poor" for an
@@ -181,7 +180,6 @@ def run_closest_node_experiment(
     records: List[SelectionRecord] = []
     for client in clients:
         ordering = [name for name, _ in truth[client]]
-        rtt_by_candidate = dict(truth[client])
         best_rtt = truth[client][0][1]
 
         ranked = scenario.crp.rank_servers(client, candidates, window_probes=window_probes)

@@ -15,7 +15,7 @@ independent of how many nodes use the service.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.tables import format_table
 from repro.workloads.scenario import Scenario

@@ -9,6 +9,13 @@ Usage::
 Each experiment prints (and optionally saves) the same rows/series the
 paper reports.  ``pytest benchmarks/ --benchmark-only`` runs the same
 drivers with shape assertions; this runner is the interactive way in.
+
+Every run is observed: each producer executes under an enabled
+:mod:`repro.obs` scope and emits a :class:`~repro.obs.RunManifest` —
+written as ``<name>.manifest.json`` next to the report when ``--out``
+is given, otherwise summarised to stdout.  Observability never touches
+the simulation's RNG or clock, so reports are bit-identical with
+``--no-manifest``.
 """
 
 from __future__ import annotations
@@ -19,6 +26,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
+from repro import obs as obs_layer
 from repro.experiments.chaos import run_chaos
 from repro.experiments.clustering import run_clustering_study
 from repro.experiments.detour import run_detour
@@ -160,6 +168,20 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--out", type=Path, default=None, help="also save reports to this directory"
     )
+    manifest_group = parser.add_mutually_exclusive_group()
+    manifest_group.add_argument(
+        "--manifest",
+        dest="manifest",
+        action="store_true",
+        default=True,
+        help="observe each run and emit a RunManifest (default)",
+    )
+    manifest_group.add_argument(
+        "--no-manifest",
+        dest="manifest",
+        action="store_false",
+        help="run with observability disabled (outputs are identical)",
+    )
     args = parser.parse_args(argv)
 
     wanted = args.only or sorted(EXPERIMENTS)
@@ -174,7 +196,12 @@ def main(argv: Optional[list] = None) -> int:
 
     for producer in producers:
         started = time.time()
-        reports = producer(args.scale)
+        if args.manifest:
+            with obs_layer.observed() as observed_run:
+                reports = producer(args.scale)
+        else:
+            observed_run = None
+            reports = producer(args.scale)
         elapsed = time.time() - started
         for name, text in sorted(reports.items()):
             if args.only and name not in args.only:
@@ -184,6 +211,19 @@ def main(argv: Optional[list] = None) -> int:
             if args.out is not None:
                 args.out.mkdir(parents=True, exist_ok=True)
                 (args.out / f"{name}.txt").write_text(text + "\n")
+            if observed_run is not None:
+                manifest = observed_run.manifest(
+                    name,
+                    params=(name, args.scale, SCALES[args.scale]),
+                    scale=args.scale,
+                    wall_duration_s=round(elapsed, 3),
+                )
+                if args.out is not None:
+                    manifest.write(args.out / f"{name}.manifest.json")
+                else:
+                    from repro.analysis.diagnostics import summarize_manifest
+
+                    print(summarize_manifest(manifest))
     return 0
 
 

@@ -16,10 +16,9 @@ clusters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.analysis.tables import format_table
-from repro.core.clustering import ClusteringResult
 from repro.experiments.clustering import (
     TABLE1_THRESHOLDS,
     ClusteringStudy,

@@ -37,6 +37,7 @@ from repro.dnssim.infrastructure import DnsInfrastructure
 from repro.dnssim.resolver import RecursiveResolver
 from repro.faults.schedule import FaultEpisode, FaultKind, FaultSchedule
 from repro.netsim.dynamics import CongestionField, RegionalSurge
+from repro.obs import Observability, get_observability
 
 
 class ChaosController:
@@ -51,8 +52,13 @@ class ChaosController:
         deployment: Optional[ReplicaDeployment] = None,
         mapping: Optional[MappingSystem] = None,
         congestion: Optional[CongestionField] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.schedule = schedule
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        self._metrics = obs.metrics
+        self._m_active = obs.metrics.gauge("fault.active_episodes")
         self._resolvers = resolvers or {}
         self._infrastructure = infrastructure
         self._deployment = deployment
@@ -121,6 +127,13 @@ class ChaosController:
     def _apply(self, index: int, episode: FaultEpisode) -> None:
         self._active[index] = episode
         self.episodes_started[episode.kind] += 1
+        self._metrics.counter("fault.episodes_started", kind=episode.kind.value).inc()
+        self._m_active.set(len(self._active))
+        self._trace.emit(
+            "fault.start", episode.start, episode.target,
+            kind=episode.kind.value, intensity=episode.intensity,
+            end=episode.end,
+        )
         key = (episode.kind, episode.target)
         first = self._depth[key] == 0
         self._depth[key] += 1
@@ -163,6 +176,12 @@ class ChaosController:
     def _revert(self, index: int, episode: FaultEpisode) -> None:
         self._active.pop(index, None)
         self.episodes_ended[episode.kind] += 1
+        self._metrics.counter("fault.episodes_ended", kind=episode.kind.value).inc()
+        self._m_active.set(len(self._active))
+        self._trace.emit(
+            "fault.end", episode.end, episode.target,
+            kind=episode.kind.value,
+        )
         key = (episode.kind, episode.target)
         self._depth[key] -= 1
         if self._depth[key] > 0:

@@ -23,9 +23,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.netsim.rng import derive_rng
 from repro.netsim.topology import Host

@@ -17,7 +17,7 @@ is greedy removal, which is what deployed Meridian implementations do
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, List, Sequence
 
 import numpy as np
 
@@ -70,7 +70,6 @@ def select_diverse_subset(
     if len(current) <= k:
         return current
 
-    index = {m: i for i, m in enumerate(current)}
     n = len(current)
     distances = np.zeros((n, n))
     for i, a in enumerate(current):

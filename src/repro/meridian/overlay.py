@@ -8,10 +8,9 @@ PlanetLab node as the entry point") and run the β-reduction search.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-import numpy as np
 
 from repro.meridian.failures import FailurePlan, FailureRates
 from repro.meridian.node import MeridianNode, NodeState, QueryBudget

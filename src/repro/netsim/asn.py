@@ -20,7 +20,7 @@ RouteViews origin-AS data).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx

@@ -8,6 +8,11 @@ deterministic under a fixed seed.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.obs import Observability, get_observability
+from repro.obs.manifest import SIM_NOW_GAUGE
+
 
 class SimClock:
     """A monotonically advancing simulated clock.
@@ -16,12 +21,20 @@ class SimClock:
     whenever they need a timestamp (DNS TTL expiry, redirection-probe
     timestamps, congestion-process sampling, ...).  Only the experiment
     driver advances the clock.
+
+    The clock keeps the observability layer's ``sim.now_s`` gauge
+    current, so run manifests can report simulated duration; with the
+    default null registry that write is a no-op.
     """
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, obs: Optional[Observability] = None) -> None:
         if start < 0:
             raise ValueError(f"clock cannot start before zero, got {start}")
         self._now = float(start)
+        self._sim_gauge = (obs if obs is not None else get_observability()).metrics.gauge(
+            SIM_NOW_GAUGE
+        )
+        self._sim_gauge.set(self._now)
 
     @property
     def now(self) -> float:
@@ -33,6 +46,7 @@ class SimClock:
         if seconds < 0:
             raise ValueError(f"cannot advance the clock backwards ({seconds} s)")
         self._now += float(seconds)
+        self._sim_gauge.set(self._now)
         return self._now
 
     def advance_minutes(self, minutes: float) -> float:

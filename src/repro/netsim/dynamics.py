@@ -28,7 +28,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.netsim.rng import derive_rng, derive_seed
+from repro.netsim.rng import derive_seed
 from repro.netsim.topology import Host
 from repro.netsim.world import Region
 

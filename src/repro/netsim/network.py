@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
 
 from repro.netsim.clock import SimClock
 from repro.netsim.dynamics import CongestionField, CongestionParams

@@ -8,7 +8,7 @@ an access-link latency that depends on what kind of host they are.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional
 

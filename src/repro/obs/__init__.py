@@ -1,0 +1,132 @@
+"""Observability: sim-time metrics, structured tracing, run manifests.
+
+The paper's premise is *reusing a measurement substrate you do not
+control* — which makes visibility into what the redirection machinery
+actually did (cache hits, retries, stale serves, fallback decisions,
+fault episodes) first-class.  This package is the dependency-light
+instrumentation layer the rest of the reproduction reports into:
+
+* :class:`MetricsRegistry` — counters, gauges and bounded histograms
+  with labels (:mod:`repro.obs.metrics`);
+* :class:`TraceLog` — a bounded log of typed, sim-timestamped events
+  (:mod:`repro.obs.trace`);
+* :class:`RunManifest` — a per-run JSON record of identity, durations
+  and the full metric snapshot (:mod:`repro.obs.manifest`).
+
+**Disabled by default.**  The process-wide default is
+:data:`NOOP` — a null registry and null trace log whose instruments
+are shared no-ops.  Instrumented components bind their instruments at
+construction time from :func:`get_observability`, so a disabled run
+pays one no-op method call per event and records nothing; enabling
+observability never touches RNG streams, the simulated clock, or any
+data structure the experiments fingerprint, so enabled and disabled
+runs produce bit-identical outputs.
+
+Enable it for a scope with::
+
+    from repro import obs
+
+    with obs.observed() as ob:
+        scenario = Scenario(params)       # components bind to ``ob``
+        scenario.run_probe_rounds(24)
+    print(ob.metrics.snapshot())
+
+or process-wide with :func:`set_observability`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.manifest import (
+    SIM_NOW_GAUGE,
+    RunManifest,
+    diff_manifests,
+    fingerprint_params,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.obs.trace import EVENT_KINDS, NullTraceLog, TraceEvent, TraceLog
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "TraceEvent",
+    "TraceLog",
+    "NullTraceLog",
+    "EVENT_KINDS",
+    "DEFAULT_BUCKETS",
+    "RunManifest",
+    "diff_manifests",
+    "fingerprint_params",
+    "SIM_NOW_GAUGE",
+    "Observability",
+    "NOOP",
+    "get_observability",
+    "set_observability",
+    "observed",
+]
+
+
+class Observability:
+    """A metrics registry and a trace log, travelling together."""
+
+    __slots__ = ("metrics", "trace")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.trace = trace if trace is not None else TraceLog()
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.trace.enabled
+
+    def manifest(self, run_key: str, **kwargs) -> RunManifest:
+        """Capture the current state as a :class:`RunManifest`."""
+        return RunManifest.capture(run_key, self.metrics, self.trace, **kwargs)
+
+
+#: The disabled observability every component binds to by default.
+NOOP = Observability(NullMetricsRegistry(), NullTraceLog())
+
+_default: Observability = NOOP
+
+
+def get_observability() -> Observability:
+    """The process-wide default (``NOOP`` unless something enabled it)."""
+    return _default
+
+
+def set_observability(obs: Optional[Observability]) -> Observability:
+    """Install a process-wide default; ``None`` restores ``NOOP``."""
+    global _default
+    _default = obs if obs is not None else NOOP
+    return _default
+
+
+@contextmanager
+def observed(obs: Optional[Observability] = None) -> Iterator[Observability]:
+    """Enable observability within a scope, restoring the previous
+    default on exit.  Components instrument at construction time, so
+    objects built *inside* the scope report here."""
+    active = obs if obs is not None else Observability()
+    previous = get_observability()
+    set_observability(active)
+    try:
+        yield active
+    finally:
+        set_observability(previous)

@@ -1,0 +1,190 @@
+"""Per-run manifests: what a run was, and what its machinery did.
+
+A :class:`RunManifest` freezes one experiment run into a JSON-friendly
+record: identity (run key, seed, scale, a fingerprint of the exact
+parameters), duration (wall seconds *and* simulated seconds), the full
+metric snapshot, and the trace-event counts.  Experiment runners write
+one next to each report so a production operator — or the next
+experimenter — can answer "what did the redirection machinery actually
+do during this run?" without re-running anything.
+
+:func:`diff_manifests` renders the counter-level difference between two
+manifests — the tool for "what changed between yesterday's run and
+today's?".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceLog
+
+#: Bumped whenever the manifest layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The gauge the simulated clock keeps current (see
+#: :class:`repro.netsim.clock.SimClock`); manifests read simulated
+#: duration from it.
+SIM_NOW_GAUGE = "sim.now_s"
+
+
+def fingerprint_params(params: object) -> str:
+    """A short stable fingerprint of an experiment's parameters.
+
+    Hashes the ``repr`` (dataclass reprs are field-ordered and
+    deterministic); two runs with the same fingerprint ran the same
+    configuration.
+    """
+    return hashlib.sha256(repr(params).encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass
+class RunManifest:
+    """One run's identity, durations, and observability snapshot."""
+
+    run_key: str
+    params_fingerprint: str
+    seed: Optional[int] = None
+    scale: Optional[str] = None
+    wall_duration_s: float = 0.0
+    sim_duration_s: float = 0.0
+    metrics: Dict[str, object] = field(default_factory=dict)
+    trace_counts: Dict[str, int] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    @classmethod
+    def capture(
+        cls,
+        run_key: str,
+        metrics: MetricsRegistry,
+        trace: Optional[TraceLog] = None,
+        *,
+        params: object = None,
+        seed: Optional[int] = None,
+        scale: Optional[str] = None,
+        wall_duration_s: float = 0.0,
+    ) -> "RunManifest":
+        """Snapshot a registry (and optionally a trace log) into a manifest."""
+        snapshot = metrics.snapshot()
+        sim_duration = float(snapshot.get("gauges", {}).get(SIM_NOW_GAUGE, 0.0))
+        return cls(
+            run_key=run_key,
+            params_fingerprint=fingerprint_params(params),
+            seed=seed,
+            scale=scale,
+            wall_duration_s=wall_duration_s,
+            sim_duration_s=sim_duration,
+            metrics=snapshot,
+            trace_counts=trace.counts_by_kind() if trace is not None else {},
+        )
+
+    # -- accessors ---------------------------------------------------------
+
+    def counter(self, name: str, default: int = 0) -> int:
+        """A counter from the snapshot by flat name."""
+        value = self.metrics.get("counters", {}).get(name, default)
+        return int(value)
+
+    def counters(self, prefix: str = "") -> Dict[str, int]:
+        """All counters (optionally filtered by flat-name prefix)."""
+        return {
+            name: int(value)
+            for name, value in self.metrics.get("counters", {}).items()
+            if name.startswith(prefix)
+        }
+
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "run_key": self.run_key,
+            "params_fingerprint": self.params_fingerprint,
+            "seed": self.seed,
+            "scale": self.scale,
+            "wall_duration_s": self.wall_duration_s,
+            "sim_duration_s": self.sim_duration_s,
+            "metrics": self.metrics,
+            "trace_counts": self.trace_counts,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as JSON; returns the path written."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.to_json() + "\n")
+        return path
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunManifest":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema version {version!r} "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        return cls(
+            run_key=str(data["run_key"]),
+            params_fingerprint=str(data["params_fingerprint"]),
+            seed=data.get("seed"),
+            scale=data.get("scale"),
+            wall_duration_s=float(data.get("wall_duration_s", 0.0)),
+            sim_duration_s=float(data.get("sim_duration_s", 0.0)),
+            metrics=dict(data.get("metrics", {})),
+            trace_counts=dict(data.get("trace_counts", {})),
+            schema_version=int(version),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def diff_manifests(a: RunManifest, b: RunManifest) -> str:
+    """A human-readable counter/duration diff between two manifests.
+
+    ``a`` is the baseline, ``b`` the comparison; rows are counters that
+    exist in either, with their delta.  Identical counters are elided.
+    """
+    lines = [f"manifest diff: {a.run_key} -> {b.run_key}"]
+    if a.params_fingerprint != b.params_fingerprint:
+        lines.append(
+            f"  params differ: {a.params_fingerprint} -> {b.params_fingerprint}"
+        )
+    for label, left, right in (
+        ("wall_duration_s", a.wall_duration_s, b.wall_duration_s),
+        ("sim_duration_s", a.sim_duration_s, b.sim_duration_s),
+    ):
+        if left != right:
+            lines.append(f"  {label}: {left:g} -> {right:g}")
+    counters_a = a.counters()
+    counters_b = b.counters()
+    changed: List[str] = []
+    for name in sorted(set(counters_a) | set(counters_b)):
+        left = counters_a.get(name, 0)
+        right = counters_b.get(name, 0)
+        if left != right:
+            changed.append(f"  {name}: {left} -> {right} ({right - left:+d})")
+    if changed:
+        lines.append(f"counters changed ({len(changed)}):")
+        lines.extend(changed)
+    else:
+        lines.append("counters identical")
+    trace_keys = sorted(set(a.trace_counts) | set(b.trace_counts))
+    trace_changed = [
+        f"  {kind}: {a.trace_counts.get(kind, 0)} -> {b.trace_counts.get(kind, 0)}"
+        for kind in trace_keys
+        if a.trace_counts.get(kind, 0) != b.trace_counts.get(kind, 0)
+    ]
+    if trace_changed:
+        lines.append(f"trace events changed ({len(trace_changed)}):")
+        lines.extend(trace_changed)
+    return "\n".join(lines)

@@ -1,0 +1,249 @@
+"""Metrics primitives: counters, gauges, bounded histograms.
+
+Dependency-light by design (stdlib only) and shaped like the metrics
+facade of a serving stack: components ask the registry for named
+instruments once, at construction time, and then mutate them on the
+hot path.  The default registry handed to components is the *null*
+registry (:class:`NullMetricsRegistry`), whose instruments are shared
+no-ops — instrumentation costs one no-op method call when
+observability is disabled and never perturbs simulation state (no RNG,
+no clock, no allocation on the null path).
+
+Instruments support labels, Prometheus-style::
+
+    registry.counter("crp.health.transitions", src="healthy", dst="degraded").inc()
+
+Each distinct ``(name, labels)`` pair is one instrument; ``snapshot()``
+flattens them to ``name{k=v,...}`` keys for export into a
+:class:`~repro.obs.manifest.RunManifest`.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram bucket upper bounds (values land in the first
+#: bucket whose bound is >= the value; an overflow bucket catches the
+#: rest).  Chosen for millisecond-ish quantities; pass explicit buckets
+#: for anything else.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _flat_name(name: str, key: LabelKey) -> str:
+    if not key:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in key)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class Histogram:
+    """A bounded histogram: fixed bucket bounds plus running moments.
+
+    Memory is O(len(buckets)) regardless of how many values are
+    observed — safe to leave on for million-probe runs.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelKey = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted, non-empty sequence")
+        self.name = name
+        self.labels = labels
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in buckets)
+        #: One slot per bound plus the overflow bucket.
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{b:g}": c for b, c in zip(self.bounds, self.bucket_counts)},
+                "overflow": self.bucket_counts[-1],
+            },
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store with a flat snapshot view."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], buckets)
+        return instrument
+
+    def counter_value(self, name: str, **labels: str) -> int:
+        """A counter's current value (0 if never created)."""
+        instrument = self._counters.get((name, _label_key(labels)))
+        return instrument.value if instrument is not None else 0
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments, flattened for JSON export."""
+        return {
+            "counters": {
+                _flat_name(name, key): c.value
+                for (name, key), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                _flat_name(name, key): g.value
+                for (name, key), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                _flat_name(name, key): h.summary()
+                for (name, key), h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # noqa: ARG002 - intentional no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, delta: float) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: every instrument is a shared no-op.
+
+    Components can keep their pre-bound instrument references; calls
+    cost one no-op method dispatch and record nothing.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter("null")
+        self._null_gauge = _NullGauge("null")
+        self._null_histogram = _NullHistogram("null")
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._null_gauge
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._null_histogram
+
+    def counter_value(self, name: str, **labels: str) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,155 @@
+"""Structured trace log of typed, sim-timestamped events.
+
+Every event carries the *simulated* timestamp of the moment it
+describes (components pass their clock's ``now`` explicitly — the
+trace layer never reads wall time, so enabling tracing cannot perturb
+a deterministic run), a ``kind`` from the event taxonomy below, a
+``subject`` (the node / cache / server / episode the event is about),
+and free-form key-value fields.
+
+The log is a bounded ring: the newest ``max_events`` events are kept
+and older ones are dropped (counted in ``dropped``), so tracing is
+safe to leave on for arbitrarily long runs.
+
+Event taxonomy
+--------------
+
+===========================  ====================================================
+kind                         emitted when
+===========================  ====================================================
+``probe.attempt``            a probe lookup is issued (every attempt)
+``probe.retry``              a failed lookup is retried after backoff
+``probe.failure``            a lookup attempt fails
+``probe.deadline``           the round's backoff budget cuts retries short
+``probe.recovery``           a quarantined node receives a recovery probe
+``cache.hit``                TTL cache served fresh records
+``cache.miss``               TTL cache had nothing usable
+``cache.expire``             an expired entry was dropped (on read or purge)
+``cache.evict``              a fresh entry was LRU-evicted at capacity
+``resolver.negative_hit``    an NXDOMAIN was answered from the negative cache
+``authority.down``           a downed authoritative server answered SERVFAIL
+``health.transition``        a node's health state machine moved
+``position.fallback``        positioning served the last-good (stale) map
+``position.stale``           a positioning answer was marked stale
+``fault.start``              a chaos episode was enacted
+``fault.end``                a chaos episode was reverted
+``engine.flush``             the packed population flushed pending rows
+``engine.compact``           the packed population dropped tombstoned rows
+===========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter, deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+#: The closed set of event kinds (documented above).  ``TraceLog.emit``
+#: accepts any kind — the taxonomy is advisory, and tests assert the
+#: instrumented layers stay inside it.
+EVENT_KINDS = frozenset(
+    {
+        "probe.attempt",
+        "probe.retry",
+        "probe.failure",
+        "probe.deadline",
+        "probe.recovery",
+        "cache.hit",
+        "cache.miss",
+        "cache.expire",
+        "cache.evict",
+        "resolver.negative_hit",
+        "authority.down",
+        "health.transition",
+        "position.fallback",
+        "position.stale",
+        "fault.start",
+        "fault.end",
+        "engine.flush",
+        "engine.compact",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured event at a simulated timestamp."""
+
+    ts: float
+    kind: str
+    subject: str
+    fields: Tuple[Tuple[str, object], ...] = ()
+
+    def get(self, key: str, default: object = None) -> object:
+        for k, v in self.fields:
+            if k == key:
+                return v
+        return default
+
+    def asdict(self) -> Dict[str, object]:
+        return {"ts": self.ts, "kind": self.kind, "subject": self.subject,
+                **dict(self.fields)}
+
+
+class TraceLog:
+    """A bounded, append-only log of :class:`TraceEvent`."""
+
+    enabled = True
+
+    def __init__(self, max_events: int = 65536) -> None:
+        if max_events < 1:
+            raise ValueError("trace log needs room for at least one event")
+        self.max_events = max_events
+        self._events: "deque[TraceEvent]" = deque(maxlen=max_events)
+        #: Events pushed out of the ring by newer ones.
+        self.dropped = 0
+        self._counts: _Counter = _Counter()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, kind: str, ts: float, subject: str = "", /, **fields: object) -> None:
+        """Record one event (oldest events fall off a full ring).
+
+        The leading parameters are positional-only so field names like
+        ``kind`` stay usable as event fields.
+        """
+        if len(self._events) == self.max_events:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(ts=ts, kind=kind, subject=subject,
+                       fields=tuple(fields.items()))
+        )
+        self._counts[kind] += 1
+
+    def events(self, kind: Optional[str] = None,
+               subject: Optional[str] = None) -> List[TraceEvent]:
+        """Retained events, oldest first, optionally filtered."""
+        return [
+            e
+            for e in self._events
+            if (kind is None or e.kind == kind)
+            and (subject is None or e.subject == subject)
+        ]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Events *emitted* per kind (includes dropped ones), sorted."""
+        return {kind: self._counts[kind] for kind in sorted(self._counts)}
+
+    def clear(self) -> None:
+        """Drop retained events and counts (``dropped`` is reset too)."""
+        self._events.clear()
+        self._counts.clear()
+        self.dropped = 0
+
+
+class NullTraceLog(TraceLog):
+    """The disabled trace log: ``emit`` is a no-op, queries are empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_events=1)
+
+    def emit(self, kind: str, ts: float, subject: str = "", /, **fields: object) -> None:
+        pass

@@ -17,7 +17,7 @@ stable, as PlanetLab was across the paper's experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Set, Tuple
+from typing import List, Set
 
 from repro.dnssim.resolver import RecursiveResolver
 from repro.netsim.rng import derive_rng

@@ -17,7 +17,7 @@ servers become simulation hosts; the raw pool is bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

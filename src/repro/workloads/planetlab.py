@@ -14,7 +14,7 @@ two machines at the same site, so the generator deploys per-site
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -15,8 +15,8 @@ smaller worlds with identical structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.cdn.mapping import MappingParams
 from repro.cdn.provider import CDNProvider

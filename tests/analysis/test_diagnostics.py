@@ -67,3 +67,61 @@ def test_tail_summary_empty_population():
     # way it renders without error.
     text = tail_summary(scenario, clients=[])
     assert text == "no tail clients found"
+
+
+# -- manifest inspection -------------------------------------------------------
+
+
+def _sample_manifest(retries=3):
+    from repro.obs import SIM_NOW_GAUGE, Observability
+
+    ob = Observability()
+    ob.metrics.counter("crp.probe.attempts").inc(20)
+    ob.metrics.counter("crp.probe.retries").inc(retries)
+    ob.metrics.counter("dns.cache.hits").inc(15)
+    ob.metrics.counter(
+        "crp.health.transitions", src="healthy", dst="degraded"
+    ).inc()
+    ob.metrics.counter("fault.episodes_started", kind="authority-outage").inc()
+    ob.metrics.gauge(SIM_NOW_GAUGE).set(7200.0)
+    ob.trace.emit("probe.retry", 1.0, "n0")
+    return ob.manifest(
+        "overhead", params=("overhead", "quick"), seed=7, scale="quick"
+    )
+
+
+def test_summarize_manifest_renders_counters():
+    from repro.analysis.diagnostics import summarize_manifest
+
+    text = summarize_manifest(_sample_manifest())
+    assert "overhead" in text
+    assert "scale=quick" in text
+    assert "7200" in text  # sim duration
+    assert "probe attempts" in text and "20" in text
+    assert "src=healthy" in text  # health transition labels surfaced
+    assert "episodes_started" in text
+    assert "probe.retry" in text  # trace census
+
+
+def test_summarize_manifest_empty_run():
+    from repro.analysis.diagnostics import summarize_manifest
+    from repro.obs import NOOP
+
+    text = summarize_manifest(NOOP.manifest("dark", params=None))
+    assert "observability was disabled" in text
+
+
+def test_manifest_cli_summary_and_diff(tmp_path, capsys):
+    from repro.analysis import diagnostics
+
+    a = tmp_path / "a.manifest.json"
+    b = tmp_path / "b.manifest.json"
+    _sample_manifest(retries=3).write(a)
+    _sample_manifest(retries=9).write(b)
+
+    assert diagnostics.main([str(a)]) == 0
+    assert "probe attempts" in capsys.readouterr().out
+
+    assert diagnostics.main([str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "crp.probe.retries: 3 -> 9 (+6)" in out

@@ -24,6 +24,10 @@ def test_empty_inputs_raise():
         median([])
     with pytest.raises(ValueError):
         percentile([], 50)
+    # cdf_points used to return [] silently; the empty-input contract
+    # is now uniform across the module.
+    with pytest.raises(ValueError):
+        cdf_points([])
 
 
 def test_percentile_endpoints():

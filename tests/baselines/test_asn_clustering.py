@@ -1,4 +1,3 @@
-import pytest
 
 from repro.baselines import asn_cluster
 from repro.netsim import HostKind

@@ -5,7 +5,6 @@ from repro.cdn.replica import (
     DEFAULT_CORE_METROS,
     EDGE_PREFIX,
     PROVIDER_OWNED_PREFIX,
-    ReplicaDeployment,
     ReplicaServer,
     deploy_replicas,
     is_provider_owned_address,

@@ -90,7 +90,6 @@ def test_pages_count_toward_customer_load(rewriter_setup):
 def test_rewritten_observations_feed_crp(rewriter_setup):
     """The passive channel: rewritten URLs → tracker → ratio map."""
     from repro.core import CRPService, CRPServiceParams
-    from repro.dnssim import RecursiveResolver
 
     provider, rewriter, client, clock = rewriter_setup
     service = CRPService(

@@ -2,7 +2,6 @@ import pytest
 
 from repro.core.clustering import Cluster, ClusteringResult
 from repro.core.quality import (
-    ClusterQuality,
     evaluate_cluster,
     evaluate_clustering,
     good_cluster_buckets,

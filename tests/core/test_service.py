@@ -446,3 +446,97 @@ def test_position_confidence_tracks_health(flaky_world):
     assert answer.client_state is NodeState.QUARANTINED
     assert answer.answerable
     assert answer.confidence == pytest.approx(0.4)
+
+
+# -- resilience: churn vs. fallback state, retry accounting --------------------
+
+
+def test_reregister_leaves_no_stale_last_good_fallback(service_world):
+    """register -> probe -> unregister -> re-register must not leave the
+    predecessor's last-good map around to be served as a stale fallback
+    for the fresh node."""
+    service, clock, hosts, network = service_world
+    probe(service, clock, rounds=12)
+    assert service.ratio_map("n-tokyo") is not None
+    assert service.params.window_probes in service._last_good["n-tokyo"]
+    service.unregister_node("n-tokyo")
+    assert "n-tokyo" not in service._last_good
+    assert "n-tokyo" not in service._map_cache
+    service.register_node(
+        "n-tokyo",
+        RecursiveResolver(hosts["n-tokyo"], DnsInfrastructure(), network),
+    )
+    assert service.params.probe_policy.stale_fallback  # fallback is on...
+    answer = service.position("n-tokyo", ["n-boston"])
+    assert not answer.answerable  # ...yet nothing stale is served
+    assert not answer.stale
+    assert "n-tokyo" not in service._last_good
+
+
+def test_last_good_window_overrides_pruned_on_churn(service_world):
+    """Churning through ad-hoc window overrides must not pin last-good
+    maps forever: superseded overrides are pruned, except the window
+    being queried (which stale-fallback may still need)."""
+    service, clock, _, _ = service_world
+    probe(service, clock, rounds=12)
+    for window in (2, 3, 4, None):
+        assert service.ratio_map("n-london", window_probes=window) is not None
+    assert {2, 3, 4, None} <= set(service._last_good["n-london"])
+    probe(service, clock, rounds=1)
+    service.ratio_map("n-london", window_probes=3)
+    assert set(service._last_good["n-london"]) == {3}
+
+
+def test_retry_accounting_matches_registry_and_resolver(topology, host_rng):
+    """The registry's retry count must equal both the service's own
+    bookkeeping and the count implied by resolver queries (every
+    attempt, first try or retry, is exactly one resolver query)."""
+    from repro import obs as obs_layer
+    from repro.core import ProbePolicy
+
+    with obs_layer.observed() as ob:
+        clock = SimClock()
+        network = Network(topology, clock, seed=43)
+        infra = DnsInfrastructure()
+        cdn = CDNProvider(topology, network, infra, seed=43)
+        for name in NAMES:
+            cdn.add_customer(name)
+        policy = ProbePolicy(
+            max_attempts=3,
+            backoff_base_s=2.0,
+            backoff_multiplier=2.0,
+            round_deadline_s=60.0,
+            degraded_after=1,
+            quarantine_after=None,
+        )
+        service = CRPService(
+            clock, CRPServiceParams(customer_names=NAMES, probe_policy=policy)
+        )
+        ok_host = topology.create_host(
+            "r-ok", HostKind.DNS_SERVER, topology.world.metro("boston"), host_rng
+        )
+        service.register_node("r-ok", RecursiveResolver(ok_host, infra, network))
+        dead_host = topology.create_host(
+            "r-dead", HostKind.DNS_SERVER, topology.world.metro("london"), host_rng
+        )
+        service.register_node(
+            "r-dead",
+            RecursiveResolver(dead_host, infra, network, failure_rate=0.999999),
+        )
+        for _ in range(3):
+            service.probe_all()
+            clock.advance_minutes(10)
+
+    counters = ob.metrics.snapshot()["counters"]
+    attempts = counters["crp.probe.attempts"]
+    retries = counters["crp.probe.retries"]
+    resolver_queries = counters["dns.resolver.queries"]
+    assert retries > 0  # the dead node forced real retries
+    # Registry agrees with the service's own bookkeeping.
+    assert attempts == service.probes_issued
+    assert retries == service.probe_retries
+    # One attempt == one resolver query, so retries implied by resolver
+    # query counts (queries minus first tries) match the registry.
+    first_tries = ob.trace.counts_by_kind()["probe.attempt"]
+    assert resolver_queries == attempts
+    assert retries == resolver_queries - first_tries

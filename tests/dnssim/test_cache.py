@@ -97,3 +97,54 @@ def test_hit_counter_increments():
     cache.get(q, now=0.0)
     cache.get(q, now=1.0)
     assert cache.hits == 2
+
+
+def test_expired_entries_purged_before_lru_eviction():
+    """An expired entry must never push out a fresh one: at capacity,
+    expired entries are purged (counted as expirations) before any
+    fresh entry is LRU-evicted."""
+    cache = TtlCache(max_entries=2)
+    cache.put(Question("fresh.test"), (record("fresh.test", ttl=1000.0),), now=0.0)
+    cache.put(Question("old.test"), (record("old.test", ttl=5.0),), now=0.0)
+    # Touch fresh.test so it is the most-recently-used entry; old.test
+    # is both LRU *and* expired by the time the insert overflows.
+    cache.get(Question("fresh.test"), now=1.0)
+    cache.get(Question("old.test"), now=1.0)  # now fresh.test is the LRU entry
+    cache.put(Question("new.test"), (record("new.test", ttl=1000.0),), now=10.0)
+    # The strictly-LRU bug would have evicted fresh.test; the expired
+    # old.test must go instead.
+    assert cache.get(Question("fresh.test"), now=10.0) is not None
+    assert cache.get(Question("new.test"), now=10.0) is not None
+    assert cache.get(Question("old.test"), now=10.0) is None
+    assert cache.expirations == 1  # the purge, not an LRU eviction
+    assert cache.evictions == 0
+
+
+def test_lru_evictions_counted_separately():
+    cache = TtlCache(max_entries=2)
+    cache.put(Question("a.test"), (record("a.test", ttl=1000.0),), now=0.0)
+    cache.put(Question("b.test"), (record("b.test", ttl=1000.0),), now=0.0)
+    cache.put(Question("c.test"), (record("c.test", ttl=1000.0),), now=0.0)
+    assert cache.evictions == 1
+    assert cache.expirations == 0
+    assert len(cache) == 2
+
+
+def test_cache_reports_to_metrics_registry():
+    from repro.obs import Observability
+
+    ob = Observability()
+    cache = TtlCache(max_entries=2, obs=ob)
+    q = Question("a.test")
+    cache.put(q, (record(ttl=5.0),), now=0.0)
+    cache.get(q, now=1.0)  # hit
+    cache.get(q, now=6.0)  # expired -> miss
+    cache.get(q, now=7.0)  # miss
+    counters = ob.metrics.snapshot()["counters"]
+    assert counters["dns.cache.hits"] == cache.hits == 1
+    assert counters["dns.cache.misses"] == cache.misses == 2
+    assert counters["dns.cache.expirations"] == cache.expirations == 1
+    kinds = ob.trace.counts_by_kind()
+    assert kinds["cache.hit"] == 1
+    assert kinds["cache.miss"] == 2
+    assert kinds["cache.expire"] == 1

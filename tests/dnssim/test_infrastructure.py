@@ -1,6 +1,6 @@
 import pytest
 
-from repro.dnssim import DnsInfrastructure, ResourceRecord, RecordType, StaticAuthoritativeServer
+from repro.dnssim import DnsInfrastructure, StaticAuthoritativeServer
 from repro.netsim import HostKind
 
 

@@ -1,4 +1,3 @@
-import pytest
 
 from repro.experiments.ablations import (
     run_center_policy_ablation,

@@ -5,7 +5,6 @@ results; the benches run them at paper scale and check result shape
 against the paper's claims.
 """
 
-import dataclasses
 
 import pytest
 

@@ -31,3 +31,41 @@ def test_runner_shared_producer_runs_once(capsys):
     assert code == 0
     captured = capsys.readouterr()
     assert "Detouring" in captured.out
+
+
+def test_runner_writes_manifest_next_to_report(tmp_path):
+    from repro.obs import RunManifest
+
+    code = runner.main(
+        ["--scale", "quick", "--only", "overhead", "--out", str(tmp_path)]
+    )
+    assert code == 0
+    manifest = RunManifest.load(tmp_path / "overhead.manifest.json")
+    assert manifest.run_key == "overhead"
+    assert manifest.scale == "quick"
+    assert manifest.sim_duration_s > 0.0
+    # Internal consistency: every probe attempt is one resolver query;
+    # every cache miss goes upstream to an authority; the cache sees at
+    # least one lookup per query (one per CNAME-chain step).
+    counters = manifest.counters()
+    assert counters["crp.probe.attempts"] == counters["dns.resolver.queries"]
+    assert counters["dns.authority.queries"] == counters["dns.cache.misses"]
+    cache_gets = counters["dns.cache.hits"] + counters["dns.cache.misses"]
+    assert cache_gets >= counters["dns.resolver.queries"]
+
+
+def test_runner_no_manifest_flag_skips_manifest(tmp_path):
+    code = runner.main(
+        [
+            "--scale",
+            "quick",
+            "--only",
+            "overhead",
+            "--out",
+            str(tmp_path),
+            "--no-manifest",
+        ]
+    )
+    assert code == 0
+    assert (tmp_path / "overhead.txt").exists()
+    assert not (tmp_path / "overhead.manifest.json").exists()

@@ -1,6 +1,5 @@
 """Integration: chaos injection, graceful degradation, recovery."""
 
-import pytest
 
 from repro.core import NodeState
 from repro.experiments.chaos import run_chaos

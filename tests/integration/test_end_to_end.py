@@ -1,7 +1,6 @@
 """End-to-end integration: the full pipeline, determinism, and the
 cross-subsystem behaviours the paper's evaluation depends on."""
 
-import pytest
 
 from repro.core import cosine_similarity
 from repro.core.clustering import SmfParams

@@ -1,11 +1,6 @@
 import pytest
 
-from repro.meridian import (
-    FailurePlan,
-    FailureRates,
-    MeridianOverlay,
-    NodeState,
-)
+from repro.meridian import FailurePlan, FailureRates, MeridianOverlay
 from repro.netsim import HostKind, Network, SimClock
 
 

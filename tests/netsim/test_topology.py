@@ -2,7 +2,7 @@ import pytest
 
 from repro.netsim import HostKind
 from repro.netsim.geo import GeoPoint, great_circle_km
-from repro.netsim.topology import ACCESS_MS_RANGE, Host
+from repro.netsim.topology import ACCESS_MS_RANGE
 
 
 def test_create_host_assigns_metro_and_region(topology, host_rng):

@@ -1,0 +1,119 @@
+import pytest
+
+from repro.obs import (
+    NOOP,
+    Observability,
+    RunManifest,
+    SIM_NOW_GAUGE,
+    diff_manifests,
+    fingerprint_params,
+    get_observability,
+    observed,
+    set_observability,
+)
+
+
+def make_observability():
+    ob = Observability()
+    ob.metrics.counter("crp.probe.attempts").inc(12)
+    ob.metrics.counter("crp.probe.retries").inc(3)
+    ob.metrics.gauge(SIM_NOW_GAUGE).set(3600.0)
+    ob.metrics.histogram("dns.resolver.cost_ms").observe(42.0)
+    ob.trace.emit("probe.attempt", 1.0, "n0")
+    ob.trace.emit("probe.retry", 2.0, "n0")
+    ob.trace.emit("probe.attempt", 3.0, "n1")
+    return ob
+
+
+def test_capture_reads_sim_duration_from_gauge():
+    ob = make_observability()
+    manifest = ob.manifest(
+        "overhead",
+        params=("overhead", "quick"),
+        seed=7,
+        scale="quick",
+        wall_duration_s=1.25,
+    )
+    assert manifest.run_key == "overhead"
+    assert manifest.seed == 7
+    assert manifest.sim_duration_s == 3600.0
+    assert manifest.wall_duration_s == 1.25
+    assert manifest.counter("crp.probe.attempts") == 12
+    assert manifest.counter("not.a.counter") == 0
+    assert manifest.counters("crp.probe.") == {
+        "crp.probe.attempts": 12,
+        "crp.probe.retries": 3,
+    }
+    assert manifest.trace_counts == {"probe.attempt": 2, "probe.retry": 1}
+
+
+def test_fingerprint_stable_and_distinct():
+    assert fingerprint_params(("a", 1)) == fingerprint_params(("a", 1))
+    assert fingerprint_params(("a", 1)) != fingerprint_params(("a", 2))
+    assert len(fingerprint_params(None)) == 16
+
+
+def test_write_load_roundtrip(tmp_path):
+    manifest = make_observability().manifest(
+        "fig6", params={"scale": "quick"}, seed=3, scale="quick"
+    )
+    path = manifest.write(tmp_path / "sub" / "fig6.manifest.json")
+    loaded = RunManifest.load(path)
+    assert loaded == manifest
+
+
+def test_load_rejects_unknown_schema(tmp_path):
+    manifest = make_observability().manifest("fig6", params=None)
+    data = manifest.to_dict()
+    data["schema_version"] = 99
+    with pytest.raises(ValueError):
+        RunManifest.from_dict(data)
+
+
+def test_diff_manifests_reports_deltas():
+    a = make_observability().manifest("run", params=("p",), wall_duration_s=1.0)
+    ob = make_observability()
+    ob.metrics.counter("crp.probe.retries").inc(5)
+    ob.trace.emit("probe.retry", 4.0, "n1")
+    b = ob.manifest("run", params=("q",), wall_duration_s=2.0)
+    text = diff_manifests(a, b)
+    assert "params differ" in text
+    assert "wall_duration_s: 1 -> 2" in text
+    assert "crp.probe.retries: 3 -> 8 (+5)" in text
+    assert "probe.retry: 1 -> 2" in text
+    # Unchanged counters are elided.
+    assert "crp.probe.attempts" not in text
+
+
+def test_diff_manifests_identical():
+    a = make_observability().manifest("run", params=("p",))
+    b = make_observability().manifest("run", params=("p",))
+    assert "counters identical" in diff_manifests(a, b)
+
+
+def test_observed_scope_installs_and_restores_default():
+    assert get_observability() is NOOP
+    with observed() as ob:
+        assert get_observability() is ob
+        assert ob.enabled
+        with observed() as inner:
+            assert get_observability() is inner
+        assert get_observability() is ob
+    assert get_observability() is NOOP
+
+
+def test_set_observability_none_restores_noop():
+    ob = Observability()
+    try:
+        assert set_observability(ob) is ob
+        assert get_observability() is ob
+    finally:
+        assert set_observability(None) is NOOP
+    assert not NOOP.enabled
+
+
+def test_noop_manifest_is_empty():
+    manifest = NOOP.manifest("disabled", params=None)
+    assert manifest.counters() == {}
+    assert manifest.trace_counts == {}
+    assert manifest.sim_duration_s == 0.0

@@ -1,0 +1,80 @@
+import pytest
+
+from repro.obs import MetricsRegistry, NullMetricsRegistry
+
+
+def test_counter_get_or_create_and_inc():
+    registry = MetricsRegistry()
+    c = registry.counter("probes")
+    c.inc()
+    c.inc(4)
+    assert registry.counter("probes") is c
+    assert registry.counter_value("probes") == 5
+
+
+def test_labels_make_distinct_instruments():
+    registry = MetricsRegistry()
+    a = registry.counter("transitions", src="healthy", dst="degraded")
+    b = registry.counter("transitions", src="degraded", dst="healthy")
+    assert a is not b
+    a.inc()
+    assert registry.counter_value("transitions", src="healthy", dst="degraded") == 1
+    assert registry.counter_value("transitions", src="degraded", dst="healthy") == 0
+    # Label order does not matter.
+    assert registry.counter("transitions", dst="degraded", src="healthy") is a
+
+
+def test_gauge_last_write_wins():
+    registry = MetricsRegistry()
+    g = registry.gauge("sim.now_s")
+    g.set(10.0)
+    g.set(3.0)
+    g.add(1.5)
+    assert g.value == pytest.approx(4.5)
+
+
+def test_histogram_bounded_and_consistent():
+    registry = MetricsRegistry()
+    h = registry.histogram("cost_ms", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0, 5.0):
+        h.observe(value)
+    assert h.count == 5
+    assert h.min == 0.5 and h.max == 500.0
+    assert h.mean == pytest.approx(sum((0.5, 5.0, 50.0, 500.0, 5.0)) / 5)
+    summary = h.summary()
+    assert sum(summary["buckets"].values()) == h.count
+    assert summary["buckets"]["overflow"] == 1
+    assert len(h.bucket_counts) == 4  # bounded regardless of observations
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("bad", buckets=(10.0, 1.0))
+    with pytest.raises(ValueError):
+        MetricsRegistry().histogram("empty", buckets=())
+
+
+def test_snapshot_flattens_labels():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc(2)
+    registry.counter("transitions", src="a", dst="b").inc()
+    registry.gauge("now").set(7.0)
+    registry.histogram("ms").observe(3.0)
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["hits"] == 2
+    assert snapshot["counters"]["transitions{dst=b,src=a}"] == 1
+    assert snapshot["gauges"]["now"] == 7.0
+    assert snapshot["histograms"]["ms"]["count"] == 1
+
+
+def test_null_registry_records_nothing():
+    registry = NullMetricsRegistry()
+    assert not registry.enabled
+    c = registry.counter("anything", label="x")
+    c.inc(100)
+    registry.gauge("g").set(5.0)
+    registry.histogram("h").observe(1.0)
+    assert registry.counter_value("anything", label="x") == 0
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    # All instruments are shared no-ops.
+    assert registry.counter("a") is registry.counter("b")

@@ -1,0 +1,82 @@
+import pytest
+
+from repro.obs import EVENT_KINDS, NullTraceLog, TraceLog
+
+
+def test_emit_and_filter():
+    log = TraceLog()
+    log.emit("cache.hit", 1.0, "a.test")
+    log.emit("cache.miss", 2.0, "b.test", reason="expired")
+    log.emit("cache.hit", 3.0, "b.test")
+    assert len(log) == 3
+    hits = log.events("cache.hit")
+    assert [e.ts for e in hits] == [1.0, 3.0]
+    assert log.events("cache.hit", subject="b.test")[0].ts == 3.0
+    assert log.events(subject="b.test")[0].get("reason") == "expired"
+
+
+def test_event_fields_survive_asdict():
+    log = TraceLog()
+    log.emit("health.transition", 5.0, "n-tokyo", src="healthy", dst="degraded")
+    event = log.events()[0]
+    assert event.asdict() == {
+        "ts": 5.0,
+        "kind": "health.transition",
+        "subject": "n-tokyo",
+        "src": "healthy",
+        "dst": "degraded",
+    }
+    assert event.get("missing", "fallback") == "fallback"
+
+
+def test_kind_named_field_does_not_collide():
+    log = TraceLog()
+    log.emit("fault.start", 0.0, "zone", kind="authority-outage")
+    assert log.events()[0].get("kind") == "authority-outage"
+
+
+def test_ring_bounded_and_drop_counted():
+    log = TraceLog(max_events=3)
+    for i in range(5):
+        log.emit("probe.attempt", float(i), f"n{i}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [e.ts for e in log.events()] == [2.0, 3.0, 4.0]
+    # counts_by_kind counts emissions, not retention.
+    assert log.counts_by_kind() == {"probe.attempt": 5}
+
+
+def test_clear_resets_everything():
+    log = TraceLog(max_events=2)
+    log.emit("cache.hit", 0.0, "a")
+    log.emit("cache.hit", 1.0, "a")
+    log.emit("cache.hit", 2.0, "a")
+    log.clear()
+    assert len(log) == 0
+    assert log.dropped == 0
+    assert log.counts_by_kind() == {}
+
+
+def test_capacity_validated():
+    with pytest.raises(ValueError):
+        TraceLog(max_events=0)
+
+
+def test_null_trace_is_inert():
+    log = NullTraceLog()
+    assert not log.enabled
+    log.emit("cache.hit", 0.0, "a")
+    assert len(log) == 0
+    assert log.events() == []
+    assert log.counts_by_kind() == {}
+
+
+def test_taxonomy_covers_documented_kinds():
+    for kind in (
+        "probe.attempt", "probe.retry", "probe.failure", "probe.deadline",
+        "probe.recovery", "cache.hit", "cache.miss", "cache.expire",
+        "cache.evict", "resolver.negative_hit", "authority.down",
+        "health.transition", "position.fallback", "position.stale",
+        "fault.start", "fault.end", "engine.flush", "engine.compact",
+    ):
+        assert kind in EVENT_KINDS

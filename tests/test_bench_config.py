@@ -8,7 +8,7 @@ import pytest
 
 sys.path.insert(0, str(Path(__file__).parent.parent / "benchmarks"))
 
-from bench_config import _SCALES, BenchScale, bench_scale, save_report  # noqa: E402
+from bench_config import _SCALES, bench_scale, save_report
 
 
 def test_all_scales_well_formed():

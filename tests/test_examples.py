@@ -7,8 +7,6 @@ manually / in the bench docs.)
 """
 
 import importlib.util
-import runpy
-import sys
 from pathlib import Path
 
 import pytest

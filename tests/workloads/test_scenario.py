@@ -1,7 +1,7 @@
 import pytest
 
 from repro.meridian import FailureRates
-from repro.workloads import Scenario, ScenarioParams
+from repro.workloads import ScenarioParams
 from tests.conftest import make_scenario
 
 
