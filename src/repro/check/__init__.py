@@ -1,0 +1,70 @@
+"""Correctness tooling: machine-checked guarantees over live objects.
+
+The repo promises three equivalences it previously only spot-checked:
+the vectorized engine matches the scalar reference (bit-identical
+rankings and clusterings), chaos-disabled scenarios are bit-identical
+to pre-chaos ones, and observability changes no experiment output.
+Systems built on CDN redirection signals live or die on the
+correctness of exactly this similarity/clustering machinery, so this
+package turns those comments into checks:
+
+* :mod:`repro.check.invariants` — a registry of cheap, registrable
+  predicates over live objects (ratio maps, trackers, the packed
+  engine, TTL caches, the service health machine, SMF results), each
+  violation emitted as a ``check.violation`` trace event;
+* :mod:`repro.check.differential` — a :class:`DifferentialRunner`
+  that executes an experiment under paired configurations (vectorized
+  vs scalar, obs on vs off, chaos stanza present-but-disabled vs
+  absent) and reports the first divergent field;
+* :mod:`repro.check.fuzz` — seeded fuzz drivers that churn
+  populations and observation streams, cross-checking scalar vs
+  vectorized after every step, with naive input shrinking on failure;
+* :mod:`repro.check.selfcheck` — the orchestrator behind
+  ``python -m repro.experiments.runner <exp> --selfcheck``.
+"""
+
+from __future__ import annotations
+
+from repro.check.differential import (
+    Divergence,
+    DifferentialPair,
+    DifferentialRunner,
+    chaos_stanza_pair,
+    obs_pair,
+    scalar_vector_pair,
+)
+from repro.check.fuzz import (
+    FuzzFailure,
+    fuzz_clustering,
+    fuzz_observations,
+    fuzz_ranking,
+    fuzz_ratio_maps,
+    run_all_fuzz,
+)
+from repro.check.invariants import (
+    InvariantRegistry,
+    Violation,
+    default_registry,
+)
+from repro.check.selfcheck import SelfCheckConfig, SelfCheckReport, run_selfcheck
+
+__all__ = [
+    "Violation",
+    "InvariantRegistry",
+    "default_registry",
+    "Divergence",
+    "DifferentialPair",
+    "DifferentialRunner",
+    "obs_pair",
+    "scalar_vector_pair",
+    "chaos_stanza_pair",
+    "FuzzFailure",
+    "fuzz_ratio_maps",
+    "fuzz_observations",
+    "fuzz_ranking",
+    "fuzz_clustering",
+    "run_all_fuzz",
+    "SelfCheckConfig",
+    "SelfCheckReport",
+    "run_selfcheck",
+]

@@ -1,0 +1,286 @@
+"""Differential execution: one experiment, paired configurations.
+
+A :class:`DifferentialPair` names two ways of producing the same
+*field map* — an ordered mapping of field name → value — that are
+promised to agree: the vectorized engine against the scalar reference,
+an observed run against an unobserved one, a scenario with a
+present-but-disabled chaos stanza against one with no stanza at all.
+The :class:`DifferentialRunner` executes both sides and reports the
+**first divergent field** per pair (first key order is the left
+side's), which is the thing an operator actually wants: not "the
+reports differ" but *where* they start differing.
+
+Field values compare exactly, except floats (and sequences of floats),
+which compare within the pair's tolerance — the engine's contract is
+bit-identical *orderings* with scores equal up to float summation
+order, so name fields use zero tolerance and score fields a tiny one.
+
+The standard pair builders cover the three equivalences the repo
+promises:
+
+* :func:`scalar_vector_pair` — rankings, Top-K selections and SMF
+  clusterings over one probed scenario, vectorized vs scalar;
+* :func:`obs_pair` — an experiment producer's reports with
+  observability enabled vs fully disabled;
+* :func:`chaos_stanza_pair` — a scenario carrying a zero-rate chaos
+  stanza vs one with the stanza absent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro import obs as obs_layer
+from repro.core.clustering import SmfParams, smf_cluster
+from repro.core.selection import rank_candidates, select_top_k
+from repro.core.similarity import SimilarityMetric
+from repro.faults import ChaosParams
+from repro.obs import NOOP, get_observability
+from repro.workloads.scenario import Scenario, ScenarioParams
+
+#: Score agreement between the vectorized and scalar similarity paths
+#: (the engine's documented bound is ≤ 1e-12; leave headroom).
+SCORE_TOLERANCE = 1e-9
+
+#: A producer of one side of a pair: () → ordered field map.
+FieldProducer = Callable[[], Mapping[str, object]]
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first field on which a pair's two sides disagree."""
+
+    pair: str
+    field: str
+    left: object
+    right: object
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.pair}] first divergent field {self.field!r}: "
+            f"{self.left!r} != {self.right!r}"
+        )
+
+
+@dataclass(frozen=True)
+class DifferentialPair:
+    """Two runs promised to produce the same field map."""
+
+    name: str
+    left: FieldProducer = field(repr=False)
+    right: FieldProducer = field(repr=False)
+    #: Absolute tolerance for float-valued fields (0.0 = exact).
+    tolerance: float = 0.0
+
+
+def _values_equal(left: object, right: object, tolerance: float) -> bool:
+    """Equality with float slack, applied recursively to sequences."""
+    if isinstance(left, float) and isinstance(right, float):
+        return abs(left - right) <= tolerance
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        if len(left) != len(right):
+            return False
+        return all(
+            _values_equal(a, b, tolerance) for a, b in zip(left, right)
+        )
+    return left == right
+
+
+def first_divergence(
+    pair: str,
+    left: Mapping[str, object],
+    right: Mapping[str, object],
+    tolerance: float = 0.0,
+) -> Optional[Divergence]:
+    """The first field (left-side order, then right-only extras) on
+    which two field maps disagree, or None when they match."""
+    for key in left:
+        if key not in right:
+            return Divergence(pair, key, left[key], "<missing>")
+        if not _values_equal(left[key], right[key], tolerance):
+            return Divergence(pair, key, left[key], right[key])
+    for key in right:
+        if key not in left:
+            return Divergence(pair, key, "<missing>", right[key])
+    return None
+
+
+class DifferentialRunner:
+    """Execute differential pairs and collect their first divergences.
+
+    Each divergence is also emitted as a ``check.violation`` trace
+    event through the active observability, so manifests record
+    differential failures the same way invariant failures are.
+    """
+
+    def __init__(self, pairs: Sequence[DifferentialPair]) -> None:
+        self.pairs = list(pairs)
+
+    def run(self) -> List[Divergence]:
+        """Run every pair; at most one divergence (the first) per pair."""
+        divergences: List[Divergence] = []
+        for pair in self.pairs:
+            left = pair.left()
+            right = pair.right()
+            divergence = first_divergence(pair.name, left, right, pair.tolerance)
+            if divergence is not None:
+                divergences.append(divergence)
+                obs = get_observability()
+                obs.metrics.counter("check.violations", invariant="differential").inc()
+                obs.trace.emit(
+                    "check.violation", 0.0, pair.name,
+                    invariant="differential",
+                    detail=str(divergence),
+                )
+        return divergences
+
+
+# -- report/field plumbing ---------------------------------------------------
+
+
+def report_fields(reports: Mapping[str, str]) -> Dict[str, object]:
+    """Flatten named report strings into per-line fields, so a diff
+    names the exact first line that changed."""
+    fields: Dict[str, object] = {}
+    for name in sorted(reports):
+        for index, line in enumerate(reports[name].splitlines()):
+            fields[f"{name}:{index}"] = line
+    return fields
+
+
+# -- standard pairs ----------------------------------------------------------
+
+
+def _positioning_fields(scenario: Scenario, *, vectorized: bool) -> Dict[str, object]:
+    """Rankings, Top-K picks and clusterings for one probed scenario,
+    computed through one similarity path."""
+    fields: Dict[str, object] = {}
+    crp = scenario.crp
+    candidate_maps = crp.ratio_maps(scenario.candidate_names)
+    for client in scenario.client_names:
+        client_map = crp.ratio_map(client)
+        if client_map is None:
+            fields[f"rank.{client}"] = None
+            continue
+        ranked = rank_candidates(
+            client_map, candidate_maps, crp.params.metric, vectorized=vectorized
+        )
+        top = select_top_k(
+            client_map, candidate_maps, 5, crp.params.metric, vectorized=vectorized
+        )
+        fields[f"rank.{client}.names"] = tuple(r.name for r in ranked)
+        fields[f"rank.{client}.scores"] = tuple(r.score for r in ranked)
+        fields[f"top5.{client}"] = tuple(r.name for r in top)
+    client_maps = crp.ratio_maps(scenario.client_names)
+    for threshold in (0.1, 0.5):
+        result = smf_cluster(
+            client_maps,
+            SmfParams(threshold=threshold, metric=crp.params.metric),
+            vectorized=vectorized,
+        )
+        key = f"smf.t{threshold:g}"
+        fields[f"{key}.clusters"] = tuple(
+            (c.center, tuple(c.members)) for c in result.clusters
+        )
+        fields[f"{key}.unclustered"] = tuple(result.unclustered)
+    return fields
+
+
+def scalar_vector_pair(
+    params: ScenarioParams, probe_rounds: int = 6
+) -> DifferentialPair:
+    """Vectorized vs scalar positioning over one probed scenario.
+
+    The scenario is built and probed once (lazily, on first use) and
+    both sides read the same ratio maps, so the only degree of freedom
+    is the similarity path itself.
+    """
+    state: Dict[str, Scenario] = {}
+
+    def scenario() -> Scenario:
+        if "scenario" not in state:
+            built = Scenario(params)
+            built.run_probe_rounds(probe_rounds)
+            state["scenario"] = built
+        return state["scenario"]
+
+    return DifferentialPair(
+        name="vectorized-vs-scalar",
+        left=lambda: _positioning_fields(scenario(), vectorized=True),
+        right=lambda: _positioning_fields(scenario(), vectorized=False),
+        tolerance=SCORE_TOLERANCE,
+    )
+
+
+def obs_pair(
+    name: str,
+    producer: Callable[[str], Mapping[str, str]],
+    scale: str,
+) -> DifferentialPair:
+    """An experiment producer's reports, observed vs unobserved.
+
+    The observability layer promises bit-identical outputs either way;
+    the left side runs under a fresh enabled scope, the right under
+    the disabled :data:`~repro.obs.NOOP`.
+    """
+
+    def observed_side() -> Mapping[str, object]:
+        with obs_layer.observed():
+            return report_fields(producer(scale))
+
+    def unobserved_side() -> Mapping[str, object]:
+        with obs_layer.observed(NOOP):
+            return report_fields(producer(scale))
+
+    return DifferentialPair(
+        name=f"obs-on-vs-off.{name}", left=observed_side, right=unobserved_side
+    )
+
+
+def _scenario_summary_fields(params: ScenarioParams, probe_rounds: int) -> Dict[str, object]:
+    """A compact behavioural fingerprint of one probed scenario."""
+    scenario = Scenario(params)
+    scenario.run_probe_rounds(probe_rounds)
+    crp = scenario.crp
+    fields: Dict[str, object] = {
+        "sim.now": scenario.clock.now,
+        "crp.probes_issued": crp.probes_issued,
+        "crp.probe_failures": crp.probe_failures,
+        "crp.health": tuple(sorted(crp.health_summary().items())),
+    }
+    for client in scenario.client_names:
+        answer = crp.position(client, scenario.candidate_names)
+        fields[f"position.{client}.top"] = tuple(r.name for r in answer.top(5))
+        fields[f"position.{client}.stale"] = answer.stale
+        fields[f"position.{client}.confidence"] = answer.confidence
+    result = crp.cluster(scenario.client_names)
+    fields["smf.clusters"] = tuple(
+        (c.center, tuple(c.members)) for c in result.clusters
+    )
+    fields["smf.unclustered"] = tuple(result.unclustered)
+    return fields
+
+
+def chaos_stanza_pair(
+    params: ScenarioParams, probe_rounds: int = 6
+) -> DifferentialPair:
+    """A zero-rate chaos stanza vs no chaos stanza at all.
+
+    A chaos configuration whose episode rates are all scaled to zero
+    draws an empty fault schedule; a scenario carrying it must behave
+    exactly like one built with ``chaos=None``.  This also exercises
+    the promise that the resilient probe policy (which a chaos stanza
+    arms) is inert when nothing actually fails: no retries, no
+    quarantines, no fallbacks — the same positioning answers, bit for
+    bit.
+    """
+    base = dataclasses.replace(params, build_meridian=False)
+    absent = dataclasses.replace(base, chaos=None)
+    disabled = dataclasses.replace(base, chaos=ChaosParams().scaled(0.0))
+    return DifferentialPair(
+        name="chaos-disabled-vs-absent",
+        left=lambda: _scenario_summary_fields(disabled, probe_rounds),
+        right=lambda: _scenario_summary_fields(absent, probe_rounds),
+    )

@@ -75,6 +75,13 @@ class ReplicaVocabulary:
         """The column for a replica, or None if never interned."""
         return self._index.get(replica)
 
+    def replicas(self) -> Tuple[str, ...]:
+        """All interned replicas, in column order (the inverse map)."""
+        out: List[Optional[str]] = [None] * len(self._index)
+        for replica, index in self._index.items():
+            out[index] = replica
+        return tuple(out)  # type: ignore[arg-type]
+
     def columns_of(self, ratio_map: RatioMap) -> np.ndarray:
         """Column indices for a map's replicas (interning new ones),
         in the map's own iteration order."""

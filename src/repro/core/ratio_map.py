@@ -58,11 +58,14 @@ class RatioMap(Mapping[str, float]):
     @classmethod
     def from_counts(cls, counts: Mapping[str, int]) -> "RatioMap":
         """Build a map from raw redirection counts."""
+        # Negative counts are invalid input and must be reported as
+        # such — before the total check, so ``{a: 5, b: -5}`` names the
+        # real problem instead of "no redirections".
+        if any(c < 0 for c in counts.values()):
+            raise ValueError("counts cannot be negative")
         total = sum(counts.values())
         if total <= 0:
             raise ValueError("counts must contain at least one redirection")
-        if any(c < 0 for c in counts.values()):
-            raise ValueError("counts cannot be negative")
         return cls({r: c / total for r, c in counts.items() if c > 0})
 
     # -- mapping protocol -----------------------------------------------------

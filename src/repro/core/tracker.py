@@ -169,8 +169,11 @@ class RedirectionTracker:
         returned address.  Observations whose weight has fallen below
         ``weight_floor`` are ignored (they no longer matter and the
         floor keeps the map's support bounded over long histories).
-        ``now`` defaults to the last observation's time.  Returns
-        ``None`` when nothing carries weight.
+        ``now`` defaults to the last observation's time.  An explicit
+        ``now`` earlier than part of the log does not erase the newer
+        observations: their weight is clamped to 1.0 (an observation
+        can never count for more than "just seen").  Returns ``None``
+        when nothing carries weight.
         """
         if half_life_seconds <= 0:
             raise ValueError("half_life_seconds must be positive")
@@ -181,9 +184,9 @@ class RedirectionTracker:
             now = selected[-1].at
         weights: Dict[str, float] = {}
         for observation in selected:
-            age = now - observation.at
-            if age < 0:
-                continue
+            # Observations newer than ``now`` (a mid-log reference
+            # time) are clamped to full weight instead of dropped.
+            age = max(0.0, now - observation.at)
             weight = 0.5 ** (age / half_life_seconds)
             if weight < weight_floor:
                 continue

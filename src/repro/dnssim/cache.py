@@ -29,6 +29,15 @@ class _Entry:
 class TtlCache:
     """Positive-answer cache keyed by (name, rtype)."""
 
+    @staticmethod
+    def _expired(entry: _Entry, now: float) -> bool:
+        """The single expiry-boundary predicate both the read path and
+        the purge path consult: a record is dead at exactly
+        ``expires_at`` (its remaining TTL would be zero).  Keeping one
+        predicate guarantees the hit/miss accounting and the purge
+        counter can never classify the same record differently."""
+        return now >= entry.expires_at
+
     def __init__(self, max_entries: int = 4096, obs: Optional[Observability] = None) -> None:
         if max_entries < 1:
             raise ValueError("cache needs room for at least one entry")
@@ -51,7 +60,7 @@ class TtlCache:
 
     def _purge_expired(self, now: float) -> int:
         """Drop every expired entry, counting each as an expiration."""
-        expired = [key for key, entry in self._entries.items() if now >= entry.expires_at]
+        expired = [key for key, entry in self._entries.items() if self._expired(entry, now)]
         for key in expired:
             del self._entries[key]
             self._trace.emit("cache.expire", now, key[0], reason="purge")
@@ -93,7 +102,7 @@ class TtlCache:
             self._m_misses.inc()
             self._trace.emit("cache.miss", now, question.name)
             return None
-        if now >= entry.expires_at:
+        if self._expired(entry, now):
             del self._entries[key]
             self.expirations += 1
             self.misses += 1
@@ -108,6 +117,29 @@ class TtlCache:
         self._trace.emit("cache.hit", now, question.name)
         remaining = entry.expires_at - now
         return tuple(r.with_ttl(min(r.ttl, remaining)) for r in entry.records)
+
+    # -- inspection (used by the self-check harness) ------------------------
+
+    def entries(self) -> Tuple[Tuple[Tuple[str, RecordType], _Entry], ...]:
+        """A snapshot of the stored entries, LRU order, no side effects."""
+        return tuple(self._entries.items())
+
+    def peek_entry(
+        self, key: Tuple[str, RecordType], now: float
+    ) -> Optional[Tuple[ResourceRecord, ...]]:
+        """What :meth:`get` would serve for a key, without serving it:
+        no counters, no LRU bump, no lazy expiry, no trace events."""
+        entry = self._entries.get(key)
+        if entry is None or self._expired(entry, now):
+            return None
+        remaining = entry.expires_at - now
+        return tuple(r.with_ttl(min(r.ttl, remaining)) for r in entry.records)
+
+    def would_purge(self, key: Tuple[str, RecordType], now: float) -> bool:
+        """Whether :meth:`_purge_expired` would drop a stored key at
+        ``now`` (False for unknown keys)."""
+        entry = self._entries.get(key)
+        return entry is not None and self._expired(entry, now)
 
     def flush(self) -> None:
         """Drop everything (counters are preserved)."""

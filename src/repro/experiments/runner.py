@@ -154,9 +154,48 @@ EXPERIMENTS: Dict[str, Callable[[str], Dict[str, str]]] = {
 }
 
 
+def _run_selfcheck(args, wanted) -> int:
+    """``--selfcheck`` mode: run the harness, print, exit by outcome.
+
+    The whole battery runs under an enabled observability scope so
+    every violation also lands in the trace as a ``check.violation``
+    event; with ``--out`` the report is saved (and the violation
+    record written as JSON whenever it is non-empty — the CI
+    artifact).
+    """
+    from repro.check import SelfCheckConfig, run_selfcheck
+
+    config = SelfCheckConfig(scale=args.scale, fuzz_steps=args.selfcheck_steps)
+    producers = {key: EXPERIMENTS[key] for key in wanted}
+    started = time.time()
+    with obs_layer.observed() as observed_run:
+        report = run_selfcheck(config, producers=producers)
+    elapsed = time.time() - started
+    print(report.render())
+    print(
+        f"(selfcheck ran in {elapsed:.1f}s; "
+        f"{observed_run.trace.counts_by_kind().get('check.violation', 0)} "
+        f"check.violation trace events)"
+    )
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+        (args.out / "selfcheck.txt").write_text(report.render() + "\n")
+        if not report.ok:
+            (args.out / "selfcheck.violations.json").write_text(
+                report.to_json() + "\n"
+            )
+    return 0 if report.ok else 2
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="EXP",
+        help="experiments to run (same keys as --only; default: everything)",
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
     parser.add_argument(
@@ -167,6 +206,22 @@ def main(argv: Optional[list] = None) -> int:
     )
     parser.add_argument(
         "--out", type=Path, default=None, help="also save reports to this directory"
+    )
+    parser.add_argument(
+        "--selfcheck",
+        action="store_true",
+        help=(
+            "run the differential self-check harness over the selected "
+            "experiments instead of printing reports; exits non-zero on "
+            "any invariant violation, differential divergence or fuzz "
+            "failure"
+        ),
+    )
+    parser.add_argument(
+        "--selfcheck-steps",
+        type=int,
+        default=40,
+        help="steps per fuzz driver in --selfcheck mode (default 40)",
     )
     manifest_group = parser.add_mutually_exclusive_group()
     manifest_group.add_argument(
@@ -184,7 +239,17 @@ def main(argv: Optional[list] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    wanted = args.only or sorted(EXPERIMENTS)
+    unknown = sorted(set(args.experiments) - set(EXPERIMENTS))
+    if unknown:
+        parser.error(
+            f"unknown experiment(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(EXPERIMENTS))})"
+        )
+    wanted = args.only or args.experiments or sorted(EXPERIMENTS)
+
+    if args.selfcheck:
+        return _run_selfcheck(args, wanted)
+
     # Producers covering several experiments run once.
     producers = []
     seen = set()
@@ -204,7 +269,7 @@ def main(argv: Optional[list] = None) -> int:
             reports = producer(args.scale)
         elapsed = time.time() - started
         for name, text in sorted(reports.items()):
-            if args.only and name not in args.only:
+            if (args.only or args.experiments) and name not in wanted:
                 continue
             print(f"\n{'=' * 72}\n{name}  (generated in {elapsed:.1f}s at scale={args.scale})")
             print(text)

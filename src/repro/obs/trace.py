@@ -35,6 +35,7 @@ kind                         emitted when
 ``fault.end``                a chaos episode was reverted
 ``engine.flush``             the packed population flushed pending rows
 ``engine.compact``           the packed population dropped tombstoned rows
+``check.violation``          a self-check invariant or differential pair failed
 ===========================  ====================================================
 """
 
@@ -67,6 +68,7 @@ EVENT_KINDS = frozenset(
         "fault.end",
         "engine.flush",
         "engine.compact",
+        "check.violation",
     }
 )
 

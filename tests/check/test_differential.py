@@ -1,0 +1,104 @@
+"""Differential pairs: divergence detection and the standard pairs."""
+
+from repro import obs as obs_layer
+from repro.check import DifferentialPair, DifferentialRunner
+from repro.check.differential import (
+    chaos_stanza_pair,
+    first_divergence,
+    obs_pair,
+    report_fields,
+    scalar_vector_pair,
+)
+from repro.workloads import ScenarioParams
+
+SMALL = ScenarioParams(
+    seed=7, dns_servers=10, planetlab_nodes=6, build_meridian=False
+)
+
+
+# -- divergence mechanics ----------------------------------------------------
+
+
+def test_matching_maps_have_no_divergence():
+    left = {"a": 1, "b": (1.0, 2.0), "c": "x"}
+    assert first_divergence("p", left, dict(left)) is None
+
+
+def test_first_divergent_field_follows_left_order():
+    left = {"a": 1, "b": 2, "c": 3}
+    right = {"a": 1, "b": 99, "c": 98}
+    divergence = first_divergence("p", left, right)
+    assert divergence.field == "b"
+    assert divergence.left == 2
+    assert divergence.right == 99
+    assert "first divergent field 'b'" in str(divergence)
+
+
+def test_missing_fields_reported_with_sentinel():
+    assert first_divergence("p", {"a": 1}, {}).right == "<missing>"
+    assert first_divergence("p", {}, {"a": 1}).left == "<missing>"
+
+
+def test_float_fields_compare_within_tolerance():
+    left = {"score": 0.5, "scores": (0.1, 0.2)}
+    right = {"score": 0.5 + 1e-12, "scores": (0.1, 0.2 - 1e-12)}
+    assert first_divergence("p", left, right, tolerance=1e-9) is None
+    assert first_divergence("p", left, right, tolerance=0.0).field == "score"
+
+
+def test_nested_length_mismatch_diverges():
+    divergence = first_divergence("p", {"a": (1, 2)}, {"a": (1, 2, 3)}, tolerance=1.0)
+    assert divergence.field == "a"
+
+
+def test_runner_reports_first_divergence_per_pair_and_traces_it():
+    good = DifferentialPair("good", lambda: {"x": 1}, lambda: {"x": 1})
+    bad = DifferentialPair("bad", lambda: {"x": 1, "y": 2}, lambda: {"x": 9, "y": 8})
+    with obs_layer.observed() as obs:
+        divergences = DifferentialRunner([good, bad]).run()
+    assert [d.pair for d in divergences] == ["bad"]
+    assert divergences[0].field == "x"  # only the first field per pair
+    events = obs.trace.events(kind="check.violation")
+    assert len(events) == 1
+    assert events[0].subject == "bad"
+    assert obs.metrics.counter_value("check.violations", invariant="differential") == 1
+
+
+def test_report_fields_flattens_lines():
+    fields = report_fields({"fig": "row1\nrow2", "tab": "only"})
+    assert fields == {"fig:0": "row1", "fig:1": "row2", "tab:0": "only"}
+
+
+# -- the standard pairs ------------------------------------------------------
+
+
+def test_scalar_vector_pair_has_no_divergence():
+    pair = scalar_vector_pair(SMALL, probe_rounds=4)
+    assert DifferentialRunner([pair]).run() == []
+
+
+def test_chaos_stanza_pair_has_no_divergence():
+    pair = chaos_stanza_pair(SMALL, probe_rounds=4)
+    assert DifferentialRunner([pair]).run() == []
+
+
+def test_obs_pair_clean_for_deterministic_producer():
+    def producer(scale):
+        return {"report": f"line at scale={scale}\nsecond"}
+
+    pair = obs_pair("toy", producer, "quick")
+    assert pair.name == "obs-on-vs-off.toy"
+    assert DifferentialRunner([pair]).run() == []
+
+
+def test_obs_pair_catches_observability_leak():
+    # A producer whose output depends on the active observability layer
+    # is exactly the regression the pair exists to catch.
+    def leaky(scale):
+        from repro.obs import get_observability
+
+        return {"report": f"traced={get_observability().enabled}"}
+
+    divergences = DifferentialRunner([obs_pair("leaky", leaky, "quick")]).run()
+    assert len(divergences) == 1
+    assert divergences[0].field == "report:0"

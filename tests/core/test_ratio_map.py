@@ -144,3 +144,19 @@ def test_sum_tolerance_constant_governs_validation():
     # ...while anything beyond it is rejected.
     with pytest.raises(ValueError):
         RatioMap({"a": 0.5, "b": 0.5 + _SUM_TOLERANCE * 3})
+
+
+def test_from_counts_reports_negative_before_zero_total():
+    # {a: 5, b: -5} sums to zero; the real problem is the negative
+    # count, and the error must say so rather than "no redirections".
+    with pytest.raises(ValueError, match="negative"):
+        RatioMap.from_counts({"a": 5, "b": -5})
+
+
+def test_from_counts_negative_with_positive_total_still_rejected():
+    # A negative count must be rejected even when the total is positive
+    # (the ordering of the two validations must not matter here).
+    with pytest.raises(ValueError, match="negative"):
+        RatioMap.from_counts({"a": 5, "b": -1})
+    with pytest.raises(ValueError, match="at least one redirection"):
+        RatioMap.from_counts({"a": 0, "b": 0})

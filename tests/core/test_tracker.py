@@ -160,3 +160,31 @@ def test_unbounded_tracker_keeps_everything():
         tracker.observe(float(i), "x.test", ["r"])
     assert tracker.probe_count == 200
     assert tracker.observations_dropped == 0
+
+
+def test_decayed_map_with_now_before_last_observation():
+    # Regression: a mid-log ``now`` used to make newer observations
+    # compute a negative age and be skipped entirely, silently erasing
+    # the freshest probes.  They must instead clamp to full weight.
+    tracker = RedirectionTracker("node")
+    tracker.observe(0.0, "x.test", ["old"])
+    tracker.observe(1000.0, "x.test", ["newer"])
+    tracker.observe(2000.0, "x.test", ["newest"])
+    decayed = tracker.decayed_ratio_map(half_life_seconds=1000.0, now=500.0)
+    # Both observations after now=500 clamp to weight 1.0; the one at
+    # t=0 decays by half a half-life.
+    old_weight = 0.5 ** 0.5
+    total = old_weight + 2.0
+    assert decayed.ratio("newest") == pytest.approx(1.0 / total)
+    assert decayed.ratio("newer") == pytest.approx(1.0 / total)
+    assert decayed.ratio("old") == pytest.approx(old_weight / total)
+
+
+def test_decayed_map_now_before_entire_log_keeps_all_probes():
+    tracker = RedirectionTracker("node")
+    tracker.observe(100.0, "x.test", ["a"])
+    tracker.observe(200.0, "x.test", ["b"])
+    decayed = tracker.decayed_ratio_map(half_life_seconds=60.0, now=0.0)
+    # Everything is "in the future" of now, so all weights clamp to 1.
+    assert decayed.ratio("a") == pytest.approx(0.5)
+    assert decayed.ratio("b") == pytest.approx(0.5)

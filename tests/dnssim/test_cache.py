@@ -148,3 +148,40 @@ def test_cache_reports_to_metrics_registry():
     assert kinds["cache.hit"] == 1
     assert kinds["cache.miss"] == 2
     assert kinds["cache.expire"] == 1
+
+
+def test_read_and_purge_agree_exactly_at_expiry_boundary():
+    # Both paths classify through the same predicate: dead at exactly
+    # ``expires_at``, alive any instant before.
+    cache = TtlCache()
+    q = Question("a.test")
+    cache.put(q, (record(ttl=30.0),), now=0.0)
+    key = ("a.test", RecordType.A)
+
+    just_before = 30.0 - 1e-9
+    assert cache.peek_entry(key, just_before) is not None
+    assert not cache.would_purge(key, just_before)
+    served = cache.get(q, now=just_before)
+    assert served is not None
+    assert all(r.ttl > 0 for r in served)
+
+    cache.put(q, (record(ttl=30.0),), now=0.0)
+    assert cache.peek_entry(key, 30.0) is None
+    assert cache.would_purge(key, 30.0)
+    assert cache.get(q, now=30.0) is None
+    assert cache.expirations >= 1
+
+
+def test_peek_entry_does_not_mutate_counters_or_order():
+    cache = TtlCache(max_entries=2)
+    qa, qb = Question("a.test"), Question("b.test")
+    cache.put(qa, (record(name="a.test", ttl=30.0),), now=0.0)
+    cache.put(qb, (record(name="b.test", ttl=30.0),), now=0.0)
+    before = (cache.hits, cache.misses, cache.expirations)
+    assert cache.peek_entry(("a.test", RecordType.A), 1.0) is not None
+    assert cache.peek_entry(("a.test", RecordType.A), 31.0) is None
+    assert (cache.hits, cache.misses, cache.expirations) == before
+    # peek did not LRU-touch "a": adding a third entry still evicts it.
+    cache.put(Question("c.test"), (record(name="c.test", ttl=30.0),), now=1.0)
+    assert cache.get(qa, now=1.0) is None
+    assert cache.get(qb, now=1.0) is not None
