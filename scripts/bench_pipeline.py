@@ -1,0 +1,184 @@
+#!/usr/bin/env python
+"""Record experiment-pipeline benchmarks to ``BENCH_pipeline.json``.
+
+Runs the default experiment sweep through the cell executor twice —
+``jobs=1`` (the historical serial path) and ``jobs=N`` — verifies the
+two produce byte-identical reports (sha256 over every rendered report),
+and writes one JSON artifact at the repo root with:
+
+* measured wall-clock for both runs, plus snapshot hit/miss counts;
+* per-shard serial wall times (a shard is the unit of parallel
+  scheduling — cells sharing snapshot state stay together);
+* an LPT (longest-processing-time) critical-path projection of the
+  sweep wall at 2/4/8 workers, computed from the measured per-shard
+  times.  On hosts with fewer cores than workers the *measured*
+  parallel wall cannot beat serial, so the projection is the honest
+  estimate of what the shard plan yields when the cores exist; the
+  artifact records ``cpu_count`` so readers can tell which regime the
+  measurement ran in.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_pipeline.py --scale default --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exec import DEFAULT_EXPERIMENTS, plans_for, run_cells  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def _dedup_cells(plans):
+    cells, seen = [], set()
+    for plan in plans:
+        for cell in plan.cells:
+            if cell.cell_key not in seen:
+                seen.add(cell.cell_key)
+                cells.append(cell)
+    return cells
+
+
+def _report_fingerprint(plans, sweep) -> str:
+    """sha256 over every report the sweep renders, in plan order."""
+    by_key = sweep.by_key()
+    digest = hashlib.sha256()
+    for plan in plans:
+        reports = plan.combine([by_key[c.cell_key] for c in plan.cells])
+        for name in sorted(reports):
+            digest.update(name.encode())
+            digest.update(reports[name].encode())
+    return digest.hexdigest()
+
+
+def _lpt_makespan(durations: List[float], workers: int) -> float:
+    """Longest-processing-time-first bin makespan for shard durations."""
+    bins = [0.0] * max(1, workers)
+    for duration in sorted(durations, reverse=True):
+        bins[bins.index(min(bins))] += duration
+    return max(bins)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="default")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1)
+    parser.add_argument("--out", type=Path, default=OUTPUT)
+    args = parser.parse_args()
+
+    plans = plans_for(DEFAULT_EXPERIMENTS, args.scale)
+    cells = _dedup_cells(plans)
+    print(f"sweep: {len(cells)} cells over {len(plans)} experiments "
+          f"at scale={args.scale} (cpu_count={os.cpu_count()})")
+
+    serial = run_cells(cells, jobs=1, manifest=False)
+    if not serial.ok:
+        for failure in serial.failures():
+            print(f"FAILED {failure.cell_key}\n{failure.error}")
+        return 1
+    print(f"jobs=1   wall {serial.wall_s:8.1f}s  "
+          f"snapshots {serial.snapshot_hits} hit / {serial.snapshot_misses} miss")
+
+    parallel = run_cells(cells, jobs=args.jobs, manifest=False)
+    if not parallel.ok:
+        for failure in parallel.failures():
+            print(f"FAILED {failure.cell_key}\n{failure.error}")
+        return 1
+    print(f"jobs={args.jobs:<3d} wall {parallel.wall_s:8.1f}s  "
+          f"snapshots {parallel.snapshot_hits} hit / {parallel.snapshot_misses} miss")
+
+    serial_fp = _report_fingerprint(plans, serial)
+    parallel_fp = _report_fingerprint(plans, parallel)
+    identical = serial_fp == parallel_fp
+    print(f"reports bit-identical: {identical}")
+    if not identical:
+        return 1
+
+    # Per-shard serial wall: the scheduling granularity of the executor.
+    shard_walls: Dict[str, float] = {}
+    per_cell = []
+    by_key = serial.by_key()
+    for cell in cells:
+        result = by_key[cell.cell_key]
+        shard_walls[cell.shard_group] = (
+            shard_walls.get(cell.shard_group, 0.0) + result.wall_s
+        )
+        per_cell.append(
+            {
+                "cell": cell.cell_key,
+                "shard": cell.shard_group,
+                "wall_s": round(result.wall_s, 3),
+                "snapshot_hits": result.snapshot_hits,
+                "snapshot_misses": result.snapshot_misses,
+            }
+        )
+
+    durations = list(shard_walls.values())
+    serial_total = sum(durations)
+    projections = {}
+    for workers in (2, 4, 8):
+        makespan = _lpt_makespan(durations, workers)
+        projections[str(workers)] = {
+            "projected_wall_s": round(makespan, 1),
+            "projected_speedup": round(serial_total / makespan, 2),
+        }
+        print(f"LPT projection jobs={workers}: {makespan:.1f}s "
+              f"({serial_total / makespan:.2f}x)")
+
+    artifact = {
+        "benchmark": "experiment-pipeline executor",
+        "source": "scripts/bench_pipeline.py",
+        "scale": args.scale,
+        "experiments": list(DEFAULT_EXPERIMENTS),
+        "cells": len(cells),
+        "shards": len(shard_walls),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "measured": {
+            "jobs_1_wall_s": round(serial.wall_s, 1),
+            f"jobs_{args.jobs}_wall_s": round(parallel.wall_s, 1),
+            "measured_speedup": round(serial.wall_s / parallel.wall_s, 2),
+            "reports_bit_identical": identical,
+            "report_fingerprint": serial_fp,
+            "snapshot_hits": serial.snapshot_hits,
+            "snapshot_misses": serial.snapshot_misses,
+            "snapshot_hit_rate": round(
+                serial.snapshot_hits
+                / max(1, serial.snapshot_hits + serial.snapshot_misses),
+                3,
+            ),
+            "note": (
+                "measured parallel speedup is bounded by cpu_count; "
+                "see projected for the shard plan's critical path"
+            ),
+        },
+        "projected": {
+            "method": "LPT bin-packing of measured per-shard serial walls",
+            "serial_shard_total_s": round(serial_total, 1),
+            "by_jobs": projections,
+        },
+        "shard_walls_s": {k: round(v, 2) for k, v in sorted(shard_walls.items())},
+        "per_cell": per_cell,
+    }
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -36,6 +36,11 @@ machinery leans on hardest:
     SMF post-conditions: every member's similarity to its center
     exceeds the threshold, clusters are disjoint and at least pairs,
     and every input node is accounted for exactly once.
+``snapshot_restore``
+    A scenario restored from a probe-trace snapshot matches the
+    original: params, simulated time, probe accounting, node sets, and
+    per-node tracker logs — and the restored trackers themselves pass
+    ``tracker``.
 """
 
 from __future__ import annotations
@@ -391,6 +396,55 @@ def check_smf_result(
     return problems
 
 
+def check_snapshot_restore(original: object, restored: object) -> List[str]:
+    """A restored probe-trace snapshot equals the scenario it captured.
+
+    ``original``/``restored`` are
+    :class:`~repro.workloads.scenario.Scenario` objects (typed loosely
+    to keep this module import-light).  Checks identity (params repr),
+    simulated time, probe accounting, node membership, and per-node
+    tracker state — and re-runs :func:`check_tracker` on every restored
+    tracker, so a restore that resurrects a corrupt log is caught even
+    when it matches the (equally corrupt) original.
+    """
+    problems: List[str] = []
+    if repr(original.params) != repr(restored.params):
+        problems.append("restored params repr differs from original")
+    if original.clock.now != restored.clock.now:
+        problems.append(
+            f"restored clock at {restored.clock.now}, original {original.clock.now}"
+        )
+    if original.crp.probes_issued != restored.crp.probes_issued:
+        problems.append(
+            f"restored probes_issued {restored.crp.probes_issued} "
+            f"!= original {original.crp.probes_issued}"
+        )
+    original_nodes = set(original.crp.nodes)
+    restored_nodes = set(restored.crp.nodes)
+    if original_nodes != restored_nodes:
+        problems.append(
+            f"node sets differ: {sorted(original_nodes ^ restored_nodes)[:5]}"
+        )
+        return problems
+    for node in sorted(original_nodes):
+        a = original.crp.tracker(node)
+        b = restored.crp.tracker(node)
+        if a.version != b.version:
+            problems.append(
+                f"{node}: tracker version {b.version} != original {a.version}"
+            )
+        if len(a.observations) != len(b.observations):
+            problems.append(
+                f"{node}: {len(b.observations)} observations "
+                f"!= original {len(a.observations)}"
+            )
+        elif a.observations != b.observations:
+            problems.append(f"{node}: observation log contents differ")
+        for problem in check_tracker(b):
+            problems.append(f"{node} (restored): {problem}")
+    return problems
+
+
 def default_registry() -> InvariantRegistry:
     """A fresh registry with every built-in invariant registered."""
     registry = InvariantRegistry()
@@ -401,4 +455,5 @@ def default_registry() -> InvariantRegistry:
     registry.register("service_health", check_service_health)
     registry.register("health_transitions", check_health_transitions)
     registry.register("smf_result", check_smf_result)
+    registry.register("snapshot_restore", check_snapshot_restore)
     return registry

@@ -1,0 +1,53 @@
+"""Parallel experiment execution: work cells, sharding, snapshots.
+
+The sweep layer between experiment code and the runner CLI:
+
+* :class:`Cell` / :func:`run_cells` — picklable work units executed
+  serially or over a deterministic ``ProcessPoolExecutor`` shard plan
+  (``executor``);
+* :class:`SnapshotStore` — content-addressed probe-trace snapshots so
+  experiments sharing a driven scenario simulate it once
+  (``snapshots``);
+* :func:`plan_for` / :data:`PRODUCERS` — every runner experiment
+  re-expressed as a cell list plus a result combiner (``cells``).
+"""
+
+from repro.exec.cells import (
+    DEFAULT_EXPERIMENTS,
+    EXPERIMENT_KEYS,
+    PRODUCERS,
+    ExperimentPlan,
+    equivalence_cells,
+    parallel_equivalence_pair,
+    plan_for,
+    plans_for,
+    sweep_fields,
+)
+from repro.exec.executor import (
+    Cell,
+    CellOutput,
+    CellResult,
+    SweepResult,
+    run_cells,
+    seed_for,
+)
+from repro.exec.snapshots import SnapshotStore
+
+__all__ = [
+    "Cell",
+    "CellOutput",
+    "CellResult",
+    "DEFAULT_EXPERIMENTS",
+    "EXPERIMENT_KEYS",
+    "ExperimentPlan",
+    "PRODUCERS",
+    "SnapshotStore",
+    "SweepResult",
+    "equivalence_cells",
+    "parallel_equivalence_pair",
+    "plan_for",
+    "plans_for",
+    "run_cells",
+    "seed_for",
+    "sweep_fields",
+]

@@ -1,0 +1,319 @@
+"""Deterministic sharded execution of experiment work-cells.
+
+A :class:`Cell` is a picklable description of one unit of experiment
+work: a producer kind, a scale label, optional
+:class:`~repro.workloads.scenario.ScenarioParams` overrides, producer
+options, a seed, and a shard ``group``.  :func:`run_cells` executes a
+cell list either serially in-process (``jobs=1`` — bit-identical to
+the historical single-process runner) or fanned out over a
+``ProcessPoolExecutor``, and always returns results in input order, so
+scheduling never leaks into output.
+
+Determinism rests on three rules:
+
+* **no shared RNG** — a cell's seed is either pinned (the historical
+  experiment seeds) or derived as ``seed_for(cell_key, root_seed)``, a
+  splitmix-finalised hash that is stable across processes and Python
+  hash randomisation;
+* **shard = snapshot scope** — cells sharing a ``group`` run in one
+  worker, in list order, over one :class:`SnapshotStore`; restoring a
+  probe-trace snapshot is behaviourally identical to re-driving it, so
+  shard placement cannot change any cell's output;
+* **failure isolation** — a raising cell becomes an error row
+  (captured traceback) and every other cell still completes; a worker
+  process dying turns only its shard into error rows.
+
+With manifests enabled each cell runs under its own
+:func:`repro.obs.observed` scope; the per-cell manifests are merged
+into one sweep manifest with aggregate wall/sim time and rollup
+counters (``exec.cells.ok``/``failed``, ``exec.snapshot.hits``/
+``misses``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs as obs_layer
+from repro.exec.snapshots import SnapshotStore
+from repro.obs.manifest import RunManifest, merge_manifests
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+def seed_for(cell_key: str, root_seed: int = 0) -> int:
+    """A 63-bit per-cell seed from the cell key and a root seed.
+
+    blake2b collapses the key to 64 bits; the root seed lands via the
+    splitmix64 increment constant and the splitmix64 finalizer mixes.
+    Pure integer/digest arithmetic: stable across processes, platforms
+    and ``PYTHONHASHSEED`` (unlike ``hash()``), and the top bit is
+    dropped so the result seeds numpy generators directly.
+    """
+    digest = hashlib.blake2b(cell_key.encode("utf-8"), digest_size=8).digest()
+    z = (int.from_bytes(digest, "big") + (root_seed & _MASK64) * _GOLDEN) & _MASK64
+    z = (z + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    z = z ^ (z >> 31)
+    return z >> 1
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One picklable unit of experiment work (see module doc)."""
+
+    #: Producer kind — a key of :data:`repro.exec.cells.PRODUCERS`.
+    kind: str
+    #: Scale label (a :data:`repro.experiments.harness.SCALES` key).
+    scale: str
+    #: Pinned seed; None derives ``seed_for(cell_key, root_seed)``.
+    seed: Optional[int] = None
+    #: ScenarioParams field overrides, applied by the producer.
+    overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Producer-specific options (sweep point, rounds, …).
+    options: Tuple[Tuple[str, object], ...] = ()
+    #: Shard affinity: cells sharing a group run in one worker over one
+    #: snapshot store, in list order.  None isolates the cell.
+    group: Optional[str] = None
+
+    @property
+    def cell_key(self) -> str:
+        """The stable identity string (seed derivation, dedup, logs)."""
+        parts = [
+            f"{self.kind}@{self.scale}",
+            "seed=auto" if self.seed is None else f"seed={self.seed}",
+        ]
+        if self.overrides:
+            parts.append(",".join(f"{k}={v!r}" for k, v in self.overrides))
+        if self.options:
+            parts.append(",".join(f"{k}={v!r}" for k, v in self.options))
+        return "#".join(parts)
+
+    @property
+    def shard_group(self) -> str:
+        return self.group if self.group is not None else self.cell_key
+
+    def option(self, name: str, default: object = None) -> object:
+        return dict(self.options).get(name, default)
+
+
+@dataclass
+class CellOutput:
+    """What a producer hands back: rendered reports and/or a value."""
+
+    reports: Dict[str, str] = field(default_factory=dict)
+    value: object = None
+
+
+@dataclass
+class CellResult:
+    """One cell's outcome, reassembled into input order."""
+
+    cell_key: str
+    kind: str
+    scale: str
+    seed: int
+    ok: bool
+    reports: Dict[str, str] = field(default_factory=dict)
+    value: object = None
+    error: Optional[str] = None
+    wall_s: float = 0.0
+    manifest: Optional[Dict[str, object]] = None
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+
+
+@dataclass
+class SweepResult:
+    """All cells' results plus the merged sweep manifest."""
+
+    results: List[CellResult]
+    jobs: int
+    wall_s: float
+    manifest: Optional[RunManifest] = None
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def failures(self) -> List[CellResult]:
+        return [r for r in self.results if not r.ok]
+
+    def by_key(self) -> Dict[str, CellResult]:
+        return {r.cell_key: r for r in self.results}
+
+    @property
+    def snapshot_hits(self) -> int:
+        return sum(r.snapshot_hits for r in self.results)
+
+    @property
+    def snapshot_misses(self) -> int:
+        return sum(r.snapshot_misses for r in self.results)
+
+
+def _execute_cell(
+    cell: Cell, root_seed: int, store: SnapshotStore, manifest: bool
+) -> CellResult:
+    """Run one cell; never raises — failures become error results."""
+    from repro.exec.cells import PRODUCERS
+
+    seed = cell.seed if cell.seed is not None else seed_for(cell.cell_key, root_seed)
+    hits0, misses0 = store.hits, store.misses
+    started = time.perf_counter()
+    run = None
+    try:
+        producer = PRODUCERS[cell.kind]
+        if manifest:
+            with obs_layer.observed() as run:
+                output = producer(cell, seed, store)
+        else:
+            output = producer(cell, seed, store)
+        wall = time.perf_counter() - started
+        manifest_dict = None
+        if run is not None:
+            manifest_dict = run.manifest(
+                cell.cell_key,
+                params=(cell.kind, cell.scale, cell.overrides, cell.options, seed),
+                seed=seed,
+                scale=cell.scale,
+                wall_duration_s=round(wall, 3),
+            ).to_dict()
+        return CellResult(
+            cell_key=cell.cell_key,
+            kind=cell.kind,
+            scale=cell.scale,
+            seed=seed,
+            ok=True,
+            reports=dict(output.reports),
+            value=output.value,
+            wall_s=wall,
+            manifest=manifest_dict,
+            snapshot_hits=store.hits - hits0,
+            snapshot_misses=store.misses - misses0,
+        )
+    except Exception:
+        return CellResult(
+            cell_key=cell.cell_key,
+            kind=cell.kind,
+            scale=cell.scale,
+            seed=seed,
+            ok=False,
+            error=traceback.format_exc(limit=20),
+            wall_s=time.perf_counter() - started,
+            snapshot_hits=store.hits - hits0,
+            snapshot_misses=store.misses - misses0,
+        )
+
+
+def _execute_shard(
+    cells: Sequence[Cell],
+    root_seed: int,
+    manifest: bool,
+    store_dir: Optional[str],
+) -> List[CellResult]:
+    """Worker entry point: one shard, one store, input order."""
+    store = SnapshotStore(directory=store_dir)
+    return [_execute_cell(cell, root_seed, store, manifest) for cell in cells]
+
+
+def _error_result(cell: Cell, root_seed: int, detail: str) -> CellResult:
+    seed = cell.seed if cell.seed is not None else seed_for(cell.cell_key, root_seed)
+    return CellResult(
+        cell_key=cell.cell_key,
+        kind=cell.kind,
+        scale=cell.scale,
+        seed=seed,
+        ok=False,
+        error=detail,
+    )
+
+
+def _merged_manifest(results: Sequence[CellResult], jobs: int) -> Optional[RunManifest]:
+    manifests = [
+        RunManifest.from_dict(r.manifest) for r in results if r.manifest is not None
+    ]
+    if not manifests:
+        return None
+    merged = merge_manifests(manifests, run_key="sweep")
+    counters = merged.metrics.setdefault("counters", {})
+    counters["exec.cells.ok"] = sum(1 for r in results if r.ok)
+    counters["exec.cells.failed"] = sum(1 for r in results if not r.ok)
+    counters["exec.snapshot.hits"] = sum(r.snapshot_hits for r in results)
+    counters["exec.snapshot.misses"] = sum(r.snapshot_misses for r in results)
+    merged.metrics.setdefault("gauges", {})["exec.jobs"] = jobs
+    return merged
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    jobs: Optional[int] = None,
+    root_seed: int = 0,
+    manifest: bool = True,
+    store: Optional[SnapshotStore] = None,
+    store_dir: Optional[str] = None,
+) -> SweepResult:
+    """Execute cells, serially or sharded over processes (module doc).
+
+    ``jobs=None`` uses ``os.cpu_count()``; ``jobs=1`` (or a single
+    cell) runs serially in-process over one shared store.  Results come
+    back in input order regardless of scheduling.
+    """
+    cells = list(cells)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ValueError("need at least one job")
+    started = time.perf_counter()
+
+    if jobs == 1 or len(cells) <= 1:
+        local = store if store is not None else SnapshotStore(directory=store_dir)
+        results = [_execute_cell(cell, root_seed, local, manifest) for cell in cells]
+    else:
+        # Shards keyed by group, in first-appearance order; each worker
+        # runs one shard start-to-finish over its own store.
+        shards: Dict[str, List[Tuple[int, Cell]]] = {}
+        for index, cell in enumerate(cells):
+            shards.setdefault(cell.shard_group, []).append((index, cell))
+        ordered: List[Optional[CellResult]] = [None] * len(cells)
+        workers = min(jobs, len(shards))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                (
+                    pool.submit(
+                        _execute_shard,
+                        [cell for _, cell in shard],
+                        root_seed,
+                        manifest,
+                        store_dir,
+                    ),
+                    shard,
+                )
+                for shard in shards.values()
+            ]
+            for future, shard in futures:
+                try:
+                    shard_results = future.result()
+                except Exception as exc:  # worker died: error rows, not a crash
+                    shard_results = [
+                        _error_result(cell, root_seed, f"shard failed: {exc!r}")
+                        for _, cell in shard
+                    ]
+                for (index, _), result in zip(shard, shard_results):
+                    ordered[index] = result
+        results = [r for r in ordered if r is not None]
+
+    wall = time.perf_counter() - started
+    return SweepResult(
+        results=results,
+        jobs=jobs,
+        wall_s=wall,
+        manifest=_merged_manifest(results, jobs) if manifest else None,
+    )

@@ -1,0 +1,113 @@
+"""Content-addressed snapshot/artifact store for the executor.
+
+A :class:`SnapshotStore` maps stable string keys to pickled values.
+Values go in as pickle bytes and come out as fresh unpickled copies,
+so no consumer can mutate what a later consumer restores — the store
+is a cache of *states*, not of live objects.  Two families of entries
+share it:
+
+* **probe-trace snapshots** — :class:`~repro.workloads.scenario.ScenarioSnapshot`
+  payloads keyed by :func:`~repro.workloads.scenario.probe_window_key`
+  (params fingerprint + rounds + interval), written by
+  :func:`~repro.workloads.scenario.driven_scenario`;
+* **derived artifacts** — expensive post-probing results (a
+  :class:`~repro.experiments.harness.ClosestNodeOutcome`, a
+  :class:`~repro.experiments.clustering.ClusteringStudy`) keyed by the
+  same fingerprint scheme, via :meth:`SnapshotStore.get_or_compute`.
+
+Hit/miss counters feed the sweep manifest and
+``BENCH_pipeline.json``.  An optional directory makes entries survive
+the process (one file per key, written atomically), which lets repeat
+bench runs skip re-simulation entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from pathlib import Path
+from typing import Callable, Dict, Optional, TypeVar, Union
+
+T = TypeVar("T")
+
+
+class SnapshotStore:
+    """Keyed pickle store with hit/miss accounting (see module doc)."""
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self._entries: Dict[str, bytes] = {}
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    @staticmethod
+    def key_for(*parts: object) -> str:
+        """A stable content key from reprs of the parts."""
+        joined = "|".join(repr(part) for part in parts)
+        return hashlib.blake2b(joined.encode("utf-8"), digest_size=16).hexdigest()
+
+    def _path_for(self, key: str) -> Path:
+        assert self.directory is not None
+        safe = hashlib.blake2b(key.encode("utf-8"), digest_size=16).hexdigest()
+        return self.directory / f"{safe}.pkl"
+
+    def get(self, key: str) -> Optional[object]:
+        """A fresh copy of the stored value, or None (counted)."""
+        payload = self._entries.get(key)
+        if payload is None and self.directory is not None:
+            path = self._path_for(key)
+            if path.exists():
+                payload = path.read_bytes()
+                self._entries[key] = payload
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(payload)
+
+    def put(self, key: str, value: object) -> None:
+        """Store a value (pickled immediately; later mutation is moot)."""
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._entries[key] = payload
+        self.puts += 1
+        if self.directory is not None:
+            path = self._path_for(key)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_bytes(payload)
+            tmp.replace(path)
+
+    def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
+        """The stored value, or ``compute()`` stored and returned.
+
+        On a miss the computed object itself is returned (not a pickle
+        round-trip): the store already holds an immutable copy, and the
+        fresh object is bit-equal to what a later ``get`` restores.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._entries:
+            return True
+        return self.directory is not None and self._path_for(key).exists()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/size counters (the bench and manifest rollup)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "entries": len(self._entries),
+            "bytes": sum(len(p) for p in self._entries.values()),
+        }

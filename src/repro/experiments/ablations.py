@@ -99,36 +99,51 @@ def run_similarity_ablation(scenario: Scenario, probe_rounds: int = 48) -> Ablat
     )
 
 
+#: The spread axis the ablation sweeps and its table shape, exported
+#: so the executor's per-spread cells can reassemble the same report.
+SPREAD_VALUES = (1, 2, 4, 8)
+SPREAD_AXIS = "CDN answer spread (rotation width)"
+SPREAD_HEADERS = ("spread", "mean Top-1 rank", "no-signal clients", "mean map support")
+
+
+def run_spread_ablation_row(
+    base_params: ScenarioParams,
+    spread: int,
+    probe_rounds: int = 48,
+) -> List[object]:
+    """One spread value's table row — the sweep's independent cell."""
+    policy = SelectionPolicy.BEST_ONLY if spread == 1 else SelectionPolicy.SOFTMAX
+    mapping = dataclasses.replace(
+        base_params.mapping, spread=max(spread, 2), policy=policy
+    )
+    params = dataclasses.replace(base_params, mapping=mapping, build_meridian=False)
+    scenario = Scenario(params)
+    scenario.run_probe_rounds(probe_rounds)
+    stats = _selection_mean_rank(scenario)
+    maps = scenario.crp.ratio_maps(scenario.client_names, window_probes=None)
+    support = mean([len(m) for m in maps.values() if m is not None])
+    return [
+        "1 (best only)" if spread == 1 else str(spread),
+        f"{stats['mean_rank']:.2f}",
+        stats["no_signal"],
+        f"{support:.1f}",
+    ]
+
+
 def run_spread_ablation(
     base_params: ScenarioParams,
-    spreads: Sequence[int] = (1, 2, 4, 8),
+    spreads: Sequence[int] = SPREAD_VALUES,
     probe_rounds: int = 48,
 ) -> AblationResult:
     """Answer-rotation width: the mechanism that gives maps resolution."""
-    rows = []
-    for spread in spreads:
-        policy = SelectionPolicy.BEST_ONLY if spread == 1 else SelectionPolicy.SOFTMAX
-        mapping = dataclasses.replace(
-            base_params.mapping, spread=max(spread, 2), policy=policy
-        )
-        params = dataclasses.replace(base_params, mapping=mapping, build_meridian=False)
-        scenario = Scenario(params)
-        scenario.run_probe_rounds(probe_rounds)
-        stats = _selection_mean_rank(scenario)
-        maps = scenario.crp.ratio_maps(scenario.client_names, window_probes=None)
-        support = mean([len(m) for m in maps.values() if m is not None])
-        rows.append(
-            [
-                "1 (best only)" if spread == 1 else str(spread),
-                f"{stats['mean_rank']:.2f}",
-                stats["no_signal"],
-                f"{support:.1f}",
-            ]
-        )
+    rows = [
+        run_spread_ablation_row(base_params, spread, probe_rounds=probe_rounds)
+        for spread in spreads
+    ]
     return AblationResult(
-        axis="CDN answer spread (rotation width)",
+        axis=SPREAD_AXIS,
         rows=rows,
-        headers=["spread", "mean Top-1 rank", "no-signal clients", "mean map support"],
+        headers=list(SPREAD_HEADERS),
     )
 
 
@@ -209,35 +224,55 @@ def run_meridian_budget_ablation(
     )
 
 
+#: The health axis's deployments and table shape (executor cells).
+HEALTH_DEPLOYMENTS = ("pristine", "deployed-flaky")
+HEALTH_AXIS = "Meridian deployment health"
+HEALTH_HEADERS = ("deployment", "mean rank", "mean rank, worst decile")
+
+
+def run_meridian_health_row(
+    base_params: ScenarioParams,
+    deployment: str,
+    queries: int = 150,
+) -> List[object]:
+    """One deployment's table row — the axis's independent cell."""
+    if deployment == "pristine":
+        rates: Optional[FailureRates] = None
+    elif deployment == "deployed-flaky":
+        rates = FailureRates()
+    else:
+        raise ValueError(f"unknown Meridian deployment {deployment!r}")
+    params = dataclasses.replace(
+        base_params, build_meridian=True, meridian_failures=rates
+    )
+    scenario = Scenario(params)
+    # Advance into the experiment so restart pathologies are live.
+    scenario.clock.advance_minutes(24 * 60.0)
+    orderings = _base_orderings(scenario)
+    ranks = []
+    # Cycle entry nodes over the whole membership — a client cannot
+    # know which service nodes are sick, which is exactly how the
+    # deployed service's pathologies reached the paper's data.
+    members = scenario.meridian.members()
+    for index, client in enumerate(scenario.client_names[:queries]):
+        entry = members[index % len(members)]
+        outcome = scenario.meridian.closest_node(scenario.host(client), entry=entry)
+        ranks.append(orderings[client].index(outcome.selected))
+    worst = sorted(ranks)[-max(1, len(ranks) // 10) :]
+    return [deployment, f"{mean(ranks):.2f}", f"{mean(worst):.1f}"]
+
+
 def run_meridian_health_ablation(
     base_params: ScenarioParams,
     queries: int = 150,
 ) -> AblationResult:
     """Pristine vs deployed-flaky Meridian on selection rank."""
-    rows = []
-    for label, rates in (("pristine", None), ("deployed-flaky", FailureRates())):
-        params = dataclasses.replace(
-            base_params, build_meridian=True, meridian_failures=rates
-        )
-        scenario = Scenario(params)
-        # Advance into the experiment so restart pathologies are live.
-        scenario.clock.advance_minutes(24 * 60.0)
-        orderings = _base_orderings(scenario)
-        ranks = []
-        # Cycle entry nodes over the whole membership — a client cannot
-        # know which service nodes are sick, which is exactly how the
-        # deployed service's pathologies reached the paper's data.
-        members = scenario.meridian.members()
-        for index, client in enumerate(scenario.client_names[:queries]):
-            entry = members[index % len(members)]
-            outcome = scenario.meridian.closest_node(scenario.host(client), entry=entry)
-            ranks.append(orderings[client].index(outcome.selected))
-        worst = sorted(ranks)[-max(1, len(ranks) // 10) :]
-        rows.append(
-            [label, f"{mean(ranks):.2f}", f"{mean(worst):.1f}"]
-        )
+    rows = [
+        run_meridian_health_row(base_params, deployment, queries=queries)
+        for deployment in HEALTH_DEPLOYMENTS
+    ]
     return AblationResult(
-        axis="Meridian deployment health",
+        axis=HEALTH_AXIS,
         rows=rows,
-        headers=["deployment", "mean rank", "mean rank, worst decile"],
+        headers=list(HEALTH_HEADERS),
     )

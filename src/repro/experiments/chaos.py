@@ -209,17 +209,42 @@ class ChaosResult:
         return table
 
 
+#: The default chaos-intensity grid (0 is the mandatory baseline).
+CHAOS_FACTORS = (0.0, 1.0, 2.0)
+
+
+def run_chaos_point(
+    base_params: ScenarioParams,
+    factor: float,
+    rounds: int = 24,
+    interval_minutes: float = 10.0,
+    chaos_params: Optional[ChaosParams] = None,
+) -> ChaosPoint:
+    """One intensity factor's point — the sweep's independent cell.
+
+    Factor 0 runs with chaos fully disabled (not a zero-rate schedule),
+    so it exercises exactly the code path every other experiment uses.
+    ``run_chaos`` is exactly a loop over this function.
+    """
+    if chaos_params is None:
+        horizon = rounds * interval_minutes * 60.0
+        chaos_params = dataclasses.replace(ChaosParams(), horizon_s=horizon)
+    chaos = None if factor == 0.0 else chaos_params.scaled(factor)
+    params = dataclasses.replace(base_params, build_meridian=False, chaos=chaos)
+    scenario = Scenario(params)
+    scenario.run_probe_rounds(rounds, interval_minutes=interval_minutes)
+    return evaluate_point(scenario, factor)
+
+
 def run_chaos(
     base_params: ScenarioParams,
-    factors: Sequence[float] = (0.0, 1.0, 2.0),
+    factors: Sequence[float] = CHAOS_FACTORS,
     rounds: int = 24,
     interval_minutes: float = 10.0,
     chaos_params: Optional[ChaosParams] = None,
 ) -> ChaosResult:
     """Run the sweep: a fresh scenario per factor, same seed throughout.
 
-    Factor 0 runs with chaos fully disabled (not a zero-rate schedule),
-    so it exercises exactly the code path every other experiment uses.
     Meridian is disabled — the sweep measures CRP degradation, and the
     overlay's failure story has its own plan-driven experiments.
     """
@@ -230,9 +255,13 @@ def run_chaos(
         chaos_params = dataclasses.replace(ChaosParams(), horizon_s=horizon)
     points: List[ChaosPoint] = []
     for factor in factors:
-        chaos = None if factor == 0.0 else chaos_params.scaled(factor)
-        params = dataclasses.replace(base_params, build_meridian=False, chaos=chaos)
-        scenario = Scenario(params)
-        scenario.run_probe_rounds(rounds, interval_minutes=interval_minutes)
-        points.append(evaluate_point(scenario, factor))
+        points.append(
+            run_chaos_point(
+                base_params,
+                factor,
+                rounds=rounds,
+                interval_minutes=interval_minutes,
+                chaos_params=chaos_params,
+            )
+        )
     return ChaosResult(points=points, rounds=rounds, interval_minutes=interval_minutes)

@@ -80,6 +80,31 @@ def run_clustering_study(
     use direct (median-of-3) measurements instead.
     """
     scenario.run_probe_rounds(probe_rounds, interval_minutes)
+    return evaluate_clustering_study(
+        scenario,
+        thresholds=thresholds,
+        window_probes=window_probes,
+        diameter_cap_ms=diameter_cap_ms,
+        use_king_ground_truth=use_king_ground_truth,
+        smf_seed=smf_seed,
+    )
+
+
+def evaluate_clustering_study(
+    scenario: Scenario,
+    thresholds: Sequence[float] = TABLE1_THRESHOLDS,
+    window_probes: Optional[int] = None,
+    diameter_cap_ms: Optional[float] = DEFAULT_DIAMETER_CAP_MS,
+    use_king_ground_truth: bool = True,
+    smf_seed: int = 0,
+) -> ClusteringStudy:
+    """The post-probing half of :func:`run_clustering_study`.
+
+    Callers that warm-start an already-driven scenario (e.g. from a
+    probe-trace snapshot) land here directly; the split is exactly at
+    the probing boundary, so drive-then-evaluate equals the one-shot
+    study byte for byte.
+    """
     clients = scenario.client_names
 
     if use_king_ground_truth:

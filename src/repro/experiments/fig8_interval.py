@@ -144,9 +144,39 @@ class Fig8Result:
         return series + "\n\n" + stats
 
 
+#: The paper's probe-interval grid (minutes).
+FIG8_INTERVALS = (20.0, 100.0, 500.0, 2000.0)
+
+
+def run_fig8_point(
+    base_params: ScenarioParams,
+    interval_minutes: float,
+    duration_minutes: float,
+    evaluations: int = 4,
+    window_probes: Optional[int] = None,
+) -> RankSweepPoint:
+    """One interval's curve — the sweep's independent work cell.
+
+    A fresh scenario from the (meridian-disabled) parameters, probed at
+    this cadence for the window, evaluated at evenly spread
+    checkpoints.  ``run_fig8`` is exactly a loop over this function, so
+    the executor's per-interval cells reproduce the sweep bit for bit.
+    """
+    params = dataclasses.replace(base_params, build_meridian=False)
+    rounds = max(1, int(duration_minutes // interval_minutes))
+    scenario = Scenario(params)
+    return collect_ranks(
+        scenario,
+        rounds=rounds,
+        interval_minutes=interval_minutes,
+        evaluations=min(evaluations, rounds),
+        window_probes=window_probes,
+    )
+
+
 def run_fig8(
     base_params: ScenarioParams,
-    intervals_minutes: Sequence[float] = (20.0, 100.0, 500.0, 2000.0),
+    intervals_minutes: Sequence[float] = FIG8_INTERVALS,
     duration_minutes: float = 4.0 * 1440.0,
     evaluations: int = 4,
     window_probes: Optional[int] = None,
@@ -157,16 +187,13 @@ def run_fig8(
     seed), so curves differ only by probing cadence.  Meridian is not
     needed and is disabled to keep the sweep affordable.
     """
-    params = dataclasses.replace(base_params, build_meridian=False)
     points: Dict[float, RankSweepPoint] = {}
     for interval in intervals_minutes:
-        rounds = max(1, int(duration_minutes // interval))
-        scenario = Scenario(params)
-        points[interval] = collect_ranks(
-            scenario,
-            rounds=rounds,
-            interval_minutes=interval,
-            evaluations=min(evaluations, rounds),
+        points[interval] = run_fig8_point(
+            base_params,
+            interval,
+            duration_minutes,
+            evaluations=evaluations,
             window_probes=window_probes,
         )
     return Fig8Result(points=points, duration_minutes=duration_minutes)

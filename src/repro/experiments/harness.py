@@ -20,16 +20,107 @@ throughout the experiment").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, NamedTuple, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import mean, rank_of, sorted_series
-from repro.workloads.scenario import Scenario
+from repro.meridian.failures import FailureRates
+from repro.workloads.scenario import Scenario, ScenarioParams
 
 #: Relative-RTT cutoff above which a client counts as "poor" for an
 #: approach (the paper's 80 ms overlap analysis).
 POOR_RESULT_MS = 80.0
+
+
+class Scale(NamedTuple):
+    """One named experiment scale (the runner's ``--scale`` values).
+
+    ``sweep_minutes`` is the Figure 8 probing window, *not* a function
+    of ``probe_rounds``: quick deliberately keeps a full simulated day
+    (1440 min) even though its other experiments run far fewer rounds,
+    because the interval sweep (20/100/500/2000 min) needs a window
+    several times the mid intervals for the curves to mean anything —
+    at 1440 min the 2000-minute curve already collapses to its
+    ``max(1, ...)`` single round, which is exactly the paper's point
+    about overly lazy probing.  So quick's window being "only" 4x
+    smaller than default's while its rounds are 4x fewer is not an
+    inversion; shrinking it further would make fig8 vacuous.
+    """
+
+    #: DNS-server clients sampled from the King-like pool.
+    clients: int
+    #: PlanetLab-like candidate servers.
+    candidates: int
+    #: Probe rounds for the fixed-cadence experiments.
+    probe_rounds: int
+    #: Figure 8's probe-interval sweep window, in simulated minutes.
+    sweep_minutes: float
+
+
+#: The runner's scale presets.
+SCALES: Dict[str, Scale] = {
+    "quick": Scale(clients=60, candidates=40, probe_rounds=24, sweep_minutes=1440.0),
+    "default": Scale(
+        clients=400, candidates=240, probe_rounds=96, sweep_minutes=4.0 * 1440.0
+    ),
+    "paper": Scale(
+        clients=1000, candidates=240, probe_rounds=144, sweep_minutes=5.0 * 1440.0
+    ),
+}
+
+
+def scenario_params_for(
+    scale: str,
+    seed: int,
+    profile: str = "selection",
+    meridian: bool = False,
+    **overrides: object,
+) -> ScenarioParams:
+    """The canonical :class:`ScenarioParams` for a scale and profile.
+
+    ``selection`` is the closest-node population (Figures 4/5/8/9,
+    chaos): the scale's full client/candidate counts with the paper's
+    metro weighting.  ``clustering`` is the Section V-B population
+    (Table I, Figures 6/7, detour, overhead): the paper's 177 DNS
+    servers (60 at quick scale) over a token candidate set, since those
+    experiments never rank candidates.  ``meridian`` builds the overlay
+    with the paper's observed deployment pathologies; keyword
+    ``overrides`` replace any :class:`ScenarioParams` field last.
+    """
+    spec = SCALES[scale]
+    if profile == "selection":
+        fields: Dict[str, object] = dict(
+            seed=seed,
+            dns_servers=spec.clients,
+            planetlab_nodes=spec.candidates,
+            build_meridian=meridian,
+            meridian_failures=FailureRates() if meridian else None,
+            king_weight_power=1.0,
+            king_rural_fraction=0.25,
+        )
+    elif profile == "clustering":
+        fields = dict(
+            seed=seed,
+            dns_servers=60 if scale == "quick" else 177,
+            planetlab_nodes=8,
+            build_meridian=False,
+        )
+    else:
+        raise ValueError(f"unknown scenario profile {profile!r}")
+    fields.update(overrides)
+    return ScenarioParams(**fields)
+
+
+def scenario_for(
+    scale: str,
+    seed: int,
+    profile: str = "selection",
+    meridian: bool = False,
+    **overrides: object,
+) -> Scenario:
+    """A wired :class:`Scenario` from :func:`scenario_params_for`."""
+    return Scenario(scenario_params_for(scale, seed, profile, meridian, **overrides))
 
 
 @dataclass(frozen=True)
@@ -166,6 +257,33 @@ def run_closest_node_experiment(
     if scenario.meridian is None:
         raise ValueError("scenario was built without a Meridian overlay")
     scenario.run_probe_rounds(probe_rounds, interval_minutes)
+    return evaluate_closest_node(
+        scenario,
+        window_probes=window_probes,
+        entry=entry,
+        remeasure_gap_minutes=remeasure_gap_minutes,
+        top_k=top_k,
+    )
+
+
+def evaluate_closest_node(
+    scenario: Scenario,
+    *,
+    window_probes: Optional[int] = -1,
+    entry: Optional[str] = None,
+    remeasure_gap_minutes: float = 30.0,
+    top_k: int = 5,
+) -> ClosestNodeOutcome:
+    """Score an already-probed scenario (the post-window half of
+    :func:`run_closest_node_experiment`).
+
+    Callers that warm-start from a probe-trace snapshot land here
+    directly; driving plus evaluating is byte-equivalent to the
+    one-shot experiment because every consumed RNG stream lives inside
+    the scenario.
+    """
+    if scenario.meridian is None:
+        raise ValueError("scenario was built without a Meridian overlay")
 
     clients = scenario.client_names
     candidates = scenario.candidate_names

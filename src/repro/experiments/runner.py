@@ -4,18 +4,29 @@ Usage::
 
     python -m repro.experiments.runner --scale quick
     python -m repro.experiments.runner --scale paper --only fig4 table1
-    python -m repro.experiments.runner --out reports/
+    python -m repro.experiments.runner --out reports/ --jobs 8
 
 Each experiment prints (and optionally saves) the same rows/series the
 paper reports.  ``pytest benchmarks/ --benchmark-only`` runs the same
 drivers with shape assertions; this runner is the interactive way in.
 
-Every run is observed: each producer executes under an enabled
-:mod:`repro.obs` scope and emits a :class:`~repro.obs.RunManifest` —
-written as ``<name>.manifest.json`` next to the report when ``--out``
-is given, otherwise summarised to stdout.  Observability never touches
-the simulation's RNG or clock, so reports are bit-identical with
-``--no-manifest``.
+Experiments are expressed as work cells
+(:mod:`repro.exec`): every sweep point, replication, and ablation
+variant is one picklable cell, executed by
+:func:`~repro.exec.run_cells` — serially with ``--jobs 1``
+(bit-identical to the historical single-process runner) or sharded
+over a process pool.  Cells that share expensive state (fig4/fig5's
+closest-node outcome, table1/fig6/fig7's clustering study) share a
+shard and warm-start from its probe-trace snapshot store, so the
+shared simulation runs at most once per unique params fingerprint.
+
+Every run is observed: each cell executes under an enabled
+:mod:`repro.obs` scope; per-cell manifests are merged into one
+:class:`~repro.obs.RunManifest` per report — written as
+``<name>.manifest.json`` next to the report when ``--out`` is given,
+otherwise summarised to stdout — plus a whole-sweep
+``sweep.manifest.json``.  Observability never touches the simulation's
+RNG or clock, so reports are bit-identical with ``--no-manifest``.
 """
 
 from __future__ import annotations
@@ -24,134 +35,46 @@ import argparse
 import sys
 import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro import obs as obs_layer
-from repro.experiments.chaos import run_chaos
-from repro.experiments.clustering import run_clustering_study
-from repro.experiments.detour import run_detour
-from repro.experiments.fig4_closest import run_fig4
-from repro.experiments.fig5_relerr import run_fig5
-from repro.experiments.fig6_cdf import run_fig6
-from repro.experiments.fig7_buckets import run_fig7
-from repro.experiments.fig8_interval import run_fig8
-from repro.experiments.fig9_window import run_fig9
-from repro.experiments.overhead import run_overhead
-from repro.experiments.table1_summary import run_table1
-from repro.meridian import FailureRates
-from repro.workloads import Scenario, ScenarioParams
+from repro.exec import (
+    DEFAULT_EXPERIMENTS,
+    EXPERIMENT_KEYS,
+    Cell,
+    CellResult,
+    parallel_equivalence_pair,
+    plans_for,
+    run_cells,
+)
+from repro.experiments.harness import SCALES
+from repro.obs.manifest import RunManifest, merge_manifests
 
-#: (clients, candidates, probe rounds, sweep minutes) per scale.
-SCALES = {
-    "quick": (60, 40, 24, 1440.0),
-    "default": (400, 240, 96, 4.0 * 1440.0),
-    "paper": (1000, 240, 144, 5.0 * 1440.0),
-}
+__all__ = ["SCALES", "DEFAULT_EXPERIMENTS", "EXPERIMENT_KEYS", "main"]
 
 
-def _selection_scenario(seed: int, scale: str, meridian: bool = True) -> Scenario:
-    clients, candidates, _, _ = SCALES[scale]
-    return Scenario(
-        ScenarioParams(
-            seed=seed,
-            dns_servers=clients,
-            planetlab_nodes=candidates,
-            build_meridian=meridian,
-            meridian_failures=FailureRates() if meridian else None,
-            king_weight_power=1.0,
-            king_rural_fraction=0.25,
-        )
-    )
+def _plan_producer(key: str, root_seed: int) -> Callable[[str], Dict[str, str]]:
+    """A selfcheck-compatible producer: scale → {name: report}.
 
+    Runs the key's plan serially with manifests off, so the producer
+    inherits whatever observability scope the differential harness
+    installs around it (that inheritance is the thing the obs-on/off
+    pair checks).
+    """
 
-def _clustering_scenario(seed: int, scale: str) -> Scenario:
-    clients = 60 if scale == "quick" else 177
-    return Scenario(
-        ScenarioParams(
-            seed=seed, dns_servers=clients, planetlab_nodes=8, build_meridian=False
-        )
-    )
+    def produce(scale: str) -> Dict[str, str]:
+        from repro.exec import plan_for
 
+        plan = plan_for(key, scale, root_seed)
+        sweep = run_cells(plan.cells, jobs=1, root_seed=root_seed, manifest=False)
+        failures = sweep.failures()
+        if failures:
+            raise RuntimeError(
+                f"{key}: cell {failures[0].cell_key} failed:\n{failures[0].error}"
+            )
+        return plan.combine(sweep.results)
 
-def _run_fig4_fig5(scale: str) -> Dict[str, str]:
-    _, _, rounds, _ = SCALES[scale]
-    scenario = _selection_scenario(2008, scale)
-    fig4 = run_fig4(scenario, probe_rounds=rounds)
-    fig5 = run_fig5(scenario, outcome=fig4.outcome)
-    return {"fig4": fig4.report(), "fig5": fig5.report()}
-
-
-def _run_clustering(scale: str) -> Dict[str, str]:
-    scenario = _clustering_scenario(177, scale)
-    rounds = 24 if scale == "quick" else 60
-    study = run_clustering_study(scenario, probe_rounds=rounds)
-    return {
-        "table1": run_table1(scenario, study=study).report(),
-        "fig6": run_fig6(scenario, study=study).report(),
-        "fig7": run_fig7(scenario, study=study).report(),
-    }
-
-
-def _run_fig8(scale: str) -> Dict[str, str]:
-    clients, candidates, _, sweep_minutes = SCALES[scale]
-    params = ScenarioParams(
-        seed=8,
-        dns_servers=clients,
-        planetlab_nodes=candidates,
-        build_meridian=False,
-        king_weight_power=1.0,
-        king_rural_fraction=0.25,
-    )
-    result = run_fig8(params, duration_minutes=sweep_minutes)
-    return {"fig8": result.report()}
-
-
-def _run_fig9(scale: str) -> Dict[str, str]:
-    scenario = _selection_scenario(9, scale, meridian=False)
-    rounds = 48 if scale == "quick" else 144
-    result = run_fig9(scenario, probe_rounds=rounds)
-    return {"fig9": result.report()}
-
-
-def _run_detour(scale: str) -> Dict[str, str]:
-    scenario = _clustering_scenario(1906, scale)
-    result = run_detour(scenario, pairs=120 if scale == "quick" else 300)
-    return {"detour": result.report()}
-
-
-def _run_overhead(scale: str) -> Dict[str, str]:
-    scenario = _clustering_scenario(360, scale)
-    result = run_overhead(scenario)
-    return {"overhead": result.report()}
-
-
-def _run_chaos(scale: str) -> Dict[str, str]:
-    clients, candidates, rounds, _ = SCALES[scale]
-    params = ScenarioParams(
-        seed=13,
-        dns_servers=clients,
-        planetlab_nodes=candidates,
-        build_meridian=False,
-        king_weight_power=1.0,
-        king_rural_fraction=0.25,
-    )
-    result = run_chaos(params, rounds=rounds)
-    return {"chaos": result.report()}
-
-
-#: experiment key → producer of {name: report}.
-EXPERIMENTS: Dict[str, Callable[[str], Dict[str, str]]] = {
-    "fig4": _run_fig4_fig5,
-    "fig5": _run_fig4_fig5,
-    "table1": _run_clustering,
-    "fig6": _run_clustering,
-    "fig7": _run_clustering,
-    "fig8": _run_fig8,
-    "fig9": _run_fig9,
-    "detour": _run_detour,
-    "overhead": _run_overhead,
-    "chaos": _run_chaos,
-}
+    return produce
 
 
 def _run_selfcheck(args, wanted) -> int:
@@ -161,15 +84,22 @@ def _run_selfcheck(args, wanted) -> int:
     every violation also lands in the trace as a ``check.violation``
     event; with ``--out`` the report is saved (and the violation
     record written as JSON whenever it is non-empty — the CI
-    artifact).
+    artifact).  On top of the standard pairs, the battery checks that
+    the parallel executor path (``--jobs`` > 1) produces byte-identical
+    results to the serial path on a mixed fig8+chaos cell list.
     """
     from repro.check import SelfCheckConfig, run_selfcheck
 
     config = SelfCheckConfig(scale=args.scale, fuzz_steps=args.selfcheck_steps)
-    producers = {key: EXPERIMENTS[key] for key in wanted}
+    producers = {key: _plan_producer(key, args.root_seed) for key in wanted}
+    extra = [
+        parallel_equivalence_pair(
+            args.scale, jobs=max(2, args.jobs or 2), root_seed=args.root_seed
+        )
+    ]
     started = time.time()
     with obs_layer.observed() as observed_run:
-        report = run_selfcheck(config, producers=producers)
+        report = run_selfcheck(config, producers=producers, extra_pairs=extra)
     elapsed = time.time() - started
     print(report.render())
     print(
@@ -187,6 +117,16 @@ def _run_selfcheck(args, wanted) -> int:
     return 0 if report.ok else 2
 
 
+def _report_manifest(name: str, results: List[CellResult]) -> Optional[RunManifest]:
+    """One report's manifest: its plan's cell manifests, merged."""
+    manifests = [
+        RunManifest.from_dict(r.manifest) for r in results if r.manifest is not None
+    ]
+    if not manifests:
+        return None
+    return merge_manifests(manifests, run_key=name)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures."
@@ -195,17 +135,32 @@ def main(argv: Optional[list] = None) -> int:
         "experiments",
         nargs="*",
         metavar="EXP",
-        help="experiments to run (same keys as --only; default: everything)",
+        help="experiments to run (same keys as --only; default: the paper set)",
     )
     parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
     parser.add_argument(
         "--only",
         nargs="*",
-        choices=sorted(EXPERIMENTS),
-        help="run a subset (default: everything)",
+        choices=sorted(EXPERIMENT_KEYS),
+        help="run a subset (default: the paper set)",
     )
     parser.add_argument(
         "--out", type=Path, default=None, help="also save reports to this directory"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the cell executor (default: cpu count; "
+            "1 = serial, bit-identical to the historical runner)"
+        ),
+    )
+    parser.add_argument(
+        "--root-seed",
+        type=int,
+        default=0,
+        help="root seed for cells without a pinned seed (default 0)",
     )
     parser.add_argument(
         "--selfcheck",
@@ -239,57 +194,70 @@ def main(argv: Optional[list] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    unknown = sorted(set(args.experiments) - set(EXPERIMENTS))
+    unknown = sorted(set(args.experiments) - set(EXPERIMENT_KEYS))
     if unknown:
         parser.error(
             f"unknown experiment(s) {', '.join(unknown)} "
-            f"(choose from {', '.join(sorted(EXPERIMENTS))})"
+            f"(choose from {', '.join(sorted(EXPERIMENT_KEYS))})"
         )
-    wanted = args.only or args.experiments or sorted(EXPERIMENTS)
+    wanted = args.only or args.experiments or list(DEFAULT_EXPERIMENTS)
 
     if args.selfcheck:
         return _run_selfcheck(args, wanted)
 
-    # Producers covering several experiments run once.
-    producers = []
-    seen = set()
-    for key in wanted:
-        producer = EXPERIMENTS[key]
-        if producer not in seen:
-            seen.add(producer)
-            producers.append(producer)
+    plans = plans_for(wanted, args.scale, args.root_seed)
 
-    for producer in producers:
-        started = time.time()
-        if args.manifest:
-            with obs_layer.observed() as observed_run:
-                reports = producer(args.scale)
-        else:
-            observed_run = None
-            reports = producer(args.scale)
-        elapsed = time.time() - started
+    # One flat cell list for the whole sweep, deduplicated by identity
+    # (asking for fig4 and fig5 shares the closest-node cell group but
+    # keeps both cells; asking for a key twice runs it once).
+    cells: List[Cell] = []
+    seen_keys = set()
+    for plan in plans:
+        for cell in plan.cells:
+            if cell.cell_key not in seen_keys:
+                seen_keys.add(cell.cell_key)
+                cells.append(cell)
+
+    sweep = run_cells(
+        cells, jobs=args.jobs, root_seed=args.root_seed, manifest=args.manifest
+    )
+    by_key = sweep.by_key()
+
+    exit_code = 0
+    for plan in plans:
+        results = [by_key[cell.cell_key] for cell in plan.cells]
+        elapsed = sum(r.wall_s for r in results)
+        failures = [r for r in results if not r.ok]
+        if failures:
+            exit_code = 1
+            print(f"\n{'=' * 72}\n{plan.key}  FAILED at scale={args.scale}")
+            for failure in failures:
+                print(f"--- cell {failure.cell_key}\n{failure.error}")
+            continue
+        reports = plan.combine(results)
         for name, text in sorted(reports.items()):
-            if (args.only or args.experiments) and name not in wanted:
-                continue
-            print(f"\n{'=' * 72}\n{name}  (generated in {elapsed:.1f}s at scale={args.scale})")
+            print(
+                f"\n{'=' * 72}\n{name}  "
+                f"(generated in {elapsed:.1f}s at scale={args.scale})"
+            )
             print(text)
             if args.out is not None:
                 args.out.mkdir(parents=True, exist_ok=True)
                 (args.out / f"{name}.txt").write_text(text + "\n")
-            if observed_run is not None:
-                manifest = observed_run.manifest(
-                    name,
-                    params=(name, args.scale, SCALES[args.scale]),
-                    scale=args.scale,
-                    wall_duration_s=round(elapsed, 3),
-                )
+            if args.manifest:
+                manifest = _report_manifest(name, results)
+                if manifest is None:
+                    continue
                 if args.out is not None:
                     manifest.write(args.out / f"{name}.manifest.json")
                 else:
                     from repro.analysis.diagnostics import summarize_manifest
 
                     print(summarize_manifest(manifest))
-    return 0
+
+    if args.manifest and sweep.manifest is not None and args.out is not None:
+        sweep.manifest.write(args.out / "sweep.manifest.json")
+    return exit_code
 
 
 if __name__ == "__main__":

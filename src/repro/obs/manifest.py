@@ -148,6 +148,46 @@ class RunManifest:
         return cls.from_dict(json.loads(Path(path).read_text()))
 
 
+def merge_manifests(
+    manifests: List[RunManifest], run_key: str = "sweep"
+) -> RunManifest:
+    """Roll several per-cell manifests up into one sweep manifest.
+
+    Counters and trace counts sum (each cell's machinery did its work
+    independently); gauges take the max (point-in-time values, and the
+    summed ``sim.now_s`` of independent simulations is meaningless, so
+    simulated duration is summed explicitly instead); wall durations
+    sum.  ``seed``/``scale`` survive only when every child agrees; the
+    merged fingerprint hashes the ordered child fingerprints.
+    """
+    if not manifests:
+        return RunManifest(run_key=run_key, params_fingerprint=fingerprint_params(()))
+    counters: Dict[str, Union[int, float]] = {}
+    gauges: Dict[str, float] = {}
+    trace_counts: Dict[str, int] = {}
+    for manifest in manifests:
+        for name, value in manifest.metrics.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in manifest.metrics.get("gauges", {}).items():
+            gauges[name] = max(gauges.get(name, float("-inf")), float(value))
+        for kind, count in manifest.trace_counts.items():
+            trace_counts[kind] = trace_counts.get(kind, 0) + int(count)
+    seeds = {m.seed for m in manifests}
+    scales = {m.scale for m in manifests}
+    return RunManifest(
+        run_key=run_key,
+        params_fingerprint=fingerprint_params(
+            tuple(m.params_fingerprint for m in manifests)
+        ),
+        seed=seeds.pop() if len(seeds) == 1 else None,
+        scale=scales.pop() if len(scales) == 1 else None,
+        wall_duration_s=round(sum(m.wall_duration_s for m in manifests), 6),
+        sim_duration_s=round(sum(m.sim_duration_s for m in manifests), 6),
+        metrics={"counters": counters, "gauges": gauges},
+        trace_counts=trace_counts,
+    )
+
+
 def diff_manifests(a: RunManifest, b: RunManifest) -> str:
     """A human-readable counter/duration diff between two manifests.
 

@@ -15,7 +15,8 @@ smaller worlds with identical structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.cdn.mapping import MappingParams
@@ -300,3 +301,103 @@ class Scenario:
                 self.chaos.sync(self.clock.now)
             self.crp.probe_all()
             self.clock.advance_minutes(interval_minutes)
+
+
+# -- probe-trace snapshots ---------------------------------------------------
+
+
+def probe_window_key(
+    params: ScenarioParams, rounds: int, interval_minutes: float
+) -> str:
+    """The content address of one driven probing window.
+
+    Keyed by the exact parameters (via their fingerprint) plus the
+    probing schedule; any change to either is a different window and
+    must re-simulate.
+    """
+    from repro.obs.manifest import fingerprint_params
+
+    return (
+        f"probe-window:{fingerprint_params(params)}"
+        f":r{rounds}:i{interval_minutes:g}"
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioSnapshot:
+    """A driven scenario, frozen after its probing window.
+
+    The payload is the full pickled :class:`Scenario` — redirection
+    logs, tracker versions, resolver caches, clock, and every derived
+    RNG stream mid-sequence — so a restored scenario is behaviourally
+    indistinguishable from the one that was driven: identical rankings,
+    identical subsequent measurements, identical Meridian answers.
+    """
+
+    params_fingerprint: str
+    rounds: int
+    interval_minutes: float
+    sim_now: float
+    probes_issued: int
+    payload: bytes = field(repr=False, default=b"")
+
+    @classmethod
+    def capture(
+        cls, scenario: Scenario, rounds: int, interval_minutes: float
+    ) -> "ScenarioSnapshot":
+        from repro.obs.manifest import fingerprint_params
+
+        return cls(
+            params_fingerprint=fingerprint_params(scenario.params),
+            rounds=rounds,
+            interval_minutes=interval_minutes,
+            sim_now=scenario.clock.now,
+            probes_issued=scenario.crp.probes_issued,
+            payload=pickle.dumps(scenario, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def restore(self) -> Scenario:
+        """A fresh, independent scenario at the snapshotted state."""
+        return pickle.loads(self.payload)
+
+    def matches(
+        self, params: ScenarioParams, rounds: int, interval_minutes: float
+    ) -> bool:
+        from repro.obs.manifest import fingerprint_params
+
+        return (
+            self.params_fingerprint == fingerprint_params(params)
+            and self.rounds == rounds
+            and self.interval_minutes == interval_minutes
+        )
+
+
+def driven_scenario(
+    params: ScenarioParams,
+    rounds: int,
+    interval_minutes: float = 10.0,
+    store: Optional[object] = None,
+) -> Scenario:
+    """A scenario with its probing window driven, snapshot-cached.
+
+    Without a store this is exactly ``Scenario(params)`` followed by
+    :meth:`Scenario.run_probe_rounds`.  With a store (anything offering
+    ``get(key)``/``put(key, value)``, e.g.
+    :class:`repro.exec.SnapshotStore`), the driven state is captured
+    under :func:`probe_window_key` and later calls with the same
+    parameters and schedule restore it instead of re-simulating.
+    """
+    if store is None:
+        scenario = Scenario(params)
+        scenario.run_probe_rounds(rounds, interval_minutes)
+        return scenario
+    key = probe_window_key(params, rounds, interval_minutes)
+    snapshot = store.get(key)
+    if snapshot is not None:
+        if not snapshot.matches(params, rounds, interval_minutes):
+            raise ValueError(f"snapshot under {key!r} does not match its key")
+        return snapshot.restore()
+    scenario = Scenario(params)
+    scenario.run_probe_rounds(rounds, interval_minutes)
+    store.put(key, ScenarioSnapshot.capture(scenario, rounds, interval_minutes))
+    return scenario

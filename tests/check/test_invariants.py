@@ -39,6 +39,7 @@ def test_default_registry_has_all_builtins():
         "ratio_map",
         "service_health",
         "smf_result",
+        "snapshot_restore",
         "tracker",
         "ttl_cache",
     )

@@ -1,0 +1,197 @@
+"""Experiment plans, the params factory, and manifest merging."""
+
+import pytest
+
+from repro.exec import (
+    DEFAULT_EXPERIMENTS,
+    EXPERIMENT_KEYS,
+    PRODUCERS,
+    plan_for,
+    plans_for,
+    run_cells,
+)
+from repro.experiments.harness import SCALES, Scale, scenario_params_for
+from repro.meridian import FailureRates
+from repro.obs.manifest import RunManifest, merge_manifests
+from repro.workloads import ScenarioParams
+
+
+def test_every_plan_kind_has_a_producer():
+    for key in EXPERIMENT_KEYS:
+        for cell in plan_for(key, "quick").cells:
+            assert cell.kind in PRODUCERS, (key, cell.kind)
+
+
+def test_default_experiments_match_the_historical_runner_set():
+    assert DEFAULT_EXPERIMENTS == (
+        "chaos", "detour", "fig4", "fig5", "fig6", "fig7",
+        "fig8", "fig9", "overhead", "table1",
+    )
+    assert set(DEFAULT_EXPERIMENTS) < set(EXPERIMENT_KEYS)
+
+
+def test_plan_for_rejects_unknown_key():
+    with pytest.raises(KeyError):
+        plan_for("fig99", "quick")
+
+
+def test_shared_state_plans_share_a_group():
+    fig4 = plan_for("fig4", "quick").cells[0]
+    fig5 = plan_for("fig5", "quick").cells[0]
+    assert fig4.group == fig5.group == "closest:quick"
+    assert fig4.seed == fig5.seed == 2008
+    clustering = {plan_for(k, "quick").cells[0].group for k in ("table1", "fig6", "fig7")}
+    assert clustering == {"clustering:quick"}
+
+
+def test_sweep_plans_have_one_cell_per_point():
+    fig8 = plan_for("fig8", "quick")
+    assert len(fig8.cells) == 4
+    assert {c.option("interval_minutes") for c in fig8.cells} == {
+        20.0, 100.0, 500.0, 2000.0,
+    }
+    chaos = plan_for("chaos", "quick")
+    assert [c.option("factor") for c in chaos.cells] == [0.0, 1.0, 2.0]
+    assert all(c.kind == "chaos.point" for c in chaos.cells)
+
+
+def test_plans_for_deduplicates_keys():
+    plans = plans_for(["fig8", "fig8", "chaos"], "quick")
+    assert [p.key for p in plans] == ["fig8", "chaos"]
+
+
+def test_ablations_plan_combines_all_axes():
+    plan = plan_for("ablations", "quick")
+    kinds = {c.kind for c in plan.cells}
+    assert kinds == {
+        "ablation.similarity", "ablation.spread", "ablation.centers",
+        "ablation.meridian_budget", "ablation.meridian_health",
+    }
+    # Pinned shared seed for the cells sharing the probed scenario.
+    shared = [c for c in plan.cells if c.group == "ablations:quick"]
+    assert len(shared) == 2 and len({c.seed for c in shared}) == 1
+
+
+def test_bootstrap_plan_derives_distinct_seeds():
+    plan = plan_for("bootstrap", "quick")
+    assert all(c.seed is None for c in plan.cells)
+    keys = {c.cell_key for c in plan.cells}
+    assert len(keys) == len(plan.cells) == 3
+
+
+def test_chaos_plan_runs_end_to_end():
+    plan = plan_for(
+        "chaos", "quick"
+    )
+    shrunk = tuple(
+        c.__class__(
+            kind=c.kind,
+            scale=c.scale,
+            seed=c.seed,
+            overrides=(("dns_servers", 10), ("planetlab_nodes", 6)),
+            options=tuple(
+                (k, 3 if k == "rounds" else v) for k, v in c.options
+            ),
+        )
+        for c in plan.cells
+    )
+    sweep = run_cells(shrunk, jobs=1, manifest=False)
+    assert sweep.ok, [r.error for r in sweep.failures()]
+    reports = plan.combine(sweep.results)
+    assert "Chaos sweep" in reports["chaos"]
+
+
+# -- the scenario factory (satellite a/b) ------------------------------------
+
+
+def test_scales_are_named_tuples_with_documented_fields():
+    assert isinstance(SCALES["quick"], Scale)
+    for spec in SCALES.values():
+        assert spec.clients > 0 and spec.candidates > 0
+        assert spec.probe_rounds > 0 and spec.sweep_minutes > 0
+    # Sizes grow monotonically with scale…
+    assert SCALES["quick"].clients < SCALES["default"].clients <= SCALES["paper"].clients
+    assert SCALES["quick"].probe_rounds < SCALES["default"].probe_rounds
+    # …while the quick sweep window is intentionally longer than an
+    # hour-scale run: fig8's 500/2000-minute intervals need a window
+    # several times their size to produce any points at all.
+    assert SCALES["quick"].sweep_minutes == 1440.0
+
+
+def test_selection_profile_matches_historical_params():
+    expected = ScenarioParams(
+        seed=2008,
+        dns_servers=60,
+        planetlab_nodes=40,
+        build_meridian=True,
+        meridian_failures=FailureRates(),
+        king_weight_power=1.0,
+        king_rural_fraction=0.25,
+    )
+    produced = scenario_params_for("quick", 2008, "selection", meridian=True)
+    assert repr(produced) == repr(expected)
+
+
+def test_clustering_profile_matches_historical_params():
+    expected = ScenarioParams(
+        seed=177, dns_servers=60, planetlab_nodes=8, build_meridian=False
+    )
+    produced = scenario_params_for("quick", 177, "clustering")
+    assert repr(produced) == repr(expected)
+    assert scenario_params_for("default", 177, "clustering").dns_servers == 177
+
+
+def test_factory_applies_overrides_last():
+    produced = scenario_params_for("quick", 1, "selection", dns_servers=5)
+    assert produced.dns_servers == 5
+    with pytest.raises(ValueError):
+        scenario_params_for("quick", 1, "no-such-profile")
+
+
+# -- manifest merging --------------------------------------------------------
+
+
+def _manifest(run_key, counters, gauges, sim, wall, seed=1, scale="quick"):
+    return RunManifest(
+        run_key=run_key,
+        params_fingerprint="f" * 16,
+        seed=seed,
+        scale=scale,
+        wall_duration_s=wall,
+        sim_duration_s=sim,
+        metrics={"counters": dict(counters), "gauges": dict(gauges)},
+        trace_counts={"probe": 2},
+    )
+
+
+def test_merge_manifests_sums_counters_and_maxes_gauges():
+    merged = merge_manifests(
+        [
+            _manifest("a", {"x": 1, "y": 2}, {"g": 5.0}, sim=10.0, wall=1.0),
+            _manifest("b", {"x": 3}, {"g": 2.0, "h": 1.0}, sim=20.0, wall=2.0),
+        ],
+        run_key="sweep",
+    )
+    assert merged.run_key == "sweep"
+    assert merged.counters() == {"x": 4, "y": 2}
+    assert merged.metrics["gauges"] == {"g": 5.0, "h": 1.0}
+    assert merged.sim_duration_s == pytest.approx(30.0)
+    assert merged.wall_duration_s == pytest.approx(3.0)
+    assert merged.trace_counts == {"probe": 4}
+    assert merged.seed == 1 and merged.scale == "quick"
+
+
+def test_merge_manifests_drops_disagreeing_identity():
+    merged = merge_manifests(
+        [
+            _manifest("a", {}, {}, sim=0.0, wall=0.0, seed=1, scale="quick"),
+            _manifest("b", {}, {}, sim=0.0, wall=0.0, seed=2, scale="paper"),
+        ]
+    )
+    assert merged.seed is None and merged.scale is None
+
+
+def test_merge_manifests_empty_list_is_safe():
+    merged = merge_manifests([])
+    assert merged.run_key == "sweep"
+    assert merged.counters() == {}

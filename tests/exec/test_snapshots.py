@@ -1,0 +1,143 @@
+"""The snapshot store and probe-trace snapshot reuse."""
+
+import pytest
+
+from repro.check.invariants import check_snapshot_restore, default_registry
+from repro.exec import SnapshotStore
+from repro.workloads.scenario import (
+    Scenario,
+    ScenarioParams,
+    ScenarioSnapshot,
+    driven_scenario,
+    probe_window_key,
+)
+
+TINY = ScenarioParams(seed=42, dns_servers=10, planetlab_nodes=6, build_meridian=False)
+
+
+# -- the store ---------------------------------------------------------------
+
+
+def test_store_counts_hits_and_misses():
+    store = SnapshotStore()
+    assert store.get("k") is None
+    store.put("k", {"a": 1})
+    assert store.get("k") == {"a": 1}
+    assert (store.hits, store.misses, store.puts) == (1, 1, 1)
+    assert "k" in store and len(store) == 1
+
+
+def test_store_returns_fresh_copies():
+    store = SnapshotStore()
+    store.put("k", {"a": 1})
+    first = store.get("k")
+    first["a"] = 99
+    assert store.get("k") == {"a": 1}
+
+
+def test_get_or_compute_runs_once():
+    store = SnapshotStore()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return [1, 2, 3]
+
+    assert store.get_or_compute("k", compute) == [1, 2, 3]
+    assert store.get_or_compute("k", compute) == [1, 2, 3]
+    assert calls == [1]
+
+
+def test_store_persists_to_disk(tmp_path):
+    SnapshotStore(directory=tmp_path).put("k", "payload")
+    fresh = SnapshotStore(directory=tmp_path)
+    assert fresh.get("k") == "payload"
+    assert fresh.hits == 1
+
+
+def test_key_for_is_stable_and_injective_enough():
+    key = SnapshotStore.key_for("closest-outcome", "abc123", 24, 10.0)
+    assert key == SnapshotStore.key_for("closest-outcome", "abc123", 24, 10.0)
+    assert key != SnapshotStore.key_for("closest-outcome", "abc123", 25, 10.0)
+
+
+# -- probe-trace snapshots ---------------------------------------------------
+
+
+def test_driven_scenario_restores_identical_state():
+    store = SnapshotStore()
+    first = driven_scenario(TINY, rounds=6, store=store)
+    second = driven_scenario(TINY, rounds=6, store=store)
+    assert store.hits == 1 and store.misses == 1
+    assert second.clock.now == first.clock.now
+    assert second.crp.probes_issued == first.crp.probes_issued
+    # The restored service answers positioning queries identically.
+    for client in first.client_names:
+        a = first.crp.position(client, first.candidate_names)
+        b = second.crp.position(client, second.candidate_names)
+        assert [r.name for r in a.top(5)] == [r.name for r in b.top(5)]
+
+
+def test_driven_scenario_equals_fresh_drive():
+    cold = driven_scenario(TINY, rounds=6)
+    store = SnapshotStore()
+    driven_scenario(TINY, rounds=6, store=store)
+    warm = driven_scenario(TINY, rounds=6, store=store)
+    maps_cold = cold.crp.ratio_maps(cold.client_names)
+    maps_warm = warm.crp.ratio_maps(warm.client_names)
+    assert {n: repr(m) for n, m in maps_cold.items()} == {
+        n: repr(m) for n, m in maps_warm.items()
+    }
+
+
+def test_params_change_misses_the_cache():
+    store = SnapshotStore()
+    driven_scenario(TINY, rounds=6, store=store)
+    import dataclasses
+
+    other = dataclasses.replace(TINY, seed=43)
+    driven_scenario(other, rounds=6, store=store)
+    driven_scenario(TINY, rounds=8, store=store)
+    assert store.hits == 0 and store.misses == 3
+    assert probe_window_key(TINY, 6, 10.0) != probe_window_key(other, 6, 10.0)
+
+
+def test_snapshot_matches_guards_key_collisions():
+    scenario = Scenario(TINY)
+    scenario.run_probe_rounds(2)
+    snapshot = ScenarioSnapshot.capture(scenario, rounds=2, interval_minutes=10.0)
+    assert snapshot.matches(TINY, 2, 10.0)
+    assert not snapshot.matches(TINY, 3, 10.0)
+
+
+# -- the restore invariant ---------------------------------------------------
+
+
+def test_snapshot_restore_invariant_passes():
+    store = SnapshotStore()
+    original = driven_scenario(TINY, rounds=6, store=store)
+    restored = driven_scenario(TINY, rounds=6, store=store)
+    assert check_snapshot_restore(original, restored) == []
+    registry = default_registry()
+    assert "snapshot_restore" in registry
+    assert registry.check("snapshot_restore", "tiny", original, restored) == []
+
+
+def test_snapshot_restore_invariant_catches_drift():
+    store = SnapshotStore()
+    original = driven_scenario(TINY, rounds=6, store=store)
+    restored = driven_scenario(TINY, rounds=6, store=store)
+    restored.clock.advance_minutes(10.0)
+    restored.crp.probe_all()
+    problems = check_snapshot_restore(original, restored)
+    assert problems, "drifted restore must be flagged"
+
+
+def test_snapshot_restore_mismatch_raises():
+    store = SnapshotStore()
+    key = probe_window_key(TINY, 6, 10.0)
+    scenario = Scenario(TINY)
+    scenario.run_probe_rounds(2)
+    store.put(key, ScenarioSnapshot.capture(scenario, rounds=2, interval_minutes=10.0))
+    with pytest.raises(ValueError):
+        driven_scenario(TINY, rounds=6, store=store)
