@@ -30,6 +30,7 @@ from repro.check.differential import (
     DifferentialPair,
     DifferentialRunner,
     chaos_stanza_pair,
+    dense_event_pair,
     obs_pair,
     scalar_vector_pair,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "obs_pair",
     "scalar_vector_pair",
     "chaos_stanza_pair",
+    "dense_event_pair",
     "FuzzFailure",
     "fuzz_ratio_maps",
     "fuzz_observations",

@@ -23,7 +23,9 @@ promises:
 * :func:`obs_pair` — an experiment producer's reports with
   observability enabled vs fully disabled;
 * :func:`chaos_stanza_pair` — a scenario carrying a zero-rate chaos
-  stanza vs one with the stanza absent.
+  stanza vs one with the stanza absent;
+* :func:`dense_event_pair` — the dense round loop against the event
+  engine under the degenerate "every client, every interval" workload.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro import obs as obs_layer
 from repro.core.clustering import SmfParams, smf_cluster
 from repro.core.selection import rank_candidates, select_top_k
+from repro.core.service import ProbePolicy
 from repro.core.similarity import SimilarityMetric
 from repro.faults import ChaosParams
 from repro.obs import NOOP, get_observability
@@ -243,6 +246,11 @@ def _scenario_summary_fields(params: ScenarioParams, probe_rounds: int) -> Dict[
     """A compact behavioural fingerprint of one probed scenario."""
     scenario = Scenario(params)
     scenario.run_probe_rounds(probe_rounds)
+    return _summary_fields_of(scenario)
+
+
+def _summary_fields_of(scenario: Scenario) -> Dict[str, object]:
+    """The behavioural fingerprint of an already-driven scenario."""
     crp = scenario.crp
     fields: Dict[str, object] = {
         "sim.now": scenario.clock.now,
@@ -261,6 +269,40 @@ def _scenario_summary_fields(params: ScenarioParams, probe_rounds: int) -> Dict[
     )
     fields["smf.unclustered"] = tuple(result.unclustered)
     return fields
+
+
+def dense_event_pair(
+    params: ScenarioParams,
+    probe_rounds: int = 6,
+    interval_minutes: float = 10.0,
+) -> DifferentialPair:
+    """Dense round loop vs event loop under the degenerate workload.
+
+    With the workload degenerated to "every client, every interval"
+    the event engine must reproduce ``run_probe_rounds`` bit for bit:
+    same clock values at every probe, same probe order, same substrate
+    state at every boundary.  The pair pins the single-attempt probe
+    policy — retry backoff advances the shared clock mid-round, which
+    shifts subsequent dense rounds off the event lattice; that is the
+    one documented precondition of the equivalence (DESIGN.md §11).
+    """
+    base = dataclasses.replace(
+        params, build_meridian=False, probe_policy=ProbePolicy()
+    )
+
+    def dense() -> Dict[str, object]:
+        scenario = Scenario(base)
+        scenario.run_probe_rounds(probe_rounds, interval_minutes)
+        return _summary_fields_of(scenario)
+
+    def evented() -> Dict[str, object]:
+        scenario = Scenario(base)
+        scenario.run_events(scenario.dense_workload(probe_rounds, interval_minutes))
+        return _summary_fields_of(scenario)
+
+    return DifferentialPair(
+        name="dense-vs-event-degenerate", left=dense, right=evented
+    )
 
 
 def chaos_stanza_pair(

@@ -445,6 +445,55 @@ def check_snapshot_restore(original: object, restored: object) -> List[str]:
     return problems
 
 
+def check_event_loop(loop: object) -> List[str]:
+    """A finished event loop terminated cleanly and dispatched in order.
+
+    ``loop`` is a :class:`~repro.sim.loop.EventLoop` (typed loosely to
+    keep this module import-light).  Checks monotone dispatch keys
+    (time, then priority, then schedule order — the loop records the
+    first regression it ever observes), empty-heap termination, the
+    scheduling ledger (scheduled = dispatched + still-queued, with
+    out-of-horizon events suppressed rather than queued), and that the
+    clock landed on the horizon.
+    """
+    problems: List[str] = []
+    if loop.order_violation is not None:
+        problems.append(loop.order_violation)
+    if loop.finished and len(loop) != 0:
+        problems.append(
+            f"finished loop still holds {len(loop)} queued events"
+        )
+    if loop.scheduled != loop.dispatched + len(loop):
+        problems.append(
+            f"scheduling ledger broken: {loop.scheduled} scheduled != "
+            f"{loop.dispatched} dispatched + {len(loop)} queued"
+        )
+    by_kind_total = sum(loop.dispatched_by_kind.values())
+    if by_kind_total != loop.dispatched:
+        problems.append(
+            f"per-kind dispatch counts sum to {by_kind_total}, "
+            f"not {loop.dispatched}"
+        )
+    if loop.max_heap_depth < len(loop):
+        problems.append(
+            f"max heap depth {loop.max_heap_depth} below current "
+            f"depth {len(loop)}"
+        )
+    if loop.finished and loop.clock.now < loop.horizon_s:
+        problems.append(
+            f"finished loop left the clock at {loop.clock.now}, "
+            f"short of the horizon {loop.horizon_s}"
+        )
+    if loop.last_dispatched_key is not None:
+        at = loop.last_dispatched_key[0]
+        if at >= loop.horizon_s:
+            problems.append(
+                f"dispatched an event at {at}, past the horizon "
+                f"{loop.horizon_s}"
+            )
+    return problems
+
+
 def default_registry() -> InvariantRegistry:
     """A fresh registry with every built-in invariant registered."""
     registry = InvariantRegistry()
@@ -456,4 +505,5 @@ def default_registry() -> InvariantRegistry:
     registry.register("health_transitions", check_health_transitions)
     registry.register("smf_result", check_smf_result)
     registry.register("snapshot_restore", check_snapshot_restore)
+    registry.register("event_loop", check_event_loop)
     return registry

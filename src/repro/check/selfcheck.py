@@ -7,10 +7,11 @@ One call runs the whole correctness battery at small scale:
    ratio map, the packed engine population behind the candidate maps,
    every resolver's TTL cache, the service health machine (records and
    emitted transitions), and an SMF clustering's post-conditions.
-2. **Differential pairs** — the three equivalences the repo promises:
+2. **Differential pairs** — the equivalences the repo promises:
    vectorized vs scalar positioning, obs-on vs obs-off experiment
-   reports (for the selected experiment producers), and a
-   present-but-disabled chaos stanza vs an absent one.
+   reports (for the selected experiment producers), a
+   present-but-disabled chaos stanza vs an absent one, and the dense
+   round loop vs the event engine under the degenerate workload.
 3. **Fuzz drivers** — seeded churn/observation/clustering fuzz with
    scalar↔vectorized cross-checks after every step and input
    shrinking on failure.
@@ -32,6 +33,7 @@ from repro.check.differential import (
     DifferentialRunner,
     Divergence,
     chaos_stanza_pair,
+    dense_event_pair,
     obs_pair,
     scalar_vector_pair,
 )
@@ -184,6 +186,27 @@ def _sweep_scenario_invariants(
     result = crp.cluster(scenario.client_names, smf_params=smf_params)
     run("smf_result", "smf-clustering", result, client_maps, smf_params)
 
+    # A second, event-driven scenario exercises the engine end to end
+    # (sparse Zipf workload) and checks the loop's own invariant.
+    from repro.sim.workload import PoissonZipfWorkload
+
+    evented = Scenario(
+        ScenarioParams(
+            seed=config.seed,
+            dns_servers=config.clients,
+            planetlab_nodes=config.candidates,
+            build_meridian=False,
+        )
+    )
+    workload = PoissonZipfWorkload(
+        evented.crp.active_nodes,
+        config.seed,
+        aggregate_rate_per_s=len(evented.crp.active_nodes) / 600.0,
+    )
+    loop = evented.run_events(workload, until_s=config.probe_rounds * 600.0)
+    report.invariants_checked += 1
+    report.violations.extend(registry.check("event_loop", "event-loop", loop))
+
 
 def _standard_pairs(
     config: SelfCheckConfig,
@@ -198,6 +221,7 @@ def _standard_pairs(
     pairs = [
         scalar_vector_pair(params, probe_rounds=config.probe_rounds),
         chaos_stanza_pair(params, probe_rounds=config.probe_rounds),
+        dense_event_pair(params, probe_rounds=config.probe_rounds),
     ]
     if producers:
         seen: List[Callable[[str], Mapping[str, str]]] = []

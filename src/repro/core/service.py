@@ -316,6 +316,12 @@ class CRPService:
         """Registered node names, sorted."""
         return sorted(self._resolvers)
 
+    @property
+    def active_nodes(self) -> List[str]:
+        """Probeable (non-passive) node names, sorted — the population
+        :meth:`probe_all` walks and event workloads cover."""
+        return [n for n in self.nodes if self._resolvers[n] is not None]
+
     def tracker(self, name: str) -> RedirectionTracker:
         """A node's redirection history."""
         try:
@@ -476,6 +482,22 @@ class CRPService:
             self._m_observations.inc(len(recorded))
         self._record_round_outcome(node, succeeded=bool(recorded))
         return recorded
+
+    def probe_scheduled(self, node: str) -> List[Observation]:
+        """One node's event-driven probe (the engine's entry point).
+
+        Equivalent to the node's slice of :meth:`probe_all`, minus the
+        round counter (event mode has no rounds): quarantined nodes get
+        recovery-probe accounting, then probe as usual.  Workloads — not
+        a round-modulus — set the recovery cadence in event mode, by
+        deciding when a quarantined node's next probe event fires.
+        """
+        health = self._health.get(node)
+        if health is not None and health.state is NodeState.QUARANTINED:
+            self.recovery_probes += 1
+            self._m_recovery_probes.inc()
+            self._trace.emit("probe.recovery", self.clock.now, node)
+        return self.probe(node)
 
     def probe_all(self) -> int:
         """One probe round over every active node; returns observations

@@ -141,6 +141,27 @@ class TtlCache:
         entry = self._entries.get(key)
         return entry is not None and self._expired(entry, now)
 
+    def sweep(self, now: float) -> int:
+        """Proactively drop expired entries; returns the count dropped.
+
+        Behaviour-neutral with respect to :meth:`get` — the unified
+        ``_expired`` predicate means an expired entry is never served
+        regardless of whether it was swept — so the event engine's TTL
+        housekeeping can run at expiry boundaries without perturbing
+        resolution, while keeping long sparse runs' memory bounded by
+        the *live* working set.
+        """
+        return self._purge_expired(now)
+
+    def next_expiry(self) -> Optional[float]:
+        """The earliest stored expiry time, or None when empty.
+
+        The event engine schedules its next TTL sweep for this instant.
+        """
+        if not self._entries:
+            return None
+        return min(entry.expires_at for entry in self._entries.values())
+
     def flush(self) -> None:
         """Drop everything (counters are preserved)."""
         self._entries.clear()

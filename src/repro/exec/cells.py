@@ -76,7 +76,12 @@ from repro.experiments.harness import (
 from repro.experiments.overhead import run_overhead
 from repro.experiments.table1_summary import run_table1
 from repro.obs.manifest import fingerprint_params
-from repro.workloads.scenario import Scenario, ScenarioParams, driven_scenario
+from repro.workloads.scenario import (
+    Scenario,
+    ScenarioParams,
+    driven_scenario,
+    driven_scenario_events,
+)
 
 #: kind → producer(cell, seed, store) → CellOutput.
 Producer = Callable[[Cell, int, SnapshotStore], CellOutput]
@@ -224,6 +229,55 @@ def _chaos_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     return CellOutput(value=point)
 
 
+@producer("events.point")
+def _events_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
+    """One sparse event-driven window at a fraction of the dense rate.
+
+    ``rate_factor`` scales the population's aggregate probe rate
+    relative to the dense loop's (every node every
+    ``interval_minutes``); the cell value records the dispatch ratio
+    alongside positioning coverage, quantifying what sparse probing
+    costs in answerability.
+    """
+    from repro.sim.workload import PoissonZipfWorkload
+
+    params = _params(cell, seed, "selection", meridian=False)
+    rate_factor = float(cell.option("rate_factor"))
+    interval_minutes = float(cell.option("interval_minutes", 10.0))
+    duration_minutes = float(cell.option("duration_minutes"))
+    until_s = duration_minutes * 60.0
+
+    def build(scenario: Scenario) -> PoissonZipfWorkload:
+        names = scenario.crp.active_nodes
+        dense_rate = len(names) / (interval_minutes * 60.0)
+        return PoissonZipfWorkload(
+            names, seed, aggregate_rate_per_s=dense_rate * rate_factor
+        )
+
+    scenario, stats = driven_scenario_events(params, build, until_s, store=store)
+    crp = scenario.crp
+    active = crp.active_nodes
+    dense_dispatches = len(active) * int(duration_minutes // interval_minutes)
+    dispatched_probes = stats["dispatched_by_kind"]["client_probe"]
+    positioned = sum(1 for name in active if crp.ratio_map(name) is not None)
+    return CellOutput(
+        value={
+            "rate_factor": rate_factor,
+            "population": len(active),
+            "events_dispatched": stats["dispatched"],
+            "probe_events": dispatched_probes,
+            "idle_skips": stats["idle_skips"],
+            "max_heap_depth": stats["max_heap_depth"],
+            "probes_issued": crp.probes_issued,
+            "dense_dispatches": dense_dispatches,
+            "dispatch_ratio": (
+                dense_dispatches / dispatched_probes if dispatched_probes else None
+            ),
+            "positioned": positioned,
+        }
+    )
+
+
 @producer("bootstrap.rep")
 def _bootstrap_rep(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     scenario = Scenario(_params(cell, seed, "selection", meridian=False))
@@ -321,8 +375,13 @@ DEFAULT_EXPERIMENTS = (
     "table1",
 )
 
-#: Every plannable experiment key.
-EXPERIMENT_KEYS = DEFAULT_EXPERIMENTS + ("ablations", "bootstrap")
+#: Every plannable experiment key.  ``events`` stays out of the
+#: default sweep so the historical report fingerprints are unchanged.
+EXPERIMENT_KEYS = DEFAULT_EXPERIMENTS + ("ablations", "bootstrap", "events")
+
+#: Aggregate-rate factors (relative to the dense every-node-every-
+#: interval rate) swept by the ``events`` experiment.
+EVENT_RATE_FACTORS = (0.02, 0.1)
 
 
 def plan_for(key: str, scale: str, root_seed: int = 0) -> ExperimentPlan:
@@ -404,6 +463,57 @@ def plan_for(key: str, scale: str, root_seed: int = 0) -> ExperimentPlan:
             return {"chaos": chaos_result.report()}
 
         return ExperimentPlan(key, cells, combine_chaos)
+
+    if key == "events":
+        duration = spec.probe_rounds * 10.0
+        cells = tuple(
+            Cell(
+                kind="events.point",
+                scale=scale,
+                options=(
+                    ("rate_factor", factor),
+                    ("duration_minutes", duration),
+                    ("interval_minutes", 10.0),
+                ),
+            )
+            for factor in EVENT_RATE_FACTORS
+        )
+
+        def combine_events(results: Sequence[CellResult]) -> Dict[str, str]:
+            rows = []
+            for result in results:
+                point = result.value
+                ratio = point["dispatch_ratio"]
+                rows.append(
+                    [
+                        f"{point['rate_factor']:g}",
+                        point["population"],
+                        point["probe_events"],
+                        point["dense_dispatches"],
+                        "-" if ratio is None else f"{ratio:.1f}x",
+                        point["positioned"],
+                        point["max_heap_depth"],
+                    ]
+                )
+            report = format_table(
+                [
+                    "rate",
+                    "nodes",
+                    "probe events",
+                    "dense dispatches",
+                    "savings",
+                    "positioned",
+                    "heap depth",
+                ],
+                rows,
+                title=(
+                    "Event-driven probing vs the dense schedule "
+                    f"({duration:g} simulated minutes)"
+                ),
+            )
+            return {"events": report}
+
+        return ExperimentPlan(key, cells, combine_events)
 
     if key == "bootstrap":
         quick = scale == "quick"

@@ -259,18 +259,31 @@ def run_cells(
     manifest: bool = True,
     store: Optional[SnapshotStore] = None,
     store_dir: Optional[str] = None,
+    split_groups: Optional[bool] = None,
 ) -> SweepResult:
     """Execute cells, serially or sharded over processes (module doc).
 
     ``jobs=None`` uses ``os.cpu_count()``; ``jobs=1`` (or a single
     cell) runs serially in-process over one shared store.  Results come
     back in input order regardless of scheduling.
+
+    ``split_groups`` breaks snapshot-affinity shards apart so every
+    cell schedules independently — the LPT critical path then bounds at
+    the single longest *cell* rather than the longest *group*.  It
+    defaults to on exactly when ``store_dir`` is set: with a shared
+    on-disk store, the warm start that affinity groups exist for is
+    preserved across processes (concurrent same-window misses may duplicate a
+    simulation, never corrupt it — snapshot writes are atomic and
+    restoring is behaviourally identical to re-driving), whereas
+    without one splitting would silently trade the warm start away.
     """
     cells = list(cells)
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
         raise ValueError("need at least one job")
+    if split_groups is None:
+        split_groups = store_dir is not None
     started = time.perf_counter()
 
     if jobs == 1 or len(cells) <= 1:
@@ -281,7 +294,8 @@ def run_cells(
         # runs one shard start-to-finish over its own store.
         shards: Dict[str, List[Tuple[int, Cell]]] = {}
         for index, cell in enumerate(cells):
-            shards.setdefault(cell.shard_group, []).append((index, cell))
+            shard_key = f"cell#{index}" if split_groups else cell.shard_group
+            shards.setdefault(shard_key, []).append((index, cell))
         ordered: List[Optional[CellResult]] = [None] * len(cells)
         workers = min(jobs, len(shards))
         with ProcessPoolExecutor(max_workers=workers) as pool:

@@ -163,6 +163,18 @@ def main(argv: Optional[list] = None) -> int:
         help="root seed for cells without a pinned seed (default 0)",
     )
     parser.add_argument(
+        "--snapshot-cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist probe-window snapshots to this directory (keyed by "
+            "params fingerprint), so repeated invocations warm-start "
+            "across processes; also lets the parallel executor split "
+            "snapshot-affinity shards for a shorter critical path"
+        ),
+    )
+    parser.add_argument(
         "--selfcheck",
         action="store_true",
         help=(
@@ -218,8 +230,16 @@ def main(argv: Optional[list] = None) -> int:
                 seen_keys.add(cell.cell_key)
                 cells.append(cell)
 
+    store_dir = None
+    if args.snapshot_cache is not None:
+        args.snapshot_cache.mkdir(parents=True, exist_ok=True)
+        store_dir = str(args.snapshot_cache)
     sweep = run_cells(
-        cells, jobs=args.jobs, root_seed=args.root_seed, manifest=args.manifest
+        cells,
+        jobs=args.jobs,
+        root_seed=args.root_seed,
+        manifest=args.manifest,
+        store_dir=store_dir,
     )
     by_key = sweep.by_key()
 

@@ -101,6 +101,21 @@ class ChaosController:
         flat["active"] = len(self._active)
         return flat
 
+    def pending_boundary_times(self, until: Optional[float] = None) -> List[float]:
+        """Distinct boundary timestamps not yet replayed, in order.
+
+        The event-driven path schedules one fault-boundary event per
+        timestamp (optionally clipped to ``until``) and calls
+        :meth:`sync` from its handler, instead of polling every round.
+        """
+        times: List[float] = []
+        for at, _, _, _ in self._boundaries[self._cursor :]:
+            if until is not None and at >= until:
+                break
+            if not times or times[-1] != at:
+                times.append(at)
+        return times
+
     # -- enactment ---------------------------------------------------------
 
     def sync(self, now: float) -> int:

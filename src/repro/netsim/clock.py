@@ -53,5 +53,21 @@ class SimClock:
         """Move time forward by ``minutes`` and return the new time."""
         return self.advance(minutes * 60.0)
 
+    def advance_to(self, when: float) -> float:
+        """Jump to an absolute time (still monotone) and return it.
+
+        The event loop uses this instead of ``advance(when - now)``
+        because setting the exact scheduled float keeps event-path
+        timestamps bit-identical to the dense path's accumulated ones —
+        ``now + (t - now)`` need not round back to ``t``.
+        """
+        if when < self._now:
+            raise ValueError(
+                f"cannot move the clock backwards ({when} < {self._now})"
+            )
+        self._now = float(when)
+        self._sim_gauge.set(self._now)
+        return self._now
+
     def __repr__(self) -> str:
         return f"SimClock(now={self._now:.1f}s)"

@@ -36,6 +36,7 @@ kind                         emitted when
 ``engine.flush``             the packed population flushed pending rows
 ``engine.compact``           the packed population dropped tombstoned rows
 ``check.violation``          a self-check invariant or differential pair failed
+``sim.epoch``                the event loop crossed a mapping-refresh epoch
 ===========================  ====================================================
 """
 
@@ -69,6 +70,7 @@ EVENT_KINDS = frozenset(
         "engine.flush",
         "engine.compact",
         "check.violation",
+        "sim.epoch",
     }
 )
 

@@ -1,0 +1,31 @@
+"""The event-driven simulation engine.
+
+``repro.sim`` replaces lockstep probe rounds with a priority-queue
+event loop whose cost scales with dispatched events rather than with
+population — the precondition for million-client scenarios where most
+clients are idle at any instant.  See DESIGN.md §11 for the
+architecture and the dense ≡ event equivalence argument.
+"""
+
+from repro.sim.events import PRIORITY, Event, EventKind
+from repro.sim.loop import EventLoop, EventLoopStats
+from repro.sim.workload import (
+    LatticeWorkload,
+    PoissonZipfWorkload,
+    SyntheticPopulation,
+    stream_unit,
+    zipf_weights,
+)
+
+__all__ = [
+    "PRIORITY",
+    "Event",
+    "EventKind",
+    "EventLoop",
+    "EventLoopStats",
+    "LatticeWorkload",
+    "PoissonZipfWorkload",
+    "SyntheticPopulation",
+    "stream_unit",
+    "zipf_weights",
+]

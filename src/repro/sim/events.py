@@ -1,0 +1,63 @@
+"""Typed simulation events.
+
+The event-driven engine moves the world forward one *event* at a time
+instead of one lockstep round at a time.  Each event is a ``(time,
+kind, subject)`` triple; kinds form a small closed taxonomy, and the
+dispatch order at equal timestamps is fixed by a per-kind priority so
+that the event path reproduces the dense round loop exactly when the
+workload degenerates to "every client, every interval":
+
+- fault boundaries first — the dense loop calls ``chaos.sync(now)``
+  *before* probing each round, so a boundary landing exactly on a
+  probe instant must be enacted before the probes see the substrate;
+- mapping-epoch and TTL housekeeping next — both are behaviour-neutral
+  (epoch refresh stays lazy; expired cache entries are never served
+  regardless of when they are swept), so their slot only matters for
+  bookkeeping stability;
+- client probes last, in schedule order (the sequence number preserves
+  the order clients were scheduled, which the scenario driver keeps
+  sorted to match ``CRPService.probe_all``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, NamedTuple
+
+
+class EventKind(str, Enum):
+    """The closed taxonomy of simulation events."""
+
+    #: A chaos-schedule episode boundary (start or end) falls due.
+    FAULT_BOUNDARY = "fault_boundary"
+    #: The CDN mapping system crosses a refresh-epoch boundary
+    #: (observational heartbeat; the refresh itself stays lazy).
+    MAPPING_EPOCH = "mapping_epoch"
+    #: A resolver cache's earliest entry expires and can be swept.
+    TTL_EXPIRY = "ttl_expiry"
+    #: One client issues one CRP probe (all customer names once).
+    CLIENT_PROBE = "client_probe"
+
+
+#: Dispatch priority at equal timestamps (lower dispatches first).
+#: See the module docstring for why this exact order is load-bearing.
+PRIORITY: Dict[EventKind, int] = {
+    EventKind.FAULT_BOUNDARY: 0,
+    EventKind.MAPPING_EPOCH: 1,
+    EventKind.TTL_EXPIRY: 2,
+    EventKind.CLIENT_PROBE: 3,
+}
+
+
+class Event(NamedTuple):
+    """One scheduled occurrence, as handed to a dispatch handler.
+
+    ``subject`` is kind-specific: a client index or name for probes, a
+    node name for TTL sweeps, an opaque tag for boundaries/epochs.  It
+    is deliberately ``object``-typed — the million-client benches pass
+    bare integers to avoid materialising a million name strings.
+    """
+
+    at: float
+    kind: EventKind
+    subject: object = ""

@@ -1,0 +1,222 @@
+"""Workload generators for the event-driven engine.
+
+A *workload* decides when each client probes: the engine asks for a
+client's first arrival time and, after each dispatch, for the next one.
+Two generators cover the interesting regimes:
+
+- :class:`PoissonZipfWorkload` — realistic sparse activity.  Client
+  activity rates follow a Zipf law over the population (a few heavy
+  hitters, a long idle tail) and each client's probe stream is Poisson
+  (exponential inter-arrivals).  Cost scales with *events*, not
+  population: clients whose first arrival falls past the horizon never
+  enter the engine's heap.
+- :class:`LatticeWorkload` — the degenerate "every client, every
+  interval" schedule that reproduces ``Scenario.run_probe_rounds``
+  exactly.  It exists so the differential harness can prove dense ≡
+  event-driven; its arrival times are accumulated with the same float
+  additions the dense loop performs.
+
+Randomness follows the repo's seeding discipline: the stream root comes
+from :func:`repro.netsim.rng.derive_seed` (hash-based, stable under
+``PYTHONHASHSEED``), and per-(client, draw) uniforms come from a
+counter-based splitmix64 mix of that root — stateless, so a workload
+never stores a million generator objects, and vectorisable, so the
+bench can draw a million first arrivals in one numpy pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.netsim.rng import derive_seed
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 stream increment (golden-ratio odd constant).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def _mix64(z: int) -> int:
+    """The splitmix64 finaliser (scalar)."""
+    z &= _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def stream_unit(root: int, client: int, draw: int) -> float:
+    """Uniform in [0, 1) for one (client, draw) pair — stateless."""
+    z = _mix64((root + _GOLDEN * (client + 1)) & _MASK64)
+    z = _mix64((z + _GOLDEN * (draw + 1)) & _MASK64)
+    return (z >> 11) * 2.0**-53
+
+
+def _mix64_array(z: np.ndarray) -> np.ndarray:
+    """The splitmix64 finaliser, vectorised (wrapping uint64)."""
+    mix1, mix2 = np.uint64(_MIX1), np.uint64(_MIX2)
+    z = (z ^ (z >> np.uint64(30))) * mix1
+    z = (z ^ (z >> np.uint64(27))) * mix2
+    return z ^ (z >> np.uint64(31))
+
+
+def _stream_unit_array(root: int, clients: np.ndarray, draw: int) -> np.ndarray:
+    """Vectorised :func:`stream_unit` over a client-index array.
+
+    Bit-identical to the scalar path: same mixing constants, same
+    shifts, evaluated in wrapping uint64 arithmetic.
+    """
+    golden = np.uint64(_GOLDEN)
+    with np.errstate(over="ignore"):
+        z = np.uint64(root & _MASK64) + golden * (clients.astype(np.uint64) + np.uint64(1))
+        z = _mix64_array(z)
+        z = _mix64_array(z + golden * np.uint64(draw + 1))
+    return (z >> np.uint64(11)).astype(np.float64) * 2.0**-53
+
+
+def zipf_weights(count: int, alpha: float) -> np.ndarray:
+    """Normalised Zipf weights: weight of rank r ∝ (r + 1)^-alpha.
+
+    Rank follows population order (index 0 is the most active client);
+    callers wanting decorrelated ranks shuffle their name list first.
+    """
+    if count < 1:
+        raise ValueError("need at least one client")
+    if alpha < 0:
+        raise ValueError(f"zipf alpha must be non-negative, got {alpha}")
+    weights = np.arange(1, count + 1, dtype=np.float64) ** -alpha
+    return weights / weights.sum()
+
+
+class SyntheticPopulation(Sequence[str]):
+    """A lazily named client population for engine-scale benches.
+
+    Behaves like a list of ``prefix0000000``-style names without
+    materialising them — a million-client workload needs names only
+    for the (few) clients that actually dispatch.
+    """
+
+    def __init__(self, count: int, prefix: str = "ev-client-") -> None:
+        if count < 1:
+            raise ValueError("need at least one client")
+        self.count = count
+        self.prefix = prefix
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index: int) -> str:
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self.count))]
+        if index < 0:
+            index += self.count
+        if not 0 <= index < self.count:
+            raise IndexError(index)
+        return f"{self.prefix}{index:07d}"
+
+
+class PoissonZipfWorkload:
+    """Zipf-distributed per-client rates, Poisson per-client streams.
+
+    ``aggregate_rate_per_s`` is the population's total expected probe
+    rate; client ``i`` gets the share ``zipf_weights(n, alpha)[i]``.
+    Draws are counter-based (see module docstring), so two instances
+    built with the same arguments yield identical streams in any
+    process.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        seed: int,
+        *,
+        alpha: float = 1.1,
+        aggregate_rate_per_s: float = 1.0,
+    ) -> None:
+        if aggregate_rate_per_s <= 0:
+            raise ValueError("aggregate rate must be positive")
+        self.names = names
+        self.seed = int(seed)
+        self.alpha = float(alpha)
+        self.aggregate_rate_per_s = float(aggregate_rate_per_s)
+        self.rates = aggregate_rate_per_s * zipf_weights(len(names), alpha)
+        self._root = derive_seed(seed, "sim", "workload", "poisson-zipf")
+        self._draws: Dict[int, int] = {}
+        self.key = (
+            f"poisson-zipf:n={len(names)}:alpha={alpha:g}"
+            f":rate={aggregate_rate_per_s:g}:seed={self.seed}"
+        )
+
+    def name_of(self, index: int) -> str:
+        return self.names[index]
+
+    def _delta(self, index: int, draw: int) -> float:
+        u = stream_unit(self._root, index, draw)
+        # -log1p via numpy so the scalar path matches first_arrivals().
+        return -float(np.log1p(-u)) / float(self.rates[index])
+
+    def first_arrival(self, index: int) -> Optional[float]:
+        return self._delta(index, 0)
+
+    def next_arrival(self, index: int, prev: float) -> Optional[float]:
+        draw = self._draws.get(index, 0) + 1
+        self._draws[index] = draw
+        return prev + self._delta(index, draw)
+
+    def first_arrivals(self) -> np.ndarray:
+        """All first-arrival times in one vectorised pass.
+
+        Bit-identical to calling :meth:`first_arrival` per client —
+        the engine uses this to seed a million-client heap in
+        milliseconds rather than seconds.
+        """
+        indices = np.arange(len(self.names), dtype=np.uint64)
+        u = _stream_unit_array(self._root, indices, 0)
+        return -np.log1p(-u) / self.rates
+
+    def expected_events(self, horizon_s: float) -> float:
+        """Expected dispatch count over a horizon (sum of rate × T)."""
+        return float(self.rates.sum() * horizon_s)
+
+
+class LatticeWorkload:
+    """The degenerate dense schedule: every client, every interval.
+
+    Arrival times are *accumulated* (``t_k = t_{k-1} + interval_s``)
+    rather than computed as ``k * interval_s``, reproducing the exact
+    float sequence ``run_probe_rounds`` sees through repeated
+    ``clock.advance_minutes`` calls; :attr:`horizon_s` extends the
+    accumulation one step so the final clock value matches too.
+    """
+
+    def __init__(
+        self, names: Sequence[str], interval_minutes: float, rounds: int
+    ) -> None:
+        if rounds < 1:
+            raise ValueError("need at least one round")
+        self.names = names
+        self.interval_minutes = float(interval_minutes)
+        self.rounds = int(rounds)
+        interval_s = self.interval_minutes * 60.0
+        times: List[float] = [0.0]
+        for _ in range(rounds):
+            times.append(times[-1] + interval_s)
+        #: Round instants [t_0 .. t_{rounds-1}]; times[rounds] is the horizon.
+        self.times = times[:rounds]
+        self.horizon_s = times[rounds]
+        self._next = {a: b for a, b in zip(times, times[1:])}
+        self.key = f"lattice:r{rounds}:i{self.interval_minutes:g}"
+
+    def name_of(self, index: int) -> str:
+        return self.names[index]
+
+    def first_arrival(self, index: int) -> Optional[float]:
+        return self.times[0]
+
+    def next_arrival(self, index: int, prev: float) -> Optional[float]:
+        return self._next.get(prev)
+
+    def expected_events(self, horizon_s: float) -> float:
+        return float(len(self.names) * sum(1 for t in self.times if t < horizon_s))

@@ -39,6 +39,7 @@ from repro.netsim.clock import SimClock
 from repro.netsim.network import Network
 from repro.netsim.rng import derive_rng, derive_seed
 from repro.netsim.topology import Host, HostKind, Topology
+from repro.obs import get_observability
 from repro.netsim.world import World, default_world
 from repro.workloads.kingset import KingDataSet, build_king_dataset
 from repro.workloads.planetlab import PlanetLabDeployment, deploy_planetlab
@@ -302,6 +303,135 @@ class Scenario:
             self.crp.probe_all()
             self.clock.advance_minutes(interval_minutes)
 
+    # -- event-driven probing ----------------------------------------------
+
+    def dense_workload(self, rounds: int, interval_minutes: float = 10.0):
+        """The degenerate workload reproducing :meth:`run_probe_rounds`.
+
+        Every active node probes at every round instant, in the sorted
+        order ``probe_all`` uses; feeding it to :meth:`run_events` with
+        its ``horizon_s`` yields bit-identical probe behaviour to the
+        dense loop (see DESIGN.md §11 for the full argument and its one
+        precondition: a probe policy that never advances the clock,
+        i.e. the default single-attempt policy).
+        """
+        from repro.sim.workload import LatticeWorkload
+
+        return LatticeWorkload(self.crp.active_nodes, interval_minutes, rounds)
+
+    def run_events(
+        self,
+        workload,
+        until_s: Optional[float] = None,
+        *,
+        ttl_sweeps: bool = True,
+        epoch_events: bool = True,
+    ):
+        """Drive CRP probing event-by-event (opt-in; the dense
+        :meth:`run_probe_rounds` reference path is untouched).
+
+        ``workload`` supplies per-client arrival times (see
+        :mod:`repro.sim.workload`); cost scales with dispatched events,
+        not population — idle clients never enter the heap.  Fault
+        boundaries become events (no per-round polling), TTL expiries
+        sweep resolver caches at the moment they fall due, and
+        mapping-epoch boundaries emit an observability heartbeat while
+        the refresh itself stays lazy.  Returns the finished
+        :class:`~repro.sim.loop.EventLoop` (stats via ``.stats()``).
+        """
+        import numpy as np
+
+        from repro.sim.events import EventKind
+        from repro.sim.loop import EventLoop
+
+        if until_s is None:
+            until_s = getattr(workload, "horizon_s", None)
+            if until_s is None:
+                raise ValueError(
+                    "until_s is required for workloads without a horizon_s"
+                )
+        loop = EventLoop(self.clock, horizon_s=float(until_s))
+        crp = self.crp
+        resolvers = self.resolvers
+        clock = self.clock
+        #: Nodes with a TTL sweep already queued (at most one pending
+        #: sweep per node keeps housekeeping O(active nodes)).
+        pending_sweeps: Dict[str, float] = {}
+
+        def _queue_sweep(name: str) -> None:
+            expiry = resolvers[name].cache.next_expiry()
+            if expiry is not None and name not in pending_sweeps:
+                if loop.schedule(EventKind.TTL_EXPIRY, expiry, name):
+                    pending_sweeps[name] = expiry
+
+        def _on_probe(event) -> None:
+            name = workload.name_of(event.subject)
+            crp.probe_scheduled(name)
+            if ttl_sweeps:
+                _queue_sweep(name)
+            nxt = workload.next_arrival(event.subject, event.at)
+            if nxt is not None:
+                loop.schedule(EventKind.CLIENT_PROBE, nxt, event.subject)
+
+        def _on_ttl(event) -> None:
+            pending_sweeps.pop(event.subject, None)
+            cache = resolvers[event.subject].cache
+            cache.sweep(clock.now)
+            if ttl_sweeps:
+                _queue_sweep(event.subject)
+
+        def _on_fault(event) -> None:
+            # The clock already sits at (or past) the boundary; sync
+            # replays every boundary due, so clustered boundaries cost
+            # one handler call each but converge on the same state.
+            self.chaos.sync(clock.now)
+
+        def _on_epoch(event) -> None:
+            # Observational heartbeat only: the epoch refresh itself
+            # stays lazy (an eager refresh would consume network RNG
+            # and break dense ≡ event equivalence).
+            obs = get_observability()
+            epoch = self.cdn.mapping.current_epoch()
+            obs.trace.emit("sim.epoch", clock.now, self.cdn.domain, epoch=epoch)
+            obs.metrics.gauge("sim.mapping_epoch").set(epoch)
+            loop.schedule(
+                EventKind.MAPPING_EPOCH,
+                event.at + self.cdn.mapping.params.refresh_seconds,
+            )
+
+        loop.on(EventKind.CLIENT_PROBE, _on_probe)
+        loop.on(EventKind.TTL_EXPIRY, _on_ttl)
+        loop.on(EventKind.FAULT_BOUNDARY, _on_fault)
+        loop.on(EventKind.MAPPING_EPOCH, _on_epoch)
+
+        if self.chaos is not None:
+            for at in self.chaos.pending_boundary_times(loop.horizon_s):
+                loop.schedule(EventKind.FAULT_BOUNDARY, max(at, clock.now))
+        if epoch_events:
+            refresh = self.cdn.mapping.params.refresh_seconds
+            first_epoch = (clock.now // refresh + 1) * refresh
+            loop.schedule(EventKind.MAPPING_EPOCH, first_epoch)
+
+        population = len(workload.names)
+        first_arrivals = getattr(workload, "first_arrivals", None)
+        if first_arrivals is not None:
+            arrivals = first_arrivals()
+            active = np.nonzero(arrivals < loop.horizon_s)[0]
+            loop.count_idle_skips(population - len(active))
+            for index in active:
+                loop.schedule(
+                    EventKind.CLIENT_PROBE, float(arrivals[index]), int(index)
+                )
+        else:
+            for index in range(population):
+                arrival = workload.first_arrival(index)
+                if arrival is None or arrival >= loop.horizon_s:
+                    loop.count_idle_skips()
+                else:
+                    loop.schedule(EventKind.CLIENT_PROBE, arrival, index)
+        loop.run()
+        return loop
+
 
 # -- probe-trace snapshots ---------------------------------------------------
 
@@ -401,3 +531,124 @@ def driven_scenario(
     scenario.run_probe_rounds(rounds, interval_minutes)
     store.put(key, ScenarioSnapshot.capture(scenario, rounds, interval_minutes))
     return scenario
+
+
+# -- event-window snapshots ---------------------------------------------------
+
+
+def event_window_key(
+    params: ScenarioParams, workload_key: str, until_s: float
+) -> str:
+    """The content address of one event-driven probing window.
+
+    Workloads self-describe via their ``key`` attribute (generator
+    family, population, rate, seed), so two windows share an address
+    exactly when they would replay the same event stream over the same
+    world.
+    """
+    from repro.obs.manifest import fingerprint_params
+
+    return (
+        f"event-window:{fingerprint_params(params)}"
+        f":{workload_key}:u{until_s:g}"
+    )
+
+
+@dataclass(frozen=True)
+class EventWindowSnapshot:
+    """A scenario frozen after an event-driven probing window.
+
+    Like :class:`ScenarioSnapshot` but addressed by workload rather
+    than by round schedule, and carrying the event-loop stats of the
+    window that produced it (a restore skips the simulation, so the
+    stats cannot be recomputed).
+    """
+
+    params_fingerprint: str
+    workload_key: str
+    until_s: float
+    sim_now: float
+    probes_issued: int
+    stats: Dict[str, object] = field(default_factory=dict)
+    payload: bytes = field(repr=False, default=b"")
+
+    @classmethod
+    def capture(
+        cls,
+        scenario: Scenario,
+        workload_key: str,
+        until_s: float,
+        stats: Dict[str, object],
+    ) -> "EventWindowSnapshot":
+        from repro.obs.manifest import fingerprint_params
+
+        return cls(
+            params_fingerprint=fingerprint_params(scenario.params),
+            workload_key=workload_key,
+            until_s=until_s,
+            sim_now=scenario.clock.now,
+            probes_issued=scenario.crp.probes_issued,
+            stats=dict(stats),
+            payload=pickle.dumps(scenario, protocol=pickle.HIGHEST_PROTOCOL),
+        )
+
+    def restore(self) -> Scenario:
+        return pickle.loads(self.payload)
+
+    def matches(
+        self, params: ScenarioParams, workload_key: str, until_s: float
+    ) -> bool:
+        from repro.obs.manifest import fingerprint_params
+
+        return (
+            self.params_fingerprint == fingerprint_params(params)
+            and self.workload_key == workload_key
+            and self.until_s == until_s
+        )
+
+
+def driven_scenario_events(
+    params: ScenarioParams,
+    build_workload,
+    until_s: float,
+    store: Optional[object] = None,
+) -> Tuple[Scenario, Dict[str, object]]:
+    """A scenario with an event window driven, snapshot-cached.
+
+    ``build_workload`` is a callable taking the constructed scenario
+    and returning a workload (the population usually comes from the
+    scenario itself); its result must expose a stable ``key``.  Returns
+    the scenario plus the window's event-loop stats (from the snapshot
+    on a cache hit).
+    """
+    # A builder may pre-declare its workload key so cache hits skip
+    # world construction entirely; otherwise the key is read off the
+    # built workload (construction is paid, simulation still saved).
+    key_hint = getattr(build_workload, "key", None)
+    if store is not None and key_hint is not None:
+        snapshot = store.get(event_window_key(params, key_hint, until_s))
+        if snapshot is not None:
+            if not snapshot.matches(params, key_hint, until_s):
+                raise ValueError("event-window snapshot does not match its key")
+            return snapshot.restore(), dict(snapshot.stats)
+    scenario = Scenario(params)
+    workload = build_workload(scenario)
+    if key_hint is not None and workload.key != key_hint:
+        raise ValueError(
+            f"builder key hint {key_hint!r} disagrees with workload key "
+            f"{workload.key!r}"
+        )
+    key = event_window_key(params, workload.key, until_s)
+    if store is not None and key_hint is None:
+        snapshot = store.get(key)
+        if snapshot is not None:
+            if not snapshot.matches(params, workload.key, until_s):
+                raise ValueError(f"snapshot under {key!r} does not match its key")
+            return snapshot.restore(), dict(snapshot.stats)
+    loop = scenario.run_events(workload, until_s)
+    stats = loop.stats().as_dict()
+    if store is not None:
+        store.put(
+            key, EventWindowSnapshot.capture(scenario, workload.key, until_s, stats)
+        )
+    return scenario, stats

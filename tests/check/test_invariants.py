@@ -35,6 +35,7 @@ def test_default_registry_has_all_builtins():
     registry = default_registry()
     assert registry.names() == (
         "engine",
+        "event_loop",
         "health_transitions",
         "ratio_map",
         "service_health",

@@ -185,3 +185,24 @@ def test_peek_entry_does_not_mutate_counters_or_order():
     cache.put(Question("c.test"), (record(name="c.test", ttl=30.0),), now=1.0)
     assert cache.get(qa, now=1.0) is None
     assert cache.get(qb, now=1.0) is not None
+
+
+def test_sweep_purges_expired_without_serving_changes():
+    cache = TtlCache()
+    qa, qb = Question("a.test"), Question("b.test")
+    cache.put(qa, (record(name="a.test", ttl=30.0),), now=0.0)
+    cache.put(qb, (record(name="b.test", ttl=90.0),), now=0.0)
+    assert cache.sweep(now=60.0) == 1  # a expired, b alive
+    assert cache.get(qa, now=60.0) is None
+    assert cache.get(qb, now=60.0) is not None
+    assert cache.sweep(now=60.0) == 0  # idempotent
+
+
+def test_next_expiry_tracks_the_earliest_entry():
+    cache = TtlCache()
+    assert cache.next_expiry() is None
+    cache.put(Question("a.test"), (record(name="a.test", ttl=30.0),), now=0.0)
+    cache.put(Question("b.test"), (record(name="b.test", ttl=90.0),), now=0.0)
+    assert cache.next_expiry() == 30.0
+    cache.sweep(now=30.0)
+    assert cache.next_expiry() == 90.0

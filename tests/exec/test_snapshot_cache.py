@@ -1,0 +1,84 @@
+"""The persistent snapshot cache and split-shard scheduling."""
+
+from repro.exec import Cell, run_cells
+from repro.exec.cells import equivalence_cells, sweep_fields
+
+CELLS = equivalence_cells("quick")
+
+# Cells that actually consult the snapshot store (equivalence_cells
+# are fig8/chaos points, which drive their scenarios directly): two
+# sparse event windows over one tiny population.
+STORE_CELLS = [
+    Cell(
+        kind="events.point",
+        scale="quick",
+        seed=8,
+        overrides=(("dns_servers", 10), ("planetlab_nodes", 6)),
+        options=(("rate_factor", factor), ("duration_minutes", 40.0)),
+        group="events",
+    )
+    for factor in (0.1, 0.5)
+]
+
+
+def test_disk_store_persists_across_invocations(tmp_path):
+    cold = run_cells(STORE_CELLS, jobs=1, manifest=False, store_dir=str(tmp_path))
+    assert cold.ok, [r.error for r in cold.failures()]
+    assert cold.snapshot_misses > 0
+    assert any(tmp_path.iterdir())  # snapshots landed on disk
+
+    warm = run_cells(STORE_CELLS, jobs=1, manifest=False, store_dir=str(tmp_path))
+    assert warm.ok
+    assert warm.snapshot_misses == 0
+    assert warm.snapshot_hits >= cold.snapshot_misses
+    assert sweep_fields(cold.results) == sweep_fields(warm.results)
+
+
+def test_split_groups_matches_grouped_scheduling(tmp_path):
+    grouped = run_cells(CELLS, jobs=1, manifest=False)
+    split = run_cells(
+        CELLS, jobs=4, manifest=False, store_dir=str(tmp_path), split_groups=True
+    )
+    assert grouped.ok and split.ok
+    assert sweep_fields(grouped.results) == sweep_fields(split.results)
+    assert [r.cell_key for r in split.results] == [c.cell_key for c in CELLS]
+
+
+def test_split_groups_defaults_to_store_dir_presence(tmp_path):
+    # Without a shared store, splitting silently trades the warm start
+    # away — so it must stay off; with one, it defaults on.  Both
+    # regimes must still produce identical outputs.
+    no_store = run_cells(CELLS, jobs=4, manifest=False)
+    with_store = run_cells(CELLS, jobs=4, manifest=False, store_dir=str(tmp_path))
+    assert no_store.ok and with_store.ok
+    assert sweep_fields(no_store.results) == sweep_fields(with_store.results)
+
+
+def test_runner_snapshot_cache_flag(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    cache = tmp_path / "cache"
+    out_a = tmp_path / "a"
+    out_b = tmp_path / "b"
+    for out in (out_a, out_b):
+        code = main(
+            [
+                "fig4",
+                "--scale",
+                "quick",
+                "--jobs",
+                "1",
+                "--no-manifest",
+                "--snapshot-cache",
+                str(cache),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+    capsys.readouterr()
+    assert any(cache.iterdir())
+    reports_a = sorted(p.name for p in out_a.glob("*.txt"))
+    assert reports_a == sorted(p.name for p in out_b.glob("*.txt"))
+    for name in reports_a:
+        assert (out_a / name).read_text() == (out_b / name).read_text()

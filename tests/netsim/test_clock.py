@@ -49,3 +49,21 @@ def test_backwards_advance_rejected():
 
 def test_repr_mentions_time():
     assert "123" in repr(SimClock(123.0))
+
+
+def test_advance_to_jumps_to_exact_float():
+    clock = SimClock()
+    target = 0.1 + 0.2  # a float addition need not round-trip
+    clock.advance_to(target)
+    assert clock.now == target
+
+
+def test_advance_to_current_time_is_allowed():
+    clock = SimClock(5.0)
+    assert clock.advance_to(5.0) == 5.0
+
+
+def test_advance_to_backwards_rejected():
+    clock = SimClock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.9)

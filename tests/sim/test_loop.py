@@ -1,0 +1,185 @@
+"""The event loop: ordering, suppression, clock discipline, stats."""
+
+import pytest
+
+from repro.check import default_registry
+from repro.netsim import SimClock
+from repro.sim import PRIORITY, EventKind, EventLoop
+
+
+def make_loop(horizon=100.0, start=0.0):
+    return EventLoop(SimClock(start), horizon_s=horizon)
+
+
+def record_all(loop):
+    """Register one recording handler per kind; returns the record."""
+    seen = []
+    for kind in EventKind:
+        loop.on(kind, seen.append)
+    return seen
+
+
+def test_dispatch_in_time_order():
+    loop = make_loop()
+    seen = record_all(loop)
+    loop.schedule(EventKind.CLIENT_PROBE, 30.0, "b")
+    loop.schedule(EventKind.CLIENT_PROBE, 10.0, "a")
+    loop.schedule(EventKind.CLIENT_PROBE, 20.0, "c")
+    loop.run()
+    assert [e.at for e in seen] == [10.0, 20.0, 30.0]
+
+
+def test_tied_times_dispatch_by_kind_priority():
+    # At one instant: fault boundaries, then epoch, then TTL, then
+    # probes — the dense loop's sync-then-probe shape.
+    loop = make_loop()
+    seen = record_all(loop)
+    loop.schedule(EventKind.CLIENT_PROBE, 50.0, "probe")
+    loop.schedule(EventKind.TTL_EXPIRY, 50.0, "ttl")
+    loop.schedule(EventKind.MAPPING_EPOCH, 50.0, "epoch")
+    loop.schedule(EventKind.FAULT_BOUNDARY, 50.0, "fault")
+    loop.run()
+    assert [e.kind for e in seen] == [
+        EventKind.FAULT_BOUNDARY,
+        EventKind.MAPPING_EPOCH,
+        EventKind.TTL_EXPIRY,
+        EventKind.CLIENT_PROBE,
+    ]
+
+
+def test_tied_kind_and_time_preserve_schedule_order():
+    loop = make_loop()
+    seen = record_all(loop)
+    for subject in ("first", "second", "third"):
+        loop.schedule(EventKind.CLIENT_PROBE, 5.0, subject)
+    loop.run()
+    assert [e.subject for e in seen] == ["first", "second", "third"]
+
+
+def test_priorities_cover_every_kind():
+    assert set(PRIORITY) == set(EventKind)
+    assert PRIORITY[EventKind.FAULT_BOUNDARY] < PRIORITY[EventKind.CLIENT_PROBE]
+
+
+def test_horizon_suppresses_at_schedule_time():
+    loop = make_loop(horizon=60.0)
+    record_all(loop)
+    assert loop.schedule(EventKind.CLIENT_PROBE, 59.9) is True
+    assert loop.schedule(EventKind.CLIENT_PROBE, 60.0) is False
+    assert loop.schedule(EventKind.CLIENT_PROBE, 61.0) is False
+    stats = loop.run()
+    assert stats.dispatched == 1
+    assert stats.suppressed == 2
+    assert len(loop) == 0
+
+
+def test_negative_time_rejected():
+    loop = make_loop()
+    with pytest.raises(ValueError):
+        loop.schedule(EventKind.CLIENT_PROBE, -1.0)
+
+
+def test_horizon_before_clock_rejected():
+    with pytest.raises(ValueError):
+        EventLoop(SimClock(10.0), horizon_s=5.0)
+
+
+def test_run_lands_clock_exactly_on_horizon():
+    loop = make_loop(horizon=77.5)
+    record_all(loop)
+    loop.schedule(EventKind.CLIENT_PROBE, 12.25)
+    loop.run()
+    assert loop.clock.now == 77.5
+
+
+def test_clock_jumps_to_exact_event_times():
+    loop = make_loop()
+    times = []
+    loop.on(EventKind.CLIENT_PROBE, lambda e: times.append(loop.clock.now))
+    loop.schedule(EventKind.CLIENT_PROBE, 0.1 + 0.2)  # a float that isn't 0.3
+    loop.schedule(EventKind.CLIENT_PROBE, 0.7)
+    loop.run()
+    assert times == [0.1 + 0.2, 0.7]
+
+
+def test_clock_never_moves_backwards_past_pending_events():
+    # A handler that drags the clock forward (probe-retry backoff
+    # does) must not break pending earlier-stamped events: they still
+    # dispatch, at the clock's current time.
+    loop = make_loop()
+    seen = []
+
+    def grabby(event):
+        seen.append((event.at, loop.clock.now))
+        if event.subject == "drag":
+            loop.clock.advance(50.0)
+
+    loop.on(EventKind.CLIENT_PROBE, grabby)
+    loop.schedule(EventKind.CLIENT_PROBE, 10.0, "drag")
+    loop.schedule(EventKind.CLIENT_PROBE, 20.0, "late")
+    loop.run()
+    assert seen == [(10.0, 10.0), (20.0, 60.0)]
+    assert loop.order_violation is None
+
+
+def test_handlers_can_chain_schedule():
+    loop = make_loop(horizon=100.0)
+    seen = []
+
+    def step(event):
+        seen.append(event.at)
+        loop.schedule(EventKind.CLIENT_PROBE, event.at + 30.0)
+
+    loop.on(EventKind.CLIENT_PROBE, step)
+    loop.schedule(EventKind.CLIENT_PROBE, 10.0)
+    stats = loop.run()
+    assert seen == [10.0, 40.0, 70.0]
+    assert stats.suppressed == 1  # the chained 100.0 fell on the horizon
+
+
+def test_missing_handler_raises():
+    loop = make_loop()
+    loop.schedule(EventKind.TTL_EXPIRY, 1.0)
+    with pytest.raises(LookupError):
+        loop.run()
+
+
+def test_stats_account_for_everything():
+    loop = make_loop(horizon=50.0)
+    record_all(loop)
+    loop.schedule(EventKind.CLIENT_PROBE, 1.0)
+    loop.schedule(EventKind.TTL_EXPIRY, 2.0)
+    loop.schedule(EventKind.CLIENT_PROBE, 99.0)  # suppressed
+    loop.count_idle_skips(7)
+    stats = loop.run()
+    assert stats.scheduled == 2
+    assert stats.dispatched == 2
+    assert stats.suppressed == 1
+    assert stats.idle_skips == 7
+    assert stats.dispatched_by_kind["client_probe"] == 1
+    assert stats.dispatched_by_kind["ttl_expiry"] == 1
+    assert sum(stats.dispatched_by_kind.values()) == stats.dispatched
+    assert stats.max_heap_depth == 2
+    assert stats.final_now_s == 50.0
+    assert stats.wall_per_event_us is not None
+    assert stats.as_dict()["dispatched"] == 2
+
+
+def test_event_loop_invariant_passes_on_clean_run():
+    registry = default_registry()
+    loop = make_loop()
+    record_all(loop)
+    loop.schedule(EventKind.CLIENT_PROBE, 5.0)
+    loop.run()
+    assert registry.check("event_loop", "loop", loop) == []
+
+
+def test_event_loop_invariant_flags_order_violation():
+    registry = default_registry()
+    loop = make_loop()
+    record_all(loop)
+    loop.schedule(EventKind.CLIENT_PROBE, 5.0)
+    loop.run()
+    loop.order_violation = "synthetic corruption"
+    violations = registry.check("event_loop", "loop", loop)
+    assert violations and "synthetic corruption" in violations[0].detail

@@ -1,0 +1,156 @@
+"""Scenario-level event driving: dense ≡ event, chaos sync, windows."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import DifferentialRunner, dense_event_pair
+from repro.core.service import ProbePolicy
+from repro.exec.snapshots import SnapshotStore
+from repro.faults import ChaosParams
+from repro.sim import PoissonZipfWorkload
+from repro.workloads.scenario import (
+    EventWindowSnapshot,
+    Scenario,
+    ScenarioParams,
+    driven_scenario_events,
+    event_window_key,
+)
+
+TINY = ScenarioParams(
+    seed=11,
+    dns_servers=10,
+    planetlab_nodes=6,
+    build_meridian=False,
+    probe_policy=ProbePolicy(),
+)
+
+
+def test_degenerate_workload_reproduces_dense_loop():
+    rounds = 4
+    dense = Scenario(TINY)
+    dense.run_probe_rounds(rounds)
+
+    evented = Scenario(TINY)
+    loop = evented.run_events(evented.dense_workload(rounds))
+
+    assert evented.clock.now == dense.clock.now
+    assert evented.crp.probes_issued == dense.crp.probes_issued
+    assert evented.crp.probe_failures == dense.crp.probe_failures
+    for client in dense.client_names:
+        left = dense.crp.position(client, dense.candidate_names)
+        right = evented.crp.position(client, evented.candidate_names)
+        assert [r.name for r in left.top(5)] == [r.name for r in right.top(5)]
+    probe_events = loop.dispatched_by_kind["client_probe"]
+    assert probe_events == rounds * len(dense.crp.active_nodes)
+
+
+def test_dense_event_differential_pair_is_clean():
+    pair = dense_event_pair(TINY, probe_rounds=3)
+    assert DifferentialRunner([pair]).run() == []
+
+
+def test_chaos_boundaries_sync_identically():
+    params = dataclasses.replace(TINY, seed=3, chaos=ChaosParams())
+    rounds = 6
+
+    dense = Scenario(params)
+    dense.run_probe_rounds(rounds)
+
+    evented = Scenario(params)
+    loop = evented.run_events(evented.dense_workload(rounds))
+
+    assert evented.chaos is not None
+    assert evented.chaos.counters() == dense.chaos.counters()
+    assert evented.crp.probes_issued == dense.crp.probes_issued
+    assert evented.crp.probe_failures == dense.crp.probe_failures
+    # At least one boundary actually fired through the event path,
+    # otherwise this test proves nothing.
+    assert loop.dispatched_by_kind["fault_boundary"] > 0
+
+
+def test_sparse_workload_dispatches_fewer_probes_than_dense():
+    scenario = Scenario(TINY)
+    active = scenario.crp.active_nodes
+    rounds = 6
+    horizon = rounds * 600.0
+    workload = PoissonZipfWorkload(
+        active, TINY.seed, aggregate_rate_per_s=len(active) / 600.0 * 0.1
+    )
+    loop = scenario.run_events(workload, until_s=horizon)
+    dense_dispatches = rounds * len(active)
+    assert 0 < loop.dispatched_by_kind["client_probe"] < dense_dispatches / 2
+    assert scenario.clock.now == horizon
+
+
+def test_run_events_rejects_workload_without_horizon():
+    scenario = Scenario(TINY)
+    workload = PoissonZipfWorkload(scenario.crp.active_nodes, 1)
+    with pytest.raises(ValueError):
+        scenario.run_events(workload)  # no until_s, no workload horizon
+
+
+def test_epoch_events_are_observational_only():
+    base = Scenario(TINY)
+    loop_with = base.run_events(base.dense_workload(3), epoch_events=True)
+    other = Scenario(TINY)
+    loop_without = other.run_events(other.dense_workload(3), epoch_events=False)
+    assert base.crp.probes_issued == other.crp.probes_issued
+    for client in base.client_names:
+        left = base.crp.position(client, base.candidate_names)
+        right = other.crp.position(client, other.candidate_names)
+        assert [r.name for r in left.top(5)] == [r.name for r in right.top(5)]
+    assert loop_with.dispatched_by_kind["mapping_epoch"] > 0
+    assert loop_without.dispatched_by_kind["mapping_epoch"] == 0
+
+
+def test_ttl_sweeps_are_behaviour_neutral():
+    with_sweeps = Scenario(TINY)
+    loop = with_sweeps.run_events(with_sweeps.dense_workload(3), ttl_sweeps=True)
+    without = Scenario(TINY)
+    without.run_events(without.dense_workload(3), ttl_sweeps=False)
+    assert with_sweeps.crp.probes_issued == without.crp.probes_issued
+    for client in with_sweeps.client_names:
+        left = with_sweeps.crp.position(client, with_sweeps.candidate_names)
+        right = without.crp.position(client, without.candidate_names)
+        assert [r.name for r in left.top(5)] == [r.name for r in right.top(5)]
+    assert loop.dispatched_by_kind["ttl_expiry"] > 0
+
+
+def test_event_window_key_tracks_params_workload_and_horizon():
+    workload_key = "poisson-zipf:n=4:alpha=1.1:rate=1:seed=0"
+    key = event_window_key(TINY, workload_key, 600.0)
+    assert key != event_window_key(TINY, workload_key, 1200.0)
+    assert key != event_window_key(
+        dataclasses.replace(TINY, seed=12), workload_key, 600.0
+    )
+    assert key == event_window_key(TINY, workload_key, 600.0)
+
+
+def test_event_window_snapshot_roundtrip():
+    scenario = Scenario(TINY)
+    loop = scenario.run_events(scenario.dense_workload(2))
+    snapshot = EventWindowSnapshot.capture(
+        scenario, "lattice:r2:i10", scenario.clock.now, loop.stats().as_dict()
+    )
+    assert snapshot.matches(TINY, "lattice:r2:i10", scenario.clock.now)
+    assert not snapshot.matches(TINY, "lattice:r3:i10", scenario.clock.now)
+    restored = snapshot.restore()
+    assert restored.clock.now == scenario.clock.now
+    assert restored.crp.probes_issued == scenario.crp.probes_issued
+
+
+def test_driven_scenario_events_hits_the_store():
+    store = SnapshotStore()
+    until = 2 * 600.0
+
+    def build(scenario):
+        return scenario.dense_workload(2)
+
+    first, first_stats = driven_scenario_events(TINY, build, until, store=store)
+    assert store.misses == 1 and store.hits == 0
+    second, second_stats = driven_scenario_events(TINY, build, until, store=store)
+    assert store.hits == 1
+    assert second.clock.now == first.clock.now
+    assert second.crp.probes_issued == first.crp.probes_issued
+    assert second_stats == first_stats  # stats survive the snapshot
