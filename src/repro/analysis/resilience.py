@@ -6,11 +6,19 @@ failed and were retried, how many nodes sat in each health state, how
 long quarantined nodes took to come back.  Every substrate already
 keeps its own counters; this module flattens them into a single
 ``str → number`` dict suitable for tables and JSON artifacts.
+
+Structural-change (remap) runs add a time dimension: accuracy drops or
+shifts when the CDN re-maps and climbs back as maps re-learn, so the
+remap experiments also need *recovery curves* — per-evaluation
+accuracy as a fraction of a reference level — and a scalar
+*time-to-recover* extracted from one.  Those helpers live here too
+(:func:`accuracy_curve`, :func:`time_to_recover`) because they are
+pure series arithmetic, shared by the remap sweep and its bench.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.stats import mean
 
@@ -51,4 +59,70 @@ def resilience_snapshot(scenario: "Scenario") -> Dict[str, Number]:
     if chaos is not None:
         for key, value in chaos.counters().items():
             snapshot[f"chaos.{key}"] = value
+    remap = getattr(scenario, "remap", None)
+    if remap is not None:
+        snapshot["cdn.mapping_invalidations"] = scenario.cdn.mapping.invalidations
+        snapshot["cdn.replica_migrations"] = scenario.cdn.deployment.migrations
+        snapshot["cdn.replica_retirements"] = scenario.cdn.deployment.retirements
+        for key, value in remap.counters().items():
+            snapshot[f"remap.{key}"] = value
+        lags = getattr(scenario, "remap_detection_lags_s", [])
+        snapshot["remap.mean_detection_lag_s"] = mean(lags) if lags else 0.0
+    detector = getattr(scenario, "detector", None)
+    if detector is not None:
+        for key, value in detector.counters().items():
+            snapshot[f"detect.{key}"] = value
+        snapshot["crp.windows_invalidated"] = crp.window_invalidations
+        snapshot["crp.observations_invalidated"] = crp.observations_invalidated
     return snapshot
+
+
+def accuracy_curve(
+    times_s: Sequence[float],
+    accuracy: Sequence[float],
+    reference: float,
+) -> List[Tuple[float, float]]:
+    """Recovery curve: per evaluation, accuracy over a reference level.
+
+    ``reference`` is whatever level "recovered" means for the caller —
+    the pre-change baseline, or (after a structural change that moves
+    the achievable level itself) the post-change steady state.  A
+    non-positive reference makes every point 1.0: there was nothing to
+    recover to.
+    """
+    if len(times_s) != len(accuracy):
+        raise ValueError("times and accuracy series differ in length")
+    if reference <= 0.0:
+        return [(t, 1.0) for t in times_s]
+    return [(t, a / reference) for t, a in zip(times_s, accuracy)]
+
+
+def time_to_recover(
+    times_s: Sequence[float],
+    accuracy: Sequence[float],
+    target: float,
+    tolerance: float = 0.0,
+    after: Optional[float] = None,
+) -> Optional[float]:
+    """Earliest time from which accuracy *stays* within reach of target.
+
+    Scans evaluations at or after ``after`` (default: all) and returns
+    the timestamp of the last entry into the ``target - tolerance``
+    band — i.e. the first time such that every later evaluation also
+    clears the band.  A momentary spike into the band does not count
+    as recovered.  Returns ``None`` when the series never settles in
+    the band (or there is nothing to scan).
+    """
+    if len(times_s) != len(accuracy):
+        raise ValueError("times and accuracy series differ in length")
+    floor = target - tolerance
+    recovered_at: Optional[float] = None
+    for t, a in zip(times_s, accuracy):
+        if after is not None and t < after:
+            continue
+        if a >= floor:
+            if recovered_at is None:
+                recovered_at = t
+        else:
+            recovered_at = None
+    return recovered_at

@@ -110,6 +110,52 @@ class MappingSystem:
         #: episodes look exactly like this from the outside).
         self.frozen = False
         self.stale_rankings_served = 0
+        #: Regions whose resolvers have been re-homed away from their
+        #: local replicas (see :meth:`rehome_region`).
+        self._rehomed_regions: set = set()
+        self.invalidations = 0
+
+    # -- structural change -------------------------------------------------
+
+    def invalidate(self, host_ids: Optional[Sequence[int]] = None) -> int:
+        """Purge cached pools and rankings so they are recomputed.
+
+        Without this, ``candidate_pool`` caches forever and rankings
+        only turn over by epoch — a revived or newly launched replica
+        never enters an already-cached pool.  Call after any deployment
+        change (launch, retire, migration) or re-homing; ``host_ids``
+        restricts the purge to specific resolvers.  Returns the number
+        of cache entries dropped.
+        """
+        if host_ids is None:
+            dropped = len(self._pools) + len(self._rankings)
+            self._pools.clear()
+            self._rankings.clear()
+        else:
+            dropped = 0
+            for host_id in host_ids:
+                dropped += self._pools.pop(host_id, None) is not None
+                dropped += self._rankings.pop(host_id, None) is not None
+        if dropped:
+            self.invalidations += 1
+        return dropped
+
+    def rehome_region(self, region: str) -> None:
+        """Permanently re-home a region's resolvers off their local replicas.
+
+        After this, resolvers located in ``region`` (a
+        :class:`~repro.netsim.world.Region` value) no longer get
+        same-region replicas in their candidate pools — the simulated
+        form of a CDN re-mapping a whole region to different serving
+        infrastructure.  Cached pools for the region are invalidated.
+        """
+        self._rehomed_regions.add(region)
+        self.invalidate()
+
+    @property
+    def rehomed_regions(self) -> frozenset:
+        """Regions currently re-homed."""
+        return frozenset(self._rehomed_regions)
 
     # -- candidate pools ---------------------------------------------------
 
@@ -128,6 +174,12 @@ class MappingSystem:
                 for r in self.deployment
                 if not r.isp_restricted or r.host.asn in providers
             ]
+            if ldns.region.value in self._rehomed_regions:
+                rehomed = [r for r in eligible if r.host.region is not ldns.region]
+                # Never leave a resolver with nothing: if the exclusion
+                # empties the pool, the rehome is ignored for it.
+                if rehomed:
+                    eligible = rehomed
             by_base = sorted(
                 eligible,
                 key=lambda r: self.network.base_rtt_ms(ldns, r.host),

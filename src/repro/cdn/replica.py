@@ -64,6 +64,9 @@ class ReplicaDeployment:
     def __post_init__(self) -> None:
         self._by_address: Dict[str, ReplicaServer] = {}
         self._down: set = set()
+        self._retired: Dict[str, ReplicaServer] = {}
+        self.migrations = 0
+        self.retirements = 0
         for replica in self.replicas:
             self._index(replica)
 
@@ -85,11 +88,20 @@ class ReplicaDeployment:
         return iter(self.replicas)
 
     def by_address(self, address: str) -> ReplicaServer:
-        """Find the replica advertising an address."""
-        return self._by_address[address]
+        """Find the replica advertising an address.
+
+        Retired replicas remain resolvable here (analysis code maps
+        historical observations back to hosts long after a cluster is
+        gone), but they are no longer served: ``is_up`` and
+        ``knows_address`` both say no.
+        """
+        replica = self._by_address.get(address)
+        if replica is not None:
+            return replica
+        return self._retired[address]
 
     def knows_address(self, address: str) -> bool:
-        """True when an address belongs to this deployment."""
+        """True when an address belongs to the *active* deployment."""
         return address in self._by_address
 
     # -- outage injection ---------------------------------------------------
@@ -112,6 +124,54 @@ class ReplicaDeployment:
     def down_addresses(self) -> frozenset:
         """Addresses currently failed."""
         return frozenset(self._down)
+
+    # -- structural change (remapping) --------------------------------------
+
+    def migrate(self, address: str, new_host: Host) -> ReplicaServer:
+        """Move a replica to a new host, keeping its advertised address.
+
+        This is a *permanent* structural change (a POP move), unlike
+        ``fail``/``restore`` which are transient.  The old
+        :class:`ReplicaServer` object is replaced in the fleet; callers
+        holding stale references (cached pools, rankings) must be
+        invalidated by the caller — see
+        :meth:`~repro.cdn.mapping.MappingSystem.invalidate`.
+        """
+        old = self._by_address.get(address)
+        if old is None:
+            raise KeyError(address)
+        moved = ReplicaServer(
+            new_host,
+            address,
+            provider_owned=old.provider_owned,
+            isp_restricted=old.isp_restricted,
+        )
+        self._by_address[address] = moved
+        self.replicas[self.replicas.index(old)] = moved
+        self.migrations += 1
+        return moved
+
+    def retire(self, address: str) -> ReplicaServer:
+        """Permanently remove a replica from service.
+
+        The replica leaves the active fleet (``is_up`` and
+        ``knows_address`` become false) but stays resolvable through
+        :meth:`by_address` so historical observations can still be
+        attributed.
+        """
+        old = self._by_address.pop(address, None)
+        if old is None:
+            raise KeyError(address)
+        self.replicas.remove(old)
+        self._down.discard(address)
+        self._retired[address] = old
+        self.retirements += 1
+        return old
+
+    @property
+    def retired_addresses(self) -> frozenset:
+        """Addresses permanently retired from the fleet."""
+        return frozenset(self._retired)
 
     @property
     def edge(self) -> List[ReplicaServer]:

@@ -32,6 +32,7 @@ from repro.check.differential import (
     chaos_stanza_pair,
     dense_event_pair,
     obs_pair,
+    remap_stanza_pair,
     scalar_vector_pair,
 )
 from repro.check.fuzz import (
@@ -60,6 +61,7 @@ __all__ = [
     "scalar_vector_pair",
     "chaos_stanza_pair",
     "dense_event_pair",
+    "remap_stanza_pair",
     "FuzzFailure",
     "fuzz_ratio_maps",
     "fuzz_observations",

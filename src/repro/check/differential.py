@@ -15,8 +15,7 @@ which compare within the pair's tolerance — the engine's contract is
 bit-identical *orderings* with scores equal up to float summation
 order, so name fields use zero tolerance and score fields a tiny one.
 
-The standard pair builders cover the three equivalences the repo
-promises:
+The standard pair builders cover the equivalences the repo promises:
 
 * :func:`scalar_vector_pair` — rankings, Top-K selections and SMF
   clusterings over one probed scenario, vectorized vs scalar;
@@ -24,6 +23,8 @@ promises:
   observability enabled vs fully disabled;
 * :func:`chaos_stanza_pair` — a scenario carrying a zero-rate chaos
   stanza vs one with the stanza absent;
+* :func:`remap_stanza_pair` — a zero-magnitude remap schedule (with
+  the change detector armed) vs no remap configuration at all;
 * :func:`dense_event_pair` — the dense round loop against the event
   engine under the degenerate "every client, every interval" workload.
 """
@@ -323,6 +324,40 @@ def chaos_stanza_pair(
     disabled = dataclasses.replace(base, chaos=ChaosParams().scaled(0.0))
     return DifferentialPair(
         name="chaos-disabled-vs-absent",
+        left=lambda: _scenario_summary_fields(disabled, probe_rounds),
+        right=lambda: _scenario_summary_fields(absent, probe_rounds),
+    )
+
+
+def remap_stanza_pair(
+    params: ScenarioParams, probe_rounds: int = 6
+) -> DifferentialPair:
+    """A zero-magnitude remap stanza vs no remap stanza at all.
+
+    A remap configuration scaled to magnitude zero generates an empty
+    schedule, so a scenario carrying it — *with the change detector
+    armed* — must behave exactly like one built with ``remap=None``
+    and no detector.  This checks two promises at once: an empty
+    schedule enacts nothing, and detection is read-only (its
+    clustering snapshots draw from their own RNG and never touch
+    probe behaviour).  The recovery policy stays passive so the
+    equivalence holds even if clustering noise on this deliberately
+    tiny population trips the detector — what a detection *does* is
+    the recovery layer's contract, exercised by its own tests.
+    """
+    from repro.core.change import ChangeDetectorParams, RecoveryPolicy
+    from repro.faults import RemapParams
+
+    base = dataclasses.replace(params, build_meridian=False)
+    absent = dataclasses.replace(base, remap=None, change_detection=None)
+    disabled = dataclasses.replace(
+        base,
+        remap=RemapParams().scaled(0.0),
+        change_detection=ChangeDetectorParams(interval_s=1200.0),
+        recovery_policy=RecoveryPolicy.PASSIVE,
+    )
+    return DifferentialPair(
+        name="remap-disabled-vs-absent",
         left=lambda: _scenario_summary_fields(disabled, probe_rounds),
         right=lambda: _scenario_summary_fields(absent, probe_rounds),
     )

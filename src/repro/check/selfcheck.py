@@ -34,6 +34,7 @@ from repro.check.differential import (
     Divergence,
     chaos_stanza_pair,
     dense_event_pair,
+    remap_stanza_pair,
     obs_pair,
     scalar_vector_pair,
 )
@@ -221,6 +222,7 @@ def _standard_pairs(
     pairs = [
         scalar_vector_pair(params, probe_rounds=config.probe_rounds),
         chaos_stanza_pair(params, probe_rounds=config.probe_rounds),
+        remap_stanza_pair(params, probe_rounds=config.probe_rounds),
         dense_event_pair(params, probe_rounds=config.probe_rounds),
     ]
     if producers:

@@ -45,6 +45,14 @@ from repro.core.service import (
     ProbePolicy,
     UnknownNodeError,
 )
+from repro.core.change import (
+    ChangeDetector,
+    ChangeDetectorParams,
+    ChangeSignal,
+    ClusterSnapshot,
+    RecoveryPolicy,
+    snapshot_distance,
+)
 from repro.core.filters import NameQualityFilter, NameVerdict
 from repro.core.exchange import (
     LocalPositioning,
@@ -85,6 +93,12 @@ __all__ = [
     "PositioningAnswer",
     "ProbePolicy",
     "UnknownNodeError",
+    "ChangeDetector",
+    "ChangeDetectorParams",
+    "ChangeSignal",
+    "ClusterSnapshot",
+    "RecoveryPolicy",
+    "snapshot_distance",
     "NameQualityFilter",
     "NameVerdict",
     "LocalPositioning",

@@ -1,0 +1,422 @@
+"""Structural-change detection from clustering snapshots (YouLighter).
+
+CRP assumes the CDN's redirection behaviour is *stable enough* that
+ratio maps encode relative position.  When the CDN itself re-maps —
+regions re-homed, replicas migrated, clusters launched or retired —
+that assumption breaks, and a positioning service needs to notice
+from the outside, without any feed from the CDN.
+
+YouLighter (PAPERS.md) shows how: cluster the population periodically
+and measure the *distance between successive clustering snapshots*.
+Under a stable CDN the clustering drifts slowly; a structural change
+moves many nodes' ratio maps at once, so consecutive snapshots
+suddenly disagree.  This module reproduces that methodology on CRP's
+own primitives:
+
+* A **snapshot** is one SMF clustering of the monitored population
+  over a short recent window (short so post-change behaviour shows up
+  within a few probe rounds), reduced to per-cluster **centroids**
+  (the normalised mean ratio map of the members, over the shared
+  replica vocabulary) and **constituencies** (the member sets).
+* The **snapshot distance** blends two shifts: how far each cluster's
+  centroid moved from its best-matching predecessor (1 − cosine,
+  size-weighted), and how much cluster membership churned (1 − mean
+  per-node Jaccard between the node's old and new cluster, counting
+  unclustered nodes as singletons).  The default flagging statistic is
+  the *centroid* shift alone (``centroid_weight=1``): membership
+  churn grows with population size and probe rotation — it is the
+  noise term at scale — while a structural change must move the
+  centroids themselves, because the replica vocabulary changes.
+* The detector flags change when the distance crosses a **calibrated
+  threshold**: an absolute cap for unmistakable shifts, plus a
+  self-calibrating rule — distance above the running mean of quiet
+  comparisons by ``sigma`` standard deviations — so one parameter set
+  transfers across population scales whose baseline churn differs.
+  Flagged and elevated comparisons are excluded from the baseline.
+  After an entry-grade elevation a lower *continuation* sigma takes
+  over for a short window (hysteresis), so a change that keeps
+  unfolding across several snapshots keeps being tracked.  The window
+  is anchored at the last *entry-grade* comparison only — relaxed
+  continuation flags never extend it, so the chain dies out once the
+  full-strength signal fades.  An optional cooldown can rate-limit
+  how often detections are reported.
+
+Detection is strictly *read-only* with respect to the simulation: it
+only consumes ratio maps already collected, and SMF clustering draws
+from its own seeded generator — so enabling the detector never
+perturbs probe behaviour (the differential self-check relies on
+this).  What to *do* on detection is the caller's policy
+(:class:`RecoveryPolicy`); the scenario driver applies it via
+:meth:`~repro.core.service.CRPService.invalidate_windows`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.clustering import SmfParams
+from repro.obs import Observability, get_observability
+
+
+class RecoveryPolicy(str, Enum):
+    """What a positioning service does once change is detected."""
+
+    #: Do nothing: keep blending pre- and post-change observations and
+    #: let windowing/decay age the old world out on its own.
+    PASSIVE = "passive"
+    #: Invalidate ratio-map windows back to the previous snapshot:
+    #: rebuild maps from post-change observations only.
+    INVALIDATE = "invalidate"
+
+
+@dataclass(frozen=True)
+class ChangeDetectorParams:
+    """Snapshot cadence and flagging thresholds."""
+
+    #: Seconds between clustering snapshots.
+    interval_s: float = 1800.0
+    #: Absolute snapshot distance above which a comparison counts as
+    #: elevated no matter what the baseline says — the cap for
+    #: unmistakable shifts (calibrated against quiet-population churn
+    #: at small scale, which peaks well below it).
+    threshold: float = 0.2
+    #: Self-calibration: a comparison is also elevated when its
+    #: distance exceeds the running mean of quiet comparisons by this
+    #: many standard deviations.  Baseline churn varies with
+    #: population size, so a fixed absolute threshold tuned on one
+    #: scale either misses changes or false-fires on another; the
+    #: sigma rule adapts.  ``None`` disables it (pure absolute mode).
+    sigma: Optional[float] = 3.5
+    #: Quiet comparisons required before the sigma rule may fire (the
+    #: absolute cap still applies during warm-up).
+    baseline_min: int = 3
+    #: Hysteresis: while an entry-grade elevation is recent (within
+    #: ``continuation_window_s``), comparisons are judged against this
+    #: lower sigma instead — a structural change that keeps unfolding
+    #: across snapshots produces a trail of moderately elevated
+    #: distances that the (conservative) entry sigma would miss.
+    #: Continuation-grade comparisons never refresh the window, so the
+    #: relaxed rule cannot keep itself alive.  The no-change control
+    #: is unaffected by construction: without a first entry-grade
+    #: elevation the continuation rule never activates.  ``None``
+    #: disables it.
+    continuation_sigma: Optional[float] = 2.0
+    #: How long after an entry-grade elevation the continuation sigma
+    #: applies.
+    continuation_window_s: float = 3600.0
+    #: Elevated comparisons in a row before change is flagged.
+    consecutive: int = 1
+    #: Minimum seconds between flagged detections.  The default equals
+    #: one snapshot interval — every comparison may flag, so a change
+    #: that keeps unfolding across several snapshots keeps being
+    #: reported (and keeps triggering recovery) until it quiets down.
+    #: Raise it to rate-limit recovery actions under noisier regimes;
+    #: false-positive suppression is the sigma rule's job, not this.
+    cooldown_s: float = 1800.0
+    #: Snapshots need at least this many positioned nodes.
+    min_positioned: int = 8
+    #: Weight of centroid shift vs constituency shift in the blended
+    #: distance.  The default 1.0 flags on pure centroid shift — see
+    #: the module docstring for why membership churn is the noise term.
+    centroid_weight: float = 1.0
+    #: Ratio-map window for snapshots (``-1`` = service default,
+    #: ``None`` = all probes).  Keep it recent: a snapshot over all
+    #: history barely moves when the CDN does.
+    window_probes: Optional[int] = 12
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.sigma is not None and self.sigma <= 0:
+            raise ValueError("sigma must be positive (or None)")
+        if self.baseline_min < 1:
+            raise ValueError("baseline_min must be at least 1")
+        if self.continuation_sigma is not None and self.continuation_sigma <= 0:
+            raise ValueError("continuation_sigma must be positive (or None)")
+        if self.continuation_window_s < 0:
+            raise ValueError("continuation_window_s cannot be negative")
+        if self.consecutive < 1:
+            raise ValueError("consecutive must be at least 1")
+        if not 0.0 <= self.centroid_weight <= 1.0:
+            raise ValueError("centroid_weight must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ChangeSignal:
+    """One snapshot comparison: the distance and whether it flagged."""
+
+    at: float
+    previous_at: float
+    distance: float
+    centroid_shift: float
+    constituency_shift: float
+    flagged: bool
+
+
+@dataclass(frozen=True)
+class ClusterSnapshot:
+    """One clustering reduced to centroids + constituencies."""
+
+    at: float
+    #: (centroid over the replica vocabulary, member set) per cluster.
+    clusters: Tuple[Tuple[Dict[str, float], frozenset], ...]
+    #: node → cluster index (None = unclustered singleton).
+    assignment: Dict[str, Optional[int]]
+
+
+def _cosine(a: Dict[str, float], b: Dict[str, float]) -> float:
+    if not a or not b:
+        return 0.0
+    if len(b) < len(a):
+        a, b = b, a
+    dot = sum(value * b.get(key, 0.0) for key, value in a.items())
+    if dot <= 0.0:
+        return 0.0
+    norm_a = math.sqrt(sum(v * v for v in a.values()))
+    norm_b = math.sqrt(sum(v * v for v in b.values()))
+    return dot / (norm_a * norm_b)
+
+
+def snapshot_distance(
+    previous: ClusterSnapshot,
+    current: ClusterSnapshot,
+    centroid_weight: float = 0.5,
+) -> Tuple[float, float, float]:
+    """YouLighter-style distance between two clustering snapshots.
+
+    Returns ``(distance, centroid_shift, constituency_shift)``, each in
+    [0, 1].  Centroid shift: every current cluster is matched to the
+    previous cluster whose centroid it is most similar to, and the
+    size-weighted mean of ``1 - cosine`` is taken (a cluster with no
+    plausible predecessor — a lit-up replica set — contributes a full
+    shift of 1).  Constituency shift: per node, the Jaccard overlap of
+    its previous and current cluster constituencies (unclustered nodes
+    count as singletons), averaged and inverted.
+    """
+    # Centroid shift, over current clusters.
+    weighted = 0.0
+    weight = 0
+    for centroid, members in current.clusters:
+        best = 0.0
+        for prev_centroid, _ in previous.clusters:
+            best = max(best, _cosine(centroid, prev_centroid))
+        weighted += len(members) * (1.0 - best)
+        weight += len(members)
+    centroid_shift = weighted / weight if weight else 0.0
+
+    # Constituency shift, over all nodes either snapshot assigned.
+    def constituency(snapshot: ClusterSnapshot, node: str) -> frozenset:
+        index = snapshot.assignment.get(node)
+        if index is None:
+            return frozenset((node,))
+        return snapshot.clusters[index][1]
+
+    nodes = sorted(set(previous.assignment) | set(current.assignment))
+    if nodes:
+        overlap = 0.0
+        for node in nodes:
+            before, after = constituency(previous, node), constituency(current, node)
+            union = len(before | after)
+            overlap += len(before & after) / union if union else 1.0
+        constituency_shift = 1.0 - overlap / len(nodes)
+    else:
+        constituency_shift = 0.0
+
+    distance = (
+        centroid_weight * centroid_shift
+        + (1.0 - centroid_weight) * constituency_shift
+    )
+    return distance, centroid_shift, constituency_shift
+
+
+class ChangeDetector:
+    """Periodic clustering snapshots + distance thresholding.
+
+    Drive it with :meth:`step`, as often as convenient — it gates
+    itself on ``params.interval_s`` of simulated time, so the dense
+    round loop can call it every round and the event loop on a
+    heartbeat, with identical results.
+    """
+
+    def __init__(
+        self,
+        service,
+        nodes: Sequence[str],
+        params: ChangeDetectorParams = ChangeDetectorParams(),
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.service = service
+        self.nodes = list(nodes)
+        self.params = params
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        self._metrics = obs.metrics
+        self._next_due = params.interval_s
+        self._previous: Optional[ClusterSnapshot] = None
+        self._last_detection_at: Optional[float] = None
+        self._last_entry_at: Optional[float] = None
+        self._above_streak = 0
+        # Welford accumulator over quiet (non-elevated) distances: the
+        # self-calibrating baseline the sigma rule compares against.
+        self._baseline_n = 0
+        self._baseline_mean = 0.0
+        self._baseline_m2 = 0.0
+        self.snapshots_taken = 0
+        self.signals: List[ChangeSignal] = []
+        self.detections: List[ChangeSignal] = []
+
+    def baseline(self) -> Tuple[int, float, float]:
+        """The quiet-churn baseline: (count, mean, stddev)."""
+        if self._baseline_n < 2:
+            return self._baseline_n, self._baseline_mean, 0.0
+        variance = self._baseline_m2 / (self._baseline_n - 1)
+        return self._baseline_n, self._baseline_mean, math.sqrt(variance)
+
+    def _entry_elevated(self, distance: float) -> bool:
+        """Full-strength elevation: the absolute cap or the sigma rule."""
+        if distance > self.params.threshold:
+            return True
+        if self.params.sigma is None:
+            return False
+        count, mean, std = self.baseline()
+        if count < self.params.baseline_min:
+            return False
+        return distance > mean + self.params.sigma * std
+
+    def _continuation_elevated(self, distance: float, now: float) -> bool:
+        """Relaxed elevation while an entry-grade change is unfolding.
+
+        Anchored at the last *entry-grade* comparison, never at a
+        continuation-grade one: a chain of relaxed flags cannot keep
+        itself alive once the full-strength signal fades.
+        """
+        if (
+            self.params.continuation_sigma is None
+            or self.params.sigma is None
+            or self._last_entry_at is None
+            or now - self._last_entry_at > self.params.continuation_window_s
+        ):
+            return False
+        count, mean, std = self.baseline()
+        if count < self.params.baseline_min:
+            return False
+        return distance > mean + self.params.continuation_sigma * std
+
+    def _absorb(self, distance: float) -> None:
+        self._baseline_n += 1
+        delta = distance - self._baseline_mean
+        self._baseline_mean += delta / self._baseline_n
+        self._baseline_m2 += delta * (distance - self._baseline_mean)
+
+    def counters(self) -> Dict[str, int]:
+        """Flat counters for export (resilience snapshots)."""
+        return {
+            "snapshots": self.snapshots_taken,
+            "comparisons": len(self.signals),
+            "detections": len(self.detections),
+        }
+
+    def _snapshot(self, now: float) -> Optional[ClusterSnapshot]:
+        maps = self.service.ratio_maps(
+            self.nodes, window_probes=self.params.window_probes
+        )
+        positioned = sum(1 for m in maps.values() if m is not None)
+        if positioned < self.params.min_positioned:
+            return None
+        result = self.service.cluster(
+            self.nodes,
+            smf_params=SmfParams(metric=self.service.params.metric),
+            window_probes=self.params.window_probes,
+        )
+        clusters: List[Tuple[Dict[str, float], frozenset]] = []
+        assignment: Dict[str, Optional[int]] = {}
+        for index, cluster in enumerate(result.clusters):
+            centroid: Dict[str, float] = {}
+            counted = 0
+            for member in cluster.members:
+                member_map = maps.get(member)
+                if member_map is None:
+                    continue
+                counted += 1
+                for address, ratio in member_map.items():
+                    centroid[address] = centroid.get(address, 0.0) + ratio
+            if counted:
+                centroid = {a: v / counted for a, v in centroid.items()}
+            clusters.append((centroid, frozenset(cluster.members)))
+            for member in cluster.members:
+                assignment[member] = index
+        for node in result.unclustered:
+            assignment[node] = None
+        self.snapshots_taken += 1
+        return ClusterSnapshot(
+            at=now, clusters=tuple(clusters), assignment=assignment
+        )
+
+    def step(self, now: float) -> Optional[ChangeSignal]:
+        """Take a snapshot if one is due; compare; maybe flag change.
+
+        Returns the comparison signal when a snapshot was both due and
+        comparable (a previous snapshot existed), else ``None``.
+        """
+        if now < self._next_due:
+            return None
+        while self._next_due <= now:
+            self._next_due += self.params.interval_s
+        snapshot = self._snapshot(now)
+        if snapshot is None:
+            return None
+        previous, self._previous = self._previous, snapshot
+        if previous is None:
+            return None
+        distance, centroid_shift, constituency_shift = snapshot_distance(
+            previous, snapshot, self.params.centroid_weight
+        )
+        self._metrics.gauge("remap.snapshot_distance").set(distance)
+        entry = self._entry_elevated(distance)
+        if entry:
+            # Refresh the continuation anchor on every entry-grade
+            # comparison, flagged or not: the change is demonstrably
+            # still unfolding even when the cooldown mutes the flag.
+            self._last_entry_at = now
+        if entry or self._continuation_elevated(distance, now):
+            self._above_streak += 1
+        else:
+            self._above_streak = 0
+            # Only quiet comparisons feed the baseline: an elevated
+            # one is (suspected) change, not churn, even when the
+            # cooldown or streak rule keeps it from flagging.
+            self._absorb(distance)
+        cooled = (
+            self._last_detection_at is None
+            or now - self._last_detection_at >= self.params.cooldown_s
+        )
+        flagged = self._above_streak >= self.params.consecutive and cooled
+        signal = ChangeSignal(
+            at=now,
+            previous_at=previous.at,
+            distance=distance,
+            centroid_shift=centroid_shift,
+            constituency_shift=constituency_shift,
+            flagged=flagged,
+        )
+        self.signals.append(signal)
+        if flagged:
+            self._last_detection_at = now
+            self._above_streak = 0
+            self.detections.append(signal)
+            self._metrics.counter("remap.detections").inc()
+            self._trace.emit(
+                "remap.detected",
+                now,
+                "change-detector",
+                distance=distance,
+                centroid_shift=centroid_shift,
+                constituency_shift=constituency_shift,
+                previous_at=previous.at,
+            )
+        return signal

@@ -284,6 +284,9 @@ class CRPService:
         self.stale_answers = 0
         #: Sim-seconds from quarantine entry to recovery, per recovery.
         self.recovery_times_s: List[float] = []
+        #: Structural-change recovery (see :meth:`invalidate_windows`).
+        self.window_invalidations = 0
+        self.observations_invalidated = 0
 
     # -- membership --------------------------------------------------------
 
@@ -328,6 +331,48 @@ class CRPService:
             return self._trackers[name]
         except KeyError:
             raise UnknownNodeError(name) from None
+
+    # -- structural-change recovery ------------------------------------------
+
+    def invalidate_windows(
+        self,
+        nodes: Optional[Iterable[str]] = None,
+        before: Optional[float] = None,
+    ) -> int:
+        """Drop pre-change history so ratio maps rebuild from scratch.
+
+        The recovery action for a detected CDN remap
+        (:mod:`repro.core.change`): observations older than ``before``
+        (default: now) describe a mapping that no longer exists, so
+        instead of letting windows blend pre- and post-change
+        redirections, each affected node's tracker log is truncated and
+        its cached maps — including the last-good fallback maps, which
+        would otherwise keep serving the old world — are dropped.
+        Returns the number of observations discarded.
+        """
+        if before is None:
+            before = self.clock.now
+        if nodes is None:
+            names = self.nodes
+        else:
+            names = list(nodes)
+        dropped = 0
+        for node in names:
+            dropped += self.tracker(node).discard_before(before)
+            self._map_cache.pop(node, None)
+            self._last_good.pop(node, None)
+        self.window_invalidations += 1
+        self.observations_invalidated += dropped
+        self._metrics.counter("crp.windows_invalidated").inc()
+        self._trace.emit(
+            "remap.recovery",
+            self.clock.now,
+            "crp-service",
+            nodes=len(names),
+            dropped=dropped,
+            before=before,
+        )
+        return dropped
 
     # -- health ------------------------------------------------------------
 

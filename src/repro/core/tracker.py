@@ -85,6 +85,24 @@ class RedirectionTracker:
             self.observations_dropped += overflow
         return observation
 
+    def discard_before(self, at: float) -> int:
+        """Drop all observations strictly older than ``at``.
+
+        The recovery primitive for structural CDN change
+        (:mod:`repro.core.change`): once a remap is detected, history
+        from before the change describes a world that no longer exists,
+        and blending it into ratio maps poisons them.  Bumps
+        :attr:`version` when anything is dropped, so every cached
+        derived map invalidates.  Returns the number dropped.
+        """
+        kept = [o for o in self._log if o.at >= at]
+        dropped = len(self._log) - len(kept)
+        if dropped:
+            self._log = kept
+            self.observations_dropped += dropped
+            self.version += 1
+        return dropped
+
     # -- queries -----------------------------------------------------------
 
     @property

@@ -74,7 +74,13 @@ from repro.experiments.harness import (
     scenario_params_for,
 )
 from repro.experiments.overhead import run_overhead
+from repro.experiments.remap import (
+    RemapResult,
+    remap_grid,
+    run_remap_point,
+)
 from repro.experiments.table1_summary import run_table1
+from repro.core.change import RecoveryPolicy
 from repro.obs.manifest import fingerprint_params
 from repro.workloads.scenario import (
     Scenario,
@@ -278,6 +284,20 @@ def _events_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     )
 
 
+@producer("remap.point")
+def _remap_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
+    params = _params(cell, seed, "selection", meridian=False)
+    point = run_remap_point(
+        params,
+        float(cell.option("magnitude")),
+        float(cell.option("threshold")),
+        policy=RecoveryPolicy(str(cell.option("policy"))),
+        rounds=int(cell.option("rounds")),
+        interval_minutes=float(cell.option("interval_minutes", 10.0)),
+    )
+    return CellOutput(value=point)
+
+
 @producer("bootstrap.rep")
 def _bootstrap_rep(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     scenario = Scenario(_params(cell, seed, "selection", meridian=False))
@@ -375,9 +395,15 @@ DEFAULT_EXPERIMENTS = (
     "table1",
 )
 
-#: Every plannable experiment key.  ``events`` stays out of the
-#: default sweep so the historical report fingerprints are unchanged.
-EXPERIMENT_KEYS = DEFAULT_EXPERIMENTS + ("ablations", "bootstrap", "events")
+#: Every plannable experiment key.  ``events`` and ``remap`` stay out
+#: of the default sweep so the historical report fingerprints are
+#: unchanged.
+EXPERIMENT_KEYS = DEFAULT_EXPERIMENTS + (
+    "ablations",
+    "bootstrap",
+    "events",
+    "remap",
+)
 
 #: Aggregate-rate factors (relative to the dense every-node-every-
 #: interval rate) swept by the ``events`` experiment.
@@ -514,6 +540,35 @@ def plan_for(key: str, scale: str, root_seed: int = 0) -> ExperimentPlan:
             return {"events": report}
 
         return ExperimentPlan(key, cells, combine_events)
+
+    if key == "remap":
+        rounds = spec.probe_rounds
+        grid = remap_grid()
+        cells = tuple(
+            Cell(
+                kind="remap.point",
+                scale=scale,
+                seed=2008,
+                options=(
+                    ("magnitude", magnitude),
+                    ("threshold", threshold),
+                    ("policy", policy.value),
+                    ("rounds", rounds),
+                    ("interval_minutes", 10.0),
+                ),
+            )
+            for magnitude, threshold, policy in grid
+        )
+
+        def combine_remap(results: Sequence[CellResult]) -> Dict[str, str]:
+            remap_result = RemapResult(
+                points=[result.value for result in results],
+                rounds=rounds,
+                interval_minutes=10.0,
+            )
+            return {"remap": remap_result.report()}
+
+        return ExperimentPlan(key, cells, combine_remap)
 
     if key == "bootstrap":
         quick = scale == "quick"

@@ -1,0 +1,508 @@
+"""Remap sweep — structural CDN change, detection, and recovery.
+
+Chaos (:mod:`repro.experiments.chaos`) injects *transient* faults:
+hosts flap, links degrade, everything eventually heals back to the
+pre-fault world.  This sweep injects the failure mode CRP's stability
+assumption actually fears — *permanent* structural change.  A seeded
+:class:`~repro.faults.RemapSchedule` re-homes regions, migrates
+replicas and launches/retires clusters mid-window; a
+:class:`~repro.core.change.ChangeDetector` watches clustering
+snapshots for the YouLighter-style distance spike; and the recovery
+policy decides what the positioning service does about it.
+
+Per (magnitude × detection threshold × recovery policy) cell the
+sweep reports:
+
+* **detections / false positives / mean lag** — did the detector see
+  the change, how long after injection, and does the magnitude-0
+  control stay silent (the false-positive budget is zero);
+* **Top-5 accuracy over time** — scored over *all* clients against
+  the static RTT truth (an unanswerable client is a miss, so the cost
+  of invalidating windows is visible).  ``steady_top5`` is the
+  post-change information limit: end-of-run accuracy with maps cut to
+  the probes issued since the last injection, i.e. what a service
+  born after the change would score;
+* **recovery time — serving-data freshness** — a structural change
+  makes pre-change redirections wrong about the new world, so
+  recovery is the served map shedding them: staleness at time *t* is
+  the fraction of observations in the tracker logs behind the served
+  rankings that predate the last applied event, and
+  ``recovery_time_s`` is the time from the last injection until
+  staleness falls to ``STALENESS_TOLERANCE`` and stays there.
+  Invalidate-on-detect truncates the logs at detection, so it
+  recovers one detection lag after the change; passive blending keeps
+  every stale observation and its weight decays only as 1/rounds —
+  late, or never within the horizon.  Two companion series keep the
+  trade honest: **map agreement** (mean per-client Top-5 overlap
+  between the served map and a fresh map cut to post-change probes)
+  shows how much the served rankings actually track the new world,
+  and the static-truth accuracy series shows the cost — at large
+  candidate counts the wipe's small-sample noise can cost more raw
+  accuracy than staleness does.
+
+Magnitude 0 runs with no schedule at all (not a zero-count one) and
+the detector still armed: it is simultaneously the accuracy baseline
+and the false-positive control.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.resilience import (
+    resilience_snapshot,
+    time_to_recover,
+)
+from repro.analysis.stats import mean
+from repro.analysis.tables import format_table
+from repro.core.change import ChangeDetectorParams, RecoveryPolicy
+from repro.experiments.chaos import _true_closest
+from repro.faults import RemapParams
+from repro.workloads.scenario import Scenario, ScenarioParams
+
+#: The service counts as recovered once the fraction of pre-change
+#: observations behind the served rankings falls to this level and
+#: stays there.
+STALENESS_TOLERANCE = 0.1
+
+#: Evaluations the final-accuracy figure is averaged over.
+FINAL_EVALUATIONS = 3
+
+
+@dataclass
+class RemapPoint:
+    """Detection and recovery metrics at one grid cell."""
+
+    magnitude: float
+    threshold: float
+    policy: str
+    clients_total: int
+    events_applied: int
+    injection_start_s: Optional[float]
+    injection_end_s: Optional[float]
+    detections: int
+    detection_times_s: List[float]
+    false_positives: int
+    mean_detection_lag_s: Optional[float]
+    baseline_top5: float
+    min_top5: float
+    final_top5: float
+    steady_top5: float
+    final_agreement: Optional[float]
+    final_staleness: Optional[float]
+    recovery_time_s: Optional[float]
+    observations_invalidated: int
+    times_s: List[float]
+    top5_series: List[float]
+    agreement_series: List[Optional[float]]
+    staleness_series: List[Optional[float]]
+    counters: Dict[str, Union[int, float]]
+
+    @property
+    def recovered(self) -> bool:
+        """Whether the served map converged to the post-change map."""
+        return self.recovery_time_s is not None
+
+
+def _top5_rankings(
+    scenario: Scenario,
+    window_probes: Union[int, None] = -1,
+) -> Dict[str, List[str]]:
+    """Served Top-5 per answerable client (missing = unanswerable)."""
+    rankings: Dict[str, List[str]] = {}
+    for client in scenario.client_names:
+        answer = scenario.crp.position(
+            client, scenario.candidate_names, window_probes=window_probes
+        )
+        if not answer.answerable:
+            continue
+        rankings[client] = [r.name for r in answer.top(5) if r.has_signal]
+    return rankings
+
+
+def _hit_fraction(
+    rankings: Dict[str, List[str]],
+    truth: Dict[str, str],
+    total: int,
+) -> float:
+    """Top-5 accuracy over *all* clients (unanswerable = miss)."""
+    if not total:
+        return 0.0
+    hits = sum(1 for c, top in rankings.items() if truth[c] in top)
+    return hits / total
+
+
+def _top5_hit_fraction(
+    scenario: Scenario,
+    truth: Dict[str, str],
+    window_probes: Union[int, None] = -1,
+) -> float:
+    return _hit_fraction(
+        _top5_rankings(scenario, window_probes=window_probes),
+        truth,
+        len(scenario.client_names),
+    )
+
+
+def _map_agreement(
+    served: Dict[str, List[str]],
+    fresh: Dict[str, List[str]],
+) -> Optional[float]:
+    """Mean per-client Top-5 overlap between served and fresh maps.
+
+    Clients unanswerable on either side are skipped — agreement grades
+    how well what is actually served tracks the post-change map, not
+    coverage (the accuracy series already charges for unanswerable
+    clients).
+    """
+    overlaps = [
+        len(set(top) & set(fresh[c])) / 5.0
+        for c, top in served.items()
+        if c in fresh
+    ]
+    return mean(overlaps) if overlaps else None
+
+
+def _serving_staleness(scenario: Scenario, boundary: float) -> Optional[float]:
+    """Fraction of serving observations predating ``boundary``.
+
+    Pooled over the tracker logs of every node that feeds the served
+    rankings (clients and candidates alike — both sides' ratio maps
+    enter the similarity).  ``None`` until any node has observations.
+    """
+    stale = 0
+    total = 0
+    for name in set(scenario.client_names) | set(scenario.candidate_names):
+        for observation in scenario.crp.tracker(name).observations:
+            total += 1
+            if observation.at <= boundary:
+                stale += 1
+    return stale / total if total else None
+
+
+def run_remap_point(
+    base_params: ScenarioParams,
+    magnitude: float,
+    threshold: float,
+    policy: RecoveryPolicy = RecoveryPolicy.INVALIDATE,
+    rounds: int = 24,
+    interval_minutes: float = 10.0,
+    remap_params: Optional[RemapParams] = None,
+    detector_params: Optional[ChangeDetectorParams] = None,
+    eval_every: Optional[int] = None,
+) -> RemapPoint:
+    """One grid cell — the sweep's independent unit of work.
+
+    Magnitude 0 runs with the remap stanza absent entirely (the same
+    code path every other experiment uses) while the detector stays
+    armed, so its detections are false positives by construction.
+    Positioning serves from *all* probes (``crp_window_probes=None``):
+    that is the regime where pre-/post-change blending actually hurts
+    and the recovery policies differ.
+
+    ``eval_every`` thins the accuracy series at large scale (default:
+    about 24 evaluations regardless of ``rounds``); detection runs on
+    its own snapshot cadence either way.
+    """
+    horizon = rounds * interval_minutes * 60.0
+    if remap_params is None:
+        remap_params = RemapParams(horizon_s=horizon)
+    if detector_params is None:
+        detector_params = ChangeDetectorParams(threshold=threshold)
+    if eval_every is None:
+        eval_every = max(1, rounds // 24)
+    params = dataclasses.replace(
+        base_params,
+        build_meridian=False,
+        crp_window_probes=None,
+        remap=None if magnitude == 0.0 else remap_params.scaled(magnitude),
+        change_detection=detector_params,
+        recovery_policy=policy,
+    )
+    scenario = Scenario(params)
+    truth = _true_closest(scenario)
+
+    times_s: List[float] = []
+    serving: List[float] = []
+    agreement: List[Optional[float]] = []
+    staleness: List[Optional[float]] = []
+    round_times: List[float] = []
+    for round_index in range(rounds):
+        if scenario.chaos is not None:
+            scenario.chaos.sync(scenario.clock.now)
+        if scenario.remap is not None:
+            scenario.remap.sync(scenario.clock.now)
+        round_times.append(scenario.clock.now)
+        scenario.crp.probe_all()
+        scenario.detect_step(scenario.clock.now)
+        last = round_index == rounds - 1
+        if round_index % eval_every == 0 or last:
+            times_s.append(scenario.clock.now)
+            served = _top5_rankings(scenario)
+            serving.append(
+                _hit_fraction(served, truth, len(scenario.client_names))
+            )
+            # Fresh map = only the probes issued since the last event
+            # applied so far (one probe per node per round makes the
+            # last-N window exactly the post-change observations).
+            applied = scenario.remap.applied_times if scenario.remap else []
+            fresh_rounds = (
+                sum(1 for t in round_times if t > applied[-1])
+                if applied
+                else 0
+            )
+            if fresh_rounds >= 1:
+                fresh = _top5_rankings(scenario, window_probes=fresh_rounds)
+                agreement.append(_map_agreement(served, fresh))
+                staleness.append(_serving_staleness(scenario, applied[-1]))
+            else:
+                agreement.append(None)
+                staleness.append(None)
+        scenario.clock.advance_minutes(interval_minutes)
+
+    applied_times = scenario.remap.applied_times if scenario.remap else []
+    first_injection = applied_times[0] if applied_times else None
+    last_injection = applied_times[-1] if applied_times else None
+    detector = scenario.detector
+    detection_times = [signal.at for signal in detector.detections]
+    if first_injection is None:
+        false_positives = len(detection_times)
+    else:
+        false_positives = sum(1 for at in detection_times if at < first_injection)
+    lags = scenario.remap_detection_lags_s
+
+    # The control has no injections; pivot its windows where the
+    # schedule's injection window would have opened, so the bootstrap
+    # warm-up ramp does not masquerade as a post-change dip and its
+    # baseline covers the same pre-change span as the injected cells'.
+    change_start = (
+        first_injection
+        if first_injection is not None
+        else remap_params.window[0] * horizon
+    )
+    change_end = last_injection if last_injection is not None else change_start
+    baseline_window = [a for t, a in zip(times_s, serving) if t < change_start]
+    baseline_top5 = mean(baseline_window) if baseline_window else 0.0
+    after_change = [a for t, a in zip(times_s, serving) if t >= change_start]
+    # The post-change steady state — what "recovered" means after a
+    # permanent change — is measured on this same run's end state:
+    # Top-5 accuracy with maps cut to the probes issued since the last
+    # injection.  One probe per node per round makes the last-N-probes
+    # window exactly the post-change observations, and the probe
+    # stream does not depend on the recovery policy, so the target is
+    # policy-independent.
+    rounds_after = sum(1 for t in round_times if t > change_end)
+    steady_top5 = _top5_hit_fraction(
+        scenario, truth, window_probes=max(1, rounds_after)
+    )
+    recovery_time = None
+    if last_injection is not None:
+        fresh_points = [
+            (t, 1.0 - s) for t, s in zip(times_s, staleness) if s is not None
+        ]
+        recovered_at = time_to_recover(
+            [t for t, _ in fresh_points],
+            [f for _, f in fresh_points],
+            target=1.0,
+            tolerance=STALENESS_TOLERANCE,
+            after=last_injection,
+        )
+        if recovered_at is not None:
+            recovery_time = recovered_at - last_injection
+    final_agreement_window = [
+        a for a in agreement[-FINAL_EVALUATIONS:] if a is not None
+    ]
+    final_staleness_window = [
+        s for s in staleness[-FINAL_EVALUATIONS:] if s is not None
+    ]
+
+    return RemapPoint(
+        magnitude=magnitude,
+        threshold=threshold,
+        policy=policy.value,
+        clients_total=len(scenario.client_names),
+        events_applied=len(applied_times),
+        injection_start_s=first_injection,
+        injection_end_s=last_injection,
+        detections=len(detection_times),
+        detection_times_s=detection_times,
+        false_positives=false_positives,
+        mean_detection_lag_s=mean(lags) if lags else None,
+        baseline_top5=baseline_top5,
+        min_top5=min(after_change) if after_change else 0.0,
+        final_top5=mean(serving[-FINAL_EVALUATIONS:]) if serving else 0.0,
+        steady_top5=steady_top5,
+        final_agreement=(
+            mean(final_agreement_window) if final_agreement_window else None
+        ),
+        final_staleness=(
+            mean(final_staleness_window) if final_staleness_window else None
+        ),
+        recovery_time_s=recovery_time,
+        observations_invalidated=scenario.crp.observations_invalidated,
+        times_s=times_s,
+        top5_series=serving,
+        agreement_series=agreement,
+        staleness_series=staleness,
+        counters=resilience_snapshot(scenario),
+    )
+
+
+@dataclass
+class RemapResult:
+    """The full sweep: one :class:`RemapPoint` per grid cell."""
+
+    points: List[RemapPoint]
+    rounds: int
+    interval_minutes: float
+
+    def point(
+        self, magnitude: float, threshold: float, policy: str
+    ) -> RemapPoint:
+        for p in self.points:
+            if (
+                p.magnitude == magnitude
+                and p.threshold == threshold
+                and p.policy == policy
+            ):
+                return p
+        raise KeyError(
+            f"no remap point at magnitude {magnitude} / "
+            f"threshold {threshold} / policy {policy}"
+        )
+
+    @property
+    def total_false_positives(self) -> int:
+        """False positives across the whole grid (budget: zero)."""
+        return sum(p.false_positives for p in self.points)
+
+    def report(self) -> str:
+        rows = []
+        for p in self.points:
+            lag = (
+                "-"
+                if p.mean_detection_lag_s is None
+                else f"{p.mean_detection_lag_s:.0f}s"
+            )
+            recover = (
+                "-"
+                if p.injection_end_s is None
+                else (
+                    "never"
+                    if p.recovery_time_s is None
+                    else f"{p.recovery_time_s:.0f}s"
+                )
+            )
+            agree = (
+                "-"
+                if p.final_agreement is None
+                else f"{p.final_agreement:.0%}"
+            )
+            stale = (
+                "-"
+                if p.final_staleness is None
+                else f"{p.final_staleness:.0%}"
+            )
+            rows.append(
+                [
+                    f"{p.magnitude:g}x",
+                    f"{p.threshold:g}",
+                    p.policy,
+                    p.events_applied,
+                    p.detections,
+                    p.false_positives,
+                    lag,
+                    f"{p.baseline_top5:.0%}",
+                    f"{p.min_top5:.0%}",
+                    f"{p.final_top5:.0%}",
+                    f"{p.steady_top5:.0%}",
+                    agree,
+                    stale,
+                    recover,
+                ]
+            )
+        return format_table(
+            [
+                "remap",
+                "thresh",
+                "policy",
+                "events",
+                "det",
+                "FP",
+                "mean lag",
+                "top5 pre",
+                "top5 min",
+                "top5 end",
+                "steady",
+                "agree",
+                "stale",
+                "recover",
+            ],
+            rows,
+            title=(
+                f"Remap sweep: change detection and ratio-map recovery "
+                f"({self.rounds} rounds @ {self.interval_minutes:g} min)"
+            ),
+        )
+
+
+#: The default remap-magnitude grid (0 is the mandatory no-remap
+#: control the false-positive budget is checked on).
+REMAP_MAGNITUDES = (0.0, 1.0, 2.0)
+
+#: Absolute snapshot-distance caps swept: the calibrated default plus
+#: a conservative one that leaves detection to the self-calibrating
+#: sigma rule alone (trading detection lag for margin).
+REMAP_THRESHOLDS = (0.2, 0.3)
+
+#: Recovery policies compared at every non-zero magnitude.
+REMAP_POLICIES = (RecoveryPolicy.PASSIVE, RecoveryPolicy.INVALIDATE)
+
+
+def remap_grid(
+    magnitudes: Sequence[float] = REMAP_MAGNITUDES,
+    thresholds: Sequence[float] = REMAP_THRESHOLDS,
+    policies: Sequence[RecoveryPolicy] = REMAP_POLICIES,
+) -> List[tuple]:
+    """The sweep's (magnitude, threshold, policy) cells.
+
+    The magnitude-0 control runs once per threshold (recovery policy
+    is moot without a change to recover from — with zero detections
+    the policies are bit-identical, which the differential self-check
+    separately proves).
+    """
+    cells = []
+    for threshold in thresholds:
+        for magnitude in magnitudes:
+            if magnitude == 0.0:
+                cells.append((magnitude, threshold, RecoveryPolicy.PASSIVE))
+                continue
+            for policy in policies:
+                cells.append((magnitude, threshold, policy))
+    return cells
+
+
+def run_remap(
+    base_params: ScenarioParams,
+    magnitudes: Sequence[float] = REMAP_MAGNITUDES,
+    thresholds: Sequence[float] = REMAP_THRESHOLDS,
+    rounds: int = 24,
+    interval_minutes: float = 10.0,
+) -> RemapResult:
+    """Run the whole sweep serially (the runner shards it into cells)."""
+    points = [
+        run_remap_point(
+            base_params,
+            magnitude,
+            threshold,
+            policy=policy,
+            rounds=rounds,
+            interval_minutes=interval_minutes,
+        )
+        for magnitude, threshold, policy in remap_grid(magnitudes, thresholds)
+    ]
+    return RemapResult(
+        points=points, rounds=rounds, interval_minutes=interval_minutes
+    )

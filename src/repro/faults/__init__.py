@@ -13,11 +13,25 @@ package unifies them behind one seeded scheduler:
   schedule: as the clock crosses episode boundaries it flips the
   substrate knobs on and back off, depth-counting overlaps.
 
+Fault episodes are *transient* — they end and the old world comes
+back.  :mod:`repro.faults.remap` adds the *permanent* counterpart:
+seeded structural-change schedules (region rehomes, replica
+migrations, cluster launches/retires) enacted as one-way transitions
+by :class:`~repro.faults.remap.RemapController`.
+
 The layer is strictly opt-in: a scenario without a controller touches
 none of these code paths and stays bit-identical under the same seed.
 """
 
 from repro.faults.controller import ChaosController
+from repro.faults.remap import (
+    REMAP_KINDS,
+    RemapController,
+    RemapEvent,
+    RemapKind,
+    RemapParams,
+    RemapSchedule,
+)
 from repro.faults.schedule import (
     ENACTED_KINDS,
     ChaosParams,
@@ -30,11 +44,17 @@ from repro.faults.schedule import (
 
 __all__ = [
     "ENACTED_KINDS",
+    "REMAP_KINDS",
     "ChaosController",
     "ChaosParams",
     "EpisodeParams",
     "FaultEpisode",
     "FaultKind",
     "FaultSchedule",
+    "RemapController",
+    "RemapEvent",
+    "RemapKind",
+    "RemapParams",
+    "RemapSchedule",
     "episodes_from_failure_plan",
 ]

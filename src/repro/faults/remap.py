@@ -1,0 +1,383 @@
+"""CDN remapping: permanent structural change, scheduled and enacted.
+
+The chaos substrate (:mod:`repro.faults.schedule`) injects *transient*
+faults — episodes that end and restore the old world.  Real CDNs also
+change *structurally*: they re-home whole regions to different serving
+infrastructure, migrate replicas between POPs, and launch or retire
+replica clusters.  YouLighter (PAPERS.md) shows such changes are
+common enough to matter and detectable from the outside; for CRP they
+are the harder robustness question, because the ground truth itself
+moves and the pre-change ratio maps become *wrong*, not merely noisy.
+
+This module supplies the injection side:
+
+* :class:`RemapEvent` — one typed structural event at a simulated time.
+* :class:`RemapParams` / :class:`RemapSchedule` — a seeded generator of
+  events inside a configurable band of the horizon (changes land
+  mid-run so there is history before and recovery room after).
+* :class:`RemapController` — enacts events as permanent transitions on
+  the live :class:`~repro.cdn.mapping.MappingSystem` /
+  :class:`~repro.cdn.replica.ReplicaDeployment`, invalidating mapping
+  caches so the new world takes effect immediately rather than leaking
+  through stale pools.
+
+Determinism: event generation draws from per-kind streams
+(``derive_rng(seed, "remap", kind)``), so changing one kind's count
+never perturbs another kind's times or targets.  Enactment draws (new
+host placement) come from a separate ``"enact"`` stream.  A zero
+magnitude (``params.scaled(0.0)``) generates an empty schedule, which
+the self-check harness asserts is bit-identical to having no schedule
+at all.
+
+The detection and recovery sides live in :mod:`repro.core.change` and
+:class:`~repro.core.service.CRPService.invalidate_windows`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cdn.mapping import MappingSystem
+from repro.cdn.replica import EDGE_PREFIX, ReplicaDeployment, ReplicaServer
+from repro.netsim.rng import derive_rng
+from repro.netsim.topology import HostKind, Topology
+from repro.obs import Observability, get_observability
+
+
+class RemapKind(str, Enum):
+    """The typed structural changes a CDN can undergo."""
+
+    #: A region's resolvers are mapped away from their local replicas.
+    REGION_REHOME = "region_rehome"
+    #: A replica keeps its address but moves to a different POP/AS.
+    REPLICA_MIGRATION = "replica_migration"
+    #: A new replica cluster lights up in a metro.
+    CLUSTER_LAUNCH = "cluster_launch"
+    #: A metro's edge replicas are permanently retired.
+    CLUSTER_RETIRE = "cluster_retire"
+
+
+#: All remap kinds, in enactment-stream order.
+REMAP_KINDS: Tuple[RemapKind, ...] = (
+    RemapKind.REGION_REHOME,
+    RemapKind.REPLICA_MIGRATION,
+    RemapKind.CLUSTER_LAUNCH,
+    RemapKind.CLUSTER_RETIRE,
+)
+
+
+@dataclass(frozen=True)
+class RemapEvent:
+    """One structural change at a simulated time.
+
+    ``target`` is a region value for rehomes, a replica address for
+    migrations, and a metro name for launches/retires.
+    ``destination`` is the metro a migration moves to or a launch
+    lights up in; ``size`` is the number of replicas a launch adds.
+    """
+
+    kind: RemapKind
+    at: float
+    target: str
+    destination: str = ""
+    size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"remap event cannot start before 0: {self.at}")
+
+
+@dataclass(frozen=True)
+class RemapParams:
+    """How much structural change a horizon sees.
+
+    ``migration_fraction`` is a fraction of the edge fleet (so impact
+    scales with deployment size); the other knobs are absolute counts.
+    Events land uniformly inside ``window`` (fractions of the horizon),
+    leaving a pre-change baseline and post-change recovery room.
+    """
+
+    region_rehomes: int = 2
+    migration_fraction: float = 0.25
+    cluster_launches: int = 2
+    cluster_retires: int = 4
+    launch_size: int = 6
+    horizon_s: float = 86_400.0
+    window: Tuple[float, float] = (0.3, 0.55)
+
+    def __post_init__(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
+        if not 0.0 <= self.migration_fraction <= 1.0:
+            raise ValueError("migration_fraction must be in [0, 1]")
+        lo, hi = self.window
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError(f"window must satisfy 0 <= lo <= hi <= 1, got {self.window}")
+
+    def scaled(self, factor: float) -> "RemapParams":
+        """Event volume multiplied by ``factor`` (the sweep magnitude).
+
+        Factor 0 produces a schedule with no events at all — the
+        differential self-check asserts that is indistinguishable from
+        having no remap schedule.
+        """
+        if factor < 0:
+            raise ValueError(f"factor cannot be negative, got {factor}")
+        return replace(
+            self,
+            region_rehomes=int(round(self.region_rehomes * factor)),
+            migration_fraction=min(1.0, self.migration_fraction * factor),
+            cluster_launches=int(round(self.cluster_launches * factor)),
+            cluster_retires=int(round(self.cluster_retires * factor)),
+        )
+
+
+@dataclass(frozen=True)
+class RemapSchedule:
+    """A deterministic, time-ordered list of structural changes."""
+
+    events: Tuple[RemapEvent, ...] = ()
+    horizon_s: float = 86_400.0
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_kind(self, kind: RemapKind) -> List[RemapEvent]:
+        """Events of one kind, in time order."""
+        return [e for e in self.events if e.kind is kind]
+
+    @classmethod
+    def generate(
+        cls,
+        regions: Sequence[str],
+        replica_addresses: Sequence[str],
+        metros: Sequence[str],
+        params: RemapParams,
+        seed: int,
+    ) -> "RemapSchedule":
+        """Draw a seeded schedule over the given targets.
+
+        Each kind draws from its own RNG stream, so tuning one kind's
+        count never moves another kind's events.  Targets are drawn
+        without replacement (counts are clipped to the target space).
+        """
+        events: List[RemapEvent] = []
+        lo, hi = params.window
+
+        def times(rng, count: int) -> List[float]:
+            span = (hi - lo) * params.horizon_s
+            raw = lo * params.horizon_s + rng.random(count) * span
+            return sorted(float(t) for t in raw)
+
+        def pick(rng, pool: Sequence[str], count: int) -> List[str]:
+            count = min(count, len(pool))
+            if count == 0:
+                return []
+            chosen = rng.choice(len(pool), size=count, replace=False)
+            return [pool[int(i)] for i in chosen]
+
+        rng = derive_rng(seed, "remap", RemapKind.REGION_REHOME.value)
+        targets = pick(rng, list(regions), params.region_rehomes)
+        for at, region in zip(times(rng, len(targets)), targets):
+            events.append(RemapEvent(RemapKind.REGION_REHOME, at, region))
+
+        rng = derive_rng(seed, "remap", RemapKind.REPLICA_MIGRATION.value)
+        count = int(round(params.migration_fraction * len(replica_addresses)))
+        targets = pick(rng, list(replica_addresses), count)
+        for at, address in zip(times(rng, len(targets)), targets):
+            destination = metros[int(rng.integers(0, len(metros)))] if metros else ""
+            events.append(
+                RemapEvent(RemapKind.REPLICA_MIGRATION, at, address, destination)
+            )
+
+        rng = derive_rng(seed, "remap", RemapKind.CLUSTER_LAUNCH.value)
+        targets = pick(rng, list(metros), params.cluster_launches)
+        for at, metro in zip(times(rng, len(targets)), targets):
+            events.append(
+                RemapEvent(
+                    RemapKind.CLUSTER_LAUNCH, at, metro, metro, params.launch_size
+                )
+            )
+
+        rng = derive_rng(seed, "remap", RemapKind.CLUSTER_RETIRE.value)
+        targets = pick(rng, list(metros), params.cluster_retires)
+        for at, metro in zip(times(rng, len(targets)), targets):
+            events.append(RemapEvent(RemapKind.CLUSTER_RETIRE, at, metro))
+
+        events.sort(key=lambda e: (e.at, e.kind.value, e.target))
+        return cls(events=tuple(events), horizon_s=params.horizon_s)
+
+
+class RemapController:
+    """Enacts a remap schedule as permanent substrate transitions.
+
+    Mirrors :class:`~repro.faults.controller.ChaosController`'s driving
+    contract — ``sync(now)`` replays all not-yet-applied events up to
+    ``now`` in time order and must never go backwards;
+    ``pending_event_times`` feeds the event-driven path — but there is
+    no revert side: remap events have no end.
+    """
+
+    def __init__(
+        self,
+        schedule: RemapSchedule,
+        *,
+        topology: Topology,
+        deployment: ReplicaDeployment,
+        mapping: MappingSystem,
+        seed: int = 0,
+        obs: Optional[Observability] = None,
+    ) -> None:
+        self.schedule = schedule
+        obs = obs if obs is not None else get_observability()
+        self._trace = obs.trace
+        self._metrics = obs.metrics
+        self._topology = topology
+        self._deployment = deployment
+        self._mapping = mapping
+        self._rng = derive_rng(seed, "remap", "enact")
+        self._cursor = 0
+        self._now = float("-inf")
+        self._host_serial = 0
+        self.applied: List[RemapEvent] = []
+        self.events_applied: Counter = Counter()
+        self.replicas_migrated = 0
+        self.replicas_launched = 0
+        self.replicas_retired = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def applied_times(self) -> List[float]:
+        """Times of enacted events, in order (detection-lag baseline)."""
+        return [event.at for event in self.applied]
+
+    def counters(self) -> Dict[str, int]:
+        """Applied event counts per kind (flat, for export)."""
+        flat: Dict[str, int] = {}
+        for kind, count in sorted(self.events_applied.items()):
+            flat[f"applied.{kind.value}"] = count
+        flat["replicas_migrated"] = self.replicas_migrated
+        flat["replicas_launched"] = self.replicas_launched
+        flat["replicas_retired"] = self.replicas_retired
+        return flat
+
+    def pending_event_times(self, until: Optional[float] = None) -> List[float]:
+        """Distinct not-yet-applied event timestamps, in order."""
+        times: List[float] = []
+        for event in self.schedule.events[self._cursor :]:
+            if until is not None and event.at >= until:
+                break
+            if not times or times[-1] != event.at:
+                times.append(event.at)
+        return times
+
+    # -- enactment ---------------------------------------------------------
+
+    def sync(self, now: float) -> int:
+        """Enact all events with ``at <= now``; returns how many."""
+        if now < self._now:
+            raise ValueError(f"remap cannot run backwards: {now} < {self._now}")
+        self._now = now
+        applied = 0
+        while self._cursor < len(self.schedule.events):
+            event = self.schedule.events[self._cursor]
+            if event.at > now:
+                break
+            self._cursor += 1
+            self._apply(event)
+            applied += 1
+        return applied
+
+    def _apply(self, event: RemapEvent) -> None:
+        changed = {
+            RemapKind.REGION_REHOME: self._rehome,
+            RemapKind.REPLICA_MIGRATION: self._migrate,
+            RemapKind.CLUSTER_LAUNCH: self._launch,
+            RemapKind.CLUSTER_RETIRE: self._retire,
+        }[event.kind](event)
+        if not changed:
+            return
+        self.applied.append(event)
+        self.events_applied[event.kind] += 1
+        self._metrics.counter("remap.events", kind=event.kind.value).inc()
+        self._trace.emit(
+            "remap.injected",
+            event.at,
+            event.target,
+            kind=event.kind.value,
+            destination=event.destination,
+            size=event.size,
+        )
+
+    def _rehome(self, event: RemapEvent) -> bool:
+        if event.target in self._mapping.rehomed_regions:
+            return False
+        self._mapping.rehome_region(event.target)
+        return True
+
+    def _new_replica_host(self, metro_name: str, label: str):
+        """A fresh replica host in a metro, on a regional tier-2 AS."""
+        metro = self._topology.world.metro(metro_name)
+        providers = self._topology.registry.tier2_in_region(metro.region)
+        asn = (
+            providers[int(self._rng.integers(0, len(providers)))].asn
+            if providers
+            else None
+        )
+        self._host_serial += 1
+        return self._topology.create_host(
+            f"remap-{label}-{metro_name}-{self._host_serial}",
+            HostKind.REPLICA,
+            metro,
+            self._rng,
+            asn=asn,
+        )
+
+    def _migrate(self, event: RemapEvent) -> bool:
+        if not self._deployment.knows_address(event.target) or not event.destination:
+            return False
+        host = self._new_replica_host(event.destination, "mig")
+        self._deployment.migrate(event.target, host)
+        self._mapping.invalidate()
+        self.replicas_migrated += 1
+        return True
+
+    def _launch(self, event: RemapEvent) -> bool:
+        if event.size < 1:
+            return False
+        for _ in range(event.size):
+            host = self._new_replica_host(event.target, "new")
+            # Second octets 250+ are reserved for launched clusters:
+            # deploy_replicas never goes past network_id*4 + 3 <= 243,
+            # so launch addresses can never collide with the seed fleet.
+            serial = self.replicas_launched
+            address = (
+                f"{EDGE_PREFIX}.{250 + ((serial >> 14) & 3)}"
+                f".{(serial >> 7) & 127}.{serial & 127}"
+            )
+            self._deployment.add(ReplicaServer(host, address))
+            self.replicas_launched += 1
+        self._mapping.invalidate()
+        return True
+
+    def _retire(self, event: RemapEvent) -> bool:
+        addresses = sorted(
+            replica.address
+            for replica in self._deployment.edge
+            if replica.host.metro.name == event.target
+        )
+        # Never retire the last edge replicas standing.
+        headroom = len(self._deployment.edge) - len(addresses)
+        if headroom < self._mapping.params.answer_size:
+            return False
+        if not addresses:
+            return False
+        for address in addresses:
+            self._deployment.retire(address)
+            self.replicas_retired += 1
+        self._mapping.invalidate()
+        return True

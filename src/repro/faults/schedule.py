@@ -155,14 +155,26 @@ class ChaosParams:
             raise ValueError(f"horizon_s must be positive, got {self.horizon_s}")
 
     def params_for(self, kind: FaultKind) -> EpisodeParams:
-        """The episode process for an enacted kind."""
-        return {
+        """The episode process for an enacted kind.
+
+        Raises :class:`ValueError` for kinds without an episode process
+        (anything outside :data:`ENACTED_KINDS`).
+        """
+        table = {
             FaultKind.RESOLVER_FLAKY: self.resolver_flaky,
             FaultKind.AUTHORITY_OUTAGE: self.authority_outage,
             FaultKind.REPLICA_OUTAGE: self.replica_outage,
             FaultKind.MAPPING_STALE: self.mapping_stale,
             FaultKind.REGIONAL_CONGESTION: self.regional_congestion,
-        }[kind]
+        }
+        try:
+            return table[kind]
+        except KeyError:
+            enacted = ", ".join(k.value for k in ENACTED_KINDS)
+            raise ValueError(
+                f"no episode process for fault kind {kind!r}; "
+                f"enacted kinds are: {enacted}"
+            ) from None
 
     def scaled(self, factor: float) -> "ChaosParams":
         """All episode rates multiplied by ``factor`` (the sweep axis).

@@ -33,6 +33,9 @@ kind                         emitted when
 ``position.stale``           a positioning answer was marked stale
 ``fault.start``              a chaos episode was enacted
 ``fault.end``                a chaos episode was reverted
+``remap.injected``           a structural CDN change was enacted (permanent)
+``remap.detected``           the change detector flagged a snapshot distance
+``remap.recovery``           CRP invalidated pre-change ratio-map windows
 ``engine.flush``             the packed population flushed pending rows
 ``engine.compact``           the packed population dropped tombstoned rows
 ``check.violation``          a self-check invariant or differential pair failed
@@ -67,6 +70,9 @@ EVENT_KINDS = frozenset(
         "position.stale",
         "fault.start",
         "fault.end",
+        "remap.injected",
+        "remap.detected",
+        "remap.recovery",
         "engine.flush",
         "engine.compact",
         "check.violation",

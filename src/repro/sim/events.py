@@ -10,13 +10,19 @@ workload degenerates to "every client, every interval":
 - fault boundaries first — the dense loop calls ``chaos.sync(now)``
   *before* probing each round, so a boundary landing exactly on a
   probe instant must be enacted before the probes see the substrate;
+- remap events next, for the same reason: the dense loop enacts
+  structural changes (:mod:`repro.faults.remap`) before probing, so a
+  change landing on a probe instant must be visible to those probes;
 - mapping-epoch and TTL housekeeping next — both are behaviour-neutral
   (epoch refresh stays lazy; expired cache entries are never served
   regardless of when they are swept), so their slot only matters for
   bookkeeping stability;
-- client probes last, in schedule order (the sequence number preserves
+- client probes next, in schedule order (the sequence number preserves
   the order clients were scheduled, which the scenario driver keeps
-  sorted to match ``CRPService.probe_all``).
+  sorted to match ``CRPService.probe_all``);
+- change-detection scans last — the dense loop runs the detector
+  *after* each round's probes, so a scan sharing a timestamp with
+  probes must see their observations.
 """
 
 from __future__ import annotations
@@ -30,6 +36,8 @@ class EventKind(str, Enum):
 
     #: A chaos-schedule episode boundary (start or end) falls due.
     FAULT_BOUNDARY = "fault_boundary"
+    #: A permanent structural change (remap schedule) falls due.
+    REMAP = "remap"
     #: The CDN mapping system crosses a refresh-epoch boundary
     #: (observational heartbeat; the refresh itself stays lazy).
     MAPPING_EPOCH = "mapping_epoch"
@@ -37,15 +45,19 @@ class EventKind(str, Enum):
     TTL_EXPIRY = "ttl_expiry"
     #: One client issues one CRP probe (all customer names once).
     CLIENT_PROBE = "client_probe"
+    #: The change detector takes a periodic clustering snapshot.
+    CHANGE_SCAN = "change_scan"
 
 
 #: Dispatch priority at equal timestamps (lower dispatches first).
 #: See the module docstring for why this exact order is load-bearing.
 PRIORITY: Dict[EventKind, int] = {
     EventKind.FAULT_BOUNDARY: 0,
-    EventKind.MAPPING_EPOCH: 1,
-    EventKind.TTL_EXPIRY: 2,
-    EventKind.CLIENT_PROBE: 3,
+    EventKind.REMAP: 1,
+    EventKind.MAPPING_EPOCH: 2,
+    EventKind.TTL_EXPIRY: 3,
+    EventKind.CLIENT_PROBE: 4,
+    EventKind.CHANGE_SCAN: 5,
 }
 
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.cdn.mapping import MappingParams
 from repro.cdn.provider import CDNProvider
+from repro.core.change import ChangeDetector, ChangeDetectorParams, RecoveryPolicy
 from repro.core.service import CRPService, CRPServiceParams, ProbePolicy
 from repro.dnssim.infrastructure import DnsInfrastructure
 from repro.faults import (
@@ -28,6 +29,9 @@ from repro.faults import (
     ChaosParams,
     FaultKind,
     FaultSchedule,
+    RemapController,
+    RemapParams,
+    RemapSchedule,
     episodes_from_failure_plan,
 )
 from repro.dnssim.king import KingEstimator
@@ -92,6 +96,15 @@ class ScenarioParams:
     #: for plain scenarios and :meth:`ProbePolicy.resilient` when
     #: chaos is enabled.
     probe_policy: Optional[ProbePolicy] = None
+    #: Structural CDN change (remap schedule); None (the default)
+    #: builds no schedule — scenarios without remap are bit-identical
+    #: to before the remap layer existed.
+    remap: Optional[RemapParams] = None
+    #: YouLighter-style change detection; None runs no detector.
+    #: Detection is read-only, so enabling it never perturbs probing.
+    change_detection: Optional[ChangeDetectorParams] = None
+    #: What CRP does when the detector flags change.
+    recovery_policy: RecoveryPolicy = RecoveryPolicy.PASSIVE
 
     def __post_init__(self) -> None:
         if self.dns_servers < 1:
@@ -251,6 +264,39 @@ class Scenario:
                 congestion=self.network.congestion,
             )
 
+        # Structural change (strictly opt-in): a seeded remap schedule
+        # enacted as permanent transitions, plus an optional
+        # YouLighter-style detector watching the client clustering.
+        self.remap: Optional[RemapController] = None
+        if params.remap is not None:
+            remap_schedule = RemapSchedule.generate(
+                regions=sorted({m.region.value for m in self.world.metros}),
+                replica_addresses=sorted(
+                    r.address for r in self.cdn.deployment.edge
+                ),
+                metros=sorted(
+                    m.name for m in self.world.metros if m.cdn_coverage > 0
+                ),
+                params=params.remap,
+                seed=derive_seed(seed, "remap"),
+            )
+            self.remap = RemapController(
+                remap_schedule,
+                topology=self.topology,
+                deployment=self.cdn.deployment,
+                mapping=self.cdn.mapping,
+                seed=derive_seed(seed, "remap-enact"),
+            )
+        self.detector: Optional[ChangeDetector] = None
+        if params.change_detection is not None:
+            self.detector = ChangeDetector(
+                self.crp, self.client_names, params.change_detection
+            )
+        #: Injection→detection lags, sim-seconds (one per injected
+        #: event attributed to a detection).
+        self.remap_detection_lags_s: List[float] = []
+        self._lag_cursor = 0
+
     # -- populations -------------------------------------------------------
 
     @property
@@ -300,8 +346,44 @@ class Scenario:
         for _ in range(rounds):
             if self.chaos is not None:
                 self.chaos.sync(self.clock.now)
+            if self.remap is not None:
+                self.remap.sync(self.clock.now)
             self.crp.probe_all()
+            self.detect_step(self.clock.now)
             self.clock.advance_minutes(interval_minutes)
+
+    def detect_step(self, now: float) -> None:
+        """Run the change detector (if any) and apply the recovery policy.
+
+        Safe to call on any cadence: the detector gates itself on its
+        snapshot interval.  On a flagged detection, injection→detection
+        lags are recorded for every not-yet-attributed remap event, and
+        under :attr:`RecoveryPolicy.INVALIDATE` the CRP service drops
+        ratio-map history from before the flagged snapshot itself: the
+        *previous* snapshot is the pre-change world by construction
+        (that is what the distance spiked against), so observations
+        taken between the two snapshots straddle the change and cannot
+        be trusted either way.
+        """
+        if self.detector is None:
+            return
+        signal = self.detector.step(now)
+        if signal is None or not signal.flagged:
+            return
+        if self.remap is not None:
+            obs = get_observability()
+            lag_histogram = obs.metrics.histogram("remap.detection_lag_s")
+            applied_times = self.remap.applied_times
+            while (
+                self._lag_cursor < len(applied_times)
+                and applied_times[self._lag_cursor] <= now
+            ):
+                lag = now - applied_times[self._lag_cursor]
+                self.remap_detection_lags_s.append(lag)
+                lag_histogram.observe(lag)
+                self._lag_cursor += 1
+        if self.params.recovery_policy is RecoveryPolicy.INVALIDATE:
+            self.crp.invalidate_windows(before=signal.at)
 
     # -- event-driven probing ----------------------------------------------
 
@@ -386,6 +468,18 @@ class Scenario:
             # one handler call each but converge on the same state.
             self.chaos.sync(clock.now)
 
+        def _on_remap(event) -> None:
+            self.remap.sync(clock.now)
+
+        def _on_scan(event) -> None:
+            # The detector gates itself on its own interval, so the
+            # heartbeat just needs to fire at least that often.
+            self.detect_step(clock.now)
+            loop.schedule(
+                EventKind.CHANGE_SCAN,
+                event.at + self.detector.params.interval_s,
+            )
+
         def _on_epoch(event) -> None:
             # Observational heartbeat only: the epoch refresh itself
             # stays lazy (an eager refresh would consume network RNG
@@ -402,11 +496,20 @@ class Scenario:
         loop.on(EventKind.CLIENT_PROBE, _on_probe)
         loop.on(EventKind.TTL_EXPIRY, _on_ttl)
         loop.on(EventKind.FAULT_BOUNDARY, _on_fault)
+        loop.on(EventKind.REMAP, _on_remap)
         loop.on(EventKind.MAPPING_EPOCH, _on_epoch)
+        loop.on(EventKind.CHANGE_SCAN, _on_scan)
 
         if self.chaos is not None:
             for at in self.chaos.pending_boundary_times(loop.horizon_s):
                 loop.schedule(EventKind.FAULT_BOUNDARY, max(at, clock.now))
+        if self.remap is not None:
+            for at in self.remap.pending_event_times(loop.horizon_s):
+                loop.schedule(EventKind.REMAP, max(at, clock.now))
+        if self.detector is not None:
+            interval = self.detector.params.interval_s
+            first_scan = (clock.now // interval + 1) * interval
+            loop.schedule(EventKind.CHANGE_SCAN, first_scan)
         if epoch_events:
             refresh = self.cdn.mapping.params.refresh_seconds
             first_epoch = (clock.now // refresh + 1) * refresh

@@ -1,0 +1,54 @@
+"""Unit tests for recovery-curve helpers."""
+
+import pytest
+
+from repro.analysis.resilience import accuracy_curve, time_to_recover
+
+
+def test_accuracy_curve_normalises_by_reference():
+    curve = accuracy_curve([0.0, 10.0], [0.4, 0.8], reference=0.8)
+    assert curve == [(0.0, pytest.approx(0.5)), (10.0, pytest.approx(1.0))]
+
+
+def test_accuracy_curve_nonpositive_reference_is_flat():
+    assert accuracy_curve([0.0, 10.0], [0.1, 0.2], reference=0.0) == [
+        (0.0, 1.0),
+        (10.0, 1.0),
+    ]
+
+
+def test_accuracy_curve_length_mismatch():
+    with pytest.raises(ValueError):
+        accuracy_curve([0.0], [0.1, 0.2], reference=1.0)
+
+
+def test_time_to_recover_returns_last_entry_into_band():
+    times = [0.0, 10.0, 20.0, 30.0, 40.0]
+    # Enters the band at 10, dips out at 20, re-enters at 30 for good.
+    series = [0.2, 0.9, 0.5, 0.9, 0.95]
+    assert time_to_recover(times, series, target=1.0, tolerance=0.15) == 30.0
+
+
+def test_time_to_recover_never_settles():
+    assert time_to_recover([0.0, 10.0], [0.5, 0.4], target=1.0) is None
+
+
+def test_time_to_recover_momentary_spike_does_not_count():
+    times = [0.0, 10.0, 20.0]
+    series = [0.95, 0.2, 0.3]
+    assert time_to_recover(times, series, target=1.0, tolerance=0.1) is None
+
+
+def test_time_to_recover_respects_after():
+    times = [0.0, 10.0, 20.0]
+    series = [0.95, 0.95, 0.95]
+    assert time_to_recover(times, series, target=1.0, tolerance=0.1) == 0.0
+    assert (
+        time_to_recover(times, series, target=1.0, tolerance=0.1, after=15.0)
+        == 20.0
+    )
+
+
+def test_time_to_recover_length_mismatch():
+    with pytest.raises(ValueError):
+        time_to_recover([0.0], [0.1, 0.2], target=1.0)

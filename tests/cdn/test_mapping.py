@@ -263,3 +263,43 @@ def test_crp_maps_adapt_to_outage(topology, host_rng):
         clock.advance_minutes(10)
     recent = service.ratio_map("crp-outage", window_probes=10)
     assert favourite not in recent.support
+
+
+def test_frozen_mapping_serves_stale_across_epoch_edge(mapping_setup):
+    mapping, client, clock, _, _ = mapping_setup
+    served = mapping.ranking(client)
+    measured = mapping.measurements_taken
+    mapping.frozen = True
+    # Within the same epoch the cache is fresh by definition: serving
+    # it is normal amortisation, not staleness.
+    assert mapping.ranking(client) is served
+    assert mapping.stale_rankings_served == 0
+    # Across the epoch edge a refresh is due; the wedged backend keeps
+    # serving the old epoch instead, and the counter says so.
+    clock.advance(mapping.params.refresh_seconds + 1.0)
+    assert mapping.ranking(client) is served
+    assert mapping.stale_rankings_served == 1
+    assert mapping.measurements_taken == measured
+    clock.advance(mapping.params.refresh_seconds)
+    assert mapping.ranking(client) is served
+    assert mapping.stale_rankings_served == 2
+    # Thawing restores the per-epoch refresh; no stale serves accrue.
+    mapping.frozen = False
+    refreshed = mapping.ranking(client)
+    assert mapping.measurements_taken == 2 * measured
+    assert mapping.stale_rankings_served == 2
+    assert refreshed is mapping.ranking(client)
+
+
+def test_mid_freeze_deployment_change_is_hidden_until_thaw(mapping_setup):
+    mapping, client, clock, _, deployment = mapping_setup
+    best = mapping.ranking(client)[0][0]
+    mapping.frozen = True
+    deployment.fail(best.address)
+    # The refresh that would have routed around the dead replica is
+    # frozen out: the stale ranking still names it, epoch after epoch.
+    clock.advance(mapping.params.refresh_seconds + 1.0)
+    assert best.address in {r.address for r, _ in mapping.ranking(client)}
+    assert mapping.stale_rankings_served == 1
+    mapping.frozen = False
+    assert best.address not in {r.address for r, _ in mapping.ranking(client)}

@@ -98,3 +98,48 @@ def test_fail_unknown_address_raises(deployment):
 
 def test_restore_is_idempotent(deployment):
     deployment.restore("not-even-down")  # no error
+
+
+def test_migrate_replaces_host_keeps_address_and_flags(deployment, topology, host_rng):
+    old = deployment.edge[0]
+    new_host = topology.create_host(
+        "migration-target",
+        HostKind.REPLICA,
+        topology.world.metro("seattle"),
+        host_rng,
+    )
+    moved = deployment.migrate(old.address, new_host)
+    assert moved.host is new_host
+    assert moved.address == old.address
+    assert moved.provider_owned == old.provider_owned
+    assert moved.isp_restricted == old.isp_restricted
+    assert deployment.by_address(old.address) is moved
+    assert old not in list(deployment)
+    assert deployment.migrations == 1
+
+
+def test_migrate_unknown_address_raises(deployment):
+    with pytest.raises(KeyError):
+        deployment.migrate("203.0.113.99", next(iter(deployment)).host)
+
+
+def test_retire_removes_from_service_keeps_resolvable(deployment):
+    replica = deployment.edge[0]
+    deployment.fail(replica.address)
+    retired = deployment.retire(replica.address)
+    assert retired is replica
+    assert not deployment.knows_address(replica.address)
+    assert not deployment.is_up(replica.address)
+    # Retirement clears the transient down state along the way.
+    assert replica.address not in deployment.down_addresses
+    assert replica.address in deployment.retired_addresses
+    # Historical attribution still works.
+    assert deployment.by_address(replica.address) is replica
+    assert deployment.retirements == 1
+
+
+def test_retire_twice_raises(deployment):
+    replica = deployment.edge[0]
+    deployment.retire(replica.address)
+    with pytest.raises(KeyError):
+        deployment.retire(replica.address)

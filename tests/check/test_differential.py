@@ -6,6 +6,7 @@ from repro.check.differential import (
     chaos_stanza_pair,
     first_divergence,
     obs_pair,
+    remap_stanza_pair,
     report_fields,
     scalar_vector_pair,
 )
@@ -79,6 +80,11 @@ def test_scalar_vector_pair_has_no_divergence():
 
 def test_chaos_stanza_pair_has_no_divergence():
     pair = chaos_stanza_pair(SMALL, probe_rounds=4)
+    assert DifferentialRunner([pair]).run() == []
+
+
+def test_remap_stanza_pair_has_no_divergence():
+    pair = remap_stanza_pair(SMALL, probe_rounds=4)
     assert DifferentialRunner([pair]).run() == []
 
 

@@ -17,7 +17,8 @@ def test_run_selfcheck_passes_on_main():
     report = run_selfcheck(FAST)
     assert report.ok, report.render()
     assert report.invariants_checked > 0
-    assert report.pairs_run == 3  # scalar/vector + chaos stanza + dense/event
+    # scalar/vector + chaos stanza + remap stanza + dense/event
+    assert report.pairs_run == 4
     assert report.fuzz_drivers_run == 4
     assert "self-check: OK" in report.render()
 
@@ -31,7 +32,7 @@ def test_selfcheck_includes_obs_pairs_for_producers():
 
     report = run_selfcheck(FAST, producers={"toy": producer, "toy2": producer})
     assert report.ok, report.render()
-    assert report.pairs_run == 4  # deduped: one producer serving two keys
+    assert report.pairs_run == 5  # deduped: one producer serving two keys
     assert calls == ["quick", "quick"]  # once per side
 
 

@@ -1,0 +1,332 @@
+"""Unit tests for clustering-snapshot change detection."""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.change import (
+    ChangeDetector,
+    ChangeDetectorParams,
+    ClusterSnapshot,
+    RecoveryPolicy,
+    snapshot_distance,
+)
+from repro.core.clustering import SimilarityMetric
+
+
+# -- params -----------------------------------------------------------------
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ChangeDetectorParams(interval_s=0.0)
+    with pytest.raises(ValueError):
+        ChangeDetectorParams(threshold=0.0)
+    with pytest.raises(ValueError):
+        ChangeDetectorParams(sigma=-1.0)
+    with pytest.raises(ValueError):
+        ChangeDetectorParams(baseline_min=0)
+    with pytest.raises(ValueError):
+        ChangeDetectorParams(consecutive=0)
+    with pytest.raises(ValueError):
+        ChangeDetectorParams(centroid_weight=1.5)
+    # sigma=None (pure absolute mode) is allowed.
+    assert ChangeDetectorParams(sigma=None).sigma is None
+
+
+def test_recovery_policy_values():
+    assert RecoveryPolicy("passive") is RecoveryPolicy.PASSIVE
+    assert RecoveryPolicy("invalidate") is RecoveryPolicy.INVALIDATE
+
+
+# -- snapshot distance ------------------------------------------------------
+
+
+def snap(at, clusters):
+    assignment = {}
+    for index, (_, members) in enumerate(clusters):
+        for member in members:
+            assignment[member] = index
+    return ClusterSnapshot(at=at, clusters=tuple(clusters), assignment=assignment)
+
+
+def test_identical_snapshots_have_zero_distance():
+    clusters = [({"a": 1.0, "b": 0.5}, frozenset({"n1", "n2"}))]
+    distance, centroid, constituency = snapshot_distance(
+        snap(0.0, clusters), snap(10.0, clusters)
+    )
+    assert distance == pytest.approx(0.0)
+    assert centroid == pytest.approx(0.0)
+    assert constituency == pytest.approx(0.0)
+
+
+def test_disjoint_vocabulary_is_full_centroid_shift():
+    before = snap(0.0, [({"a": 1.0}, frozenset({"n1", "n2"}))])
+    after = snap(10.0, [({"z": 1.0}, frozenset({"n1", "n2"}))])
+    _, centroid, constituency = snapshot_distance(before, after)
+    assert centroid == pytest.approx(1.0)
+    # Same membership, different vocabulary: constituencies unchanged.
+    assert constituency == pytest.approx(0.0)
+
+
+def test_membership_churn_is_constituency_shift():
+    before = snap(0.0, [({"a": 1.0}, frozenset({"n1", "n2", "n3", "n4"}))])
+    after = snap(
+        10.0,
+        [
+            ({"a": 1.0}, frozenset({"n1", "n2"})),
+            ({"a": 1.0}, frozenset({"n3", "n4"})),
+        ],
+    )
+    _, centroid, constituency = snapshot_distance(before, after)
+    assert centroid == pytest.approx(0.0)
+    assert constituency > 0.0
+
+
+def test_centroid_weight_blends_the_two_shifts():
+    before = snap(0.0, [({"a": 1.0}, frozenset({"n1", "n2"}))])
+    after = snap(
+        10.0,
+        [({"z": 1.0}, frozenset({"n1"})), ({"z": 1.0}, frozenset({"n2"}))],
+    )
+    full, centroid, constituency = snapshot_distance(before, after, 1.0)
+    blended, _, _ = snapshot_distance(before, after, 0.5)
+    assert full == pytest.approx(centroid)
+    assert blended == pytest.approx(0.5 * centroid + 0.5 * constituency)
+
+
+# -- detector ---------------------------------------------------------------
+
+
+class ScriptedService:
+    """A stub CRP service whose clustering centroid angle is scripted.
+
+    All nodes share one ratio map (a unit vector at ``self.angle``) and
+    one cluster, so the snapshot distance equals ``1 - cos`` of the
+    angle turned between snapshots — tests dial in exact distances.
+    """
+
+    def __init__(self, nodes, positioned=None):
+        self.nodes = list(nodes)
+        self.positioned = len(self.nodes) if positioned is None else positioned
+        self.params = SimpleNamespace(metric=SimilarityMetric.COSINE)
+        self.angle = 0.0
+
+    def turn(self, distance):
+        """Make the *next* snapshot sit ``distance`` away from the last."""
+        self.angle += math.acos(1.0 - distance)
+
+    def ratio_maps(self, nodes, window_probes=None):
+        vector = {"a": math.cos(self.angle), "b": math.sin(self.angle)}
+        maps = {}
+        for index, node in enumerate(nodes):
+            maps[node] = dict(vector) if index < self.positioned else None
+        return maps
+
+    def cluster(self, nodes, smf_params=None, window_probes=None):
+        members = tuple(nodes[: self.positioned])
+        return SimpleNamespace(
+            clusters=[SimpleNamespace(members=members)],
+            unclustered=list(nodes[self.positioned :]),
+        )
+
+
+NODES = [f"node-{i}" for i in range(10)]
+
+
+def detector_for(service, **overrides):
+    defaults = dict(
+        interval_s=100.0,
+        threshold=0.2,
+        sigma=3.5,
+        baseline_min=3,
+        consecutive=1,
+        cooldown_s=100.0,
+        min_positioned=8,
+    )
+    defaults.update(overrides)
+    return ChangeDetector(service, NODES, ChangeDetectorParams(**defaults))
+
+
+def test_step_gates_on_interval():
+    service = ScriptedService(NODES)
+    detector = detector_for(service)
+    assert detector.step(50.0) is None  # not due yet
+    assert detector.snapshots_taken == 0
+    assert detector.step(100.0) is None  # first snapshot: nothing to compare
+    assert detector.snapshots_taken == 1
+    assert detector.step(150.0) is None  # within the same interval
+    assert detector.snapshots_taken == 1
+    signal = detector.step(200.0)
+    assert signal is not None
+    assert signal.previous_at == 100.0
+    assert detector.counters() == {
+        "snapshots": 2,
+        "comparisons": 1,
+        "detections": 0,
+    }
+
+
+def test_snapshot_skipped_below_min_positioned():
+    service = ScriptedService(NODES, positioned=4)
+    detector = detector_for(service)
+    assert detector.step(100.0) is None
+    assert detector.step(200.0) is None
+    assert detector.snapshots_taken == 0
+
+
+def test_quiet_comparisons_feed_the_baseline():
+    service = ScriptedService(NODES)
+    detector = detector_for(service)
+    detector.step(100.0)
+    for step in range(3):
+        service.turn(0.05)
+        detector.step(200.0 + 100.0 * step)
+    count, mean, std = detector.baseline()
+    assert count == 3
+    assert mean == pytest.approx(0.05, abs=1e-6)
+    assert std == pytest.approx(0.0, abs=1e-6)
+
+
+def test_absolute_cap_flags_during_warmup():
+    service = ScriptedService(NODES)
+    detector = detector_for(service)
+    detector.step(100.0)
+    service.turn(0.5)  # above the 0.2 cap, no baseline yet
+    signal = detector.step(200.0)
+    assert signal.flagged
+    assert len(detector.detections) == 1
+    # The elevated comparison must not pollute the quiet baseline.
+    assert detector.baseline()[0] == 0
+
+
+def test_sigma_rule_flags_above_quiet_baseline():
+    service = ScriptedService(NODES)
+    detector = detector_for(service)
+    detector.step(100.0)
+    for step in range(4):
+        service.turn(0.05)
+        detector.step(200.0 + 100.0 * step)
+    assert not detector.detections
+    service.turn(0.12)  # below the 0.2 cap, far above mean + 3.5 sigma
+    signal = detector.step(600.0)
+    assert signal.flagged
+    assert detector.baseline()[0] == 4  # elevated comparison excluded
+
+
+def test_sigma_rule_needs_baseline_min_quiet_samples():
+    service = ScriptedService(NODES)
+    detector = detector_for(service, baseline_min=3)
+    detector.step(100.0)
+    service.turn(0.05)
+    detector.step(200.0)
+    service.turn(0.12)  # only one quiet sample so far: sigma rule silent
+    signal = detector.step(300.0)
+    assert not signal.flagged
+
+
+def test_sigma_none_is_pure_absolute_mode():
+    service = ScriptedService(NODES)
+    detector = detector_for(service, sigma=None)
+    detector.step(100.0)
+    for step in range(4):
+        service.turn(0.05)
+        detector.step(200.0 + 100.0 * step)
+    service.turn(0.15)  # would trip the sigma rule, stays under the cap
+    signal = detector.step(600.0)
+    assert not signal.flagged
+
+
+QUIET = (0.04, 0.05, 0.06, 0.05)  # mean 0.05, nonzero spread
+
+
+def quiet_baseline(detector):
+    """Feed the spread-out quiet comparisons; returns (entry, follow)."""
+    detector.step(100.0)
+    for step, distance in enumerate(QUIET):
+        detector.service.turn(distance)
+        detector.step(200.0 + 100.0 * step)
+    _, mean, std = detector.baseline()
+    assert std > 0.0
+    return mean + 3.5 * std, mean + 2.0 * std
+
+
+def test_continuation_sigma_tracks_unfolding_change():
+    service = ScriptedService(NODES)
+    detector = detector_for(
+        service, continuation_sigma=2.0, continuation_window_s=150.0
+    )
+    entry, follow = quiet_baseline(detector)
+    between = (entry + follow) / 2.0
+    service.turn(entry + 0.01)  # first flag via the entry sigma
+    assert detector.step(600.0).flagged
+    service.turn(between)  # below entry, above continuation
+    assert detector.step(700.0).flagged
+    # Once the continuation window lapses, the entry sigma is back.
+    service.turn(between)
+    assert not detector.step(900.0).flagged
+
+
+def test_continuation_flags_do_not_extend_the_window():
+    service = ScriptedService(NODES)
+    detector = detector_for(
+        service, continuation_sigma=2.0, continuation_window_s=250.0
+    )
+    entry, follow = quiet_baseline(detector)
+    between = (entry + follow) / 2.0
+    service.turn(entry + 0.01)  # anchor: entry-grade flag at t=600
+    assert detector.step(600.0).flagged
+    service.turn(between)
+    assert detector.step(700.0).flagged  # continuation, within 250s
+    service.turn(between)
+    assert detector.step(800.0).flagged  # still within 250s of t=600
+    # 300s past the entry anchor: the flagged continuation at 800 must
+    # not have refreshed the window.
+    service.turn(between)
+    assert not detector.step(900.0).flagged
+
+
+def test_continuation_sigma_needs_a_first_detection():
+    service = ScriptedService(NODES)
+    detector = detector_for(
+        service, continuation_sigma=2.0, continuation_window_s=1e9
+    )
+    entry, follow = quiet_baseline(detector)
+    # Elevated past the continuation sigma but below the entry sigma:
+    # without a prior detection the lower bar must not apply.
+    service.turn((entry + follow) / 2.0)
+    assert not detector.step(600.0).flagged
+
+
+def test_cooldown_rate_limits_detections():
+    service = ScriptedService(NODES)
+    detector = detector_for(service, cooldown_s=250.0)
+    detector.step(100.0)
+    service.turn(0.5)
+    assert detector.step(200.0).flagged
+    service.turn(0.5)
+    assert not detector.step(300.0).flagged  # inside the cooldown
+    service.turn(0.5)
+    assert detector.step(500.0).flagged  # cooled down
+    assert len(detector.detections) == 2
+
+
+def test_consecutive_requires_streak():
+    service = ScriptedService(NODES)
+    detector = detector_for(service, consecutive=2)
+    detector.step(100.0)
+    service.turn(0.5)
+    assert not detector.step(200.0).flagged
+    service.turn(0.5)
+    assert detector.step(300.0).flagged
+    # A quiet comparison resets the streak.
+    detector2 = detector_for(ScriptedService(NODES), consecutive=2)
+    service2 = detector2.service
+    detector2.step(100.0)
+    service2.turn(0.5)
+    assert not detector2.step(200.0).flagged
+    service2.turn(0.0)
+    assert not detector2.step(300.0).flagged
+    service2.turn(0.5)
+    assert not detector2.step(400.0).flagged

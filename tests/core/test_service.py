@@ -540,3 +540,35 @@ def test_retry_accounting_matches_registry_and_resolver(topology, host_rng):
     first_tries = ob.trace.counts_by_kind()["probe.attempt"]
     assert resolver_queries == attempts
     assert retries == resolver_queries - first_tries
+
+
+def test_invalidate_windows_resets_bootstrap_and_fallbacks(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    assert service.ratio_map("n-boston") is not None
+    dropped = service.invalidate_windows(before=clock.now)
+    assert dropped > 0
+    assert service.window_invalidations == 1
+    assert service.observations_invalidated == dropped
+    # Pre-change history is gone: the node must re-bootstrap, and the
+    # last-good fallback map (which would keep serving the old world)
+    # is gone with it.
+    assert service.ratio_map("n-boston") is None
+    assert "n-boston" not in service._last_good
+    probe(service, clock)
+    assert service.ratio_map("n-boston") is not None
+
+
+def test_invalidate_windows_respects_node_subset_and_cutoff(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    cutoff = clock.now / 2.0
+    before = service.tracker("n-boston").probe_count
+    dropped = service.invalidate_windows(nodes=["n-boston"], before=cutoff)
+    tracker = service.tracker("n-boston")
+    assert 0 < dropped < before
+    assert tracker.probe_count == before - dropped
+    assert all(o.at >= cutoff for o in tracker.observations)
+    # Untouched nodes keep their full history and their maps.
+    assert service.tracker("n-london").probe_count == before
+    assert service.ratio_map("n-london") is not None

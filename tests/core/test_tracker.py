@@ -188,3 +188,29 @@ def test_decayed_map_now_before_entire_log_keeps_all_probes():
     # Everything is "in the future" of now, so all weights clamp to 1.
     assert decayed.ratio("a") == pytest.approx(0.5)
     assert decayed.ratio("b") == pytest.approx(0.5)
+
+
+def test_discard_before_drops_strictly_older():
+    tracker = filled_tracker()
+    version = tracker.version
+    dropped = tracker.discard_before(1200.0)
+    assert dropped == 2
+    assert [o.at for o in tracker.observations] == [1200.0, 1800.0]
+    assert tracker.observations_dropped == 2
+    assert tracker.version == version + 1
+
+
+def test_discard_before_noop_keeps_version():
+    tracker = filled_tracker()
+    version = tracker.version
+    assert tracker.discard_before(0.0) == 0
+    assert tracker.version == version
+
+
+def test_discard_before_can_empty_the_log_and_refill():
+    tracker = filled_tracker()
+    assert tracker.discard_before(1e9) == 4
+    assert tracker.probe_count == 0
+    assert tracker.ratio_map() is None
+    tracker.observe(2400.0, "yahoo.test", ["a"])
+    assert tracker.probe_count == 1

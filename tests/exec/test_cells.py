@@ -195,3 +195,22 @@ def test_merge_manifests_empty_list_is_safe():
     merged = merge_manifests([])
     assert merged.run_key == "sweep"
     assert merged.counters() == {}
+
+
+def test_remap_plan_mirrors_the_sweep_grid():
+    from repro.experiments.remap import remap_grid
+
+    plan = plan_for("remap", "quick")
+    grid = remap_grid()
+    assert len(plan.cells) == len(grid)
+    for cell, (magnitude, threshold, policy) in zip(plan.cells, grid):
+        assert cell.kind == "remap.point"
+        assert cell.seed == 2008
+        options = dict(cell.options)
+        assert options["magnitude"] == magnitude
+        assert options["threshold"] == threshold
+        assert options["policy"] == policy.value
+    # The magnitude-0 control rides along once per threshold, passive.
+    controls = [c for c in plan.cells if dict(c.options)["magnitude"] == 0.0]
+    assert controls
+    assert all(dict(c.options)["policy"] == "passive" for c in controls)

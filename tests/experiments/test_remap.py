@@ -1,0 +1,109 @@
+"""Unit tests for the remap sweep experiment."""
+
+import pytest
+
+from repro.core.change import ChangeDetectorParams, RecoveryPolicy
+from repro.experiments.remap import (
+    RemapResult,
+    remap_grid,
+    run_remap_point,
+)
+from repro.faults import RemapParams
+from repro.workloads import ScenarioParams
+
+
+def small_params(seed=51):
+    return ScenarioParams(
+        seed=seed,
+        dns_servers=12,
+        planetlab_nodes=10,
+        build_meridian=False,
+        king_raw_pool=80,
+    )
+
+
+def fast_detector():
+    return ChangeDetectorParams(interval_s=600.0, threshold=0.2)
+
+
+def test_magnitude_zero_is_control():
+    point = run_remap_point(
+        small_params(),
+        0.0,
+        0.2,
+        rounds=6,
+        detector_params=fast_detector(),
+    )
+    assert point.events_applied == 0
+    assert point.injection_start_s is None
+    assert point.injection_end_s is None
+    # With no injections every detection is a false positive.
+    assert point.false_positives == point.detections
+    assert point.recovery_time_s is None
+    assert point.staleness_series == [None] * len(point.times_s)
+    assert len(point.top5_series) == len(point.times_s) == 6
+
+
+def test_injected_point_accounts_events_and_series():
+    remap = RemapParams(
+        region_rehomes=1,
+        migration_fraction=0.2,
+        cluster_launches=1,
+        cluster_retires=1,
+        horizon_s=3600.0,
+        window=(0.3, 0.5),
+    )
+    point = run_remap_point(
+        small_params(),
+        1.0,
+        0.2,
+        policy=RecoveryPolicy.INVALIDATE,
+        rounds=6,
+        remap_params=remap,
+        detector_params=fast_detector(),
+    )
+    assert point.events_applied > 0
+    assert point.injection_start_s is not None
+    assert point.injection_start_s <= point.injection_end_s
+    # Injections land inside the configured window of the horizon.
+    assert 0.3 * 3600.0 <= point.injection_start_s <= 0.5 * 3600.0
+    assert point.false_positives == sum(
+        1 for t in point.detection_times_s if t < point.injection_start_s
+    )
+    assert "crp.probes_issued" in point.counters
+    assert any(key.startswith("remap.") for key in point.counters)
+    # Staleness is defined from the first post-change evaluation on.
+    post = [
+        s
+        for t, s in zip(point.times_s, point.staleness_series)
+        if t > point.injection_start_s and s is not None
+    ]
+    assert post
+    for value in post:
+        assert 0.0 <= value <= 1.0
+
+
+def test_grid_shape_and_control_policy():
+    cells = remap_grid()
+    # Per threshold: one passive control + two magnitudes x two policies.
+    assert len(cells) == 2 * 5
+    for magnitude, _, policy in cells:
+        if magnitude == 0.0:
+            assert policy is RecoveryPolicy.PASSIVE
+
+
+def test_result_point_lookup_and_report():
+    point = run_remap_point(
+        small_params(),
+        0.0,
+        0.2,
+        rounds=6,
+        detector_params=fast_detector(),
+    )
+    result = RemapResult(points=[point], rounds=6, interval_minutes=10.0)
+    assert result.point(0.0, 0.2, "invalidate") is point
+    with pytest.raises(KeyError):
+        result.point(1.0, 0.2, "invalidate")
+    report = result.report()
+    assert "remap" in report and "recover" in report
+    assert result.total_false_positives == point.false_positives
