@@ -1,0 +1,126 @@
+#!/usr/bin/env python
+"""Record serving-path benchmarks to ``BENCH_service.json``.
+
+One artifact at the repo root: positions/sec and latency percentiles
+for the sharded request path (:mod:`repro.serve`) at growing tracked
+populations — 10k, 100k and 1M clients at ``--scale default`` (just
+the 10k point at ``quick``, the CI smoke).
+
+Each point preseeds the population through the synchronous ingest
+path (one observation per client, index order), then times a
+Zipf-weighted POSITION query phase through the asyncio
+:class:`~repro.serve.frontend.CRPServer`; p50/p99 come from the
+``serve.latency_us`` histograms the server records.  The smallest
+point is also replayed through the unsharded reference
+:class:`~repro.core.service.CRPService` and must match byte for byte
+— the run exits non-zero on a fingerprint mismatch.
+
+The million-client point runs with bounded per-shard memory
+(``max_trackers``), so it also exercises the LRU eviction path: the
+Zipf head stays resident and keeps answering, while the cold tail is
+evicted and transparently recreated on its next request.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_service.py --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.service import run_bench_point  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_service.json"
+
+#: (population, queries, max_trackers per shard, fingerprint check).
+#: The 1M point bounds residency at 25k trackers x 8 shards = 200k —
+#: a fifth of the population — to demonstrate flat memory under LRU
+#: eviction; the unbounded points are the fingerprint-checked ones
+#: (the unsharded reference never evicts).
+POINTS = {
+    "quick": [
+        (10_000, 5_000, None, True),
+    ],
+    "default": [
+        (10_000, 20_000, None, True),
+        (100_000, 20_000, None, False),
+        (1_000_000, 20_000, 25_000, False),
+    ],
+}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(POINTS), default="default")
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--shards", type=int, default=8)
+    parser.add_argument("--out", type=Path, default=OUTPUT)
+    args = parser.parse_args()
+
+    points = []
+    mismatched = False
+    for population, queries, max_trackers, check in POINTS[args.scale]:
+        bound = f", {max_trackers:,}/shard bound" if max_trackers else ""
+        print(f"bench point: {population:,} clients ({args.shards} shards{bound})")
+        point = run_bench_point(
+            population,
+            args.shards,
+            args.seed,
+            queries=queries,
+            max_trackers=max_trackers,
+            check_fingerprint=check,
+        )
+        points.append(point)
+        print(
+            f"  ingest {point['observes_per_s']:,} obs/s; "
+            f"{point['positions_per_s']:,} positions/s, "
+            f"p50 {point['latency_p50_us']}us, p99 {point['latency_p99_us']}us; "
+            f"{point['resident_clients']:,} resident, "
+            f"{point['evictions']:,} evictions"
+        )
+        if check:
+            ok = point["fingerprint_match"]
+            mismatched = mismatched or not ok
+            print(
+                "  sharded vs unsharded fingerprint: "
+                + ("match" if ok else "MISMATCH")
+            )
+
+    artifact = {
+        "benchmark": "sharded CRP serving path",
+        "source": "scripts/bench_service.py",
+        "scale": args.scale,
+        "seed": args.seed,
+        "shards": args.shards,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "points": points,
+        "note": (
+            "preseed = synchronous ingest of one observation per client "
+            "(index order); query phase = Zipf-weighted POSITION stream "
+            "through the asyncio server; p50/p99 from the "
+            "serve.latency_us histogram; the smallest point is replayed "
+            "through the unsharded CRPService and must match byte for "
+            "byte; the 1M point runs with bounded per-shard LRU memory"
+        ),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 1 if mismatched else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

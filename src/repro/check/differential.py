@@ -26,7 +26,10 @@ The standard pair builders cover the equivalences the repo promises:
 * :func:`remap_stanza_pair` — a zero-magnitude remap schedule (with
   the change detector armed) vs no remap configuration at all;
 * :func:`dense_event_pair` — the dense round loop against the event
-  engine under the degenerate "every client, every interval" workload.
+  engine under the degenerate "every client, every interval" workload;
+* :func:`sharded_service_pair` — the N-shard asyncio serving path
+  against the unsharded :class:`~repro.core.service.CRPService` on one
+  seeded load script, compared answer line by answer line.
 """
 
 from __future__ import annotations
@@ -326,6 +329,69 @@ def chaos_stanza_pair(
         name="chaos-disabled-vs-absent",
         left=lambda: _scenario_summary_fields(disabled, probe_rounds),
         right=lambda: _scenario_summary_fields(absent, probe_rounds),
+    )
+
+
+def sharded_service_pair(
+    seed: int = 2008,
+    shards: int = 4,
+    clients: int = 48,
+    candidates: int = 8,
+) -> DifferentialPair:
+    """The N-shard serving path vs the unsharded CRPService reference.
+
+    One seeded load script (:func:`repro.serve.loadgen.iter_ops`) feeds
+    both sides; every POSITION answer is compared as a canonical
+    protocol line, byte for byte, plus the blake2b fingerprint over the
+    whole answer stream.  The sharded side runs through the *actual*
+    asyncio request loop (per-shard queues and workers), so the pair
+    also proves event-loop scheduling cannot perturb answers.  Eviction
+    is left unbounded here — a memory bound genuinely changes answers
+    (evicted trackers restart cold), which is the one documented
+    divergence between the two deployments.
+    """
+    import asyncio
+
+    from repro.serve import (
+        CRPServer,
+        LoadgenParams,
+        ServeParams,
+        ShardedCRPService,
+        fingerprint_answers,
+        iter_ops,
+        replay_unsharded,
+        run_script,
+    )
+
+    lparams = LoadgenParams(
+        clients=clients,
+        candidates=candidates,
+        seed=seed,
+        horizon_s=1800.0,
+        aggregate_rate_per_s=clients / 120.0,
+    )
+    sparams = ServeParams(candidates=lparams.candidate_names(), shards=shards)
+
+    def answer_fields(answers: Sequence[str]) -> Dict[str, object]:
+        fields: Dict[str, object] = {"answers": len(answers)}
+        for index, line in enumerate(answers):
+            fields[f"answer.{index:05d}"] = line
+        fields["fingerprint"] = fingerprint_answers(answers)
+        return fields
+
+    def sharded_side() -> Dict[str, object]:
+        ops = list(iter_ops(lparams))
+        server = CRPServer(ShardedCRPService(sparams))
+        return answer_fields(asyncio.run(run_script(server, ops)))
+
+    def unsharded_side() -> Dict[str, object]:
+        ops = list(iter_ops(lparams))
+        return answer_fields(replay_unsharded(sparams, ops))
+
+    return DifferentialPair(
+        name=f"sharded-service-vs-unsharded.s{shards}",
+        left=sharded_side,
+        right=unsharded_side,
     )
 
 

@@ -37,6 +37,7 @@ from repro.check.differential import (
     remap_stanza_pair,
     obs_pair,
     scalar_vector_pair,
+    sharded_service_pair,
 )
 from repro.check.fuzz import FuzzFailure, run_all_fuzz
 from repro.check.invariants import InvariantRegistry, Violation, default_registry
@@ -224,6 +225,11 @@ def _standard_pairs(
         chaos_stanza_pair(params, probe_rounds=config.probe_rounds),
         remap_stanza_pair(params, probe_rounds=config.probe_rounds),
         dense_event_pair(params, probe_rounds=config.probe_rounds),
+        sharded_service_pair(
+            seed=config.seed,
+            clients=config.clients * 3,
+            candidates=config.candidates,
+        ),
     ]
     if producers:
         seen: List[Callable[[str], Mapping[str, str]]] = []

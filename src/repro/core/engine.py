@@ -271,6 +271,21 @@ class PackedPopulation:
             self.remove(name)
         self.add(name, ratio_map)
 
+    def stats(self) -> Dict[str, int]:
+        """Storage counters (the serving layer's STATS surface).
+
+        ``rows`` is live membership; ``tombstones`` and ``packed_rows``
+        expose the lazy-reclaim state; ``nnz`` is stored entries
+        including tombstoned rows not yet compacted away.
+        """
+        return {
+            "rows": len(self._row_of),
+            "tombstones": self._dead,
+            "packed_rows": self._packed_rows,
+            "nnz": int(self._indptr[-1]),
+            "vocabulary": len(self.vocab),
+        }
+
     # -- packing ------------------------------------------------------------
 
     def _flush_pending(self) -> None:

@@ -114,6 +114,42 @@ def rank_candidates(
     return list(result)
 
 
+def rank_packed(
+    client_map: RatioMap,
+    population,
+    metric: SimilarityMetric = SimilarityMetric.COSINE,
+    *,
+    exclude: Optional[str] = None,
+) -> List[RankedCandidate]:
+    """Rank an already-packed population against a client map.
+
+    The serving path's entry point: the caller owns a long-lived
+    :class:`~repro.core.engine.PackedPopulation` kept current through
+    its add/remove API, so there is no per-query packing step at all —
+    one matvec, one argsort.  ``exclude`` drops a single name from the
+    finished ranking (a client that is itself a tracked candidate must
+    not be ranked against itself).
+
+    Produces the same rows as ``rank_candidates`` over the same maps:
+    per-candidate scores sum each row's dot product in map-iteration
+    order regardless of packing history, and the ``(-score, name)``
+    tie-break is independent of row order.
+    """
+    if len(population) == 0:
+        return []
+    memo_key = (id(client_map), metric, -1, exclude)
+    hit = population.memo.get(memo_key)
+    if hit is not None and hit[0] is client_map:
+        return list(hit[1])
+    scores = population.scores(client_map, metric)
+    order = population.ranked_indices(scores)
+    result = _build_ranked(population.names, scores.tolist(), order.tolist())
+    if exclude is not None:
+        result = [c for c in result if c.name != exclude]
+    _remember(population, memo_key, client_map, result)
+    return list(result)
+
+
 def select_top_k(
     client_map: RatioMap,
     candidate_maps: Mapping[str, Optional[RatioMap]],

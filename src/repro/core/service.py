@@ -46,8 +46,9 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.clustering import ClusteringResult, SmfParams, smf_cluster
+from repro.core.engine import PackedPopulation
 from repro.core.ratio_map import RatioMap
-from repro.core.selection import RankedCandidate, rank_candidates
+from repro.core.selection import RankedCandidate, rank_candidates, rank_packed
 from repro.core.similarity import SimilarityMetric
 from repro.core.tracker import Observation, RedirectionTracker
 from repro.dnssim.resolver import RecursiveResolver, ResolutionError
@@ -176,6 +177,10 @@ _STATE_CONFIDENCE = {
 #: Confidence multiplier applied to stale answers.
 _STALE_CONFIDENCE = 0.5
 
+#: Sentinel marking the tracked-candidate population as not yet built
+#: for any window (``None`` is a real window value, so it cannot serve).
+_NO_WINDOW = object()
+
 
 @dataclass(frozen=True)
 class PositioningAnswer:
@@ -224,12 +229,27 @@ class CRPServiceParams:
     bootstrap_min_probes: int = 1
     #: Retry/backoff/health policy for active probing.
     probe_policy: ProbePolicy = ProbePolicy()
+    #: Per-node observation-log bound handed to each tracker (None =
+    #: unbounded, the batch default).  A long-running service sets this
+    #: to its window size so per-client memory cannot grow with uptime;
+    #: maps over windows ≤ the bound are unaffected by the trim.
+    max_observations: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.customer_names:
             raise ValueError("CRP needs at least one CDN customer name to probe")
         if self.window_probes is not None and self.window_probes < 1:
             raise ValueError("window_probes must be at least 1 (or None)")
+        if self.max_observations is not None:
+            if self.max_observations < 1:
+                raise ValueError("max_observations must be at least 1 (or None)")
+            if (
+                self.window_probes is not None
+                and self.max_observations < self.window_probes
+            ):
+                raise ValueError(
+                    "max_observations cannot be smaller than window_probes"
+                )
 
 
 class CRPService:
@@ -275,6 +295,16 @@ class CRPService:
         self._last_good: Dict[
             str, Dict[Optional[int], Tuple[float, RatioMap]]
         ] = {}
+        #: Serving-path incremental engine state (see
+        #: :meth:`track_candidates`): a long-lived packed population of
+        #: the candidate set, updated in place through the engine's
+        #: add/remove API instead of repacked per query.
+        self._tracked_candidates: Optional[Tuple[str, ...]] = None
+        self._tracked_set: frozenset = frozenset()
+        self._candidate_population: Optional[PackedPopulation] = None
+        self._candidate_rows: Dict[str, Optional[RatioMap]] = {}
+        self._candidate_window: object = _NO_WINDOW
+        self._candidate_dirty = True
         self._round_index = 0
         self.probes_issued = 0
         self.probe_failures = 0
@@ -301,7 +331,9 @@ class CRPService:
         if name in self._resolvers:
             raise ValueError(f"node {name!r} already registered")
         self._resolvers[name] = resolver
-        self._trackers[name] = RedirectionTracker(name)
+        self._trackers[name] = RedirectionTracker(
+            name, max_observations=self.params.max_observations
+        )
         self._health[name] = NodeHealth()
 
     def unregister_node(self, name: str) -> None:
@@ -313,6 +345,22 @@ class CRPService:
         del self._health[name]
         self._map_cache.pop(name, None)
         self._last_good.pop(name, None)
+        if name in self._tracked_set:
+            # A tracked candidate left the population: drop its engine
+            # row and shrink the tracked set (callers passing the old
+            # tuple fall back to the generic ranking path).
+            if self._candidate_rows.pop(name, None) is not None:
+                self._candidate_population.remove(name)
+            self._tracked_candidates = tuple(
+                n for n in self._tracked_candidates if n != name
+            )
+            self._tracked_set = frozenset(self._tracked_candidates)
+            self._candidate_dirty = True
+
+    def is_registered(self, name: str) -> bool:
+        """O(1) membership check (``nodes`` sorts the full population —
+        never call it on a per-request path)."""
+        return name in self._resolvers
 
     @property
     def nodes(self) -> List[str]:
@@ -331,6 +379,70 @@ class CRPService:
             return self._trackers[name]
         except KeyError:
             raise UnknownNodeError(name) from None
+
+    # -- serving-path incremental engine ------------------------------------
+
+    def track_candidates(self, names: Sequence[str]) -> None:
+        """Keep a long-lived packed population of this candidate set.
+
+        The serving layer's streaming entry point: once tracked,
+        :meth:`position` calls naming exactly this candidate set skip
+        per-query packing entirely — candidate map changes stream into
+        one :class:`~repro.core.engine.PackedPopulation` through its
+        add/remove API, and a query is a single matvec over it.  All
+        names must already be registered.  Rankings are identical to
+        the generic path (see :func:`~repro.core.selection.rank_packed`).
+        """
+        names = tuple(names)
+        for name in names:
+            if name not in self._resolvers:
+                raise UnknownNodeError(name)
+        self._tracked_candidates = names
+        self._tracked_set = frozenset(names)
+        self._candidate_population = PackedPopulation()
+        self._candidate_rows = {}
+        self._candidate_window = _NO_WINDOW
+        self._candidate_dirty = True
+
+    @property
+    def tracked_candidates(self) -> Optional[Tuple[str, ...]]:
+        """The candidate set under incremental tracking (None = off)."""
+        return self._tracked_candidates
+
+    @property
+    def candidate_population(self) -> Optional[PackedPopulation]:
+        """The live packed candidate population (None until tracked)."""
+        return self._candidate_population
+
+    def _packed_candidates(self, window_probes: Optional[int]) -> PackedPopulation:
+        """The tracked population, refreshed for one window.
+
+        Cheap when nothing moved: a dirty flag set by the ingest paths
+        gates the refresh, so a burst of positioning queries between
+        observations touches no candidate state at all.  On refresh,
+        only candidates whose cached map *object* changed (the map
+        cache is versioned, so object identity is change detection) are
+        re-streamed through the engine's remove/add API.
+        """
+        if window_probes == -1:
+            window_probes = self.params.window_probes
+        population = self._candidate_population
+        if not self._candidate_dirty and window_probes == self._candidate_window:
+            return population
+        rows = self._candidate_rows
+        for name in self._tracked_candidates:
+            current = self.ratio_map(name, window_probes=window_probes)
+            previous = rows.get(name)
+            if current is previous:
+                continue
+            if previous is not None:
+                population.remove(name)
+            if current is not None:
+                population.add(name, current)
+            rows[name] = current
+        self._candidate_dirty = False
+        self._candidate_window = window_probes
+        return population
 
     # -- structural-change recovery ------------------------------------------
 
@@ -361,6 +473,8 @@ class CRPService:
             dropped += self.tracker(node).discard_before(before)
             self._map_cache.pop(node, None)
             self._last_good.pop(node, None)
+        if self._tracked_set:
+            self._candidate_dirty = True
         self.window_invalidations += 1
         self.observations_invalidated += dropped
         self._metrics.counter("crp.windows_invalidated").inc()
@@ -525,6 +639,8 @@ class CRPService:
                 )
         if recorded:
             self._m_observations.inc(len(recorded))
+            if node in self._tracked_set:
+                self._candidate_dirty = True
         self._record_round_outcome(node, succeeded=bool(recorded))
         return recorded
 
@@ -578,6 +694,8 @@ class CRPService:
         """Ingest a passively-seen redirection (Section VI's zero-probe
         mode: reuse user-generated DNS translations)."""
         self.tracker(node).observe(self.clock.now, customer_name, addresses)
+        if node in self._tracked_set:
+            self._candidate_dirty = True
 
     # -- positioning -----------------------------------------------------------
 
@@ -709,12 +827,26 @@ class CRPService:
                 map_age_s=None,
                 client_state=state,
             )
-        candidate_maps = {
-            name: self.ratio_map(name, window_probes=window_probes)
-            for name in candidates
-            if name != client
-        }
-        ranked = rank_candidates(client_map, candidate_maps, self.params.metric)
+        tracked = self._tracked_candidates
+        if tracked is not None and (
+            candidates is tracked or tuple(candidates) == tracked
+        ):
+            # Streaming path: the long-lived packed population absorbs
+            # candidate-map changes incrementally; no per-query packing.
+            population = self._packed_candidates(window_probes)
+            ranked = rank_packed(
+                client_map,
+                population,
+                self.params.metric,
+                exclude=client if client in self._tracked_set else None,
+            )
+        else:
+            candidate_maps = {
+                name: self.ratio_map(name, window_probes=window_probes)
+                for name in candidates
+                if name != client
+            }
+            ranked = rank_candidates(client_map, candidate_maps, self.params.metric)
         stale = from_fallback or (
             age is not None and age > self.params.probe_policy.stale_after_s
         )

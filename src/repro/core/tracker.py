@@ -95,13 +95,25 @@ class RedirectionTracker:
         :attr:`version` when anything is dropped, so every cached
         derived map invalidates.  Returns the number dropped.
         """
-        kept = [o for o in self._log if o.at >= at]
-        dropped = len(self._log) - len(kept)
-        if dropped:
-            self._log = kept
-            self.observations_dropped += dropped
-            self.version += 1
-        return dropped
+        log = self._log
+        if not log or log[0].at >= at:
+            # Nothing predates the boundary: repeated invalidations at
+            # the same edge are free no-ops (no copy, no version bump),
+            # so a window can never be truncated twice for one signal.
+            return 0
+        # The log is time-ordered; binary-search the first kept index
+        # (first observation with o.at >= at, ties kept).
+        lo, hi = 0, len(log)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if log[mid].at < at:
+                lo = mid + 1
+            else:
+                hi = mid
+        del log[:lo]
+        self.observations_dropped += lo
+        self.version += 1
+        return lo
 
     # -- queries -----------------------------------------------------------
 

@@ -284,6 +284,21 @@ def _events_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     )
 
 
+@producer("service.point")
+def _service_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
+    """One sharded serving run checked against the unsharded reference.
+
+    Deliberately records no wall-clock numbers: the cell value (and so
+    the combined report) is byte-stable across machines and across the
+    obs-on/off pair.  Throughput lives in ``scripts/bench_service.py``.
+    """
+    from repro.experiments.service import run_service_point
+
+    return CellOutput(
+        value=run_service_point(cell.scale, seed, int(cell.option("shards")))
+    )
+
+
 @producer("remap.point")
 def _remap_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     params = _params(cell, seed, "selection", meridian=False)
@@ -395,14 +410,15 @@ DEFAULT_EXPERIMENTS = (
     "table1",
 )
 
-#: Every plannable experiment key.  ``events`` and ``remap`` stay out
-#: of the default sweep so the historical report fingerprints are
-#: unchanged.
+#: Every plannable experiment key.  ``events``, ``remap`` and
+#: ``service`` stay out of the default sweep so the historical report
+#: fingerprints are unchanged.
 EXPERIMENT_KEYS = DEFAULT_EXPERIMENTS + (
     "ablations",
     "bootstrap",
     "events",
     "remap",
+    "service",
 )
 
 #: Aggregate-rate factors (relative to the dense every-node-every-
@@ -569,6 +585,55 @@ def plan_for(key: str, scale: str, root_seed: int = 0) -> ExperimentPlan:
             return {"remap": remap_result.report()}
 
         return ExperimentPlan(key, cells, combine_remap)
+
+    if key == "service":
+        from repro.experiments.service import SERVICE_SHARD_COUNTS, SERVICE_SIZES
+
+        size = SERVICE_SIZES[scale]
+        cells = tuple(
+            Cell(
+                kind="service.point",
+                scale=scale,
+                seed=2008,
+                options=(("shards", shards),),
+            )
+            for shards in SERVICE_SHARD_COUNTS
+        )
+
+        def combine_service(results: Sequence[CellResult]) -> Dict[str, str]:
+            rows = []
+            for result in results:
+                point = result.value
+                rows.append(
+                    [
+                        point["shards"],
+                        point["ops"],
+                        point["positions"],
+                        point["resident_clients"],
+                        point["engine_rows"],
+                        point["fingerprint"][:16],
+                        "yes" if point["fingerprint_match"] else "NO",
+                    ]
+                )
+            report = format_table(
+                [
+                    "shards",
+                    "ops",
+                    "positions",
+                    "clients",
+                    "engine rows",
+                    "fingerprint",
+                    "match",
+                ],
+                rows,
+                title=(
+                    "Sharded serving path vs the unsharded reference "
+                    f"({size['clients']:g} clients, {size['horizon_s']:g}s script)"
+                ),
+            )
+            return {"service": report}
+
+        return ExperimentPlan(key, cells, combine_service)
 
     if key == "bootstrap":
         quick = scale == "quick"

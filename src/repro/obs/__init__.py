@@ -47,6 +47,7 @@ from repro.obs.manifest import (
 )
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
+    LATENCY_BUCKETS_US,
     Counter,
     Gauge,
     Histogram,
@@ -66,6 +67,7 @@ __all__ = [
     "NullTraceLog",
     "EVENT_KINDS",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS_US",
     "RunManifest",
     "diff_manifests",
     "fingerprint_params",

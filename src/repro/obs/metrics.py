@@ -31,6 +31,15 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
 )
 
+#: Bucket bounds for request latencies measured in microseconds —
+#: 5 µs to 100 ms, roughly log-spaced, so a p99 interpolated from the
+#: winning bucket stays within a small factor of the true value across
+#: the whole serving range.
+LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0,
+    5000.0, 10000.0, 25000.0, 50000.0, 100000.0,
+)
+
 LabelKey = Tuple[Tuple[str, str], ...]
 
 
@@ -115,6 +124,30 @@ class Histogram:
     @property
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
+
+    def percentile(self, q: float) -> Optional[float]:
+        """An estimated quantile (``0 < q <= 1``) from the buckets.
+
+        Linear interpolation inside the winning bucket, clamped to the
+        observed ``[min, max]``; a quantile landing in the overflow
+        bucket reports the observed max.  None before any observation.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q must be in (0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        seen = 0.0
+        lower = self.min if self.min is not None else 0.0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            if bucket_count and seen + bucket_count >= target:
+                fraction = (target - seen) / bucket_count
+                low = min(max(lower, self.min), bound)
+                value = low + fraction * (bound - low)
+                return min(max(value, self.min), self.max)
+            seen += bucket_count
+            lower = bound
+        return self.max
 
     def summary(self) -> Dict[str, object]:
         return {

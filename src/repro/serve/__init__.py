@@ -1,0 +1,72 @@
+"""The serving layer: CRP as a long-running online service.
+
+Everything below this package turns the batch-experiment
+:class:`~repro.core.service.CRPService` into a request-serving front
+end (DESIGN.md §13):
+
+* :mod:`repro.serve.sharding` — splitmix64 client-key hashing that
+  assigns every tracked client to exactly one shard;
+* :mod:`repro.serve.protocol` — the DNS-query-shaped text protocol
+  (``POSITION``/``OBSERVE`` data plane, ``STATS``/``EVICT``/... admin
+  channel);
+* :mod:`repro.serve.shard` — one shard's state: a passive
+  :class:`~repro.core.service.CRPService` over its slice of the client
+  population, with bounded tracker memory and LRU eviction of cold
+  clients;
+* :mod:`repro.serve.frontend` — :class:`ShardedCRPService` (the
+  deterministic sync core) and :class:`CRPServer` (the asyncio request
+  loop with per-shard workers, an admin channel, and an optional TCP
+  binding);
+* :mod:`repro.serve.loadgen` — seeded, replayable request scripts over
+  a Zipf/Poisson client population (the bench and differential input).
+
+The sharded service is fingerprint-identical to replaying the same
+script into one unsharded :class:`~repro.core.service.CRPService`
+(``replay_unsharded``), which the self-check harness verifies as a
+differential pair.
+"""
+
+from repro.serve.frontend import (
+    CRPServer,
+    ShardedCRPService,
+    replay_unsharded,
+    run_script,
+)
+from repro.serve.loadgen import (
+    LoadgenParams,
+    Op,
+    SyntheticRedirections,
+    fingerprint_answers,
+    iter_ops,
+)
+from repro.serve.protocol import (
+    ProtocolError,
+    Request,
+    format_answer,
+    format_error,
+    parse_request,
+)
+from repro.serve.shard import ServeParams, ShardStats, ShardWorker
+from repro.serve.sharding import key_hash64, shard_of
+
+__all__ = [
+    "CRPServer",
+    "LoadgenParams",
+    "Op",
+    "ProtocolError",
+    "Request",
+    "ServeParams",
+    "ShardStats",
+    "ShardWorker",
+    "ShardedCRPService",
+    "SyntheticRedirections",
+    "fingerprint_answers",
+    "format_answer",
+    "format_error",
+    "iter_ops",
+    "key_hash64",
+    "parse_request",
+    "replay_unsharded",
+    "run_script",
+    "shard_of",
+]

@@ -1,0 +1,213 @@
+"""Seeded, replayable request scripts for the serving layer.
+
+A load script is a time-ordered stream of :class:`Op` records —
+candidate warm-up observations, periodic candidate refreshes, and a
+Zipf/Poisson client stream (:class:`~repro.sim.workload.PoissonZipfWorkload`)
+in which each client arrival is either an OBSERVE (the client's
+resolver saw a redirection) or a POSITION query.  Everything is
+counter-based off one seed (the repo's splitmix64 discipline), so the
+same :class:`LoadgenParams` replays the identical byte stream in any
+process — which is what lets the differential harness feed one script
+to both the sharded service and the unsharded reference and demand
+byte-identical answers.
+
+The synthetic redirection model (:class:`SyntheticRedirections`) gives
+each client and candidate a home *region* and biases its replicas
+toward that region's block, so nearby nodes really do have similar
+ratio maps and rankings are non-trivial.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.netsim.rng import derive_seed
+from repro.sim.workload import PoissonZipfWorkload, SyntheticPopulation, stream_unit
+
+
+class Op(NamedTuple):
+    """One scripted request: what arrives, about whom, and when."""
+
+    at: float
+    verb: str  # "OBSERVE" | "POSITION"
+    subject: str
+    name: Optional[str] = None
+    addresses: Tuple[str, ...] = ()
+    k: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class LoadgenParams:
+    """One load script, fully determined by its fields."""
+
+    clients: int
+    candidates: int
+    seed: int
+    #: Script length in sim-seconds (client stream + refreshes).
+    horizon_s: float
+    #: Expected client arrivals per sim-second across the population.
+    aggregate_rate_per_s: float
+    #: Share of client arrivals that are POSITION queries (the rest
+    #: are passive OBSERVE ingests).
+    position_fraction: float = 0.5
+    zipf_alpha: float = 1.1
+    #: Replica address space and its regional structure.
+    replicas: int = 64
+    regions: int = 8
+    #: Probability a node's redirection lands in its home region.
+    region_bias: float = 0.8
+    #: Probability an answer carries a second replica address.
+    second_address_p: float = 0.25
+    #: Candidate observations injected at t=0 before the stream.
+    warmup_observations: int = 12
+    #: Candidates re-observed every this many sim-seconds (None = no
+    #: refresh after warm-up).
+    candidate_refresh_s: Optional[float] = 600.0
+    #: Ranking length requested by every POSITION op.
+    top_k: int = 5
+    client_prefix: str = "client-"
+    candidate_prefix: str = "cand-"
+    customer_name: str = "cdn.customer.example"
+
+    def __post_init__(self) -> None:
+        if self.clients < 1 or self.candidates < 1:
+            raise ValueError("need at least one client and one candidate")
+        if self.horizon_s <= 0 or self.aggregate_rate_per_s <= 0:
+            raise ValueError("horizon and aggregate rate must be positive")
+        if not 0.0 <= self.position_fraction <= 1.0:
+            raise ValueError("position_fraction must be in [0, 1]")
+        if self.replicas < 1 or self.regions < 1:
+            raise ValueError("need at least one replica and one region")
+        if not 0.0 < self.region_bias <= 1.0:
+            raise ValueError("region_bias must be in (0, 1]")
+        if not 0.0 <= self.second_address_p < 1.0:
+            raise ValueError("second_address_p must be in [0, 1)")
+        if self.warmup_observations < 1:
+            raise ValueError("candidates need at least one warm-up observation")
+
+    def candidate_names(self) -> Tuple[str, ...]:
+        return tuple(
+            f"{self.candidate_prefix}{i:04d}" for i in range(self.candidates)
+        )
+
+    def client_names(self) -> SyntheticPopulation:
+        """Lazily named clients — a million-client script materialises
+        names only for clients that actually arrive."""
+        return SyntheticPopulation(self.clients, prefix=self.client_prefix)
+
+
+class SyntheticRedirections:
+    """The region-biased replica model behind every scripted answer.
+
+    Draws are counter-based (:func:`~repro.sim.workload.stream_unit`)
+    on separate client/candidate streams, so address sequences depend
+    only on (seed, node index, draw index) — never on arrival
+    interleaving.
+    """
+
+    def __init__(self, params: LoadgenParams) -> None:
+        self.params = params
+        self._client_root = derive_seed(params.seed, "serve", "loadgen", "clients")
+        self._candidate_root = derive_seed(
+            params.seed, "serve", "loadgen", "candidates"
+        )
+        #: Replicas per region block (the last region absorbs remainder).
+        self._block = max(1, params.replicas // params.regions)
+
+    def _addresses(self, root: int, index: int, draw: int) -> Tuple[str, ...]:
+        params = self.params
+        region = index % params.regions
+        u_pick = stream_unit(root, index, 2 * draw)
+        u_extra = stream_unit(root, index, 2 * draw + 1)
+        if u_pick < params.region_bias:
+            # In-region: a replica from the node's home block.
+            offset = int(u_pick / params.region_bias * self._block)
+            replica = (region * self._block + offset) % params.replicas
+        else:
+            # Out-of-region: anywhere in the address space.
+            span = 1.0 - params.region_bias
+            replica = int((u_pick - params.region_bias) / span * params.replicas)
+            replica = min(replica, params.replicas - 1)
+        addresses = [f"replica-{replica:04d}"]
+        if u_extra < params.second_address_p and params.replicas > 1:
+            addresses.append(f"replica-{(replica + 1) % params.replicas:04d}")
+        return tuple(addresses)
+
+    def client_addresses(self, index: int, draw: int) -> Tuple[str, ...]:
+        return self._addresses(self._client_root, index, draw)
+
+    def candidate_addresses(self, index: int, draw: int) -> Tuple[str, ...]:
+        return self._addresses(self._candidate_root, index, draw)
+
+
+def iter_ops(params: LoadgenParams) -> Iterator[Op]:
+    """The full scripted request stream, in time order.
+
+    Warm-up first (every candidate observed ``warmup_observations``
+    times at t=0), then a heap-stable merge of the Poisson client
+    stream with the periodic candidate refresh ticks.  Cost scales
+    with emitted ops, not with population.
+    """
+    model = SyntheticRedirections(params)
+    candidates = params.candidate_names()
+    name = params.customer_name
+    for draw in range(params.warmup_observations):
+        for index, candidate in enumerate(candidates):
+            yield Op(
+                0.0, "OBSERVE", candidate, name,
+                model.candidate_addresses(index, draw),
+            )
+
+    clients = params.client_names()
+    workload = PoissonZipfWorkload(
+        clients,
+        params.seed,
+        alpha=params.zipf_alpha,
+        aggregate_rate_per_s=params.aggregate_rate_per_s,
+    )
+    op_root = derive_seed(params.seed, "serve", "loadgen", "ops")
+    draws: dict = {}
+
+    def client_stream() -> Iterator[Op]:
+        for at, index in workload.iter_arrivals(params.horizon_s):
+            draw = draws.get(index, 0)
+            draws[index] = draw + 1
+            subject = clients[index]
+            if stream_unit(op_root, index, draw) < params.position_fraction:
+                yield Op(at, "POSITION", subject, k=params.top_k)
+            else:
+                yield Op(
+                    at, "OBSERVE", subject, name,
+                    model.client_addresses(index, draw),
+                )
+
+    def refresh_stream() -> Iterator[Op]:
+        if params.candidate_refresh_s is None:
+            return
+        tick = 1
+        while tick * params.candidate_refresh_s < params.horizon_s:
+            at = tick * params.candidate_refresh_s
+            draw = params.warmup_observations + tick - 1
+            for index, candidate in enumerate(candidates):
+                yield Op(
+                    at, "OBSERVE", candidate, name,
+                    model.candidate_addresses(index, draw),
+                )
+            tick += 1
+
+    # heapq.merge is a stable merge: ties order by input position, so
+    # same-instant refresh and client ops interleave deterministically.
+    yield from heapq.merge(client_stream(), refresh_stream(), key=lambda op: op.at)
+
+
+def fingerprint_answers(answers: Iterable[str]) -> str:
+    """A blake2b digest over answer lines — the serving differential's
+    comparison unit (byte identity, not tolerance)."""
+    digest = hashlib.blake2b(digest_size=16)
+    for line in answers:
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()

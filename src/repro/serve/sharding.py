@@ -1,0 +1,51 @@
+"""Client-key sharding: which shard owns a tracked client.
+
+The serving layer splits :class:`~repro.core.tracker.RedirectionTracker`
+state across N shard workers by a hash of the client key.  The hash
+follows the repo's seeding discipline (see
+:func:`repro.exec.executor.seed_for`): blake2b collapses the key to 64
+bits and the splitmix64 finaliser mixes them — pure integer/digest
+arithmetic, so shard placement is stable across processes, platforms
+and ``PYTHONHASHSEED``.  Placement stability matters operationally: a
+restart (or a differential replay) must route every client to the same
+shard, or per-client observation order — and therefore every ratio map
+— would depend on process identity.
+
+Candidates are *not* sharded: every shard carries the full candidate
+population (it is small — the paper's landmark set), so a POSITION
+query touches exactly one shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_MASK64 = (1 << 64) - 1
+#: splitmix64 stream increment (golden-ratio odd constant).
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+
+
+def key_hash64(key: str) -> int:
+    """A 64-bit splitmix64-finalised hash of a client key.
+
+    blake2b collapses the key to 64 bits, then one golden-ratio
+    increment and the splitmix64 finaliser mix them.  Deterministic
+    across processes (no ``hash()``), uniform enough that ``% shards``
+    balances within a few percent at serving populations.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    z = (int.from_bytes(digest, "big") + _GOLDEN) & _MASK64
+    z = ((z ^ (z >> 30)) * _MIX1) & _MASK64
+    z = ((z ^ (z >> 27)) * _MIX2) & _MASK64
+    return z ^ (z >> 31)
+
+
+def shard_of(key: str, shards: int) -> int:
+    """The shard index owning a client key (0 ≤ index < shards)."""
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    if shards == 1:
+        return 0
+    return key_hash64(key) % shards

@@ -180,6 +180,31 @@ class PoissonZipfWorkload:
         """Expected dispatch count over a horizon (sum of rate × T)."""
         return float(self.rates.sum() * horizon_s)
 
+    def iter_arrivals(self, horizon_s: float):
+        """All (time, client-index) arrivals before the horizon, in
+        time order — the serving load generator's driver.
+
+        A heap merge over the per-client Poisson streams, seeded by the
+        vectorised :meth:`first_arrivals` pass: cost scales with the
+        events actually emitted (plus one O(population) pass), never
+        with population × horizon.  Ties order by client index, so the
+        stream is fully deterministic.
+        """
+        if horizon_s <= 0:
+            return
+        import heapq
+
+        arrivals = self.first_arrivals()
+        active = np.nonzero(arrivals < horizon_s)[0]
+        heap = [(float(arrivals[i]), int(i)) for i in active]
+        heapq.heapify(heap)
+        while heap:
+            at, index = heapq.heappop(heap)
+            yield at, index
+            after = self.next_arrival(index, at)
+            if after is not None and after < horizon_s:
+                heapq.heappush(heap, (after, index))
+
 
 class LatticeWorkload:
     """The degenerate dense schedule: every client, every interval.

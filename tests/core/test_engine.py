@@ -262,3 +262,27 @@ def test_churn_reregistering_same_name(maps):
     scores = dict(zip(population.names, population.scores(client)))
     assert scores["ny"] == pytest.approx(similarity(client, maps["ny"]), abs=1e-12)
     assert len(population) == len(maps)
+
+
+def test_population_stats_track_mutation(maps):
+    population = PackedPopulation()
+    for name, ratio_map in maps.items():
+        population.add(name, ratio_map)
+    stats = population.stats()
+    assert stats["rows"] == 4
+    assert stats["tombstones"] == 0
+    population.remove("akl")
+    stats = population.stats()
+    assert stats["rows"] == 3
+    assert stats["tombstones"] == 1
+    # Tombstones outnumbering live rows force a compaction on the next
+    # packed access; the store then reflects only live rows.
+    population.remove("ldn")
+    population.remove("nj")
+    population.scores(_map(r1=1.0))
+    stats = population.stats()
+    assert stats["rows"] == 1
+    assert stats["tombstones"] == 0
+    assert stats["packed_rows"] == 1
+    assert stats["nnz"] > 0
+    assert stats["vocabulary"] >= 2

@@ -128,3 +128,38 @@ def test_repeat_query_returns_fresh_equal_list(maps):
     assert first is not second
     first.reverse()  # a caller mangling its copy must not poison the memo
     assert rank_candidates(client, candidates) == second
+
+
+def test_rank_packed_matches_rank_candidates(maps):
+    from repro.core.engine import packed_for
+    from repro.core.selection import rank_packed
+
+    client, candidates = maps
+    population = packed_for(candidates)
+    assert rank_packed(client, population) == rank_candidates(client, candidates)
+    for metric in SimilarityMetric:
+        assert rank_packed(client, population, metric) == rank_candidates(
+            client, candidates, metric
+        )
+
+
+def test_rank_packed_exclude_drops_self(maps):
+    from repro.core.engine import packed_for
+    from repro.core.selection import rank_packed
+
+    client, candidates = maps
+    population = packed_for(candidates)
+    ranked = rank_packed(client, population, exclude="c")
+    assert [r.name for r in ranked] == ["b", "far"]
+    # Excluding an absent name is a no-op.
+    assert rank_packed(client, population, exclude="zz") == rank_packed(
+        client, population
+    )
+
+
+def test_rank_packed_empty_population(maps):
+    from repro.core.engine import packed_for
+    from repro.core.selection import rank_packed
+
+    client, _ = maps
+    assert rank_packed(client, packed_for({})) == []

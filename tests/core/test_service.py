@@ -572,3 +572,129 @@ def test_invalidate_windows_respects_node_subset_and_cutoff(service_world):
     # Untouched nodes keep their full history and their maps.
     assert service.tracker("n-london").probe_count == before
     assert service.ratio_map("n-london") is not None
+
+
+def test_invalidate_windows_keeps_edge_observation_and_repeat_is_noop(service_world):
+    """The window-edge contract: an observation at exactly ``before``
+    survives (it describes the post-change world), and re-invalidating
+    at the same edge finds nothing further to drop."""
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    tracker = service.tracker("n-boston")
+    edge = tracker.observations[len(tracker.observations) // 2].at
+    dropped = service.invalidate_windows(before=edge)
+    assert dropped > 0
+    assert all(o.at >= edge for o in tracker.observations)
+    assert any(o.at == edge for o in tracker.observations)
+    # Same-edge re-invalidation: zero observations dropped everywhere
+    # (no double truncation), even though the recovery is recorded.
+    assert service.invalidate_windows(before=edge) == 0
+
+
+def test_invalidate_windows_leaves_no_dangling_last_good_for_any_window(service_world):
+    """After a full invalidation no window — default or ad-hoc — may
+    keep serving its last-good fallback: positioning must come back
+    honestly cold rather than ranked against the pre-change world."""
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    # Materialize last-good maps for the default window and an ad-hoc
+    # override; both would keep serving stale answers if left behind.
+    assert service.ratio_map("n-boston") is not None
+    assert service.ratio_map("n-boston", window_probes=4) is not None
+    assert "n-boston" in service._last_good
+    service.invalidate_windows(before=clock.now)
+    assert "n-boston" not in service._last_good
+    for window in (-1, 4):
+        answer = service.position(
+            "n-boston", ["n-london", "n-tokyo"], window_probes=window
+        )
+        assert answer.ranked == ()
+        assert not answer.stale
+        assert answer.confidence == 0.0
+        assert answer.map_age_s is None
+
+
+def test_params_max_observations_validation():
+    with pytest.raises(ValueError):
+        CRPServiceParams(customer_names=NAMES, max_observations=0)
+    with pytest.raises(ValueError):
+        CRPServiceParams(customer_names=NAMES, window_probes=10, max_observations=5)
+    params = CRPServiceParams(customer_names=NAMES, max_observations=10)
+    assert params.max_observations == 10
+
+
+def test_max_observations_bounds_tracker_logs():
+    clock = SimClock()
+    service = CRPService(
+        clock,
+        CRPServiceParams(customer_names=NAMES, window_probes=4, max_observations=4),
+    )
+    service.register_node("bounded", None)
+    for i in range(10):
+        service.observe("bounded", NAMES[0], [f"replica-{i}"])
+    assert service.tracker("bounded").probe_count == 4
+
+
+def test_is_registered(service_world):
+    service, _, _, _ = service_world
+    assert service.is_registered("n-boston")
+    assert not service.is_registered("ghost")
+    service.unregister_node("n-boston")
+    assert not service.is_registered("n-boston")
+
+
+def test_track_candidates_requires_registered_names(service_world):
+    service, _, _, _ = service_world
+    from repro.core.service import UnknownNodeError
+
+    with pytest.raises(UnknownNodeError):
+        service.track_candidates(["n-boston", "ghost"])
+    assert service.tracked_candidates is None
+
+
+def test_tracked_packed_path_matches_dict_path(service_world):
+    """The streaming packed path must rank exactly like the per-query
+    dict path — same candidates, same scores, same order — both before
+    and after incremental updates to the tracked maps."""
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    candidates = ("n-london", "n-new-york", "n-tokyo")
+    service.track_candidates(candidates)
+    assert service.tracked_candidates == candidates
+
+    def both():
+        packed = service.position("n-boston", candidates)
+        # A reordered list cannot be the tracked tuple: dict path.
+        dict_path = service.position("n-boston", list(reversed(candidates)))
+        return packed, dict_path
+
+    packed, dict_path = both()
+    assert packed.ranked == dict_path.ranked
+    assert packed.ranked, "probed world should produce a ranking"
+    assert service.candidate_population is not None
+    # Incremental: more probes dirty the tracked maps; the packed
+    # population must absorb the updates, not serve the stale rows.
+    probe(service, clock, rounds=3)
+    packed, dict_path = both()
+    assert packed.ranked == dict_path.ranked
+
+
+def test_tracked_client_excluded_from_own_ranking(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    candidates = ("n-boston", "n-london", "n-tokyo")
+    service.track_candidates(candidates)
+    answer = service.position("n-boston", candidates)
+    assert "n-boston" not in [r.name for r in answer.ranked]
+
+
+def test_unregister_tracked_candidate_shrinks_population(service_world):
+    service, clock, _, _ = service_world
+    probe(service, clock)
+    candidates = ("n-london", "n-new-york", "n-tokyo")
+    service.track_candidates(candidates)
+    service.position("n-boston", candidates)  # materialise the population
+    service.unregister_node("n-tokyo")
+    assert service.tracked_candidates == ("n-london", "n-new-york")
+    answer = service.position("n-boston", service.tracked_candidates)
+    assert {r.name for r in answer.ranked} <= {"n-london", "n-new-york"}

@@ -214,3 +214,18 @@ def test_discard_before_can_empty_the_log_and_refill():
     assert tracker.ratio_map() is None
     tracker.observe(2400.0, "yahoo.test", ["a"])
     assert tracker.probe_count == 1
+
+
+def test_discard_before_same_edge_twice_is_pure_noop():
+    """Re-invalidating at an edge already truncated to must not drop
+    the boundary observation (no double truncation) and, being a
+    no-op, must not bump the version — cached maps stay valid."""
+    tracker = filled_tracker()
+    assert tracker.discard_before(1200.0) == 2
+    version = tracker.version
+    kept = [o.at for o in tracker.observations]
+    assert kept == [1200.0, 1800.0]
+    assert tracker.discard_before(1200.0) == 0
+    assert [o.at for o in tracker.observations] == kept
+    assert tracker.version == version
+    assert tracker.observations_dropped == 2

@@ -206,3 +206,38 @@ def test_next_expiry_tracks_the_earliest_entry():
     assert cache.next_expiry() == 30.0
     cache.sweep(now=30.0)
     assert cache.next_expiry() == 90.0
+
+
+def test_same_instant_hit_cannot_resurrect_expired_entry():
+    """A get() at exactly the expiry instant is a miss and removes the
+    entry: the hit path checks ``_expired`` *before* the LRU bump, so a
+    just-read dead record can never ride the MRU end past a purge."""
+    cache = TtlCache(max_entries=2)
+    cache.put(Question("dying.test"), (record("dying.test", ttl=10.0),), now=0.0)
+    cache.put(Question("fresh.test"), (record("fresh.test", ttl=1000.0),), now=0.0)
+    assert cache.get(Question("dying.test"), now=10.0) is None
+    assert (cache.hits, cache.misses, cache.expirations) == (0, 1, 1)
+    # The lazy removal already freed the slot, so inserting at the very
+    # same instant must not LRU-evict the surviving fresh entry.
+    cache.put(Question("new.test"), (record("new.test", ttl=1000.0),), now=10.0)
+    assert cache.get(Question("fresh.test"), now=10.0) is not None
+    assert cache.get(Question("new.test"), now=10.0) is not None
+    assert cache.evictions == 0
+
+
+def test_recently_hit_expired_entry_still_purged_before_lru():
+    """An entry hit moments before its expiry sits at the MRU end, but
+    once it is dead the overflow purge must still drop *it* — recency
+    never outranks expiry, so the colder-but-fresh LRU entry stays."""
+    cache = TtlCache(max_entries=2)
+    cache.put(Question("fresh.test"), (record("fresh.test", ttl=1000.0),), now=0.0)
+    cache.put(Question("dying.test"), (record("dying.test", ttl=6.0),), now=0.0)
+    assert cache.get(Question("dying.test"), now=5.0) is not None  # MRU now
+    # Overflow lands at the exact instant dying.test expires: the purge
+    # runs first and must pick the expired MRU entry over the fresh LRU.
+    cache.put(Question("new.test"), (record("new.test", ttl=1000.0),), now=6.0)
+    assert cache.get(Question("fresh.test"), now=6.0) is not None
+    assert cache.get(Question("new.test"), now=6.0) is not None
+    assert cache.get(Question("dying.test"), now=6.0) is None
+    assert cache.expirations == 1
+    assert cache.evictions == 0

@@ -1,6 +1,6 @@
 import pytest
 
-from repro.obs import MetricsRegistry, NullMetricsRegistry
+from repro.obs import Histogram, MetricsRegistry, NullMetricsRegistry
 
 
 def test_counter_get_or_create_and_inc():
@@ -78,3 +78,32 @@ def test_null_registry_records_nothing():
     assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
     # All instruments are shared no-ops.
     assert registry.counter("a") is registry.counter("b")
+
+
+def test_histogram_percentile_interpolates_and_clamps():
+    from repro.obs import LATENCY_BUCKETS_US
+
+    h = Histogram("lat", buckets=LATENCY_BUCKETS_US)
+    assert h.percentile(0.5) is None  # nothing observed yet
+    for value in (7.0, 8.0, 9.0, 30.0, 40.0, 60.0, 80.0, 90.0, 95.0, 3000.0):
+        h.observe(value)
+    p50 = h.percentile(0.5)
+    assert 10.0 < p50 <= 50.0  # interpolated within the winning bucket
+    # Quantiles clamp to the observed range at both ends.
+    assert h.percentile(1e-9) >= h.min
+    assert h.percentile(1.0) == h.max
+
+
+def test_histogram_percentile_overflow_reports_max():
+    h = Histogram("lat", buckets=(1.0, 2.0))
+    h.observe(50.0)
+    h.observe(70.0)
+    assert h.percentile(0.99) == 70.0
+
+
+def test_histogram_percentile_validates_q():
+    h = Histogram("lat")
+    with pytest.raises(ValueError):
+        h.percentile(0.0)
+    with pytest.raises(ValueError):
+        h.percentile(1.5)

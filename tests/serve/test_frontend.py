@@ -1,0 +1,223 @@
+import asyncio
+
+import pytest
+
+from repro.obs import Observability
+from repro.serve import (
+    CRPServer,
+    LoadgenParams,
+    Op,
+    ServeParams,
+    ShardedCRPService,
+    fingerprint_answers,
+    iter_ops,
+    parse_request,
+    replay_unsharded,
+    run_script,
+)
+
+LPARAMS = LoadgenParams(
+    clients=48,
+    candidates=8,
+    seed=2008,
+    horizon_s=1200.0,
+    aggregate_rate_per_s=0.4,
+)
+
+
+def serve_params(shards, **overrides):
+    return ServeParams(
+        candidates=LPARAMS.candidate_names(),
+        shards=shards,
+        top_k=LPARAMS.top_k,
+        **overrides,
+    )
+
+
+@pytest.fixture(scope="module")
+def script():
+    return list(iter_ops(LPARAMS))
+
+
+@pytest.fixture(scope="module")
+def reference(script):
+    return fingerprint_answers(replay_unsharded(serve_params(1), script))
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_sync_replay_matches_unsharded(script, reference, shards):
+    """The tentpole differential: N shards, each with its own clock and
+    engine, answer byte-identically to one unsharded CRPService."""
+    service = ShardedCRPService(serve_params(shards))
+    answers = service.replay(script)
+    assert fingerprint_answers(answers) == reference
+
+
+def test_async_server_matches_unsharded(script, reference):
+    service = ShardedCRPService(serve_params(4))
+    answers = asyncio.run(run_script(CRPServer(service), script))
+    assert fingerprint_answers(answers) == reference
+
+
+def test_async_fingerprint_independent_of_queue_depth(script, reference):
+    """queue_depth=1 maximises backpressure stalls and event-loop
+    interleaving churn; per-shard FIFO order still pins the answers."""
+    service = ShardedCRPService(serve_params(4))
+    server = CRPServer(service, queue_depth=1)
+    answers = asyncio.run(run_script(server, script))
+    assert fingerprint_answers(answers) == reference
+
+
+def test_queue_depth_validated():
+    service = ShardedCRPService(serve_params(1))
+    with pytest.raises(ValueError):
+        CRPServer(service, queue_depth=0)
+
+
+def test_apply_rejects_unknown_verbs():
+    service = ShardedCRPService(serve_params(1))
+    with pytest.raises(ValueError):
+        service.apply(Op(0.0, "FROB", "client-x"))
+
+
+def test_candidate_observations_broadcast(script):
+    service = ShardedCRPService(serve_params(3))
+    candidate = LPARAMS.candidate_names()[0]
+    service.apply(Op(0.0, "OBSERVE", candidate, LPARAMS.customer_name, ("replica-0001",)))
+    for shard in service.shards:
+        assert shard.service.tracker(candidate).probe_count == 1
+
+
+def test_client_observations_route_to_one_shard():
+    service = ShardedCRPService(serve_params(3))
+    service.apply(Op(0.0, "OBSERVE", "client-0000", LPARAMS.customer_name, ("replica-0001",)))
+    owners = [s for s in service.shards if s.service.is_registered("client-0000")]
+    assert len(owners) == 1
+    assert owners[0] is service.shard_for("client-0000")
+
+
+def test_fleet_stats_aggregate(script):
+    service = ShardedCRPService(serve_params(4))
+    service.replay(script)
+    stats = service.stats()
+    assert stats["shards"] == 4
+    assert stats["observations"] == sum(s.observations for s in service.shards)
+    assert stats["positions"] == sum(s.positions for s in service.shards)
+    assert stats["clients"] > 0
+    # Every shard packs the full candidate set.
+    assert stats["engine_rows"] == 4 * LPARAMS.candidates
+
+
+def test_server_latency_histograms_record(script):
+    obs = Observability()
+    service = ShardedCRPService(serve_params(2))
+    server = CRPServer(service, obs=obs)
+    answers = asyncio.run(run_script(server, script))
+    histograms = obs.metrics.snapshot()["histograms"]
+    positions = histograms["serve.latency_us{op=position}"]
+    observes = histograms["serve.latency_us{op=observe}"]
+    assert positions["count"] == len(answers)
+    # Candidate observations broadcast, so each one is processed (and
+    # timed) once per shard; client observes are processed once.
+    candidate_ops = sum(
+        1 for op in script if op.subject in service.candidates
+    )
+    client_observes = len(script) - len(answers) - candidate_ops
+    assert observes["count"] == client_observes + 2 * candidate_ops
+    assert obs.metrics.counter_value("serve.requests") == len(script)
+    assert obs.metrics.counter_value("serve.errors") == 0
+
+
+def _admin(server, line):
+    return server.admin(parse_request(line))
+
+
+def test_admin_channel_responses(script):
+    service = ShardedCRPService(serve_params(2))
+    server = CRPServer(service)
+
+    async def drive():
+        await server.start()
+        for op in script:
+            future = await server.enqueue(op)
+            if future is not None:
+                await future
+        await server.drain()
+        assert _admin(server, "PING") == "PONG"
+        stats = _admin(server, "STATS")
+        assert stats.startswith("STATS shards=2 ")
+        assert "positions=" in stats
+        # EVICT bypasses the queues; a resident client reports 1.
+        resident = next(iter(service.shards[0]._lru), None) or next(
+            iter(service.shards[1]._lru)
+        )
+        assert _admin(server, f"EVICT {resident}") == "OK evicted=1"
+        assert _admin(server, f"EVICT {resident}") == "OK evicted=0"
+        evict_candidate = _admin(server, f"EVICT {LPARAMS.candidate_names()[0]}")
+        assert evict_candidate.startswith("ERR admin")
+        dropped = _admin(server, "INVALIDATE 1e9")
+        assert dropped.startswith("OK dropped=")
+        assert int(dropped.split("=")[1]) > 0
+        assert _admin(server, "SHUTDOWN") == "OK draining"
+        await server.stop()
+
+    asyncio.run(drive())
+
+
+def test_evict_racing_queued_observation_is_not_lost():
+    """Frontend flavour of the satellite-2 interleaving: the admin
+    EVICT lands while the client's next observation is still queued;
+    the shard must recreate the tracker when the queue drains."""
+    service = ShardedCRPService(serve_params(1))
+    server = CRPServer(service)
+    customer = LPARAMS.customer_name
+
+    async def drive():
+        await server.start()
+        await server.enqueue(Op(1.0, "OBSERVE", "client-r", customer, ("replica-0001",)))
+        await server.drain()
+        # Observation for the client is enqueued but not yet drained
+        # when the admin eviction executes (admin bypasses the queue).
+        await server.enqueue(Op(2.0, "OBSERVE", "client-r", customer, ("replica-0002",)))
+        assert _admin(server, "EVICT client-r") == "OK evicted=1"
+        await server.stop()
+
+    asyncio.run(drive())
+    shard = service.shards[0]
+    assert shard.service.is_registered("client-r")
+    assert shard.recreations == 1
+    assert shard.service.tracker("client-r").observations[-1].addresses == (
+        "replica-0002",
+    )
+
+
+def test_tcp_line_protocol_roundtrip():
+    service = ShardedCRPService(serve_params(2))
+    server = CRPServer(service)
+    customer = LPARAMS.customer_name
+
+    async def drive():
+        await server.start()
+        tcp = await server.serve_tcp()
+        port = tcp.sockets[0].getsockname()[1]
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+
+        async def ask(line):
+            writer.write(line.encode() + b"\n")
+            await writer.drain()
+            return (await reader.readline()).decode().strip()
+
+        assert await ask("PING") == "PONG"
+        for i, candidate in enumerate(LPARAMS.candidate_names()):
+            assert await ask(f"OBSERVE {candidate} {customer} replica-{i:04d}") == "OK"
+        assert await ask(f"OBSERVE tcp-client {customer} replica-0000") == "OK"
+        answer = await ask("POSITION tcp-client 3")
+        assert answer.startswith("POS tcp-client ")
+        assert (await ask("NONSENSE")).startswith("ERR verb")
+        assert await ask("SHUTDOWN") == "OK draining"
+        writer.close()
+        tcp.close()
+        await tcp.wait_closed()
+        await server.stop()
+
+    asyncio.run(drive())

@@ -1,0 +1,105 @@
+import pytest
+
+from repro.serve import LoadgenParams, SyntheticRedirections, fingerprint_answers, iter_ops
+
+
+def params(**overrides):
+    defaults = dict(
+        clients=40,
+        candidates=6,
+        seed=7,
+        horizon_s=600.0,
+        aggregate_rate_per_s=0.5,
+    )
+    defaults.update(overrides)
+    return LoadgenParams(**defaults)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        params(clients=0)
+    with pytest.raises(ValueError):
+        params(horizon_s=0.0)
+    with pytest.raises(ValueError):
+        params(position_fraction=1.5)
+    with pytest.raises(ValueError):
+        params(warmup_observations=0)
+
+
+def test_script_is_deterministic():
+    first = list(iter_ops(params()))
+    second = list(iter_ops(params()))
+    assert first == second
+
+
+def test_script_changes_with_seed():
+    assert list(iter_ops(params())) != list(iter_ops(params(seed=8)))
+
+
+def test_script_is_time_ordered_and_warmup_first():
+    p = params()
+    ops = list(iter_ops(p))
+    assert all(a.at <= b.at for a, b in zip(ops, ops[1:]))
+    warmup = ops[: p.candidates * p.warmup_observations]
+    assert all(op.at == 0.0 and op.verb == "OBSERVE" for op in warmup)
+    candidate_names = set(p.candidate_names())
+    assert {op.subject for op in warmup} == candidate_names
+
+
+def test_candidate_refreshes_appear_on_schedule():
+    p = params(candidate_refresh_s=200.0)
+    refreshes = [
+        op
+        for op in iter_ops(p)
+        if op.subject.startswith(p.candidate_prefix) and op.at > 0.0
+    ]
+    assert {op.at for op in refreshes} == {200.0, 400.0}
+
+
+def test_no_refresh_when_disabled():
+    p = params(candidate_refresh_s=None)
+    assert all(
+        not op.subject.startswith(p.candidate_prefix)
+        for op in iter_ops(p)
+        if op.at > 0.0
+    )
+
+
+def test_position_ops_carry_top_k():
+    positions = [op for op in iter_ops(params()) if op.verb == "POSITION"]
+    assert positions, "the mixed stream should contain POSITION queries"
+    assert all(op.k == 5 for op in positions)
+    assert all(op.addresses == () for op in positions)
+
+
+def test_addresses_are_interleaving_independent():
+    """Draws are counter-based per node: the address a client sees on
+    its nth observation depends only on (seed, index, n), never on how
+    arrivals interleave — the property sharding relies on."""
+    model = SyntheticRedirections(params())
+    a = [model.client_addresses(3, d) for d in range(4)]
+    b = [model.client_addresses(3, d) for d in range(4)]
+    assert a == b
+    assert model.client_addresses(3, 0) != model.client_addresses(4, 0) or (
+        model.client_addresses(3, 1) != model.client_addresses(4, 1)
+    )
+
+
+def test_region_bias_keeps_most_replicas_home():
+    p = params(clients=4, region_bias=0.9, second_address_p=0.0, replicas=64, regions=8)
+    model = SyntheticRedirections(p)
+    block = 64 // 8
+    home = 0
+    total = 400
+    for draw in range(total):
+        (address,) = model.client_addresses(0, draw)
+        replica = int(address.split("-")[1])
+        region = 0  # client index 0 -> region 0
+        if region * block <= replica < (region + 1) * block:
+            home += 1
+    assert home / total > 0.8
+
+
+def test_fingerprint_answers_is_order_sensitive():
+    assert fingerprint_answers(["a", "b"]) != fingerprint_answers(["b", "a"])
+    assert fingerprint_answers(["a", "b"]) == fingerprint_answers(["a", "b"])

@@ -1,0 +1,107 @@
+import pytest
+
+from repro.core.service import NodeState, PositioningAnswer
+from repro.core.selection import RankedCandidate
+from repro.serve import ProtocolError, format_answer, format_error, parse_request
+
+
+def test_parse_position_minimal():
+    request = parse_request("POSITION client-0001")
+    assert request.verb == "POSITION"
+    assert request.client == "client-0001"
+    assert request.k is None
+    assert not request.is_admin
+
+
+def test_parse_position_with_k():
+    assert parse_request("POSITION c 5").k == 5
+
+
+def test_parse_position_rejects_bad_k():
+    with pytest.raises(ProtocolError):
+        parse_request("POSITION c zero")
+    with pytest.raises(ProtocolError):
+        parse_request("POSITION c 0")
+    with pytest.raises(ProtocolError):
+        parse_request("POSITION")
+
+
+def test_parse_observe():
+    request = parse_request("OBSERVE c cdn.example a,b")
+    assert request.verb == "OBSERVE"
+    assert request.client == "c"
+    assert request.name == "cdn.example"
+    assert request.addresses == ("a", "b")
+
+
+def test_parse_observe_requires_addresses():
+    with pytest.raises(ProtocolError):
+        parse_request("OBSERVE c cdn.example ,")
+    with pytest.raises(ProtocolError):
+        parse_request("OBSERVE c cdn.example")
+
+
+def test_parse_admin_verbs():
+    assert parse_request("PING").is_admin
+    assert parse_request("STATS").is_admin
+    assert parse_request("SHUTDOWN").is_admin
+    assert parse_request("EVICT c").client == "c"
+    assert parse_request("INVALIDATE 120.5").before == 120.5
+
+
+def test_parse_admin_arg_validation():
+    with pytest.raises(ProtocolError):
+        parse_request("PING now")
+    with pytest.raises(ProtocolError):
+        parse_request("EVICT")
+    with pytest.raises(ProtocolError):
+        parse_request("INVALIDATE soon")
+
+
+def test_parse_is_case_insensitive_on_verb():
+    assert parse_request("position c").verb == "POSITION"
+
+
+def test_parse_rejects_unknown_and_empty():
+    with pytest.raises(ProtocolError):
+        parse_request("FROB c")
+    with pytest.raises(ProtocolError):
+        parse_request("   ")
+
+
+def _answer(ranked=(), stale=False, confidence=1.0, age=None):
+    return PositioningAnswer(
+        client="c",
+        ranked=tuple(ranked),
+        stale=stale,
+        confidence=confidence,
+        map_age_s=age,
+        client_state=NodeState.HEALTHY,
+    )
+
+
+def test_format_answer_canonical_floats():
+    answer = _answer(
+        ranked=[RankedCandidate("a", 0.5), RankedCandidate("b", 0.25)],
+        confidence=0.75,
+        age=12.0,
+    )
+    line = format_answer(answer)
+    assert line == "POS c state=healthy stale=0 conf=0.75 age=12.0 ranked=a:0.5,b:0.25"
+
+
+def test_format_answer_trims_to_k_without_changing_scores():
+    answer = _answer(ranked=[RankedCandidate("a", 0.5), RankedCandidate("b", 0.25)])
+    assert "b:" not in format_answer(answer, k=1)
+    assert format_answer(answer, k=2) == format_answer(answer)
+
+
+def test_format_answer_cold_client():
+    line = format_answer(_answer(confidence=0.0))
+    assert "age=- ranked=" in line
+    assert line.endswith("ranked=")
+
+
+def test_format_error():
+    line = format_error(ProtocolError("args", "POSITION <client> [k]"))
+    assert line == "ERR args POSITION <client> [k]"

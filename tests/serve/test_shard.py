@@ -1,0 +1,160 @@
+import pytest
+
+from repro.obs import Observability
+from repro.serve import ServeParams, ShardWorker
+
+CANDIDATES = tuple(f"cand-{i:02d}" for i in range(4))
+NAME = "cdn.customer.example"
+
+
+def make_shard(max_trackers=None, obs=None):
+    params = ServeParams(candidates=CANDIDATES, shards=1, max_trackers=max_trackers)
+    return ShardWorker(0, params, obs=obs)
+
+
+def warm(shard, at=0.0):
+    for draw in range(3):
+        for i, candidate in enumerate(CANDIDATES):
+            shard.observe_candidate(at, candidate, NAME, (f"replica-{i:02d}",))
+
+
+def test_serve_params_validation():
+    with pytest.raises(ValueError):
+        ServeParams(candidates=())
+    with pytest.raises(ValueError):
+        ServeParams(candidates=CANDIDATES, shards=0)
+    with pytest.raises(ValueError):
+        ServeParams(candidates=CANDIDATES, max_trackers=0)
+    with pytest.raises(ValueError):
+        ServeParams(candidates=CANDIDATES, top_k=0)
+
+
+def test_observe_registers_client_and_counts():
+    shard = make_shard()
+    shard.observe(1.0, "client-a", NAME, ("replica-00",))
+    assert shard.resident_clients == 1
+    assert shard.observations == 1
+    assert shard.service.is_registered("client-a")
+
+
+def test_position_after_observe_ranks_candidates():
+    shard = make_shard()
+    warm(shard)
+    shard.observe(1.0, "client-a", NAME, ("replica-00",))
+    answer = shard.position(2.0, "client-a")
+    assert answer.client == "client-a"
+    assert answer.ranked, "a warmed shard should rank candidates"
+    assert shard.positions == 1
+
+
+def test_lru_eviction_bounds_residency():
+    shard = make_shard(max_trackers=2)
+    for i in range(4):
+        shard.observe(float(i), f"client-{i}", NAME, ("replica-00",))
+    assert shard.resident_clients == 2
+    assert shard.evictions == 2
+    # The two coldest clients are gone from the underlying service.
+    assert not shard.service.is_registered("client-0")
+    assert not shard.service.is_registered("client-1")
+    assert shard.service.is_registered("client-3")
+
+
+def test_lru_eviction_spares_the_recently_touched():
+    shard = make_shard(max_trackers=2)
+    shard.observe(0.0, "client-a", NAME, ("replica-00",))
+    shard.observe(1.0, "client-b", NAME, ("replica-00",))
+    shard.observe(2.0, "client-a", NAME, ("replica-01",))  # a is now MRU
+    shard.observe(3.0, "client-c", NAME, ("replica-00",))
+    assert shard.service.is_registered("client-a")
+    assert not shard.service.is_registered("client-b")
+
+
+def test_candidates_exempt_from_lru():
+    shard = make_shard(max_trackers=1)
+    warm(shard)
+    for i in range(3):
+        shard.observe(float(i), f"client-{i}", NAME, ("replica-00",))
+    for candidate in CANDIDATES:
+        assert shard.service.is_registered(candidate)
+
+
+def test_evict_then_observe_recreates_tracker():
+    """The satellite-2 contract, deterministically interleaved: an
+    eviction landing between a client's observations must recreate the
+    tracker on the next one — the observation lands in a fresh tracker
+    instead of being dropped."""
+    obs = Observability()
+    shard = make_shard(obs=obs)
+    warm(shard)
+    shard.observe(1.0, "client-a", NAME, ("replica-00",))
+    # Admin eviction races ahead of the client's in-flight observation.
+    assert shard.evict("client-a") is True
+    assert not shard.service.is_registered("client-a")
+    # The queued observation arrives after the evict: not dropped.
+    shard.observe(2.0, "client-a", NAME, ("replica-01",))
+    assert shard.service.is_registered("client-a")
+    assert shard.recreations == 1
+    assert shard.service.tracker("client-a").probe_count == 1
+    latest = shard.service.tracker("client-a").observations[-1]
+    assert latest.addresses == ("replica-01",)
+    kinds = obs.trace.counts_by_kind()
+    assert kinds["client.evict"] == 1
+    assert kinds["client.recreate"] == 1
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["serve.shard.evictions{shard=0}"] == 1
+    assert counters["serve.shard.recreations{shard=0}"] == 1
+
+
+def test_evict_then_position_recreates_cold():
+    shard = make_shard()
+    warm(shard)
+    shard.observe(1.0, "client-a", NAME, ("replica-00",))
+    shard.evict("client-a")
+    answer = shard.position(2.0, "client-a")
+    assert answer.ranked == ()  # history went with the eviction
+    assert answer.confidence == 0.0
+    assert shard.recreations == 1
+
+
+def test_never_seen_client_is_not_a_recreation():
+    shard = make_shard()
+    shard.observe(1.0, "client-new", NAME, ("replica-00",))
+    assert shard.recreations == 0
+
+
+def test_evict_rejects_candidates_and_absent_clients():
+    shard = make_shard()
+    with pytest.raises(ValueError):
+        shard.evict(CANDIDATES[0])
+    assert shard.evict("client-unknown") is False
+
+
+def test_lru_eviction_then_return_counts_recreation():
+    shard = make_shard(max_trackers=1)
+    shard.observe(0.0, "client-a", NAME, ("replica-00",))
+    shard.observe(1.0, "client-b", NAME, ("replica-00",))  # evicts a
+    shard.observe(2.0, "client-a", NAME, ("replica-01",))  # a returns
+    assert shard.evictions == 2
+    assert shard.recreations == 1
+
+
+def test_stats_snapshot():
+    shard = make_shard(max_trackers=8)
+    warm(shard)
+    shard.observe(1.0, "client-a", NAME, ("replica-00",))
+    shard.position(2.0, "client-a")
+    stats = shard.stats()
+    assert stats.index == 0
+    assert stats.resident_clients == 1
+    assert stats.positions == 1
+    assert stats.clock_s == 2.0
+    assert stats.engine["rows"] == len(CANDIDATES)
+
+
+def test_invalidate_truncates_across_the_shard():
+    shard = make_shard()
+    warm(shard)
+    shard.observe(1.0, "client-a", NAME, ("replica-00",))
+    dropped = shard.invalidate(before=10.0)
+    assert dropped > 0
+    assert shard.service.tracker("client-a").probe_count == 0

@@ -1,0 +1,49 @@
+import pytest
+
+from repro.serve import key_hash64, shard_of
+
+
+def test_key_hash_is_stable_across_calls():
+    assert key_hash64("client-0001") == key_hash64("client-0001")
+
+
+def test_key_hash_pinned_values():
+    """Placement stability is an operational contract: a restart (or a
+    differential replay) must route every client to the same shard, so
+    the hash is pinned against accidental algorithm changes."""
+    assert key_hash64("client-0000") == 0x6628076A8A20B449
+    assert key_hash64("cand-0000") == 0x6C9D6C8388AE3559
+
+
+def test_distinct_keys_spread():
+    hashes = {key_hash64(f"client-{i:04d}") for i in range(256)}
+    assert len(hashes) == 256
+
+
+def test_shard_of_range_and_stability():
+    for shards in (1, 2, 4, 8):
+        for i in range(64):
+            index = shard_of(f"client-{i:04d}", shards)
+            assert 0 <= index < shards
+            assert index == shard_of(f"client-{i:04d}", shards)
+
+
+def test_shard_of_single_shard_short_circuits():
+    assert shard_of("anything", 1) == 0
+
+
+def test_shard_of_rejects_zero_shards():
+    with pytest.raises(ValueError):
+        shard_of("client", 0)
+
+
+def test_shard_balance_within_reason():
+    """Uniform enough: at serving populations no shard should be more
+    than ~2x the ideal share."""
+    shards = 8
+    counts = [0] * shards
+    for i in range(4096):
+        counts[shard_of(f"client-{i:06d}", shards)] += 1
+    ideal = 4096 / shards
+    assert max(counts) < 2 * ideal
+    assert min(counts) > ideal / 2
