@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Record approximate-ranking benchmarks to ``BENCH_ann.json``.
+
+One artifact at the repo root: exact-matvec vs sketch-shortlist query
+timings (and the recall the shortlist pays for the speedup) at growing
+candidate populations — 1k, 10k and 100k at ``--scale default`` (1k
+and 10k at ``quick``, the CI smoke).
+
+Each point builds one seeded clustered candidate population (the
+``ann`` experiment's workload), times the exact Top-5 — full sparse
+matvec plus partition — and the two-stage path —
+:class:`~repro.core.ann.SketchIndex` shortlist plus exact rerank — over
+the same query set, and records recall@1/recall@5 against the exact
+ranking.  Both loops bypass the selection memo, so the numbers are real
+per-query work.
+
+The run enforces the calibration gate at the largest default-scale
+point: recall@5 ≥ 0.95 **and** speedup ≥ 10× at 100k candidates with
+the default :class:`~repro.core.ann.AnnParams` — it exits non-zero if
+either side of the trade is lost, so CI catches a regression in the
+sketch quality as well as in the query path's speed.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_ann.py --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.ann import run_ann_bench_point  # noqa: E402
+
+OUTPUT = REPO_ROOT / "BENCH_ann.json"
+
+#: Candidate populations per scale; the largest default-scale point
+#: carries the calibration gate.
+POPULATIONS = {
+    "quick": [1_000, 10_000],
+    "default": [1_000, 10_000, 100_000],
+}
+
+#: The acceptance gate at the largest default-scale population.
+GATE_POPULATION = 100_000
+GATE_RECALL_AT_5 = 0.95
+GATE_SPEEDUP = 10.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(POPULATIONS), default="default")
+    parser.add_argument("--seed", type=int, default=2008)
+    parser.add_argument("--queries", type=int, default=50)
+    parser.add_argument("--out", type=Path, default=OUTPUT)
+    args = parser.parse_args()
+
+    points = []
+    gate_failed = False
+    for population in POPULATIONS[args.scale]:
+        print(f"bench point: {population:,} candidates")
+        point = run_ann_bench_point(population, args.seed, queries=args.queries)
+        points.append(point)
+        print(
+            f"  exact {point['exact_us_per_query']:,}us/query, "
+            f"approx {point['approx_us_per_query']:,}us/query "
+            f"({point['speedup']}x); "
+            f"recall@1 {point['recall_at_1']}, recall@5 {point['recall_at_5']}"
+        )
+        if population == GATE_POPULATION:
+            ok = (
+                point["recall_at_5"] >= GATE_RECALL_AT_5
+                and point["speedup"] >= GATE_SPEEDUP
+            )
+            gate_failed = gate_failed or not ok
+            print(
+                f"  calibration gate (recall@5 >= {GATE_RECALL_AT_5}, "
+                f"speedup >= {GATE_SPEEDUP}x): " + ("PASS" if ok else "FAIL")
+            )
+
+    artifact = {
+        "benchmark": "sketch-based approximate top-k vs exact ranking",
+        "source": "scripts/bench_ann.py",
+        "scale": args.scale,
+        "seed": args.seed,
+        "gate": {
+            "population": GATE_POPULATION,
+            "recall_at_5": GATE_RECALL_AT_5,
+            "speedup": GATE_SPEEDUP,
+        },
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "points": points,
+        "note": (
+            "exact side = full sparse matvec + partition Top-5; approx "
+            "side = SRP sketch shortlist (default AnnParams) + exact "
+            "rerank of the shortlist; both bypass the selection memo; "
+            "recall measured against the exact ranking over the same "
+            "clustered query set; the largest default-scale point "
+            "enforces the calibration gate"
+        ),
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(artifact, indent=2) + "\n")
+    print(f"\nwrote {args.out}")
+    return 1 if gate_failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

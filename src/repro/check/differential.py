@@ -29,7 +29,13 @@ The standard pair builders cover the equivalences the repo promises:
   engine under the degenerate "every client, every interval" workload;
 * :func:`sharded_service_pair` — the N-shard asyncio serving path
   against the unsharded :class:`~repro.core.service.CRPService` on one
-  seeded load script, compared answer line by answer line.
+  seeded load script, compared answer line by answer line;
+* :func:`ann_exact_pair` — sketch-shortlist Top-K against the exact
+  engine on a seeded clustered population (names, true-cosine scores,
+  and shortlist⊇exact-Top-K coverage);
+* :func:`ann_exact_mode_pair` — ``rank_packed``'s k/exclude fast path
+  against the legacy rank-everything-then-slice composition, byte for
+  byte (the exact-mode identity promise).
 """
 
 from __future__ import annotations
@@ -392,6 +398,132 @@ def sharded_service_pair(
         name=f"sharded-service-vs-unsharded.s{shards}",
         left=sharded_side,
         right=unsharded_side,
+    )
+
+
+def ann_exact_pair(
+    seed: int = 2008,
+    population: int = 220,
+    queries: int = 12,
+    k: int = 5,
+) -> DifferentialPair:
+    """Sketch-shortlist Top-K vs the exact engine, per query.
+
+    One seeded clustered candidate population (the ``ann``
+    experiment's workload) is ranked both ways at the calibrated
+    default :class:`~repro.core.ann.AnnParams`.  Because the rerank is
+    exact, the two sides must agree on names and scores whenever the
+    shortlist covers the exact Top-K — and at this population the
+    coverage promise is part of the pair: the right side recomputes
+    the exact Top-K and checks containment in the shortlist, so a
+    calibration regression shows up as a ``covered`` divergence even
+    if the final rows happen to agree.
+    """
+    from repro.core.ann import AnnParams, index_for
+    from repro.core.engine import PackedPopulation
+    from repro.core.selection import rank_packed
+    from repro.experiments.ann import synthetic_candidates, synthetic_queries
+
+    params = AnnParams()
+    state: Dict[str, object] = {}
+
+    def built() -> Tuple[object, List[object]]:
+        if "packed" not in state:
+            maps, _ = synthetic_candidates(population, seed)
+            state["packed"] = PackedPopulation(maps)
+            state["queries"] = synthetic_queries(maps, queries, seed)
+        return state["packed"], state["queries"]  # type: ignore[return-value]
+
+    def exact_side() -> Dict[str, object]:
+        packed, query_maps = built()
+        fields: Dict[str, object] = {}
+        for i, query in enumerate(query_maps):
+            ranked = rank_packed(query, packed, k=k)
+            fields[f"q{i:03d}.names"] = tuple(r.name for r in ranked)
+            fields[f"q{i:03d}.scores"] = tuple(r.score for r in ranked)
+            fields[f"q{i:03d}.covered"] = True
+        return fields
+
+    def approx_side() -> Dict[str, object]:
+        packed, query_maps = built()
+        index = index_for(packed, params)
+        fields: Dict[str, object] = {}
+        for i, query in enumerate(query_maps):
+            ranked = rank_packed(query, packed, k=k, approx=params)
+            exact_names = {r.name for r in rank_packed(query, packed, k=k)}
+            shortlist = set(index.shortlist(query, k))
+            fields[f"q{i:03d}.names"] = tuple(r.name for r in ranked)
+            fields[f"q{i:03d}.scores"] = tuple(r.score for r in ranked)
+            fields[f"q{i:03d}.covered"] = exact_names <= shortlist
+        return fields
+
+    return DifferentialPair(
+        name="ann-vs-exact",
+        left=exact_side,
+        right=approx_side,
+        tolerance=SCORE_TOLERANCE,
+    )
+
+
+def ann_exact_mode_pair(
+    seed: int = 2008,
+    population: int = 180,
+    queries: int = 10,
+    k: int = 5,
+) -> DifferentialPair:
+    """``rank_packed``'s k/exclude fast path vs the legacy composition.
+
+    Pre-existing callers ranked the whole population, filtered the
+    excluded name, and sliced ``[:k]``; the k-aware path (exclusion
+    applied *before* the cutoff) must reproduce that byte for byte —
+    same names, same float scores, zero tolerance — so turning the
+    fast path on cannot change any exact-mode answer.  The excluded
+    name is each query's global Top-1, making the exclusion actually
+    bite on every query.
+    """
+    from repro.core.engine import PackedPopulation
+    from repro.core.selection import rank_packed
+    from repro.experiments.ann import synthetic_candidates, synthetic_queries
+
+    state: Dict[str, object] = {}
+
+    def built() -> Tuple[object, List[object]]:
+        if "packed" not in state:
+            maps, _ = synthetic_candidates(population, seed)
+            state["packed"] = PackedPopulation(maps)
+            state["queries"] = synthetic_queries(maps, queries, seed)
+        return state["packed"], state["queries"]  # type: ignore[return-value]
+
+    def fields_of(ranked) -> Tuple[Tuple[str, ...], Tuple[float, ...]]:
+        return tuple(r.name for r in ranked), tuple(r.score for r in ranked)
+
+    def legacy_side() -> Dict[str, object]:
+        packed, query_maps = built()
+        fields: Dict[str, object] = {}
+        for i, query in enumerate(query_maps):
+            full = rank_packed(query, packed)
+            excluded = full[0].name
+            survivors = [r for r in full if r.name != excluded][:k]
+            names, scores = fields_of(survivors)
+            fields[f"q{i:03d}.excluded"] = excluded
+            fields[f"q{i:03d}.names"] = names
+            fields[f"q{i:03d}.scores"] = scores
+        return fields
+
+    def fast_side() -> Dict[str, object]:
+        packed, query_maps = built()
+        fields: Dict[str, object] = {}
+        for i, query in enumerate(query_maps):
+            excluded = rank_packed(query, packed)[0].name
+            ranked = rank_packed(query, packed, k=k, exclude=excluded)
+            names, scores = fields_of(ranked)
+            fields[f"q{i:03d}.excluded"] = excluded
+            fields[f"q{i:03d}.names"] = names
+            fields[f"q{i:03d}.scores"] = scores
+        return fields
+
+    return DifferentialPair(
+        name="ann-exact-mode-identity", left=legacy_side, right=fast_side
     )
 
 

@@ -41,6 +41,11 @@ machinery leans on hardest:
     original: params, simulated time, probe accounting, node sets, and
     per-node tracker logs — and the restored trackers themselves pass
     ``tracker``.
+``ann_index``
+    A sketch index agrees with the population it listens to: same
+    membership, name/row bijection intact, every stored sketch equal
+    to a recomputation from the live ratio map, and every bucket
+    table's entries consistent with the rows' own keys.
 """
 
 from __future__ import annotations
@@ -494,6 +499,69 @@ def check_event_loop(loop: object) -> List[str]:
     return problems
 
 
+def check_ann_index(index: object, population: PackedPopulation) -> List[str]:
+    """A sketch index is internally consistent and in sync with its
+    population.
+
+    ``index`` is a :class:`~repro.core.ann.SketchIndex` (typed loosely
+    to keep this module import-light).  Checks the name/row bijection,
+    membership equality with the population, stored-sketch equality
+    with a fresh recomputation from each live ratio map (so a listener
+    bug or a botched swap-removal repair shows up no matter how the
+    index got here), and bucket-table consistency: every bucket entry
+    points at a live row whose own key selects that bucket, and the
+    tables together hold exactly ``tables × rows`` entries.
+    """
+    problems: List[str] = []
+    names = index._names
+    row_of = index._row_of
+    if len(row_of) != len(names):
+        problems.append(
+            f"{len(row_of)} row mappings for {len(names)} names"
+        )
+    for name, row in row_of.items():
+        if not (0 <= row < len(names)) or names[row] != name:
+            problems.append(f"row_of[{name!r}] = {row} does not map back")
+    view = population._ensure_view()
+    if set(names) != set(view.names):
+        drift = sorted(set(names) ^ set(view.names))
+        problems.append(f"membership differs from population: {drift[:5]}")
+        return problems
+    maps = dict(zip(view.names, view.maps))
+    for name, row in row_of.items():
+        fresh = index.sketch(maps[name])
+        if not (index._rows[row] == fresh).all():
+            problems.append(f"stored sketch for {name!r} != recomputation")
+    total_entries = 0
+    for table_index, table in enumerate(index._buckets):
+        for key, members in table.items():
+            total_entries += len(members)
+            if len(set(members)) != len(members):
+                problems.append(
+                    f"table {table_index} bucket {key:#x} repeats a row"
+                )
+            for row in members:
+                if not 0 <= row < len(names):
+                    problems.append(
+                        f"table {table_index} bucket {key:#x} holds "
+                        f"dead row {row}"
+                    )
+                    continue
+                expected = index._keys_of(index._rows[row])[table_index]
+                if expected != key:
+                    problems.append(
+                        f"{names[row]!r} filed under table {table_index} "
+                        f"bucket {key:#x}, its key is {expected:#x}"
+                    )
+    expected_entries = len(index._buckets) * len(names)
+    if total_entries != expected_entries:
+        problems.append(
+            f"bucket tables hold {total_entries} entries, "
+            f"expected {expected_entries}"
+        )
+    return problems
+
+
 def default_registry() -> InvariantRegistry:
     """A fresh registry with every built-in invariant registered."""
     registry = InvariantRegistry()
@@ -506,4 +574,5 @@ def default_registry() -> InvariantRegistry:
     registry.register("smf_result", check_smf_result)
     registry.register("snapshot_restore", check_snapshot_restore)
     registry.register("event_loop", check_event_loop)
+    registry.register("ann_index", check_ann_index)
     return registry

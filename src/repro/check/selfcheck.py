@@ -10,8 +10,10 @@ One call runs the whole correctness battery at small scale:
 2. **Differential pairs** — the equivalences the repo promises:
    vectorized vs scalar positioning, obs-on vs obs-off experiment
    reports (for the selected experiment producers), a
-   present-but-disabled chaos stanza vs an absent one, and the dense
-   round loop vs the event engine under the degenerate workload.
+   present-but-disabled chaos stanza vs an absent one, the dense
+   round loop vs the event engine under the degenerate workload, and
+   the sketch-based approximate ranker vs the exact engine (plus the
+   exact-mode byte-identity of the k/exclude fast path).
 3. **Fuzz drivers** — seeded churn/observation/clustering fuzz with
    scalar↔vectorized cross-checks after every step and input
    shrinking on failure.
@@ -32,6 +34,8 @@ from repro.check.differential import (
     DifferentialPair,
     DifferentialRunner,
     Divergence,
+    ann_exact_mode_pair,
+    ann_exact_pair,
     chaos_stanza_pair,
     dense_event_pair,
     remap_stanza_pair,
@@ -174,6 +178,20 @@ def _sweep_scenario_invariants(
     candidate_maps = crp.ratio_maps(scenario.candidate_names)
     population = packed_for(candidate_maps)
     run("engine", "candidate-population", population)
+
+    # The sketch index rides the same population: build it, churn one
+    # candidate through the listener path, and check it stayed in sync.
+    from repro.core.ann import AnnParams, index_for
+
+    ann_index = index_for(population, AnnParams())
+    churned = next(
+        (name for name, m in candidate_maps.items() if m is not None), None
+    )
+    if churned is not None:
+        churned_map = candidate_maps[churned]
+        population.remove(churned)
+        population.add(churned, churned_map)
+    run("ann_index", "candidate-ann-index", ann_index, population)
     for node, resolver in sorted(scenario.resolvers.items()):
         run("ttl_cache", node, resolver.cache, now)
     run("service_health", "crp-service", crp)
@@ -230,6 +248,8 @@ def _standard_pairs(
             clients=config.clients * 3,
             candidates=config.candidates,
         ),
+        ann_exact_pair(seed=config.seed),
+        ann_exact_mode_pair(seed=config.seed),
     ]
     if producers:
         seen: List[Callable[[str], Mapping[str, str]]] = []

@@ -17,6 +17,7 @@ The core pipeline:
 probing and is the facade most callers want.
 """
 
+from repro.core.ann import AnnParams, SketchIndex, approx_top_k, index_for
 from repro.core.engine import PackedPopulation, ReplicaVocabulary, packed_for
 from repro.core.ratio_map import RatioMap
 from repro.core.similarity import (
@@ -62,6 +63,10 @@ from repro.core.exchange import (
 )
 
 __all__ = [
+    "AnnParams",
+    "SketchIndex",
+    "approx_top_k",
+    "index_for",
     "PackedPopulation",
     "ReplicaVocabulary",
     "packed_for",

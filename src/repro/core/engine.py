@@ -43,6 +43,10 @@ _BLOCK_ELEMENTS = 4_194_304
 #: How many packed populations :func:`packed_for` keeps warm.
 _PACK_CACHE_SIZE = 8
 
+#: Per-map (vocabulary, columns, ratios) cache entries kept on
+#: ``RatioMap._vec`` — one per recently-seen vocabulary.
+_MAP_VEC_SLOTS = 4
+
 
 class ReplicaVocabulary:
     """Interner mapping replica identifiers to dense column indices.
@@ -96,13 +100,29 @@ def _map_arrays(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """A map's (columns, ratios) arrays under a vocabulary, cached on
     the map itself (ratio maps are immutable, so the cache never goes
-    stale; it is keyed by vocabulary identity)."""
+    stale; it is keyed by vocabulary identity).
+
+    ``_vec`` is a short move-to-front list holding one entry per
+    recently-seen vocabulary, so a map shared between populations with
+    different vocabularies (a scenario sweep and a shard-local serving
+    population, say) does not re-derive its arrays on every
+    alternation.
+    """
     cached = getattr(ratio_map, "_vec", None)
-    if cached is not None and cached[0] is vocab:
-        return cached[1], cached[2]
+    if cached is not None:
+        for slot, entry in enumerate(cached):
+            if entry[0] is vocab:
+                if slot:
+                    cached.insert(0, cached.pop(slot))
+                return entry[1], entry[2]
     columns = vocab.columns_of(ratio_map)
     ratios = np.fromiter(ratio_map.values(), dtype=np.float64, count=len(ratio_map))
-    ratio_map._vec = (vocab, columns, ratios)
+    entry = (vocab, columns, ratios)
+    if cached is None:
+        ratio_map._vec = [entry]
+    else:
+        cached.insert(0, entry)
+        del cached[_MAP_VEC_SLOTS:]
     return columns, ratios
 
 
@@ -222,6 +242,10 @@ class PackedPopulation:
         #: Cleared on any membership change.  Bounded by the layer that
         #: fills it.
         self.memo: "OrderedDict[object, tuple]" = OrderedDict()
+        #: Membership listeners (see :meth:`attach_listener`) — how the
+        #: ANN sketch index (repro.core.ann) tracks churn without
+        #: rebuilding.
+        self._listeners: List[object] = []
         if maps:
             for name, ratio_map in maps.items():
                 if ratio_map is not None:
@@ -255,6 +279,8 @@ class PackedPopulation:
         self._maps.append(ratio_map)
         self._view = None
         self.memo.clear()
+        for listener in self._listeners:
+            listener.on_add(name, ratio_map)
 
     def remove(self, name: str) -> None:
         """Tombstone a node (KeyError if absent); storage is reclaimed
@@ -264,6 +290,17 @@ class PackedPopulation:
         self._dead += 1
         self._view = None
         self.memo.clear()
+        for listener in self._listeners:
+            listener.on_remove(name)
+
+    def attach_listener(self, listener: object) -> None:
+        """Register an object to be notified of membership changes —
+        ``on_add(name, ratio_map)`` after each :meth:`add` and
+        ``on_remove(name)`` after each :meth:`remove` (an
+        :meth:`update` fires both).  Listeners see every change from
+        attachment on, so a derived structure built from the current
+        view stays in sync without rebuilds."""
+        self._listeners.append(listener)
 
     def update(self, name: str, ratio_map: RatioMap) -> None:
         """Replace a node's map (the node moves to the last row)."""
@@ -410,6 +447,45 @@ class PackedPopulation:
             return np.add.reduceat(
                 np.minimum(view.data, dense[view.indices]), boundaries
             )
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def scores_rows(
+        self,
+        query: RatioMap,
+        rows: Sequence[int],
+        metric: SimilarityMetric = SimilarityMetric.COSINE,
+    ) -> np.ndarray:
+        """One-vs-some similarity: the query against selected view rows.
+
+        Same per-row arithmetic as :meth:`scores` (identical gather
+        order within each row, so scores match bit-for-bit), restricted
+        to ``rows`` — the exact-rerank half of the approximate ranking
+        path, where only a shortlist needs true scores.
+        """
+        view = self._ensure_view()
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) == 0:
+            return np.empty(0, dtype=np.float64)
+        flat, offsets = _segment_gather(view.indptr[rows], view.lens[rows])
+        boundaries = offsets[:-1]
+        data = view.data[flat]
+        indices = view.indices[flat]
+        if metric is SimilarityMetric.COSINE:
+            dense, query_norm = self._query_dense(query)
+            dots = np.add.reduceat(data * dense[indices], boundaries)
+            result = dots / (query_norm * view.norms[rows])
+            np.clip(result, 0.0, 1.0, out=result)
+            return result
+        if metric is SimilarityMetric.JACCARD:
+            dense, _ = self._query_dense(query)
+            common = np.add.reduceat(
+                (dense[indices] > 0.0).astype(np.float64), boundaries
+            )
+            union = view.lens[rows] + float(len(query)) - common
+            return common / union
+        if metric is SimilarityMetric.OVERLAP:
+            dense, _ = self._query_dense(query)
+            return np.add.reduceat(np.minimum(data, dense[indices]), boundaries)
         raise ValueError(f"unknown metric {metric!r}")
 
     def matrix(

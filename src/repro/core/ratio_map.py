@@ -33,7 +33,8 @@ class RatioMap(Mapping[str, float]):
     """
 
     #: ``_vec`` lazily caches this map's packed (vocabulary, columns,
-    #: ratios) arrays for the vectorized engine; see
+    #: ratios) array entries for the vectorized engine — a short
+    #: move-to-front list, one entry per recently-seen vocabulary; see
     #: :mod:`repro.core.engine`.  Never part of the map's value.
     __slots__ = ("_ratios", "_norm", "_vec")
 

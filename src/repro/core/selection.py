@@ -17,11 +17,14 @@ float summation order, same ``(-score, name)`` tie-break.
 
 from __future__ import annotations
 
-from typing import List, Mapping, NamedTuple, Optional
+from typing import TYPE_CHECKING, List, Mapping, NamedTuple, Optional
 
 from repro.core.engine import packed_for
 from repro.core.ratio_map import RatioMap
 from repro.core.similarity import SimilarityMetric, similarity
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.ann import AnnParams
 
 #: How many finished rankings a packed population remembers.  A CRP
 #: service answers many positioning queries per probe round, and a
@@ -70,6 +73,18 @@ def _remember(population, key, client_map: RatioMap, result) -> None:
         memo.popitem(last=False)
 
 
+def _recall(population, key, client_map: RatioMap):
+    """A memoised ranking, or None — refreshing recency on the hit so
+    a hot entry survives eviction rotation (eviction drops the least
+    recently *used* entry, not the oldest inserted)."""
+    memo = population.memo
+    hit = memo.get(key)
+    if hit is not None and hit[0] is client_map:
+        memo.move_to_end(key)
+        return hit[1]
+    return None
+
+
 def _rank_scalar(
     client_map: RatioMap,
     candidate_maps: Mapping[str, Optional[RatioMap]],
@@ -104,9 +119,9 @@ def rank_candidates(
     if len(population) == 0:
         return []
     memo_key = (id(client_map), metric, 0)
-    hit = population.memo.get(memo_key)
-    if hit is not None and hit[0] is client_map:
-        return list(hit[1])
+    hit = _recall(population, memo_key, client_map)
+    if hit is not None:
+        return list(hit)
     scores = population.scores(client_map, metric)
     order = population.ranked_indices(scores)
     result = _build_ranked(population.names, scores.tolist(), order.tolist())
@@ -120,6 +135,8 @@ def rank_packed(
     metric: SimilarityMetric = SimilarityMetric.COSINE,
     *,
     exclude: Optional[str] = None,
+    k: Optional[int] = None,
+    approx: Optional["AnnParams"] = None,
 ) -> List[RankedCandidate]:
     """Rank an already-packed population against a client map.
 
@@ -127,8 +144,17 @@ def rank_packed(
     :class:`~repro.core.engine.PackedPopulation` kept current through
     its add/remove API, so there is no per-query packing step at all —
     one matvec, one argsort.  ``exclude`` drops a single name from the
-    finished ranking (a client that is itself a tracked candidate must
-    not be ranked against itself).
+    ranking (a client that is itself a tracked candidate must not be
+    ranked against itself); exclusion happens *before* any Top-K
+    cutoff, so asking for ``k`` rows yields ``k`` even when the
+    excluded name would have landed inside the slice.
+
+    ``k`` keeps only the best ``k`` rows (``argpartition`` instead of a
+    full sort — same rows as the full ranking's prefix).  ``approx``
+    (an :class:`~repro.core.ann.AnnParams`) additionally routes a
+    ``k``-query through the sketch index's shortlist + exact rerank —
+    sublinear, with true scores; it is ignored without ``k``, since a
+    full ranking needs every score anyway.
 
     Produces the same rows as ``rank_candidates`` over the same maps:
     per-candidate scores sum each row's dot product in map-iteration
@@ -137,15 +163,36 @@ def rank_packed(
     """
     if len(population) == 0:
         return []
-    memo_key = (id(client_map), metric, -1, exclude)
-    hit = population.memo.get(memo_key)
-    if hit is not None and hit[0] is client_map:
-        return list(hit[1])
-    scores = population.scores(client_map, metric)
-    order = population.ranked_indices(scores)
-    result = _build_ranked(population.names, scores.tolist(), order.tolist())
-    if exclude is not None:
-        result = [c for c in result if c.name != exclude]
+    if k is not None and k < 1:
+        raise ValueError("k must be at least 1")
+    use_approx = approx is not None and k is not None
+    if k is None and approx is None:
+        memo_key = (id(client_map), metric, -1, exclude)
+    else:
+        memo_key = (id(client_map), metric, -1, exclude, k, approx)
+    hit = _recall(population, memo_key, client_map)
+    if hit is not None:
+        return list(hit)
+    if use_approx:
+        from repro.core import ann
+
+        result = ann.approx_top_k(
+            client_map, population, k, metric, params=approx, exclude=exclude
+        )
+    else:
+        scores = population.scores(client_map, metric)
+        if k is None:
+            order = population.ranked_indices(scores)
+        else:
+            # Exclusion before cutoff: fetch one spare row when the
+            # excluded name could land inside the slice.
+            spare = 1 if exclude is not None and exclude in population else 0
+            order = population.top_k_indices(scores, k + spare)
+        result = _build_ranked(population.names, scores.tolist(), order.tolist())
+        if exclude is not None:
+            result = [c for c in result if c.name != exclude]
+        if k is not None:
+            result = result[:k]
     _remember(population, memo_key, client_map, result)
     return list(result)
 
@@ -157,26 +204,42 @@ def select_top_k(
     metric: SimilarityMetric = SimilarityMetric.COSINE,
     *,
     vectorized: bool = True,
+    approx: Optional["AnnParams"] = None,
 ) -> List[RankedCandidate]:
     """The best ``k`` candidates (the paper's "Top 5" uses k=5).
 
     Vectorized, this is an ``argpartition`` rather than a full sort —
     with the same output as ``rank_candidates(...)[:k]``, ties and all.
+    Passing ``approx`` (an :class:`~repro.core.ann.AnnParams`) routes
+    the query through the sketch index instead — shortlist gather +
+    exact rerank, sublinear in the candidate count, with identical
+    output whenever the shortlist covers the exact Top-K (which the
+    ``ann-vs-exact`` self-check pair verifies at the calibrated
+    widths).
     """
     if k < 1:
         raise ValueError("k must be at least 1")
+    if approx is not None and not vectorized:
+        raise ValueError("approximate ranking requires the vectorized path")
     if not vectorized:
         return _rank_scalar(client_map, candidate_maps, metric)[:k]
     population = packed_for(candidate_maps)
     if len(population) == 0:
         return []
-    memo_key = (id(client_map), metric, k)
-    hit = population.memo.get(memo_key)
-    if hit is not None and hit[0] is client_map:
-        return list(hit[1])
-    scores = population.scores(client_map, metric)
-    order = population.top_k_indices(scores, k)
-    result = _build_ranked(population.names, scores.tolist(), order.tolist())
+    memo_key = (id(client_map), metric, k) if approx is None else (
+        id(client_map), metric, k, approx
+    )
+    hit = _recall(population, memo_key, client_map)
+    if hit is not None:
+        return list(hit)
+    if approx is not None:
+        from repro.core import ann
+
+        result = ann.approx_top_k(client_map, population, k, metric, params=approx)
+    else:
+        scores = population.scores(client_map, metric)
+        order = population.top_k_indices(scores, k)
+        result = _build_ranked(population.names, scores.tolist(), order.tolist())
     _remember(population, memo_key, client_map, result)
     return list(result)
 

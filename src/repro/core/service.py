@@ -45,10 +45,16 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.ann import AnnParams
 from repro.core.clustering import ClusteringResult, SmfParams, smf_cluster
 from repro.core.engine import PackedPopulation
 from repro.core.ratio_map import RatioMap
-from repro.core.selection import RankedCandidate, rank_candidates, rank_packed
+from repro.core.selection import (
+    RankedCandidate,
+    rank_candidates,
+    rank_packed,
+    select_top_k,
+)
 from repro.core.similarity import SimilarityMetric
 from repro.core.tracker import Observation, RedirectionTracker
 from repro.dnssim.resolver import RecursiveResolver, ResolutionError
@@ -234,6 +240,12 @@ class CRPServiceParams:
     #: to its window size so per-client memory cannot grow with uptime;
     #: maps over windows ≤ the bound are unaffected by the trim.
     max_observations: Optional[int] = None
+    #: Approximate-ranking configuration (:class:`repro.core.ann.AnnParams`).
+    #: None — the default — keeps every ranking exact; set, it routes
+    #: Top-K :meth:`CRPService.position` queries through the sketch
+    #: index's shortlist + exact rerank (queries without a ``k`` stay
+    #: exact either way).
+    ann: Optional[AnnParams] = None
 
     def __post_init__(self) -> None:
         if not self.customer_names:
@@ -800,6 +812,8 @@ class CRPService:
         client: str,
         candidates: Sequence[str],
         window_probes: Optional[int] = -1,
+        *,
+        k: Optional[int] = None,
     ) -> PositioningAnswer:
         """Rank candidates for a client, with degradation metadata.
 
@@ -808,6 +822,13 @@ class CRPService:
         trusted: the client's health state, the age of the map behind
         the ranking, whether a stale fallback was used, and a scalar
         confidence composing the two.
+
+        ``k`` only takes effect when the service was configured with
+        :attr:`CRPServiceParams.ann`: the answer then carries the best
+        ``k`` rows via the sketch shortlist + exact rerank instead of
+        a full ranking.  Without ``ann`` the argument is ignored, so
+        exact-mode answers are byte-identical whatever the caller
+        passes.
         """
         if client not in self._resolvers:
             raise UnknownNodeError(client)
@@ -834,11 +855,14 @@ class CRPService:
             # Streaming path: the long-lived packed population absorbs
             # candidate-map changes incrementally; no per-query packing.
             population = self._packed_candidates(window_probes)
+            use_k = k if self.params.ann is not None else None
             ranked = rank_packed(
                 client_map,
                 population,
                 self.params.metric,
                 exclude=client if client in self._tracked_set else None,
+                k=use_k,
+                approx=self.params.ann if use_k is not None else None,
             )
         else:
             candidate_maps = {
@@ -846,7 +870,15 @@ class CRPService:
                 for name in candidates
                 if name != client
             }
-            ranked = rank_candidates(client_map, candidate_maps, self.params.metric)
+            if self.params.ann is not None and k is not None:
+                ranked = select_top_k(
+                    client_map, candidate_maps, k, self.params.metric,
+                    approx=self.params.ann,
+                )
+            else:
+                ranked = rank_candidates(
+                    client_map, candidate_maps, self.params.metric
+                )
         stale = from_fallback or (
             age is not None and age > self.params.probe_policy.stale_after_s
         )

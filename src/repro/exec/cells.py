@@ -338,6 +338,29 @@ def _bootstrap_rep(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     )
 
 
+@producer("ann.point")
+def _ann_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
+    """One approximate-ranking quality point at a (probe, shortlist)
+    operating width.
+
+    Like ``service.point``, the cell value carries no wall-clock
+    numbers — recall and index counters only — so the combined report
+    is byte-stable across machines; speedups live in
+    ``scripts/bench_ann.py``.
+    """
+    from repro.experiments.ann import run_ann_point
+
+    return CellOutput(
+        value=run_ann_point(
+            int(cell.option("population")),
+            seed,
+            queries=int(cell.option("queries", 40)),
+            probe_hamming=int(cell.option("probe_hamming")),
+            shortlist=int(cell.option("shortlist")),
+        )
+    )
+
+
 @producer("ablation.similarity")
 def _ablation_similarity(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     return CellOutput(value=run_similarity_ablation(_ablation_scenario(cell, seed, store)))
@@ -410,11 +433,12 @@ DEFAULT_EXPERIMENTS = (
     "table1",
 )
 
-#: Every plannable experiment key.  ``events``, ``remap`` and
+#: Every plannable experiment key.  ``ann``, ``events``, ``remap`` and
 #: ``service`` stay out of the default sweep so the historical report
 #: fingerprints are unchanged.
 EXPERIMENT_KEYS = DEFAULT_EXPERIMENTS + (
     "ablations",
+    "ann",
     "bootstrap",
     "events",
     "remap",
@@ -634,6 +658,58 @@ def plan_for(key: str, scale: str, root_seed: int = 0) -> ExperimentPlan:
             return {"service": report}
 
         return ExperimentPlan(key, cells, combine_service)
+
+    if key == "ann":
+        from repro.experiments.ann import ANN_SIZES, ANN_WIDTHS
+
+        cells = tuple(
+            Cell(
+                kind="ann.point",
+                scale=scale,
+                seed=2008,
+                options=(
+                    ("population", population),
+                    ("probe_hamming", probe),
+                    ("shortlist", shortlist),
+                ),
+            )
+            for population in ANN_SIZES[scale]
+            for probe, shortlist in ANN_WIDTHS
+        )
+
+        def combine_ann(results: Sequence[CellResult]) -> Dict[str, str]:
+            rows = []
+            for result in results:
+                point = result.value
+                rows.append(
+                    [
+                        point["population"],
+                        point["probe_hamming"],
+                        point["shortlist"],
+                        f"{point['recall_at_1']:.4f}",
+                        f"{point['recall_at_5']:.4f}",
+                        f"{point['shortlist_covers_top5']:.4f}",
+                        point["index_full_scans"],
+                        point["index_gathered_rows"],
+                    ]
+                )
+            report = format_table(
+                [
+                    "population",
+                    "probe",
+                    "shortlist",
+                    "recall@1",
+                    "recall@5",
+                    "covers top5",
+                    "scans",
+                    "gathered",
+                ],
+                rows,
+                title="Sketch-based approximate ranking vs the exact engine",
+            )
+            return {"ann": report}
+
+        return ExperimentPlan(key, cells, combine_ann)
 
     if key == "bootstrap":
         quick = scale == "quick"

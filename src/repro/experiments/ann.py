@@ -1,0 +1,219 @@
+"""The ``ann`` experiment: approximate-ranking quality and speed.
+
+Two entry points with different contracts, mirroring the ``service``
+experiment:
+
+* :func:`run_ann_point` — the runner's deterministic cell body.  One
+  seeded clustered population is ranked both exactly and through the
+  sketch index at a given (probe width, shortlist) operating point;
+  the cell value records recall@1/recall@5, shortlist⊇Top-5 coverage,
+  and index counters.  No wall-clock numbers, so the report is
+  byte-stable across machines and obs-on/off runs.
+* :func:`run_ann_bench_point` — the wall-clock half behind
+  ``scripts/bench_ann.py``: per-query exact-matvec vs
+  shortlist-plus-rerank timings and the resulting speedup, alongside
+  the same recall figures.  Only ``BENCH_ann.json`` carries these
+  numbers.
+
+The synthetic workload models the paper's geography: clients in one
+region see a small, region-local replica set (Section III observes
+under ~20 frequent replicas per host), so candidate maps form clusters
+with high within-cluster and near-zero cross-cluster cosine
+similarity.  Queries perturb an existing candidate's map — the serving
+regime, where a client's nearest candidates really are cosine-close.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.core.ann import AnnParams, approx_top_k, index_for
+from repro.core.engine import PackedPopulation
+from repro.core.ratio_map import RatioMap
+from repro.core.selection import rank_packed
+from repro.netsim.rng import derive_seed
+
+#: Per-scale candidate-population sizes for the runner's ``ann`` key.
+ANN_SIZES: Dict[str, Tuple[int, ...]] = {
+    "quick": (400, 2_000),
+    "default": (1_000, 10_000),
+    "paper": (1_000, 10_000, 100_000),
+}
+
+#: The (probe_hamming, shortlist) operating points swept for the
+#: recall-vs-speedup curve: narrow, the calibrated default, wide.
+ANN_WIDTHS: Tuple[Tuple[int, int], ...] = ((0, 32), (1, 64), (2, 128))
+
+#: Replica-pool size per cluster and per-map support width.  Pools are
+#: disjoint between clusters (region-local replica sets), so
+#: cross-cluster similarity is exactly zero.
+_POOL = 14
+_SUPPORT = 9
+
+
+def synthetic_candidates(
+    population: int, seed: int
+) -> Tuple[Dict[str, RatioMap], List[int]]:
+    """A seeded clustered candidate population.
+
+    Each cluster has a Dirichlet base distribution over ``_SUPPORT``
+    replicas from its own pool; candidates multiply the base weights by
+    lognormal noise.  Returns the name → map dict (insertion order =
+    name order) and each candidate's cluster assignment.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "ann", "candidates"))
+    clusters = max(8, population // 96)
+    bases: List[Tuple[np.ndarray, np.ndarray]] = []
+    for c in range(clusters):
+        cols = rng.choice(_POOL, size=_SUPPORT, replace=False)
+        weights = rng.dirichlet(np.full(_SUPPORT, 1.2))
+        bases.append((cols, weights))
+    maps: Dict[str, RatioMap] = {}
+    assignments: List[int] = []
+    for i in range(population):
+        c = int(rng.integers(clusters))
+        cols, weights = bases[c]
+        noisy = weights * np.exp(rng.normal(0.0, 0.35, size=_SUPPORT))
+        noisy /= noisy.sum()
+        replicas = [f"r{c:05d}x{int(j):02d}" for j in cols]
+        maps[f"cand{i:06d}"] = RatioMap(dict(zip(replicas, noisy)))
+        assignments.append(c)
+    return maps, assignments
+
+
+def synthetic_queries(
+    maps: Mapping[str, RatioMap], count: int, seed: int
+) -> List[RatioMap]:
+    """Query maps: light perturbations of existing candidates."""
+    rng = np.random.default_rng(derive_seed(seed, "ann", "queries"))
+    names = list(maps)
+    queries: List[RatioMap] = []
+    for _ in range(count):
+        base = maps[names[int(rng.integers(len(names)))]]
+        replicas = list(base)
+        values = np.fromiter(base.values(), dtype=np.float64, count=len(base))
+        noisy = values * np.exp(rng.normal(0.0, 0.15, size=len(values)))
+        noisy /= noisy.sum()
+        queries.append(RatioMap(dict(zip(replicas, noisy))))
+    return queries
+
+
+def _recall_counts(
+    population: PackedPopulation,
+    params: AnnParams,
+    queries: List[RatioMap],
+    k: int,
+) -> Dict[str, float]:
+    """Exact-vs-approx agreement over a query set."""
+    index = index_for(population, params)
+    hits_1 = 0
+    overlap_k = 0
+    covered = 0
+    for query in queries:
+        exact = rank_packed(query, population, k=k)
+        approx = rank_packed(query, population, k=k, approx=params)
+        exact_names = [c.name for c in exact]
+        shortlist = set(index.shortlist(query, k))
+        hits_1 += exact_names[0] == approx[0].name
+        overlap_k += len(set(exact_names) & {c.name for c in approx})
+        covered += set(exact_names) <= shortlist
+    count = len(queries)
+    return {
+        "recall_at_1": round(hits_1 / count, 4),
+        f"recall_at_{k}": round(overlap_k / (count * k), 4),
+        f"shortlist_covers_top{k}": round(covered / count, 4),
+    }
+
+
+def run_ann_point(
+    population: int,
+    seed: int,
+    *,
+    queries: int = 40,
+    probe_hamming: int = 1,
+    shortlist: int = 64,
+    k: int = 5,
+) -> Dict[str, object]:
+    """One deterministic quality point: recall of the sketch path.
+
+    Returns only machine-independent fields; the headline is
+    ``recall_at_5`` (and coverage) at this operating point.
+    """
+    maps, assignments = synthetic_candidates(population, seed)
+    query_maps = synthetic_queries(maps, queries, seed)
+    packed = PackedPopulation(maps)
+    params = AnnParams(probe_hamming=probe_hamming, shortlist=shortlist)
+    point: Dict[str, object] = {
+        "population": population,
+        "clusters": max(assignments) + 1,
+        "queries": queries,
+        "probe_hamming": probe_hamming,
+        "shortlist": shortlist,
+        "k": k,
+    }
+    point.update(_recall_counts(packed, params, query_maps, k))
+    index = index_for(packed, params)
+    stats = index.stats()
+    point["index_rows"] = stats["rows"]
+    point["index_full_scans"] = stats["full_scans"]
+    point["index_gathered_rows"] = stats["gathered_rows"]
+    return point
+
+
+def run_ann_bench_point(
+    population: int,
+    seed: int,
+    *,
+    queries: int = 50,
+    probe_hamming: int = 1,
+    shortlist: int = 64,
+    k: int = 5,
+    repeats: int = 3,
+) -> Dict[str, object]:
+    """One wall-clock point: exact matvec vs shortlist + exact rerank.
+
+    Timings bypass the selection memo (direct engine / ann calls) so
+    both sides measure real per-query work; recall is computed once,
+    outside the timed loops.
+    """
+    maps, _ = synthetic_candidates(population, seed)
+    query_maps = synthetic_queries(maps, queries, seed)
+    packed = PackedPopulation(maps)
+    params = AnnParams(probe_hamming=probe_hamming, shortlist=shortlist)
+
+    build_started = perf_counter()
+    index = index_for(packed, params)
+    build_wall = perf_counter() - build_started
+    packed._ensure_view()  # pack outside the timed loops
+
+    exact_best = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        for query in query_maps:
+            scores = packed.scores(query)
+            packed.top_k_indices(scores, k)
+        exact_best = min(exact_best, (perf_counter() - started) / queries)
+
+    approx_best = float("inf")
+    for _ in range(repeats):
+        started = perf_counter()
+        for query in query_maps:
+            approx_top_k(query, packed, k, index=index)
+        approx_best = min(approx_best, (perf_counter() - started) / queries)
+
+    point: Dict[str, object] = {
+        "population": population,
+        "queries": queries,
+        "probe_hamming": probe_hamming,
+        "shortlist": shortlist,
+        "k": k,
+        "index_build_s": round(build_wall, 3),
+        "exact_us_per_query": round(exact_best * 1e6, 1),
+        "approx_us_per_query": round(approx_best * 1e6, 1),
+        "speedup": round(exact_best / max(approx_best, 1e-12), 1),
+    }
+    point.update(_recall_counts(packed, params, query_maps, k))
+    return point

@@ -30,6 +30,7 @@ from itertools import islice
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.ann import AnnParams
 from repro.netsim.rng import derive_seed
 from repro.obs import LATENCY_BUCKETS_US, Observability
 from repro.serve import (
@@ -89,6 +90,7 @@ def serve_params_for(
     lparams: LoadgenParams,
     shards: int,
     max_trackers: Optional[int] = None,
+    approx: Optional["AnnParams"] = None,
 ) -> ServeParams:
     """Serving params matched to a load script's population."""
     return ServeParams(
@@ -97,6 +99,7 @@ def serve_params_for(
         customer_name=lparams.customer_name,
         max_trackers=max_trackers,
         top_k=lparams.top_k,
+        approx=approx,
     )
 
 
@@ -186,6 +189,7 @@ def run_bench_point(
     queries: int = 20_000,
     max_trackers: Optional[int] = None,
     check_fingerprint: bool = False,
+    approx: Optional[AnnParams] = None,
 ) -> Dict[str, object]:
     """Preseed ``population`` tracked clients, then time a query phase.
 
@@ -217,7 +221,7 @@ def run_bench_point(
     preseed_end = 1.0 + population * _PRESEED_DT
     query_ops = _query_ops(lparams, seed, queries, preseed_end)
 
-    sparams = serve_params_for(lparams, shards, max_trackers=max_trackers)
+    sparams = serve_params_for(lparams, shards, max_trackers=max_trackers, approx=approx)
     obs = Observability()  # latency histograms live here; shards stay no-op
     service = ShardedCRPService(sparams)
     server = CRPServer(service, obs=obs)

@@ -86,7 +86,7 @@ class ShardedCRPService:
                 )
             return "OK"
         if op.verb == "POSITION":
-            answer = self.shard_for(op.subject).position(op.at, op.subject)
+            answer = self.shard_for(op.subject).position(op.at, op.subject, op.k)
             return format_answer(answer, op.k if op.k is not None else self.params.top_k)
         raise ValueError(f"unknown op verb {op.verb!r}")
 
@@ -124,6 +124,9 @@ class ShardedCRPService:
             "evictions": sum(s.evictions for s in per_shard),
             "recreations": sum(s.recreations for s in per_shard),
             "engine_rows": sum(s.engine.get("rows", 0) for s in per_shard),
+            "ann_rows": sum(s.ann.get("rows", 0) for s in per_shard),
+            "ann_queries": sum(s.ann.get("queries", 0) for s in per_shard),
+            "ann_full_scans": sum(s.ann.get("full_scans", 0) for s in per_shard),
         }
 
 
@@ -241,7 +244,7 @@ class CRPServer:
             started = perf_counter()
             try:
                 if kind == _POSITION:
-                    answer = shard.position(op.at, op.subject)
+                    answer = shard.position(op.at, op.subject, op.k)
                     response = format_answer(answer, op.k if op.k is not None else top_k)
                 elif kind == _CANDIDATE:
                     shard.observe_candidate(op.at, op.subject, op.name, op.addresses)
@@ -371,7 +374,13 @@ def replay_unsharded(
         elif op.verb == "POSITION":
             if not service.is_registered(op.subject):
                 service.register_node(op.subject, None)
-            answer = service.position(op.subject, params.candidates)
+            # Mirror ShardWorker.position's k resolution exactly so the
+            # approx-mode reference stays comparable byte for byte.
+            if params.approx is not None:
+                k_eff = op.k if op.k is not None else params.top_k
+            else:
+                k_eff = None
+            answer = service.position(op.subject, params.candidates, k=k_eff)
             answers.append(
                 format_answer(answer, op.k if op.k is not None else params.top_k)
             )

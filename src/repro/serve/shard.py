@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple
 
+from repro.core.ann import AnnParams, index_stats
 from repro.core.service import (
     CRPService,
     CRPServiceParams,
@@ -64,6 +65,11 @@ class ServeParams:
     top_k: int = 10
     #: Maps older than this answer as stale.
     stale_after_s: float = 3600.0
+    #: Approximate-ranking configuration.  None (the default) keeps
+    #: every POSITION exact; set, each shard answers Top-K queries
+    #: through its sketch index (shortlist + exact rerank), maintained
+    #: incrementally alongside the candidate population.
+    approx: Optional[AnnParams] = None
 
     def __post_init__(self) -> None:
         if not self.candidates:
@@ -88,6 +94,7 @@ class ServeParams:
             metric=self.metric,
             probe_policy=ProbePolicy(stale_after_s=self.stale_after_s),
             max_observations=self.window_probes,
+            ann=self.approx,
         )
 
 
@@ -103,6 +110,8 @@ class ShardStats:
     recreations: int
     clock_s: float
     engine: Dict[str, int] = field(default_factory=dict)
+    #: Sketch-index counters (empty when approximate ranking is off).
+    ann: Dict[str, int] = field(default_factory=dict)
 
 
 class ShardWorker:
@@ -207,12 +216,26 @@ class ShardWorker:
         self.service.observe(candidate, name, addresses)
         self.observations += 1
 
-    def position(self, at: float, client: str) -> PositioningAnswer:
-        """Answer one POSITION query at a request timestamp."""
+    def position(
+        self, at: float, client: str, k: Optional[int] = None
+    ) -> PositioningAnswer:
+        """Answer one POSITION query at a request timestamp.
+
+        With ``approx`` configured, the requested ``k`` (or the
+        configured ``top_k`` when the request names none) bounds the
+        ranking through the sketch index; in exact mode ``k`` is
+        ignored here and the front end trims the full ranking instead,
+        so exact-mode answers stay byte-identical to the pre-approx
+        serving path.
+        """
         self.clock.advance_to(at)
         self._touch(client)
         self.positions += 1
-        return self.service.position(client, self.params.candidates)
+        if self.params.approx is not None:
+            k_eff: Optional[int] = k if k is not None else self.params.top_k
+        else:
+            k_eff = None
+        return self.service.position(client, self.params.candidates, k=k_eff)
 
     # -- admin --------------------------------------------------------------
 
@@ -231,4 +254,5 @@ class ShardWorker:
             recreations=self.recreations,
             clock_s=self.clock.now,
             engine=population.stats() if population is not None else {},
+            ann=index_stats(population) if population is not None else {},
         )

@@ -34,6 +34,7 @@ def maps_fixture():
 def test_default_registry_has_all_builtins():
     registry = default_registry()
     assert registry.names() == (
+        "ann_index",
         "engine",
         "event_loop",
         "health_transitions",

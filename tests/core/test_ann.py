@@ -1,0 +1,287 @@
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.ann import (
+    AnnParams,
+    SketchIndex,
+    approx_top_k,
+    index_for,
+    index_stats,
+    replica_sign_words,
+)
+from repro.core.engine import PackedPopulation
+from repro.core.ratio_map import RatioMap
+from repro.core.selection import rank_packed
+from repro.core.similarity import SimilarityMetric
+from repro.experiments.ann import synthetic_candidates, synthetic_queries
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def small_population(count: int = 60, seed: int = 7) -> PackedPopulation:
+    maps, _ = synthetic_candidates(count, seed)
+    return PackedPopulation(maps)
+
+
+# -- params validation --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"bits": 0},
+        {"bits": 100},
+        {"tables": 0},
+        {"bucket_bits": 0},
+        {"bucket_bits": 33},
+        {"tables": 5, "bucket_bits": 16},  # 80 bits > one word
+        {"probe_hamming": -1},
+        {"shortlist": 0},
+    ],
+)
+def test_params_validation(kwargs):
+    with pytest.raises(ValueError):
+        AnnParams(**kwargs)
+
+
+def test_params_hashable_and_cacheable():
+    population = small_population()
+    params = AnnParams()
+    assert index_for(population, params) is index_for(population, AnnParams())
+    wider = AnnParams(shortlist=128)
+    assert index_for(population, wider) is not index_for(population, params)
+
+
+# -- sketch determinism -------------------------------------------------------
+
+
+def test_sign_words_deterministic_and_seed_sensitive():
+    a = replica_sign_words("replica-x", 4, seed=2008)
+    b = replica_sign_words("replica-x", 4, seed=2008)
+    assert (a == b).all()
+    assert not (a == replica_sign_words("replica-x", 4, seed=2009)).all()
+    assert not (a == replica_sign_words("replica-y", 4, seed=2008)).all()
+
+
+def test_sign_words_counter_based_prefix_stable():
+    short = replica_sign_words("replica-x", 2, seed=2008)
+    long = replica_sign_words("replica-x", 6, seed=2008)
+    assert (long[:2] == short).all()
+
+
+def test_sketch_bit_identical_across_index_instances():
+    ratio_map = RatioMap({"r-a": 0.5, "r-b": 0.3, "r-c": 0.2})
+    one = SketchIndex(AnnParams()).sketch(ratio_map)
+    two = SketchIndex(AnnParams()).sketch(ratio_map)
+    assert (one == two).all()
+
+
+def test_sketch_bit_identical_across_hashseed_processes():
+    """The sketch must not depend on PYTHONHASHSEED (no hash() use)."""
+    snippet = (
+        "import sys; sys.path.insert(0, {src!r})\n"
+        "from repro.core.ann import AnnParams, SketchIndex\n"
+        "from repro.core.ratio_map import RatioMap\n"
+        "m = RatioMap({{'r-a': 0.5, 'r-b': 0.3, 'r-c': 0.2}})\n"
+        "words = SketchIndex(AnnParams()).sketch(m)\n"
+        "print(','.join(hex(int(w)) for w in words))\n"
+    ).format(src=SRC)
+    digests = []
+    for hashseed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        out = subprocess.run(
+            [sys.executable, "-c", snippet],
+            env=env,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        digests.append(out.stdout.strip())
+    assert digests[0]
+    assert len(set(digests)) == 1
+
+
+# -- maintenance --------------------------------------------------------------
+
+
+def test_add_duplicate_and_remove_absent_raise():
+    index = SketchIndex(AnnParams())
+    index.add("n1", RatioMap({"r": 1.0}))
+    with pytest.raises(ValueError):
+        index.add("n1", RatioMap({"r": 1.0}))
+    with pytest.raises(KeyError):
+        index.remove("ghost")
+
+
+def test_churn_equals_fresh_build():
+    """add/remove/re-add in any order answers like a fresh index."""
+    maps, _ = synthetic_candidates(90, seed=11)
+    names = list(maps)
+    churned = SketchIndex(AnnParams(shortlist=8))
+    for name in names:
+        churned.add(name, maps[name])
+    # Remove a third (every third name), then re-add in reverse order.
+    dropped = names[::3]
+    for name in dropped:
+        churned.remove(name)
+    for name in reversed(dropped):
+        churned.add(name, maps[name])
+
+    fresh = SketchIndex(AnnParams(shortlist=8))
+    for name in names:
+        fresh.add(name, maps[name])
+
+    queries = synthetic_queries(maps, 10, seed=12)
+    for query in queries:
+        assert churned.shortlist(query, 5) == fresh.shortlist(query, 5)
+
+
+def test_index_for_tracks_population_churn():
+    """The listener keeps the index in sync through engine add/remove."""
+    maps, _ = synthetic_candidates(80, seed=13)
+    population = PackedPopulation(maps)
+    index = index_for(population, AnnParams(shortlist=8))
+    assert len(index) == len(population)
+
+    victim = population.names[0]
+    victim_map = population.get(victim)
+    population.remove(victim)
+    assert victim not in index
+    assert len(index) == len(population)
+    population.add(victim, victim_map)
+    assert victim in index
+
+    fresh = SketchIndex(AnnParams(shortlist=8))
+    for name in population.names:
+        fresh.add(name, population.get(name))
+    for query in synthetic_queries(maps, 6, seed=14):
+        assert index.shortlist(query, 5) == fresh.shortlist(query, 5)
+
+
+def test_index_invariant_clean_after_churn():
+    from repro.check.invariants import check_ann_index
+
+    maps, _ = synthetic_candidates(70, seed=15)
+    population = PackedPopulation(maps)
+    index = index_for(population, AnnParams())
+    for name in list(population.names)[::4]:
+        kept = population.get(name)
+        population.remove(name)
+        population.add(name, kept)
+    assert check_ann_index(index, population) == []
+
+
+def test_index_invariant_catches_corruption():
+    from repro.check.invariants import check_ann_index
+
+    maps, _ = synthetic_candidates(40, seed=16)
+    population = PackedPopulation(maps)
+    index = index_for(population, AnnParams())
+    index._rows[0] ^= np.uint64(1)  # flip one stored sketch bit
+    assert check_ann_index(index, population)
+
+
+# -- queries ------------------------------------------------------------------
+
+
+def test_shortlist_small_population_is_exhaustive():
+    population = small_population(30)
+    index = index_for(population, AnnParams(shortlist=64))
+    query = synthetic_queries(
+        {name: population.get(name) for name in population.names}, 1, seed=3
+    )[0]
+    assert index.shortlist(query) == sorted(population.names)
+
+
+def test_approx_equals_exact_with_covering_shortlist():
+    """With the shortlist at the population size, approx == exact."""
+    maps, _ = synthetic_candidates(120, seed=17)
+    population = PackedPopulation(maps)
+    params = AnnParams(shortlist=120)
+    for query in synthetic_queries(maps, 8, seed=18):
+        exact = rank_packed(query, population, k=5)
+        approx = approx_top_k(query, population, 5, params=params)
+        assert approx == exact
+
+
+def test_approx_scores_are_true_cosines():
+    """Rerank scores come from the exact engine, not the sketch."""
+    maps, _ = synthetic_candidates(100, seed=19)
+    population = PackedPopulation(maps)
+    query = synthetic_queries(maps, 1, seed=20)[0]
+    full = {c.name: c.score for c in rank_packed(query, population)}
+    for row in approx_top_k(query, population, 5):
+        assert row.score == pytest.approx(full[row.name], abs=1e-9)
+
+
+def test_approx_exclude_before_cutoff():
+    maps, _ = synthetic_candidates(100, seed=21)
+    population = PackedPopulation(maps)
+    params = AnnParams(shortlist=100)
+    query = synthetic_queries(maps, 1, seed=22)[0]
+    top = approx_top_k(query, population, 5, params=params)
+    excluded = top[0].name
+    survivors = approx_top_k(query, population, 5, params=params, exclude=excluded)
+    assert len(survivors) == 5
+    assert excluded not in [c.name for c in survivors]
+    expected = [c.name for c in rank_packed(query, population) if c.name != excluded]
+    assert [c.name for c in survivors] == expected[:5]
+
+
+def test_approx_validation_and_empty():
+    population = small_population(10)
+    query = RatioMap({"r": 1.0})
+    with pytest.raises(ValueError):
+        approx_top_k(query, population, 0)
+    empty = PackedPopulation({})
+    assert approx_top_k(query, empty, 3) == []
+
+
+def test_approx_non_cosine_metric_reranks_with_metric():
+    maps, _ = synthetic_candidates(60, seed=23)
+    population = PackedPopulation(maps)
+    params = AnnParams(shortlist=60)
+    query = synthetic_queries(maps, 1, seed=24)[0]
+    exact = rank_packed(query, population, SimilarityMetric.JACCARD, k=5)
+    approx = approx_top_k(
+        query, population, 5, SimilarityMetric.JACCARD, params=params
+    )
+    assert approx == exact
+
+
+# -- counters -----------------------------------------------------------------
+
+
+def test_stats_and_merged_index_stats():
+    population = small_population(50)
+    assert index_stats(population) == {}
+    index = index_for(population, AnnParams())
+    maps = {name: population.get(name) for name in population.names}
+    for query in synthetic_queries(maps, 3, seed=25):
+        index.shortlist(query, 5)
+    stats = index.stats()
+    assert stats["rows"] == 50
+    assert stats["adds"] == 50
+    assert stats["queries"] == 3
+    # At 50 rows the shortlist target (64) exceeds the population, so
+    # queries answer exhaustively without probing or scanning.
+    assert stats["bucket_probes"] == 0
+    merged = index_stats(population)
+    assert merged["rows"] == 50
+    assert merged["bits"] == AnnParams().bits
+
+
+def test_full_scan_fallback_counted():
+    """Probing wider than the population falls back to a Hamming scan."""
+    maps, _ = synthetic_candidates(90, seed=26)
+    population = PackedPopulation(maps)
+    index = index_for(population, AnnParams(shortlist=80, probe_hamming=2))
+    query = synthetic_queries(maps, 1, seed=27)[0]
+    names = index.shortlist(query, 1)
+    assert len(names) == 80
+    assert index.stats()["full_scans"] >= 1

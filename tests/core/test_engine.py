@@ -286,3 +286,100 @@ def test_population_stats_track_mutation(maps):
     assert stats["packed_rows"] == 1
     assert stats["nnz"] > 0
     assert stats["vocabulary"] >= 2
+
+
+# -- per-map vector cache ----------------------------------------------------
+
+
+def test_map_arrays_cached_per_vocabulary(maps):
+    """A map shared between populations with different vocabularies
+    keeps one cache entry per vocabulary — alternating queries hit the
+    cache instead of re-interning every time."""
+    from repro.core.engine import _map_arrays
+
+    shared = maps["ny"]
+    vocab_a = ReplicaVocabulary()
+    vocab_b = ReplicaVocabulary()
+    vocab_b.intern("pad")  # different column assignment than vocab_a
+    cols_a, ratios_a = _map_arrays(shared, vocab_a)
+    cols_b, _ = _map_arrays(shared, vocab_b)
+    assert cols_a.tolist() != cols_b.tolist()
+    # Alternation returns the cached arrays (identity, not recompute).
+    again_a, again_ratios = _map_arrays(shared, vocab_a)
+    assert again_a is cols_a and again_ratios is ratios_a
+    assert _map_arrays(shared, vocab_b)[0] is cols_b
+
+
+def test_map_arrays_interns_once_per_vocabulary(maps):
+    """Alternating between two vocabularies must not re-derive arrays:
+    columns_of runs once per (map, vocabulary)."""
+    from repro.core.engine import _map_arrays
+
+    shared = maps["ny"]
+    calls = []
+
+    class CountingVocabulary(ReplicaVocabulary):
+        def columns_of(self, ratio_map):
+            calls.append(self)
+            return super().columns_of(ratio_map)
+
+    vocab_a = CountingVocabulary()
+    vocab_b = CountingVocabulary()
+    for _ in range(4):
+        _map_arrays(shared, vocab_a)
+        _map_arrays(shared, vocab_b)
+    assert calls == [vocab_a, vocab_b]
+
+
+def test_map_arrays_cache_bounded(maps):
+    from repro.core.engine import _MAP_VEC_SLOTS, _map_arrays
+
+    shared = maps["ny"]
+    vocabs = [ReplicaVocabulary() for _ in range(_MAP_VEC_SLOTS + 3)]
+    for vocab in vocabs:
+        _map_arrays(shared, vocab)
+    assert len(shared._vec) == _MAP_VEC_SLOTS
+    # The most recent vocabularies survived (move-to-front order).
+    cached = [entry[0] for entry in shared._vec]
+    assert cached == list(reversed(vocabs[-_MAP_VEC_SLOTS:]))
+
+
+# -- row-subset scoring ------------------------------------------------------
+
+
+def test_scores_rows_matches_scores_all_metrics(maps):
+    population = PackedPopulation(maps)
+    client = _map(r1=0.3, r3=0.7)
+    for metric in SimilarityMetric:
+        full = population.scores(client, metric)
+        rows = np.array([2, 0, 3], dtype=np.int64)
+        subset = population.scores_rows(client, rows, metric)
+        assert subset.tolist() == full[rows].tolist()
+    assert population.scores_rows(client, np.empty(0, dtype=np.int64)).size == 0
+
+
+# -- membership listeners ----------------------------------------------------
+
+
+def test_listeners_notified_of_membership_changes(maps):
+    events = []
+
+    class Recorder:
+        def on_add(self, name, ratio_map):
+            events.append(("add", name, ratio_map))
+
+        def on_remove(self, name):
+            events.append(("remove", name))
+
+    population = PackedPopulation(maps)
+    population.attach_listener(Recorder())
+    replacement = _map(r9=1.0)
+    population.add("new", replacement)
+    population.remove("ny")
+    population.update("nj", replacement)  # remove + add through one call
+    assert events == [
+        ("add", "new", replacement),
+        ("remove", "ny"),
+        ("remove", "nj"),
+        ("add", "nj", replacement),
+    ]

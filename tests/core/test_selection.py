@@ -163,3 +163,65 @@ def test_rank_packed_empty_population(maps):
 
     client, _ = maps
     assert rank_packed(client, packed_for({})) == []
+
+
+def test_rank_packed_k_prefix_of_full_ranking(maps):
+    from repro.core.engine import packed_for
+    from repro.core.selection import rank_packed
+
+    client, candidates = maps
+    population = packed_for(candidates)
+    full = rank_packed(client, population)
+    for k in (1, 2, 3, 5):
+        assert rank_packed(client, population, k=k) == full[: k]
+    with pytest.raises(ValueError):
+        rank_packed(client, population, k=0)
+
+
+def test_rank_packed_k_with_exclude_inside_slice(maps):
+    """Exclusion before cutoff: k rows come back even when the excluded
+    name would have made the Top-K."""
+    from repro.core.engine import packed_for
+    from repro.core.selection import rank_packed
+
+    client, candidates = maps
+    population = packed_for(candidates)
+    top = rank_packed(client, population, k=2, exclude="c")
+    assert [r.name for r in top] == ["b", "far"]
+    # Excluding a name outside the slice (or an absent one) changes nothing.
+    assert rank_packed(client, population, k=2, exclude="far") == rank_packed(
+        client, population
+    )[:2]
+    assert rank_packed(client, population, k=2, exclude="zz") == rank_packed(
+        client, population
+    )[:2]
+
+
+def test_memo_lru_keeps_hot_entries():
+    """A repeatedly-recalled ranking survives > _MEMO_SIZE other
+    queries; an untouched one rotates out (eviction is by recency of
+    use, not insertion)."""
+    from repro.core.engine import packed_for
+    from repro.core.selection import _MEMO_SIZE, rank_candidates
+
+    candidates = {
+        "b": RatioMap({"rx": 0.6, "ry": 0.4}),
+        "c": RatioMap({"rx": 0.1, "ry": 0.9}),
+    }
+    population = packed_for(candidates)
+    hot = RatioMap({"rx": 0.2, "ry": 0.8})
+    cold = RatioMap({"rx": 0.3, "ry": 0.7})
+    rank_candidates(hot, candidates)
+    rank_candidates(cold, candidates)
+    hot_key = (id(hot), SimilarityMetric.COSINE, 0)
+    cold_key = (id(cold), SimilarityMetric.COSINE, 0)
+    assert hot_key in population.memo and cold_key in population.memo
+    fillers = [
+        RatioMap({"rx": 0.1 + 0.8 * i / _MEMO_SIZE, "ry": 0.9 - 0.8 * i / _MEMO_SIZE})
+        for i in range(_MEMO_SIZE)
+    ]
+    for filler in fillers:
+        rank_candidates(hot, candidates)  # touch the hot entry...
+        rank_candidates(filler, candidates)  # ...then insert a new one
+    assert hot_key in population.memo
+    assert cold_key not in population.memo

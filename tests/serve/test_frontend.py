@@ -221,3 +221,31 @@ def test_tcp_line_protocol_roundtrip():
         await server.stop()
 
     asyncio.run(drive())
+
+def test_approx_serving_matches_unsharded_replay(script):
+    """With approximate ranking configured, the sharded asyncio path and
+    the unsharded replay agree byte for byte (both route POSITION
+    through the same shortlist + exact rerank), and the STATS surface
+    reports the index counters."""
+    from repro.core.ann import AnnParams
+
+    approx = AnnParams()
+    sparams = serve_params(4, approx=approx)
+    reference = fingerprint_answers(replay_unsharded(sparams, script))
+    service = ShardedCRPService(sparams)
+    answers = asyncio.run(run_script(CRPServer(service), script))
+    assert fingerprint_answers(answers) == reference
+    stats = service.stats()
+    assert stats["ann_queries"] > 0
+    assert stats["ann_rows"] > 0
+
+
+def test_approx_serving_small_population_equals_exact(script, reference):
+    """At this population the shortlist covers everything, so approx
+    answers equal the exact-mode fingerprint too — the calibrated
+    fallback keeps small populations recall-perfect."""
+    from repro.core.ann import AnnParams
+
+    service = ShardedCRPService(serve_params(2, approx=AnnParams()))
+    answers = service.replay(script)
+    assert fingerprint_answers(answers) == reference
