@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Assert the fig8 plan's warm run performs zero full re-simulations.
+
+Runs the fig8 experiment plan twice over one on-disk snapshot cache
+(the ``--snapshot-cache`` regime) and checks the prefix-extended
+window contract end to end:
+
+* the second run builds **no** scenario from scratch
+  (``full_runs == 0``) and probes **no** rounds
+  (``rounds_extended``-free: every checkpoint restores);
+* every probing round of the cold run is accounted as saved on the
+  warm run;
+* both runs render byte-identical reports.
+
+Exits non-zero on any violation — the ``fig8-warm-smoke`` CI job.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/fig8_warm_smoke.py --scale quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.exec import plan_for, run_cells  # noqa: E402
+
+
+def _fingerprint(plan, sweep) -> str:
+    by_key = sweep.by_key()
+    reports = plan.combine([by_key[c.cell_key] for c in plan.cells])
+    digest = hashlib.sha256()
+    for name in sorted(reports):
+        digest.update(name.encode())
+        digest.update(reports[name].encode())
+    return digest.hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default="quick")
+    args = parser.parse_args()
+
+    plan = plan_for("fig8", args.scale)
+    # Every round the schedule needs, summed over the interval cells —
+    # what the cold run must probe and the warm run must restore.
+    total_rounds = sum(
+        max(1, int(
+            float(cell.option("duration_minutes"))
+            // float(cell.option("interval_minutes"))
+        ))
+        for cell in plan.cells
+    )
+
+    with tempfile.TemporaryDirectory(prefix="fig8-warm-smoke-") as cache_dir:
+        cold = run_cells(plan.cells, jobs=1, manifest=False, store_dir=cache_dir)
+        warm = run_cells(plan.cells, jobs=1, manifest=False, store_dir=cache_dir)
+
+    for label, sweep in (("cold", cold), ("warm", warm)):
+        if not sweep.ok:
+            for failure in sweep.failures():
+                print(f"FAILED {failure.cell_key}\n{failure.error}")
+            return 1
+        print(
+            f"{label}: wall {sweep.wall_s:6.1f}s  "
+            f"full_runs={sweep.snapshot_full_runs}  "
+            f"prefix_hits={sweep.snapshot_prefix_hits}  "
+            f"rounds_saved={sweep.snapshot_rounds_saved}"
+        )
+
+    failures = []
+    if cold.snapshot_full_runs != len(plan.cells):
+        failures.append(
+            f"cold run built {cold.snapshot_full_runs} scenarios, "
+            f"expected {len(plan.cells)}"
+        )
+    if warm.snapshot_full_runs != 0:
+        failures.append(
+            f"warm run built {warm.snapshot_full_runs} scenarios from "
+            "scratch (expected none: every window is cached)"
+        )
+    if warm.snapshot_rounds_saved != total_rounds:
+        failures.append(
+            f"warm run restored {warm.snapshot_rounds_saved} rounds, "
+            f"expected all {total_rounds}"
+        )
+    cold_fp = _fingerprint(plan, cold)
+    warm_fp = _fingerprint(plan, warm)
+    if cold_fp != warm_fp:
+        failures.append(f"report fingerprints differ: {cold_fp} vs {warm_fp}")
+
+    if failures:
+        for failure in failures:
+            print(f"VIOLATION: {failure}")
+        return 1
+    print(f"fig8 warm smoke OK: reports identical ({cold_fp[:16]}…), "
+          f"warm run re-simulated nothing")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

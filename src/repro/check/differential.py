@@ -35,7 +35,10 @@ The standard pair builders cover the equivalences the repo promises:
   and shortlist⊇exact-Top-K coverage);
 * :func:`ann_exact_mode_pair` — ``rank_packed``'s k/exclude fast path
   against the legacy rank-everything-then-slice composition, byte for
-  byte (the exact-mode identity promise).
+  byte (the exact-mode identity promise);
+* :func:`fig8_packed_scalar_pair` — figure 8's packed ``k=1``
+  checkpoint evaluation against the scalar ranking reference over one
+  probing schedule, sweep point for sweep point.
 """
 
 from __future__ import annotations
@@ -558,4 +561,52 @@ def remap_stanza_pair(
         name="remap-disabled-vs-absent",
         left=lambda: _scenario_summary_fields(disabled, probe_rounds),
         right=lambda: _scenario_summary_fields(absent, probe_rounds),
+    )
+
+
+def fig8_packed_scalar_pair(
+    seed: int = 2008,
+    clients: int = 12,
+    candidates: int = 6,
+    rounds: int = 6,
+    evaluations: int = 3,
+) -> DifferentialPair:
+    """Figure 8's packed checkpoint evaluation vs the scalar reference.
+
+    ``collect_ranks`` routes every checkpoint's Top-1 ranking through
+    the packed engine's ``k=1`` fast path; this pair holds the
+    resulting sweep point — per-client averages, the sorted series and
+    the unplottable count — byte-identical to the same sweep evaluated
+    through scalar :func:`~repro.core.selection.rank_candidates`.
+    """
+    params = ScenarioParams(
+        seed=seed,
+        dns_servers=clients,
+        planetlab_nodes=candidates,
+        build_meridian=False,
+    )
+
+    def side(packed: bool) -> Callable[[], Mapping[str, object]]:
+        def produce() -> Mapping[str, object]:
+            from repro.experiments.fig8_interval import collect_ranks
+
+            point = collect_ranks(
+                params, rounds, 20.0, evaluations, None, packed=packed
+            )
+            return {
+                "label": point.label,
+                "unplottable": point.unplottable_clients,
+                "clients": repr(sorted(point.avg_rank_by_client)),
+                "avg_ranks": repr(
+                    [point.avg_rank_by_client[c] for c in sorted(point.avg_rank_by_client)]
+                ),
+                "series": repr(point.series),
+            }
+
+        return produce
+
+    return DifferentialPair(
+        name="fig8-packed-vs-scalar",
+        left=side(True),
+        right=side(False),
     )

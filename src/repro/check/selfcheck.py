@@ -6,14 +6,17 @@ One call runs the whole correctness battery at small scale:
    built-in invariant over its live objects: each node's tracker and
    ratio map, the packed engine population behind the candidate maps,
    every resolver's TTL cache, the service health machine (records and
-   emitted transitions), and an SMF clustering's post-conditions.
+   emitted transitions), an SMF clustering's post-conditions, and a
+   prefix-extended probing window (restore a cached half-schedule,
+   probe the rest) against the straight-through scenario.
 2. **Differential pairs** — the equivalences the repo promises:
    vectorized vs scalar positioning, obs-on vs obs-off experiment
    reports (for the selected experiment producers), a
    present-but-disabled chaos stanza vs an absent one, the dense
-   round loop vs the event engine under the degenerate workload, and
+   round loop vs the event engine under the degenerate workload,
    the sketch-based approximate ranker vs the exact engine (plus the
-   exact-mode byte-identity of the k/exclude fast path).
+   exact-mode byte-identity of the k/exclude fast path), and figure
+   8's packed checkpoint evaluation vs the scalar ranking reference.
 3. **Fuzz drivers** — seeded churn/observation/clustering fuzz with
    scalar↔vectorized cross-checks after every step and input
    shrinking on failure.
@@ -38,6 +41,7 @@ from repro.check.differential import (
     ann_exact_pair,
     chaos_stanza_pair,
     dense_event_pair,
+    fig8_packed_scalar_pair,
     remap_stanza_pair,
     obs_pair,
     scalar_vector_pair,
@@ -206,6 +210,22 @@ def _sweep_scenario_invariants(
     result = crp.cluster(scenario.client_names, smf_params=smf_params)
     run("smf_result", "smf-clustering", result, client_maps, smf_params)
 
+    # Prefix-extended windows: restoring a cached shorter window and
+    # probing the remainder must be indistinguishable from the straight
+    # run above (same params, same schedule) — the promise fig8/fig9's
+    # checkpointed probing rests on (DESIGN §17).
+    from repro.exec.snapshots import SnapshotStore
+    from repro.workloads.scenario import driven_scenario
+
+    prefix_store = SnapshotStore()
+    driven_scenario(
+        scenario.params, max(1, config.probe_rounds // 2), store=prefix_store
+    )
+    extended = driven_scenario(
+        scenario.params, config.probe_rounds, store=prefix_store
+    )
+    run("snapshot_restore", "prefix-extended-window", scenario, extended)
+
     # A second, event-driven scenario exercises the engine end to end
     # (sparse Zipf workload) and checks the loop's own invariant.
     from repro.sim.workload import PoissonZipfWorkload
@@ -250,6 +270,7 @@ def _standard_pairs(
         ),
         ann_exact_pair(seed=config.seed),
         ann_exact_mode_pair(seed=config.seed),
+        fig8_packed_scalar_pair(seed=config.seed),
     ]
     if producers:
         seen: List[Callable[[str], Mapping[str, str]]] = []

@@ -194,6 +194,7 @@ def _fig8_point(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
         float(cell.option("duration_minutes")),
         evaluations=int(cell.option("evaluations", 4)),
         window_probes=cell.option("window_probes"),
+        store=store,
     )
     return CellOutput(value=point)
 
@@ -204,7 +205,7 @@ def _fig9(cell: Cell, seed: int, store: SnapshotStore) -> CellOutput:
     rounds = int(
         cell.option("probe_rounds", 48 if cell.scale == "quick" else 144)
     )
-    result = run_fig9(scenario, probe_rounds=rounds)
+    result = run_fig9(scenario, probe_rounds=rounds, store=store)
     return CellOutput(reports={"fig9": result.report()})
 
 

@@ -27,7 +27,7 @@ With manifests enabled each cell runs under its own
 :func:`repro.obs.observed` scope; the per-cell manifests are merged
 into one sweep manifest with aggregate wall/sim time and rollup
 counters (``exec.cells.ok``/``failed``, ``exec.snapshot.hits``/
-``misses``).
+``misses``/``prefix_hits``/``rounds_saved``/``full_runs``).
 """
 
 from __future__ import annotations
@@ -129,6 +129,12 @@ class CellResult:
     manifest: Optional[Dict[str, object]] = None
     snapshot_hits: int = 0
     snapshot_misses: int = 0
+    #: Prefix-extension accounting (see :class:`SnapshotStore`):
+    #: windows served from a shorter cached prefix, rounds restored
+    #: instead of simulated, and scenarios built from scratch.
+    snapshot_prefix_hits: int = 0
+    snapshot_rounds_saved: int = 0
+    snapshot_full_runs: int = 0
 
 
 @dataclass
@@ -158,6 +164,18 @@ class SweepResult:
     def snapshot_misses(self) -> int:
         return sum(r.snapshot_misses for r in self.results)
 
+    @property
+    def snapshot_prefix_hits(self) -> int:
+        return sum(r.snapshot_prefix_hits for r in self.results)
+
+    @property
+    def snapshot_rounds_saved(self) -> int:
+        return sum(r.snapshot_rounds_saved for r in self.results)
+
+    @property
+    def snapshot_full_runs(self) -> int:
+        return sum(r.snapshot_full_runs for r in self.results)
+
 
 def _execute_cell(
     cell: Cell, root_seed: int, store: SnapshotStore, manifest: bool
@@ -167,6 +185,11 @@ def _execute_cell(
 
     seed = cell.seed if cell.seed is not None else seed_for(cell.cell_key, root_seed)
     hits0, misses0 = store.hits, store.misses
+    prefix0, saved0, full0 = (
+        store.prefix_hits,
+        store.rounds_saved,
+        store.full_runs,
+    )
     started = time.perf_counter()
     run = None
     try:
@@ -198,6 +221,9 @@ def _execute_cell(
             manifest=manifest_dict,
             snapshot_hits=store.hits - hits0,
             snapshot_misses=store.misses - misses0,
+            snapshot_prefix_hits=store.prefix_hits - prefix0,
+            snapshot_rounds_saved=store.rounds_saved - saved0,
+            snapshot_full_runs=store.full_runs - full0,
         )
     except Exception:
         return CellResult(
@@ -210,6 +236,9 @@ def _execute_cell(
             wall_s=time.perf_counter() - started,
             snapshot_hits=store.hits - hits0,
             snapshot_misses=store.misses - misses0,
+            snapshot_prefix_hits=store.prefix_hits - prefix0,
+            snapshot_rounds_saved=store.rounds_saved - saved0,
+            snapshot_full_runs=store.full_runs - full0,
         )
 
 
@@ -248,6 +277,15 @@ def _merged_manifest(results: Sequence[CellResult], jobs: int) -> Optional[RunMa
     counters["exec.cells.failed"] = sum(1 for r in results if not r.ok)
     counters["exec.snapshot.hits"] = sum(r.snapshot_hits for r in results)
     counters["exec.snapshot.misses"] = sum(r.snapshot_misses for r in results)
+    counters["exec.snapshot.prefix_hits"] = sum(
+        r.snapshot_prefix_hits for r in results
+    )
+    counters["exec.snapshot.rounds_saved"] = sum(
+        r.snapshot_rounds_saved for r in results
+    )
+    counters["exec.snapshot.full_runs"] = sum(
+        r.snapshot_full_runs for r in results
+    )
     merged.metrics.setdefault("gauges", {})["exec.jobs"] = jobs
     return merged
 

@@ -15,10 +15,24 @@ share it:
   :class:`~repro.experiments.clustering.ClusteringStudy`) keyed by the
   same fingerprint scheme, via :meth:`SnapshotStore.get_or_compute`.
 
+Probe-trace snapshots are additionally **prefix-extensible**: a
+window at ``(params, rounds=R, interval=I)`` can be satisfied by
+restoring any cached ``(params, rounds=r<R, interval=I)`` snapshot and
+probing only the remaining ``R−r`` rounds (the round loop is
+stateless across iterations, so the split is behaviourally identical
+to a straight run).  :meth:`SnapshotStore.best_prefix` serves the
+longest such prefix; :func:`~repro.workloads.scenario.driven_scenario`
+and :func:`~repro.workloads.scenario.driven_checkpoints` consume it.
+
 Hit/miss counters feed the sweep manifest and
-``BENCH_pipeline.json``.  An optional directory makes entries survive
-the process (one file per key, written atomically), which lets repeat
-bench runs skip re-simulation entirely.
+``BENCH_pipeline.json``, alongside prefix accounting: ``prefix_hits``
+(windows satisfied by a shorter cached prefix), ``rounds_saved``
+(rounds restored instead of simulated), ``rounds_extended`` (rounds
+probed on top of a prefix), and ``full_runs`` (scenarios built from
+scratch).  An optional directory makes entries survive the process
+(one file per key, written atomically), which lets repeat bench runs
+skip re-simulation entirely; probe-window entries also get a sidecar
+``.key`` file so a fresh process can discover usable prefixes.
 """
 
 from __future__ import annotations
@@ -27,9 +41,30 @@ import hashlib
 import os
 import pickle
 from pathlib import Path
-from typing import Callable, Dict, Optional, TypeVar, Union
+from typing import Callable, Dict, Optional, Tuple, TypeVar, Union
 
 T = TypeVar("T")
+
+_PROBE_WINDOW_PREFIX = "probe-window:"
+#: Window payloads are full scenario pickles — by far the largest
+#: entries — so disk-backed stores write them through instead of also
+#: retaining them in memory (see :meth:`SnapshotStore.put`).
+_WINDOW_KEY_PREFIXES = (_PROBE_WINDOW_PREFIX, "event-window:")
+
+
+def _parse_probe_window_key(key: str) -> Optional[Tuple[str, str, int]]:
+    """``(params_fp, interval_label, rounds)`` for a probe-window key."""
+    if not key.startswith(_PROBE_WINDOW_PREFIX):
+        return None
+    try:
+        params_fp, rounds_part, interval_part = key[
+            len(_PROBE_WINDOW_PREFIX):
+        ].rsplit(":", 2)
+        if not rounds_part.startswith("r") or not interval_part.startswith("i"):
+            return None
+        return params_fp, interval_part[1:], int(rounds_part[1:])
+    except ValueError:
+        return None
 
 
 class SnapshotStore:
@@ -43,6 +78,17 @@ class SnapshotStore:
         self.hits = 0
         self.misses = 0
         self.puts = 0
+        #: Prefix-extension accounting (see module doc); the window
+        #: drivers in :mod:`repro.workloads.scenario` increment the
+        #: round counters, the store itself counts ``prefix_hits``.
+        self.prefix_hits = 0
+        self.rounds_saved = 0
+        self.rounds_extended = 0
+        self.full_runs = 0
+        #: ``(params_fp, interval_label) -> {rounds: key}`` over every
+        #: probe-window entry this store knows about.
+        self._probe_index: Dict[Tuple[str, str], Dict[int, str]] = {}
+        self._disk_index_loaded = False
 
     @staticmethod
     def key_for(*parts: object) -> str:
@@ -55,14 +101,31 @@ class SnapshotStore:
         safe = hashlib.blake2b(key.encode("utf-8"), digest_size=16).hexdigest()
         return self.directory / f"{safe}.pkl"
 
-    def get(self, key: str) -> Optional[object]:
-        """A fresh copy of the stored value, or None (counted)."""
+    def _retains(self, key: str) -> bool:
+        """Whether this key's payload is kept in memory after disk I/O.
+
+        Disk-backed window payloads (full scenario pickles, tens of MB
+        at paper scale) are write-through: the directory is
+        authoritative and re-reads are rare, so holding every
+        checkpoint of every interval in ``_entries`` would only grow
+        the resident set linearly in checkpoints.
+        """
+        return self.directory is None or not key.startswith(_WINDOW_KEY_PREFIXES)
+
+    def _payload(self, key: str) -> Optional[bytes]:
+        """The raw payload from memory or disk, with no hit/miss count."""
         payload = self._entries.get(key)
         if payload is None and self.directory is not None:
             path = self._path_for(key)
             if path.exists():
                 payload = path.read_bytes()
-                self._entries[key] = payload
+                if self._retains(key):
+                    self._entries[key] = payload
+        return payload
+
+    def get(self, key: str) -> Optional[object]:
+        """A fresh copy of the stored value, or None (counted)."""
+        payload = self._payload(key)
         if payload is None:
             self.misses += 1
             return None
@@ -72,13 +135,70 @@ class SnapshotStore:
     def put(self, key: str, value: object) -> None:
         """Store a value (pickled immediately; later mutation is moot)."""
         payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-        self._entries[key] = payload
+        if self._retains(key):
+            self._entries[key] = payload
         self.puts += 1
         if self.directory is not None:
             path = self._path_for(key)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
             tmp.write_bytes(payload)
             tmp.replace(path)
+            if key.startswith(_PROBE_WINDOW_PREFIX):
+                sidecar = path.with_suffix(".key")
+                tmp = sidecar.with_suffix(f".tmp.{os.getpid()}")
+                tmp.write_text(key, encoding="utf-8")
+                tmp.replace(sidecar)
+        self._index_probe_key(key)
+
+    def _index_probe_key(self, key: str) -> None:
+        parsed = _parse_probe_window_key(key)
+        if parsed is None:
+            return
+        params_fp, interval_label, rounds = parsed
+        self._probe_index.setdefault((params_fp, interval_label), {})[rounds] = key
+
+    def _load_disk_index(self) -> None:
+        """Index probe-window keys left on disk by earlier processes.
+
+        Scanned once, lazily: stores are per-shard and short-lived, so
+        entries written by *concurrent* processes after the scan are
+        simply not offered as prefixes (duplicate simulation at worst,
+        never corruption).
+        """
+        if self.directory is None or self._disk_index_loaded:
+            return
+        self._disk_index_loaded = True
+        for sidecar in self.directory.glob("*.key"):
+            try:
+                key = sidecar.read_text(encoding="utf-8").strip()
+            except OSError:
+                continue
+            if key in self._entries or self._path_for(key).exists():
+                self._index_probe_key(key)
+
+    def best_prefix(
+        self, params_fp: str, interval_minutes: float, max_rounds: int
+    ) -> Optional[Tuple[int, object]]:
+        """The longest cached probing prefix usable for a larger window.
+
+        Returns ``(rounds, snapshot)`` for the probe-window entry with
+        the most rounds ``<= max_rounds`` under exactly this params
+        fingerprint and interval, or None.  Counted on ``prefix_hits``
+        (not ``hits``/``misses`` — those stay exact-lookup counters).
+        """
+        self._load_disk_index()
+        bucket = self._probe_index.get((params_fp, f"{interval_minutes:g}"))
+        if not bucket:
+            return None
+        for rounds in sorted(bucket, reverse=True):
+            if rounds > max_rounds:
+                continue
+            payload = self._payload(bucket[rounds])
+            if payload is None:
+                continue
+            self.prefix_hits += 1
+            return rounds, pickle.loads(payload)
+        return None
 
     def get_or_compute(self, key: str, compute: Callable[[], T]) -> T:
         """The stored value, or ``compute()`` stored and returned.
@@ -103,11 +223,19 @@ class SnapshotStore:
         return len(self._entries)
 
     def stats(self) -> Dict[str, int]:
-        """Hit/miss/size counters (the bench and manifest rollup)."""
+        """Hit/miss/size counters (the bench and manifest rollup).
+
+        ``entries``/``bytes`` cover the in-memory side only; with a
+        directory, window payloads live on disk (write-through).
+        """
         return {
             "hits": self.hits,
             "misses": self.misses,
             "puts": self.puts,
+            "prefix_hits": self.prefix_hits,
+            "rounds_saved": self.rounds_saved,
+            "rounds_extended": self.rounds_extended,
+            "full_runs": self.full_runs,
             "entries": len(self._entries),
             "bytes": sum(len(p) for p in self._entries.values()),
         }

@@ -28,7 +28,7 @@ from repro.core.clustering import CenterPolicy, SmfParams, smf_cluster
 from repro.core.quality import evaluate_clustering
 from repro.core.selection import rank_candidates
 from repro.core.similarity import SimilarityMetric
-from repro.experiments.fig8_interval import _base_orderings
+from repro.experiments.fig8_interval import base_orderings_for
 from repro.meridian.failures import FailureRates
 from repro.workloads.scenario import Scenario, ScenarioParams
 
@@ -46,7 +46,7 @@ def _selection_mean_rank(
     reuses it for every client — and across the three metrics, which
     share one packing.
     """
-    orderings = _base_orderings(scenario)
+    orderings = base_orderings_for(scenario)
     candidate_maps = scenario.crp.ratio_maps(
         scenario.candidate_names, window_probes=window_probes
     )
@@ -198,7 +198,7 @@ def run_meridian_budget_ablation(
         base_params, build_meridian=True, meridian_failures=None
     )
     scenario = Scenario(params)
-    orderings = _base_orderings(scenario)
+    orderings = base_orderings_for(scenario)
     entry = scenario.candidate_names[0]
     rows = []
     for budget in budgets:
@@ -248,7 +248,7 @@ def run_meridian_health_row(
     scenario = Scenario(params)
     # Advance into the experiment so restart pathologies are live.
     scenario.clock.advance_minutes(24 * 60.0)
-    orderings = _base_orderings(scenario)
+    orderings = base_orderings_for(scenario)
     ranks = []
     # Cycle entry nodes over the whole membership — a client cannot
     # know which service nodes are sick, which is exactly how the

@@ -11,18 +11,32 @@ candidate list.  Findings this reproduction tracks:
   clients that can be ranked at all ("some DNS servers may not be able
   to find PlanetLab nodes with common replica servers"), which is why
   fewer servers are plotted there.
+
+Probing runs through prefix-extended snapshot windows
+(:func:`~repro.workloads.scenario.driven_checkpoints`, DESIGN §17):
+each evaluation checkpoint restores the longest cached prefix of its
+probing schedule, probes only the delta, and is snapshotted itself, so
+warm runs collapse to evaluation cost.  Evaluation itself goes through
+the packed engine (one shared candidate vocabulary per checkpoint,
+``rank_packed(k=1)``), held bit-identical to the scalar reference by
+the ``fig8-packed-vs-scalar`` differential pair.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import mean, sorted_series
 from repro.analysis.tables import format_series, format_table
-from repro.core.selection import rank_candidates
-from repro.workloads.scenario import Scenario, ScenarioParams
+from repro.core.engine import packed_for
+from repro.core.selection import rank_candidates, rank_packed
+from repro.obs import get_observability
+from repro.obs.manifest import fingerprint_params
+from repro.workloads.scenario import Scenario, ScenarioParams, driven_checkpoints
 
 
 @dataclass
@@ -63,53 +77,132 @@ def _base_orderings(scenario: Scenario) -> Dict[str, List[str]]:
     return orderings
 
 
-def collect_ranks(
+_ORDERINGS_CACHE: "OrderedDict[str, Dict[str, List[str]]]" = OrderedDict()
+_ORDERINGS_CACHE_SIZE = 8
+
+
+def base_orderings_for(
+    scenario: Scenario, store: Optional[object] = None
+) -> Dict[str, List[str]]:
+    """Per-client base-RTT orderings, cached under the params fingerprint.
+
+    Orderings depend only on the scenario's world (topology is static
+    absent a remap schedule), not on probing, so cells sharing params
+    reuse them: first from a small in-process LRU (reuse counted on
+    ``fig8.orderings.reused``), then from the snapshot store as a
+    derived artifact, and only then recomputed.  Worlds with a remap
+    schedule mutate topology mid-run and bypass the cache.  Callers
+    must treat the result as read-only.
+    """
+    if scenario.params.remap is not None:
+        return _base_orderings(scenario)
+    params_fp = fingerprint_params(scenario.params)
+    cached = _ORDERINGS_CACHE.get(params_fp)
+    if cached is not None:
+        _ORDERINGS_CACHE.move_to_end(params_fp)
+        get_observability().metrics.counter("fig8.orderings.reused").inc()
+        return cached
+    if store is not None and hasattr(store, "get_or_compute"):
+        orderings = store.get_or_compute(
+            f"base-orderings:{params_fp}", lambda: _base_orderings(scenario)
+        )
+    else:
+        orderings = _base_orderings(scenario)
+    _ORDERINGS_CACHE[params_fp] = orderings
+    while len(_ORDERINGS_CACHE) > _ORDERINGS_CACHE_SIZE:
+        _ORDERINGS_CACHE.popitem(last=False)
+    return orderings
+
+
+def _evaluate_top1(
     scenario: Scenario,
+    window_probes: Optional[int],
+    orderings: Dict[str, List[str]],
+    ranks: Dict[str, List[int]],
+    *,
+    packed: bool = True,
+) -> None:
+    """Append each client's current Top-1 rank to ``ranks`` (in place).
+
+    Candidate maps are shared across clients: built once per
+    checkpoint, packed once into a shared vocabulary.  ``packed``
+    ranks through the engine's ``k=1`` fast path (argpartition plus
+    one materialised row per client); the scalar path is the
+    reference the ``fig8-packed-vs-scalar`` differential pair holds
+    it bit-identical to.
+    """
+    crp = scenario.crp
+    candidate_maps = crp.ratio_maps(
+        scenario.candidate_names, window_probes=window_probes
+    )
+    candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
+    population = packed_for(candidate_maps) if packed else None
+    for client in scenario.client_names:
+        client_map = crp.ratio_map(client, window_probes=window_probes)
+        if client_map is None:
+            continue
+        if population is not None:
+            top = rank_packed(client_map, population, k=1)
+        else:
+            top = rank_candidates(client_map, candidate_maps, vectorized=False)
+        if not top or not top[0].has_signal:
+            continue
+        ranks[client].append(orderings[client].index(top[0].name))
+
+
+def collect_ranks(
+    params: ScenarioParams,
     rounds: int,
     interval_minutes: float,
     evaluations: int,
     window_probes: Optional[int],
+    *,
+    store: Optional[object] = None,
     orderings: Optional[Dict[str, List[str]]] = None,
+    packed: bool = True,
 ) -> RankSweepPoint:
     """Probe for ``rounds`` rounds, evaluating rank at checkpoints.
 
     Evaluation happens ``evaluations`` times, evenly spread over the
     probing schedule; each client's ranks are averaged over the
-    checkpoints where its Top-1 pick had signal.
+    checkpoints where its Top-1 pick had signal.  Probing is driven
+    through prefix-extended snapshot windows
+    (:func:`~repro.workloads.scenario.driven_checkpoints`): with a
+    store, each checkpoint restores the longest cached prefix of the
+    schedule, probes only the delta, and is snapshotted itself, so a
+    warm run pays evaluation cost only.
     """
     if evaluations < 1:
         raise ValueError("need at least one evaluation")
-    if orderings is None:
-        orderings = _base_orderings(scenario)
     checkpoints = {
         max(1, round((i + 1) * rounds / evaluations)) for i in range(evaluations)
     }
-    ranks: Dict[str, List[int]] = {c: [] for c in scenario.client_names}
-    for round_index in range(1, rounds + 1):
-        scenario.crp.probe_all()
-        scenario.clock.advance_minutes(interval_minutes)
-        if round_index not in checkpoints:
-            continue
-        # Candidate maps are shared across clients: build them once per
-        # checkpoint instead of once per (client, candidate) pair.
-        candidate_maps = scenario.crp.ratio_maps(
-            scenario.candidate_names, window_probes=window_probes
-        )
-        candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
-        for client in scenario.client_names:
-            client_map = scenario.crp.ratio_map(client, window_probes=window_probes)
-            if client_map is None:
-                continue
-            ranked = rank_candidates(client_map, candidate_maps)
-            if not ranked or not ranked[0].has_signal:
-                continue
-            ranks[client].append(orderings[client].index(ranked[0].name))
+    ranks: Dict[str, List[int]] = {}
+    clients = 0
+    for _, scenario in driven_checkpoints(
+        params, sorted(checkpoints), interval_minutes, store=store
+    ):
+        if not ranks:
+            ranks = {c: [] for c in scenario.client_names}
+            clients = len(scenario.client_names)
+            if orderings is None:
+                orderings = base_orderings_for(scenario, store)
+        _evaluate_top1(scenario, window_probes, orderings, ranks, packed=packed)
     avg = {c: mean(r) for c, r in ranks.items() if r}
     return RankSweepPoint(
         label=f"{interval_minutes:g}min/{'all' if window_probes is None else window_probes}p",
         avg_rank_by_client=avg,
-        unplottable_clients=len(scenario.client_names) - len(avg),
+        unplottable_clients=clients - len(avg),
     )
+
+
+def format_mean_rank(value: float) -> str:
+    """A mean-rank table cell; ``—`` for a fully-unplottable point.
+
+    ``overall_mean`` is nan when no client could be ranked at all;
+    ``:.1f`` would render the literal string ``nan``.
+    """
+    return "—" if math.isnan(value) else f"{value:.1f}"
 
 
 @dataclass
@@ -132,7 +225,7 @@ class Fig8Result:
                 f"{interval:g} min",
                 len(point.avg_rank_by_client),
                 point.unplottable_clients,
-                f"{point.overall_mean:.1f}",
+                format_mean_rank(point.overall_mean),
             ]
             for interval, point in sorted(self.points.items())
         ]
@@ -154,6 +247,7 @@ def run_fig8_point(
     duration_minutes: float,
     evaluations: int = 4,
     window_probes: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> RankSweepPoint:
     """One interval's curve — the sweep's independent work cell.
 
@@ -161,16 +255,18 @@ def run_fig8_point(
     this cadence for the window, evaluated at evenly spread
     checkpoints.  ``run_fig8`` is exactly a loop over this function, so
     the executor's per-interval cells reproduce the sweep bit for bit.
+    With a snapshot store, checkpoints restore and extend cached
+    probing prefixes instead of re-simulating.
     """
     params = dataclasses.replace(base_params, build_meridian=False)
     rounds = max(1, int(duration_minutes // interval_minutes))
-    scenario = Scenario(params)
     return collect_ranks(
-        scenario,
+        params,
         rounds=rounds,
         interval_minutes=interval_minutes,
         evaluations=min(evaluations, rounds),
         window_probes=window_probes,
+        store=store,
     )
 
 
@@ -180,6 +276,7 @@ def run_fig8(
     duration_minutes: float = 4.0 * 1440.0,
     evaluations: int = 4,
     window_probes: Optional[int] = None,
+    store: Optional[object] = None,
 ) -> Fig8Result:
     """Run the Figure 8 sweep.
 
@@ -195,5 +292,6 @@ def run_fig8(
             duration_minutes,
             evaluations=evaluations,
             window_probes=window_probes,
+            store=store,
         )
     return Fig8Result(points=points, duration_minutes=duration_minutes)

@@ -8,6 +8,11 @@ plots per-client average rank, sorted.  Findings tracked:
   probing);
 * "all probes" is better for about two thirds of clients but *worse*
   for the rest — long histories go stale under dynamic conditions.
+
+The probing loop shares figure 8's shape and machinery: checkpoints
+drive through prefix-extended snapshot windows
+(:func:`~repro.workloads.scenario.driven_checkpoints`) and every
+window size is evaluated through the packed engine at each checkpoint.
 """
 
 from __future__ import annotations
@@ -17,9 +22,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.stats import mean
 from repro.analysis.tables import format_series, format_table
-from repro.core.selection import rank_candidates
-from repro.experiments.fig8_interval import RankSweepPoint, _base_orderings
-from repro.workloads.scenario import Scenario
+from repro.experiments.fig8_interval import (
+    RankSweepPoint,
+    _evaluate_top1,
+    base_orderings_for,
+    format_mean_rank,
+)
+from repro.workloads.scenario import Scenario, driven_checkpoints
 
 
 def _window_label(window: Optional[int]) -> str:
@@ -58,7 +67,7 @@ class Fig9Result:
             [
                 _window_label(window),
                 len(point.avg_rank_by_client),
-                f"{point.overall_mean:.1f}",
+                format_mean_rank(point.overall_mean),
             ]
             for window, point in sorted(
                 self.points.items(), key=lambda kv: (kv[0] is None, kv[0] or 0)
@@ -84,41 +93,39 @@ def run_fig9(
     probe_rounds: int = 200,
     interval_minutes: float = 10.0,
     evaluations: int = 4,
+    store: Optional[object] = None,
+    packed: bool = True,
 ) -> Fig9Result:
     """Run the Figure 9 sweep over one scenario.
 
     All window sizes are evaluated from the *same* probe history (they
     are just different views of the log), so a single probing run
-    serves every curve — exactly as in the paper.
+    serves every curve — exactly as in the paper.  With a snapshot
+    store the probing reuses and extends cached prefixes; window keys
+    describe schedules driven from a fresh world, so the store is only
+    used when the passed scenario is virgin (no probes, clock at 0).
     """
     if evaluations < 1:
         raise ValueError("need at least one evaluation")
-    orderings = _base_orderings(scenario)
+    if store is not None and (scenario.crp.probes_issued or scenario.clock.now):
+        store = None
+    orderings = base_orderings_for(scenario, store)
     checkpoints = {
         max(1, round((i + 1) * probe_rounds / evaluations)) for i in range(evaluations)
     }
+    client_names = list(scenario.client_names)
     ranks: Dict[Optional[int], Dict[str, List[int]]] = {
-        window: {c: [] for c in scenario.client_names} for window in windows
+        window: {c: [] for c in client_names} for window in windows
     }
-    for round_index in range(1, probe_rounds + 1):
-        scenario.crp.probe_all()
-        scenario.clock.advance_minutes(interval_minutes)
-        if round_index not in checkpoints:
-            continue
+    for _, live in driven_checkpoints(
+        scenario.params,
+        sorted(checkpoints),
+        interval_minutes,
+        store=store,
+        scenario=scenario,
+    ):
         for window in windows:
-            # One shared set of candidate maps per (checkpoint, window).
-            candidate_maps = scenario.crp.ratio_maps(
-                scenario.candidate_names, window_probes=window
-            )
-            candidate_maps = {n: m for n, m in candidate_maps.items() if m is not None}
-            for client in scenario.client_names:
-                client_map = scenario.crp.ratio_map(client, window_probes=window)
-                if client_map is None:
-                    continue
-                ranked = rank_candidates(client_map, candidate_maps)
-                if not ranked or not ranked[0].has_signal:
-                    continue
-                ranks[window][client].append(orderings[client].index(ranked[0].name))
+            _evaluate_top1(live, window, orderings, ranks[window], packed=packed)
 
     points: Dict[Optional[int], RankSweepPoint] = {}
     for window in windows:
@@ -126,6 +133,6 @@ def run_fig9(
         points[window] = RankSweepPoint(
             label=_window_label(window),
             avg_rank_by_client=avg,
-            unplottable_clients=len(scenario.client_names) - len(avg),
+            unplottable_clients=len(client_names) - len(avg),
         )
     return Fig9Result(points=points, interval_minutes=interval_minutes)

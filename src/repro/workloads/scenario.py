@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.cdn.mapping import MappingParams
 from repro.cdn.provider import CDNProvider
@@ -605,6 +605,128 @@ class ScenarioSnapshot:
         )
 
 
+def _snapshot_mismatch(
+    key: str,
+    snapshot: ScenarioSnapshot,
+    params: ScenarioParams,
+    rounds: int,
+    interval_minutes: float,
+) -> ValueError:
+    """A triage-ready error for a snapshot that disagrees with its key."""
+    from repro.obs.manifest import fingerprint_params
+
+    return ValueError(
+        f"snapshot under {key!r} does not match its key: stored "
+        f"(params_fp={snapshot.params_fingerprint}, "
+        f"rounds={snapshot.rounds}, "
+        f"interval={snapshot.interval_minutes:g}) vs requested "
+        f"(params_fp={fingerprint_params(params)}, rounds={rounds}, "
+        f"interval={interval_minutes:g})"
+    )
+
+
+def _count(store: object, attr: str, amount: int = 1) -> None:
+    """Bump a store counter if this store keeps one (duck-typed)."""
+    value = getattr(store, attr, None)
+    if isinstance(value, int):
+        setattr(store, attr, value + amount)
+
+
+def driven_checkpoints(
+    params: ScenarioParams,
+    checkpoints: Sequence[int],
+    interval_minutes: float = 10.0,
+    store: Optional[object] = None,
+    scenario: Optional[Scenario] = None,
+):
+    """Drive one scenario through ascending round checkpoints, yielding
+    ``(rounds, scenario)`` at each — prefix-extended through the store.
+
+    The same live scenario is carried between checkpoints (probing only
+    the delta), so a store-less sweep costs exactly one straight run.
+    With a store, each checkpoint first tries its exact snapshot, then
+    — when nothing is live yet — the longest cached prefix
+    (:meth:`~repro.exec.SnapshotStore.best_prefix`), and only then a
+    from-scratch build; the state reached at every checkpoint is
+    snapshotted before it is yielded.  Because the round loop is
+    stateless across iterations, restore-then-extend is behaviourally
+    identical to a straight run (the ``snapshot_restore`` invariant and
+    the prefix tests pin this down).
+
+    ``scenario`` optionally seeds the drive with an existing *virgin*
+    world (no probes issued, clock at zero) built from ``params``.
+
+    Accounting: exact restores and prefix restores add the rounds they
+    skipped to ``rounds_saved``; probed deltas add to
+    ``rounds_extended``; a from-scratch build counts on ``full_runs``;
+    mirrored on obs counters under ``snapshot.window.*``.
+    """
+    from repro.obs.manifest import fingerprint_params
+
+    targets = sorted(set(int(c) for c in checkpoints))
+    if not targets or targets[0] < 1:
+        raise ValueError("checkpoints must be positive round counts")
+    obs = get_observability()
+    params_fp = fingerprint_params(params)
+    live = scenario
+    if (
+        store is not None
+        and live is not None
+        and (live.crp.probes_issued or live.clock.now)
+    ):
+        # Window keys describe schedules driven from a fresh world; a
+        # pre-probed seed would poison every snapshot written under it.
+        raise ValueError("a seed scenario must be virgin (no probes, clock at 0)")
+    current = 0
+    for target in targets:
+        key = probe_window_key(params, target, interval_minutes)
+        snapshot = store.get(key) if store is not None else None
+        if snapshot is not None:
+            if not snapshot.matches(params, target, interval_minutes):
+                raise _snapshot_mismatch(
+                    key, snapshot, params, target, interval_minutes
+                )
+            live = snapshot.restore()
+            _count(store, "rounds_saved", target - current)
+            obs.metrics.counter("snapshot.window.restored").inc()
+            obs.metrics.counter("snapshot.window.rounds_saved").inc(
+                target - current
+            )
+            current = target
+            yield target, live
+            continue
+        if live is None:
+            prefix = (
+                store.best_prefix(params_fp, interval_minutes, target)
+                if store is not None and hasattr(store, "best_prefix")
+                else None
+            )
+            if prefix is not None:
+                current, prefix_snapshot = prefix
+                live = prefix_snapshot.restore()
+                _count(store, "rounds_saved", current)
+                obs.metrics.counter("snapshot.window.prefix_restored").inc()
+                obs.metrics.counter("snapshot.window.rounds_saved").inc(current)
+            else:
+                live = Scenario(params)
+                if store is not None:
+                    _count(store, "full_runs")
+                    obs.metrics.counter("snapshot.window.full_runs").inc()
+        if target > current:
+            live.run_probe_rounds(target - current, interval_minutes)
+            if store is not None:
+                _count(store, "rounds_extended", target - current)
+                obs.metrics.counter("snapshot.window.rounds_extended").inc(
+                    target - current
+                )
+            current = target
+        if store is not None:
+            store.put(
+                key, ScenarioSnapshot.capture(live, target, interval_minutes)
+            )
+        yield target, live
+
+
 def driven_scenario(
     params: ScenarioParams,
     rounds: int,
@@ -618,21 +740,18 @@ def driven_scenario(
     ``get(key)``/``put(key, value)``, e.g.
     :class:`repro.exec.SnapshotStore`), the driven state is captured
     under :func:`probe_window_key` and later calls with the same
-    parameters and schedule restore it instead of re-simulating.
+    parameters and schedule restore it instead of re-simulating; a
+    longer window restores the longest cached prefix of the same
+    ``(params, interval)`` and probes only the remaining rounds.
     """
     if store is None:
         scenario = Scenario(params)
         scenario.run_probe_rounds(rounds, interval_minutes)
         return scenario
-    key = probe_window_key(params, rounds, interval_minutes)
-    snapshot = store.get(key)
-    if snapshot is not None:
-        if not snapshot.matches(params, rounds, interval_minutes):
-            raise ValueError(f"snapshot under {key!r} does not match its key")
-        return snapshot.restore()
-    scenario = Scenario(params)
-    scenario.run_probe_rounds(rounds, interval_minutes)
-    store.put(key, ScenarioSnapshot.capture(scenario, rounds, interval_minutes))
+    for _, scenario in driven_checkpoints(
+        params, [rounds], interval_minutes, store=store
+    ):
+        pass
     return scenario
 
 

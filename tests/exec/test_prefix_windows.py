@@ -1,0 +1,121 @@
+"""Prefix-extended probing windows (DESIGN §17).
+
+A window at ``(params, rounds=R, interval=I)`` may be served by
+restoring a cached ``(params, r<R, I)`` snapshot and probing the
+remaining ``R−r`` rounds; these tests pin down that the result is
+indistinguishable from a straight run — in memory, across a pickle
+round-trip through the disk store, and through the checkpointed
+generator the figure sweeps use.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.check.invariants import check_snapshot_restore
+from repro.exec import SnapshotStore
+from repro.obs.manifest import fingerprint_params
+from repro.workloads.scenario import (
+    Scenario,
+    ScenarioParams,
+    driven_checkpoints,
+    driven_scenario,
+)
+
+TINY = ScenarioParams(seed=42, dns_servers=10, planetlab_nodes=6, build_meridian=False)
+
+
+def _ratio_map_reprs(scenario):
+    maps = scenario.crp.ratio_maps(scenario.client_names)
+    return {name: repr(m) for name, m in maps.items()}
+
+
+# -- prefix restore ≡ straight run -------------------------------------------
+
+
+def test_prefix_extension_equals_straight_run():
+    straight = driven_scenario(TINY, rounds=6)
+    store = SnapshotStore()
+    driven_scenario(TINY, rounds=3, store=store)
+    assert store.full_runs == 1
+    extended = driven_scenario(TINY, rounds=6, store=store)
+    assert store.prefix_hits == 1
+    assert store.rounds_saved == 3 and store.rounds_extended == 3 + 3
+    assert check_snapshot_restore(straight, extended) == []
+    assert _ratio_map_reprs(straight) == _ratio_map_reprs(extended)
+
+
+def test_prefix_extension_through_disk_round_trip(tmp_path):
+    # Cold process caches a 3-round prefix; a fresh store (new process
+    # in real life) discovers it via the sidecar index and extends it.
+    driven_scenario(TINY, rounds=3, store=SnapshotStore(directory=tmp_path))
+    fresh = SnapshotStore(directory=tmp_path)
+    extended = driven_scenario(TINY, rounds=6, store=fresh)
+    assert fresh.prefix_hits == 1 and fresh.full_runs == 0
+    straight = driven_scenario(TINY, rounds=6)
+    assert check_snapshot_restore(straight, extended) == []
+    assert _ratio_map_reprs(straight) == _ratio_map_reprs(extended)
+
+
+# -- longest-prefix selection ------------------------------------------------
+
+
+def test_best_prefix_picks_the_longest_usable_rounds():
+    store = SnapshotStore()
+    for rounds in (2, 3, 5):
+        driven_scenario(TINY, rounds=rounds, store=store)
+    fp = fingerprint_params(TINY)
+    found = store.best_prefix(fp, 10.0, 4)
+    assert found is not None and found[0] == 3
+    found = store.best_prefix(fp, 10.0, 99)
+    assert found is not None and found[0] == 5
+    assert store.best_prefix(fp, 10.0, 1) is None
+    assert store.best_prefix(fp, 20.0, 99) is None
+    assert store.best_prefix("feedfacedeadbeef", 10.0, 99) is None
+
+
+def test_stale_prefix_rejected_on_params_change():
+    store = SnapshotStore()
+    driven_scenario(TINY, rounds=4, store=store)
+    other = dataclasses.replace(TINY, seed=43)
+    driven_scenario(other, rounds=6, store=store)
+    # The cached 4-round window belongs to a different world: it must
+    # not be offered as a prefix for the changed params.
+    assert store.prefix_hits == 0 and store.full_runs == 2
+
+
+# -- the checkpointed generator ----------------------------------------------
+
+
+def test_driven_checkpoints_chains_one_live_scenario():
+    store = SnapshotStore()
+    seen = list(driven_checkpoints(TINY, [2, 4, 6], store=store))
+    assert [rounds for rounds, _ in seen] == [2, 4, 6]
+    # One build, every checkpoint snapshotted, all rounds probed once.
+    assert store.full_runs == 1 and store.puts == 3
+    assert store.rounds_extended == 6 and store.rounds_saved == 0
+    assert seen[0][1] is seen[1][1] is seen[2][1]
+    # A warm pass restores every checkpoint without probing at all.
+    warm = list(driven_checkpoints(TINY, [2, 4, 6], store=store))
+    assert store.full_runs == 1 and store.rounds_saved == 6
+    straight = driven_scenario(TINY, rounds=4)
+    assert check_snapshot_restore(straight, warm[1][1]) == []
+
+
+def test_driven_checkpoints_accepts_virgin_seed_scenario():
+    scenario = Scenario(TINY)
+    ((rounds, live),) = driven_checkpoints(TINY, [3], scenario=scenario)
+    assert rounds == 3 and live is scenario
+    straight = driven_scenario(TINY, rounds=3)
+    assert check_snapshot_restore(straight, live) == []
+
+
+def test_driven_checkpoints_rejects_probed_seed_scenario():
+    # A pre-probed seed would poison every snapshot key written under
+    # it, so it is only rejected when a store is actually in play.
+    scenario = Scenario(TINY)
+    scenario.run_probe_rounds(1)
+    with pytest.raises(ValueError):
+        list(driven_checkpoints(TINY, [3], store=SnapshotStore(), scenario=scenario))
+    ((rounds, live),) = driven_checkpoints(TINY, [3], scenario=scenario)
+    assert rounds == 3 and live is scenario

@@ -99,6 +99,11 @@ def test_params_change_misses_the_cache():
     driven_scenario(other, rounds=6, store=store)
     driven_scenario(TINY, rounds=8, store=store)
     assert store.hits == 0 and store.misses == 3
+    # The params change forces a full re-simulation; the rounds change
+    # does not — it prefix-extends the cached 6-round window by 2.
+    assert store.full_runs == 2
+    assert store.prefix_hits == 1
+    assert (store.rounds_saved, store.rounds_extended) == (6, 6 + 6 + 2)
     assert probe_window_key(TINY, 6, 10.0) != probe_window_key(other, 6, 10.0)
 
 
@@ -139,5 +144,12 @@ def test_snapshot_restore_mismatch_raises():
     scenario = Scenario(TINY)
     scenario.run_probe_rounds(2)
     store.put(key, ScenarioSnapshot.capture(scenario, rounds=2, interval_minutes=10.0))
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError) as excinfo:
         driven_scenario(TINY, rounds=6, store=store)
+    # Triage-ready: both fingerprints and both schedules are named.
+    message = str(excinfo.value)
+    from repro.obs.manifest import fingerprint_params
+
+    assert fingerprint_params(TINY) in message
+    assert "rounds=2" in message and "rounds=6" in message
+    assert "interval=10" in message

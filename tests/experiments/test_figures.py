@@ -170,3 +170,76 @@ def test_overhead_experiment():
     assert result.crp_lookups_per_day[20.0] > result.crp_lookups_per_day[2000.0]
     assert result.measured_queries_per_client_day > 0
     assert "web client" in result.report()
+
+
+def test_fig8_store_paths_share_one_report(tmp_path):
+    from repro.exec import SnapshotStore
+    from repro.experiments.fig8_interval import Fig8Result, run_fig8_point
+
+    params = ScenarioParams(
+        seed=23, dns_servers=10, planetlab_nodes=10, build_meridian=False
+    )
+
+    def report(store):
+        point = run_fig8_point(params, 20.0, 200.0, evaluations=2, store=store)
+        return Fig8Result(points={20.0: point}, duration_minutes=200.0).report()
+
+    cold = report(None)
+    first = SnapshotStore(directory=tmp_path)
+    warm = SnapshotStore(directory=tmp_path)
+    assert report(first) == cold  # cold through the store
+    assert report(warm) == cold  # warm, restored from disk
+    assert warm.full_runs == 0 and warm.rounds_extended == 0
+    assert warm.rounds_saved == 10  # 200 // 20 rounds, all restored
+
+
+def test_fig8_packed_matches_scalar_reference():
+    from repro.experiments.fig8_interval import collect_ranks
+
+    params = ScenarioParams(
+        seed=23, dns_servers=10, planetlab_nodes=10, build_meridian=False
+    )
+    packed = collect_ranks(params, 8, 20.0, 2, None, packed=True)
+    scalar = collect_ranks(params, 8, 20.0, 2, None, packed=False)
+    assert packed == scalar
+
+
+def test_fig8_report_renders_dash_for_unplottable_point():
+    from repro.experiments.fig8_interval import Fig8Result, RankSweepPoint
+
+    point = RankSweepPoint(
+        label="20min/allp", avg_rank_by_client={}, unplottable_clients=3
+    )
+    report = Fig8Result(points={20.0: point}, duration_minutes=40.0).report()
+    assert "—" in report and "nan" not in report
+
+
+def test_fig9_report_renders_dash_for_unplottable_point():
+    from repro.experiments.fig8_interval import RankSweepPoint
+    from repro.experiments.fig9_window import Fig9Result
+
+    point = RankSweepPoint(
+        label="5 probes", avg_rank_by_client={}, unplottable_clients=3
+    )
+    report = Fig9Result(points={5: point}, interval_minutes=10.0).report()
+    assert "—" in report and "nan" not in report
+
+
+def test_base_orderings_cached_under_params_fingerprint():
+    from repro import obs as obs_layer
+    from repro.experiments import fig8_interval as f8
+    from repro.workloads.scenario import Scenario
+
+    params = ScenarioParams(
+        seed=25, dns_servers=8, planetlab_nodes=6, build_meridian=False
+    )
+    f8._ORDERINGS_CACHE.clear()
+    with obs_layer.observed() as run:
+        first = f8.base_orderings_for(Scenario(params))
+        second = f8.base_orderings_for(Scenario(params))
+    assert second is first  # same world → same cached object
+    counters = run.manifest("t", params=params, seed=25).to_dict()["metrics"][
+        "counters"
+    ]
+    assert counters.get("fig8.orderings.reused") == 1
+    assert first == f8._base_orderings(Scenario(params))
